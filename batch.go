@@ -1,0 +1,68 @@
+package sssj
+
+import (
+	"fmt"
+
+	"sssj/internal/apss"
+	"sssj/internal/index/static"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// BatchPair is a result of the classic (non-streaming) all-pairs
+// similarity search: a pair of input positions and their raw cosine
+// similarity (no time decay).
+type BatchPair = apss.Pair
+
+// BatchOptions configures BatchJoin.
+type BatchOptions struct {
+	// Index selects the batch scheme. The default, IndexL2, uses only
+	// the ℓ2 bounds; IndexL2AP (the batch state of the art per §5.3)
+	// adds the AP bounds and often prunes more on skewed data.
+	Index IndexKind
+	// Stats receives operation counters when non-nil.
+	Stats *Stats
+}
+
+// BatchJoin solves the static all-pairs similarity search problem (apss,
+// §3) the streaming algorithms build on: given unit vectors and a
+// threshold θ, return all pairs with dot(x, y) ≥ θ. Pair IDs are indices
+// into vectors.
+//
+// This is the operator the MiniBatch framework runs per window; it is
+// exposed publicly because a batch self-join is useful on its own (data
+// cleaning, near-duplicate detection over a closed corpus).
+func BatchJoin(vectors []Vector, theta float64, opts BatchOptions) ([]BatchPair, error) {
+	if !(theta > 0 && theta <= 1) {
+		return nil, fmt.Errorf("%w: theta=%v, want 0 < theta <= 1", apss.ErrBadParams, theta)
+	}
+	var kind static.Kind
+	switch opts.Index {
+	case IndexL2:
+		kind = static.L2
+	case IndexINV:
+		kind = static.INV
+	case IndexL2AP:
+		kind = static.L2AP
+	case IndexAP:
+		kind = static.AP
+	default:
+		return nil, fmt.Errorf("%w: unknown index %v", ErrUnsupported, opts.Index)
+	}
+	items := make([]stream.Item, 0, len(vectors))
+	for i, v := range vectors {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("sssj: vector %d: %w", i, err)
+		}
+		if !v.IsEmpty() && !v.IsUnit(1e-6) {
+			return nil, fmt.Errorf("sssj: vector %d is not unit-normalized (norm=%v)", i, v.Norm())
+		}
+		items = append(items, stream.Item{ID: uint64(i), Vec: v})
+	}
+	ix := static.New(kind, theta, static.Options{Counters: opts.Stats})
+	return ix.Build(items), nil
+}
+
+// Normalize returns a unit-length copy of v (empty stays empty), a
+// convenience for preparing BatchJoin/Process inputs.
+func Normalize(v Vector) Vector { return vec.Vector(v).Normalize() }

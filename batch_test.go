@@ -1,0 +1,110 @@
+package sssj
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sssj/internal/vec"
+)
+
+func batchVectors(seed int64, n int) []Vector {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Vector, n)
+	for i := range out {
+		m := map[uint32]float64{}
+		for j := 0; j < 1+r.Intn(6); j++ {
+			m[uint32(r.Intn(30))] = 0.05 + r.Float64()
+		}
+		out[i] = vec.FromMap(m).Normalize()
+	}
+	return out
+}
+
+func bruteBatch(vs []Vector, theta float64) []BatchPair {
+	var out []BatchPair
+	for i := 1; i < len(vs); i++ {
+		for j := 0; j < i; j++ {
+			if d := vec.Dot(vs[i], vs[j]); d >= theta {
+				out = append(out, BatchPair{X: uint64(i), Y: uint64(j), Dot: d})
+			}
+		}
+	}
+	return out
+}
+
+func TestBatchJoinMatchesBruteForce(t *testing.T) {
+	for _, ix := range []IndexKind{IndexL2, IndexINV, IndexL2AP, IndexAP} {
+		for seed := int64(0); seed < 4; seed++ {
+			vs := batchVectors(seed, 80)
+			for _, theta := range []float64{0.4, 0.7, 0.95} {
+				got, err := BatchJoin(vs, theta, BatchOptions{Index: ix})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteBatch(vs, theta)
+				if len(got) != len(want) {
+					t.Fatalf("%v theta=%v seed=%d: %d pairs want %d", ix, theta, seed, len(got), len(want))
+				}
+				key := func(p BatchPair) [2]uint64 { return [2]uint64{p.X, p.Y} }
+				sort.Slice(got, func(i, j int) bool {
+					return key(got[i]) != key(got[j]) && (got[i].X < got[j].X || (got[i].X == got[j].X && got[i].Y < got[j].Y))
+				})
+				sort.Slice(want, func(i, j int) bool { return want[i].X < want[j].X || (want[i].X == want[j].X && want[i].Y < want[j].Y) })
+				for i := range want {
+					if got[i].X != want[i].X || got[i].Y != want[i].Y {
+						t.Fatalf("%v: pair mismatch at %d", ix, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchJoinValidation(t *testing.T) {
+	good := batchVectors(1, 3)
+	if _, err := BatchJoin(good, 0, BatchOptions{}); err == nil {
+		t.Fatal("theta=0 accepted")
+	}
+	if _, err := BatchJoin(good, 1.5, BatchOptions{}); err == nil {
+		t.Fatal("theta>1 accepted")
+	}
+	if _, err := BatchJoin(good, 0.5, BatchOptions{Index: IndexKind(9)}); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	// non-unit vector rejected
+	bad := []Vector{vec.MustNew([]uint32{1}, []float64{2})}
+	if _, err := BatchJoin(bad, 0.5, BatchOptions{}); err == nil {
+		t.Fatal("non-unit vector accepted")
+	}
+	// structurally invalid vector rejected
+	broken := []Vector{{Dims: []uint32{2, 1}, Vals: []float64{1, 1}}}
+	if _, err := BatchJoin(broken, 0.5, BatchOptions{}); err == nil {
+		t.Fatal("unsorted vector accepted")
+	}
+	// empty vectors are fine
+	if got, err := BatchJoin([]Vector{{}, {}}, 0.5, BatchOptions{}); err != nil || len(got) != 0 {
+		t.Fatalf("empty vectors: %v %v", got, err)
+	}
+}
+
+func TestBatchJoinStats(t *testing.T) {
+	var st Stats
+	vs := batchVectors(2, 100)
+	if _, err := BatchJoin(vs, 0.6, BatchOptions{Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.IndexedEntries == 0 || st.EntriesTraversed == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestNormalizeHelper(t *testing.T) {
+	v := Normalize(vec.MustNew([]uint32{1}, []float64{5}))
+	if !v.IsUnit(1e-12) {
+		t.Fatal("Normalize failed")
+	}
+	if !Normalize(Vector{}).IsEmpty() {
+		t.Fatal("empty normalize")
+	}
+}

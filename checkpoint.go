@@ -1,0 +1,46 @@
+package sssj
+
+import (
+	"fmt"
+	"io"
+
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+)
+
+// Checkpoint serializes the joiner's index state so the join can resume
+// later with Resume. Only the Streaming framework supports checkpointing
+// (MiniBatch buffers whole windows and is cheap to warm up by replaying
+// the last 2τ of the stream instead).
+//
+// Counters are not checkpointed; a resumed joiner counts from zero.
+func (j *Joiner) Checkpoint(w io.Writer) error {
+	s, ok := j.inner.(*core.STR)
+	if !ok {
+		return fmt.Errorf("%w: checkpointing requires the Streaming framework", ErrUnsupported)
+	}
+	return s.SaveIndex(w)
+}
+
+// Resume restores a joiner from a Checkpoint. The join parameters (θ, λ)
+// and index kind come from the checkpoint itself; opts supplies only
+// runtime state: Stats, and Kernel when the checkpointed joiner used a
+// custom decay kernel.
+func Resume(r io.Reader, opts Options) (*Joiner, error) {
+	idx, err := streaming.Load(r, streaming.Options{
+		Counters: opts.Stats,
+		Kernel:   opts.Kernel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inner := core.NewSTRFromIndex(idx)
+	restored := Options{
+		Theta:     idx.Params().Theta,
+		Lambda:    idx.Params().Lambda,
+		Framework: Streaming,
+		Kernel:    opts.Kernel,
+		Stats:     opts.Stats,
+	}
+	return &Joiner{inner: inner, params: idx.Params(), opts: restored}, nil
+}

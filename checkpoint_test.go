@@ -1,0 +1,98 @@
+package sssj
+
+import (
+	"bytes"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/datagen"
+)
+
+func TestCheckpointResumePublicAPI(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.04).Generate(6)
+	opts := Options{Theta: 0.6, Lambda: 0.05}
+
+	// uninterrupted reference
+	want, err := SelfJoin(opts, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// split, checkpoint, resume
+	split := len(items) / 2
+	j, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	for _, it := range items[:split] {
+		ms, err := j.Process(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ms...)
+	}
+	var buf bytes.Buffer
+	if err := j.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Resume(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Params() != (Params{Theta: 0.6, Lambda: 0.05}) {
+		t.Fatalf("resumed params = %+v", j2.Params())
+	}
+	for _, it := range items[split:] {
+		ms, err := j2.Process(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ms...)
+	}
+	if !apss.EqualMatchSets(got, want, 1e-9) {
+		t.Fatalf("resumed run diverged: %d vs %d matches", len(got), len(want))
+	}
+}
+
+func TestCheckpointRejectsMiniBatch(t *testing.T) {
+	j, err := New(Options{Theta: 0.5, Lambda: 0.1, Framework: MiniBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Fatal("MiniBatch checkpoint accepted")
+	}
+}
+
+func TestResumeRejectsGarbage(t *testing.T) {
+	if _, err := Resume(bytes.NewReader([]byte("not a checkpoint")), Options{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestResumedJoinerStats(t *testing.T) {
+	j, err := New(Options{Theta: 0.5, Lambda: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewVector([]uint32{1}, []float64{1})
+	if _, err := j.Process(Item{ID: 0, Time: 0, Vec: v}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := j.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	j2, err := Resume(&buf, Options{Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Process(Item{ID: 1, Time: 1, Vec: v}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != 1 {
+		t.Fatalf("resumed stats items = %d, want 1 (fresh counters)", st.Items)
+	}
+}

@@ -1,0 +1,140 @@
+// Command sssj runs a streaming similarity self-join over a dataset file
+// and prints matched pairs.
+//
+// Usage:
+//
+//	sssj -theta 0.7 -lambda 0.01 -input data.txt
+//	sssjgen -profile RCV1 | sssj -theta 0.7 -lambda 0.01 -format binary
+//
+// Output: one match per line, "x y sim dot dt".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sssj"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sssj:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sssj", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		theta     = fs.Float64("theta", 0.7, "similarity threshold in (0,1]")
+		lambda    = fs.Float64("lambda", 0.01, "time-decay factor > 0")
+		framework = fs.String("framework", "STR", "framework: STR or MB")
+		index     = fs.String("index", "L2", "index: L2, INV, L2AP, or AP (MB only)")
+		input     = fs.String("input", "-", "input path, or - for stdin")
+		format    = fs.String("format", "text", "input format: text or binary")
+		stats     = fs.Bool("stats", false, "print operation counters to stderr")
+		quiet     = fs.Bool("quiet", false, "suppress per-match output; print only the count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := sssj.Options{Theta: *theta, Lambda: *lambda}
+	switch *framework {
+	case "STR":
+		opts.Framework = sssj.Streaming
+	case "MB":
+		opts.Framework = sssj.MiniBatch
+	default:
+		return fmt.Errorf("unknown framework %q", *framework)
+	}
+	switch *index {
+	case "L2":
+		opts.Index = sssj.IndexL2
+	case "INV":
+		opts.Index = sssj.IndexINV
+	case "L2AP":
+		opts.Index = sssj.IndexL2AP
+	case "AP":
+		opts.Index = sssj.IndexAP
+	default:
+		return fmt.Errorf("unknown index %q", *index)
+	}
+	var st sssj.Stats
+	if *stats {
+		opts.Stats = &st
+	}
+
+	var in io.Reader = stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var src sssj.Source
+	switch *format {
+	case "text":
+		src = sssj.ReadText(in)
+	case "binary":
+		src = sssj.ReadBinary(in)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	j, err := sssj.New(opts)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	total := 0
+	emit := func(ms []sssj.Match) error {
+		total += len(ms)
+		if *quiet {
+			return nil
+		}
+		for _, m := range ms {
+			if _, err := fmt.Fprintf(w, "%d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		it, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ms, err := j.Process(it)
+		if err != nil {
+			return err
+		}
+		if err := emit(ms); err != nil {
+			return err
+		}
+	}
+	ms, err := j.Flush()
+	if err != nil {
+		return err
+	}
+	if err := emit(ms); err != nil {
+		return err
+	}
+	if *quiet {
+		fmt.Fprintf(w, "%d\n", total)
+	}
+	if *stats {
+		fmt.Fprintln(stderr, st.String())
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sssj"
+	"sssj/internal/datagen"
+)
+
+func TestRunTextInput(t *testing.T) {
+	in := strings.NewReader("0 1:1\n0.5 1:1\n")
+	var out, errw bytes.Buffer
+	err := run([]string{"-theta", "0.7", "-lambda", "0.1"}, in, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "1 0 ") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestRunBinaryInputAllCombos(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.02).Generate(1)
+	var bin bytes.Buffer
+	if err := sssj.WriteBinary(&bin, items); err != nil {
+		t.Fatal(err)
+	}
+	combos := [][2]string{
+		{"STR", "L2"}, {"STR", "INV"}, {"STR", "L2AP"},
+		{"MB", "L2"}, {"MB", "INV"}, {"MB", "L2AP"}, {"MB", "AP"},
+	}
+	var counts []string
+	for _, c := range combos {
+		var out, errw bytes.Buffer
+		err := run([]string{
+			"-theta", "0.6", "-lambda", "0.05",
+			"-framework", c[0], "-index", c[1],
+			"-format", "binary", "-quiet", "-stats",
+		}, bytes.NewReader(bin.Bytes()), &out, &errw)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		counts = append(counts, strings.TrimSpace(out.String()))
+		if !strings.Contains(errw.String(), "items=") {
+			t.Fatalf("%v: stats missing", c)
+		}
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("match counts diverge across combos: %v", counts)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	cases := [][]string{
+		{"-framework", "NOPE"},
+		{"-index", "NOPE"},
+		{"-format", "NOPE"},
+		{"-theta", "0"},
+		{"-framework", "STR", "-index", "AP"},
+		{"-input", "/nonexistent/file"},
+	}
+	for _, args := range cases {
+		if err := run(args, strings.NewReader(""), &out, &errw); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunMalformedInput(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run(nil, strings.NewReader("garbage line\n"), &out, &errw)
+	if err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Command sssjbench regenerates the paper's evaluation artifacts: every
+// table and figure of §7, on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	sssjbench -exp table1
+//	sssjbench -exp table2 -scale 0.5 -budget 5s
+//	sssjbench -exp all
+//
+// Experiments: table1, table2, fig2..fig9, delay (the §4 reporting-delay
+// claim), ablation (per-bound pruning attribution), or all. See DESIGN.md
+// for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sssj/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sssjbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sssjbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp    = fs.String("exp", "all", "experiment: table1 table2 fig2..fig9 delay ablation all")
+		scale  = fs.Float64("scale", 0.25, "dataset size multiplier")
+		seed   = fs.Int64("seed", 1, "dataset generation seed")
+		budget = fs.Duration("budget", 10*time.Second, "per-run time budget (the paper's 3h timeout analog)")
+		csv    = fs.String("csv", "", "also dump raw grid results as CSV to this path (fig3..fig9)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := harness.Config{Scale: *scale, Seed: *seed, Budget: *budget}
+
+	dumpCSV := func(results []harness.Result) {
+		if *csv == "" {
+			return
+		}
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(stderr, "csv:", err)
+			return
+		}
+		defer f.Close()
+		if err := harness.WriteCSV(f, results); err != nil {
+			fmt.Fprintln(stderr, "csv:", err)
+		}
+	}
+
+	experiments := map[string]func(io.Writer, harness.Config){
+		"table1": func(w io.Writer, c harness.Config) { harness.PrintTable1(w, harness.RunTable1(c)) },
+		"table2": func(w io.Writer, c harness.Config) { harness.PrintTable2(w, harness.RunTable2(c)) },
+		"fig2":   func(w io.Writer, c harness.Config) { harness.PrintFigure2(w, harness.RunFigure2(c)) },
+		"fig3": func(w io.Writer, c harness.Config) {
+			res := harness.RunFigure3(c)
+			dumpCSV(res)
+			harness.PrintTimeGrid(w, "Figure 3: MB vs STR on RCV1", res)
+		},
+		"fig4": func(w io.Writer, c harness.Config) {
+			res := harness.RunFigure4(c)
+			dumpCSV(res)
+			harness.PrintTimeGrid(w, "Figure 4: MB vs STR on WebSpam", res)
+		},
+		"fig5": func(w io.Writer, c harness.Config) {
+			res := harness.RunFigure5(c)
+			dumpCSV(res)
+			harness.PrintTimeGrid(w, "Figure 5: STR indexes on RCV1", res)
+		},
+		"fig6": func(w io.Writer, c harness.Config) {
+			res := harness.RunFigure6(c)
+			dumpCSV(res)
+			harness.PrintEntriesGrid(w, "Figure 6: STR indexes on Tweets", res)
+		},
+		"fig7": func(w io.Writer, c harness.Config) {
+			res := harness.RunFigure78(c)
+			dumpCSV(res)
+			harness.PrintFigure7(w, res)
+		},
+		"fig8": func(w io.Writer, c harness.Config) {
+			res := harness.RunFigure78(c)
+			dumpCSV(res)
+			harness.PrintFigure8(w, res)
+		},
+		"fig9": func(w io.Writer, c harness.Config) { harness.PrintFigure9(w, harness.RunFigure9(c)) },
+		"delay": func(w io.Writer, c harness.Config) {
+			p := harness.Params{Theta: 0.7, Lambda: 0.01}
+			stats, err := harness.RunDelay(c, "RCV1", p)
+			if err != nil {
+				fmt.Fprintln(w, "delay:", err)
+				return
+			}
+			harness.PrintDelay(w, "RCV1", p, stats)
+		},
+		"ablation": func(w io.Writer, c harness.Config) {
+			p := harness.Params{Theta: 0.7, Lambda: 0.01}
+			res, err := harness.RunAblation(c, "RCV1", p)
+			if err != nil {
+				fmt.Fprintln(w, "ablation:", err)
+				return
+			}
+			harness.PrintAblation(w, "RCV1", p, res)
+		},
+	}
+	order := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "delay", "ablation"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Fprintf(stdout, "==== %s ====\n", name)
+			start := time.Now()
+			experiments[name](stdout, cfg)
+			fmt.Fprintf(stdout, "(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	fn(stdout, cfg)
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "fig9"} {
+		var out, errw bytes.Buffer
+		err := run([]string{"-exp", exp, "-scale", "0.02", "-budget", "30s"}, &out, &errw)
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s: no output", exp)
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-scale", "0.02"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []string{"WebSpam", "RCV1", "Blogs", "Tweets"} {
+		if !strings.Contains(out.String(), ds) {
+			t.Fatalf("table1 missing %s:\n%s", ds, out.String())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out, &errw); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCSVDump(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/out.csv"
+	var out, errw bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-scale", "0.02", "-csv", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "dataset,framework,index") {
+		t.Fatalf("csv header wrong: %.60s", data)
+	}
+}
+
+func TestDelayAndAblationExperiments(t *testing.T) {
+	for _, exp := range []string{"delay", "ablation"} {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-exp", exp, "-scale", "0.02"}, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s produced no output", exp)
+		}
+	}
+}

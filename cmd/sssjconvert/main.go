@@ -1,0 +1,115 @@
+// Command sssjconvert converts datasets between the text and binary
+// formats, mirroring the text-to-binary converter shipped with the
+// paper's code (§7, "Datasets").
+//
+// Usage:
+//
+//	sssjconvert -from text -to binary -in data.txt -out data.bin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sssj/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sssjconvert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sssjconvert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		from = fs.String("from", "text", "input format: text or binary")
+		to   = fs.String("to", "binary", "output format: text or binary")
+		in   = fs.String("in", "-", "input path, or - for stdin")
+		out  = fs.String("out", "-", "output path, or - for stdout")
+		raw  = fs.Bool("raw", false, "text input: keep values as-is instead of normalizing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var src stream.Source
+	switch *from {
+	case "text":
+		tr := stream.NewTextReader(r)
+		tr.RawValues = *raw
+		src = tr
+	case "binary":
+		src = stream.NewBinaryReader(r)
+	default:
+		return fmt.Errorf("unknown input format %q", *from)
+	}
+
+	var w io.Writer = stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	n := 0
+	switch *to {
+	case "binary":
+		enc := stream.NewBinaryWriter(bw)
+		for {
+			it, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := enc.Write(it); err != nil {
+				return err
+			}
+			n++
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+	case "text":
+		var batch []stream.Item
+		for {
+			it, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			batch = append(batch, it)
+			n++
+		}
+		if err := stream.WriteText(bw, batch); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown output format %q", *to)
+	}
+	fmt.Fprintf(stderr, "converted %d items (%s -> %s)\n", n, *from, *to)
+	return nil
+}

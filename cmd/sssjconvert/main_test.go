@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+func sampleText() string {
+	return "0 1:3 2:4\n1.5 7:1\n2 1:1 9:2\n"
+}
+
+func TestTextToBinaryAndBack(t *testing.T) {
+	var bin, errw bytes.Buffer
+	if err := run([]string{"-from", "text", "-to", "binary"},
+		strings.NewReader(sampleText()), &bin, &errw); err != nil {
+		t.Fatal(err)
+	}
+	items, err := stream.Collect(stream.NewBinaryReader(bytes.NewReader(bin.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if !items[0].Vec.IsUnit(1e-9) {
+		t.Fatal("text input not normalized by default")
+	}
+	// back to text
+	var txt bytes.Buffer
+	if err := run([]string{"-from", "binary", "-to", "text"},
+		bytes.NewReader(bin.Bytes()), &txt, &errw); err != nil {
+		t.Fatal(err)
+	}
+	round, err := stream.Collect(stream.NewTextReader(&txt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if round[i].Time != items[i].Time || !vec.Equal(round[i].Vec.Normalize(), items[i].Vec.Normalize()) {
+			t.Fatalf("round trip changed item %d", i)
+		}
+	}
+}
+
+func TestRawMode(t *testing.T) {
+	var bin, errw bytes.Buffer
+	if err := run([]string{"-from", "text", "-to", "binary", "-raw"},
+		strings.NewReader("0 1:3 2:4\n"), &bin, &errw); err != nil {
+		t.Fatal(err)
+	}
+	items, err := stream.Collect(stream.NewBinaryReader(&bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Vec.Norm() != 5 {
+		t.Fatalf("raw mode normalized anyway: %v", items[0].Vec.Norm())
+	}
+}
+
+func TestBadFlagsAndInputs(t *testing.T) {
+	var out, errw bytes.Buffer
+	for _, args := range [][]string{
+		{"-from", "NOPE"},
+		{"-to", "NOPE"},
+		{"-in", "/nonexistent/file"},
+	} {
+		if err := run(args, strings.NewReader(""), &out, &errw); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+	// corrupt binary input
+	if err := run([]string{"-from", "binary", "-to", "text"},
+		strings.NewReader("NOTMAGIC"), &out, &errw); err == nil {
+		t.Fatal("corrupt binary accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command sssjd serves a shared streaming similarity self-join over TCP
+// (see internal/server for the line protocol). Multiple producers can
+// feed one stream and receive matches online:
+//
+//	sssjd -addr :7407 -theta 0.7 -lambda 0.01 &
+//	printf 'ADD 0 1:1 2:1\nADD 1 1:1 2:1\nQUIT\n' | nc localhost 7407
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sssjd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon; ready (if non-nil) receives the bound address
+// once listening, which tests use to connect.
+func run(args []string, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sssjd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:7407", "listen address")
+		theta  = fs.Float64("theta", 0.7, "similarity threshold in (0,1]")
+		lambda = fs.Float64("lambda", 0.01, "time-decay factor > 0")
+		index  = fs.String("index", "L2", "streaming index: L2, INV, or L2AP")
+		quiet  = fs.Bool("quiet", false, "suppress connection logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var kind streaming.Kind
+	switch *index {
+	case "L2":
+		kind = streaming.L2
+	case "INV":
+		kind = streaming.INV
+	case "L2AP":
+		kind = streaming.L2AP
+	default:
+		return fmt.Errorf("unknown index %q", *index)
+	}
+	logger := log.New(stderr, "sssjd: ", log.LstdFlags)
+	cfg := server.Config{
+		Params: apss.Params{Theta: *theta, Lambda: *lambda},
+		NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+			return core.NewSTR(kind, p, c)
+		},
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g)",
+		ln.Addr(), *theta, *lambda, *index, cfg.Params.Horizon())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logger.Printf("shutting down")
+		s.Close()
+	}()
+	return s.Serve(ln)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"syscall"
+	"testing"
+	"time"
+
+	"sssj/internal/server"
+	"sssj/internal/vec"
+)
+
+func TestDaemonEndToEnd(t *testing.T) {
+	var logBuf bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-quiet"}, &logBuf, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec.MustNew([]uint32{1, 2}, []float64{1, 1}).Normalize()
+	if _, _, err := c.Add(0, v); err != nil {
+		t.Fatal(err)
+	}
+	_, ms, err := c.Add(1, v)
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("daemon match: %v %v", ms, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGTERM triggers a clean shutdown.
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-index", "NOPE"},
+		{"-theta", "0"},
+		{"-addr", "256.256.256.256:99999"},
+	} {
+		if err := run(args, &buf, nil); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

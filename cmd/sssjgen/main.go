@@ -1,0 +1,96 @@
+// Command sssjgen generates the synthetic dataset analogues used by the
+// benchmarks (see internal/datagen) in either the text or the binary
+// dataset format.
+//
+// Usage:
+//
+//	sssjgen -profile Tweets -scale 0.5 -format binary -out tweets.bin
+//	sssjgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sssj"
+	"sssj/internal/datagen"
+	"sssj/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sssjgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sssjgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		profile = fs.String("profile", "RCV1", "dataset profile: WebSpam, RCV1, Blogs, Tweets, or Topics")
+		scale   = fs.Float64("scale", 1, "size multiplier applied to the profile's n")
+		seed    = fs.Int64("seed", 1, "generation seed")
+		format  = fs.String("format", "text", "output format: text or binary")
+		out     = fs.String("out", "-", "output path, or - for stdout")
+		list    = fs.Bool("list", false, "list profiles and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintf(stdout, "%-9s %8s %9s %8s %s\n", "Profile", "n", "dims", "mean|x|", "arrivals")
+		for _, p := range datagen.Profiles() {
+			fmt.Fprintf(stdout, "%-9s %8d %9d %8.1f %s\n", p.Name, p.N, p.Dims, p.MeanNNZ, p.Arrival)
+		}
+		return nil
+	}
+	var items []stream.Item
+	var name string
+	if *profile == "Topics" {
+		// Latent-topic document model (see datagen.TopicModel): realistic
+		// graded similarities rather than planted duplicates.
+		tm := datagen.DefaultTopicModel()
+		tm.N = int(float64(tm.N) * *scale)
+		if tm.N < 1 {
+			tm.N = 1
+		}
+		items = tm.Generate(*seed)
+		name = tm.Name
+	} else {
+		prof, err := datagen.ProfileByName(*profile)
+		if err != nil {
+			return err
+		}
+		items = prof.Scaled(*scale).Generate(*seed)
+		name = prof.Name
+	}
+
+	var w io.Writer = stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "text":
+		err = sssj.WriteText(w, items)
+	case "binary":
+		err = sssj.WriteBinary(w, items)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	st := stream.ComputeStats(items)
+	fmt.Fprintf(stderr, "%s: n=%d nnz=%d avg|x|=%.2f duration=%.1f\n",
+		name, st.N, st.NNZ, st.AvgNNZ, st.Duration)
+	return nil
+}

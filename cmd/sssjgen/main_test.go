@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sssj/internal/stream"
+)
+
+func TestList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"WebSpam", "RCV1", "Blogs", "Tweets"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("missing %s in list", name)
+		}
+	}
+}
+
+func TestGenerateText(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-profile", "RCV1", "-scale", "0.01", "-format", "text"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	items, err := stream.Collect(stream.NewTextReader(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 40 {
+		t.Fatalf("generated %d items", len(items))
+	}
+	if !strings.Contains(errw.String(), "RCV1") {
+		t.Fatal("summary missing")
+	}
+}
+
+func TestGenerateBinary(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-profile", "Tweets", "-scale", "0.005", "-format", "binary"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	items, err := stream.Collect(stream.NewBinaryReader(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 45 {
+		t.Fatalf("generated %d items", len(items))
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	for _, args := range [][]string{
+		{"-profile", "NOPE"},
+		{"-format", "NOPE"},
+		{"-out", "/nonexistent/dir/file"},
+	} {
+		if err := run(args, &out, &errw); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

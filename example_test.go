@@ -1,0 +1,86 @@
+package sssj_test
+
+import (
+	"fmt"
+	"log"
+
+	"sssj"
+)
+
+// The basic workflow: create a joiner, feed timestamped unit vectors in
+// time order, collect matches.
+func ExampleNew() {
+	j, err := sssj.New(sssj.Options{Theta: 0.7, Lambda: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, _ := sssj.NewVector([]uint32{1, 2, 3}, []float64{1, 2, 2})
+	v2, _ := sssj.NewVector([]uint32{1, 2, 3}, []float64{1, 2, 1.9})
+	if _, err := j.Process(sssj.Item{ID: 0, Time: 0, Vec: v1}); err != nil {
+		log.Fatal(err)
+	}
+	matches, err := j.Process(sssj.Item{ID: 1, Time: 1, Vec: v2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("items %d and %d are similar (sim %.2f)\n", m.X, m.Y, m.Sim)
+	}
+	// Output:
+	// items 1 and 0 are similar (sim 0.90)
+}
+
+// Deriving lambda from an application-level horizon, per the paper's §3
+// parameter-setting methodology.
+func ExampleParamsFromHorizon() {
+	p, err := sssj.ParamsFromHorizon(0.5, 120) // dissimilar after 120s
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("theta=%.2f lambda=%.5f horizon=%.0f\n", p.Theta, p.Lambda, p.Horizon())
+	// Output:
+	// theta=0.50 lambda=0.00578 horizon=120
+}
+
+// The classic batch all-pairs similarity search over a closed corpus.
+func ExampleBatchJoin() {
+	a, _ := sssj.NewVector([]uint32{1, 2}, []float64{3, 4})
+	b, _ := sssj.NewVector([]uint32{1, 2}, []float64{4, 3})
+	c, _ := sssj.NewVector([]uint32{9}, []float64{1})
+	pairs, err := sssj.BatchJoin([]sssj.Vector{a, b, c}, 0.9, sssj.BatchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("%d ~ %d (dot %.2f)\n", p.X, p.Y, p.Dot)
+	}
+	// Output:
+	// 1 ~ 0 (dot 0.96)
+}
+
+// Top-k neighborhoods: each item's most similar in-horizon items, for
+// recommender-style applications.
+func ExampleNewTopK() {
+	tk, err := sssj.NewTopK(sssj.Options{Theta: 0.3, Lambda: 0.1}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := sssj.NewVector([]uint32{1, 2}, []float64{1, 1})
+	w, _ := sssj.NewVector([]uint32{1, 2}, []float64{1, 1.2})
+	for i, vec := range []sssj.Vector{v, w, v} {
+		if _, err := tk.Process(sssj.Item{ID: uint64(i), Time: float64(i), Vec: vec}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	final, err := tk.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range final {
+		fmt.Printf("item %d has %d neighbors\n", n.ID, len(n.Matches))
+	}
+	// Output:
+	// item 0 has 2 neighbors
+	// item 1 has 2 neighbors
+	// item 2 has 2 neighbors
+}

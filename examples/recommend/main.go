@@ -1,0 +1,78 @@
+// Streaming recommendations: the paper notes that low-threshold
+// configurations are "useful for recommender systems" (§7.1). This
+// example uses the top-k extension: readers consume articles, each
+// article is an item in the stream, and once an article's neighborhood
+// finalizes (the horizon has passed), its most similar recent articles
+// become its "related reading" list.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sssj"
+	"sssj/internal/textvec"
+)
+
+type article struct {
+	t     float64
+	title string
+	body  string
+}
+
+var articles = []article{
+	{0, "City marathon sets record", "thousands of runners finished the city marathon today new course record set by local athlete crowds cheered"},
+	{2, "Marathon winner interview", "interview with the local athlete who set the marathon course record today after thousands of runners finished"},
+	{4, "Stock markets rally", "markets rallied today as tech stocks surged investors optimistic about earnings season central bank holds rates"},
+	{6, "Tech stocks lead surge", "tech stocks led a broad market surge investors cheered earnings central bank keeps interest rates unchanged"},
+	{8, "New pasta restaurant", "a new pasta restaurant opened downtown fresh handmade noodles and classic sauces draw long lunch lines"},
+	{10, "Marathon route changes", "organizers announce route changes for next year marathon after runner feedback course record celebrations continue"},
+	{13, "Rate decision analysis", "analysts dissect the central bank decision to hold interest rates markets and investors parse every word"},
+	{30, "Museum night opens", "the annual museum night opened with free entry late hours and special exhibitions across the city"},
+	{32, "Late night exhibitions", "special exhibitions and late hours mark museum night free entry draws crowds across the city"},
+}
+
+func main() {
+	// Low threshold, ~15-unit horizon: topical relatedness, not near-
+	// duplication.
+	params, err := sssj.ParamsFromHorizon(0.25, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tk, err := sssj.NewTopK(sssj.Options{
+		Theta:  params.Theta,
+		Lambda: params.Lambda,
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vz := textvec.New(1<<18, false)
+	emit := func(ns []sssj.Neighbors) {
+		for _, n := range ns {
+			fmt.Printf("\nrelated reading for %q:\n", articles[n.ID].title)
+			if len(n.Matches) == 0 {
+				fmt.Println("  (nothing related in the window)")
+			}
+			for _, m := range n.Matches {
+				fmt.Printf("  %.2f  %s\n", m.Sim, articles[m.Y].title)
+			}
+		}
+	}
+	for i, a := range articles {
+		ns, err := tk.Process(sssj.Item{
+			ID:   uint64(i),
+			Time: a.t,
+			Vec:  vz.Vectorize(a.title + " " + a.body),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(ns)
+	}
+	ns, err := tk.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit(ns)
+}

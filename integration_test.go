@@ -1,0 +1,166 @@
+package sssj
+
+import (
+	"bytes"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/datagen"
+	"sssj/internal/stream"
+)
+
+// TestDimOrderPublicAPI: the ordering extension must not change results
+// under either framework.
+func TestDimOrderPublicAPI(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.04).Generate(9)
+	base := Options{Theta: 0.6, Lambda: 0.05}
+	want, err := SelfJoin(base, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Options{
+		{Theta: 0.6, Lambda: 0.05, DimOrder: DimOrder{Strategy: OrderDocFreqAsc, WarmupItems: 30}},
+		{Theta: 0.6, Lambda: 0.05, DimOrder: DimOrder{Strategy: OrderMaxValueDesc, WarmupItems: 30}},
+		{Theta: 0.6, Lambda: 0.05, Framework: MiniBatch, Index: IndexL2AP,
+			DimOrder: DimOrder{Strategy: OrderDocFreqAsc}},
+	}
+	for _, opts := range cases {
+		got, err := SelfJoin(opts, items)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts.DimOrder, err)
+		}
+		if !apss.EqualMatchSets(got, want, 1e-9) {
+			t.Fatalf("%+v: diverged (%d vs %d)", opts.DimOrder, len(got), len(want))
+		}
+	}
+	// Streaming strategy without warmup size is a configuration error.
+	if _, err := New(Options{Theta: 0.5, Lambda: 0.1,
+		DimOrder: DimOrder{Strategy: OrderDocFreqAsc}}); err == nil {
+		t.Fatal("warmup-less streaming DimOrder accepted")
+	}
+}
+
+// TestFullPipelineAcrossFormatsAndCheckpoint exercises the path a real
+// deployment takes: generate → write binary → read → join half → crash →
+// resume from checkpoint → join the rest, comparing against a clean run.
+func TestFullPipelineAcrossFormatsAndCheckpoint(t *testing.T) {
+	prof := datagen.BlogsProfile().Scaled(0.05)
+	items := prof.Generate(13)
+
+	var disk bytes.Buffer
+	if err := WriteBinary(&disk, items); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Theta: 0.65, Lambda: 0.02}
+	want, err := SelfJoin(opts, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := ReadBinary(bytes.NewReader(disk.Bytes()))
+	j, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	half := len(items) / 2
+	for i := 0; i < half; i++ {
+		it, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := j.Process(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ms...)
+	}
+	var ckpt bytes.Buffer
+	if err := j.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Resume(&ckpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		it, err := src.Next()
+		if err != nil {
+			break
+		}
+		ms, err := j2.Process(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ms...)
+	}
+	if !apss.EqualMatchSets(got, want, 1e-9) {
+		t.Fatalf("pipeline diverged: %d vs %d matches", len(got), len(want))
+	}
+}
+
+// TestMergedFeedsSelfJoin joins a stream assembled from multiple
+// time-ordered feeds (stream.Merge), the multi-producer shape the TCP
+// server also exposes.
+func TestMergedFeedsSelfJoin(t *testing.T) {
+	feedA := datagen.RCV1Profile().Scaled(0.02).Generate(1)
+	feedB := datagen.RCV1Profile().Scaled(0.02).Generate(2)
+	merged := stream.NewMerge(
+		stream.NewSliceSource(feedA),
+		stream.NewSliceSource(feedB),
+	)
+	items, err := stream.Collect(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Theta: 0.6, Lambda: 0.05}
+	got, err := SelfJoin(opts, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := apss.Params{Theta: opts.Theta, Lambda: opts.Lambda}
+	bf, err := core.NewBruteForce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(bf, stream.NewSliceSource(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apss.EqualMatchSets(got, want, 1e-9) {
+		t.Fatalf("merged-feed join diverged: %d vs %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("merged feeds produced no matches; test vacuous")
+	}
+}
+
+// TestLongStreamBoundedMemory: the central systems claim — the index
+// forgets. A long stream with a short horizon must keep index occupancy
+// bounded and far below the stream length.
+func TestLongStreamBoundedMemory(t *testing.T) {
+	prof := datagen.TweetsProfile().Scaled(0.3) // 2700 items
+	items := prof.Generate(3)
+	var st Stats
+	j, err := New(Options{Theta: 0.7, Lambda: 0.5, Stats: &st}) // tau ≈ 0.71
+	if err != nil {
+		t.Fatal(err)
+	}
+	peek, ok := j.inner.(*core.STR)
+	if !ok {
+		t.Fatal("default joiner is not STR")
+	}
+	peak := 0
+	for _, it := range items {
+		if _, err := j.Process(it); err != nil {
+			t.Fatal(err)
+		}
+		if sz := peek.IndexSize(); sz.PostingEntries > peak {
+			peak = sz.PostingEntries
+		}
+	}
+	if total := int(st.IndexedEntries); peak*4 > total {
+		t.Fatalf("index not forgetting: peak %d vs total inserted %d", peak, total)
+	}
+}

@@ -1,0 +1,183 @@
+package apss
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Params{0.5, 0.01}, true},
+		{Params{1, 1}, true},
+		{Params{0, 0.1}, false},
+		{Params{-0.1, 0.1}, false},
+		{Params{1.1, 0.1}, false},
+		{Params{0.5, 0}, false},
+		{Params{0.5, -1}, false},
+		{Params{math.NaN(), 1}, false},
+		{Params{0.5, math.NaN()}, false},
+		{Params{0.5, math.Inf(1)}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%+v: err=%v want ok=%v", c.p, err, c.ok)
+		}
+		if err != nil && !errors.Is(err, ErrBadParams) {
+			t.Errorf("%+v: error not wrapping ErrBadParams", c.p)
+		}
+	}
+}
+
+func TestHorizonDefinition(t *testing.T) {
+	p := Params{Theta: 0.5, Lambda: 0.01}
+	tau := p.Horizon()
+	// At exactly the horizon, the decay equals theta.
+	if math.Abs(p.Decay(tau)-p.Theta) > 1e-12 {
+		t.Fatalf("decay(tau)=%v want %v", p.Decay(tau), p.Theta)
+	}
+	// Beyond the horizon even identical vectors (dot=1) are dissimilar.
+	if p.Sim(1, tau*1.0001) >= p.Theta {
+		t.Fatal("pair beyond horizon still similar")
+	}
+}
+
+func TestSimBasics(t *testing.T) {
+	p := Params{Theta: 0.7, Lambda: 0.1}
+	if p.Sim(0.9, 0) != 0.9 {
+		t.Fatal("dt=0 should not decay")
+	}
+	if p.Sim(0.9, 10) >= 0.9 {
+		t.Fatal("decay not applied")
+	}
+}
+
+func TestFromHorizon(t *testing.T) {
+	p, err := FromHorizon(0.6, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Horizon()-120) > 1e-9 {
+		t.Fatalf("round-trip horizon = %v", p.Horizon())
+	}
+	if _, err := FromHorizon(0.6, 0); err == nil {
+		t.Fatal("tau=0 accepted")
+	}
+	if _, err := FromHorizon(0, 10); err == nil {
+		t.Fatal("theta=0 accepted")
+	}
+}
+
+func TestMatchCanonAndSort(t *testing.T) {
+	m := Match{X: 1, Y: 5}
+	c := m.Canon()
+	if c.X != 5 || c.Y != 1 {
+		t.Fatalf("canon = %+v", c)
+	}
+	ms := []Match{{X: 3, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 0}}
+	SortMatches(ms)
+	if ms[0].X != 2 || ms[1].Y != 0 || ms[2].Y != 1 {
+		t.Fatalf("sorted = %+v", ms)
+	}
+}
+
+func TestEqualMatchSets(t *testing.T) {
+	a := []Match{{X: 2, Y: 1, Sim: 0.9}, {X: 5, Y: 3, Sim: 0.8}}
+	b := []Match{{X: 3, Y: 5, Sim: 0.8}, {X: 2, Y: 1, Sim: 0.9}} // swapped order+ids
+	if !EqualMatchSets(a, b, 1e-9) {
+		t.Fatal("equivalent sets reported unequal")
+	}
+	c := []Match{{X: 2, Y: 1, Sim: 0.9}, {X: 5, Y: 4, Sim: 0.8}}
+	if EqualMatchSets(a, c, 1e-9) {
+		t.Fatal("different sets reported equal")
+	}
+	d := []Match{{X: 2, Y: 1, Sim: 0.95}, {X: 5, Y: 3, Sim: 0.8}}
+	if EqualMatchSets(a, d, 1e-9) {
+		t.Fatal("different sims reported equal")
+	}
+	if !EqualMatchSets(nil, nil, 0) {
+		t.Fatal("empty sets unequal")
+	}
+	if EqualMatchSets(a, a[:1], 1e-9) {
+		t.Fatal("different sizes equal")
+	}
+}
+
+func TestDiffMatchSets(t *testing.T) {
+	a := []Match{{X: 2, Y: 1}, {X: 4, Y: 3}}
+	b := []Match{{X: 1, Y: 2}, {X: 6, Y: 5}}
+	onlyA, onlyB := DiffMatchSets(a, b)
+	if len(onlyA) != 1 || onlyA[0].X != 4 {
+		t.Fatalf("onlyA = %+v", onlyA)
+	}
+	if len(onlyB) != 1 || onlyB[0].X != 6 {
+		t.Fatalf("onlyB = %+v", onlyB)
+	}
+}
+
+func TestKernelsBasicProperties(t *testing.T) {
+	kernels := []struct {
+		name string
+		k    Kernel
+	}{
+		{"exp", Exponential{Lambda: 0.05}},
+		{"window", SlidingWindow{Tau: 50}},
+		{"poly", Polynomial{Alpha: 0.1, P: 2}},
+	}
+	theta := 0.4
+	for _, kc := range kernels {
+		if f := kc.k.Factor(0); math.Abs(f-1) > 1e-12 {
+			t.Errorf("%s: Factor(0)=%v", kc.name, f)
+		}
+		h := kc.k.Horizon(theta)
+		if h <= 0 {
+			t.Errorf("%s: horizon=%v", kc.name, h)
+		}
+		// just beyond the horizon the factor is below theta
+		if f := kc.k.Factor(h * 1.001); f >= theta {
+			t.Errorf("%s: Factor just past horizon = %v >= theta", kc.name, f)
+		}
+	}
+}
+
+func TestExponentialKernelMatchesParams(t *testing.T) {
+	p := Params{Theta: 0.6, Lambda: 0.02}
+	k := Exponential{Lambda: p.Lambda}
+	for _, dt := range []float64{0, 1, 13.7, 200} {
+		if math.Abs(k.Factor(dt)-p.Decay(dt)) > 1e-15 {
+			t.Fatalf("kernel/params disagree at dt=%v", dt)
+		}
+	}
+	if math.Abs(k.Horizon(p.Theta)-p.Horizon()) > 1e-12 {
+		t.Fatal("horizons disagree")
+	}
+}
+
+func TestQuickKernelsMonotone(t *testing.T) {
+	kernels := []Kernel{
+		Exponential{Lambda: 0.03},
+		SlidingWindow{Tau: 30},
+		Polynomial{Alpha: 0.2, P: 1.5},
+	}
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		for _, k := range kernels {
+			fa, fb := k.Factor(a), k.Factor(b)
+			if fb > fa+1e-12 || fa > 1+1e-12 || fb < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

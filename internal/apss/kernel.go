@@ -1,0 +1,61 @@
+package apss
+
+import "math"
+
+// Kernel generalizes the time-decay factor, an extension the paper's
+// conclusion suggests ("extending our model for different definitions of
+// time-dependent similarity"). Every kernel must be non-increasing in dt
+// with Factor(0) = 1 and a finite horizon for a given θ so that time
+// filtering remains applicable.
+//
+// The paper's experiments use Exponential exclusively; STR-INV and STR-L2
+// accept any Kernel, while STR-L2AP's m̂λ bound is exponential-specific.
+type Kernel interface {
+	// Factor returns the decay multiplier for time difference dt >= 0,
+	// in [0, 1], non-increasing in dt.
+	Factor(dt float64) float64
+	// Horizon returns the smallest dt such that Factor(dt') < theta for
+	// all dt' > dt; pairs further apart can never be similar.
+	Horizon(theta float64) float64
+}
+
+// Exponential is the paper's kernel: Factor(dt) = exp(-λ·dt).
+type Exponential struct{ Lambda float64 }
+
+// Factor implements Kernel.
+func (k Exponential) Factor(dt float64) float64 { return math.Exp(-k.Lambda * dt) }
+
+// Horizon implements Kernel: τ = ln(1/θ)/λ.
+func (k Exponential) Horizon(theta float64) float64 { return math.Log(1/theta) / k.Lambda }
+
+// SlidingWindow is the hard-window kernel: full similarity inside the
+// window, zero outside. It reduces SSSJ to a classic sliding-window join.
+type SlidingWindow struct{ Tau float64 }
+
+// Factor implements Kernel.
+func (k SlidingWindow) Factor(dt float64) float64 {
+	if dt <= k.Tau {
+		return 1
+	}
+	return 0
+}
+
+// Horizon implements Kernel.
+func (k SlidingWindow) Horizon(theta float64) float64 { return k.Tau }
+
+// Polynomial decays as 1/(1+α·dt)^p, a heavier-tailed alternative to the
+// exponential kernel.
+type Polynomial struct {
+	Alpha float64 // rate α > 0
+	P     float64 // exponent p > 0
+}
+
+// Factor implements Kernel.
+func (k Polynomial) Factor(dt float64) float64 {
+	return math.Pow(1+k.Alpha*dt, -k.P)
+}
+
+// Horizon implements Kernel: solve (1+α·τ)^-p = θ.
+func (k Polynomial) Horizon(theta float64) float64 {
+	return (math.Pow(theta, -1/k.P) - 1) / k.Alpha
+}

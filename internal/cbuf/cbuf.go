@@ -1,0 +1,176 @@
+// Package cbuf implements a growable circular buffer used for posting
+// lists. Following §6.2 of the paper, the buffer doubles its capacity when
+// full and halves it when occupancy drops below one quarter, so posting
+// lists that repeatedly grow (new items) and shrink (time filtering) avoid
+// frequent small (de)allocations.
+//
+// The buffer supports O(1) append at the tail, O(1) amortized removal from
+// the head (how time filtering truncates expired entries), and in-place
+// compaction (how L2AP removes expired out-of-order entries mid-list).
+package cbuf
+
+const minCapacity = 8
+
+// Ring is a circular buffer of T. The zero value is an empty buffer ready
+// to use.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of oldest element
+	n    int // number of elements
+}
+
+// Len returns the number of buffered elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap returns the current capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// PushBack appends v at the tail, growing the buffer if full.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.resize(max(minCapacity, 2*len(r.buf)))
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// PopFront removes and returns the oldest element. It panics on an empty
+// buffer; callers check Len first.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("cbuf: PopFront on empty ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	r.maybeShrink()
+	return v
+}
+
+// TruncateFront drops the k oldest elements in O(k) zeroing but constant
+// repositioning, matching the paper's "truncating the circular buffer
+// requires constant time" remark (plus amortized shrink cost).
+func (r *Ring[T]) TruncateFront(k int) {
+	if k > r.n {
+		k = r.n
+	}
+	if k <= 0 {
+		return
+	}
+	var zero T
+	for i := 0; i < k; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head = (r.head + k) % len(r.buf)
+	r.n -= k
+	r.maybeShrink()
+}
+
+// At returns the element at logical position i (0 = oldest).
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("cbuf: index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Set overwrites the element at logical position i (0 = oldest).
+func (r *Ring[T]) Set(i int, v T) {
+	if i < 0 || i >= r.n {
+		panic("cbuf: index out of range")
+	}
+	r.buf[(r.head+i)%len(r.buf)] = v
+}
+
+// Back returns the newest element. It panics on an empty buffer.
+func (r *Ring[T]) Back() T {
+	if r.n == 0 {
+		panic("cbuf: Back on empty ring")
+	}
+	return r.At(r.n - 1)
+}
+
+// Front returns the oldest element. It panics on an empty buffer.
+func (r *Ring[T]) Front() T {
+	if r.n == 0 {
+		panic("cbuf: Front on empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// Clear empties the buffer, releasing the backing storage.
+func (r *Ring[T]) Clear() {
+	r.buf = nil
+	r.head = 0
+	r.n = 0
+}
+
+// Filter keeps only elements for which keep returns true, preserving
+// order, in place. Used by L2AP's forward scans to compact expired
+// out-of-order entries. Returns the number of removed elements.
+func (r *Ring[T]) Filter(keep func(T) bool) int {
+	w := 0
+	for i := 0; i < r.n; i++ {
+		v := r.At(i)
+		if keep(v) {
+			if w != i {
+				r.Set(w, v)
+			}
+			w++
+		}
+	}
+	removed := r.n - w
+	var zero T
+	for i := w; i < r.n; i++ {
+		r.Set(i, zero)
+	}
+	r.n = w
+	r.maybeShrink()
+	return removed
+}
+
+// Ascend calls fn on elements oldest-to-newest until fn returns false.
+func (r *Ring[T]) Ascend(fn func(i int, v T) bool) {
+	for i := 0; i < r.n; i++ {
+		if !fn(i, r.At(i)) {
+			return
+		}
+	}
+}
+
+// Descend calls fn on elements newest-to-oldest until fn returns false.
+// This is the scan order used by the time-ordered indexes (INV, L2), which
+// stop at the first expired entry.
+func (r *Ring[T]) Descend(fn func(i int, v T) bool) {
+	for i := r.n - 1; i >= 0; i-- {
+		if !fn(i, r.At(i)) {
+			return
+		}
+	}
+}
+
+// Slice copies the contents into a new slice, oldest first.
+func (r *Ring[T]) Slice() []T {
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+func (r *Ring[T]) maybeShrink() {
+	if len(r.buf) > minCapacity && r.n < len(r.buf)/4 {
+		r.resize(max(minCapacity, len(r.buf)/2))
+	}
+}
+
+func (r *Ring[T]) resize(capacity int) {
+	nb := make([]T, capacity)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head = 0
+}

@@ -1,0 +1,231 @@
+package cbuf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 100; i++ {
+		r.PushBack(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.PopFront(); got != i {
+			t.Fatalf("pop %d = %d", i, got)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len after drain = %d", r.Len())
+	}
+}
+
+func TestGrowDoubles(t *testing.T) {
+	var r Ring[int]
+	r.PushBack(1)
+	c := r.Cap()
+	for r.Cap() == c {
+		r.PushBack(1)
+	}
+	if r.Cap() != 2*c {
+		t.Fatalf("cap grew %d -> %d, want doubling", c, r.Cap())
+	}
+}
+
+func TestShrinkHalvesBelowQuarter(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 64; i++ {
+		r.PushBack(i)
+	}
+	c := r.Cap()
+	for r.Len() >= c/4 {
+		r.PopFront()
+	}
+	if r.Cap() >= c {
+		t.Fatalf("cap did not shrink: %d (was %d)", r.Cap(), c)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var r Ring[int]
+	// Force head to rotate through the backing array repeatedly.
+	for i := 0; i < 1000; i++ {
+		r.PushBack(i)
+		if i%3 == 0 {
+			r.PopFront()
+		}
+	}
+	prev := -1
+	for r.Len() > 0 {
+		v := r.PopFront()
+		if v <= prev {
+			t.Fatalf("order violated: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestTruncateFront(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 10; i++ {
+		r.PushBack(i)
+	}
+	r.TruncateFront(4)
+	if r.Len() != 6 || r.Front() != 4 || r.Back() != 9 {
+		t.Fatalf("after truncate: len=%d front=%d back=%d", r.Len(), r.Front(), r.Back())
+	}
+	r.TruncateFront(100) // clamp
+	if r.Len() != 0 {
+		t.Fatalf("truncate beyond len: %d", r.Len())
+	}
+	r.TruncateFront(-1) // no-op
+}
+
+func TestAtSetBackFront(t *testing.T) {
+	var r Ring[string]
+	r.PushBack("a")
+	r.PushBack("b")
+	r.PushBack("c")
+	if r.At(0) != "a" || r.At(2) != "c" || r.Front() != "a" || r.Back() != "c" {
+		t.Fatal("accessors wrong")
+	}
+	r.Set(1, "B")
+	if r.At(1) != "B" {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	var r Ring[int]
+	expectPanic("PopFront", func() { r.PopFront() })
+	expectPanic("Back", func() { r.Back() })
+	expectPanic("Front", func() { r.Front() })
+	expectPanic("At", func() { r.At(0) })
+	expectPanic("Set", func() { r.Set(0, 1) })
+}
+
+func TestFilter(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 20; i++ {
+		r.PushBack(i)
+	}
+	// rotate so the buffer wraps
+	for i := 0; i < 5; i++ {
+		r.PopFront()
+		r.PushBack(20 + i)
+	}
+	removed := r.Filter(func(v int) bool { return v%2 == 0 })
+	if removed != 10 {
+		t.Fatalf("removed = %d", removed)
+	}
+	prev := -1
+	r.Ascend(func(i, v int) bool {
+		if v%2 != 0 || v <= prev {
+			t.Fatalf("bad element %d at %d", v, i)
+		}
+		prev = v
+		return true
+	})
+}
+
+func TestAscendDescendEarlyStop(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 10; i++ {
+		r.PushBack(i)
+	}
+	count := 0
+	r.Ascend(func(i, v int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("ascend visited %d", count)
+	}
+	var seen []int
+	r.Descend(func(i, v int) bool { seen = append(seen, v); return v > 7 })
+	if len(seen) != 3 || seen[0] != 9 || seen[2] != 7 {
+		t.Fatalf("descend = %v", seen)
+	}
+}
+
+func TestClearAndSlice(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 5; i++ {
+		r.PushBack(i)
+	}
+	s := r.Slice()
+	if len(s) != 5 || s[0] != 0 || s[4] != 4 {
+		t.Fatalf("slice = %v", s)
+	}
+	r.Clear()
+	if r.Len() != 0 || r.Cap() != 0 {
+		t.Fatal("clear did not release")
+	}
+	r.PushBack(7) // usable after Clear
+	if r.Front() != 7 {
+		t.Fatal("unusable after Clear")
+	}
+}
+
+// TestQuickModelConformance compares the ring against a plain-slice model
+// under a random operation sequence.
+func TestQuickModelConformance(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		var ring Ring[int]
+		var model []int
+		for op := 0; op < 500; op++ {
+			switch rr.Intn(4) {
+			case 0, 1:
+				v := rr.Int()
+				ring.PushBack(v)
+				model = append(model, v)
+			case 2:
+				if len(model) > 0 {
+					if ring.PopFront() != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				k := rr.Intn(4)
+				ring.TruncateFront(k)
+				if k > len(model) {
+					k = len(model)
+				}
+				model = model[k:]
+			}
+			if ring.Len() != len(model) {
+				return false
+			}
+		}
+		for i, v := range model {
+			if ring.At(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var r Ring[int64]
+	for i := 0; i < b.N; i++ {
+		r.PushBack(int64(i))
+		if r.Len() > 1024 {
+			r.TruncateFront(512)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package core implements the two algorithmic frameworks of the paper on
+// top of the index packages:
+//
+//   - STR-IDX (Algorithm 5): one streaming index, query-then-insert, fully
+//     online results.
+//   - MB-IDX (Algorithm 1, with the §6.1 two-window max-vector fix): a
+//     pipeline of two batch indexes over consecutive windows of length τ,
+//     using any static index as a black box.
+//
+// It also provides the brute-force sliding-window join used as the
+// correctness oracle throughout the test suite.
+package core
+
+import (
+	"io"
+
+	"sssj/internal/apss"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// Joiner consumes a stream and emits SSSJ matches. Implementations are
+// single-threaded, as in the paper's evaluation.
+type Joiner interface {
+	// Add processes the next stream item (non-decreasing timestamps) and
+	// returns the matches it can already report.
+	Add(x stream.Item) ([]apss.Match, error)
+	// Flush reports matches still buffered at end of stream. MiniBatch
+	// holds up to two windows back; STR and BruteForce buffer nothing.
+	Flush() ([]apss.Match, error)
+}
+
+// Run drains src through j and returns all matches.
+func Run(j Joiner, src stream.Source) ([]apss.Match, error) {
+	var out []apss.Match
+	for {
+		it, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		ms, err := j.Add(it)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ms...)
+	}
+	ms, err := j.Flush()
+	if err != nil {
+		return out, err
+	}
+	return append(out, ms...), nil
+}
+
+// ApplyDecay converts a raw-dot pair from a static index into a Match,
+// applying the time-decay factor and the threshold (the report filter of
+// Algorithm 1). ok is false when the decayed similarity is below θ.
+func ApplyDecay(p apss.Pair, params apss.Params, tx, ty float64) (apss.Match, bool) {
+	dt := tx - ty
+	if dt < 0 {
+		dt = -dt
+	}
+	sim := params.Sim(p.Dot, dt)
+	if sim < params.Theta {
+		return apss.Match{}, false
+	}
+	return apss.Match{X: p.X, Y: p.Y, Sim: sim, Dot: p.Dot, DT: dt}, true
+}
+
+// BruteForce is the quadratic sliding-window reference join: exact by
+// construction, used as the oracle in tests and as the unindexed baseline
+// in benchmarks.
+type BruteForce struct {
+	params apss.Params
+	tau    float64
+	window []stream.Item
+	c      *metrics.Counters
+	now    float64
+	begun  bool
+}
+
+// NewBruteForce returns a brute-force joiner. counters may be nil.
+func NewBruteForce(params apss.Params, counters *metrics.Counters) (*BruteForce, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	return &BruteForce{params: params, tau: params.Horizon(), c: counters}, nil
+}
+
+// Add implements Joiner.
+func (b *BruteForce) Add(x stream.Item) ([]apss.Match, error) {
+	if b.begun && x.Time < b.now {
+		return nil, stream.ErrOutOfOrder
+	}
+	b.begun = true
+	b.now = x.Time
+	b.c.Items++
+
+	// Evict items beyond the horizon.
+	start := 0
+	for start < len(b.window) && x.Time-b.window[start].Time > b.tau {
+		start++
+	}
+	if start > 0 {
+		b.window = append(b.window[:0], b.window[start:]...)
+	}
+
+	var out []apss.Match
+	for _, y := range b.window {
+		b.c.FullDots++
+		dt := x.Time - y.Time
+		dot := vec.Dot(x.Vec, y.Vec)
+		if sim := b.params.Sim(dot, dt); sim >= b.params.Theta {
+			out = append(out, apss.Match{X: x.ID, Y: y.ID, Sim: sim, Dot: dot, DT: dt})
+		}
+	}
+	b.c.Pairs += int64(len(out))
+	b.window = append(b.window, x)
+	return out, nil
+}
+
+// Flush implements Joiner; brute force reports everything online.
+func (b *BruteForce) Flush() ([]apss.Match, error) { return nil, nil }
+
+// WindowSize reports the number of items currently retained.
+func (b *BruteForce) WindowSize() int { return len(b.window) }

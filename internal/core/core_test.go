@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sssj/internal/apss"
+	"sssj/internal/index/static"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// joinerSpec enumerates every framework × index combination under test.
+type joinerSpec struct {
+	name string
+	mk   func(p apss.Params, c *metrics.Counters) (Joiner, error)
+}
+
+func allJoiners() []joinerSpec {
+	specs := []joinerSpec{}
+	for _, k := range streaming.Kinds() {
+		k := k
+		specs = append(specs, joinerSpec{
+			name: "STR-" + k.String(),
+			mk: func(p apss.Params, c *metrics.Counters) (Joiner, error) {
+				return NewSTR(k, p, c)
+			},
+		})
+	}
+	for _, k := range static.Kinds() {
+		k := k
+		specs = append(specs, joinerSpec{
+			name: "MB-" + k.String(),
+			mk: func(p apss.Params, c *metrics.Counters) (Joiner, error) {
+				return NewMiniBatch(k, p, c)
+			},
+		})
+	}
+	return specs
+}
+
+// randomStream generates a stream with planted similar pairs, bursts,
+// silent gaps, and occasional new per-dimension maxima (which force
+// STR-L2AP re-indexing).
+func randomStream(r *rand.Rand, n, maxDim, maxNNZ int) []stream.Item {
+	items := make([]stream.Item, 0, n)
+	tm := 0.0
+	var recent []vec.Vector
+	for i := 0; i < n; i++ {
+		switch r.Intn(10) {
+		case 0: // silent gap, possibly longer than typical horizons
+			tm += 5 + 40*r.Float64()
+		case 1, 2: // burst: same or nearly-same timestamp
+			if r.Intn(2) == 0 {
+				tm += 0.001
+			}
+		default:
+			tm += r.Float64()
+		}
+		var v vec.Vector
+		if len(recent) > 0 && r.Float64() < 0.35 {
+			// near-duplicate of a recent vector
+			base := recent[r.Intn(len(recent))]
+			m := map[uint32]float64{}
+			for k, d := range base.Dims {
+				m[d] = base.Vals[k] * (0.85 + 0.3*r.Float64())
+			}
+			if r.Intn(2) == 0 {
+				m[uint32(r.Intn(maxDim))] = 0.1 * r.Float64()
+			}
+			v = vec.FromMap(m).Normalize()
+		} else {
+			nnz := 1 + r.Intn(maxNNZ)
+			m := map[uint32]float64{}
+			for j := 0; j < nnz; j++ {
+				val := 0.05 + r.Float64()
+				if r.Float64() < 0.05 {
+					val *= 10 // spike: new per-dimension maximum
+				}
+				m[uint32(r.Intn(maxDim))] = val
+			}
+			v = vec.FromMap(m).Normalize()
+		}
+		recent = append(recent, v)
+		if len(recent) > 8 {
+			recent = recent[1:]
+		}
+		items = append(items, stream.Item{ID: uint64(i), Time: tm, Vec: v})
+	}
+	return items
+}
+
+func runJoiner(t *testing.T, spec joinerSpec, p apss.Params, items []stream.Item) []apss.Match {
+	t.Helper()
+	j, err := spec.mk(p, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", spec.name, err)
+	}
+	got, err := Run(j, stream.NewSliceSource(items))
+	if err != nil {
+		t.Fatalf("%s: %v", spec.name, err)
+	}
+	return got
+}
+
+func oracle(t *testing.T, p apss.Params, items []stream.Item) []apss.Match {
+	t.Helper()
+	bf, err := NewBruteForce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(bf, stream.NewSliceSource(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func requireSameMatches(t *testing.T, label string, got, want []apss.Match) {
+	t.Helper()
+	if apss.EqualMatchSets(got, want, 1e-9) {
+		return
+	}
+	onlyGot, onlyWant := apss.DiffMatchSets(got, want)
+	t.Fatalf("%s: %d matches, oracle %d\nfalse positives: %+v\nmissed: %+v",
+		label, len(got), len(want), onlyGot, onlyWant)
+}
+
+// TestAllJoinersMatchOracle is the central correctness test: every
+// framework × index combination must produce exactly the oracle's result
+// set across a (θ, λ) grid and several random streams.
+func TestAllJoinersMatchOracle(t *testing.T) {
+	grid := []apss.Params{
+		{Theta: 0.3, Lambda: 0.05},
+		{Theta: 0.6, Lambda: 0.05},
+		{Theta: 0.9, Lambda: 0.5},
+		{Theta: 0.99, Lambda: 0.01},
+		{Theta: 0.5, Lambda: 2}, // very short horizon
+	}
+	specs := allJoiners()
+	for _, p := range grid {
+		for seed := int64(0); seed < 4; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			items := randomStream(r, 150, 30, 6)
+			want := oracle(t, p, items)
+			for _, spec := range specs {
+				got := runJoiner(t, spec, p, items)
+				requireSameMatches(t,
+					fmt.Sprintf("%s theta=%v lambda=%v seed=%d", spec.name, p.Theta, p.Lambda, seed),
+					got, want)
+			}
+		}
+	}
+}
+
+// TestQuickJoinersMatchOracle fuzzes more stream shapes via testing/quick.
+func TestQuickJoinersMatchOracle(t *testing.T) {
+	specs := allJoiners()
+	f := func(seed int64, thetaPick, lambdaPick uint8) bool {
+		thetas := []float64{0.25, 0.5, 0.7, 0.85, 0.95}
+		lambdas := []float64{0.01, 0.1, 0.5, 1.5}
+		p := apss.Params{
+			Theta:  thetas[int(thetaPick)%len(thetas)],
+			Lambda: lambdas[int(lambdaPick)%len(lambdas)],
+		}
+		r := rand.New(rand.NewSource(seed))
+		items := randomStream(r, 80, 20, 5)
+		bf, _ := NewBruteForce(p, nil)
+		want, err := Run(bf, stream.NewSliceSource(items))
+		if err != nil {
+			return false
+		}
+		for _, spec := range specs {
+			j, err := spec.mk(p, nil)
+			if err != nil {
+				return false
+			}
+			got, err := Run(j, stream.NewSliceSource(items))
+			if err != nil {
+				return false
+			}
+			if !apss.EqualMatchSets(got, want, 1e-9) {
+				t.Logf("%s diverged at theta=%v lambda=%v seed=%d", spec.name, p.Theta, p.Lambda, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdenticalTimestampsBurst(t *testing.T) {
+	// All items arrive at the same instant: no decay at all; every pair
+	// with dot ≥ θ must be found by every joiner.
+	v1 := vec.MustNew([]uint32{1, 2}, []float64{3, 4}).Normalize()
+	v2 := vec.MustNew([]uint32{1, 2}, []float64{4, 3}).Normalize()
+	items := []stream.Item{
+		{ID: 0, Time: 7, Vec: v1},
+		{ID: 1, Time: 7, Vec: v2},
+		{ID: 2, Time: 7, Vec: v1},
+	}
+	p := apss.Params{Theta: 0.9, Lambda: 0.1}
+	want := oracle(t, p, items)
+	if len(want) != 3 {
+		t.Fatalf("oracle found %d pairs, want 3", len(want))
+	}
+	for _, spec := range allJoiners() {
+		requireSameMatches(t, spec.name, runJoiner(t, spec, p, items), want)
+	}
+}
+
+func TestGapLongerThanHorizon(t *testing.T) {
+	// Identical vectors separated by more than τ must NOT match.
+	v := vec.MustNew([]uint32{5}, []float64{1})
+	p := apss.Params{Theta: 0.5, Lambda: 0.1} // tau ≈ 6.93
+	items := []stream.Item{
+		{ID: 0, Time: 0, Vec: v},
+		{ID: 1, Time: 100, Vec: v},
+		{ID: 2, Time: 100.5, Vec: v},
+	}
+	want := oracle(t, p, items)
+	if len(want) != 1 {
+		t.Fatalf("oracle found %d pairs, want 1", len(want))
+	}
+	for _, spec := range allJoiners() {
+		requireSameMatches(t, spec.name, runJoiner(t, spec, p, items), want)
+	}
+}
+
+func TestHorizonBoundaryExact(t *testing.T) {
+	// Two identical vectors exactly τ apart: sim = e^{-λτ} = θ, which
+	// satisfies ≥ θ and must be reported by everyone.
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	tau := p.Horizon()
+	v := vec.MustNew([]uint32{3}, []float64{1})
+	items := []stream.Item{
+		{ID: 0, Time: 0, Vec: v},
+		{ID: 1, Time: tau, Vec: v},
+	}
+	want := oracle(t, p, items)
+	if len(want) != 1 {
+		t.Fatalf("oracle found %d pairs, want 1", len(want))
+	}
+	for _, spec := range allJoiners() {
+		requireSameMatches(t, spec.name, runJoiner(t, spec, p, items), want)
+	}
+}
+
+func TestEmptyAndSingleItemStreams(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	for _, spec := range allJoiners() {
+		if got := runJoiner(t, spec, p, nil); len(got) != 0 {
+			t.Fatalf("%s: matches from empty stream", spec.name)
+		}
+		one := []stream.Item{{ID: 0, Time: 1, Vec: vec.MustNew([]uint32{1}, []float64{1})}}
+		if got := runJoiner(t, spec, p, one); len(got) != 0 {
+			t.Fatalf("%s: matches from single item", spec.name)
+		}
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	for _, spec := range allJoiners() {
+		j, err := spec.mk(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Add(stream.Item{ID: 0, Time: 10, Vec: v}); err != nil {
+			t.Fatalf("%s: first add failed: %v", spec.name, err)
+		}
+		if _, err := j.Add(stream.Item{ID: 1, Time: 5, Vec: v}); err == nil {
+			t.Fatalf("%s: out-of-order item accepted", spec.name)
+		}
+	}
+}
+
+func TestSTRReportsOnline(t *testing.T) {
+	// STR must report a match on the very Add that completes the pair.
+	p := apss.Params{Theta: 0.8, Lambda: 0.01}
+	v := vec.MustNew([]uint32{2, 4}, []float64{1, 1}).Normalize()
+	for _, k := range streaming.Kinds() {
+		j, err := NewSTR(k, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := j.Add(stream.Item{ID: 0, Time: 0, Vec: v})
+		if err != nil || len(ms) != 0 {
+			t.Fatalf("STR-%v: unexpected first-add result %v %v", k, ms, err)
+		}
+		ms, err = j.Add(stream.Item{ID: 1, Time: 1, Vec: v})
+		if err != nil || len(ms) != 1 {
+			t.Fatalf("STR-%v: want online match, got %v %v", k, ms, err)
+		}
+		if ms[0].X != 1 || ms[0].Y != 0 {
+			t.Fatalf("STR-%v: match ids %+v", k, ms[0])
+		}
+	}
+}
+
+func TestMiniBatchDelaysButCompletes(t *testing.T) {
+	// MB may return matches later than STR, but after Flush the set is
+	// complete. Also verifies rotation across empty windows.
+	p := apss.Params{Theta: 0.8, Lambda: 0.5} // tau ≈ 0.446
+	v := vec.MustNew([]uint32{2}, []float64{1})
+	items := []stream.Item{
+		{ID: 0, Time: 0, Vec: v},
+		{ID: 1, Time: 0.1, Vec: v},
+		{ID: 2, Time: 50, Vec: v}, // many empty windows in between
+		{ID: 3, Time: 50.05, Vec: v},
+	}
+	want := oracle(t, p, items)
+	if len(want) != 2 {
+		t.Fatalf("oracle found %d pairs, want 2", len(want))
+	}
+	for _, k := range static.Kinds() {
+		j, err := NewMiniBatch(k, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(j, stream.NewSliceSource(items))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameMatches(t, "MB-"+k.String(), got, want)
+	}
+}
+
+func TestMiniBatchWithDimensionOrders(t *testing.T) {
+	p := apss.Params{Theta: 0.6, Lambda: 0.1}
+	r := rand.New(rand.NewSource(3))
+	items := randomStream(r, 120, 25, 6)
+	want := oracle(t, p, items)
+	for _, k := range static.Kinds() {
+		for _, ord := range []static.Order{static.OrderDocFreqAsc, static.OrderMaxValueDesc} {
+			j, err := NewMiniBatch(k, p, nil, WithOrder(ord))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(j, stream.NewSliceSource(items))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMatches(t, fmt.Sprintf("MB-%v order=%v", k, ord), got, want)
+		}
+	}
+}
+
+func TestSTRAlternativeKernels(t *testing.T) {
+	// Extension: STR-INV and STR-L2 support non-exponential kernels.
+	// Oracle: brute force re-implemented inline with the kernel.
+	kernels := []apss.Kernel{
+		apss.SlidingWindow{Tau: 5},
+		apss.Polynomial{Alpha: 0.3, P: 2},
+	}
+	p := apss.Params{Theta: 0.6, Lambda: 0.1} // lambda unused by the kernels
+	r := rand.New(rand.NewSource(9))
+	items := randomStream(r, 100, 20, 5)
+	for _, kern := range kernels {
+		tau := kern.Horizon(p.Theta)
+		var want []apss.Match
+		for i := 1; i < len(items); i++ {
+			for j := 0; j < i; j++ {
+				dt := items[i].Time - items[j].Time
+				if dt > tau {
+					continue
+				}
+				dot := vec.Dot(items[i].Vec, items[j].Vec)
+				if sim := dot * kern.Factor(dt); sim >= p.Theta {
+					want = append(want, apss.Match{X: items[i].ID, Y: items[j].ID, Sim: sim, Dot: dot, DT: dt})
+				}
+			}
+		}
+		for _, k := range []streaming.Kind{streaming.INV, streaming.L2} {
+			j, err := NewSTRWithKernel(k, p, kern, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(j, stream.NewSliceSource(items))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameMatches(t, fmt.Sprintf("STR-%v kernel=%T", k, kern), got, want)
+		}
+	}
+}
+
+func TestSTRL2APRejectsNonExponentialKernel(t *testing.T) {
+	_, err := NewSTRWithKernel(streaming.L2AP, apss.Params{Theta: 0.5, Lambda: 0.1},
+		apss.SlidingWindow{Tau: 5}, nil)
+	if err == nil {
+		t.Fatal("L2AP accepted a non-exponential kernel")
+	}
+}
+
+func TestApplyDecay(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	pair := apss.Pair{X: 2, Y: 1, Dot: 0.9}
+	m, ok := ApplyDecay(pair, p, 10, 9)
+	if !ok || m.DT != 1 || m.Sim >= 0.9 || m.Sim < p.Theta {
+		t.Fatalf("m=%+v ok=%v", m, ok)
+	}
+	// reversed times give the same result
+	m2, ok2 := ApplyDecay(pair, p, 9, 10)
+	if !ok2 || m2.Sim != m.Sim {
+		t.Fatal("ApplyDecay not symmetric in time")
+	}
+	// beyond horizon: filtered
+	if _, ok := ApplyDecay(pair, p, 100, 0); ok {
+		t.Fatal("decayed pair above threshold")
+	}
+}
+
+func TestBruteForceWindowEviction(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 1} // tau ≈ 0.69
+	bf, err := NewBruteForce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	for i := 0; i < 100; i++ {
+		if _, err := bf.Add(stream.Item{ID: uint64(i), Time: float64(i), Vec: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bf.WindowSize() > 2 {
+		t.Fatalf("window retained %d items", bf.WindowSize())
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	r := rand.New(rand.NewSource(4))
+	items := randomStream(r, 100, 20, 5)
+	for _, spec := range allJoiners() {
+		var c metrics.Counters
+		j, err := spec.mk(p, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(j, stream.NewSliceSource(items)); err != nil {
+			t.Fatal(err)
+		}
+		if c.Items != int64(len(items)) {
+			t.Fatalf("%s: items=%d want %d", spec.name, c.Items, len(items))
+		}
+		if c.EntriesTraversed == 0 {
+			t.Fatalf("%s: no entries traversed", spec.name)
+		}
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	bad := apss.Params{Theta: 0, Lambda: 0.1}
+	if _, err := NewBruteForce(bad, nil); err == nil {
+		t.Fatal("brute force accepted bad params")
+	}
+	if _, err := NewSTR(streaming.L2, bad, nil); err == nil {
+		t.Fatal("STR accepted bad params")
+	}
+	if _, err := NewMiniBatch(static.L2, bad, nil); err == nil {
+		t.Fatal("MB accepted bad params")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sssj/internal/apss"
+	"sssj/internal/index/static"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// MiniBatch is the MB framework (Algorithm 1) with the §6.1 refinement:
+// the stream is cut into windows of length τ; at each window boundary the
+// previous window is indexed with a static index — its max vector merged
+// with the current window's, so the AP b1 bound covers the queries — all
+// intra-window pairs are reported, and the current window's items are
+// replayed as queries against it for the cross-window pairs.
+//
+// Consequences the paper calls out: matches are reported with up to 2τ
+// delay, pairs up to 2τ apart are tested (and discarded by ApplyDecay),
+// and a fresh index is built every τ time units.
+type MiniBatch struct {
+	params apss.Params
+	kind   static.Kind
+	order  static.Order
+	c      *metrics.Counters
+	tau    float64
+
+	t0      float64 // start of the current window
+	prev    []stream.Item
+	prevMax vec.MaxTracker
+	cur     []stream.Item
+	curMax  vec.MaxTracker
+	begun   bool
+	now     float64
+}
+
+// MBOption customizes a MiniBatch joiner.
+type MBOption func(*MiniBatch)
+
+// WithOrder selects a dimension-ordering strategy for the per-window
+// static indexes (extension; default OrderNone as in the paper).
+func WithOrder(o static.Order) MBOption {
+	return func(mb *MiniBatch) { mb.order = o }
+}
+
+// NewMiniBatch builds an MB joiner over the given static index kind.
+// counters may be nil.
+func NewMiniBatch(kind static.Kind, params apss.Params, counters *metrics.Counters, opts ...MBOption) (*MiniBatch, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	mb := &MiniBatch{
+		params:  params,
+		kind:    kind,
+		c:       counters,
+		tau:     params.Horizon(),
+		prevMax: vec.NewMaxTracker(),
+		curMax:  vec.NewMaxTracker(),
+	}
+	for _, o := range opts {
+		o(mb)
+	}
+	return mb, nil
+}
+
+// Add implements Joiner. Matches are returned when window boundaries are
+// crossed; call Flush at end of stream.
+func (mb *MiniBatch) Add(x stream.Item) ([]apss.Match, error) {
+	if mb.begun && x.Time < mb.now {
+		return nil, stream.ErrOutOfOrder
+	}
+	if !mb.begun {
+		mb.begun = true
+		mb.t0 = x.Time
+	}
+	mb.now = x.Time
+	mb.c.Items++
+
+	var out []apss.Match
+	// Rotate windows until x falls inside the current one.
+	for x.Time >= mb.t0+mb.tau {
+		out = append(out, mb.rotate()...)
+		mb.t0 += mb.tau
+	}
+	mb.cur = append(mb.cur, x)
+	mb.curMax.Update(x.Vec)
+	return out, nil
+}
+
+// Flush implements Joiner: processes the last (possibly partial) windows.
+func (mb *MiniBatch) Flush() ([]apss.Match, error) {
+	if !mb.begun {
+		return nil, nil
+	}
+	out := mb.rotate() // index old prev, join with cur, promote cur
+	// The promoted window still holds unreported intra-window pairs.
+	out = append(out, mb.rotate()...)
+	return out, nil
+}
+
+// rotate closes the current window: builds a static index over the
+// previous window (max vector merged per §6.1), reports its intra-window
+// pairs, queries it with every current-window item for cross-window
+// pairs, then shifts cur → prev.
+func (mb *MiniBatch) rotate() []apss.Match {
+	var out []apss.Match
+	if len(mb.prev) > 0 {
+		mb.c.IndexBuilds++
+		idx := static.New(mb.kind, mb.params.Theta, static.Options{
+			ExternalMax: mb.curMax,
+			Counters:    mb.c,
+			Order:       mb.order,
+		})
+		times := make(map[uint64]float64, len(mb.prev))
+		for _, it := range mb.prev {
+			times[it.ID] = it.Time
+		}
+		// Intra-window pairs (IndConstr), reported with delay.
+		for _, p := range idx.Build(mb.prev) {
+			if m, ok := ApplyDecay(p, mb.params, times[p.X], times[p.Y]); ok {
+				out = append(out, m)
+			}
+		}
+		// Cross-window pairs (CandGen + CandVer per query).
+		for _, q := range mb.cur {
+			for _, p := range idx.Query(q) {
+				if m, ok := ApplyDecay(p, mb.params, q.Time, times[p.Y]); ok {
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	mb.prev, mb.cur = mb.cur, mb.prev[:0]
+	mb.prevMax, mb.curMax = mb.curMax, mb.prevMax
+	clear(mb.curMax)
+	mb.c.Pairs += int64(len(out))
+	return out
+}
+
+// WindowSizes reports the buffered item counts (previous, current).
+func (mb *MiniBatch) WindowSizes() (prev, cur int) { return len(mb.prev), len(mb.cur) }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/index/streaming"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// errSource fails after yielding n items.
+type errSource struct {
+	n   int
+	t   float64
+	err error
+}
+
+func (s *errSource) Next() (stream.Item, error) {
+	if s.n <= 0 {
+		return stream.Item{}, s.err
+	}
+	s.n--
+	s.t++
+	return stream.Item{ID: uint64(s.n), Time: s.t, Vec: vec.MustNew([]uint32{1}, []float64{1})}, nil
+}
+
+func TestRunPropagatesSourceError(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	j, err := NewSTR(streaming.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	ms, err := Run(j, &errSource{n: 3, err: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Matches found before the failure are still returned.
+	if len(ms) == 0 {
+		t.Fatal("pre-failure matches lost")
+	}
+}
+
+func TestRunPropagatesJoinerError(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	j, err := NewSTR(streaming.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []stream.Item{
+		{ID: 0, Time: 5, Vec: vec.MustNew([]uint32{1}, []float64{1})},
+		{ID: 1, Time: 1, Vec: vec.MustNew([]uint32{1}, []float64{1})}, // out of order
+	}
+	_, err = Run(j, stream.NewSliceSource(items))
+	if err == nil {
+		t.Fatal("joiner error swallowed")
+	}
+}
+
+func TestRunCleanEOF(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	j, err := NewSTR(streaming.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := Run(j, stream.NewSliceSource(nil))
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("empty run: %v %v", ms, err)
+	}
+}
+
+// flushErrJoiner fails only at Flush, to cover Run's tail path.
+type flushErrJoiner struct{ err error }
+
+func (f *flushErrJoiner) Add(stream.Item) ([]apss.Match, error) { return nil, nil }
+func (f *flushErrJoiner) Flush() ([]apss.Match, error)          { return nil, f.err }
+
+func TestRunPropagatesFlushError(t *testing.T) {
+	boom := errors.New("flush boom")
+	_, err := Run(&flushErrJoiner{err: boom}, stream.NewSliceSource([]stream.Item{{Time: 1}}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

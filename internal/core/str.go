@@ -1,0 +1,71 @@
+package core
+
+import (
+	"io"
+
+	"sssj/internal/apss"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+// STR is the Streaming framework (Algorithm 5): a thin driver over a
+// streaming index. Every match is reported as soon as its younger item
+// arrives — no delay, unlike MiniBatch.
+type STR struct {
+	idx streaming.Index
+}
+
+// NewSTR builds an STR joiner with the given streaming index kind.
+func NewSTR(kind streaming.Kind, params apss.Params, counters *metrics.Counters) (*STR, error) {
+	return NewSTRFull(kind, params, streaming.Options{Counters: counters})
+}
+
+// NewSTRWithKernel builds an STR joiner using a non-default decay kernel
+// (extension; see apss.Kernel).
+func NewSTRWithKernel(kind streaming.Kind, params apss.Params, kernel apss.Kernel, counters *metrics.Counters) (*STR, error) {
+	return NewSTRFull(kind, params, streaming.Options{Counters: counters, Kernel: kernel})
+}
+
+// NewSTRFull builds an STR joiner with full control over the streaming
+// index options (kernel, ablations, dimension-ordering warmup).
+func NewSTRFull(kind streaming.Kind, params apss.Params, opts streaming.Options) (*STR, error) {
+	idx, err := streaming.New(kind, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &STR{idx: idx}, nil
+}
+
+// Add implements Joiner.
+func (s *STR) Add(x stream.Item) ([]apss.Match, error) { return s.idx.Add(x) }
+
+// warmupFinisher is implemented by indexes that may hold back matches
+// until a warmup completes (the dimension-ordering extension).
+type warmupFinisher interface {
+	FinishWarmup() ([]apss.Match, error)
+}
+
+// Flush implements Joiner. STR reports everything online, except when
+// the index runs a dimension-ordering warmup that the stream ended
+// before completing — Flush releases those buffered matches.
+func (s *STR) Flush() ([]apss.Match, error) {
+	if wf, ok := s.idx.(warmupFinisher); ok {
+		return wf.FinishWarmup()
+	}
+	return nil, nil
+}
+
+// IndexSize exposes current index occupancy.
+func (s *STR) IndexSize() streaming.SizeInfo { return s.idx.Size() }
+
+// SaveIndex checkpoints the underlying streaming index (see
+// streaming.Save).
+func (s *STR) SaveIndex(w io.Writer) error { return streaming.Save(s.idx, w) }
+
+// NewSTRFromIndex wraps an existing streaming index (typically one
+// restored by streaming.Load) in the STR framework.
+func NewSTRFromIndex(idx streaming.Index) *STR { return &STR{idx: idx} }
+
+// IndexParams returns the join parameters of the underlying index.
+func (s *STR) IndexParams() apss.Params { return s.idx.Params() }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"sssj/internal/apss"
+	"sssj/internal/lhmap"
+	"sssj/internal/stream"
+)
+
+// TopK turns the threshold join into a bounded-neighborhood join: for
+// every stream item it reports the k most similar items within the time
+// horizon (both older and newer neighbors). The paper notes that low-θ
+// configurations are "useful for recommender systems" (§7.1 Q1); TopK is
+// the operator such an application actually wants on top of the join.
+//
+// An item's neighborhood is complete only once the stream has advanced τ
+// past its arrival — until then a newer, more similar neighbor may still
+// arrive — so results are emitted with that delay, and Flush drains the
+// rest. TopK requires an online joiner (STR or BruteForce); MiniBatch's
+// own reporting delay would violate the finalization rule.
+type TopK struct {
+	j     Joiner
+	k     int
+	tau   float64
+	open  *lhmap.Map[uint64, *neighborhood] // in arrival order = time order
+	begun bool
+	now   float64
+}
+
+// Neighbors is one item's finalized top-k result.
+type Neighbors struct {
+	ID      uint64
+	Time    float64
+	Matches []apss.Match // at most k, sorted by decreasing similarity
+}
+
+// neighborhood is the bounded best-k heap kept while an item is open.
+type neighborhood struct {
+	id   uint64
+	t    float64
+	heap simHeap
+	k    int
+}
+
+// simHeap is a min-heap on similarity, so the worst of the current best-k
+// sits at the root.
+type simHeap []apss.Match
+
+func (h simHeap) Len() int            { return len(h) }
+func (h simHeap) Less(i, j int) bool  { return h[i].Sim < h[j].Sim }
+func (h simHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x interface{}) { *h = append(*h, x.(apss.Match)) }
+func (h *simHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (nb *neighborhood) offer(m apss.Match) {
+	if nb.heap.Len() < nb.k {
+		heap.Push(&nb.heap, m)
+		return
+	}
+	if m.Sim > nb.heap[0].Sim {
+		nb.heap[0] = m
+		heap.Fix(&nb.heap, 0)
+	}
+}
+
+func (nb *neighborhood) finalize() Neighbors {
+	ms := make([]apss.Match, len(nb.heap))
+	copy(ms, nb.heap)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Sim > ms[j].Sim })
+	return Neighbors{ID: nb.id, Time: nb.t, Matches: ms}
+}
+
+// NewTopK wraps an online joiner. tau must be the joiner's horizon; k >= 1.
+func NewTopK(j Joiner, k int, tau float64) (*TopK, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: top-k needs k >= 1, got %d", k)
+	}
+	if _, isMB := j.(*MiniBatch); isMB {
+		return nil, fmt.Errorf("core: top-k requires an online joiner, not MiniBatch")
+	}
+	if !(tau > 0) {
+		return nil, fmt.Errorf("core: top-k needs tau > 0, got %v", tau)
+	}
+	return &TopK{j: j, k: k, tau: tau, open: lhmap.New[uint64, *neighborhood]()}, nil
+}
+
+// Add processes the next item and returns the neighborhoods that became
+// final (their items are now τ old).
+func (tk *TopK) Add(x stream.Item) ([]Neighbors, error) {
+	if tk.begun && x.Time < tk.now {
+		return nil, stream.ErrOutOfOrder
+	}
+	tk.begun = true
+	tk.now = x.Time
+
+	ms, err := tk.j.Add(x)
+	if err != nil {
+		return nil, err
+	}
+	tk.open.Put(x.ID, &neighborhood{id: x.ID, t: x.Time, k: tk.k})
+	for _, m := range ms {
+		// The match touches the new item (m.X == x.ID) and an older open
+		// item (m.Y); both neighborhoods gain a neighbor.
+		if nb, ok := tk.open.Get(m.X); ok {
+			nb.offer(m)
+		}
+		if nb, ok := tk.open.Get(m.Y); ok {
+			nb.offer(m.Flipped())
+		}
+	}
+	var out []Neighbors
+	tk.open.PruneWhile(func(_ uint64, nb *neighborhood) bool {
+		if x.Time-nb.t <= tk.tau {
+			return false
+		}
+		out = append(out, nb.finalize())
+		return true
+	})
+	return out, nil
+}
+
+// Flush finalizes all still-open neighborhoods, in arrival order.
+func (tk *TopK) Flush() ([]Neighbors, error) {
+	if _, err := tk.j.Flush(); err != nil {
+		return nil, err
+	}
+	var out []Neighbors
+	tk.open.PruneWhile(func(_ uint64, nb *neighborhood) bool {
+		out = append(out, nb.finalize())
+		return true
+	})
+	return out, nil
+}
+
+// Open reports how many items are awaiting finalization.
+func (tk *TopK) Open() int { return tk.open.Len() }

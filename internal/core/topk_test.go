@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/index/streaming"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+func newTopKUnderTest(t *testing.T, p apss.Params, k int) *TopK {
+	t.Helper()
+	j, err := NewSTR(streaming.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := NewTopK(j, k, p.Horizon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+// bruteTopK computes each item's true top-k within the horizon.
+func bruteTopK(items []stream.Item, p apss.Params, k int) map[uint64][]apss.Match {
+	tau := p.Horizon()
+	all := map[uint64][]apss.Match{}
+	for i := range items {
+		all[items[i].ID] = nil
+	}
+	for i := 1; i < len(items); i++ {
+		for j := 0; j < i; j++ {
+			dt := items[i].Time - items[j].Time
+			if dt > tau {
+				continue
+			}
+			dot := vec.Dot(items[i].Vec, items[j].Vec)
+			if sim := p.Sim(dot, dt); sim >= p.Theta {
+				m := apss.Match{X: items[i].ID, Y: items[j].ID, Sim: sim, Dot: dot, DT: dt}
+				all[m.X] = append(all[m.X], m)
+				all[m.Y] = append(all[m.Y], m.Flipped())
+			}
+		}
+	}
+	for id, ms := range all {
+		sort.Slice(ms, func(a, b int) bool { return ms[a].Sim > ms[b].Sim })
+		if len(ms) > k {
+			ms = ms[:k]
+		}
+		all[id] = ms
+	}
+	return all
+}
+
+func drainTopK(t *testing.T, tk *TopK, items []stream.Item) map[uint64]Neighbors {
+	t.Helper()
+	got := map[uint64]Neighbors{}
+	record := func(ns []Neighbors) {
+		for _, n := range ns {
+			if _, dup := got[n.ID]; dup {
+				t.Fatalf("item %d finalized twice", n.ID)
+			}
+			got[n.ID] = n
+		}
+	}
+	for _, it := range items {
+		ns, err := tk.Add(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(ns)
+	}
+	ns, err := tk.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(ns)
+	return got
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	p := apss.Params{Theta: 0.3, Lambda: 0.05} // low θ: recommender regime
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		items := randomStream(r, 120, 15, 5)
+		for _, k := range []int{1, 3, 10} {
+			want := bruteTopK(items, p, k)
+			got := drainTopK(t, newTopKUnderTest(t, p, k), items)
+			if len(got) != len(items) {
+				t.Fatalf("k=%d: finalized %d of %d items", k, len(got), len(items))
+			}
+			for id, wantMs := range want {
+				gotN := got[id]
+				if len(gotN.Matches) != len(wantMs) {
+					t.Fatalf("k=%d item %d: %d neighbors want %d",
+						k, id, len(gotN.Matches), len(wantMs))
+				}
+				for i := range wantMs {
+					// Similarities must agree; ties may order differently.
+					if d := gotN.Matches[i].Sim - wantMs[i].Sim; d > 1e-9 || d < -1e-9 {
+						t.Fatalf("k=%d item %d rank %d: sim %v want %v",
+							k, id, i, gotN.Matches[i].Sim, wantMs[i].Sim)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKNeighborsSortedAndBounded(t *testing.T) {
+	p := apss.Params{Theta: 0.2, Lambda: 0.01}
+	r := rand.New(rand.NewSource(3))
+	items := randomStream(r, 100, 8, 4)
+	got := drainTopK(t, newTopKUnderTest(t, p, 2), items)
+	for id, n := range got {
+		if len(n.Matches) > 2 {
+			t.Fatalf("item %d has %d > k neighbors", id, len(n.Matches))
+		}
+		for i := 1; i < len(n.Matches); i++ {
+			if n.Matches[i].Sim > n.Matches[i-1].Sim {
+				t.Fatalf("item %d neighbors not sorted", id)
+			}
+		}
+		for _, m := range n.Matches {
+			if m.X != id {
+				t.Fatalf("item %d neighbor match not from its perspective: %+v", id, m)
+			}
+		}
+	}
+}
+
+func TestTopKFinalizationTiming(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1} // tau ≈ 6.93
+	tk := newTopKUnderTest(t, p, 3)
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	ns, err := tk.Add(stream.Item{ID: 0, Time: 0, Vec: v})
+	if err != nil || len(ns) != 0 {
+		t.Fatalf("finalized too early: %v %v", ns, err)
+	}
+	if tk.Open() != 1 {
+		t.Fatalf("open = %d", tk.Open())
+	}
+	// An item τ+ε later finalizes item 0.
+	ns, err = tk.Add(stream.Item{ID: 1, Time: 7, Vec: v})
+	if err != nil || len(ns) != 1 || ns[0].ID != 0 {
+		t.Fatalf("finalization: %v %v", ns, err)
+	}
+	// Item 0 had no in-horizon matches.
+	if len(ns[0].Matches) != 0 {
+		t.Fatalf("phantom neighbors: %+v", ns[0].Matches)
+	}
+}
+
+func TestTopKConstructorValidation(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	j, err := NewSTR(streaming.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTopK(j, 0, p.Horizon()); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewTopK(j, 1, 0); err == nil {
+		t.Fatal("tau=0 accepted")
+	}
+	mb, err := NewMiniBatch(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTopK(mb, 1, p.Horizon()); err == nil {
+		t.Fatal("MiniBatch accepted")
+	}
+}
+
+func TestTopKOutOfOrder(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	tk := newTopKUnderTest(t, p, 1)
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	if _, err := tk.Add(stream.Item{ID: 0, Time: 5, Vec: v}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Add(stream.Item{ID: 1, Time: 4, Vec: v}); err == nil {
+		t.Fatal("out-of-order accepted")
+	}
+}
+
+func TestTopKWithBruteForceJoiner(t *testing.T) {
+	// TopK accepts any online joiner, including the oracle itself.
+	p := apss.Params{Theta: 0.4, Lambda: 0.05}
+	bf, err := NewBruteForce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := NewTopK(bf, 2, p.Horizon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(8))
+	items := randomStream(r, 80, 10, 4)
+	got := map[uint64]Neighbors{}
+	for _, it := range items {
+		ns, err := tk.Add(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range ns {
+			got[n.ID] = n
+		}
+	}
+	ns, err := tk.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ns {
+		got[n.ID] = n
+	}
+	want := bruteTopK(items, p, 2)
+	for id, ms := range want {
+		if len(got[id].Matches) != len(ms) {
+			t.Fatalf("item %d: %d vs %d neighbors", id, len(got[id].Matches), len(ms))
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package datagen generates synthetic streams whose shape matches the
+// four datasets of the paper's evaluation (Table 1). The real corpora
+// (WebSpam, RCV1, a WordPress Blogs crawl, a Tweets sample) are not
+// redistributable here, so each profile reproduces the characteristics
+// the algorithms are sensitive to:
+//
+//   - sparsity structure: dimensionality, average non-zeros per vector,
+//     density, and a Zipf-distributed dimension popularity typical of
+//     bag-of-words data;
+//   - coordinate values: term-frequency-like counts, unit-normalized;
+//   - similarity mass: planted near-duplicate clusters so that similar
+//     pairs actually exist at the thresholds the paper sweeps;
+//   - arrival process: Poisson (WebSpam), sequential (RCV1), or bursty
+//     publication-date-like arrivals (Blogs, Tweets).
+//
+// Sizes are scaled down (~1/100) so the full experiment grid runs on one
+// machine; densities and per-vector sizes keep the paper's proportions.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// ArrivalKind selects the timestamp process.
+type ArrivalKind int
+
+// Arrival processes used in Table 1.
+const (
+	Sequential ArrivalKind = iota // t_i = i (RCV1)
+	Poisson                       // exponential inter-arrivals (WebSpam)
+	Bursty                        // self-exciting bursts (Blogs, Tweets)
+)
+
+// String implements fmt.Stringer.
+func (a ArrivalKind) String() string {
+	switch a {
+	case Sequential:
+		return "sequential"
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile describes a synthetic dataset.
+type Profile struct {
+	Name     string
+	N        int         // number of vectors
+	Dims     int         // dimensionality m
+	MeanNNZ  float64     // average non-zero coordinates per vector
+	ZipfS    float64     // dimension-popularity skew (>1)
+	Arrival  ArrivalKind // timestamp process
+	Rate     float64     // mean arrivals per time unit
+	DupProb  float64     // probability an item near-duplicates a recent one
+	DupDepth int         // how far back duplicates reach
+	BurstLen int         // mean burst length (Bursty only)
+}
+
+// WebSpamProfile mirrors the WebSpam corpus: dense long vectors, Poisson
+// arrivals (paper: n=350k, m=681k, |x|=3728, ρ=0.55%).
+func WebSpamProfile() Profile {
+	return Profile{
+		Name: "WebSpam", N: 2500, Dims: 7000, MeanNNZ: 38,
+		ZipfS: 1.2, Arrival: Poisson, Rate: 1, DupProb: 0.12, DupDepth: 60,
+	}
+}
+
+// RCV1Profile mirrors the Reuters RCV1 newswire corpus: medium vectors,
+// sequential timestamps (paper: n=804k, m=43k, |x|=75.7, ρ=0.18%).
+func RCV1Profile() Profile {
+	return Profile{
+		Name: "RCV1", N: 4000, Dims: 4300, MeanNNZ: 7.6,
+		ZipfS: 1.25, Arrival: Sequential, Rate: 1, DupProb: 0.15, DupDepth: 80,
+	}
+}
+
+// BlogsProfile mirrors the WordPress Blogs crawl: sparse vectors, bursty
+// publication-date arrivals (paper: n=2.5M, m=356k, |x|=140, ρ=0.04%).
+func BlogsProfile() Profile {
+	return Profile{
+		Name: "Blogs", N: 6000, Dims: 36000, MeanNNZ: 14,
+		ZipfS: 1.3, Arrival: Bursty, Rate: 1, DupProb: 0.18, DupDepth: 100,
+		BurstLen: 6,
+	}
+}
+
+// TweetsProfile mirrors the Tweets sample: very short sparse vectors,
+// bursty arrivals (paper: n=18.3M, m=1.05M, |x|=9.46, ρ=0.001%).
+func TweetsProfile() Profile {
+	return Profile{
+		Name: "Tweets", N: 9000, Dims: 950000, MeanNNZ: 9.5,
+		ZipfS: 1.35, Arrival: Bursty, Rate: 2, DupProb: 0.22, DupDepth: 120,
+		BurstLen: 10,
+	}
+}
+
+// Profiles returns the four dataset analogues in the paper's order.
+func Profiles() []Profile {
+	return []Profile{WebSpamProfile(), RCV1Profile(), BlogsProfile(), TweetsProfile()}
+}
+
+// ProfileByName looks a profile up case-sensitively.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("datagen: unknown profile %q", name)
+}
+
+// Scaled returns a copy with N multiplied by f (at least 1 vector).
+func (p Profile) Scaled(f float64) Profile {
+	p.N = int(math.Max(1, math.Round(float64(p.N)*f)))
+	return p
+}
+
+// Generate materializes the stream deterministically from seed.
+func (p Profile) Generate(seed int64) []stream.Item {
+	r := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(r, p.ZipfS, 1, uint64(p.Dims-1))
+	items := make([]stream.Item, 0, p.N)
+	clock := newArrivalClock(p, r)
+	var recent []vec.Vector
+
+	for i := 0; i < p.N; i++ {
+		var v vec.Vector
+		if len(recent) > 0 && r.Float64() < p.DupProb {
+			v = perturb(recent[r.Intn(len(recent))], r, zipf)
+		} else {
+			v = fresh(p, r, zipf)
+		}
+		recent = append(recent, v)
+		if len(recent) > p.DupDepth {
+			recent = recent[1:]
+		}
+		items = append(items, stream.Item{ID: uint64(i), Time: clock.next(), Vec: v})
+	}
+	return items
+}
+
+// Source returns a lazily generated stream.Source over the profile.
+func (p Profile) Source(seed int64) stream.Source {
+	return stream.NewSliceSource(p.Generate(seed))
+}
+
+// fresh draws a new document: Zipf-popular dimensions with TF-like
+// counts, unit-normalized.
+func fresh(p Profile, r *rand.Rand, zipf *rand.Zipf) vec.Vector {
+	// Log-normal-ish size: exp of a gaussian centered on log(MeanNNZ).
+	nnz := int(math.Round(p.MeanNNZ * math.Exp(0.4*r.NormFloat64()) / math.Exp(0.08)))
+	if nnz < 1 {
+		nnz = 1
+	}
+	m := make(map[uint32]float64, nnz)
+	for len(m) < nnz {
+		d := uint32(zipf.Uint64())
+		// TF-like weight: 1 + geometric tail.
+		tf := 1.0
+		for r.Float64() < 0.3 {
+			tf++
+		}
+		m[d] = tf
+	}
+	return vec.FromMap(m).Normalize()
+}
+
+// perturb makes a near-duplicate: jitter values, occasionally drop a term
+// or add a new one, then renormalize.
+func perturb(base vec.Vector, r *rand.Rand, zipf *rand.Zipf) vec.Vector {
+	m := make(map[uint32]float64, base.NNZ()+1)
+	for i, d := range base.Dims {
+		if base.NNZ() > 1 && r.Float64() < 0.08 {
+			continue // drop a term
+		}
+		m[d] = base.Vals[i] * (0.85 + 0.3*r.Float64())
+	}
+	if r.Float64() < 0.3 {
+		m[uint32(zipf.Uint64())] = 0.2 + 0.3*r.Float64()
+	}
+	v := vec.FromMap(m).Normalize()
+	if v.IsEmpty() {
+		return base
+	}
+	return v
+}
+
+// arrivalClock produces non-decreasing timestamps per the profile.
+type arrivalClock struct {
+	p         Profile
+	r         *rand.Rand
+	t         float64
+	seq       int
+	burstLeft int
+}
+
+func newArrivalClock(p Profile, r *rand.Rand) *arrivalClock {
+	return &arrivalClock{p: p, r: r}
+}
+
+func (c *arrivalClock) next() float64 {
+	switch c.p.Arrival {
+	case Sequential:
+		t := float64(c.seq) / c.p.Rate
+		c.seq++
+		return t
+	case Poisson:
+		c.t += c.r.ExpFloat64() / c.p.Rate
+		return c.t
+	case Bursty:
+		if c.burstLeft > 0 {
+			c.burstLeft--
+			c.t += c.r.ExpFloat64() / (c.p.Rate * 50) // intra-burst: 50x faster
+			return c.t
+		}
+		if c.r.Float64() < 0.15 {
+			c.burstLeft = 1 + c.r.Intn(2*c.p.BurstLen)
+		}
+		c.t += c.r.ExpFloat64() / c.p.Rate
+		return c.t
+	default:
+		panic("datagen: unknown arrival kind")
+	}
+}

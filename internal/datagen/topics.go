@@ -1,0 +1,130 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// TopicModel generates documents from a latent topic mixture, a more
+// realistic similarity structure than the flat Zipf model of Profile:
+// documents about the same topics share many dimensions even when they
+// are not near-duplicates, which produces the graded similarity spectrum
+// real corpora have (lots of moderately-similar pairs below θ exercising
+// the pruning bounds, not just planted duplicates above it).
+//
+// Each topic is a sparse distribution over dimensions; each document
+// samples 1–MaxTopicsPerDoc topics with Dirichlet-like weights and draws
+// its terms from the mixture. Events (bursts of documents about one hot
+// topic arriving close together) model the trend phenomena of §1.
+type TopicModel struct {
+	Name            string
+	N               int         // documents
+	Dims            int         // vocabulary size
+	Topics          int         // number of latent topics
+	TermsPerTopic   int         // support size of each topic's distribution
+	MeanNNZ         float64     // mean document length
+	MaxTopicsPerDoc int         // topic mixture size
+	Arrival         ArrivalKind // timestamp process
+	Rate            float64
+	BurstLen        int
+	EventProb       float64 // chance a document joins the current hot topic
+}
+
+// DefaultTopicModel returns a medium-sized configuration.
+func DefaultTopicModel() TopicModel {
+	return TopicModel{
+		Name: "Topics", N: 4000, Dims: 30000, Topics: 120,
+		TermsPerTopic: 150, MeanNNZ: 20, MaxTopicsPerDoc: 3,
+		Arrival: Bursty, Rate: 1, BurstLen: 8, EventProb: 0.25,
+	}
+}
+
+// Generate materializes the stream deterministically from seed.
+func (m TopicModel) Generate(seed int64) []stream.Item {
+	r := rand.New(rand.NewSource(seed))
+	topics := m.buildTopics(r)
+	clock := newArrivalClock(Profile{Arrival: m.Arrival, Rate: m.Rate, BurstLen: m.BurstLen}, r)
+
+	items := make([]stream.Item, 0, m.N)
+	hotTopic := r.Intn(m.Topics)
+	for i := 0; i < m.N; i++ {
+		if r.Float64() < 0.02 {
+			hotTopic = r.Intn(m.Topics) // the news cycle moves on
+		}
+		var mix []int
+		if r.Float64() < m.EventProb {
+			mix = append(mix, hotTopic)
+		}
+		for len(mix) < 1+r.Intn(m.MaxTopicsPerDoc) {
+			mix = append(mix, r.Intn(m.Topics))
+		}
+		items = append(items, stream.Item{
+			ID:   uint64(i),
+			Time: clock.next(),
+			Vec:  m.sampleDoc(r, topics, mix),
+		})
+	}
+	return items
+}
+
+// topic is a sparse term distribution: dims plus cumulative weights for
+// O(log n) sampling.
+type topic struct {
+	dims []uint32
+	cum  []float64 // cumulative, cum[len-1] = total
+}
+
+func (m TopicModel) buildTopics(r *rand.Rand) []topic {
+	zipf := rand.NewZipf(r, 1.2, 1, uint64(m.Dims-1))
+	out := make([]topic, m.Topics)
+	for t := range out {
+		seen := map[uint32]bool{}
+		dims := make([]uint32, 0, m.TermsPerTopic)
+		for len(dims) < m.TermsPerTopic {
+			d := uint32(zipf.Uint64())
+			if !seen[d] {
+				seen[d] = true
+				dims = append(dims, d)
+			}
+		}
+		cum := make([]float64, len(dims))
+		total := 0.0
+		for i := range dims {
+			// Zipf-ish within-topic term weights.
+			total += 1 / float64(i+1)
+			cum[i] = total
+		}
+		out[t] = topic{dims: dims, cum: cum}
+	}
+	return out
+}
+
+// sample draws one dimension from the topic.
+func (tp topic) sample(r *rand.Rand) uint32 {
+	u := r.Float64() * tp.cum[len(tp.cum)-1]
+	lo, hi := 0, len(tp.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tp.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return tp.dims[lo]
+}
+
+func (m TopicModel) sampleDoc(r *rand.Rand, topics []topic, mix []int) vec.Vector {
+	nnz := int(m.MeanNNZ * (0.5 + r.Float64()))
+	if nnz < 1 {
+		nnz = 1
+	}
+	tf := make(map[uint32]float64, nnz)
+	for j := 0; j < nnz; j++ {
+		tp := topics[mix[r.Intn(len(mix))]]
+		tf[tp.sample(r)]++
+	}
+	return vec.FromMap(tf).Normalize()
+}

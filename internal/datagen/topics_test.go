@@ -1,0 +1,92 @@
+package datagen
+
+import (
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+func TestTopicModelGeneratesValidStream(t *testing.T) {
+	m := DefaultTopicModel()
+	m.N = 400
+	items := m.Generate(1)
+	if len(items) != m.N {
+		t.Fatalf("generated %d items", len(items))
+	}
+	if err := stream.Validate(items, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	st := stream.ComputeStats(items)
+	if st.AvgNNZ < m.MeanNNZ*0.4 || st.AvgNNZ > m.MeanNNZ*1.6 {
+		t.Fatalf("avg nnz %.1f, target %.1f", st.AvgNNZ, m.MeanNNZ)
+	}
+}
+
+func TestTopicModelDeterministic(t *testing.T) {
+	m := DefaultTopicModel()
+	m.N = 100
+	a, b := m.Generate(7), m.Generate(7)
+	for i := range a {
+		if !vec.Equal(a[i].Vec, b[i].Vec) || a[i].Time != b[i].Time {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTopicModelGradedSimilaritySpectrum(t *testing.T) {
+	// The point of the topic model: a substantial band of moderate
+	// similarities (0.2–0.6), not just near-duplicates and noise.
+	m := DefaultTopicModel()
+	m.N = 500
+	items := m.Generate(3)
+	var moderate, high int
+	for i := 1; i < len(items); i += 3 {
+		for j := i - 40; j < i; j += 3 {
+			if j < 0 {
+				continue
+			}
+			d := vec.Dot(items[i].Vec, items[j].Vec)
+			if d >= 0.2 && d < 0.6 {
+				moderate++
+			}
+			if d >= 0.6 {
+				high++
+			}
+		}
+	}
+	if moderate == 0 {
+		t.Fatal("no moderate-similarity band; topic structure missing")
+	}
+}
+
+func TestTopicModelJoinable(t *testing.T) {
+	// End to end: the generated stream must produce matches and all
+	// joiners must agree (reusing the oracle).
+	m := DefaultTopicModel()
+	m.N = 300
+	items := m.Generate(5)
+	p := apss.Params{Theta: 0.5, Lambda: 0.05}
+	bf, err := core.NewBruteForce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(bf, stream.NewSliceSource(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := core.NewSTR(streaming.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Run(j, stream.NewSliceSource(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apss.EqualMatchSets(got, want, 1e-9) {
+		t.Fatalf("topic stream join diverged (%d vs %d)", len(got), len(want))
+	}
+}

@@ -1,0 +1,157 @@
+// Package dimorder implements consistent dimension permutations, the
+// mechanism behind the dimension-ordering strategies the paper's
+// conclusion proposes to explore ("experiment with dimension-ordering
+// strategies and evaluate the cost-benefit trade-off of maintaining a
+// dimension ordering").
+//
+// The prefix-filtering indexes split each vector into an unindexed prefix
+// and an indexed suffix with respect to a global dimension order;
+// permuting dimensions changes how much of each vector stays unindexed
+// but never changes join results, because dot products are invariant
+// under any consistent permutation.
+package dimorder
+
+import (
+	"sort"
+
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// Strategy selects how dimensions are ranked.
+type Strategy int
+
+const (
+	// None keeps the natural dimension order (the paper's setting).
+	None Strategy = iota
+	// DocFreqAsc ranks dimensions by increasing document frequency:
+	// rare dimensions land in the unindexed prefix, keeping their short
+	// posting lists out of the index (Chaudhuri et al.).
+	DocFreqAsc
+	// MaxValueDesc ranks dimensions by decreasing maximum value,
+	// front-loading the coordinates that drive the b1/b2 bounds so the
+	// indexing threshold is crossed later.
+	MaxValueDesc
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case None:
+		return "none"
+	case DocFreqAsc:
+		return "docfreq"
+	case MaxValueDesc:
+		return "maxval"
+	default:
+		return "unknown"
+	}
+}
+
+// Map is a consistent dimension permutation. Dimensions unseen when the
+// map was built are assigned fresh ranks on first use: they cannot match
+// anything already indexed, so their relative order is irrelevant. A nil
+// *Map is the identity.
+type Map struct {
+	perm map[uint32]uint32
+	next uint32
+}
+
+// Build computes a permutation over the dimensions appearing in items.
+// Strategy None returns nil (identity, zero remapping cost).
+func Build(items []stream.Item, s Strategy) *Map {
+	if s == None {
+		return nil
+	}
+	type dimStat struct {
+		dim uint32
+		df  int
+		max float64
+	}
+	stats := map[uint32]*dimStat{}
+	for _, it := range items {
+		for i, d := range it.Vec.Dims {
+			st := stats[d]
+			if st == nil {
+				st = &dimStat{dim: d}
+				stats[d] = st
+			}
+			st.df++
+			if it.Vec.Vals[i] > st.max {
+				st.max = it.Vec.Vals[i]
+			}
+		}
+	}
+	all := make([]*dimStat, 0, len(stats))
+	for _, st := range stats {
+		all = append(all, st)
+	}
+	switch s {
+	case DocFreqAsc:
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].df != all[j].df {
+				return all[i].df < all[j].df
+			}
+			return all[i].dim < all[j].dim
+		})
+	case MaxValueDesc:
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].max != all[j].max {
+				return all[i].max > all[j].max
+			}
+			return all[i].dim < all[j].dim
+		})
+	}
+	m := &Map{perm: make(map[uint32]uint32, len(all))}
+	for rank, st := range all {
+		m.perm[st.dim] = uint32(rank)
+	}
+	m.next = uint32(len(all))
+	return m
+}
+
+// Remap returns v with dimensions permuted and re-sorted. A nil receiver
+// returns v unchanged.
+func (m *Map) Remap(v vec.Vector) vec.Vector {
+	if m == nil {
+		return v
+	}
+	dims := make([]uint32, len(v.Dims))
+	for i, d := range v.Dims {
+		r, ok := m.perm[d]
+		if !ok {
+			r = m.next
+			m.perm[d] = r
+			m.next++
+		}
+		dims[i] = r
+	}
+	out := vec.Vector{Dims: dims, Vals: append([]float64(nil), v.Vals...)}
+	sort.Sort(byDim{&out})
+	return out
+}
+
+// RemapMax permutes a MaxTracker, dropping dimensions unseen at build
+// time (they cannot intersect the dataset the map was built from).
+func (m *Map) RemapMax(mt vec.MaxTracker) vec.MaxTracker {
+	if m == nil || mt == nil {
+		return mt
+	}
+	out := vec.NewMaxTracker()
+	for d, val := range mt {
+		if r, ok := m.perm[d]; ok {
+			out[r] = val
+		}
+	}
+	return out
+}
+
+// byDim sorts a vector's parallel slices by dimension.
+type byDim struct{ v *vec.Vector }
+
+func (s byDim) Len() int           { return len(s.v.Dims) }
+func (s byDim) Less(i, j int) bool { return s.v.Dims[i] < s.v.Dims[j] }
+func (s byDim) Swap(i, j int) {
+	s.v.Dims[i], s.v.Dims[j] = s.v.Dims[j], s.v.Dims[i]
+	s.v.Vals[i], s.v.Vals[j] = s.v.Vals[j], s.v.Vals[i]
+}

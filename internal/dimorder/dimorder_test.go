@@ -1,0 +1,122 @@
+package dimorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+func items(vs ...vec.Vector) []stream.Item {
+	out := make([]stream.Item, len(vs))
+	for i, v := range vs {
+		out[i] = stream.Item{ID: uint64(i), Vec: v}
+	}
+	return out
+}
+
+func TestNoneIsIdentity(t *testing.T) {
+	m := Build(items(vec.MustNew([]uint32{3, 7}, []float64{1, 2})), None)
+	if m != nil {
+		t.Fatal("None should build nil map")
+	}
+	v := vec.MustNew([]uint32{3, 7}, []float64{1, 2})
+	if !vec.Equal(m.Remap(v), v) {
+		t.Fatal("nil map changed vector")
+	}
+	if m.RemapMax(vec.MaxTracker{1: 0.5}) == nil {
+		t.Fatal("nil map dropped tracker")
+	}
+}
+
+func TestDocFreqAscRanking(t *testing.T) {
+	// dim 5 appears 3x, dim 1 appears 1x → dim 1 gets the lower rank.
+	data := items(
+		vec.MustNew([]uint32{5}, []float64{1}),
+		vec.MustNew([]uint32{5}, []float64{1}),
+		vec.MustNew([]uint32{1, 5}, []float64{1, 1}),
+	)
+	m := Build(data, DocFreqAsc)
+	v := m.Remap(vec.MustNew([]uint32{1, 5}, []float64{2, 3}))
+	// after remap, dim 1 (rare) should precede dim 5 (common)
+	if v.Vals[0] != 2 || v.Vals[1] != 3 {
+		t.Fatalf("remap scrambled values: %v", v)
+	}
+	if v.Dims[0] != 0 || v.Dims[1] != 1 {
+		t.Fatalf("ranks = %v", v.Dims)
+	}
+}
+
+func TestMaxValueDescRanking(t *testing.T) {
+	data := items(
+		vec.MustNew([]uint32{1, 2}, []float64{0.9, 0.1}),
+		vec.MustNew([]uint32{2, 3}, []float64{0.2, 0.5}),
+	)
+	m := Build(data, MaxValueDesc)
+	// max values: dim1=0.9, dim3=0.5, dim2=0.2 → ranks 0,1,2
+	v := m.Remap(vec.MustNew([]uint32{1, 2, 3}, []float64{1, 2, 3}))
+	if v.At(0) != 1 || v.At(1) != 3 || v.At(2) != 2 {
+		t.Fatalf("remapped = %v", v)
+	}
+}
+
+func TestUnseenDimsGetFreshRanks(t *testing.T) {
+	m := Build(items(vec.MustNew([]uint32{1}, []float64{1})), DocFreqAsc)
+	v := m.Remap(vec.MustNew([]uint32{99, 100}, []float64{1, 2}))
+	if v.NNZ() != 2 {
+		t.Fatalf("remap lost coords: %v", v)
+	}
+	// stable across calls
+	v2 := m.Remap(vec.MustNew([]uint32{99}, []float64{5}))
+	if v2.Dims[0] != v.Dims[0] {
+		t.Fatal("unseen dim rank not stable")
+	}
+}
+
+func TestRemapMaxDropsUnseen(t *testing.T) {
+	m := Build(items(vec.MustNew([]uint32{1}, []float64{1})), DocFreqAsc)
+	out := m.RemapMax(vec.MaxTracker{1: 0.7, 42: 0.9})
+	if len(out) != 1 {
+		t.Fatalf("remapped tracker = %v", out)
+	}
+}
+
+func TestQuickDotInvariantUnderRemap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var data []stream.Item
+		for i := 0; i < 20; i++ {
+			m := map[uint32]float64{}
+			for j := 0; j < 1+r.Intn(6); j++ {
+				m[uint32(r.Intn(25))] = r.Float64() + 0.01
+			}
+			data = append(data, stream.Item{ID: uint64(i), Vec: vec.FromMap(m)})
+		}
+		for _, s := range []Strategy{DocFreqAsc, MaxValueDesc} {
+			dm := Build(data, s)
+			for i := 1; i < len(data); i++ {
+				a, b := data[i-1].Vec, data[i].Vec
+				if math.Abs(vec.Dot(a, b)-vec.Dot(dm.Remap(a), dm.Remap(b))) > 1e-9 {
+					return false
+				}
+				if err := dm.Remap(a).Validate(); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if None.String() != "none" || DocFreqAsc.String() != "docfreq" ||
+		MaxValueDesc.String() != "maxval" || Strategy(9).String() != "unknown" {
+		t.Fatal("strategy names wrong")
+	}
+}

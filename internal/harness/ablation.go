@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/datagen"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+)
+
+// AblationResult records STR-L2 work with one pruning rule disabled.
+type AblationResult struct {
+	Name    string
+	Elapsed time.Duration
+	Stats   metrics.Counters
+	Matches int
+}
+
+// RunAblation attributes STR-L2's pruning power to its individual bounds
+// by re-running one configuration with each rule disabled (an experiment
+// beyond the paper; output is identical in every row, only work differs).
+func RunAblation(cfg Config, dataset string, p apss.Params) ([]AblationResult, error) {
+	cfg = cfg.withDefaults()
+	prof, err := datagen.ProfileByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	items := prof.Scaled(cfg.Scale).Generate(cfg.Seed)
+	variants := []struct {
+		name string
+		abl  streaming.Ablations
+	}{
+		{"full", streaming.Ablations{}},
+		{"no-remscore", streaming.Ablations{NoRemscore: true}},
+		{"no-l2bound", streaming.Ablations{NoL2Bound: true}},
+		{"no-verify", streaming.Ablations{NoVerifyBounds: true}},
+		{"no-indexbound", streaming.Ablations{NoIndexBound: true}},
+		{"none", streaming.Ablations{NoRemscore: true, NoL2Bound: true, NoVerifyBounds: true, NoIndexBound: true}},
+	}
+	var out []AblationResult
+	for _, v := range variants {
+		res := AblationResult{Name: v.name}
+		j, err := core.NewSTRFull(streaming.L2, p, streaming.Options{
+			Counters:  &res.Stats,
+			Ablations: v.abl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, it := range items {
+			ms, err := j.Add(it)
+			if err != nil {
+				return nil, err
+			}
+			res.Matches += len(ms)
+		}
+		res.Elapsed = time.Since(start)
+		out = append(out, res)
+	}
+	// Sanity: every variant must report the same matches.
+	for _, r := range out[1:] {
+		if r.Matches != out[0].Matches {
+			return nil, fmt.Errorf("harness: ablation %q changed output (%d vs %d)",
+				r.Name, r.Matches, out[0].Matches)
+		}
+	}
+	return out, nil
+}
+
+// PrintAblation renders the ablation table.
+func PrintAblation(w io.Writer, dataset string, p apss.Params, results []AblationResult) {
+	fmt.Fprintf(w, "STR-L2 bound ablations on %s (theta=%g lambda=%g); identical output, different work\n",
+		dataset, p.Theta, p.Lambda)
+	fmt.Fprintf(w, "%-14s %10s %12s %12s %12s %10s\n",
+		"Variant", "time(ms)", "entries", "candidates", "dots", "indexed")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-14s %10.1f %12d %12d %12d %10d\n",
+			r.Name, float64(r.Elapsed.Microseconds())/1000,
+			r.Stats.EntriesTraversed, r.Stats.Candidates, r.Stats.FullDots,
+			r.Stats.IndexedEntries)
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sssj/internal/apss"
+)
+
+func TestRunDelaySTRIsOnlineMBIsNot(t *testing.T) {
+	cfg := Config{Scale: 0.05, Seed: 2}
+	p := apss.Params{Theta: 0.6, Lambda: 0.05}
+	stats, err := RunDelay(cfg, "RCV1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 6 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	var sawMatches bool
+	for _, s := range stats {
+		if s.Matches > 0 {
+			sawMatches = true
+		}
+		switch s.Framework {
+		case FrameworkSTR:
+			if s.MeanDelay != 0 || s.MaxDelay != 0 {
+				t.Fatalf("STR-%s has nonzero delay: %+v", s.Index, s)
+			}
+		case FrameworkMB:
+			if s.Matches > 0 && s.MaxDelay == 0 {
+				t.Fatalf("MB-%s reports with zero delay: %+v", s.Index, s)
+			}
+			// the paper's bound: at most 2τ
+			if s.MaxDelay > 2+1e-9 {
+				t.Fatalf("MB-%s delay exceeds 2tau: %+v", s.Index, s)
+			}
+		}
+	}
+	if !sawMatches {
+		t.Fatal("no matches; delay test vacuous")
+	}
+	agg := MeanDelayByFramework(stats)
+	if !(agg[FrameworkMB] > agg[FrameworkSTR]) {
+		t.Fatalf("aggregate delays wrong: %v", agg)
+	}
+	var buf bytes.Buffer
+	PrintDelay(&buf, "RCV1", p, stats)
+	if !strings.Contains(buf.String(), "MB-L2") {
+		t.Fatal("print output broken")
+	}
+}
+
+func TestRunDelayUnknownDataset(t *testing.T) {
+	if _, err := RunDelay(Config{Scale: 0.01}, "nope", apss.Params{Theta: 0.5, Lambda: 0.1}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := RunFigure5(tinyCfg())
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res)+1 {
+		t.Fatalf("csv rows = %d want %d", len(lines), len(res)+1)
+	}
+	if !strings.HasPrefix(lines[0], "dataset,framework,index,theta,lambda") {
+		t.Fatalf("header = %s", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if n := strings.Count(line, ","); n != 14 {
+			t.Fatalf("row has %d commas: %s", n, line)
+		}
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	cfg := Config{Scale: 0.05, Seed: 3}
+	p := apss.Params{Theta: 0.7, Lambda: 0.01}
+	res, err := RunAblation(cfg, "RCV1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("variants = %d", len(res))
+	}
+	base := res[0]
+	for _, r := range res[1:] {
+		if r.Matches != base.Matches {
+			t.Fatalf("%s changed output", r.Name)
+		}
+	}
+	// The everything-off variant must do at least as much work as full.
+	none := res[len(res)-1]
+	if none.Stats.EntriesTraversed < base.Stats.EntriesTraversed ||
+		none.Stats.FullDots < base.Stats.FullDots {
+		t.Fatalf("ablations reduced work: %+v vs %+v", none.Stats, base.Stats)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, "RCV1", p, res)
+	if !strings.Contains(buf.String(), "no-remscore") {
+		t.Fatal("print broken")
+	}
+	if _, err := RunAblation(cfg, "nope", p); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

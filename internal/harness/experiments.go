@@ -1,0 +1,391 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sssj/internal/apss"
+	"sssj/internal/datagen"
+	"sssj/internal/stream"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — dataset characteristics.
+
+// Table1Row mirrors one row of Table 1.
+type Table1Row struct {
+	Name       string
+	N          int
+	M          uint32
+	NNZ        int64
+	DensityPct float64
+	AvgNNZ     float64
+	Timestamps string
+}
+
+// RunTable1 computes dataset statistics for the four profiles.
+func RunTable1(cfg Config) []Table1Row {
+	cfg = cfg.withDefaults()
+	var rows []Table1Row
+	for _, p := range datagen.Profiles() {
+		items := p.Scaled(cfg.Scale).Generate(cfg.Seed)
+		st := stream.ComputeStats(items)
+		rows = append(rows, Table1Row{
+			Name:       p.Name,
+			N:          st.N,
+			M:          uint32(p.Dims),
+			NNZ:        st.NNZ,
+			DensityPct: 100 * float64(st.NNZ) / (float64(st.N) * float64(p.Dims)),
+			AvgNNZ:     st.AvgNNZ,
+			Timestamps: p.Arrival.String(),
+		})
+	}
+	return rows
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: dataset characteristics (synthetic analogues)\n")
+	fmt.Fprintf(w, "%-9s %9s %9s %10s %8s %8s  %s\n",
+		"Dataset", "n", "m", "sum|x|", "rho(%)", "|x|", "Timestamps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %9d %9d %10d %8.3f %8.2f  %s\n",
+			r.Name, r.N, r.M, r.NNZ, r.DensityPct, r.AvgNNZ, r.Timestamps)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — fraction of configurations finishing within the budget.
+
+// Table2Cell is one cell of Table 2: completion fraction for one dataset
+// and algorithm across the (θ, λ) grid.
+type Table2Cell struct {
+	Dataset   string
+	Framework string
+	Index     string
+	Completed int
+	Total     int
+}
+
+// Fraction returns completed/total.
+func (c Table2Cell) Fraction() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Completed) / float64(c.Total)
+}
+
+// RunTable2 sweeps the full grid under the per-run budget.
+func RunTable2(cfg Config) []Table2Cell {
+	cfg = cfg.withDefaults()
+	datasets := Datasets(cfg)
+	grid := Grid(cfg)
+	var cells []Table2Cell
+	for _, prof := range datagen.Profiles() {
+		items := datasets[prof.Name]
+		for _, fw := range []string{FrameworkMB, FrameworkSTR} {
+			for _, ix := range IndexNames() {
+				cell := Table2Cell{Dataset: prof.Name, Framework: fw, Index: ix, Total: len(grid)}
+				for _, p := range grid {
+					res := RunOne(items, prof.Name, fw, ix, p, cfg.Budget)
+					if res.Completed {
+						cell.Completed++
+					}
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells
+}
+
+// PrintTable2 renders Table 2 in the paper's layout (datasets × MB/STR ×
+// indexes).
+func PrintTable2(w io.Writer, cells []Table2Cell) {
+	fmt.Fprintf(w, "Table 2: fraction of (theta,lambda) configurations completing within budget\n")
+	fmt.Fprintf(w, "%-9s | %-18s | %-18s\n", "", "MB", "STR")
+	fmt.Fprintf(w, "%-9s | %5s %5s %5s  | %5s %5s %5s\n",
+		"Dataset", "INV", "L2AP", "L2", "INV", "L2AP", "L2")
+	frac := map[string]float64{}
+	var order []string
+	for _, c := range cells {
+		key := c.Dataset + "/" + c.Framework + "/" + c.Index
+		frac[key] = c.Fraction()
+		if c.Framework == FrameworkMB && c.Index == "INV" {
+			order = append(order, c.Dataset)
+		}
+	}
+	for _, ds := range order {
+		fmt.Fprintf(w, "%-9s | %5.2f %5.2f %5.2f  | %5.2f %5.2f %5.2f\n", ds,
+			frac[ds+"/MB/INV"], frac[ds+"/MB/L2AP"], frac[ds+"/MB/L2"],
+			frac[ds+"/STR/INV"], frac[ds+"/STR/L2AP"], frac[ds+"/STR/L2"])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — posting entries traversed, STR/MB ratio vs τ.
+
+// Fig2Point is one point of Figure 2.
+type Fig2Point struct {
+	Dataset string
+	Tau     float64
+	Ratio   float64 // Entries(STR) / Entries(MB), L2 index
+}
+
+// RunFigure2 computes the entry-traversal ratio for the two datasets on
+// which MB completes everywhere in the paper (WebSpam, RCV1).
+func RunFigure2(cfg Config) []Fig2Point {
+	cfg = cfg.withDefaults()
+	datasets := Datasets(cfg)
+	var pts []Fig2Point
+	for _, name := range []string{"WebSpam", "RCV1"} {
+		items := datasets[name]
+		for _, p := range Grid(cfg) {
+			str := RunOne(items, name, FrameworkSTR, "L2", p, cfg.Budget)
+			mb := RunOne(items, name, FrameworkMB, "L2", p, cfg.Budget)
+			if !str.Completed || !mb.Completed || mb.Stats.EntriesTraversed == 0 {
+				continue
+			}
+			pts = append(pts, Fig2Point{
+				Dataset: name,
+				Tau:     p.Horizon(),
+				Ratio:   float64(str.Stats.EntriesTraversed) / float64(mb.Stats.EntriesTraversed),
+			})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Tau < pts[j].Tau })
+	return pts
+}
+
+// PrintFigure2 renders the Figure 2 series.
+func PrintFigure2(w io.Writer, pts []Fig2Point) {
+	fmt.Fprintf(w, "Figure 2: Entries(STR)/Entries(MB) vs tau (L2 index)\n")
+	fmt.Fprintf(w, "%-9s %12s %8s\n", "Dataset", "tau", "ratio")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-9s %12.2f %8.3f\n", p.Dataset, p.Tau, p.Ratio)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3–8 — time / entries grids.
+
+// GridResult is one cell of the Figure 3–8 grids.
+type GridResult = Result
+
+// RunCompareGrid runs the given frameworks × indexes over one dataset's
+// full (θ, λ) grid (Figures 3 and 4 use both frameworks; 5 and 6 only
+// STR).
+func RunCompareGrid(cfg Config, dataset string, frameworks, indexes []string) []GridResult {
+	cfg = cfg.withDefaults()
+	prof, err := datagen.ProfileByName(dataset)
+	if err != nil {
+		panic(err)
+	}
+	items := prof.Scaled(cfg.Scale).Generate(cfg.Seed)
+	var out []GridResult
+	for _, p := range Grid(cfg) {
+		for _, fw := range frameworks {
+			for _, ix := range indexes {
+				out = append(out, RunOne(items, dataset, fw, ix, p, cfg.Budget))
+			}
+		}
+	}
+	return out
+}
+
+// RunFigure3 compares MB vs STR across indexes on the RCV1 profile.
+func RunFigure3(cfg Config) []GridResult {
+	return RunCompareGrid(cfg, "RCV1", []string{FrameworkMB, FrameworkSTR}, IndexNames())
+}
+
+// RunFigure4 is Figure 3's grid on the WebSpam profile.
+func RunFigure4(cfg Config) []GridResult {
+	return RunCompareGrid(cfg, "WebSpam", []string{FrameworkMB, FrameworkSTR}, IndexNames())
+}
+
+// RunFigure5 compares the three indexes under STR on the RCV1 profile.
+func RunFigure5(cfg Config) []GridResult {
+	return RunCompareGrid(cfg, "RCV1", []string{FrameworkSTR}, IndexNames())
+}
+
+// RunFigure6 compares entries traversed under STR on the Tweets profile.
+func RunFigure6(cfg Config) []GridResult {
+	return RunCompareGrid(cfg, "Tweets", []string{FrameworkSTR}, IndexNames())
+}
+
+// PrintTimeGrid renders a Figure 3/4/5-style grid: one block per λ, rows
+// per θ, a column per algorithm, cells in milliseconds ('-' = timed out).
+func PrintTimeGrid(w io.Writer, title string, results []GridResult) {
+	printGrid(w, title+" (milliseconds; '-' = over budget)", results, func(r GridResult) string {
+		if !r.Completed {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(r.Elapsed.Microseconds())/1000)
+	})
+}
+
+// PrintEntriesGrid renders a Figure 6-style grid of entries traversed.
+func PrintEntriesGrid(w io.Writer, title string, results []GridResult) {
+	printGrid(w, title+" (posting entries traversed; '-' = over budget)", results, func(r GridResult) string {
+		if !r.Completed {
+			return "-"
+		}
+		return fmt.Sprintf("%d", r.Stats.EntriesTraversed)
+	})
+}
+
+func printGrid(w io.Writer, title string, results []GridResult, cell func(GridResult) string) {
+	fmt.Fprintln(w, title)
+	byKey := map[string]GridResult{}
+	var lambdas, thetas []float64
+	var labels []string
+	seenL, seenT, seenLab := map[float64]bool{}, map[float64]bool{}, map[string]bool{}
+	for _, r := range results {
+		byKey[fmt.Sprintf("%g/%g/%s", r.Lambda, r.Theta, r.Label())] = r
+		if !seenL[r.Lambda] {
+			seenL[r.Lambda] = true
+			lambdas = append(lambdas, r.Lambda)
+		}
+		if !seenT[r.Theta] {
+			seenT[r.Theta] = true
+			thetas = append(thetas, r.Theta)
+		}
+		if !seenLab[r.Label()] {
+			seenLab[r.Label()] = true
+			labels = append(labels, r.Label())
+		}
+	}
+	sort.Float64s(lambdas)
+	sort.Float64s(thetas)
+	for _, l := range lambdas {
+		fmt.Fprintf(w, "lambda = %g\n", l)
+		fmt.Fprintf(w, "  %-6s", "theta")
+		for _, lab := range labels {
+			fmt.Fprintf(w, " %12s", lab)
+		}
+		fmt.Fprintln(w)
+		for _, t := range thetas {
+			fmt.Fprintf(w, "  %-6g", t)
+			for _, lab := range labels {
+				r, ok := byKey[fmt.Sprintf("%g/%g/%s", l, t, lab)]
+				if !ok {
+					fmt.Fprintf(w, " %12s", "?")
+					continue
+				}
+				fmt.Fprintf(w, " %12s", cell(r))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RunFigure78 runs STR-L2 over every dataset and the full grid; Figure 7
+// reads it as time-vs-λ series, Figure 8 as time-vs-θ series.
+func RunFigure78(cfg Config) []GridResult {
+	cfg = cfg.withDefaults()
+	datasets := Datasets(cfg)
+	var out []GridResult
+	for _, prof := range datagen.Profiles() {
+		items := datasets[prof.Name]
+		for _, p := range Grid(cfg) {
+			out = append(out, RunOne(items, prof.Name, FrameworkSTR, "L2", p, cfg.Budget))
+		}
+	}
+	return out
+}
+
+// PrintFigure7 renders time vs λ for each dataset and θ.
+func PrintFigure7(w io.Writer, results []GridResult) {
+	fmt.Fprintln(w, "Figure 7: STR-L2 time (ms) vs lambda, per dataset and theta")
+	printSeries(w, results, func(r GridResult) (string, float64, float64) {
+		return fmt.Sprintf("%s theta=%g", r.Dataset, r.Theta), r.Lambda, ms(r)
+	}, "lambda")
+}
+
+// PrintFigure8 renders time vs θ for each dataset and λ.
+func PrintFigure8(w io.Writer, results []GridResult) {
+	fmt.Fprintln(w, "Figure 8: STR-L2 time (ms) vs theta, per dataset and lambda")
+	printSeries(w, results, func(r GridResult) (string, float64, float64) {
+		return fmt.Sprintf("%s lambda=%g", r.Dataset, r.Lambda), r.Theta, ms(r)
+	}, "theta")
+}
+
+func ms(r GridResult) float64 { return float64(r.Elapsed.Microseconds()) / 1000 }
+
+func printSeries(w io.Writer, results []GridResult, key func(GridResult) (series string, x, y float64), xname string) {
+	type pt struct{ x, y float64 }
+	series := map[string][]pt{}
+	var names []string
+	for _, r := range results {
+		if !r.Completed {
+			continue
+		}
+		name, x, y := key(r)
+		if _, ok := series[name]; !ok {
+			names = append(names, name)
+		}
+		series[name] = append(series[name], pt{x, y})
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pts := series[name]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		fmt.Fprintf(w, "%-24s", name)
+		for _, p := range pts {
+			fmt.Fprintf(w, "  %s=%-8g t=%-9.1f", xname, p.x, p.y)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — time vs τ regression.
+
+// Fig9Series is one dataset's (τ, time) points and linear fit.
+type Fig9Series struct {
+	Dataset string
+	Taus    []float64
+	Millis  []float64
+	Fit     Fit
+}
+
+// RunFigure9 regresses STR-L2 run time on the horizon τ per dataset.
+func RunFigure9(cfg Config) []Fig9Series {
+	results := RunFigure78(cfg)
+	byDS := map[string]*Fig9Series{}
+	var order []string
+	for _, r := range results {
+		if !r.Completed {
+			continue
+		}
+		s := byDS[r.Dataset]
+		if s == nil {
+			s = &Fig9Series{Dataset: r.Dataset}
+			byDS[r.Dataset] = s
+			order = append(order, r.Dataset)
+		}
+		s.Taus = append(s.Taus, r.Tau)
+		s.Millis = append(s.Millis, ms(r))
+	}
+	var out []Fig9Series
+	for _, name := range order {
+		s := byDS[name]
+		s.Fit = LinearFit(s.Taus, s.Millis)
+		out = append(out, *s)
+	}
+	return out
+}
+
+// PrintFigure9 renders the per-dataset regression.
+func PrintFigure9(w io.Writer, series []Fig9Series) {
+	fmt.Fprintln(w, "Figure 9: STR-L2 time vs tau, linear fit per dataset")
+	fmt.Fprintf(w, "%-9s %6s %14s %14s %8s\n", "Dataset", "n", "slope(ms/tau)", "intercept(ms)", "R2")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-9s %6d %14.4f %14.2f %8.3f\n",
+			s.Dataset, s.Fit.N, s.Fit.Slope, s.Fit.Intercept, s.Fit.R2)
+	}
+}
+
+// Params re-exported for callers assembling custom sweeps.
+type Params = apss.Params

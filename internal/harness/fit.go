@@ -1,0 +1,52 @@
+package harness
+
+import "math"
+
+// Fit is an ordinary-least-squares line y = Slope·x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// LinearFit regresses ys on xs (Figure 9 regresses run time on the
+// horizon τ). It returns a zero Fit for fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return Fit{N: n}
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Intercept: my, N: n}
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx, N: n}
+	if syy > 0 {
+		ssRes := 0.0
+		for i := range xs {
+			r := ys[i] - (fit.Slope*xs[i] + fit.Intercept)
+			ssRes += r * r
+		}
+		fit.R2 = 1 - ssRes/syy
+	} else {
+		fit.R2 = 1
+	}
+	if math.IsNaN(fit.R2) {
+		fit.R2 = 0
+	}
+	return fit
+}

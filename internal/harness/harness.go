@@ -1,0 +1,187 @@
+// Package harness drives the paper's experimental evaluation (§7): it
+// sweeps the (θ, λ) grid over the four dataset profiles, runs every
+// framework × index combination under a per-run time budget, and prints
+// the rows/series behind each table and figure.
+//
+// Absolute numbers differ from the paper's (different hardware, scaled
+// datasets); the reproduction targets the shapes: who wins, by what
+// factor, and where the crossovers fall.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/datagen"
+	"sssj/internal/index/static"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+// Framework names used in results.
+const (
+	FrameworkSTR = "STR"
+	FrameworkMB  = "MB"
+)
+
+// IndexNames lists the index schemes the paper evaluates in both
+// frameworks (AP is excluded, as in §7).
+func IndexNames() []string { return []string{"INV", "L2AP", "L2"} }
+
+// DefaultThetas is the paper's θ range (§7, "Algorithms").
+func DefaultThetas() []float64 { return []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.99} }
+
+// DefaultLambdas is the paper's λ range (§7).
+func DefaultLambdas() []float64 { return []float64{1e-4, 1e-3, 1e-2, 1e-1} }
+
+// Config controls a sweep.
+type Config struct {
+	Scale   float64       // dataset size multiplier (1 = profile default)
+	Seed    int64         // generation seed
+	Budget  time.Duration // per-run budget; 0 = unlimited (Table 2's 3h analog)
+	Thetas  []float64     // defaults to DefaultThetas
+	Lambdas []float64     // defaults to DefaultLambdas
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if len(c.Thetas) == 0 {
+		c.Thetas = DefaultThetas()
+	}
+	if len(c.Lambdas) == 0 {
+		c.Lambdas = DefaultLambdas()
+	}
+	return c
+}
+
+// Result records one algorithm run on one configuration.
+type Result struct {
+	Dataset   string
+	Framework string
+	Index     string
+	Theta     float64
+	Lambda    float64
+	Tau       float64
+	Elapsed   time.Duration
+	Completed bool // finished within the budget
+	Matches   int
+	Stats     metrics.Counters
+}
+
+// Label renders "FRAMEWORK-INDEX".
+func (r Result) Label() string { return r.Framework + "-" + r.Index }
+
+// newJoiner instantiates a framework × index combination.
+func newJoiner(framework, index string, p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+	switch framework {
+	case FrameworkSTR:
+		var k streaming.Kind
+		switch index {
+		case "INV":
+			k = streaming.INV
+		case "L2AP":
+			k = streaming.L2AP
+		case "L2":
+			k = streaming.L2
+		default:
+			return nil, fmt.Errorf("harness: unknown index %q", index)
+		}
+		return core.NewSTR(k, p, c)
+	case FrameworkMB:
+		var k static.Kind
+		switch index {
+		case "INV":
+			k = static.INV
+		case "AP":
+			k = static.AP
+		case "L2AP":
+			k = static.L2AP
+		case "L2":
+			k = static.L2
+		default:
+			return nil, fmt.Errorf("harness: unknown index %q", index)
+		}
+		return core.NewMiniBatch(k, p, c)
+	default:
+		return nil, fmt.Errorf("harness: unknown framework %q", framework)
+	}
+}
+
+// RunOne executes one configuration over a pre-generated stream with a
+// cooperative per-run budget: the deadline is checked between items, so a
+// run that exceeds it stops early and is marked not completed — the
+// harness analog of the paper's 3-hour timeout.
+func RunOne(items []stream.Item, dataset, framework, index string, p apss.Params, budget time.Duration) Result {
+	res := Result{
+		Dataset:   dataset,
+		Framework: framework,
+		Index:     index,
+		Theta:     p.Theta,
+		Lambda:    p.Lambda,
+		Tau:       p.Horizon(),
+	}
+	j, err := newJoiner(framework, index, p, &res.Stats)
+	if err != nil {
+		return res
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if budget > 0 {
+		deadline = start.Add(budget)
+	}
+	completed := true
+	for i, it := range items {
+		ms, err := j.Add(it)
+		if err != nil {
+			completed = false
+			break
+		}
+		res.Matches += len(ms)
+		if budget > 0 && i%32 == 31 && time.Now().After(deadline) {
+			completed = false
+			break
+		}
+	}
+	if completed {
+		ms, err := j.Flush()
+		if err != nil {
+			completed = false
+		} else {
+			res.Matches += len(ms)
+		}
+		if budget > 0 && time.Now().After(deadline) {
+			completed = false
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Completed = completed
+	return res
+}
+
+// Datasets materializes the four profiles at the configured scale.
+func Datasets(cfg Config) map[string][]stream.Item {
+	cfg = cfg.withDefaults()
+	out := make(map[string][]stream.Item, 4)
+	for _, p := range datagen.Profiles() {
+		out[p.Name] = p.Scaled(cfg.Scale).Generate(cfg.Seed)
+	}
+	return out
+}
+
+// Grid enumerates the (θ, λ) grid of a config.
+func Grid(cfg Config) []apss.Params {
+	cfg = cfg.withDefaults()
+	var out []apss.Params
+	for _, l := range cfg.Lambdas {
+		for _, t := range cfg.Thetas {
+			out = append(out, apss.Params{Theta: t, Lambda: l})
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/datagen"
+)
+
+// tinyCfg keeps harness tests fast: miniature datasets, reduced grid.
+func tinyCfg() Config {
+	return Config{
+		Scale:   0.02,
+		Seed:    1,
+		Thetas:  []float64{0.6, 0.9},
+		Lambdas: []float64{0.01, 0.1},
+	}
+}
+
+func TestRunOneCompletes(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.02).Generate(1)
+	p := apss.Params{Theta: 0.7, Lambda: 0.05}
+	for _, fw := range []string{FrameworkSTR, FrameworkMB} {
+		for _, ix := range IndexNames() {
+			res := RunOne(items, "RCV1", fw, ix, p, 0)
+			if !res.Completed {
+				t.Fatalf("%s-%s did not complete", fw, ix)
+			}
+			if res.Stats.Items != int64(len(items)) {
+				t.Fatalf("%s-%s items=%d", fw, ix, res.Stats.Items)
+			}
+			if res.Tau != p.Horizon() {
+				t.Fatalf("tau mismatch: %v", res.Tau)
+			}
+		}
+	}
+}
+
+func TestRunOneBudgetTimesOut(t *testing.T) {
+	items := datagen.BlogsProfile().Scaled(0.5).Generate(1)
+	p := apss.Params{Theta: 0.5, Lambda: 1e-4} // enormous horizon
+	res := RunOne(items, "Blogs", FrameworkMB, "INV", p, time.Microsecond)
+	if res.Completed {
+		t.Fatal("microsecond budget reported completed")
+	}
+}
+
+func TestResultsConsistentAcrossAlgorithms(t *testing.T) {
+	// Every framework × index must report the same number of matches.
+	items := datagen.TweetsProfile().Scaled(0.03).Generate(2)
+	p := apss.Params{Theta: 0.7, Lambda: 0.01}
+	var counts []int
+	for _, fw := range []string{FrameworkSTR, FrameworkMB} {
+		for _, ix := range IndexNames() {
+			res := RunOne(items, "Tweets", fw, ix, p, 0)
+			if !res.Completed {
+				t.Fatalf("%s-%s did not complete", fw, ix)
+			}
+			counts = append(counts, res.Matches)
+		}
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("match counts diverge: %v", counts)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := RunTable1(tinyCfg())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.N == 0 || r.NNZ == 0 || r.AvgNNZ == 0 {
+			t.Fatalf("empty row %+v", r)
+		}
+	}
+	for _, want := range []string{"WebSpam", "RCV1", "Blogs", "Tweets"} {
+		if !names[want] {
+			t.Fatalf("missing dataset %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "WebSpam") {
+		t.Fatal("print output missing dataset")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Budget = 10 * time.Second // generous: tiny data should always finish
+	cells := RunTable2(cfg)
+	if len(cells) != 4*2*3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Total != 4 {
+			t.Fatalf("grid size %d", c.Total)
+		}
+		if c.Fraction() != 1 {
+			t.Fatalf("%s %s-%s fraction %v on tiny data", c.Dataset, c.Framework, c.Index, c.Fraction())
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, cells)
+	if !strings.Contains(buf.String(), "STR") {
+		t.Fatal("table 2 print broken")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	pts := RunFigure2(tinyCfg())
+	if len(pts) == 0 {
+		t.Fatal("no figure 2 points")
+	}
+	for i, p := range pts {
+		if p.Ratio <= 0 {
+			t.Fatalf("nonpositive ratio %+v", p)
+		}
+		if i > 0 && p.Tau < pts[i-1].Tau {
+			t.Fatal("points not sorted by tau")
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure2(&buf, pts)
+	if !strings.Contains(buf.String(), "ratio") {
+		t.Fatal("figure 2 print broken")
+	}
+}
+
+func TestCompareGridAndPrints(t *testing.T) {
+	res := RunFigure5(tinyCfg())
+	if len(res) != 2*2*3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	var buf bytes.Buffer
+	PrintTimeGrid(&buf, "Figure 5", res)
+	out := buf.String()
+	if !strings.Contains(out, "STR-L2") || !strings.Contains(out, "lambda = 0.01") {
+		t.Fatalf("grid print broken:\n%s", out)
+	}
+	PrintEntriesGrid(&buf, "Figure 6", res)
+}
+
+func TestFigure78And9(t *testing.T) {
+	cfg := tinyCfg()
+	res := RunFigure78(cfg)
+	if len(res) != 4*4 {
+		t.Fatalf("results = %d", len(res))
+	}
+	var buf bytes.Buffer
+	PrintFigure7(&buf, res)
+	PrintFigure8(&buf, res)
+	if !strings.Contains(buf.String(), "lambda=") {
+		t.Fatal("figure 7/8 print broken")
+	}
+	series := RunFigure9(cfg)
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if s.Fit.N != len(s.Taus) || len(s.Taus) == 0 {
+			t.Fatalf("bad fit %+v", s.Fit)
+		}
+	}
+	PrintFigure9(&buf, series)
+}
+
+func TestLinearFit(t *testing.T) {
+	// exact line
+	f := LinearFit([]float64{0, 1, 2, 3}, []float64{1, 3, 5, 7})
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 || math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("fit = %+v", f)
+	}
+	// degenerate inputs
+	if f := LinearFit(nil, nil); f.N != 0 {
+		t.Fatal("empty fit")
+	}
+	if f := LinearFit([]float64{1}, []float64{2}); f.N != 1 {
+		t.Fatal("single point fit")
+	}
+	if f := LinearFit([]float64{2, 2}, []float64{1, 5}); f.Slope != 0 || f.Intercept != 3 {
+		t.Fatalf("vertical fit = %+v", f)
+	}
+	// constant y: R2 defined as 1
+	if f := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4}); f.R2 != 1 || f.Slope != 0 {
+		t.Fatalf("constant fit = %+v", f)
+	}
+	// noisy data: R2 in (0, 1)
+	f = LinearFit([]float64{1, 2, 3, 4}, []float64{2, 3.9, 6.2, 7.9})
+	if !(f.R2 > 0.9 && f.R2 <= 1) {
+		t.Fatalf("noisy fit R2 = %v", f.R2)
+	}
+}
+
+func TestGridAndDefaults(t *testing.T) {
+	g := Grid(Config{})
+	if len(g) != 24 {
+		t.Fatalf("default grid = %d", len(g))
+	}
+	for _, p := range g {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := Datasets(Config{Scale: 0.01})
+	if len(ds) != 4 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+}
+
+func TestResultLabel(t *testing.T) {
+	r := Result{Framework: "STR", Index: "L2"}
+	if r.Label() != "STR-L2" {
+		t.Fatalf("label = %s", r.Label())
+	}
+}

@@ -1,0 +1,85 @@
+package static
+
+import (
+	"sssj/internal/apss"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+// invEntry is a posting entry of the plain inverted index: a vector
+// reference and its value at the list's dimension.
+type invEntry struct {
+	id  uint64
+	val float64
+}
+
+// invIndex is the INV scheme (§5.1): every non-zero coordinate is indexed,
+// candidate generation accumulates the full dot product, and verification
+// is a threshold check.
+type invIndex struct {
+	theta float64
+	c     *metrics.Counters
+	order Order
+	dm    *dimMap
+	lists map[uint32][]invEntry
+	built bool
+}
+
+// Build implements Index.
+func (ix *invIndex) Build(items []stream.Item) []apss.Pair {
+	if ix.built {
+		panic("static: Build called twice")
+	}
+	ix.built = true
+	ix.dm = buildOrder(items, ix.order)
+	ix.lists = make(map[uint32][]invEntry)
+	var pairs []apss.Pair
+	for _, it := range items {
+		it.Vec = ix.dm.Remap(it.Vec)
+		pairs = append(pairs, ix.query(it)...)
+		ix.insert(it)
+	}
+	return pairs
+}
+
+// Query implements Index.
+func (ix *invIndex) Query(x stream.Item) []apss.Pair {
+	if !ix.built {
+		panic("static: Query before Build")
+	}
+	x.Vec = ix.dm.Remap(x.Vec)
+	return ix.query(x)
+}
+
+// query runs CandGen-INV + CandVer-INV on an already-remapped vector.
+func (ix *invIndex) query(x stream.Item) []apss.Pair {
+	if x.Vec.IsEmpty() {
+		return nil
+	}
+	acc := make(map[uint64]float64)
+	for i, d := range x.Vec.Dims {
+		xj := x.Vec.Vals[i]
+		for _, e := range ix.lists[d] {
+			ix.c.EntriesTraversed++
+			if _, seen := acc[e.id]; !seen {
+				ix.c.Candidates++
+			}
+			acc[e.id] += xj * e.val
+		}
+	}
+	var pairs []apss.Pair
+	for id, s := range acc {
+		if s >= ix.theta {
+			pairs = append(pairs, apss.Pair{X: x.ID, Y: id, Dot: s})
+		}
+	}
+	return pairs
+}
+
+// insert runs IndConstr-INV for one already-remapped vector.
+func (ix *invIndex) insert(x stream.Item) {
+	for i, d := range x.Vec.Dims {
+		ix.lists[d] = append(ix.lists[d], invEntry{id: x.ID, val: x.Vec.Vals[i]})
+		ix.c.IndexedEntries++
+	}
+}

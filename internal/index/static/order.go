@@ -1,0 +1,25 @@
+package static
+
+import (
+	"sssj/internal/dimorder"
+	"sssj/internal/stream"
+)
+
+// Order selects a dimension-ordering strategy for the batch indexes, the
+// extension suggested in the paper's conclusion. See internal/dimorder
+// for the mechanics; reordering never changes join results.
+type Order = dimorder.Strategy
+
+// Ordering strategies (aliases of internal/dimorder's).
+const (
+	OrderNone         = dimorder.None
+	OrderDocFreqAsc   = dimorder.DocFreqAsc
+	OrderMaxValueDesc = dimorder.MaxValueDesc
+)
+
+// dimMap adapts dimorder.Map to the call sites in this package.
+type dimMap = dimorder.Map
+
+func buildOrder(items []stream.Item, o Order) *dimMap {
+	return dimorder.Build(items, o)
+}

@@ -1,0 +1,281 @@
+package static
+
+import (
+	"math"
+
+	"sssj/internal/apss"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// pentry is a posting entry of the prefix-filtering schemes:
+// (ι(x), x_j, ||x'_j||) per §5.3. The prefix norm is 0 for AP, which does
+// not use it.
+type pentry struct {
+	id    uint64
+	val   float64
+	pnorm float64 // L2 norm of the vector's coordinates before this one
+}
+
+// vmeta is the per-vector side information of the prefix-filtering
+// schemes: the residual direct index entry R[ι(x)] plus the statistics the
+// candidate-verification bounds need, and the pscore Q[ι(x)].
+type vmeta struct {
+	residual vec.Vector // unindexed prefix x'
+	q        float64    // Q[ι(x)]: upper bound on dot(z, x') for any unit z
+	rsum     float64    // Σ x'
+	rmax     float64    // vm_{x'}
+	vm       float64    // vm_x of the full vector (sz1 filter)
+	nnz      int        // |x| of the full vector (sz1 filter)
+}
+
+// prefixIndex is the shared engine behind AP (useAP), L2 (useL2), and
+// L2AP (both), following the color convention of Algorithms 2–4: red
+// lines are guarded by useAP, green lines by useL2.
+type prefixIndex struct {
+	theta        float64
+	useAP, useL2 bool
+	c            *metrics.Counters
+	order        Order
+	dm           *dimMap
+	extMax       vec.MaxTracker
+
+	m     vec.MaxTracker // dataset ∪ external maxima (b1 bound; AP only)
+	mhat  vec.MaxTracker // maxima over indexed vectors (rs1 bound; AP only)
+	lists map[uint32][]pentry
+	meta  map[uint64]*vmeta
+	built bool
+}
+
+func newPrefixIndex(theta float64, useAP, useL2 bool, opts Options, c *metrics.Counters) *prefixIndex {
+	return &prefixIndex{
+		theta:  theta,
+		useAP:  useAP,
+		useL2:  useL2,
+		c:      c,
+		order:  opts.Order,
+		extMax: opts.ExternalMax,
+		lists:  make(map[uint32][]pentry),
+		meta:   make(map[uint64]*vmeta),
+	}
+}
+
+// Build implements Index (IndConstr, Algorithm 2 driver).
+func (ix *prefixIndex) Build(items []stream.Item) []apss.Pair {
+	if ix.built {
+		panic("static: Build called twice")
+	}
+	ix.built = true
+	ix.dm = buildOrder(items, ix.order)
+	if ix.useAP {
+		ix.m = ix.dm.RemapMax(ix.extMax).Clone()
+		if ix.m == nil {
+			ix.m = vec.NewMaxTracker()
+		}
+		ix.mhat = vec.NewMaxTracker()
+	}
+	remapped := make([]vec.Vector, len(items))
+	for i := range items {
+		remapped[i] = ix.dm.Remap(items[i].Vec)
+		if ix.useAP {
+			ix.m.Update(remapped[i])
+		}
+	}
+	var pairs []apss.Pair
+	for i, it := range items {
+		it.Vec = remapped[i]
+		pairs = append(pairs, ix.query(it)...)
+		ix.insert(it)
+	}
+	return pairs
+}
+
+// Query implements Index (CandGen + CandVer for an external vector).
+func (ix *prefixIndex) Query(x stream.Item) []apss.Pair {
+	if !ix.built {
+		panic("static: Query before Build")
+	}
+	x.Vec = ix.dm.Remap(x.Vec)
+	return ix.query(x)
+}
+
+// query runs Algorithm 3 (CandGen) and Algorithm 4 (CandVer) on an
+// already-remapped vector.
+func (ix *prefixIndex) query(x stream.Item) []apss.Pair {
+	if x.Vec.IsEmpty() {
+		return nil
+	}
+	dims, vals := x.Vec.Dims, x.Vec.Vals
+	vmx := x.Vec.MaxVal()
+	var sz1 float64
+	if ix.useAP {
+		sz1 = ix.theta / vmx
+	}
+
+	// Bounds on the dot of x's unprocessed prefix with any vector:
+	// rs1 = dot(x, m̂) (AP), rs2 = ||unprocessed prefix of x|| (ℓ2).
+	rs1 := math.Inf(1)
+	if ix.useAP {
+		rs1 = ix.mhat.Dot(x.Vec)
+	}
+	rst := 0.0
+	for _, v := range vals {
+		rst += v * v
+	}
+	rs2 := math.Inf(1)
+	if ix.useL2 {
+		rs2 = math.Sqrt(rst)
+	}
+
+	pnx := x.Vec.PrefixNorms()
+	acc := make(map[uint64]float64)
+	pruned := make(map[uint64]bool)
+
+	// Scan x's coordinates in reverse indexing order.
+	for i := len(dims) - 1; i >= 0; i-- {
+		d, xj := dims[i], vals[i]
+		for _, e := range ix.lists[d] {
+			ix.c.EntriesTraversed++
+			if pruned[e.id] {
+				continue
+			}
+			a, isCand := acc[e.id]
+			if !isCand {
+				if math.Min(rs1, rs2) < ix.theta {
+					continue // remscore pruning: y can no longer reach θ
+				}
+				if ix.useAP {
+					// sz1 size filter (Algorithm 3, line 8).
+					ym := ix.meta[e.id]
+					if float64(ym.nnz)*ym.vm < sz1 {
+						pruned[e.id] = true
+						continue
+					}
+				}
+				ix.c.Candidates++
+			}
+			a += xj * e.val
+			if ix.useL2 {
+				// Early ℓ2 pruning (Algorithm 3, lines 11–13):
+				// remaining dot ≤ ||x'_j||·||y'_j||.
+				if a+pnx[i]*e.pnorm < ix.theta {
+					delete(acc, e.id)
+					pruned[e.id] = true
+					continue
+				}
+			}
+			acc[e.id] = a
+		}
+		if ix.useAP {
+			rs1 -= xj * ix.mhat.At(d)
+		}
+		if ix.useL2 {
+			rst -= xj * xj
+			if rst < 0 {
+				rst = 0
+			}
+			rs2 = math.Sqrt(rst)
+		}
+	}
+	return ix.verify(x, vmx, acc)
+}
+
+// verify runs Algorithm 4 (CandVer) over the accumulated candidates.
+func (ix *prefixIndex) verify(x stream.Item, vmx float64, acc map[uint64]float64) []apss.Pair {
+	if len(acc) == 0 {
+		return nil
+	}
+	sx := x.Vec.Sum()
+	nx := x.Vec.NNZ()
+	var pairs []apss.Pair
+	for id, a := range acc {
+		ym := ix.meta[id]
+		// ps1: accumulated + pscore bound on the residual (line 3).
+		if a+ym.q < ix.theta {
+			continue
+		}
+		// ds1: dot bound via coordinate sums (line 4).
+		if a+math.Min(vmx*ym.rsum, ym.rmax*sx) < ix.theta {
+			continue
+		}
+		// sz2: dot bound via sizes (line 5).
+		if a+float64(min(nx, ym.residual.NNZ()))*vmx*ym.rmax < ix.theta {
+			continue
+		}
+		ix.c.FullDots++
+		s := a + vec.Dot(x.Vec, ym.residual)
+		if s >= ix.theta {
+			pairs = append(pairs, apss.Pair{X: x.ID, Y: id, Dot: s})
+		}
+	}
+	return pairs
+}
+
+// insert runs Algorithm 2's index-construction step for one
+// already-remapped vector.
+//
+// Deviation from the pseudocode as printed: line 10 computes
+// b1 += x_j·min{m_j, vm_x}, a bound inherited from Bayardo et al.'s batch
+// setting where vectors are processed in decreasing-vm_x order, making
+// vm_query ≤ vm_x. Arrival order gives no such guarantee, so we use the
+// unconditionally safe b1 += x_j·m_j (m covers the dataset and, per §6.1,
+// the external query window). This only makes b1 larger, i.e. indexes more
+// coordinates — never false negatives.
+func (ix *prefixIndex) insert(x stream.Item) {
+	dims, vals := x.Vec.Dims, x.Vec.Vals
+	if len(dims) == 0 {
+		return
+	}
+	pn := x.Vec.PrefixNorms()
+	b1, bt := 0.0, 0.0
+	firstIdx := -1
+	q := 0.0
+	for i, d := range dims {
+		xj := vals[i]
+		pscore := ix.icBound(b1, math.Sqrt(bt))
+		if ix.useAP {
+			b1 += xj * ix.m.At(d)
+		}
+		bt += xj * xj
+		if ix.icBound(b1, math.Sqrt(bt)) >= ix.theta {
+			if firstIdx < 0 {
+				firstIdx = i
+				q = pscore
+			}
+			ix.lists[d] = append(ix.lists[d], pentry{id: x.ID, val: xj, pnorm: pn[i]})
+			ix.c.IndexedEntries++
+		}
+	}
+	if firstIdx < 0 {
+		// The whole vector stays unindexed: its similarity to any unit
+		// vector is below θ, so it can never participate in a pair.
+		return
+	}
+	residual := x.Vec.SliceByIndex(0, firstIdx)
+	ix.meta[x.ID] = &vmeta{
+		residual: residual,
+		q:        q,
+		rsum:     residual.Sum(),
+		rmax:     residual.MaxVal(),
+		vm:       x.Vec.MaxVal(),
+		nnz:      x.Vec.NNZ(),
+	}
+	ix.c.ResidualEntries++
+	if ix.useAP {
+		ix.mhat.Update(x.Vec)
+	}
+}
+
+// icBound combines the enabled index-construction bounds (b1 for AP, b2
+// for ℓ2), taking the minimum of those in use.
+func (ix *prefixIndex) icBound(b1, b2 float64) float64 {
+	switch {
+	case ix.useAP && ix.useL2:
+		return math.Min(b1, b2)
+	case ix.useAP:
+		return b1
+	default:
+		return b2
+	}
+}

@@ -1,0 +1,103 @@
+// Package static implements the batch (static-dataset) all-pairs
+// similarity indexes of the paper: INV (plain inverted index), AP
+// (Bayardo et al.), L2AP (Anastasiu & Karypis), and L2 (the paper's
+// streaming-oriented restriction of L2AP to its ℓ2 bounds).
+//
+// Each index exposes the three primitives of §4:
+//
+//	IndConstr — Build: index a dataset incrementally while reporting all
+//	            similar pairs inside it.
+//	CandGen   — the first half of Query: traverse posting lists to collect
+//	            candidate vectors with accumulated partial dot products.
+//	CandVer   — the second half of Query: apply verification bounds and
+//	            compute exact similarities from the residual index.
+//
+// These indexes know nothing about time: they compute the classic APSS
+// join at threshold θ. The MiniBatch framework (internal/core) composes
+// them with time filtering and decay.
+package static
+
+import (
+	"fmt"
+
+	"sssj/internal/apss"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// Kind selects an indexing scheme.
+type Kind int
+
+// The four indexing schemes of the paper.
+const (
+	INV Kind = iota
+	AP
+	L2AP
+	L2
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case INV:
+		return "INV"
+	case AP:
+		return "AP"
+	case L2AP:
+		return "L2AP"
+	case L2:
+		return "L2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all schemes, for sweeps and tests.
+func Kinds() []Kind { return []Kind{INV, AP, L2AP, L2} }
+
+// Options configures index construction.
+type Options struct {
+	// ExternalMax supplies per-dimension maxima of vectors that will query
+	// the index but are not part of the indexed dataset. Per §6.1, the
+	// MiniBatch framework passes the maxima of the following window so
+	// the AP b1 bound stays valid for cross-window queries. Ignored by
+	// INV and L2, whose bounds are data-independent.
+	ExternalMax vec.MaxTracker
+	// Counters receives operation counts; nil disables counting.
+	Counters *metrics.Counters
+	// Order selects the dimension-ordering strategy (extension; see
+	// order.go). Defaults to OrderNone, the paper's configuration.
+	Order Order
+}
+
+// Index is a batch APSS index over one dataset.
+type Index interface {
+	// Build indexes items (in slice order) and returns every pair within
+	// items whose dot product is at least θ. Build must be called exactly
+	// once, before any Query.
+	Build(items []stream.Item) []apss.Pair
+	// Query returns every pair (x, y) with y in the indexed dataset and
+	// dot(x, y) ≥ θ. The query vector is not added to the index.
+	Query(x stream.Item) []apss.Pair
+}
+
+// New returns an index of the given kind for threshold theta.
+func New(kind Kind, theta float64, opts Options) Index {
+	c := opts.Counters
+	if c == nil {
+		c = &metrics.Counters{}
+	}
+	switch kind {
+	case INV:
+		return &invIndex{theta: theta, c: c, order: opts.Order}
+	case AP:
+		return newPrefixIndex(theta, true, false, opts, c)
+	case L2AP:
+		return newPrefixIndex(theta, true, true, opts, c)
+	case L2:
+		return newPrefixIndex(theta, false, true, opts, c)
+	default:
+		panic(fmt.Sprintf("static: unknown kind %d", int(kind)))
+	}
+}

@@ -1,0 +1,329 @@
+package static
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// bruteBuildPairs is the quadratic oracle for Build: all pairs within
+// items with dot ≥ theta, X being the later item.
+func bruteBuildPairs(items []stream.Item, theta float64) []apss.Pair {
+	var out []apss.Pair
+	for i := 1; i < len(items); i++ {
+		for j := 0; j < i; j++ {
+			if d := vec.Dot(items[i].Vec, items[j].Vec); d >= theta {
+				out = append(out, apss.Pair{X: items[i].ID, Y: items[j].ID, Dot: d})
+			}
+		}
+	}
+	return out
+}
+
+// bruteQueryPairs is the oracle for Query.
+func bruteQueryPairs(items []stream.Item, x stream.Item, theta float64) []apss.Pair {
+	var out []apss.Pair
+	for _, it := range items {
+		if d := vec.Dot(x.Vec, it.Vec); d >= theta {
+			out = append(out, apss.Pair{X: x.ID, Y: it.ID, Dot: d})
+		}
+	}
+	return out
+}
+
+func sortPairs(ps []apss.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+}
+
+func samePairs(t *testing.T, label string, got, want []apss.Pair) {
+	t.Helper()
+	sortPairs(got)
+	sortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d pairs want %d\ngot:  %+v\nwant: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.X != w.X || g.Y != w.Y {
+			t.Fatalf("%s: pair %d: got (%d,%d) want (%d,%d)", label, i, g.X, g.Y, w.X, w.Y)
+		}
+		if diff := g.Dot - w.Dot; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: pair %d: dot %v want %v", label, i, g.Dot, w.Dot)
+		}
+	}
+}
+
+// randomDataset builds n unit vectors with positive values, planting
+// near-duplicate clusters so that similar pairs exist at high thresholds.
+func randomDataset(r *rand.Rand, n, maxDim, maxNNZ int) []stream.Item {
+	items := make([]stream.Item, 0, n)
+	var base vec.Vector
+	for i := 0; i < n; i++ {
+		var v vec.Vector
+		if i > 0 && r.Float64() < 0.3 && !base.IsEmpty() {
+			// perturb a previous vector to plant a similar pair
+			m := map[uint32]float64{}
+			for k, d := range base.Dims {
+				m[d] = base.Vals[k] * (0.9 + 0.2*r.Float64())
+			}
+			if r.Float64() < 0.5 {
+				m[uint32(r.Intn(maxDim))] = 0.05 + 0.1*r.Float64()
+			}
+			v = vec.FromMap(m).Normalize()
+		} else {
+			nnz := 1 + r.Intn(maxNNZ)
+			m := map[uint32]float64{}
+			for j := 0; j < nnz; j++ {
+				m[uint32(r.Intn(maxDim))] = 0.05 + r.Float64()
+			}
+			v = vec.FromMap(m).Normalize()
+		}
+		if r.Float64() < 0.4 {
+			base = v
+		}
+		items = append(items, stream.Item{ID: uint64(i), Time: float64(i), Vec: v})
+	}
+	return items
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	thetas := []float64{0.3, 0.5, 0.7, 0.9, 0.99}
+	for _, kind := range Kinds() {
+		for _, theta := range thetas {
+			for seed := int64(0); seed < 6; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				items := randomDataset(r, 60, 40, 8)
+				ix := New(kind, theta, Options{})
+				got := ix.Build(items)
+				want := bruteBuildPairs(items, theta)
+				samePairs(t, fmt.Sprintf("%v theta=%v seed=%d", kind, theta, seed), got, want)
+			}
+		}
+	}
+}
+
+func TestBuildWithOrders(t *testing.T) {
+	orders := []Order{OrderNone, OrderDocFreqAsc, OrderMaxValueDesc}
+	for _, kind := range Kinds() {
+		for _, ord := range orders {
+			r := rand.New(rand.NewSource(7))
+			items := randomDataset(r, 50, 30, 6)
+			ix := New(kind, 0.6, Options{Order: ord})
+			got := ix.Build(items)
+			want := bruteBuildPairs(items, 0.6)
+			samePairs(t, fmt.Sprintf("%v order=%v", kind, ord), got, want)
+		}
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	for _, kind := range Kinds() {
+		for seed := int64(0); seed < 5; seed++ {
+			r := rand.New(rand.NewSource(100 + seed))
+			indexed := randomDataset(r, 40, 30, 6)
+			queries := randomDataset(r, 20, 30, 6)
+			// Per §6.1, AP-family indexes need the maxima of the query
+			// window merged into m before building.
+			ext := vec.NewMaxTracker()
+			for _, q := range queries {
+				ext.Update(q.Vec)
+			}
+			theta := 0.55
+			ix := New(kind, theta, Options{ExternalMax: ext})
+			ix.Build(indexed)
+			for qi, q := range queries {
+				q.ID = uint64(1000 + qi)
+				got := ix.Query(q)
+				want := bruteQueryPairs(indexed, q, theta)
+				samePairs(t, fmt.Sprintf("%v seed=%d q=%d", kind, seed, qi), got, want)
+			}
+		}
+	}
+}
+
+func TestQueryNeedsExternalMaxForAP(t *testing.T) {
+	// Demonstrates why §6.1 merges the query window's maxima: a query with
+	// a larger coordinate than anything indexed could otherwise slip past
+	// the b1 bound. With ExternalMax provided, results are exact.
+	items := []stream.Item{
+		{ID: 0, Vec: vec.MustNew([]uint32{0, 1}, []float64{0.2, 0.9}).Normalize()},
+		{ID: 1, Vec: vec.MustNew([]uint32{1, 2}, []float64{0.9, 0.2}).Normalize()},
+	}
+	q := stream.Item{ID: 99, Vec: vec.MustNew([]uint32{1}, []float64{1})}
+	ext := vec.NewMaxTracker()
+	ext.Update(q.Vec)
+	for _, kind := range []Kind{AP, L2AP} {
+		ix := New(kind, 0.5, Options{ExternalMax: ext})
+		ix.Build(items)
+		got := ix.Query(q)
+		want := bruteQueryPairs(items, q, 0.5)
+		samePairs(t, kind.String(), got, want)
+	}
+}
+
+func TestEmptyAndDegenerateInputs(t *testing.T) {
+	for _, kind := range Kinds() {
+		ix := New(kind, 0.5, Options{})
+		if got := ix.Build(nil); len(got) != 0 {
+			t.Fatalf("%v: pairs from empty dataset", kind)
+		}
+		if got := ix.Query(stream.Item{ID: 1, Vec: vec.Vector{}}); len(got) != 0 {
+			t.Fatalf("%v: pairs for empty query", kind)
+		}
+	}
+	// dataset containing empty vectors
+	items := []stream.Item{
+		{ID: 0, Vec: vec.Vector{}},
+		{ID: 1, Vec: vec.MustNew([]uint32{1}, []float64{1})},
+		{ID: 2, Vec: vec.MustNew([]uint32{1}, []float64{1})},
+	}
+	for _, kind := range Kinds() {
+		ix := New(kind, 0.9, Options{})
+		got := ix.Build(items)
+		if len(got) != 1 || got[0].X != 2 || got[0].Y != 1 {
+			t.Fatalf("%v: got %+v", kind, got)
+		}
+	}
+}
+
+func TestIdenticalVectorsAllPairs(t *testing.T) {
+	// n identical vectors: all n-choose-2 pairs must be reported even at
+	// theta close to 1.
+	v := vec.MustNew([]uint32{3, 5, 9}, []float64{1, 2, 2}).Normalize()
+	var items []stream.Item
+	for i := 0; i < 10; i++ {
+		items = append(items, stream.Item{ID: uint64(i), Vec: v})
+	}
+	for _, kind := range Kinds() {
+		ix := New(kind, 0.999, Options{})
+		got := ix.Build(items)
+		if len(got) != 45 {
+			t.Fatalf("%v: got %d pairs want 45", kind, len(got))
+		}
+	}
+}
+
+func TestSingleDimensionVectors(t *testing.T) {
+	// Vectors with one coordinate each: similar iff same dimension.
+	var items []stream.Item
+	for i := 0; i < 12; i++ {
+		items = append(items, stream.Item{
+			ID:  uint64(i),
+			Vec: vec.MustNew([]uint32{uint32(i % 3)}, []float64{1}),
+		})
+	}
+	want := bruteBuildPairs(items, 0.9)
+	for _, kind := range Kinds() {
+		ix := New(kind, 0.9, Options{})
+		samePairs(t, kind.String(), ix.Build(items), want)
+	}
+}
+
+func TestThetaOneBoundary(t *testing.T) {
+	v := vec.MustNew([]uint32{1, 2}, []float64{3, 4}).Normalize()
+	items := []stream.Item{
+		{ID: 0, Vec: v},
+		{ID: 1, Vec: v},
+		{ID: 2, Vec: vec.MustNew([]uint32{1, 2}, []float64{4, 3}).Normalize()},
+	}
+	for _, kind := range Kinds() {
+		ix := New(kind, 1.0, Options{})
+		got := ix.Build(items)
+		// only the exact duplicate pair reaches dot == 1 (within fp error)
+		if len(got) != 1 || got[0].X != 1 || got[0].Y != 0 {
+			t.Fatalf("%v: got %+v", kind, got)
+		}
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	items := randomDataset(r, 40, 20, 6)
+	for _, kind := range Kinds() {
+		var c metrics.Counters
+		ix := New(kind, 0.5, Options{Counters: &c})
+		ix.Build(items)
+		if c.EntriesTraversed == 0 || c.IndexedEntries == 0 {
+			t.Fatalf("%v: counters not populated: %+v", kind, c)
+		}
+	}
+}
+
+func TestPruningReducesWork(t *testing.T) {
+	// L2AP and L2 must index fewer entries and traverse fewer posting
+	// entries than INV on the same data (the premise of Figure 6).
+	r := rand.New(rand.NewSource(11))
+	items := randomDataset(r, 200, 50, 10)
+	work := map[Kind]metrics.Counters{}
+	for _, kind := range Kinds() {
+		var c metrics.Counters
+		New(kind, 0.7, Options{Counters: &c}).Build(items)
+		work[kind] = c
+	}
+	if work[L2].IndexedEntries >= work[INV].IndexedEntries {
+		t.Fatalf("L2 indexed %d >= INV %d", work[L2].IndexedEntries, work[INV].IndexedEntries)
+	}
+	if work[L2AP].EntriesTraversed > work[INV].EntriesTraversed {
+		t.Fatalf("L2AP traversed %d > INV %d", work[L2AP].EntriesTraversed, work[INV].EntriesTraversed)
+	}
+}
+
+func TestBuildTwicePanics(t *testing.T) {
+	for _, kind := range Kinds() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: second Build did not panic", kind)
+				}
+			}()
+			ix := New(kind, 0.5, Options{})
+			ix.Build(nil)
+			ix.Build(nil)
+		}()
+	}
+}
+
+func TestQueryBeforeBuildPanics(t *testing.T) {
+	for _, kind := range Kinds() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: Query before Build did not panic", kind)
+				}
+			}()
+			New(kind, 0.5, Options{}).Query(stream.Item{})
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if INV.String() != "INV" || AP.String() != "AP" || L2AP.String() != "L2AP" || L2.String() != "L2" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind name wrong")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	items := randomDataset(r, 2000, 500, 20)
+	for _, kind := range Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				New(kind, 0.7, Options{}).Build(items)
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package streaming
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// fuzzItems builds a random stream with planted near-duplicates.
+func fuzzItems(seed int64, n int) []stream.Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]stream.Item, 0, n)
+	tm := 0.0
+	var prev vec.Vector
+	for i := 0; i < n; i++ {
+		tm += r.Float64()
+		var v vec.Vector
+		if !prev.IsEmpty() && r.Float64() < 0.3 {
+			m := map[uint32]float64{}
+			for k, d := range prev.Dims {
+				m[d] = prev.Vals[k] * (0.9 + 0.2*r.Float64())
+			}
+			v = vec.FromMap(m).Normalize()
+		} else {
+			m := map[uint32]float64{}
+			for j := 0; j < 1+r.Intn(6); j++ {
+				m[uint32(r.Intn(25))] = 0.05 + r.Float64()
+			}
+			v = vec.FromMap(m).Normalize()
+		}
+		prev = v
+		items = append(items, stream.Item{ID: uint64(i), Time: tm, Vec: v})
+	}
+	return items
+}
+
+// bruteMatches is an inline oracle.
+func bruteMatches(items []stream.Item, p apss.Params) []apss.Match {
+	tau := p.Horizon()
+	var out []apss.Match
+	for i := 1; i < len(items); i++ {
+		for j := 0; j < i; j++ {
+			dt := items[i].Time - items[j].Time
+			if dt > tau {
+				continue
+			}
+			dot := vec.Dot(items[i].Vec, items[j].Vec)
+			if sim := p.Sim(dot, dt); sim >= p.Theta {
+				out = append(out, apss.Match{X: items[i].ID, Y: items[j].ID, Sim: sim, Dot: dot, DT: dt})
+			}
+		}
+	}
+	return out
+}
+
+func runIndex(t *testing.T, kind Kind, p apss.Params, opts Options, items []stream.Item) []apss.Match {
+	t.Helper()
+	ix, err := New(kind, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []apss.Match
+	for _, it := range items {
+		ms, err := ix.Add(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ms...)
+	}
+	return out
+}
+
+// TestSTRAPMatchesOracle covers the AP kind New exposes as an ablation.
+func TestSTRAPMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		items := fuzzItems(seed, 120)
+		for _, p := range []apss.Params{
+			{Theta: 0.5, Lambda: 0.05},
+			{Theta: 0.9, Lambda: 0.3},
+		} {
+			want := bruteMatches(items, p)
+			got := runIndex(t, AP, p, Options{}, items)
+			if !apss.EqualMatchSets(got, want, 1e-9) {
+				t.Fatalf("STR-AP diverged at seed=%d theta=%v lambda=%v (%d vs %d)",
+					seed, p.Theta, p.Lambda, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestAblationsPreserveExactness: switching off any pruning rule must not
+// change the output, only the amount of work.
+func TestAblationsPreserveExactness(t *testing.T) {
+	ablations := []Ablations{
+		{NoRemscore: true},
+		{NoL2Bound: true},
+		{NoVerifyBounds: true},
+		{NoIndexBound: true},
+		{NoRemscore: true, NoL2Bound: true, NoVerifyBounds: true, NoIndexBound: true},
+	}
+	p := apss.Params{Theta: 0.6, Lambda: 0.1}
+	for seed := int64(0); seed < 4; seed++ {
+		items := fuzzItems(100+seed, 120)
+		want := bruteMatches(items, p)
+		for _, kind := range []Kind{L2, L2AP, AP} {
+			for _, abl := range ablations {
+				got := runIndex(t, kind, p, Options{Ablations: abl}, items)
+				if !apss.EqualMatchSets(got, want, 1e-9) {
+					t.Fatalf("%v with %+v diverged at seed=%d (%d vs %d)",
+						kind, abl, seed, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestAblationsIncreaseWork: each disabled rule must not reduce the work
+// counters it guards, and disabling remscore must strictly increase
+// candidates on a workload with prunable candidates.
+func TestAblationsIncreaseWork(t *testing.T) {
+	p := apss.Params{Theta: 0.8, Lambda: 0.01}
+	items := fuzzItems(7, 400)
+	run := func(abl Ablations) metrics.Counters {
+		var c metrics.Counters
+		ix, err := New(L2, p, Options{Counters: &c, Ablations: abl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			if _, err := ix.Add(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
+	}
+	base := run(Ablations{})
+	noRem := run(Ablations{NoRemscore: true})
+	if noRem.Candidates <= base.Candidates {
+		t.Fatalf("NoRemscore candidates %d <= base %d", noRem.Candidates, base.Candidates)
+	}
+	noVer := run(Ablations{NoVerifyBounds: true})
+	if noVer.FullDots < base.FullDots {
+		t.Fatalf("NoVerifyBounds dots %d < base %d", noVer.FullDots, base.FullDots)
+	}
+	noIdx := run(Ablations{NoIndexBound: true})
+	if noIdx.IndexedEntries <= base.IndexedEntries {
+		t.Fatalf("NoIndexBound entries %d <= base %d", noIdx.IndexedEntries, base.IndexedEntries)
+	}
+}
+
+// TestAPRequiresExponential mirrors the L2AP restriction.
+func TestAPRequiresExponential(t *testing.T) {
+	_, err := New(AP, apss.Params{Theta: 0.5, Lambda: 0.1},
+		Options{Kernel: apss.SlidingWindow{Tau: 3}})
+	if err == nil {
+		t.Fatal("STR-AP accepted a non-exponential kernel")
+	}
+}
+
+// TestAPKindString covers the new kind name.
+func TestAPKindString(t *testing.T) {
+	if AP.String() != "AP" {
+		t.Fatal("AP name wrong")
+	}
+}
+
+func BenchmarkAblationImpact(b *testing.B) {
+	p := apss.Params{Theta: 0.7, Lambda: 0.01}
+	items := fuzzItems(3, 2000)
+	for _, tc := range []struct {
+		name string
+		abl  Ablations
+	}{
+		{"full", Ablations{}},
+		{"no-remscore", Ablations{NoRemscore: true}},
+		{"no-l2bound", Ablations{NoL2Bound: true}},
+		{"no-verify", Ablations{NoVerifyBounds: true}},
+		{"no-indexbound", Ablations{NoIndexBound: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var c metrics.Counters
+				ix, err := New(L2, p, Options{Counters: &c, Ablations: tc.abl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, it := range items {
+					if _, err := ix.Add(it); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if i == 0 {
+					b.ReportMetric(float64(c.EntriesTraversed), "entries")
+					b.ReportMetric(float64(c.FullDots), "dots")
+				}
+			}
+		})
+	}
+	_ = fmt.Sprint() // keep fmt for future debug output
+}

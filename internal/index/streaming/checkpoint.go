@@ -1,0 +1,287 @@
+package streaming
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sssj/internal/apss"
+	"sssj/internal/cbuf"
+	"sssj/internal/vec"
+)
+
+// Checkpointing serializes a streaming index's live state — posting
+// lists, residual direct index, max vectors, stream clock — so a
+// long-running join can restart after a crash or redeploy and continue
+// exactly where it stopped. The format is little-endian, versioned, and
+// self-describing enough to reject foreign or truncated files.
+//
+// Operation counters are not part of a checkpoint; a restored index
+// starts counting from zero.
+
+var ckptMagic = [8]byte{'S', 'S', 'S', 'J', 'C', 'K', 'P', 'T'}
+
+const ckptVersion = 1
+
+// ErrBadCheckpoint reports a corrupt or incompatible checkpoint.
+var ErrBadCheckpoint = errors.New("streaming: bad checkpoint")
+
+// Save writes ix's state. Only indexes created by New are supported.
+// Custom (non-exponential) kernels are recorded as a flag; Load then
+// requires the same kernel to be re-supplied in Options.
+func Save(ix Index, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &ckptWriter{w: bw}
+	cw.bytes(ckptMagic[:])
+	cw.u32(ckptVersion)
+	switch v := ix.(type) {
+	case *invIndex:
+		cw.u8(uint8(INV))
+		cw.f64(v.p.Theta)
+		cw.f64(v.p.Lambda)
+		cw.u8(boolByte(isDefaultKernel(v.kernel, v.p)))
+		cw.f64(v.now)
+		cw.u8(boolByte(v.begun))
+		cw.u32(uint32(len(v.lists)))
+		for d, lst := range v.lists {
+			cw.u32(d)
+			cw.u32(uint32(lst.Len()))
+			lst.Ascend(func(_ int, e ientry) bool {
+				cw.u64(e.id)
+				cw.f64(e.t)
+				cw.f64(e.val)
+				return true
+			})
+		}
+	case *engine:
+		kind := L2
+		switch {
+		case v.useAP && v.useL2:
+			kind = L2AP
+		case v.useAP:
+			kind = AP
+		}
+		cw.u8(uint8(kind))
+		cw.f64(v.p.Theta)
+		cw.f64(v.p.Lambda)
+		cw.u8(boolByte(isDefaultKernel(v.kernel, v.p)))
+		cw.f64(v.now)
+		cw.u8(boolByte(v.begun))
+		cw.u32(uint32(len(v.lists)))
+		for d, lst := range v.lists {
+			cw.u32(d)
+			cw.u32(uint32(lst.Len()))
+			lst.Ascend(func(_ int, e sentry) bool {
+				cw.u64(e.id)
+				cw.f64(e.t)
+				cw.f64(e.val)
+				cw.f64(e.pnorm)
+				return true
+			})
+		}
+		cw.u32(uint32(v.res.Len()))
+		v.res.Ascend(func(id uint64, m *smeta) bool {
+			cw.u64(id)
+			cw.f64(m.t)
+			cw.u32(uint32(m.boundary))
+			cw.f64(m.q)
+			cw.u32(uint32(m.vec.NNZ()))
+			for i := range m.vec.Dims {
+				cw.u32(m.vec.Dims[i])
+				cw.f64(m.vec.Vals[i])
+			}
+			return true
+		})
+		if v.useAP {
+			cw.u32(uint32(len(v.m)))
+			for d, val := range v.m {
+				cw.u32(d)
+				cw.f64(val)
+			}
+			cw.u32(uint32(len(v.mhatVal)))
+			for d, val := range v.mhatVal {
+				cw.u32(d)
+				cw.f64(val)
+				cw.f64(v.mhatT[d])
+			}
+		}
+	default:
+		return fmt.Errorf("streaming: cannot checkpoint %T", ix)
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	return bw.Flush()
+}
+
+// Load restores an index saved by Save. opts supplies runtime-only state
+// (counters, ablations, and — when the checkpoint used a custom kernel —
+// the kernel itself).
+func Load(r io.Reader, opts Options) (Index, error) {
+	cr := &ckptReader{r: bufio.NewReader(r)}
+	var magic [8]byte
+	cr.bytes(magic[:])
+	if cr.err != nil || magic != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if ver := cr.u32(); ver != ckptVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, ver)
+	}
+	kind := Kind(cr.u8())
+	p := apss.Params{Theta: cr.f64(), Lambda: cr.f64()}
+	defaultKernel := cr.u8() == 1
+	now := cr.f64()
+	begun := cr.u8() == 1
+	if cr.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, cr.err)
+	}
+	if !defaultKernel && opts.Kernel == nil {
+		return nil, fmt.Errorf("%w: checkpoint used a custom kernel; supply it in Options", ErrBadCheckpoint)
+	}
+	if defaultKernel {
+		opts.Kernel = nil // force the params-derived exponential kernel
+	}
+	ix, err := New(kind, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch v := ix.(type) {
+	case *invIndex:
+		v.now, v.begun = now, begun
+		nLists := int(cr.u32())
+		for l := 0; l < nLists && cr.err == nil; l++ {
+			d := cr.u32()
+			n := int(cr.u32())
+			lst := &cbuf.Ring[ientry]{}
+			for i := 0; i < n && cr.err == nil; i++ {
+				lst.PushBack(ientry{id: cr.u64(), t: cr.f64(), val: cr.f64()})
+			}
+			v.lists[d] = lst
+		}
+	case *engine:
+		v.now, v.begun = now, begun
+		nLists := int(cr.u32())
+		for l := 0; l < nLists && cr.err == nil; l++ {
+			d := cr.u32()
+			n := int(cr.u32())
+			lst := &cbuf.Ring[sentry]{}
+			for i := 0; i < n && cr.err == nil; i++ {
+				lst.PushBack(sentry{id: cr.u64(), t: cr.f64(), val: cr.f64(), pnorm: cr.f64()})
+			}
+			v.lists[d] = lst
+		}
+		nRes := int(cr.u32())
+		for i := 0; i < nRes && cr.err == nil; i++ {
+			id := cr.u64()
+			t := cr.f64()
+			boundary := int(cr.u32())
+			q := cr.f64()
+			nnz := int(cr.u32())
+			vv := vec.Vector{Dims: make([]uint32, nnz), Vals: make([]float64, nnz)}
+			for k := 0; k < nnz && cr.err == nil; k++ {
+				vv.Dims[k] = cr.u32()
+				vv.Vals[k] = cr.f64()
+			}
+			if cr.err != nil {
+				break
+			}
+			if err := vv.Validate(); err != nil || boundary > nnz {
+				return nil, fmt.Errorf("%w: residual %d invalid", ErrBadCheckpoint, id)
+			}
+			residual := vv.SliceByIndex(0, boundary)
+			v.res.Put(id, &smeta{
+				t:        t,
+				vec:      vv,
+				pn:       vv.PrefixNorms(),
+				boundary: boundary,
+				q:        q,
+				rsum:     residual.Sum(),
+				rmax:     residual.MaxVal(),
+			})
+		}
+		if v.useAP && cr.err == nil {
+			nM := int(cr.u32())
+			for i := 0; i < nM && cr.err == nil; i++ {
+				d := cr.u32()
+				v.m[d] = cr.f64()
+			}
+			nMh := int(cr.u32())
+			for i := 0; i < nMh && cr.err == nil; i++ {
+				d := cr.u32()
+				v.mhatVal[d] = cr.f64()
+				v.mhatT[d] = cr.f64()
+			}
+		}
+	}
+	if cr.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, cr.err)
+	}
+	return ix, nil
+}
+
+func isDefaultKernel(k apss.Kernel, p apss.Params) bool {
+	e, ok := k.(apss.Exponential)
+	return ok && e.Lambda == p.Lambda
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ckptWriter writes little-endian primitives, latching the first error.
+type ckptWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *ckptWriter) bytes(b []byte) {
+	if c.err == nil {
+		_, c.err = c.w.Write(b)
+	}
+}
+func (c *ckptWriter) u8(v uint8) { c.bytes([]byte{v}) }
+func (c *ckptWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.bytes(b[:])
+}
+func (c *ckptWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.bytes(b[:])
+}
+func (c *ckptWriter) f64(v float64) { c.u64(math.Float64bits(v)) }
+
+// ckptReader reads little-endian primitives, latching the first error.
+type ckptReader struct {
+	r   io.Reader
+	err error
+}
+
+func (c *ckptReader) bytes(b []byte) {
+	if c.err == nil {
+		_, c.err = io.ReadFull(c.r, b)
+	}
+}
+func (c *ckptReader) u8() uint8 {
+	var b [1]byte
+	c.bytes(b[:])
+	return b[0]
+}
+func (c *ckptReader) u32() uint32 {
+	var b [4]byte
+	c.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+func (c *ckptReader) u64() uint64 {
+	var b [8]byte
+	c.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+func (c *ckptReader) f64() float64 { return math.Float64frombits(c.u64()) }

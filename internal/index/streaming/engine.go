@@ -1,0 +1,450 @@
+package streaming
+
+import (
+	"math"
+
+	"sssj/internal/apss"
+	"sssj/internal/cbuf"
+	"sssj/internal/lhmap"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// sentry is a posting entry of the prefix-filtering streaming schemes:
+// (ι(x), t(x), x_j, ||x'_j||) — §5.3 plus the arrival time that drives
+// time filtering.
+type sentry struct {
+	id    uint64
+	t     float64
+	val   float64
+	pnorm float64
+}
+
+// smeta is the per-vector state kept in the residual direct index R: the
+// full vector (its prefix before boundary is the residual, and the suffix
+// may be needed again by re-indexing), prefix norms, the Q[ι(x)] pscore,
+// and the residual statistics used by candidate verification.
+type smeta struct {
+	t        float64
+	vec      vec.Vector
+	pn       []float64 // prefix norms of vec (len NNZ+1)
+	boundary int       // first indexed coordinate position
+	q        float64   // Q[ι(x)]
+	rsum     float64   // Σ of the residual prefix
+	rmax     float64   // max value of the residual prefix
+}
+
+// accEng is an accumulator cell: partial dot over indexed coordinates and
+// the candidate's arrival time.
+type accEng struct {
+	dot float64
+	t   float64
+}
+
+// engine implements STR-L2 (useL2 only), STR-L2AP (both flag sets), and
+// the STR-AP ablation (useAP only), following Algorithms 6 (index
+// construction), 7 (candidate generation) and 8 (candidate verification).
+// Per the paper's color convention, green (ℓ2) lines are guarded by useL2
+// and red (AP) lines by useAP.
+type engine struct {
+	p      apss.Params
+	kernel apss.Kernel
+	lambda float64 // decay rate; meaningful when useAP (exponential kernel)
+	tau    float64
+	useAP  bool
+	useL2  bool
+	abl    Ablations
+	c      *metrics.Counters
+
+	lists map[uint32]*cbuf.Ring[sentry]
+	res   *lhmap.Map[uint64, *smeta]
+
+	// m is the monotone (undecayed) max vector driving the b1 bound;
+	// per §6.2 decay is deliberately not applied to it, so it only grows
+	// and re-indexing happens only when a new per-dimension maximum
+	// arrives. L2AP only.
+	m vec.MaxTracker
+	// m̂λ, the time-decayed max vector used by rs1 (§5.3): for each
+	// dimension we keep the argmax (value, time). Under exponential decay
+	// the relative order of decayed coordinates never changes, so the
+	// stored achiever is the exact decayed maximum while alive and a safe
+	// upper bound after it expires. L2AP only.
+	mhatVal map[uint32]float64
+	mhatT   map[uint32]float64
+
+	now   float64
+	begun bool
+}
+
+func newEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, abl Ablations, c *metrics.Counters) *engine {
+	e := &engine{
+		p:      p,
+		kernel: kernel,
+		lambda: p.Lambda,
+		tau:    kernel.Horizon(p.Theta),
+		useAP:  useAP,
+		useL2:  useL2,
+		abl:    abl,
+		c:      c,
+		lists:  make(map[uint32]*cbuf.Ring[sentry]),
+		res:    lhmap.New[uint64, *smeta](),
+	}
+	if useAP {
+		e.m = vec.NewMaxTracker()
+		e.mhatVal = make(map[uint32]float64)
+		e.mhatT = make(map[uint32]float64)
+	}
+	return e
+}
+
+// Add implements Index: IndConstr-L2AP-STR / IndConstr-L2-STR
+// (Algorithm 6), i.e. candidate generation, verification, then index
+// construction for x.
+func (e *engine) Add(x stream.Item) ([]apss.Match, error) {
+	if e.begun && x.Time < e.now {
+		return nil, ErrTimeOrder
+	}
+	e.begun = true
+	e.now = x.Time
+	e.c.Items++
+
+	// Expire residuals beyond the horizon (amortized O(1): R is in time
+	// order, §6.2).
+	horizonStart := x.Time - e.tau
+	e.res.PruneWhile(func(_ uint64, m *smeta) bool { return m.t < horizonStart })
+
+	// For L2AP, restore the prefix-filtering invariant *before* querying:
+	// if x raises any per-dimension maximum, residuals touching those
+	// dimensions may now need more of their coordinates indexed, or x's
+	// own query could miss them (§5.3, re-indexing).
+	if e.useAP {
+		if changed := e.m.Update(x.Vec); len(changed) > 0 {
+			e.reindex(changed)
+		}
+	}
+
+	acc, pruned := e.candGen(x)
+	out := e.candVer(x, acc, pruned)
+	e.c.Pairs += int64(len(out))
+
+	e.indexVector(x)
+	return out, nil
+}
+
+// candGen is Algorithm 7: scan x's coordinates in reverse indexing order,
+// accumulating partial dot products for candidates that survive the
+// remscore and ℓ2 bounds, with time filtering applied per entry.
+func (e *engine) candGen(x stream.Item) (map[uint64]*accEng, map[uint64]bool) {
+	dims, vals := x.Vec.Dims, x.Vec.Vals
+	if len(dims) == 0 {
+		return nil, nil
+	}
+	rs1 := math.Inf(1)
+	if e.useAP {
+		rs1 = 0
+		for i, d := range dims {
+			rs1 += vals[i] * e.mhatAt(d)
+		}
+	}
+	rst := 0.0
+	rs2 := math.Inf(1)
+	if e.useL2 {
+		for _, v := range vals {
+			rst += v * v
+		}
+		rs2 = math.Sqrt(rst)
+	}
+
+	pnx := x.Vec.PrefixNorms()
+	acc := make(map[uint64]*accEng)
+	pruned := make(map[uint64]bool)
+
+	for i := len(dims) - 1; i >= 0; i-- {
+		d, xj := dims[i], vals[i]
+		lst := e.lists[d]
+		if lst == nil {
+			continue
+		}
+		process := func(ent sentry) {
+			e.c.EntriesTraversed++
+			if pruned[ent.id] {
+				return
+			}
+			dt := x.Time - ent.t
+			decay := e.kernel.Factor(dt)
+			a := acc[ent.id]
+			if a == nil {
+				// remscore admission (Algorithm 7, lines 7–8).
+				rs2d := rs2
+				if e.useL2 {
+					rs2d = rs2 * decay
+				}
+				if !e.abl.NoRemscore && math.Min(rs1, rs2d) < e.p.Theta {
+					return
+				}
+				a = &accEng{t: ent.t}
+				acc[ent.id] = a
+				e.c.Candidates++
+			}
+			a.dot += xj * ent.val
+			// Early ℓ2 pruning (Algorithm 7, lines 10–12).
+			if e.useL2 && !e.abl.NoL2Bound && a.dot+pnx[i]*ent.pnorm*decay < e.p.Theta {
+				delete(acc, ent.id)
+				pruned[ent.id] = true
+			}
+		}
+		if e.useAP {
+			// Re-indexing may have broken time order, so scan forward
+			// through the whole list, compacting expired entries (§6.2).
+			removed := lst.Filter(func(ent sentry) bool {
+				if x.Time-ent.t > e.tau {
+					e.c.EntriesTraversed++
+					return false
+				}
+				process(ent)
+				return true
+			})
+			e.c.ExpiredEntries += int64(removed)
+		} else {
+			// Time-ordered list: scan backwards from the newest entry and
+			// truncate at the first expired one (§6.2).
+			cut := -1
+			lst.Descend(func(j int, ent sentry) bool {
+				if x.Time-ent.t > e.tau {
+					cut = j
+					return false
+				}
+				process(ent)
+				return true
+			})
+			if cut >= 0 {
+				lst.TruncateFront(cut + 1)
+				e.c.ExpiredEntries += int64(cut + 1)
+			}
+		}
+		if lst.Len() == 0 {
+			delete(e.lists, d)
+		}
+		if e.useAP {
+			rs1 -= xj * e.mhatAt(d)
+		}
+		if e.useL2 {
+			rst -= xj * xj
+			if rst < 0 {
+				rst = 0
+			}
+			rs2 = math.Sqrt(rst)
+		}
+	}
+	return acc, pruned
+}
+
+// candVer is Algorithm 8: apply the decayed ps1/ds1/sz2 bounds, then
+// compute the exact residual dot product and report true matches.
+func (e *engine) candVer(x stream.Item, acc map[uint64]*accEng, _ map[uint64]bool) []apss.Match {
+	if len(acc) == 0 {
+		return nil
+	}
+	vmx := x.Vec.MaxVal()
+	sx := x.Vec.Sum()
+	nx := x.Vec.NNZ()
+	var out []apss.Match
+	for id, a := range acc {
+		meta, ok := e.res.Get(id)
+		if !ok {
+			// The candidate expired from R; it is outside the horizon.
+			continue
+		}
+		dt := x.Time - meta.t
+		decay := e.kernel.Factor(dt)
+		residual := meta.vec.SliceByIndex(0, meta.boundary)
+		// ps1 (line 3), ds1 (line 4), sz2 (line 5), all decayed.
+		if !e.abl.NoVerifyBounds {
+			if (a.dot+meta.q)*decay < e.p.Theta {
+				continue
+			}
+			if (a.dot+math.Min(vmx*meta.rsum, meta.rmax*sx))*decay < e.p.Theta {
+				continue
+			}
+			if (a.dot+float64(min(nx, meta.boundary))*vmx*meta.rmax)*decay < e.p.Theta {
+				continue
+			}
+		}
+		e.c.FullDots++
+		raw := a.dot + vec.Dot(x.Vec, residual)
+		if sim := raw * decay; sim >= e.p.Theta {
+			out = append(out, apss.Match{X: x.ID, Y: id, Sim: sim, Dot: raw, DT: dt})
+		}
+	}
+	return out
+}
+
+// indexVector is the index-construction loop of Algorithm 6 (lines 6–14):
+// walk x's coordinates accumulating the b1 (AP, undecayed m — §6.2) and b2
+// (ℓ2) bounds; once their minimum reaches θ, index the remaining suffix
+// and store the prefix as the residual.
+func (e *engine) indexVector(x stream.Item) {
+	dims, vals := x.Vec.Dims, x.Vec.Vals
+	if len(dims) == 0 {
+		return
+	}
+	pn := x.Vec.PrefixNorms()
+	b1, bt := 0.0, 0.0
+	boundary := -1
+	q := 0.0
+	for i, d := range dims {
+		xj := vals[i]
+		pscore := e.icBound(b1, math.Sqrt(bt))
+		if e.useAP {
+			b1 += xj * e.m.At(d)
+		}
+		bt += xj * xj
+		if e.abl.NoIndexBound || e.icBound(b1, math.Sqrt(bt)) >= e.p.Theta {
+			if boundary < 0 {
+				boundary = i
+				q = pscore
+			}
+			e.pushEntry(d, sentry{id: x.ID, t: x.Time, val: xj, pnorm: pn[i]})
+			e.c.IndexedEntries++
+		}
+	}
+	if e.useAP {
+		e.mhatUpdate(x)
+	}
+	if boundary < 0 {
+		// Bound never reached θ: x cannot be similar to any unit vector,
+		// so it is not retained at all.
+		return
+	}
+	residual := x.Vec.SliceByIndex(0, boundary)
+	e.res.Put(x.ID, &smeta{
+		t:        x.Time,
+		vec:      x.Vec,
+		pn:       pn,
+		boundary: boundary,
+		q:        q,
+		rsum:     residual.Sum(),
+		rmax:     residual.MaxVal(),
+	})
+	e.c.ResidualEntries++
+}
+
+// reindex restores the AP invariant after the max vector grew on the
+// given dimensions (§5.3): every live residual that touches a changed
+// dimension re-runs its indexing walk under the new m; coordinates between
+// the new and old boundary move from the residual into the posting lists,
+// out of time order.
+func (e *engine) reindex(changed []uint32) {
+	changedSet := make(map[uint32]bool, len(changed))
+	for _, d := range changed {
+		changedSet[d] = true
+	}
+	e.res.Ascend(func(id uint64, meta *smeta) bool {
+		if meta.boundary == 0 {
+			return true
+		}
+		affected := false
+		for _, d := range meta.vec.Dims[:meta.boundary] {
+			if changedSet[d] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			return true
+		}
+		e.c.Reindexings++
+		dims, vals := meta.vec.Dims, meta.vec.Vals
+		b1, bt := 0.0, 0.0
+		newBoundary := meta.boundary
+		q := 0.0
+		crossed := false
+		for i := 0; i < meta.boundary; i++ {
+			pscore := e.icBound(b1, math.Sqrt(bt))
+			b1 += vals[i] * e.m.At(dims[i])
+			bt += vals[i] * vals[i]
+			if !crossed && e.icBound(b1, math.Sqrt(bt)) >= e.p.Theta {
+				crossed = true
+				newBoundary = i
+				q = pscore
+			}
+		}
+		if !crossed {
+			// Boundary unchanged, but Q[ι(y)] must be refreshed: the old
+			// pscore was computed under the smaller m and may no longer
+			// bound the residual's similarity to future queries.
+			meta.q = e.icBound(b1, math.Sqrt(bt))
+			return true
+		}
+		for i := newBoundary; i < meta.boundary; i++ {
+			e.pushEntry(dims[i], sentry{id: id, t: meta.t, val: vals[i], pnorm: meta.pn[i]})
+			e.c.ReindexedEntries++
+			e.c.IndexedEntries++
+		}
+		meta.boundary = newBoundary
+		meta.q = q
+		residual := meta.vec.SliceByIndex(0, newBoundary)
+		meta.rsum = residual.Sum()
+		meta.rmax = residual.MaxVal()
+		return true
+	})
+}
+
+func (e *engine) pushEntry(d uint32, ent sentry) {
+	lst := e.lists[d]
+	if lst == nil {
+		lst = &cbuf.Ring[sentry]{}
+		e.lists[d] = lst
+	}
+	lst.PushBack(ent)
+}
+
+// icBound combines the enabled index-construction bounds.
+func (e *engine) icBound(b1, b2 float64) float64 {
+	switch {
+	case e.useAP && e.useL2:
+		return math.Min(b1, b2)
+	case e.useAP:
+		return b1
+	default:
+		return b2
+	}
+}
+
+// mhatAt returns m̂λ_j evaluated at the current time.
+func (e *engine) mhatAt(d uint32) float64 {
+	v, ok := e.mhatVal[d]
+	if !ok {
+		return 0
+	}
+	return v * math.Exp(-e.lambda*(e.now-e.mhatT[d]))
+}
+
+// mhatUpdate refreshes the decayed argmax with x's coordinates. Under a
+// fixed exponential rate the decayed order of two values never changes, so
+// keeping the single achiever per dimension is exact while it lives.
+func (e *engine) mhatUpdate(x stream.Item) {
+	for i, d := range x.Vec.Dims {
+		if x.Vec.Vals[i] >= e.mhatAt(d) {
+			e.mhatVal[d] = x.Vec.Vals[i]
+			e.mhatT[d] = x.Time
+		}
+	}
+}
+
+// Size implements Index.
+func (e *engine) Size() SizeInfo {
+	var s SizeInfo
+	for _, lst := range e.lists {
+		if lst.Len() > 0 {
+			s.Lists++
+			s.PostingEntries += lst.Len()
+		}
+	}
+	s.Residuals = e.res.Len()
+	return s
+}
+
+// Params implements Index.
+func (e *engine) Params() apss.Params { return e.p }

@@ -1,0 +1,125 @@
+package streaming
+
+import (
+	"sssj/internal/apss"
+	"sssj/internal/cbuf"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+// ientry is a posting entry of STR-INV: reference, arrival time, value.
+type ientry struct {
+	id  uint64
+	t   float64
+	val float64
+}
+
+// invIndex is STR-INV (§5.1): everything is indexed, posting lists stay
+// time-ordered, and candidate generation computes exact partial dot
+// products. Time filtering scans each touched list backwards from the
+// newest entry and truncates at the first expired one.
+type invIndex struct {
+	p      apss.Params
+	kernel apss.Kernel
+	tau    float64
+	c      *metrics.Counters
+	lists  map[uint32]*cbuf.Ring[ientry]
+	now    float64
+	begun  bool
+}
+
+func newInvIndex(p apss.Params, kernel apss.Kernel, c *metrics.Counters) *invIndex {
+	return &invIndex{
+		p:      p,
+		kernel: kernel,
+		tau:    kernel.Horizon(p.Theta),
+		c:      c,
+		lists:  make(map[uint32]*cbuf.Ring[ientry]),
+	}
+}
+
+// accInv accumulates the dot product and remembers the candidate's time.
+type accInv struct {
+	dot float64
+	t   float64
+}
+
+// Add implements Index.
+func (ix *invIndex) Add(x stream.Item) ([]apss.Match, error) {
+	if ix.begun && x.Time < ix.now {
+		return nil, ErrTimeOrder
+	}
+	ix.begun = true
+	ix.now = x.Time
+	ix.c.Items++
+
+	acc := make(map[uint64]*accInv)
+	for i, d := range x.Vec.Dims {
+		xj := x.Vec.Vals[i]
+		lst := ix.lists[d]
+		if lst == nil {
+			continue
+		}
+		// Backward scan: newest first, stop at the first expired entry,
+		// then drop it and everything older (§6.2 time filtering).
+		cut := -1
+		lst.Descend(func(i int, e ientry) bool {
+			if x.Time-e.t > ix.tau {
+				cut = i
+				return false
+			}
+			ix.c.EntriesTraversed++
+			a := acc[e.id]
+			if a == nil {
+				a = &accInv{t: e.t}
+				acc[e.id] = a
+				ix.c.Candidates++
+			}
+			a.dot += xj * e.val
+			return true
+		})
+		if cut >= 0 {
+			lst.TruncateFront(cut + 1)
+			ix.c.ExpiredEntries += int64(cut + 1)
+			if lst.Len() == 0 {
+				delete(ix.lists, d)
+			}
+		}
+	}
+
+	var out []apss.Match
+	for id, a := range acc {
+		dt := x.Time - a.t
+		sim := a.dot * ix.kernel.Factor(dt)
+		if sim >= ix.p.Theta {
+			out = append(out, apss.Match{X: x.ID, Y: id, Sim: sim, Dot: a.dot, DT: dt})
+		}
+	}
+	ix.c.Pairs += int64(len(out))
+
+	for i, d := range x.Vec.Dims {
+		lst := ix.lists[d]
+		if lst == nil {
+			lst = &cbuf.Ring[ientry]{}
+			ix.lists[d] = lst
+		}
+		lst.PushBack(ientry{id: x.ID, t: x.Time, val: x.Vec.Vals[i]})
+		ix.c.IndexedEntries++
+	}
+	return out, nil
+}
+
+// Size implements Index.
+func (ix *invIndex) Size() SizeInfo {
+	var s SizeInfo
+	for _, lst := range ix.lists {
+		if lst.Len() > 0 {
+			s.Lists++
+			s.PostingEntries += lst.Len()
+		}
+	}
+	return s
+}
+
+// Params implements Index.
+func (ix *invIndex) Params() apss.Params { return ix.p }

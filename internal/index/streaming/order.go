@@ -1,0 +1,100 @@
+package streaming
+
+import (
+	"sssj/internal/apss"
+	"sssj/internal/dimorder"
+	"sssj/internal/stream"
+)
+
+// WarmupOrder configures the streaming dimension-ordering extension — the
+// paper's primary future-work item ("experiment with dimension-ordering
+// strategies and evaluate the cost-benefit trade-off of maintaining a
+// dimension ordering").
+//
+// A batch index can sort dimensions before building; a streaming index
+// cannot reorder retroactively, because the residual split of every
+// indexed vector is tied to the order in force when it arrived. The
+// trade-off chosen here: buffer the first Items stream elements, learn a
+// permutation from them, then replay the buffer and run the rest of the
+// (unbounded) stream under that fixed order. Results are exact — a
+// consistent permutation never changes dot products — but the first
+// Items matches are delayed until the warmup closes.
+type WarmupOrder struct {
+	// Strategy ranks dimensions; dimorder.None disables the wrapper.
+	Strategy dimorder.Strategy
+	// Items is the warmup length (how many items the permutation is
+	// learned from). Values < 1 disable the wrapper.
+	Items int
+}
+
+// orderedIndex wraps an Index with warmup-learned dimension remapping.
+type orderedIndex struct {
+	inner  Index
+	warm   WarmupOrder
+	buf    []stream.Item
+	dm     *dimorder.Map
+	active bool
+}
+
+// newOrderedIndex wraps inner unless the warmup config is disabled.
+func newOrderedIndex(inner Index, warm WarmupOrder) Index {
+	if warm.Strategy == dimorder.None || warm.Items < 1 {
+		return inner
+	}
+	return &orderedIndex{inner: inner, warm: warm}
+}
+
+// Add implements Index. During warmup it buffers and reports nothing; the
+// Add that completes the warmup returns every match among the buffered
+// items at once.
+func (o *orderedIndex) Add(x stream.Item) ([]apss.Match, error) {
+	if o.active {
+		x.Vec = o.dm.Remap(x.Vec)
+		return o.inner.Add(x)
+	}
+	// Validate time order up front so a bad item fails immediately
+	// rather than mid-replay.
+	if n := len(o.buf); n > 0 && x.Time < o.buf[n-1].Time {
+		return nil, ErrTimeOrder
+	}
+	o.buf = append(o.buf, x)
+	if len(o.buf) < o.warm.Items {
+		return nil, nil
+	}
+	return o.FinishWarmup()
+}
+
+// FinishWarmup closes an incomplete warmup early: the permutation is
+// learned from whatever was buffered and the buffer is replayed,
+// releasing its matches. The STR framework calls this from Flush so a
+// stream shorter than the warmup still reports every pair. Calling it
+// after the warmup completed (or on an empty buffer) is a no-op.
+func (o *orderedIndex) FinishWarmup() ([]apss.Match, error) {
+	if o.active {
+		return nil, nil
+	}
+	o.dm = dimorder.Build(o.buf, o.warm.Strategy)
+	o.active = true
+	var out []apss.Match
+	for _, it := range o.buf {
+		it.Vec = o.dm.Remap(it.Vec)
+		ms, err := o.inner.Add(it)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ms...)
+	}
+	o.buf = nil
+	return out, nil
+}
+
+// Size implements Index. During warmup the inner index is empty; the
+// buffered items are reported as residuals-in-waiting.
+func (o *orderedIndex) Size() SizeInfo {
+	s := o.inner.Size()
+	s.Residuals += len(o.buf)
+	return s
+}
+
+// Params implements Index.
+func (o *orderedIndex) Params() apss.Params { return o.inner.Params() }

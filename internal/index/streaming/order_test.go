@@ -1,0 +1,162 @@
+package streaming
+
+import (
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/dimorder"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+func TestWarmupOrderPreservesExactness(t *testing.T) {
+	p := apss.Params{Theta: 0.6, Lambda: 0.05}
+	for _, kind := range []Kind{INV, L2, L2AP} {
+		for _, strat := range []dimorder.Strategy{dimorder.DocFreqAsc, dimorder.MaxValueDesc} {
+			for _, warmup := range []int{1, 10, 50, 500} {
+				for seed := int64(0); seed < 3; seed++ {
+					items := fuzzItems(seed, 130)
+					want := bruteMatches(items, p)
+					ix, err := New(kind, p, Options{
+						Order: WarmupOrder{Strategy: strat, Items: warmup},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var got []apss.Match
+					for _, it := range items {
+						ms, err := ix.Add(it)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got = append(got, ms...)
+					}
+					// A warmup longer than the stream is finalized at
+					// end of stream, as core.STR's Flush does.
+					if wf, ok := ix.(interface {
+						FinishWarmup() ([]apss.Match, error)
+					}); ok {
+						ms, err := wf.FinishWarmup()
+						if err != nil {
+							t.Fatal(err)
+						}
+						got = append(got, ms...)
+					}
+					if !apss.EqualMatchSets(got, want, 1e-9) {
+						t.Fatalf("%v %v warmup=%d seed=%d diverged (%d vs %d)",
+							kind, strat, warmup, seed, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWarmupDelaysButReleasesOnCompletion(t *testing.T) {
+	p := apss.Params{Theta: 0.8, Lambda: 0.01}
+	ix, err := New(L2, p, Options{Order: WarmupOrder{Strategy: dimorder.DocFreqAsc, Items: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec.MustNew([]uint32{4}, []float64{1})
+	ms := mustAdd(t, ix, stream.Item{ID: 0, Time: 0, Vec: v})
+	if len(ms) != 0 {
+		t.Fatal("warmup item 0 reported matches")
+	}
+	ms = mustAdd(t, ix, stream.Item{ID: 1, Time: 1, Vec: v})
+	if len(ms) != 0 {
+		t.Fatal("warmup item 1 reported matches (delayed reporting expected)")
+	}
+	if sz := ix.Size(); sz.Residuals != 2 || sz.PostingEntries != 0 {
+		t.Fatalf("warmup size = %+v", sz)
+	}
+	// third item completes the warmup: the buffered pair plus any new
+	// pairs appear at once
+	ms = mustAdd(t, ix, stream.Item{ID: 2, Time: 2, Vec: v})
+	if len(ms) != 3 { // (1,0), (2,0), (2,1)
+		t.Fatalf("warmup completion released %d matches, want 3", len(ms))
+	}
+	// after warmup, reporting is online again
+	ms = mustAdd(t, ix, stream.Item{ID: 3, Time: 3, Vec: v})
+	if len(ms) != 3 {
+		t.Fatalf("post-warmup matches = %d", len(ms))
+	}
+}
+
+func TestWarmupOrderRejectsOutOfOrderDuringBuffering(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	ix, err := New(L2, p, Options{Order: WarmupOrder{Strategy: dimorder.DocFreqAsc, Items: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	mustAdd(t, ix, stream.Item{ID: 0, Time: 5, Vec: v})
+	if _, err := ix.Add(stream.Item{ID: 1, Time: 4, Vec: v}); err != ErrTimeOrder {
+		t.Fatalf("out-of-order during warmup: %v", err)
+	}
+}
+
+func TestWarmupZeroConfigIsPassThrough(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	ix, err := New(L2, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, wrapped := ix.(*orderedIndex); wrapped {
+		t.Fatal("zero warmup config still wrapped the index")
+	}
+	ix, err = New(L2, p, Options{Order: WarmupOrder{Strategy: dimorder.DocFreqAsc, Items: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, wrapped := ix.(*orderedIndex); wrapped {
+		t.Fatal("items=0 still wrapped the index")
+	}
+}
+
+func TestWarmupParamsPassThrough(t *testing.T) {
+	p := apss.Params{Theta: 0.55, Lambda: 0.2}
+	ix, err := New(L2, p, Options{Order: WarmupOrder{Strategy: dimorder.MaxValueDesc, Items: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Params() != p {
+		t.Fatalf("params = %+v", ix.Params())
+	}
+}
+
+// BenchmarkWarmupOrderImpact measures the cost-benefit trade-off the
+// paper's conclusion asks about: entries traversed with and without a
+// learned dimension order.
+func BenchmarkWarmupOrderImpact(b *testing.B) {
+	p := apss.Params{Theta: 0.7, Lambda: 0.01}
+	items := fuzzItems(6, 2000)
+	for _, tc := range []struct {
+		name string
+		warm WarmupOrder
+	}{
+		{"natural", WarmupOrder{}},
+		{"docfreq", WarmupOrder{Strategy: dimorder.DocFreqAsc, Items: 200}},
+		{"maxval", WarmupOrder{Strategy: dimorder.MaxValueDesc, Items: 200}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var c metrics.Counters
+				ix, err := New(L2, p, Options{Counters: &c, Order: tc.warm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, it := range items {
+					if _, err := ix.Add(it); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if i == 0 {
+					b.ReportMetric(float64(c.EntriesTraversed), "entries")
+					b.ReportMetric(float64(c.IndexedEntries), "indexed")
+				}
+			}
+		})
+	}
+}

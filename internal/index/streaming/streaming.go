@@ -1,0 +1,156 @@
+// Package streaming implements the STR-framework indexes of the paper
+// (§5, Algorithms 5–8): incremental indexes over an unbounded stream with
+// time filtering built in.
+//
+// Three schemes are provided, matching the paper's evaluation:
+//
+//	INV  — plain inverted index with time-ordered posting lists; backward
+//	       scans stop and truncate at the first expired entry (§5.1, §6.2).
+//	L2   — the paper's contribution (§5.4): only the data-independent ℓ2
+//	       bounds, so no max-vector maintenance, no re-indexing, and
+//	       time-ordered lists that support backward truncation.
+//	L2AP — the streaming adaptation of Anastasiu & Karypis (§5.3): adds the
+//	       AP bounds, which require the monotone max vector m (with
+//	       re-indexing when it grows) and the decayed max vector m̂λ.
+//
+// Every index is query-then-insert: Add(x) first reports all earlier
+// stream items whose time-dependent similarity with x reaches θ, then
+// makes x available to future queries.
+package streaming
+
+import (
+	"errors"
+	"fmt"
+
+	"sssj/internal/apss"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+// Kind selects a streaming indexing scheme.
+type Kind int
+
+// The streaming schemes evaluated in the paper, plus AP. §5.2 notes the
+// streaming version of AP is not efficient in practice and the paper omits
+// it from the evaluation; it is provided here as an ablation (the L2AP
+// engine with the ℓ2 bounds switched off) to let the benchmarks quantify
+// that claim.
+const (
+	INV Kind = iota
+	L2AP
+	L2
+	AP
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case INV:
+		return "INV"
+	case L2AP:
+		return "L2AP"
+	case L2:
+		return "L2"
+	case AP:
+		return "AP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists the streaming schemes of the paper's evaluation (AP is
+// excluded, matching §7; it remains constructible via New).
+func Kinds() []Kind { return []Kind{INV, L2AP, L2} }
+
+// Options configures a streaming index.
+type Options struct {
+	// Counters receives operation counts; nil disables counting.
+	Counters *metrics.Counters
+	// Kernel overrides the decay kernel. Defaults to the paper's
+	// apss.Exponential{Lambda: params.Lambda}. STR-L2AP and STR-AP
+	// require the exponential kernel (the m̂λ bound exploits exponential
+	// decay).
+	Kernel apss.Kernel
+	// Ablations switches off individual pruning rules. Output is
+	// unchanged — every rule is a pure optimization — but the work
+	// counters grow; the ablation benchmarks use this to attribute the
+	// speedups of §7 to specific bounds.
+	Ablations Ablations
+	// Order enables the warmup-learned dimension-ordering extension
+	// (see WarmupOrder). The zero value disables it, matching the paper.
+	Order WarmupOrder
+}
+
+// Ablations disables individual pruning rules of the prefix-filtering
+// engines (no effect on INV, which has none).
+type Ablations struct {
+	// NoRemscore admits every posting entry's vector as a candidate,
+	// skipping the remscore test (Algorithm 7, line 8).
+	NoRemscore bool
+	// NoL2Bound skips the early ℓ2 candidate pruning (Algorithm 7,
+	// lines 10–12).
+	NoL2Bound bool
+	// NoVerifyBounds skips the ps1/ds1/sz2 checks (Algorithm 8,
+	// lines 3–6), computing the exact similarity for every candidate.
+	NoVerifyBounds bool
+	// NoIndexBound indexes every coordinate instead of only the suffix
+	// past the b1/b2 threshold crossing (Algorithm 6, lines 10–14),
+	// degenerating the index toward INV with residual machinery intact.
+	NoIndexBound bool
+}
+
+// Index is a streaming SSSJ index.
+type Index interface {
+	// Add reports all items y already in the stream with
+	// sim_Δt(x, y) ≥ θ, then inserts x. Items must arrive in
+	// non-decreasing time order; Add returns an error otherwise.
+	Add(x stream.Item) ([]apss.Match, error)
+	// Size reports current index occupancy, the quantity that makes MB
+	// fail by memory and STR feasible (§7, Table 2 discussion).
+	Size() SizeInfo
+	// Params returns the join parameters the index was built with.
+	Params() apss.Params
+}
+
+// SizeInfo reports current index occupancy.
+type SizeInfo struct {
+	PostingEntries int // live entries across all posting lists
+	Residuals      int // vectors in the residual direct index
+	Lists          int // posting lists with at least one live entry
+}
+
+// ErrTimeOrder is returned when items arrive with decreasing timestamps.
+var ErrTimeOrder = errors.New("streaming: items must arrive in time order")
+
+// ErrKernel is returned when a scheme does not support the chosen kernel.
+var ErrKernel = errors.New("streaming: unsupported decay kernel for scheme")
+
+// New builds a streaming index of the given kind.
+func New(kind Kind, params apss.Params, opts Options) (Index, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	c := opts.Counters
+	if c == nil {
+		c = &metrics.Counters{}
+	}
+	kernel := opts.Kernel
+	if kernel == nil {
+		kernel = apss.Exponential{Lambda: params.Lambda}
+	}
+	var ix Index
+	switch kind {
+	case INV:
+		ix = newInvIndex(params, kernel, c)
+	case L2:
+		ix = newEngine(params, kernel, false, true, opts.Ablations, c)
+	case L2AP, AP:
+		if _, ok := kernel.(apss.Exponential); !ok {
+			return nil, fmt.Errorf("%w: STR-%v needs apss.Exponential, got %T", ErrKernel, kind, kernel)
+		}
+		ix = newEngine(params, kernel, true, kind == L2AP, opts.Ablations, c)
+	default:
+		return nil, fmt.Errorf("streaming: unknown kind %d", int(kind))
+	}
+	return newOrderedIndex(ix, opts.Order), nil
+}

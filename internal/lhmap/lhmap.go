@@ -1,0 +1,152 @@
+// Package lhmap implements a linked hash map: a hash map combined with a
+// doubly linked list in insertion order.
+//
+// Per §6.2 of the paper, the residual direct index R and the pscore array Q
+// must support fast random access (during candidate verification) and
+// sequential access in insertion order — which, for a stream processed in
+// arrival order, is also time order — so that expired entries can be pruned
+// from the front in amortized constant time.
+package lhmap
+
+// node is a doubly linked list element.
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *node[K, V]
+}
+
+// Map is a linked hash map. The zero value is not usable; call New.
+type Map[K comparable, V any] struct {
+	m          map[K]*node[K, V]
+	head, tail *node[K, V]
+}
+
+// New returns an empty linked hash map.
+func New[K comparable, V any]() *Map[K, V] {
+	return &Map[K, V]{m: make(map[K]*node[K, V])}
+}
+
+// Len returns the number of entries.
+func (lm *Map[K, V]) Len() int { return len(lm.m) }
+
+// Get returns the value for key and whether it is present.
+func (lm *Map[K, V]) Get(key K) (V, bool) {
+	if n, ok := lm.m[key]; ok {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or updates key. A new key is appended at the tail of the
+// insertion order; updating an existing key keeps its position.
+func (lm *Map[K, V]) Put(key K, val V) {
+	if n, ok := lm.m[key]; ok {
+		n.val = val
+		return
+	}
+	n := &node[K, V]{key: key, val: val, prev: lm.tail}
+	if lm.tail != nil {
+		lm.tail.next = n
+	} else {
+		lm.head = n
+	}
+	lm.tail = n
+	lm.m[key] = n
+}
+
+// Update applies fn to the value stored at key, if present, storing the
+// result back. Reports whether the key was present.
+func (lm *Map[K, V]) Update(key K, fn func(V) V) bool {
+	n, ok := lm.m[key]
+	if !ok {
+		return false
+	}
+	n.val = fn(n.val)
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (lm *Map[K, V]) Delete(key K) bool {
+	n, ok := lm.m[key]
+	if !ok {
+		return false
+	}
+	lm.unlink(n)
+	delete(lm.m, key)
+	return true
+}
+
+// Oldest returns the key and value of the least recently inserted entry.
+// ok is false when the map is empty.
+func (lm *Map[K, V]) Oldest() (key K, val V, ok bool) {
+	if lm.head == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return lm.head.key, lm.head.val, true
+}
+
+// PopOldest removes and returns the least recently inserted entry.
+func (lm *Map[K, V]) PopOldest() (key K, val V, ok bool) {
+	key, val, ok = lm.Oldest()
+	if ok {
+		lm.Delete(key)
+	}
+	return key, val, ok
+}
+
+// PruneWhile removes entries from the front of the insertion order while
+// drop returns true, stopping at the first retained entry. This is how the
+// stream indexes expire residuals older than the horizon. Returns the
+// number of removed entries.
+func (lm *Map[K, V]) PruneWhile(drop func(key K, val V) bool) int {
+	removed := 0
+	for lm.head != nil && drop(lm.head.key, lm.head.val) {
+		delete(lm.m, lm.head.key)
+		lm.unlink(lm.head)
+		removed++
+	}
+	return removed
+}
+
+// Ascend visits entries oldest-to-newest until fn returns false. The
+// current entry may be deleted during iteration; other mutations are not
+// supported mid-iteration.
+func (lm *Map[K, V]) Ascend(fn func(key K, val V) bool) {
+	for n := lm.head; n != nil; {
+		next := n.next
+		if !fn(n.key, n.val) {
+			return
+		}
+		n = next
+	}
+}
+
+// Keys returns all keys, oldest first.
+func (lm *Map[K, V]) Keys() []K {
+	out := make([]K, 0, len(lm.m))
+	lm.Ascend(func(k K, _ V) bool { out = append(out, k); return true })
+	return out
+}
+
+// Clear removes all entries.
+func (lm *Map[K, V]) Clear() {
+	lm.m = make(map[K]*node[K, V])
+	lm.head, lm.tail = nil, nil
+}
+
+func (lm *Map[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		lm.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		lm.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

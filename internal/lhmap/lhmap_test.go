@@ -1,0 +1,226 @@
+package lhmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	lm := New[int, string]()
+	if lm.Len() != 0 {
+		t.Fatal("new map not empty")
+	}
+	lm.Put(1, "a")
+	lm.Put(2, "b")
+	if v, ok := lm.Get(1); !ok || v != "a" {
+		t.Fatalf("get 1 = %q %v", v, ok)
+	}
+	if _, ok := lm.Get(3); ok {
+		t.Fatal("phantom key")
+	}
+	lm.Put(1, "A") // update keeps position
+	if v, _ := lm.Get(1); v != "A" {
+		t.Fatal("update failed")
+	}
+	if k, _, _ := lm.Oldest(); k != 1 {
+		t.Fatal("update moved key")
+	}
+	if !lm.Delete(1) || lm.Delete(1) {
+		t.Fatal("delete semantics wrong")
+	}
+	if lm.Len() != 1 {
+		t.Fatalf("len = %d", lm.Len())
+	}
+}
+
+func TestInsertionOrder(t *testing.T) {
+	lm := New[int, int]()
+	for i := 0; i < 10; i++ {
+		lm.Put(i, i*i)
+	}
+	keys := lm.Keys()
+	for i, k := range keys {
+		if k != i {
+			t.Fatalf("keys[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestOldestAndPop(t *testing.T) {
+	lm := New[string, int]()
+	if _, _, ok := lm.Oldest(); ok {
+		t.Fatal("oldest on empty")
+	}
+	lm.Put("x", 1)
+	lm.Put("y", 2)
+	k, v, ok := lm.PopOldest()
+	if !ok || k != "x" || v != 1 {
+		t.Fatalf("pop = %v %v %v", k, v, ok)
+	}
+	if lm.Len() != 1 {
+		t.Fatal("pop did not remove")
+	}
+}
+
+func TestDeleteMiddleKeepsLinks(t *testing.T) {
+	lm := New[int, int]()
+	for i := 0; i < 5; i++ {
+		lm.Put(i, i)
+	}
+	lm.Delete(2)
+	want := []int{0, 1, 3, 4}
+	got := lm.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v", got)
+		}
+	}
+	// head and tail deletion
+	lm.Delete(0)
+	lm.Delete(4)
+	if k, _, _ := lm.Oldest(); k != 1 {
+		t.Fatalf("oldest = %d", k)
+	}
+}
+
+func TestPruneWhile(t *testing.T) {
+	lm := New[int, float64]()
+	for i := 0; i < 10; i++ {
+		lm.Put(i, float64(i))
+	}
+	n := lm.PruneWhile(func(k int, v float64) bool { return v < 4 })
+	if n != 4 || lm.Len() != 6 {
+		t.Fatalf("pruned %d, len %d", n, lm.Len())
+	}
+	if k, _, _ := lm.Oldest(); k != 4 {
+		t.Fatalf("oldest after prune = %d", k)
+	}
+	// prune everything
+	n = lm.PruneWhile(func(int, float64) bool { return true })
+	if n != 6 || lm.Len() != 0 {
+		t.Fatalf("full prune %d len %d", n, lm.Len())
+	}
+	// prune on empty is a no-op
+	if lm.PruneWhile(func(int, float64) bool { return true }) != 0 {
+		t.Fatal("prune on empty")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	lm := New[int, int]()
+	lm.Put(1, 10)
+	if !lm.Update(1, func(v int) int { return v + 5 }) {
+		t.Fatal("update existing failed")
+	}
+	if v, _ := lm.Get(1); v != 15 {
+		t.Fatalf("v = %d", v)
+	}
+	if lm.Update(2, func(v int) int { return v }) {
+		t.Fatal("update missing succeeded")
+	}
+}
+
+func TestAscendEarlyStopAndDeleteDuring(t *testing.T) {
+	lm := New[int, int]()
+	for i := 0; i < 6; i++ {
+		lm.Put(i, i)
+	}
+	visited := 0
+	lm.Ascend(func(k, v int) bool { visited++; return visited < 2 })
+	if visited != 2 {
+		t.Fatalf("visited %d", visited)
+	}
+	// deleting the current entry during iteration is allowed
+	lm.Ascend(func(k, v int) bool {
+		if k%2 == 0 {
+			lm.Delete(k)
+		}
+		return true
+	})
+	if lm.Len() != 3 {
+		t.Fatalf("len after delete-during = %d", lm.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	lm := New[int, int]()
+	lm.Put(1, 1)
+	lm.Clear()
+	if lm.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+	lm.Put(2, 2)
+	if k, _, _ := lm.Oldest(); k != 2 {
+		t.Fatal("unusable after clear")
+	}
+}
+
+// TestQuickModelConformance compares against a map + slice model.
+func TestQuickModelConformance(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		lm := New[int, int]()
+		model := map[int]int{}
+		var order []int
+		for op := 0; op < 400; op++ {
+			k := rr.Intn(40)
+			switch rr.Intn(3) {
+			case 0:
+				v := rr.Int()
+				if _, exists := model[k]; !exists {
+					order = append(order, k)
+				}
+				model[k] = v
+				lm.Put(k, v)
+			case 1:
+				_, wantOK := model[k]
+				if lm.Delete(k) != wantOK {
+					return false
+				}
+				if wantOK {
+					delete(model, k)
+					for i, kk := range order {
+						if kk == k {
+							order = append(order[:i], order[i+1:]...)
+							break
+						}
+					}
+				}
+			case 2:
+				v, ok := lm.Get(k)
+				wv, wok := model[k]
+				if ok != wok || v != wv {
+					return false
+				}
+			}
+		}
+		got := lm.Keys()
+		if len(got) != len(order) {
+			return false
+		}
+		for i := range order {
+			if got[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutPrune(b *testing.B) {
+	lm := New[uint64, int]()
+	for i := 0; i < b.N; i++ {
+		lm.Put(uint64(i), i)
+		if lm.Len() > 1024 {
+			cutoff := uint64(i) - 512
+			lm.PruneWhile(func(k uint64, _ int) bool { return k < cutoff })
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package metrics collects the operation counters the paper's evaluation
+// reports: posting entries traversed during candidate generation (the
+// dominant cost, Figures 2 and 6), candidates generated, full similarities
+// computed, and index-maintenance events (re-indexings, expirations).
+package metrics
+
+import "fmt"
+
+// Counters aggregates per-run operation counts. All algorithms in this
+// repository run single-threaded, as in the paper's evaluation, so plain
+// int64 fields suffice.
+type Counters struct {
+	Items            int64 // stream items processed
+	EntriesTraversed int64 // posting entries scanned during CG
+	Candidates       int64 // vectors admitted to the accumulator
+	FullDots         int64 // exact residual dot products computed in CV
+	Pairs            int64 // similar pairs reported
+	IndexedEntries   int64 // posting entries ever inserted
+	ExpiredEntries   int64 // posting entries removed by time filtering
+	Reindexings      int64 // residual vectors re-indexed (STR-L2AP only)
+	ReindexedEntries int64 // posting entries inserted by re-indexing
+	ResidualEntries  int64 // vectors ever stored in the residual index
+	IndexBuilds      int64 // full index (re)constructions (MB only)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Items += other.Items
+	c.EntriesTraversed += other.EntriesTraversed
+	c.Candidates += other.Candidates
+	c.FullDots += other.FullDots
+	c.Pairs += other.Pairs
+	c.IndexedEntries += other.IndexedEntries
+	c.ExpiredEntries += other.ExpiredEntries
+	c.Reindexings += other.Reindexings
+	c.ReindexedEntries += other.ReindexedEntries
+	c.ResidualEntries += other.ResidualEntries
+	c.IndexBuilds += other.IndexBuilds
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// String renders a compact single-line summary.
+func (c *Counters) String() string {
+	return fmt.Sprintf("items=%d entries=%d cand=%d dots=%d pairs=%d indexed=%d expired=%d reidx=%d",
+		c.Items, c.EntriesTraversed, c.Candidates, c.FullDots, c.Pairs,
+		c.IndexedEntries, c.ExpiredEntries, c.Reindexings)
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAccumulatesAllFields(t *testing.T) {
+	a := Counters{
+		Items: 1, EntriesTraversed: 2, Candidates: 3, FullDots: 4, Pairs: 5,
+		IndexedEntries: 6, ExpiredEntries: 7, Reindexings: 8,
+		ReindexedEntries: 9, ResidualEntries: 10, IndexBuilds: 11,
+	}
+	b := a
+	a.Add(b)
+	if a.Items != 2 || a.EntriesTraversed != 4 || a.Candidates != 6 ||
+		a.FullDots != 8 || a.Pairs != 10 || a.IndexedEntries != 12 ||
+		a.ExpiredEntries != 14 || a.Reindexings != 16 ||
+		a.ReindexedEntries != 18 || a.ResidualEntries != 20 || a.IndexBuilds != 22 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := Counters{Items: 5, Pairs: 2}
+	c.Reset()
+	if c != (Counters{}) {
+		t.Fatalf("reset left %+v", c)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Counters{Items: 3, Pairs: 1}
+	s := c.String()
+	for _, want := range []string{"items=3", "pairs=1", "entries=0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("string %q missing %q", s, want)
+		}
+	}
+}

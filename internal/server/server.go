@@ -1,0 +1,428 @@
+// Package server exposes a streaming similarity self-join over TCP, so
+// that producers in other processes (or machines) can feed one shared
+// stream and receive matches online — the deployment shape of the
+// paper's motivating applications, where posts arrive from a frontend
+// and near-duplicate/trend signals flow back.
+//
+// # Protocol
+//
+// Line-oriented, UTF-8. Client → server:
+//
+//	ADD <timestamp> <dim>:<val> <dim>:<val> ...
+//	ADDNOW <dim>:<val> ...        (server assigns the arrival timestamp)
+//	STATS                         (operation counters)
+//	SIZE                          (index occupancy)
+//	PING
+//	QUIT
+//
+// Server → client, in response to ADD/ADDNOW:
+//
+//	MATCH <x> <y> <sim> <dot> <dt>   (zero or more)
+//	OK <id>                          (the item's assigned stream ID)
+//
+// or "ERR <message>" for rejected input. Items from all connections are
+// interleaved into a single self-join stream: a match can pair items
+// submitted by different clients.
+//
+// The joiner itself is sequential (as in the paper); the server
+// serializes Process calls with a mutex. ADD timestamps must be globally
+// non-decreasing across clients; ADDNOW sidesteps that by stamping items
+// with the server's monotonic clock.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// Config configures a Server.
+type Config struct {
+	Params apss.Params
+	// NewJoiner builds the joiner; defaults to STR-L2 via core.NewSTR.
+	NewJoiner func(apss.Params, *metrics.Counters) (core.Joiner, error)
+	// Logf receives connection-level log lines; nil silences logging.
+	Logf func(format string, args ...interface{})
+	// Now supplies the clock for ADDNOW; defaults to a monotonic clock
+	// with seconds resolution since server start.
+	Now func() float64
+}
+
+// Server is a shared-stream SSSJ service.
+type Server struct {
+	cfg      Config
+	counters metrics.Counters
+
+	mu     sync.Mutex // guards joiner, nextID, lastT
+	joiner core.Joiner
+	nextID uint64
+	lastT  float64
+	begun  bool
+
+	lnMu sync.Mutex
+	ln   net.Listener
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	s := &Server{cfg: cfg, done: make(chan struct{})}
+	if cfg.Now == nil {
+		start := time.Now()
+		s.cfg.Now = func() float64 { return time.Since(start).Seconds() }
+	}
+	mk := cfg.NewJoiner
+	if mk == nil {
+		mk = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+			return core.NewSTR(streaming.L2, p, c)
+		}
+	}
+	j, err := mk(cfg.Params, &s.counters)
+	if err != nil {
+		return nil, err
+	}
+	s.joiner = j
+	return s, nil
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				s.wg.Wait()
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (s *Server) Close() error {
+	close(s.done)
+	s.lnMu.Lock()
+	ln := s.ln
+	s.lnMu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one client connection.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	s.cfg.Logf("client %s connected", conn.RemoteAddr())
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		quit := s.dispatch(w, line)
+		if err := w.Flush(); err != nil {
+			break
+		}
+		if quit {
+			break
+		}
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+	}
+	s.cfg.Logf("client %s disconnected", conn.RemoteAddr())
+}
+
+// dispatch executes one protocol line, reporting whether to close.
+func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool) {
+	cmd := line
+	rest := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		cmd, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	switch strings.ToUpper(cmd) {
+	case "ADD":
+		s.cmdAdd(w, rest, false)
+	case "ADDNOW":
+		s.cmdAdd(w, rest, true)
+	case "STATS":
+		s.mu.Lock()
+		st := s.counters
+		s.mu.Unlock()
+		fmt.Fprintf(w, "STATS %s\n", st.String())
+	case "SIZE":
+		s.mu.Lock()
+		var info string
+		if str, ok := s.joiner.(*core.STR); ok {
+			sz := str.IndexSize()
+			info = fmt.Sprintf("entries=%d residuals=%d lists=%d", sz.PostingEntries, sz.Residuals, sz.Lists)
+		} else {
+			info = "unavailable"
+		}
+		s.mu.Unlock()
+		fmt.Fprintf(w, "SIZE %s\n", info)
+	case "PING":
+		fmt.Fprintln(w, "PONG")
+	case "QUIT":
+		fmt.Fprintln(w, "BYE")
+		return true
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+	return false
+}
+
+// cmdAdd parses and processes one item.
+func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool) {
+	fields := strings.Fields(rest)
+	var (
+		t     float64
+		coord []string
+		err   error
+	)
+	if stampNow {
+		coord = fields
+	} else {
+		if len(fields) == 0 {
+			fmt.Fprintln(w, "ERR ADD needs a timestamp")
+			return
+		}
+		t, err = strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad timestamp %q\n", fields[0])
+			return
+		}
+		coord = fields[1:]
+	}
+	v, err := parseCoords(coord)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	s.mu.Lock()
+	if stampNow {
+		t = s.cfg.Now()
+		if s.begun && t < s.lastT {
+			t = s.lastT // clamp clock regressions
+		}
+	} else if s.begun && t < s.lastT {
+		s.mu.Unlock()
+		fmt.Fprintf(w, "ERR out of order: t=%v after t=%v\n", t, s.lastT)
+		return
+	}
+	id := s.nextID
+	item := stream.Item{ID: id, Time: t, Vec: v}
+	ms, err := s.joiner.Add(item)
+	if err == nil {
+		s.nextID++
+		s.lastT = t
+		s.begun = true
+	}
+	s.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	for _, m := range ms {
+		fmt.Fprintf(w, "MATCH %d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
+	}
+	fmt.Fprintf(w, "OK %d\n", id)
+}
+
+// parseCoords parses "dim:val" fields into a normalized vector.
+func parseCoords(fields []string) (vec.Vector, error) {
+	dims := make([]uint32, 0, len(fields))
+	vals := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		colon := strings.IndexByte(f, ':')
+		if colon <= 0 || colon == len(f)-1 {
+			return vec.Vector{}, fmt.Errorf("bad coordinate %q", f)
+		}
+		d, err := strconv.ParseUint(f[:colon], 10, 32)
+		if err != nil {
+			return vec.Vector{}, fmt.Errorf("bad dimension %q", f[:colon])
+		}
+		val, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return vec.Vector{}, fmt.Errorf("bad value %q", f[colon+1:])
+		}
+		dims = append(dims, uint32(d))
+		vals = append(vals, val)
+	}
+	v, err := vec.New(dims, vals)
+	if err != nil {
+		return vec.Vector{}, err
+	}
+	return v.Normalize(), nil
+}
+
+// Client is a minimal client for the server protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	mu   sync.Mutex
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// Add submits a timestamped item and returns its stream ID and matches.
+func (c *Client) Add(t float64, v vec.Vector) (uint64, []apss.Match, error) {
+	return c.add(fmt.Sprintf("ADD %g %s", t, formatCoords(v)))
+}
+
+// AddNow submits an item stamped with the server's clock.
+func (c *Client) AddNow(v vec.Vector) (uint64, []apss.Match, error) {
+	return c.add("ADDNOW " + formatCoords(v))
+}
+
+func (c *Client) add(line string) (uint64, []apss.Match, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return 0, nil, err
+	}
+	var matches []apss.Match
+	for {
+		resp, err := c.r.ReadString('\n')
+		if err != nil {
+			return 0, nil, err
+		}
+		resp = strings.TrimSpace(resp)
+		switch {
+		case strings.HasPrefix(resp, "MATCH "):
+			var m apss.Match
+			if _, err := fmt.Sscanf(resp, "MATCH %d %d %f %f %f", &m.X, &m.Y, &m.Sim, &m.Dot, &m.DT); err != nil {
+				return 0, nil, fmt.Errorf("server: bad match line %q: %w", resp, err)
+			}
+			matches = append(matches, m)
+		case strings.HasPrefix(resp, "OK "):
+			id, err := strconv.ParseUint(resp[3:], 10, 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("server: bad ok line %q", resp)
+			}
+			return id, matches, nil
+		case strings.HasPrefix(resp, "ERR "):
+			return 0, nil, errors.New(resp[4:])
+		default:
+			return 0, nil, fmt.Errorf("server: unexpected response %q", resp)
+		}
+	}
+}
+
+// Stats fetches the server's counter line.
+func (c *Client) Stats() (string, error) { return c.simple("STATS", "STATS ") }
+
+// Size fetches the server's index-occupancy line.
+func (c *Client) Size() (string, error) { return c.simple("SIZE", "SIZE ") }
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	_, err := c.simple("PING", "PONG")
+	return err
+}
+
+func (c *Client) simple(cmd, prefix string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintln(c.conn, cmd); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	resp = strings.TrimSpace(resp)
+	if !strings.HasPrefix(resp, prefix) {
+		return "", fmt.Errorf("server: unexpected response %q", resp)
+	}
+	return strings.TrimPrefix(resp, prefix), nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintln(c.conn, "QUIT")
+	return c.conn.Close()
+}
+
+// formatCoords renders a vector in the protocol's dim:val form.
+func formatCoords(v vec.Vector) string {
+	var sb strings.Builder
+	for i := range v.Dims {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d:%g", v.Dims[i], v.Vals[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/vec"
+)
+
+// testServer is a running server plus the address it listens on.
+type testServer struct {
+	*Server
+	addr string
+}
+
+// startServer spins up a server on a random port.
+func startServer(t *testing.T, cfg Config) testServer {
+	t.Helper()
+	if cfg.Params == (apss.Params{}) {
+		cfg.Params = apss.Params{Theta: 0.7, Lambda: 0.1}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { s.Close() })
+	return testServer{Server: s, addr: ln.Addr().String()}
+}
+
+func dialT(t *testing.T, s testServer) *Client {
+	t.Helper()
+	c, err := Dial(s.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestAddAndMatch(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+
+	v := vec.MustNew([]uint32{1, 2}, []float64{1, 1}).Normalize()
+	id0, ms, err := c.Add(0, v)
+	if err != nil || id0 != 0 || len(ms) != 0 {
+		t.Fatalf("first add: id=%d ms=%v err=%v", id0, ms, err)
+	}
+	id1, ms, err := c.Add(1, v)
+	if err != nil || id1 != 1 {
+		t.Fatalf("second add: id=%d err=%v", id1, err)
+	}
+	if len(ms) != 1 || ms[0].X != 1 || ms[0].Y != 0 {
+		t.Fatalf("match = %+v", ms)
+	}
+	if ms[0].Sim < 0.7 || ms[0].DT != 1 {
+		t.Fatalf("match fields = %+v", ms[0])
+	}
+}
+
+func TestCrossClientMatches(t *testing.T) {
+	// Two clients feed the same stream; the pair spans connections.
+	s := startServer(t, Config{})
+	c1 := dialT(t, s)
+	c2 := dialT(t, s)
+	v := vec.MustNew([]uint32{7}, []float64{1})
+	if _, _, err := c1.Add(10, v); err != nil {
+		t.Fatal(err)
+	}
+	_, ms, err := c2.Add(10.5, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("cross-client match missing: %v", ms)
+	}
+}
+
+func TestAddNowAssignsServerClock(t *testing.T) {
+	clock := 0.0
+	s := startServer(t, Config{Now: func() float64 { clock += 0.25; return clock }})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{3}, []float64{1})
+	if _, _, err := c.AddNow(v); err != nil {
+		t.Fatal(err)
+	}
+	_, ms, err := c.AddNow(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].DT != 0.25 {
+		t.Fatalf("server-stamped match = %+v", ms)
+	}
+}
+
+func TestOutOfOrderRejectedAndRecoverable(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	if _, _, err := c.Add(5, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Add(4, v); err == nil {
+		t.Fatal("out-of-order accepted")
+	}
+	// The connection (and the joiner) survive the rejected item.
+	if _, _, err := c.Add(6, v); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	s := startServer(t, Config{})
+	conn, err := net.Dial("tcp", s.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(line string) string {
+		fmt.Fprintln(conn, line)
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read after %q: %v", line, err)
+		}
+		return strings.TrimSpace(resp)
+	}
+	for _, tc := range []string{
+		"ADD",
+		"ADD notanumber 1:1",
+		"ADD 1 garbage",
+		"ADD 1 1:",
+		"ADD 1 :1",
+		"BOGUS command",
+	} {
+		if resp := send(tc); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q got %q, want ERR", tc, resp)
+		}
+	}
+	if resp := send("PING"); resp != "PONG" {
+		t.Fatalf("ping got %q", resp)
+	}
+	if resp := send("QUIT"); resp != "BYE" {
+		t.Fatalf("quit got %q", resp)
+	}
+}
+
+func TestStatsAndSize(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{2, 5}, []float64{1, 2}).Normalize()
+	if _, _, err := c.Add(0, v); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil || !strings.Contains(st, "items=1") {
+		t.Fatalf("stats = %q err=%v", st, err)
+	}
+	sz, err := c.Size()
+	if err != nil || !strings.Contains(sz, "entries=") {
+		t.Fatalf("size = %q err=%v", sz, err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	// Many goroutines hammer ADDNOW concurrently; the shared joiner must
+	// stay consistent and assign unique IDs.
+	s := startServer(t, Config{})
+	const clients = 8
+	const perClient = 50
+	var wg sync.WaitGroup
+	ids := make(chan uint64, clients*perClient)
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(s.addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			v := vec.MustNew([]uint32{uint32(g + 1)}, []float64{1})
+			for i := 0; i < perClient; i++ {
+				id, _, err := c.AddNow(v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ids <- id
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(ids)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	n := 0
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		n++
+	}
+	if n != clients*perClient {
+		t.Fatalf("processed %d items", n)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := New(Config{Params: apss.Params{Theta: 0, Lambda: 1}}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sssj/internal/vec"
+)
+
+// Binary dataset format (little endian):
+//
+//	header:  8-byte magic "SSSJBIN1"
+//	record:  float64 timestamp
+//	         uint32  nnz
+//	         nnz ×  (uint32 dim, float64 value)
+//
+// Records appear in stream order; IDs are assigned sequentially on read.
+var binaryMagic = [8]byte{'S', 'S', 'S', 'J', 'B', 'I', 'N', '1'}
+
+// ErrBadMagic is returned when a binary dataset has an unknown header.
+var ErrBadMagic = errors.New("stream: bad binary dataset magic")
+
+// maxBinaryNNZ bounds a single record so corrupted files cannot trigger
+// huge allocations.
+const maxBinaryNNZ = 1 << 24
+
+// BinaryWriter writes items in the binary dataset format.
+type BinaryWriter struct {
+	w           *bufio.Writer
+	wroteHeader bool
+}
+
+// NewBinaryWriter returns a BinaryWriter on w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriter(w)}
+}
+
+// Write appends one item.
+func (bw *BinaryWriter) Write(it Item) error {
+	if !bw.wroteHeader {
+		if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		bw.wroteHeader = true
+	}
+	var buf [12]byte
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(it.Time))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(it.Vec.NNZ()))
+	if _, err := bw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	for i := range it.Vec.Dims {
+		binary.LittleEndian.PutUint32(buf[:4], it.Vec.Dims[i])
+		binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(it.Vec.Vals[i]))
+		if _, err := bw.w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output. An empty dataset still gets a header.
+func (bw *BinaryWriter) Flush() error {
+	if !bw.wroteHeader {
+		if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		bw.wroteHeader = true
+	}
+	return bw.w.Flush()
+}
+
+// WriteBinary writes all items and flushes.
+func WriteBinary(w io.Writer, items []Item) error {
+	bw := NewBinaryWriter(w)
+	for _, it := range items {
+		if err := bw.Write(it); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// BinaryReader reads the binary dataset format as a Source.
+type BinaryReader struct {
+	r          *bufio.Reader
+	nextID     uint64
+	readHeader bool
+}
+
+// NewBinaryReader returns a BinaryReader on r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReader(r)}
+}
+
+// Next implements Source.
+func (br *BinaryReader) Next() (Item, error) {
+	if !br.readHeader {
+		var magic [8]byte
+		if _, err := io.ReadFull(br.r, magic[:]); err != nil {
+			if err == io.EOF {
+				return Item{}, io.ErrUnexpectedEOF
+			}
+			return Item{}, err
+		}
+		if magic != binaryMagic {
+			return Item{}, ErrBadMagic
+		}
+		br.readHeader = true
+	}
+	var head [12]byte
+	if _, err := io.ReadFull(br.r, head[:]); err != nil {
+		if err == io.EOF {
+			return Item{}, io.EOF // clean end between records
+		}
+		return Item{}, err
+	}
+	ts := math.Float64frombits(binary.LittleEndian.Uint64(head[:8]))
+	nnz := binary.LittleEndian.Uint32(head[8:])
+	if nnz > maxBinaryNNZ {
+		return Item{}, fmt.Errorf("stream: record nnz %d exceeds limit", nnz)
+	}
+	dims := make([]uint32, nnz)
+	vals := make([]float64, nnz)
+	var buf [12]byte
+	for i := uint32(0); i < nnz; i++ {
+		if _, err := io.ReadFull(br.r, buf[:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Item{}, err
+		}
+		dims[i] = binary.LittleEndian.Uint32(buf[:4])
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
+	}
+	v := vec.Vector{Dims: dims, Vals: vals}
+	if err := v.Validate(); err != nil {
+		return Item{}, fmt.Errorf("stream: record %d: %w", br.nextID, err)
+	}
+	it := Item{ID: br.nextID, Time: ts, Vec: v}
+	br.nextID++
+	return it, nil
+}

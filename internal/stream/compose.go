@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"container/heap"
+	"io"
+)
+
+// Merge combines multiple time-ordered sources into one time-ordered
+// source (k-way merge). IDs are reassigned densely in output order so the
+// merged stream looks like a single arrival sequence — merging feeds is
+// how a production deployment would combine several upstream topics into
+// one self-join input.
+type Merge struct {
+	h       mergeHeap
+	nextID  uint64
+	primed  bool
+	lastErr error
+}
+
+// NewMerge returns a Source merging srcs by timestamp.
+func NewMerge(srcs ...Source) *Merge {
+	m := &Merge{}
+	for _, s := range srcs {
+		m.h = append(m.h, mergeCursor{src: s})
+	}
+	return m
+}
+
+type mergeCursor struct {
+	src  Source
+	head Item
+}
+
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].head.Time < h[j].head.Time }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Next implements Source.
+func (m *Merge) Next() (Item, error) {
+	if m.lastErr != nil {
+		return Item{}, m.lastErr
+	}
+	if !m.primed {
+		live := m.h[:0]
+		for _, c := range m.h {
+			it, err := c.src.Next()
+			if err == io.EOF {
+				continue
+			}
+			if err != nil {
+				m.lastErr = err
+				return Item{}, err
+			}
+			c.head = it
+			live = append(live, c)
+		}
+		m.h = live
+		heap.Init(&m.h)
+		m.primed = true
+	}
+	if len(m.h) == 0 {
+		return Item{}, io.EOF
+	}
+	out := m.h[0].head
+	it, err := m.h[0].src.Next()
+	switch {
+	case err == io.EOF:
+		heap.Pop(&m.h)
+	case err != nil:
+		m.lastErr = err
+		return Item{}, err
+	default:
+		m.h[0].head = it
+		heap.Fix(&m.h, 0)
+	}
+	out.ID = m.nextID
+	m.nextID++
+	return out, nil
+}
+
+// TimeScale wraps a source, multiplying timestamps by Factor and shifting
+// them by Offset. Scaling time is equivalent to scaling λ (the decayed
+// similarity depends only on λ·Δt), which the harness uses to re-range a
+// dataset's horizon sweep without regenerating it.
+type TimeScale struct {
+	Src    Source
+	Factor float64
+	Offset float64
+}
+
+// Next implements Source.
+func (ts *TimeScale) Next() (Item, error) {
+	it, err := ts.Src.Next()
+	if err != nil {
+		return Item{}, err
+	}
+	it.Time = it.Time*ts.Factor + ts.Offset
+	return it, nil
+}
+
+// Limit wraps a source, yielding at most N items.
+type Limit struct {
+	Src Source
+	N   int
+}
+
+// Next implements Source.
+func (l *Limit) Next() (Item, error) {
+	if l.N <= 0 {
+		return Item{}, io.EOF
+	}
+	l.N--
+	return l.Src.Next()
+}
+
+// Chan adapts a channel to a Source, for live pipelines feeding a join
+// from a goroutine. The channel must be closed to end the stream.
+type Chan struct{ C <-chan Item }
+
+// Next implements Source.
+func (c Chan) Next() (Item, error) {
+	it, ok := <-c.C
+	if !ok {
+		return Item{}, io.EOF
+	}
+	return it, nil
+}
+
+// Func adapts a function to a Source.
+type Func func() (Item, error)
+
+// Next implements Source.
+func (f Func) Next() (Item, error) { return f() }

@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sssj/internal/vec"
+)
+
+func seqItems(times ...float64) []Item {
+	items := make([]Item, len(times))
+	for i, t := range times {
+		items[i] = Item{ID: uint64(i), Time: t, Vec: vec.MustNew([]uint32{uint32(i + 1)}, []float64{1})}
+	}
+	return items
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := NewSliceSource(seqItems(1, 4, 9))
+	b := NewSliceSource(seqItems(2, 3, 10))
+	c := NewSliceSource(seqItems(0.5))
+	merged, err := Collect(NewMerge(a, b, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 7 {
+		t.Fatalf("merged %d items", len(merged))
+	}
+	for i, it := range merged {
+		if it.ID != uint64(i) {
+			t.Fatalf("ids not dense: %d at %d", it.ID, i)
+		}
+		if i > 0 && it.Time < merged[i-1].Time {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	merged, err := Collect(NewMerge())
+	if err != nil || len(merged) != 0 {
+		t.Fatalf("empty merge: %v %v", merged, err)
+	}
+	merged, err = Collect(NewMerge(NewSliceSource(seqItems(1, 2))))
+	if err != nil || len(merged) != 2 {
+		t.Fatalf("single merge: %v %v", merged, err)
+	}
+	merged, err = Collect(NewMerge(NewSliceSource(nil), NewSliceSource(seqItems(3))))
+	if err != nil || len(merged) != 1 {
+		t.Fatalf("merge with empty source: %v %v", merged, err)
+	}
+}
+
+type failingSource struct{ after int }
+
+func (f *failingSource) Next() (Item, error) {
+	if f.after <= 0 {
+		return Item{}, errors.New("boom")
+	}
+	f.after--
+	return Item{Time: float64(f.after)}, nil
+}
+
+func TestMergePropagatesErrors(t *testing.T) {
+	m := NewMerge(&failingSource{after: 0})
+	if _, err := m.Next(); err == nil || err == io.EOF {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// subsequent calls keep failing
+	if _, err := m.Next(); err == nil || err == io.EOF {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestQuickMergeEquivalentToSortedUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nSrc := 1 + r.Intn(4)
+		var all []float64
+		var srcs []Source
+		for s := 0; s < nSrc; s++ {
+			n := r.Intn(10)
+			times := make([]float64, n)
+			tm := 0.0
+			for i := range times {
+				tm += r.Float64()
+				times[i] = tm
+			}
+			all = append(all, times...)
+			srcs = append(srcs, NewSliceSource(seqItems(times...)))
+		}
+		merged, err := Collect(NewMerge(srcs...))
+		if err != nil || len(merged) != len(all) {
+			return false
+		}
+		sort.Float64s(all)
+		for i := range all {
+			if merged[i].Time != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeScale(t *testing.T) {
+	src := &TimeScale{Src: NewSliceSource(seqItems(1, 2, 3)), Factor: 10, Offset: 5}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{15, 25, 35}
+	for i := range want {
+		if got[i].Time != want[i] {
+			t.Fatalf("time[%d] = %v", i, got[i].Time)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	got, err := Collect(&Limit{Src: NewSliceSource(seqItems(1, 2, 3, 4)), N: 2})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("limit: %v %v", got, err)
+	}
+	got, err = Collect(&Limit{Src: NewSliceSource(seqItems(1)), N: 0})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("limit 0: %v %v", got, err)
+	}
+	// limit larger than the stream
+	got, err = Collect(&Limit{Src: NewSliceSource(seqItems(1)), N: 10})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("limit 10: %v %v", got, err)
+	}
+}
+
+func TestChan(t *testing.T) {
+	ch := make(chan Item, 3)
+	for _, it := range seqItems(1, 2) {
+		ch <- it
+	}
+	close(ch)
+	got, err := Collect(Chan{C: ch})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("chan: %v %v", got, err)
+	}
+}
+
+func TestFunc(t *testing.T) {
+	n := 0
+	src := Func(func() (Item, error) {
+		if n >= 3 {
+			return Item{}, io.EOF
+		}
+		n++
+		return Item{Time: float64(n)}, nil
+	})
+	got, err := Collect(src)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("func: %v %v", got, err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package textvec turns text documents into unit-normalized sparse
+// vectors via the hashing trick, the representation the paper's motivating
+// applications (trend detection and near-duplicate filtering over
+// microblog posts, §1) operate on.
+//
+// Tokenization is deliberately simple — lowercase, split on
+// non-alphanumerics, drop one-character tokens — and each token is hashed
+// into a fixed-size dimension space with FNV-1a. Weights are term
+// frequency, optionally scaled by an online inverse document frequency
+// computed over the documents seen so far (a streaming-friendly IDF: no
+// second pass over the corpus is possible on a stream).
+package textvec
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+	"unicode"
+
+	"sssj/internal/vec"
+)
+
+// Vectorizer converts documents to sparse unit vectors. The zero value is
+// not usable; call New.
+type Vectorizer struct {
+	dims   uint32
+	useIDF bool
+	n      int            // documents seen
+	df     map[uint32]int // document frequency per hashed dimension
+}
+
+// New returns a Vectorizer hashing into dims dimensions. useIDF enables
+// online TF-IDF weighting; with it off, weights are plain term frequency.
+func New(dims uint32, useIDF bool) *Vectorizer {
+	if dims == 0 {
+		panic("textvec: dims must be positive")
+	}
+	v := &Vectorizer{dims: dims, useIDF: useIDF}
+	if useIDF {
+		v.df = make(map[uint32]int)
+	}
+	return v
+}
+
+// Dims returns the hash-space size.
+func (z *Vectorizer) Dims() uint32 { return z.dims }
+
+// Docs returns the number of documents vectorized so far.
+func (z *Vectorizer) Docs() int { return z.n }
+
+// Tokenize lowercases text and splits it on non-alphanumeric runes,
+// dropping one-character tokens.
+func Tokenize(text string) []string {
+	raw := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '#' && r != '@'
+	})
+	out := raw[:0]
+	for _, tok := range raw {
+		if len(tok) > 1 {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// HashToken maps a token to a dimension with FNV-1a.
+func (z *Vectorizer) HashToken(tok string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(tok))
+	return h.Sum32() % z.dims
+}
+
+// Vectorize converts one document into a unit vector and, when IDF is
+// enabled, folds the document into the running statistics. An empty or
+// token-free document yields an empty vector.
+func (z *Vectorizer) Vectorize(text string) vec.Vector {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return vec.Vector{}
+	}
+	tf := make(map[uint32]float64, len(toks))
+	for _, tok := range toks {
+		tf[z.HashToken(tok)]++
+	}
+	if z.useIDF {
+		z.n++
+		for d := range tf {
+			z.df[d]++
+		}
+		for d, f := range tf {
+			// Smoothed IDF over the stream seen so far.
+			tf[d] = f * math.Log(float64(1+z.n)/float64(1+z.df[d]))
+		}
+	}
+	v := vec.FromMap(tf).Normalize()
+	return v
+}

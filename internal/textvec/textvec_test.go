@@ -1,0 +1,96 @@
+package textvec
+
+import (
+	"testing"
+
+	"sssj/internal/vec"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Hello, World! #trending @user a I 42x")
+	want := []string{"hello", "world", "#trending", "@user", "42x"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v want %v", toks, want)
+		}
+	}
+	if len(Tokenize("")) != 0 || len(Tokenize("  , . !")) != 0 {
+		t.Fatal("empty inputs should yield no tokens")
+	}
+}
+
+func TestVectorizeUnitAndDeterministic(t *testing.T) {
+	z := New(1<<16, false)
+	v1 := z.Vectorize("the quick brown fox")
+	v2 := z.Vectorize("the quick brown fox")
+	if !v1.IsUnit(1e-9) {
+		t.Fatalf("norm = %v", v1.Norm())
+	}
+	if !vec.Equal(v1, v2) {
+		t.Fatal("same text produced different vectors")
+	}
+	if !(z.Vectorize("").IsEmpty()) {
+		t.Fatal("empty doc should vectorize to empty")
+	}
+}
+
+func TestSimilarTextsAreSimilarVectors(t *testing.T) {
+	z := New(1<<16, false)
+	a := z.Vectorize("breaking news earthquake hits city downtown")
+	b := z.Vectorize("breaking news earthquake strikes city downtown")
+	c := z.Vectorize("cooking recipe chocolate cake butter sugar")
+	if vec.Dot(a, b) < 0.6 {
+		t.Fatalf("near-duplicates dissimilar: %v", vec.Dot(a, b))
+	}
+	if vec.Dot(a, c) > 0.3 {
+		t.Fatalf("unrelated docs similar: %v", vec.Dot(a, c))
+	}
+}
+
+func TestTermFrequencyCounts(t *testing.T) {
+	z := New(1<<16, false)
+	v := z.Vectorize("spam spam spam ham")
+	spam := z.HashToken("spam")
+	ham := z.HashToken("ham")
+	if !(v.At(spam) > v.At(ham)) {
+		t.Fatal("repeated token should weigh more")
+	}
+}
+
+func TestOnlineIDFDownweightsCommonTerms(t *testing.T) {
+	z := New(1<<16, true)
+	// "the" appears in every doc; "zebra" only in the last.
+	for i := 0; i < 50; i++ {
+		z.Vectorize("the common words everywhere")
+	}
+	v := z.Vectorize("the zebra")
+	if z.Docs() != 51 {
+		t.Fatalf("docs = %d", z.Docs())
+	}
+	if !(v.At(z.HashToken("zebra")) > v.At(z.HashToken("the"))) {
+		t.Fatal("IDF did not downweight the common term")
+	}
+}
+
+func TestDimsBoundsHashes(t *testing.T) {
+	z := New(32, false)
+	v := z.Vectorize("many different tokens colliding in a tiny space here")
+	if v.MaxDim() > 32 {
+		t.Fatalf("dim %d out of space", v.MaxDim())
+	}
+	if z.Dims() != 32 {
+		t.Fatal("Dims accessor wrong")
+	}
+}
+
+func TestZeroDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for dims=0")
+		}
+	}()
+	New(0, false)
+}

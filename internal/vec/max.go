@@ -1,0 +1,54 @@
+package vec
+
+// MaxTracker maintains per-dimension maxima over a set of vectors: the
+// vector m of the paper (and m̂ when restricted to indexed vectors).
+// Missing dimensions have maximum 0.
+type MaxTracker map[uint32]float64
+
+// NewMaxTracker returns an empty tracker.
+func NewMaxTracker() MaxTracker { return make(MaxTracker) }
+
+// Update raises the tracked maxima with v's coordinates and returns the
+// dimensions whose maximum increased (nil when none did). The returned
+// slice drives re-indexing in STR-L2AP.
+func (m MaxTracker) Update(v Vector) []uint32 {
+	var changed []uint32
+	for i, d := range v.Dims {
+		if val := v.Vals[i]; val > m[d] {
+			m[d] = val
+			changed = append(changed, d)
+		}
+	}
+	return changed
+}
+
+// Merge raises maxima with those of other.
+func (m MaxTracker) Merge(other MaxTracker) {
+	for d, val := range other {
+		if val > m[d] {
+			m[d] = val
+		}
+	}
+}
+
+// At returns the maximum for dimension d (0 when unseen).
+func (m MaxTracker) At(d uint32) float64 { return m[d] }
+
+// Dot returns Σ_j v_j · m_j, the rs1-style upper bound on the dot product
+// of v with any tracked vector.
+func (m MaxTracker) Dot(v Vector) float64 {
+	s := 0.0
+	for i, d := range v.Dims {
+		s += v.Vals[i] * m[d]
+	}
+	return s
+}
+
+// Clone returns a copy.
+func (m MaxTracker) Clone() MaxTracker {
+	out := make(MaxTracker, len(m))
+	for d, v := range m {
+		out[d] = v
+	}
+	return out
+}

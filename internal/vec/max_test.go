@@ -1,0 +1,54 @@
+package vec
+
+import "testing"
+
+func TestMaxTrackerUpdate(t *testing.T) {
+	m := NewMaxTracker()
+	changed := m.Update(MustNew([]uint32{1, 2}, []float64{0.5, 0.7}))
+	if len(changed) != 2 {
+		t.Fatalf("changed = %v", changed)
+	}
+	changed = m.Update(MustNew([]uint32{1, 3}, []float64{0.4, 0.9}))
+	if len(changed) != 1 || changed[0] != 3 {
+		t.Fatalf("changed = %v", changed)
+	}
+	if m.At(1) != 0.5 || m.At(2) != 0.7 || m.At(3) != 0.9 || m.At(99) != 0 {
+		t.Fatalf("maxima wrong: %v", m)
+	}
+}
+
+func TestMaxTrackerMerge(t *testing.T) {
+	a := MaxTracker{1: 0.5, 2: 0.9}
+	b := MaxTracker{1: 0.8, 3: 0.1}
+	a.Merge(b)
+	if a.At(1) != 0.8 || a.At(2) != 0.9 || a.At(3) != 0.1 {
+		t.Fatalf("merged = %v", a)
+	}
+}
+
+func TestMaxTrackerDotIsUpperBound(t *testing.T) {
+	m := NewMaxTracker()
+	vs := []Vector{
+		MustNew([]uint32{0, 1}, []float64{0.3, 0.4}),
+		MustNew([]uint32{1, 2}, []float64{0.6, 0.2}),
+	}
+	for _, v := range vs {
+		m.Update(v)
+	}
+	q := MustNew([]uint32{0, 1, 2}, []float64{1, 1, 1})
+	bound := m.Dot(q)
+	for _, v := range vs {
+		if Dot(q, v) > bound+1e-12 {
+			t.Fatalf("dot %v exceeds bound %v", Dot(q, v), bound)
+		}
+	}
+}
+
+func TestMaxTrackerClone(t *testing.T) {
+	m := MaxTracker{1: 0.5}
+	c := m.Clone()
+	c[1] = 0.9
+	if m.At(1) != 0.5 {
+		t.Fatal("clone shares storage")
+	}
+}

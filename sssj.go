@@ -1,0 +1,336 @@
+// Package sssj implements streaming similarity self-join: finding, in an
+// unbounded stream of timestamped sparse vectors, all pairs whose
+// time-dependent cosine similarity
+//
+//	sim(x, y) = dot(x, y) · exp(-λ·|t(x)−t(y)|)
+//
+// reaches a threshold θ. It is a from-scratch reproduction of
+// "Streaming Similarity Self-Join" (De Francisci Morales & Gionis,
+// VLDB 2016), including both of the paper's frameworks — Streaming (STR)
+// and MiniBatch (MB) — and all of its indexing schemes (INV, AP, L2AP, and
+// the paper's streaming-optimized L2 index).
+//
+// # Quick start
+//
+//	j, err := sssj.New(sssj.Options{Theta: 0.7, Lambda: 0.01})
+//	if err != nil { ... }
+//	for item := range input {
+//	    matches, err := j.Process(item)
+//	    ...
+//	}
+//	tail, err := j.Flush()
+//
+// The default configuration (STR framework, L2 index) is the paper's
+// recommended, most scalable combination.
+package sssj
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/dimorder"
+	"sssj/internal/index/static"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// Re-exported core types. Vector is a sparse vector with sorted
+// dimensions; Item is a timestamped vector; Match is a reported similar
+// pair; Params bundles (θ, λ); Stats carries operation counters; Source
+// yields stream items; Kernel generalizes the decay function.
+type (
+	Vector = vec.Vector
+	Item   = stream.Item
+	Match  = apss.Match
+	Params = apss.Params
+	Stats  = metrics.Counters
+	Source = stream.Source
+	Kernel = apss.Kernel
+)
+
+// Decay kernels (see Kernel). Exponential is the paper's definition and
+// the default; the others are extensions.
+type (
+	Exponential   = apss.Exponential
+	SlidingWindow = apss.SlidingWindow
+	Polynomial    = apss.Polynomial
+)
+
+// Framework selects between the paper's two algorithmic frameworks.
+type Framework int
+
+// Frameworks.
+const (
+	// Streaming (STR, Algorithm 5) maintains one incremental index with
+	// time filtering built in and reports matches online. The paper's
+	// recommendation.
+	Streaming Framework = iota
+	// MiniBatch (MB, Algorithm 1) indexes τ-length windows with a batch
+	// index used as a black box; matches are reported with up to 2τ
+	// delay.
+	MiniBatch
+)
+
+// String implements fmt.Stringer.
+func (f Framework) String() string {
+	switch f {
+	case Streaming:
+		return "STR"
+	case MiniBatch:
+		return "MB"
+	default:
+		return fmt.Sprintf("Framework(%d)", int(f))
+	}
+}
+
+// IndexKind selects an indexing scheme.
+type IndexKind int
+
+// Index kinds.
+const (
+	// IndexL2 is the paper's contribution (§5.4): ℓ2-only bounds, no
+	// global statistics, no re-indexing. The recommended default.
+	IndexL2 IndexKind = iota
+	// IndexINV is the plain inverted index with no residual filtering.
+	IndexINV
+	// IndexL2AP is the streaming adaptation of Anastasiu & Karypis's
+	// L2AP, combining the AP and ℓ2 bounds.
+	IndexL2AP
+	// IndexAP is Bayardo et al.'s scheme; supported only under MiniBatch
+	// (§5.2: its streaming version is not efficient in practice).
+	IndexAP
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexL2:
+		return "L2"
+	case IndexINV:
+		return "INV"
+	case IndexL2AP:
+		return "L2AP"
+	case IndexAP:
+		return "AP"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// ErrUnsupported reports an invalid framework × index combination.
+var ErrUnsupported = errors.New("sssj: unsupported framework/index combination")
+
+// Options configures a Joiner. Theta and Lambda are required; everything
+// else defaults to the paper's recommended setup (STR framework, L2
+// index, exponential decay).
+type Options struct {
+	// Theta is the similarity threshold θ in (0, 1].
+	Theta float64
+	// Lambda is the time-decay factor λ > 0. Together they fix the time
+	// horizon τ = ln(1/θ)/λ beyond which pairs can never match.
+	Lambda float64
+	// Framework selects STR (default) or MB.
+	Framework Framework
+	// Index selects the indexing scheme (default IndexL2).
+	Index IndexKind
+	// Kernel overrides exponential decay (extension). Only STR with
+	// IndexINV or IndexL2 supports non-exponential kernels.
+	Kernel Kernel
+	// Stats, when non-nil, receives operation counters.
+	Stats *Stats
+	// DimOrder enables the dimension-ordering extension (the paper's
+	// suggested future work). Under MiniBatch, each window's batch index
+	// orders dimensions by the chosen strategy; under Streaming, a
+	// permutation is learned from the first WarmupItems items and applied
+	// thereafter (matches among warmup items are delayed until the
+	// warmup closes). The zero value keeps natural order, as in the
+	// paper.
+	DimOrder DimOrder
+}
+
+// DimOrder configures the dimension-ordering extension.
+type DimOrder struct {
+	// Strategy ranks dimensions; OrderNone disables the extension.
+	Strategy DimStrategy
+	// WarmupItems is how many leading stream items the Streaming
+	// framework learns the permutation from (ignored by MiniBatch,
+	// which learns from each full window). Required > 0 when Strategy
+	// is set under Streaming.
+	WarmupItems int
+}
+
+// DimStrategy ranks dimensions for the ordering extension.
+type DimStrategy = dimorder.Strategy
+
+// Ordering strategies.
+const (
+	// OrderNone keeps natural dimension order (the paper's setting).
+	OrderNone = dimorder.None
+	// OrderDocFreqAsc puts rare dimensions in the unindexed prefix.
+	OrderDocFreqAsc = dimorder.DocFreqAsc
+	// OrderMaxValueDesc front-loads large-valued dimensions.
+	OrderMaxValueDesc = dimorder.MaxValueDesc
+)
+
+// Joiner is a streaming similarity self-join operator. It is not safe for
+// concurrent use; the paper's algorithms are sequential.
+type Joiner struct {
+	inner  core.Joiner
+	params Params
+	opts   Options
+}
+
+// New builds a Joiner.
+func New(opts Options) (*Joiner, error) {
+	params := Params{Theta: opts.Theta, Lambda: opts.Lambda}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		inner core.Joiner
+		err   error
+	)
+	switch opts.Framework {
+	case Streaming:
+		var kind streaming.Kind
+		switch opts.Index {
+		case IndexINV:
+			kind = streaming.INV
+		case IndexL2AP:
+			kind = streaming.L2AP
+		case IndexL2:
+			kind = streaming.L2
+		case IndexAP:
+			return nil, fmt.Errorf("%w: STR-AP (paper §5.2 omits it as impractical)", ErrUnsupported)
+		default:
+			return nil, fmt.Errorf("%w: unknown index %v", ErrUnsupported, opts.Index)
+		}
+		sopts := streaming.Options{Counters: opts.Stats, Kernel: opts.Kernel}
+		if opts.DimOrder.Strategy != OrderNone {
+			if opts.DimOrder.WarmupItems < 1 {
+				return nil, fmt.Errorf("%w: Streaming DimOrder needs WarmupItems > 0", ErrUnsupported)
+			}
+			sopts.Order = streaming.WarmupOrder{
+				Strategy: opts.DimOrder.Strategy,
+				Items:    opts.DimOrder.WarmupItems,
+			}
+		}
+		inner, err = core.NewSTRFull(kind, params, sopts)
+	case MiniBatch:
+		if opts.Kernel != nil {
+			return nil, fmt.Errorf("%w: MB supports only exponential decay", ErrUnsupported)
+		}
+		var kind static.Kind
+		switch opts.Index {
+		case IndexINV:
+			kind = static.INV
+		case IndexAP:
+			kind = static.AP
+		case IndexL2AP:
+			kind = static.L2AP
+		case IndexL2:
+			kind = static.L2
+		default:
+			return nil, fmt.Errorf("%w: unknown index %v", ErrUnsupported, opts.Index)
+		}
+		var mbOpts []core.MBOption
+		if opts.DimOrder.Strategy != OrderNone {
+			mbOpts = append(mbOpts, core.WithOrder(opts.DimOrder.Strategy))
+		}
+		inner, err = core.NewMiniBatch(kind, params, opts.Stats, mbOpts...)
+	default:
+		return nil, fmt.Errorf("%w: unknown framework %v", ErrUnsupported, opts.Framework)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Joiner{inner: inner, params: params, opts: opts}, nil
+}
+
+// Process feeds the next stream item (timestamps must be non-decreasing)
+// and returns the matches reportable so far. Under STR all matches
+// involving the new item are returned immediately; under MB matches are
+// released at window boundaries.
+func (j *Joiner) Process(it Item) ([]Match, error) { return j.inner.Add(it) }
+
+// Flush releases matches still buffered at end of stream (MB only; a
+// no-op under STR).
+func (j *Joiner) Flush() ([]Match, error) { return j.inner.Flush() }
+
+// Params returns the join parameters.
+func (j *Joiner) Params() Params { return j.params }
+
+// IndexSize reports current index occupancy: live posting entries,
+// residual vectors, and non-empty posting lists. It is the quantity the
+// time-filtering property keeps bounded (§3). ok is false under the
+// MiniBatch framework, which buffers windows instead of maintaining one
+// index.
+type IndexSize = streaming.SizeInfo
+
+// IndexSize implements the accessor described on the IndexSize type.
+func (j *Joiner) IndexSize() (IndexSize, bool) {
+	s, ok := j.inner.(*core.STR)
+	if !ok {
+		return IndexSize{}, false
+	}
+	return s.IndexSize(), true
+}
+
+// Horizon returns the time horizon τ = ln(1/θ)/λ.
+func (j *Joiner) Horizon() float64 {
+	if j.opts.Kernel != nil {
+		return j.opts.Kernel.Horizon(j.params.Theta)
+	}
+	return j.params.Horizon()
+}
+
+// Join drains a source through a fresh Joiner and returns all matches.
+func Join(opts Options, src Source) ([]Match, error) {
+	j, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(j.inner, src)
+}
+
+// SelfJoin runs the join over an in-memory stream.
+func SelfJoin(opts Options, items []Item) ([]Match, error) {
+	return Join(opts, stream.NewSliceSource(items))
+}
+
+// NewVector builds a sparse vector from parallel dimension/value slices
+// (sorted and deduplicated for you) and normalizes it to unit length, the
+// representation the join expects.
+func NewVector(dims []uint32, vals []float64) (Vector, error) {
+	v, err := vec.New(dims, vals)
+	if err != nil {
+		return Vector{}, err
+	}
+	return v.Normalize(), nil
+}
+
+// ReadText returns a Source over the text dataset format:
+// "<timestamp> <dim>:<val> ..." per line. Vectors are normalized on read.
+func ReadText(r io.Reader) Source { return stream.NewTextReader(r) }
+
+// ReadBinary returns a Source over the binary dataset format produced by
+// WriteBinary (see cmd/sssjconvert).
+func ReadBinary(r io.Reader) Source { return stream.NewBinaryReader(r) }
+
+// WriteBinary writes items in the binary dataset format.
+func WriteBinary(w io.Writer, items []Item) error { return stream.WriteBinary(w, items) }
+
+// WriteText writes items in the text dataset format.
+func WriteText(w io.Writer, items []Item) error { return stream.WriteText(w, items) }
+
+// ParamsFromHorizon derives λ from a desired horizon τ per the §3
+// methodology: pick θ, pick the gap τ at which identical items stop being
+// similar, and set λ = ln(1/θ)/τ.
+func ParamsFromHorizon(theta, tau float64) (Params, error) {
+	return apss.FromHorizon(theta, tau)
+}

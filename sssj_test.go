@@ -1,0 +1,317 @@
+package sssj
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/datagen"
+	"sssj/internal/stream"
+)
+
+// allOptions enumerates every supported framework × index combination.
+func allOptions(theta, lambda float64) []Options {
+	var out []Options
+	for _, ix := range []IndexKind{IndexINV, IndexL2AP, IndexL2} {
+		out = append(out, Options{Theta: theta, Lambda: lambda, Framework: Streaming, Index: ix})
+	}
+	for _, ix := range []IndexKind{IndexINV, IndexAP, IndexL2AP, IndexL2} {
+		out = append(out, Options{Theta: theta, Lambda: lambda, Framework: MiniBatch, Index: ix})
+	}
+	return out
+}
+
+func TestPublicAPIAgainstOracle(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.05).Generate(1)
+	p := Params{Theta: 0.6, Lambda: 0.05}
+	bf, err := core.NewBruteForce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(bf, stream.NewSliceSource(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range allOptions(p.Theta, p.Lambda) {
+		got, err := SelfJoin(opts, items)
+		if err != nil {
+			t.Fatalf("%v-%v: %v", opts.Framework, opts.Index, err)
+		}
+		if !apss.EqualMatchSets(got, want, 1e-9) {
+			t.Fatalf("%v-%v: diverged from oracle (%d vs %d matches)",
+				opts.Framework, opts.Index, len(got), len(want))
+		}
+	}
+}
+
+func TestDefaultsAreSTRL2(t *testing.T) {
+	j, err := New(Options{Theta: 0.7, Lambda: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVector([]uint32{1, 2}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Process(Item{ID: 0, Time: 0, Vec: v}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := j.Process(Item{ID: 1, Time: 0.5, Vec: v})
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("default joiner missed the pair: %v %v", ms, err)
+	}
+	if tail, err := j.Flush(); err != nil || len(tail) != 0 {
+		t.Fatalf("STR flush should be empty: %v %v", tail, err)
+	}
+}
+
+func TestUnsupportedCombinations(t *testing.T) {
+	cases := []Options{
+		{Theta: 0.5, Lambda: 0.1, Framework: Streaming, Index: IndexAP},
+		{Theta: 0.5, Lambda: 0.1, Framework: Streaming, Index: IndexKind(99)},
+		{Theta: 0.5, Lambda: 0.1, Framework: Framework(9), Index: IndexL2},
+		{Theta: 0.5, Lambda: 0.1, Framework: MiniBatch, Index: IndexKind(99)},
+		{Theta: 0.5, Lambda: 0.1, Framework: MiniBatch, Index: IndexL2, Kernel: SlidingWindow{Tau: 1}},
+		{Theta: 0.5, Lambda: 0.1, Framework: Streaming, Index: IndexL2AP, Kernel: SlidingWindow{Tau: 1}},
+	}
+	for _, opts := range cases {
+		if _, err := New(opts); err == nil {
+			t.Fatalf("accepted %+v", opts)
+		}
+	}
+	// ErrUnsupported is wrapped where applicable
+	_, err := New(cases[0])
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	for _, opts := range []Options{
+		{Theta: 0, Lambda: 0.1},
+		{Theta: 1.2, Lambda: 0.1},
+		{Theta: 0.5, Lambda: 0},
+		{Theta: 0.5, Lambda: -2},
+	} {
+		if _, err := New(opts); err == nil {
+			t.Fatalf("accepted %+v", opts)
+		}
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	var st Stats
+	items := datagen.TweetsProfile().Scaled(0.02).Generate(2)
+	_, err := SelfJoin(Options{Theta: 0.6, Lambda: 0.1, Stats: &st}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != int64(len(items)) || st.EntriesTraversed == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	j, err := New(Options{Theta: 0.5, Lambda: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := j.Horizon(); h < 6.9 || h > 7.0 {
+		t.Fatalf("horizon = %v", h)
+	}
+	jw, err := New(Options{Theta: 0.5, Lambda: 0.1, Kernel: SlidingWindow{Tau: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jw.Horizon() != 42 {
+		t.Fatalf("kernel horizon = %v", jw.Horizon())
+	}
+	if j.Params().Theta != 0.5 {
+		t.Fatal("params accessor wrong")
+	}
+}
+
+func TestParamsFromHorizon(t *testing.T) {
+	p, err := ParamsFromHorizon(0.7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := p.Horizon(); h < 299.999 || h > 300.001 {
+		t.Fatalf("horizon = %v", h)
+	}
+}
+
+func TestTextAndBinaryRoundTripThroughPublicAPI(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.01).Generate(5)
+	var txt, bin bytes.Buffer
+	if err := WriteText(&txt, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, items); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Theta: 0.7, Lambda: 0.05}
+	fromMem, err := SelfJoin(opts, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := Join(opts, ReadText(&txt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Join(opts, ReadBinary(&bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apss.EqualMatchSets(fromMem, fromBin, 1e-9) {
+		t.Fatal("binary round trip changed results")
+	}
+	if !apss.EqualMatchSets(fromMem, fromTxt, 1e-6) {
+		t.Fatal("text round trip changed results")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Streaming.String() != "STR" || MiniBatch.String() != "MB" {
+		t.Fatal("framework names")
+	}
+	if IndexL2.String() != "L2" || IndexINV.String() != "INV" ||
+		IndexL2AP.String() != "L2AP" || IndexAP.String() != "AP" {
+		t.Fatal("index names")
+	}
+	if Framework(7).String() == "" || IndexKind(7).String() == "" {
+		t.Fatal("unknown names empty")
+	}
+}
+
+func TestMatchFieldsAreConsistent(t *testing.T) {
+	items := datagen.BlogsProfile().Scaled(0.03).Generate(4)
+	ms, err := SelfJoin(Options{Theta: 0.6, Lambda: 0.05}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Skip("no matches generated")
+	}
+	p := Params{Theta: 0.6, Lambda: 0.05}
+	for _, m := range ms {
+		if m.X <= m.Y {
+			t.Fatalf("X should be the later item: %+v", m)
+		}
+		if m.Sim < p.Theta || m.Sim > m.Dot+1e-12 {
+			t.Fatalf("inconsistent sim/dot: %+v", m)
+		}
+		if want := p.Sim(m.Dot, m.DT); want-m.Sim > 1e-9 || m.Sim-want > 1e-9 {
+			t.Fatalf("sim != dot·decay: %+v want %v", m, want)
+		}
+	}
+}
+
+func BenchmarkDefaultJoiner(b *testing.B) {
+	items := datagen.RCV1Profile().Scaled(0.25).Generate(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelfJoin(Options{Theta: 0.7, Lambda: 0.1}, items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randomItemsForFuzz(seed int64, n int) []Item {
+	r := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	tm := 0.0
+	for i := range items {
+		tm += r.Float64()
+		dims := []uint32{uint32(r.Intn(10)), uint32(10 + r.Intn(10))}
+		v, _ := NewVector(dims, []float64{r.Float64() + 0.1, r.Float64() + 0.1})
+		items[i] = Item{ID: uint64(i), Time: tm, Vec: v}
+	}
+	return items
+}
+
+func TestAllCombinationsAgreeOnFuzzStreams(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		items := randomItemsForFuzz(seed, 60)
+		var ref []Match
+		for i, opts := range allOptions(0.8, 0.3) {
+			got, err := SelfJoin(opts, items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if !apss.EqualMatchSets(got, ref, 1e-9) {
+				t.Fatalf("seed %d: %v-%v disagrees", seed, opts.Framework, opts.Index)
+			}
+		}
+	}
+}
+
+func TestTopKPublicAPI(t *testing.T) {
+	tk, err := NewTopK(Options{Theta: 0.5, Lambda: 0.1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewVector([]uint32{1, 2}, []float64{1, 1})
+	u, _ := NewVector([]uint32{1, 2}, []float64{1, 1.1})
+	for i, tm := range []float64{0, 1, 2} {
+		vec := v
+		if i == 1 {
+			vec = u
+		}
+		if _, err := tk.Process(Item{ID: uint64(i), Time: tm, Vec: vec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns, err := tk.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 {
+		t.Fatalf("finalized %d items", len(ns))
+	}
+	for _, n := range ns {
+		if len(n.Matches) == 0 || len(n.Matches) > 2 {
+			t.Fatalf("item %d: %d neighbors", n.ID, len(n.Matches))
+		}
+	}
+	if tk.Open() != 0 {
+		t.Fatalf("open = %d after flush", tk.Open())
+	}
+	// MB framework rejected
+	if _, err := NewTopK(Options{Theta: 0.5, Lambda: 0.1, Framework: MiniBatch}, 2); err == nil {
+		t.Fatal("top-k accepted MiniBatch")
+	}
+	// invalid params propagate
+	if _, err := NewTopK(Options{Theta: 0, Lambda: 0.1}, 2); err == nil {
+		t.Fatal("top-k accepted bad params")
+	}
+}
+
+func TestIndexSizeAccessor(t *testing.T) {
+	j, err := New(Options{Theta: 0.5, Lambda: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewVector([]uint32{1, 2}, []float64{1, 1})
+	if _, err := j.Process(Item{ID: 0, Time: 0, Vec: v}); err != nil {
+		t.Fatal(err)
+	}
+	sz, ok := j.IndexSize()
+	if !ok || sz.PostingEntries == 0 {
+		t.Fatalf("size = %+v ok=%v", sz, ok)
+	}
+	mb, err := New(Options{Theta: 0.5, Lambda: 0.1, Framework: MiniBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mb.IndexSize(); ok {
+		t.Fatal("MiniBatch reported an index size")
+	}
+}

@@ -1,0 +1,53 @@
+package sssj
+
+import (
+	"fmt"
+
+	"sssj/internal/core"
+)
+
+// Neighbors is one item's finalized top-k neighborhood: its k most
+// similar in-horizon stream items, sorted by decreasing time-dependent
+// similarity. Matches are reported from the item's perspective (X is the
+// item itself).
+type Neighbors = core.Neighbors
+
+// TopKJoiner turns the threshold join into a bounded-neighborhood join:
+// for every stream item, its k most similar items within the time
+// horizon. This is the operator the paper's recommender-system use case
+// (low θ, §7.1) builds on.
+//
+// An item's neighborhood is final once the stream has advanced τ past its
+// arrival, so results trail the stream by one horizon; Flush drains the
+// rest at end of stream.
+type TopKJoiner struct {
+	inner *core.TopK
+}
+
+// NewTopK builds a top-k joiner. opts must use the Streaming framework
+// (MiniBatch's reporting delay is incompatible with neighborhood
+// finalization); k is the neighborhood size.
+func NewTopK(opts Options, k int) (*TopKJoiner, error) {
+	if opts.Framework != Streaming {
+		return nil, fmt.Errorf("%w: top-k requires the Streaming framework", ErrUnsupported)
+	}
+	j, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewTopK(j.inner, k, j.Horizon())
+	if err != nil {
+		return nil, err
+	}
+	return &TopKJoiner{inner: inner}, nil
+}
+
+// Process feeds the next item and returns the neighborhoods that became
+// final.
+func (t *TopKJoiner) Process(it Item) ([]Neighbors, error) { return t.inner.Add(it) }
+
+// Flush finalizes all pending neighborhoods at end of stream.
+func (t *TopKJoiner) Flush() ([]Neighbors, error) { return t.inner.Flush() }
+
+// Open reports how many items await finalization.
+func (t *TopKJoiner) Open() int { return t.inner.Open() }
