@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: verify build test race vet bench bench-workers clean
+
+# verify is the tier-1 gate: everything CI runs, from a clean checkout.
+verify: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the paper-artifact benchmarks on reduced grids.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$'
+
+# bench-workers compares the sequential engine against the sharded
+# parallel engine at several GOMAXPROCS values.
+bench-workers:
+	$(GO) test -bench 'BenchmarkWorkers' -cpu 1,2,4 -run '^$$'
+
+clean:
+	$(GO) clean ./...

@@ -38,12 +38,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		format    = fs.String("format", "text", "input format: text or binary")
 		stats     = fs.Bool("stats", false, "print operation counters to stderr")
 		quiet     = fs.Bool("quiet", false, "suppress per-match output; print only the count")
+		workers   = fs.Int("workers", 0, "dimension shards for the parallel STR engine (<=1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := sssj.Options{Theta: *theta, Lambda: *lambda}
+	opts := sssj.Options{Theta: *theta, Lambda: *lambda, Workers: *workers}
 	switch *framework {
 	case "STR":
 		opts.Framework = sssj.Streaming

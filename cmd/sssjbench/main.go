@@ -34,11 +34,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sssjbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment: table1 table2 fig2..fig9 delay ablation all")
+		exp    = fs.String("exp", "all", "experiment: table1 table2 fig2..fig9 delay ablation workers all")
 		scale  = fs.Float64("scale", 0.25, "dataset size multiplier")
 		seed   = fs.Int64("seed", 1, "dataset generation seed")
 		budget = fs.Duration("budget", 10*time.Second, "per-run time budget (the paper's 3h timeout analog)")
 		csv    = fs.String("csv", "", "also dump raw grid results as CSV to this path (fig3..fig9)")
+		work   = fs.Int("workers", 0, "max worker shards for the 'workers' scaling experiment: sweeps seq, 2, 4, ... up to N (0 = auto sweep sized to the machine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,8 +114,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			harness.PrintAblation(w, "RCV1", p, res)
 		},
+		"workers": func(w io.Writer, c harness.Config) {
+			var counts []int
+			if *work >= 1 {
+				counts = []int{0}
+				for n := 2; n < *work; n *= 2 {
+					counts = append(counts, n)
+				}
+				if *work > 1 {
+					counts = append(counts, *work)
+				}
+			}
+			harness.PrintWorkers(w, harness.RunWorkers(c, counts))
+		},
 	}
-	order := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "delay", "ablation"}
+	order := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "delay", "ablation", "workers"}
 
 	if *exp == "all" {
 		for _, name := range order {

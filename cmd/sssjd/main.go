@@ -41,6 +41,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		lambda = fs.Float64("lambda", 0.01, "time-decay factor > 0")
 		index  = fs.String("index", "L2", "streaming index: L2, INV, or L2AP")
 		quiet  = fs.Bool("quiet", false, "suppress connection logging")
+		work   = fs.Int("workers", 0, "dimension shards for the parallel STR engine (<=1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,9 +59,10 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 	logger := log.New(stderr, "sssjd: ", log.LstdFlags)
 	cfg := server.Config{
-		Params: apss.Params{Theta: *theta, Lambda: *lambda},
+		Params:  apss.Params{Theta: *theta, Lambda: *lambda},
+		Workers: *work,
 		NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
-			return core.NewSTR(kind, p, c)
+			return core.NewSTRFull(kind, p, streaming.Options{Counters: c, Workers: *work})
 		},
 	}
 	if !*quiet {
@@ -74,8 +76,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g)",
-		ln.Addr(), *theta, *lambda, *index, cfg.Params.Horizon())
+	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g workers=%d)",
+		ln.Addr(), *theta, *lambda, *index, cfg.Params.Horizon(), *work)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

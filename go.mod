@@ -1,0 +1,3 @@
+module sssj
+
+go 1.24

@@ -1,0 +1,27 @@
+package sssj_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestModuleFileCommitted fails loudly if go.mod is ever dropped from the
+// repository again. The original seed shipped without it, which made
+// every package fail to build ("directory prefix . does not contain main
+// module") before a single algorithm could run; this test runs from the
+// module root, so a checkout that builds at all must contain the file
+// with the expected header.
+func TestModuleFileCommitted(t *testing.T) {
+	data, err := os.ReadFile("go.mod")
+	if err != nil {
+		t.Fatalf("go.mod missing from the module root — the build is broken for clean checkouts: %v", err)
+	}
+	content := string(data)
+	if !strings.HasPrefix(content, "module sssj\n") {
+		t.Fatalf("go.mod does not declare 'module sssj'; imports across the repository rely on that path:\n%s", content)
+	}
+	if !strings.Contains(content, "\ngo 1.") {
+		t.Fatalf("go.mod lacks a go directive:\n%s", content)
+	}
+}

@@ -20,8 +20,12 @@ import (
 	"sssj/internal/vec"
 )
 
-// Joiner consumes a stream and emits SSSJ matches. Implementations are
-// single-threaded, as in the paper's evaluation.
+// Joiner consumes a stream and emits SSSJ matches. Add and Flush must be
+// called from one goroutine at a time — a stream has a single arrival
+// order — but an implementation may parallelize the work inside a call
+// (the sharded STR engine does, when built with streaming.Options.Workers
+// > 1; every other implementation is fully sequential, as in the paper's
+// evaluation).
 type Joiner interface {
 	// Add processes the next stream item (non-decreasing timestamps) and
 	// returns the matches it can already report.

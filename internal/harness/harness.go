@@ -77,8 +77,9 @@ type Result struct {
 // Label renders "FRAMEWORK-INDEX".
 func (r Result) Label() string { return r.Framework + "-" + r.Index }
 
-// newJoiner instantiates a framework × index combination.
-func newJoiner(framework, index string, p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+// newJoiner instantiates a framework × index combination. workers > 1
+// selects the sharded parallel STR engine (STR only).
+func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, workers int) (core.Joiner, error) {
 	switch framework {
 	case FrameworkSTR:
 		var k streaming.Kind
@@ -92,7 +93,7 @@ func newJoiner(framework, index string, p apss.Params, c *metrics.Counters) (cor
 		default:
 			return nil, fmt.Errorf("harness: unknown index %q", index)
 		}
-		return core.NewSTR(k, p, c)
+		return core.NewSTRFull(k, p, streaming.Options{Counters: c, Workers: workers})
 	case FrameworkMB:
 		var k static.Kind
 		switch index {
@@ -118,6 +119,12 @@ func newJoiner(framework, index string, p apss.Params, c *metrics.Counters) (cor
 // run that exceeds it stops early and is marked not completed — the
 // harness analog of the paper's 3-hour timeout.
 func RunOne(items []stream.Item, dataset, framework, index string, p apss.Params, budget time.Duration) Result {
+	return RunOneWorkers(items, dataset, framework, index, p, budget, 0)
+}
+
+// RunOneWorkers is RunOne with an explicit worker-shard count for the
+// STR framework (values ≤ 1 run the paper's sequential engine).
+func RunOneWorkers(items []stream.Item, dataset, framework, index string, p apss.Params, budget time.Duration, workers int) Result {
 	res := Result{
 		Dataset:   dataset,
 		Framework: framework,
@@ -126,7 +133,7 @@ func RunOne(items []stream.Item, dataset, framework, index string, p apss.Params
 		Lambda:    p.Lambda,
 		Tau:       p.Horizon(),
 	}
-	j, err := newJoiner(framework, index, p, &res.Stats)
+	j, err := newJoiner(framework, index, p, &res.Stats, workers)
 	if err != nil {
 		return res
 	}

@@ -10,6 +10,8 @@ import (
 
 	"sssj/internal/apss"
 	"sssj/internal/cbuf"
+	"sssj/internal/dimorder"
+	"sssj/internal/lhmap"
 	"sssj/internal/vec"
 )
 
@@ -24,7 +26,16 @@ import (
 
 var ckptMagic = [8]byte{'S', 'S', 'S', 'J', 'C', 'K', 'P', 'T'}
 
-const ckptVersion = 1
+// Version history:
+//
+//	1 — seed format: params, clock, lists, residuals, m/m̂λ.
+//	2 — adds the horizon-sweep clock (lastSweep, swept) and, for the
+//	    AP engines, the per-dimension lastTouch map, so a resumed run
+//	    sweeps at exactly the times an uninterrupted run would. Version
+//	    1 files still load; their sweep state is reconstructed
+//	    conservatively (every tracked dimension treated as touched at
+//	    the checkpoint), which can only delay pruning by one horizon.
+const ckptVersion = 2
 
 // ErrBadCheckpoint reports a corrupt or incompatible checkpoint.
 var ErrBadCheckpoint = errors.New("streaming: bad checkpoint")
@@ -39,12 +50,7 @@ func Save(ix Index, w io.Writer) error {
 	cw.u32(ckptVersion)
 	switch v := ix.(type) {
 	case *invIndex:
-		cw.u8(uint8(INV))
-		cw.f64(v.p.Theta)
-		cw.f64(v.p.Lambda)
-		cw.u8(boolByte(isDefaultKernel(v.kernel, v.p)))
-		cw.f64(v.now)
-		cw.u8(boolByte(v.begun))
+		saveHeader(cw, INV, v.p, v.kernel, v.now, v.begun, v.clock)
 		cw.u32(uint32(len(v.lists)))
 		for d, lst := range v.lists {
 			cw.u32(d)
@@ -57,19 +63,7 @@ func Save(ix Index, w io.Writer) error {
 			})
 		}
 	case *engine:
-		kind := L2
-		switch {
-		case v.useAP && v.useL2:
-			kind = L2AP
-		case v.useAP:
-			kind = AP
-		}
-		cw.u8(uint8(kind))
-		cw.f64(v.p.Theta)
-		cw.f64(v.p.Lambda)
-		cw.u8(boolByte(isDefaultKernel(v.kernel, v.p)))
-		cw.f64(v.now)
-		cw.u8(boolByte(v.begun))
+		saveHeader(cw, engineKind(v.useAP, v.useL2), v.p, v.kernel, v.now, v.begun, v.clock)
 		cw.u32(uint32(len(v.lists)))
 		for d, lst := range v.lists {
 			cw.u32(d)
@@ -82,19 +76,7 @@ func Save(ix Index, w io.Writer) error {
 				return true
 			})
 		}
-		cw.u32(uint32(v.res.Len()))
-		v.res.Ascend(func(id uint64, m *smeta) bool {
-			cw.u64(id)
-			cw.f64(m.t)
-			cw.u32(uint32(m.boundary))
-			cw.f64(m.q)
-			cw.u32(uint32(m.vec.NNZ()))
-			for i := range m.vec.Dims {
-				cw.u32(m.vec.Dims[i])
-				cw.f64(m.vec.Vals[i])
-			}
-			return true
-		})
+		saveRes(cw, v.res)
 		if v.useAP {
 			cw.u32(uint32(len(v.m)))
 			for d, val := range v.m {
@@ -107,6 +89,71 @@ func Save(ix Index, w io.Writer) error {
 				cw.f64(val)
 				cw.f64(v.mhatT[d])
 			}
+			saveTouch(cw, v.lastTouch)
+		}
+	case *parEngine:
+		// The sharded engine's state is dimension-partitioned but
+		// otherwise identical to the sequential engine's, so it shares
+		// the wire format: a checkpoint written with Workers=N restores
+		// under any Workers value, including 1.
+		saveHeader(cw, engineKind(v.useAP, v.useL2), v.p, v.kernel, v.now, v.begun, v.clock)
+		nLists := 0
+		for _, sh := range v.shards {
+			nLists += len(sh.lists)
+		}
+		cw.u32(uint32(nLists))
+		for _, sh := range v.shards {
+			for d, lst := range sh.lists {
+				cw.u32(d)
+				cw.u32(uint32(lst.Len()))
+				lst.Ascend(func(_ int, e sentry) bool {
+					cw.u64(e.id)
+					cw.f64(e.t)
+					cw.f64(e.val)
+					cw.f64(e.pnorm)
+					return true
+				})
+			}
+		}
+		saveRes(cw, v.res)
+		if v.useAP {
+			cw.u32(uint32(len(v.m)))
+			for d, val := range v.m {
+				cw.u32(d)
+				cw.f64(val)
+			}
+			nMh := 0
+			for _, sh := range v.shards {
+				nMh += len(sh.mhatVal)
+			}
+			cw.u32(uint32(nMh))
+			for _, sh := range v.shards {
+				for d, val := range sh.mhatVal {
+					cw.u32(d)
+					cw.f64(val)
+					cw.f64(sh.mhatT[d])
+				}
+			}
+			saveTouch(cw, v.lastTouch)
+		}
+	case *parInv:
+		saveHeader(cw, INV, v.p, v.kernel, v.now, v.begun, v.clock)
+		nLists := 0
+		for _, sh := range v.shards {
+			nLists += len(sh.lists)
+		}
+		cw.u32(uint32(nLists))
+		for _, sh := range v.shards {
+			for d, lst := range sh.lists {
+				cw.u32(d)
+				cw.u32(uint32(lst.Len()))
+				lst.Ascend(func(_ int, e ientry) bool {
+					cw.u64(e.id)
+					cw.f64(e.t)
+					cw.f64(e.val)
+					return true
+				})
+			}
 		}
 	default:
 		return fmt.Errorf("streaming: cannot checkpoint %T", ix)
@@ -117,9 +164,61 @@ func Save(ix Index, w io.Writer) error {
 	return bw.Flush()
 }
 
+// engineKind maps a prefix-filtering engine's flag pair to its Kind.
+func engineKind(useAP, useL2 bool) Kind {
+	switch {
+	case useAP && useL2:
+		return L2AP
+	case useAP:
+		return AP
+	default:
+		return L2
+	}
+}
+
+// saveHeader writes the per-index checkpoint header shared by all four
+// engine types: kind, params, kernel flag, stream clock, sweep clock.
+func saveHeader(cw *ckptWriter, kind Kind, p apss.Params, kernel apss.Kernel, now float64, begun bool, clock sweepClock) {
+	cw.u8(uint8(kind))
+	cw.f64(p.Theta)
+	cw.f64(p.Lambda)
+	cw.u8(boolByte(isDefaultKernel(kernel, p)))
+	cw.f64(now)
+	cw.u8(boolByte(begun))
+	cw.f64(clock.last)
+	cw.u8(boolByte(clock.swept))
+}
+
+// saveTouch serializes a per-dimension lastTouch map.
+func saveTouch(cw *ckptWriter, touch map[uint32]float64) {
+	cw.u32(uint32(len(touch)))
+	for d, t := range touch {
+		cw.u32(d)
+		cw.f64(t)
+	}
+}
+
+// saveRes serializes a residual direct index.
+func saveRes(cw *ckptWriter, res *lhmap.Map[uint64, *smeta]) {
+	cw.u32(uint32(res.Len()))
+	res.Ascend(func(id uint64, m *smeta) bool {
+		cw.u64(id)
+		cw.f64(m.t)
+		cw.u32(uint32(m.boundary))
+		cw.f64(m.q)
+		cw.u32(uint32(m.vec.NNZ()))
+		for i := range m.vec.Dims {
+			cw.u32(m.vec.Dims[i])
+			cw.f64(m.vec.Vals[i])
+		}
+		return true
+	})
+}
+
 // Load restores an index saved by Save. opts supplies runtime-only state
-// (counters, ablations, and — when the checkpoint used a custom kernel —
-// the kernel itself).
+// (counters, ablations, the Workers count — a checkpoint restores under
+// any Workers value, regardless of the value it was saved with — and,
+// when the checkpoint used a custom kernel, the kernel itself).
 func Load(r io.Reader, opts Options) (Index, error) {
 	cr := &ckptReader{r: bufio.NewReader(r)}
 	var magic [8]byte
@@ -127,7 +226,8 @@ func Load(r io.Reader, opts Options) (Index, error) {
 	if cr.err != nil || magic != ckptMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
-	if ver := cr.u32(); ver != ckptVersion {
+	ver := cr.u32()
+	if ver < 1 || ver > ckptVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, ver)
 	}
 	kind := Kind(cr.u8())
@@ -135,6 +235,11 @@ func Load(r io.Reader, opts Options) (Index, error) {
 	defaultKernel := cr.u8() == 1
 	now := cr.f64()
 	begun := cr.u8() == 1
+	lastSweep, swept := now, begun // version-1 fallback
+	if ver >= 2 {
+		lastSweep = cr.f64()
+		swept = cr.u8() == 1
+	}
 	if cr.err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, cr.err)
 	}
@@ -144,13 +249,78 @@ func Load(r io.Reader, opts Options) (Index, error) {
 	if defaultKernel {
 		opts.Kernel = nil // force the params-derived exponential kernel
 	}
+	// A dimension-ordered index cannot be checkpointed (Save rejects the
+	// wrapper), so it cannot be restored into either: the residual splits
+	// in the file are tied to natural dimension order.
+	if opts.Order.Strategy != dimorder.None && opts.Order.Items >= 1 {
+		return nil, fmt.Errorf("%w: cannot restore into a dimension-ordered index", ErrBadCheckpoint)
+	}
 	ix, err := New(kind, p, opts)
 	if err != nil {
 		return nil, err
 	}
+
+	// Per-type sinks; the decode path below is shared. Version-1 files
+	// carry no lastTouch map, so putM/putMhat default every tracked
+	// dimension's touch time to the checkpoint time — conservative by at
+	// most one horizon; version-2 files overwrite with the saved values
+	// via putTouch.
+	var (
+		putIList func(d uint32, lst *cbuf.Ring[ientry])
+		putSList func(d uint32, lst *cbuf.Ring[sentry])
+		putRes   func(id uint64, m *smeta)
+		putM     func(d uint32, val float64)
+		putMhat  func(d uint32, val, t float64)
+		putTouch func(d uint32, t float64)
+		useAP    bool
+	)
 	switch v := ix.(type) {
 	case *invIndex:
 		v.now, v.begun = now, begun
+		v.clock = sweepClock{last: lastSweep, swept: swept}
+		putIList = func(d uint32, lst *cbuf.Ring[ientry]) { v.lists[d] = lst }
+	case *parInv:
+		v.now, v.begun = now, begun
+		v.clock = sweepClock{last: lastSweep, swept: swept}
+		putIList = func(d uint32, lst *cbuf.Ring[ientry]) { v.shards[v.owner(d)].lists[d] = lst }
+	case *engine:
+		v.now, v.begun = now, begun
+		v.clock = sweepClock{last: lastSweep, swept: swept}
+		useAP = v.useAP
+		putSList = func(d uint32, lst *cbuf.Ring[sentry]) { v.lists[d] = lst }
+		putRes = func(id uint64, m *smeta) { v.res.Put(id, m) }
+		putM = func(d uint32, val float64) {
+			v.m[d] = val
+			v.lastTouch[d] = now
+		}
+		putMhat = func(d uint32, val, t float64) {
+			v.mhatVal[d] = val
+			v.mhatT[d] = t
+			v.lastTouch[d] = now
+		}
+		putTouch = func(d uint32, t float64) { v.lastTouch[d] = t }
+	case *parEngine:
+		v.now, v.begun = now, begun
+		v.clock = sweepClock{last: lastSweep, swept: swept}
+		useAP = v.useAP
+		putSList = func(d uint32, lst *cbuf.Ring[sentry]) { v.shards[v.owner(d)].lists[d] = lst }
+		putRes = func(id uint64, m *smeta) { v.res.Put(id, m) }
+		putM = func(d uint32, val float64) {
+			v.m[d] = val
+			v.lastTouch[d] = now
+		}
+		putMhat = func(d uint32, val, t float64) {
+			sh := v.shards[v.owner(d)]
+			sh.mhatVal[d] = val
+			sh.mhatT[d] = t
+			v.lastTouch[d] = now
+		}
+		putTouch = func(d uint32, t float64) { v.lastTouch[d] = t }
+	default:
+		return nil, fmt.Errorf("streaming: cannot restore a checkpoint into %T", ix)
+	}
+
+	if kind == INV {
 		nLists := int(cr.u32())
 		for l := 0; l < nLists && cr.err == nil; l++ {
 			d := cr.u32()
@@ -159,10 +329,9 @@ func Load(r io.Reader, opts Options) (Index, error) {
 			for i := 0; i < n && cr.err == nil; i++ {
 				lst.PushBack(ientry{id: cr.u64(), t: cr.f64(), val: cr.f64()})
 			}
-			v.lists[d] = lst
+			putIList(d, lst)
 		}
-	case *engine:
-		v.now, v.begun = now, begun
+	} else {
 		nLists := int(cr.u32())
 		for l := 0; l < nLists && cr.err == nil; l++ {
 			d := cr.u32()
@@ -171,7 +340,7 @@ func Load(r io.Reader, opts Options) (Index, error) {
 			for i := 0; i < n && cr.err == nil; i++ {
 				lst.PushBack(sentry{id: cr.u64(), t: cr.f64(), val: cr.f64(), pnorm: cr.f64()})
 			}
-			v.lists[d] = lst
+			putSList(d, lst)
 		}
 		nRes := int(cr.u32())
 		for i := 0; i < nRes && cr.err == nil; i++ {
@@ -192,7 +361,7 @@ func Load(r io.Reader, opts Options) (Index, error) {
 				return nil, fmt.Errorf("%w: residual %d invalid", ErrBadCheckpoint, id)
 			}
 			residual := vv.SliceByIndex(0, boundary)
-			v.res.Put(id, &smeta{
+			putRes(id, &smeta{
 				t:        t,
 				vec:      vv,
 				pn:       vv.PrefixNorms(),
@@ -202,17 +371,23 @@ func Load(r io.Reader, opts Options) (Index, error) {
 				rmax:     residual.MaxVal(),
 			})
 		}
-		if v.useAP && cr.err == nil {
+		if useAP && cr.err == nil {
 			nM := int(cr.u32())
 			for i := 0; i < nM && cr.err == nil; i++ {
 				d := cr.u32()
-				v.m[d] = cr.f64()
+				putM(d, cr.f64())
 			}
 			nMh := int(cr.u32())
 			for i := 0; i < nMh && cr.err == nil; i++ {
 				d := cr.u32()
-				v.mhatVal[d] = cr.f64()
-				v.mhatT[d] = cr.f64()
+				putMhat(d, cr.f64(), cr.f64())
+			}
+			if ver >= 2 {
+				nT := int(cr.u32())
+				for i := 0; i < nT && cr.err == nil; i++ {
+					d := cr.u32()
+					putTouch(d, cr.f64())
+				}
 			}
 		}
 	}

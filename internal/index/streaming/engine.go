@@ -42,29 +42,164 @@ type accEng struct {
 	t   float64
 }
 
+// icCore is the index-construction state machine shared by the
+// sequential and sharded engines: the Algorithm 6 indexing walk and the
+// §5.3 re-indexing pass. Keeping one implementation matters beyond
+// reuse — the sharded engine's bit-identical-output guarantee depends on
+// both engines computing exactly the same boundaries, pscores, and
+// posting entries. push routes an entry to its posting list (direct map
+// for the sequential engine, owner shard for the sharded one).
+type icCore struct {
+	p     apss.Params
+	useAP bool
+	useL2 bool
+	c     *metrics.Counters
+
+	res *lhmap.Map[uint64, *smeta]
+	// m is the monotone (undecayed) max vector driving the b1 bound;
+	// per §6.2 decay is deliberately not applied to it, so it only grows
+	// and re-indexing happens only when a new per-dimension maximum
+	// arrives. L2AP only.
+	m    vec.MaxTracker
+	push func(d uint32, ent sentry)
+	// noIndexBound is the NoIndexBound ablation (sequential only).
+	noIndexBound bool
+}
+
+// icBound combines the enabled index-construction bounds.
+func (ic *icCore) icBound(b1, b2 float64) float64 {
+	switch {
+	case ic.useAP && ic.useL2:
+		return math.Min(b1, b2)
+	case ic.useAP:
+		return b1
+	default:
+		return b2
+	}
+}
+
+// indexVector is the index-construction loop of Algorithm 6 (lines 6–14):
+// walk x's coordinates accumulating the b1 (AP, undecayed m — §6.2) and b2
+// (ℓ2) bounds; once their minimum reaches θ, index the remaining suffix
+// and store the prefix as the residual.
+func (ic *icCore) indexVector(x stream.Item) {
+	dims, vals := x.Vec.Dims, x.Vec.Vals
+	if len(dims) == 0 {
+		return
+	}
+	pn := x.Vec.PrefixNorms()
+	b1, bt := 0.0, 0.0
+	boundary := -1
+	q := 0.0
+	for i, d := range dims {
+		xj := vals[i]
+		pscore := ic.icBound(b1, math.Sqrt(bt))
+		if ic.useAP {
+			b1 += xj * ic.m.At(d)
+		}
+		bt += xj * xj
+		if ic.noIndexBound || ic.icBound(b1, math.Sqrt(bt)) >= ic.p.Theta {
+			if boundary < 0 {
+				boundary = i
+				q = pscore
+			}
+			ic.push(d, sentry{id: x.ID, t: x.Time, val: xj, pnorm: pn[i]})
+			ic.c.IndexedEntries++
+		}
+	}
+	if boundary < 0 {
+		// Bound never reached θ: x cannot be similar to any unit vector,
+		// so it is not retained at all.
+		return
+	}
+	residual := x.Vec.SliceByIndex(0, boundary)
+	ic.res.Put(x.ID, &smeta{
+		t:        x.Time,
+		vec:      x.Vec,
+		pn:       pn,
+		boundary: boundary,
+		q:        q,
+		rsum:     residual.Sum(),
+		rmax:     residual.MaxVal(),
+	})
+	ic.c.ResidualEntries++
+}
+
+// reindex restores the AP invariant after the max vector grew on the
+// given dimensions (§5.3): every live residual that touches a changed
+// dimension re-runs its indexing walk under the new m; coordinates between
+// the new and old boundary move from the residual into the posting lists,
+// out of time order.
+func (ic *icCore) reindex(changed []uint32) {
+	changedSet := make(map[uint32]bool, len(changed))
+	for _, d := range changed {
+		changedSet[d] = true
+	}
+	ic.res.Ascend(func(id uint64, meta *smeta) bool {
+		if meta.boundary == 0 {
+			return true
+		}
+		affected := false
+		for _, d := range meta.vec.Dims[:meta.boundary] {
+			if changedSet[d] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			return true
+		}
+		ic.c.Reindexings++
+		dims, vals := meta.vec.Dims, meta.vec.Vals
+		b1, bt := 0.0, 0.0
+		newBoundary := meta.boundary
+		q := 0.0
+		crossed := false
+		for i := 0; i < meta.boundary; i++ {
+			pscore := ic.icBound(b1, math.Sqrt(bt))
+			b1 += vals[i] * ic.m.At(dims[i])
+			bt += vals[i] * vals[i]
+			if !crossed && ic.icBound(b1, math.Sqrt(bt)) >= ic.p.Theta {
+				crossed = true
+				newBoundary = i
+				q = pscore
+			}
+		}
+		if !crossed {
+			// Boundary unchanged, but Q[ι(y)] must be refreshed: the old
+			// pscore was computed under the smaller m and may no longer
+			// bound the residual's similarity to future queries.
+			meta.q = ic.icBound(b1, math.Sqrt(bt))
+			return true
+		}
+		for i := newBoundary; i < meta.boundary; i++ {
+			ic.push(dims[i], sentry{id: id, t: meta.t, val: vals[i], pnorm: meta.pn[i]})
+			ic.c.ReindexedEntries++
+			ic.c.IndexedEntries++
+		}
+		meta.boundary = newBoundary
+		meta.q = q
+		residual := meta.vec.SliceByIndex(0, newBoundary)
+		meta.rsum = residual.Sum()
+		meta.rmax = residual.MaxVal()
+		return true
+	})
+}
+
 // engine implements STR-L2 (useL2 only), STR-L2AP (both flag sets), and
 // the STR-AP ablation (useAP only), following Algorithms 6 (index
 // construction), 7 (candidate generation) and 8 (candidate verification).
 // Per the paper's color convention, green (ℓ2) lines are guarded by useL2
 // and red (AP) lines by useAP.
 type engine struct {
-	p      apss.Params
+	icCore
 	kernel apss.Kernel
 	lambda float64 // decay rate; meaningful when useAP (exponential kernel)
 	tau    float64
-	useAP  bool
-	useL2  bool
 	abl    Ablations
-	c      *metrics.Counters
 
 	lists map[uint32]*cbuf.Ring[sentry]
-	res   *lhmap.Map[uint64, *smeta]
 
-	// m is the monotone (undecayed) max vector driving the b1 bound;
-	// per §6.2 decay is deliberately not applied to it, so it only grows
-	// and re-indexing happens only when a new per-dimension maximum
-	// arrives. L2AP only.
-	m vec.MaxTracker
 	// m̂λ, the time-decayed max vector used by rs1 (§5.3): for each
 	// dimension we keep the argmax (value, time). Under exponential decay
 	// the relative order of decayed coordinates never changes, so the
@@ -72,28 +207,39 @@ type engine struct {
 	// upper bound after it expires. L2AP only.
 	mhatVal map[uint32]float64
 	mhatT   map[uint32]float64
+	// lastTouch records the newest arrival time per dimension. Once a
+	// dimension has gone untouched for a full horizon no live vector has
+	// it, so the sweep can drop its m, m̂λ, and posting-list state
+	// without affecting any bound. L2AP only.
+	lastTouch map[uint32]float64
 
+	clock sweepClock
 	now   float64
 	begun bool
 }
 
 func newEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, abl Ablations, c *metrics.Counters) *engine {
 	e := &engine{
-		p:      p,
+		icCore: icCore{
+			p:            p,
+			useAP:        useAP,
+			useL2:        useL2,
+			c:            c,
+			res:          lhmap.New[uint64, *smeta](),
+			noIndexBound: abl.NoIndexBound,
+		},
 		kernel: kernel,
 		lambda: p.Lambda,
 		tau:    kernel.Horizon(p.Theta),
-		useAP:  useAP,
-		useL2:  useL2,
 		abl:    abl,
-		c:      c,
 		lists:  make(map[uint32]*cbuf.Ring[sentry]),
-		res:    lhmap.New[uint64, *smeta](),
 	}
+	e.icCore.push = e.pushEntry
 	if useAP {
 		e.m = vec.NewMaxTracker()
 		e.mhatVal = make(map[uint32]float64)
 		e.mhatT = make(map[uint32]float64)
+		e.lastTouch = make(map[uint32]float64)
 	}
 	return e
 }
@@ -113,6 +259,7 @@ func (e *engine) Add(x stream.Item) ([]apss.Match, error) {
 	// order, §6.2).
 	horizonStart := x.Time - e.tau
 	e.res.PruneWhile(func(_ uint64, m *smeta) bool { return m.t < horizonStart })
+	e.maybeSweep()
 
 	// For L2AP, restore the prefix-filtering invariant *before* querying:
 	// if x raises any per-dimension maximum, residuals touching those
@@ -129,6 +276,9 @@ func (e *engine) Add(x stream.Item) ([]apss.Match, error) {
 	e.c.Pairs += int64(len(out))
 
 	e.indexVector(x)
+	if e.useAP {
+		e.mhatUpdate(x)
+	}
 	return out, nil
 }
 
@@ -280,117 +430,6 @@ func (e *engine) candVer(x stream.Item, acc map[uint64]*accEng, _ map[uint64]boo
 	return out
 }
 
-// indexVector is the index-construction loop of Algorithm 6 (lines 6–14):
-// walk x's coordinates accumulating the b1 (AP, undecayed m — §6.2) and b2
-// (ℓ2) bounds; once their minimum reaches θ, index the remaining suffix
-// and store the prefix as the residual.
-func (e *engine) indexVector(x stream.Item) {
-	dims, vals := x.Vec.Dims, x.Vec.Vals
-	if len(dims) == 0 {
-		return
-	}
-	pn := x.Vec.PrefixNorms()
-	b1, bt := 0.0, 0.0
-	boundary := -1
-	q := 0.0
-	for i, d := range dims {
-		xj := vals[i]
-		pscore := e.icBound(b1, math.Sqrt(bt))
-		if e.useAP {
-			b1 += xj * e.m.At(d)
-		}
-		bt += xj * xj
-		if e.abl.NoIndexBound || e.icBound(b1, math.Sqrt(bt)) >= e.p.Theta {
-			if boundary < 0 {
-				boundary = i
-				q = pscore
-			}
-			e.pushEntry(d, sentry{id: x.ID, t: x.Time, val: xj, pnorm: pn[i]})
-			e.c.IndexedEntries++
-		}
-	}
-	if e.useAP {
-		e.mhatUpdate(x)
-	}
-	if boundary < 0 {
-		// Bound never reached θ: x cannot be similar to any unit vector,
-		// so it is not retained at all.
-		return
-	}
-	residual := x.Vec.SliceByIndex(0, boundary)
-	e.res.Put(x.ID, &smeta{
-		t:        x.Time,
-		vec:      x.Vec,
-		pn:       pn,
-		boundary: boundary,
-		q:        q,
-		rsum:     residual.Sum(),
-		rmax:     residual.MaxVal(),
-	})
-	e.c.ResidualEntries++
-}
-
-// reindex restores the AP invariant after the max vector grew on the
-// given dimensions (§5.3): every live residual that touches a changed
-// dimension re-runs its indexing walk under the new m; coordinates between
-// the new and old boundary move from the residual into the posting lists,
-// out of time order.
-func (e *engine) reindex(changed []uint32) {
-	changedSet := make(map[uint32]bool, len(changed))
-	for _, d := range changed {
-		changedSet[d] = true
-	}
-	e.res.Ascend(func(id uint64, meta *smeta) bool {
-		if meta.boundary == 0 {
-			return true
-		}
-		affected := false
-		for _, d := range meta.vec.Dims[:meta.boundary] {
-			if changedSet[d] {
-				affected = true
-				break
-			}
-		}
-		if !affected {
-			return true
-		}
-		e.c.Reindexings++
-		dims, vals := meta.vec.Dims, meta.vec.Vals
-		b1, bt := 0.0, 0.0
-		newBoundary := meta.boundary
-		q := 0.0
-		crossed := false
-		for i := 0; i < meta.boundary; i++ {
-			pscore := e.icBound(b1, math.Sqrt(bt))
-			b1 += vals[i] * e.m.At(dims[i])
-			bt += vals[i] * vals[i]
-			if !crossed && e.icBound(b1, math.Sqrt(bt)) >= e.p.Theta {
-				crossed = true
-				newBoundary = i
-				q = pscore
-			}
-		}
-		if !crossed {
-			// Boundary unchanged, but Q[ι(y)] must be refreshed: the old
-			// pscore was computed under the smaller m and may no longer
-			// bound the residual's similarity to future queries.
-			meta.q = e.icBound(b1, math.Sqrt(bt))
-			return true
-		}
-		for i := newBoundary; i < meta.boundary; i++ {
-			e.pushEntry(dims[i], sentry{id: id, t: meta.t, val: vals[i], pnorm: meta.pn[i]})
-			e.c.ReindexedEntries++
-			e.c.IndexedEntries++
-		}
-		meta.boundary = newBoundary
-		meta.q = q
-		residual := meta.vec.SliceByIndex(0, newBoundary)
-		meta.rsum = residual.Sum()
-		meta.rmax = residual.MaxVal()
-		return true
-	})
-}
-
 func (e *engine) pushEntry(d uint32, ent sentry) {
 	lst := e.lists[d]
 	if lst == nil {
@@ -398,18 +437,6 @@ func (e *engine) pushEntry(d uint32, ent sentry) {
 		e.lists[d] = lst
 	}
 	lst.PushBack(ent)
-}
-
-// icBound combines the enabled index-construction bounds.
-func (e *engine) icBound(b1, b2 float64) float64 {
-	switch {
-	case e.useAP && e.useL2:
-		return math.Min(b1, b2)
-	case e.useAP:
-		return b1
-	default:
-		return b2
-	}
 }
 
 // mhatAt returns m̂λ_j evaluated at the current time.
@@ -423,12 +450,38 @@ func (e *engine) mhatAt(d uint32) float64 {
 
 // mhatUpdate refreshes the decayed argmax with x's coordinates. Under a
 // fixed exponential rate the decayed order of two values never changes, so
-// keeping the single achiever per dimension is exact while it lives.
+// keeping the single achiever per dimension is exact while it lives. It
+// also records the touch times that drive the horizon sweep.
 func (e *engine) mhatUpdate(x stream.Item) {
 	for i, d := range x.Vec.Dims {
 		if x.Vec.Vals[i] >= e.mhatAt(d) {
 			e.mhatVal[d] = x.Vec.Vals[i]
 			e.mhatT[d] = x.Time
+		}
+		e.lastTouch[d] = x.Time
+	}
+}
+
+// maybeSweep runs the horizon sweep when the clock says it is due. The
+// sweep walks every posting list, truncating expired entries, and drops
+// the per-dimension statistics of dimensions beyond every live vector's
+// reach. Dropping them is exact: a dimension untouched for a full
+// horizon appears in no live vector, so its true decayed maximum is
+// zero and its posting entries are all expired.
+func (e *engine) maybeSweep() {
+	if !e.clock.due(e.now, e.tau) {
+		return
+	}
+	e.c.ExpiredEntries += sweepLists(e.lists, e.useAP, e.now, e.tau, func(ent sentry) float64 { return ent.t })
+	if e.useAP {
+		horizon := e.now - e.tau
+		for d, t := range e.lastTouch {
+			if t < horizon {
+				delete(e.mhatVal, d)
+				delete(e.mhatT, d)
+				delete(e.m, d)
+				delete(e.lastTouch, d)
+			}
 		}
 	}
 }
@@ -443,6 +496,12 @@ func (e *engine) Size() SizeInfo {
 		}
 	}
 	s.Residuals = e.res.Len()
+	if e.useAP {
+		s.TrackedDims = len(e.m)
+		if n := len(e.mhatVal); n > s.TrackedDims {
+			s.TrackedDims = n
+		}
+	}
 	return s
 }
 

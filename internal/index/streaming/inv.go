@@ -24,8 +24,10 @@ type invIndex struct {
 	tau    float64
 	c      *metrics.Counters
 	lists  map[uint32]*cbuf.Ring[ientry]
-	now    float64
-	begun  bool
+
+	clock sweepClock
+	now   float64
+	begun bool
 }
 
 func newInvIndex(p apss.Params, kernel apss.Kernel, c *metrics.Counters) *invIndex {
@@ -52,6 +54,7 @@ func (ix *invIndex) Add(x stream.Item) ([]apss.Match, error) {
 	ix.begun = true
 	ix.now = x.Time
 	ix.c.Items++
+	ix.maybeSweep()
 
 	acc := make(map[uint64]*accInv)
 	for i, d := range x.Vec.Dims {
@@ -107,6 +110,16 @@ func (ix *invIndex) Add(x stream.Item) ([]apss.Match, error) {
 		ix.c.IndexedEntries++
 	}
 	return out, nil
+}
+
+// maybeSweep runs the horizon sweep when the clock says it is due,
+// truncating expired entries from lists no query has touched since their
+// entries expired (see engine.maybeSweep).
+func (ix *invIndex) maybeSweep() {
+	if !ix.clock.due(ix.now, ix.tau) {
+		return
+	}
+	ix.c.ExpiredEntries += sweepLists(ix.lists, false, ix.now, ix.tau, func(ent ientry) float64 { return ent.t })
 }
 
 // Size implements Index.

@@ -1,0 +1,740 @@
+package streaming
+
+import (
+	"math"
+	"sync"
+
+	"sssj/internal/apss"
+	"sssj/internal/cbuf"
+	"sssj/internal/lhmap"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// This file implements the sharded parallel variants of the streaming
+// indexes (Options.Workers > 1). The dimension space is partitioned
+// across P shards, each owning the posting lists (and, for L2AP, the
+// m̂λ slices) of its dimensions. Add fans candidate generation out to
+// the shards in parallel, merges the per-shard accumulators, and runs
+// candidate verification concurrently over the merged set.
+//
+// Exactness. The sequential engines interleave accumulation with
+// data-dependent pruning; a shard cannot reuse those rules verbatim,
+// because a bound that is sound mid-scan in a single sequential pass is
+// not sound against contributions accumulating concurrently in other
+// shards. The parallel engines therefore use shard-local admission
+// bounds that dominate the *total* similarity of a candidate:
+//
+//   - rs1 (L2AP): when shard s first meets candidate y at coordinate
+//     position i of x, y has no indexed entry at any s-owned dimension
+//     past i — and, because the indexed part of a vector is a suffix,
+//     no residual coordinate there either. Hence
+//     sim(x, y) ≤ rs1_total − Σ_{j>i, owned by s} x_j·m̂λ(d_j),
+//     which each shard maintains by decrementing only its own terms.
+//   - ℓ2: sim(x, y) ≤ e^{−λΔt}·(‖x_{≤i}‖ + ‖x_{>i} restricted to the
+//     other shards' dimensions‖), by Cauchy-Schwarz on the two spans a
+//     first contact at position i still allows.
+//
+// A candidate declined by either bound in any shard is provably below
+// θ and is dropped globally. Every surviving candidate is verified
+// exactly, and — to keep reported similarities bit-identical to the
+// sequential engines' — the indexed partial dot product is recomputed
+// in the same summation order the sequential scan uses (descending
+// dimension) before the residual dot product is added.
+//
+// The admission and verification bounds subtract boundSlack from θ so
+// a float rounding difference between the sharded and sequential
+// accumulation orders can only admit an extra candidate (later rejected
+// exactly), never drop a real match.
+const boundSlack = 1e-9
+
+// parShard owns the posting lists and m̂λ slices for the dimensions
+// d with d mod P == shard index, plus per-Add scratch state that only
+// the shard's worker goroutine touches during a fan-out.
+type parShard struct {
+	lists   map[uint32]*cbuf.Ring[sentry]
+	mhatVal map[uint32]float64 // L2AP only
+	mhatT   map[uint32]float64 // L2AP only
+
+	// Scratch, reset every Add; owned by the shard worker while the
+	// fan-out runs, read by the coordinator after the join barrier.
+	acc       map[uint64]*accEng
+	dead      map[uint64]bool
+	traversed int64
+	expired   int64
+}
+
+// parEngine is the sharded counterpart of engine: STR-L2, STR-L2AP, and
+// the STR-AP ablation with candidate generation and verification spread
+// over Workers goroutines. It produces the same match set (bit-identical
+// similarities) as the sequential engine on the same stream. Like every
+// streaming index, Add itself must be called from one goroutine at a
+// time; the parallelism is internal.
+type parEngine struct {
+	icCore
+	kernel apss.Kernel
+	lambda float64
+	tau    float64
+
+	shards []*parShard
+
+	// lastTouch tracks the newest arrival time per dimension, driving
+	// the horizon sweep (see sweepClock).
+	lastTouch map[uint32]float64
+	clock     sweepClock
+
+	now   float64
+	begun bool
+}
+
+func newParEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, workers int, c *metrics.Counters) *parEngine {
+	e := &parEngine{
+		icCore: icCore{
+			p:     p,
+			useAP: useAP,
+			useL2: useL2,
+			c:     c,
+			res:   lhmap.New[uint64, *smeta](),
+		},
+		kernel: kernel,
+		lambda: p.Lambda,
+		tau:    kernel.Horizon(p.Theta),
+		shards: make([]*parShard, workers),
+	}
+	e.icCore.push = e.pushEntry
+	for i := range e.shards {
+		s := &parShard{lists: make(map[uint32]*cbuf.Ring[sentry])}
+		if useAP {
+			s.mhatVal = make(map[uint32]float64)
+			s.mhatT = make(map[uint32]float64)
+		}
+		e.shards[i] = s
+	}
+	if useAP {
+		e.m = vec.NewMaxTracker()
+		e.lastTouch = make(map[uint32]float64)
+	}
+	return e
+}
+
+// owner maps a dimension to its shard.
+func (e *parEngine) owner(d uint32) int { return int(d % uint32(len(e.shards))) }
+
+// Add implements Index.
+func (e *parEngine) Add(x stream.Item) ([]apss.Match, error) {
+	if e.begun && x.Time < e.now {
+		return nil, ErrTimeOrder
+	}
+	e.begun = true
+	e.now = x.Time
+	e.c.Items++
+
+	horizonStart := x.Time - e.tau
+	e.res.PruneWhile(func(_ uint64, m *smeta) bool { return m.t < horizonStart })
+	e.maybeSweep()
+
+	if e.useAP {
+		if changed := e.m.Update(x.Vec); len(changed) > 0 {
+			e.reindex(changed)
+		}
+	}
+
+	merged := e.candGen(x)
+	out := e.candVer(x, merged)
+	e.c.Pairs += int64(len(out))
+
+	e.indexVector(x)
+	if e.useAP {
+		e.mhatUpdate(x)
+	}
+	return out, nil
+}
+
+// candGen fans the reverse coordinate scan out to the shards and merges
+// the per-shard accumulators, dropping candidates any shard proved below
+// threshold.
+func (e *parEngine) candGen(x stream.Item) map[uint64]*accEng {
+	dims, vals := x.Vec.Dims, x.Vec.Vals
+	if len(dims) == 0 {
+		return nil
+	}
+
+	// Shared read-only per-position tables.
+	pnx := x.Vec.PrefixNorms()
+	var sqAbove []float64 // sum of squared values strictly past position i
+	if e.useL2 {
+		sqAbove = make([]float64, len(vals))
+		for i := len(vals) - 2; i >= 0; i-- {
+			sqAbove[i] = sqAbove[i+1] + vals[i+1]*vals[i+1]
+		}
+	}
+	var mh []float64 // m̂λ(d_i) decayed to now, read from the owner shards
+	rs1Total := math.Inf(1)
+	if e.useAP {
+		mh = make([]float64, len(dims))
+		rs1Total = 0
+		for i, d := range dims {
+			mh[i] = e.shards[e.owner(d)].mhatAt(d, e.lambda, e.now)
+			rs1Total += vals[i] * mh[i]
+		}
+	}
+
+	// Fan out to the shards that own at least one of x's dimensions; the
+	// first active shard runs on the calling goroutine, which would
+	// otherwise just block on the join.
+	work := make([]bool, len(e.shards))
+	first := -1
+	for _, d := range dims {
+		if s := e.owner(d); !work[s] {
+			work[s] = true
+			if first < 0 || s < first {
+				first = s
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	active := 0
+	for s, w := range work {
+		if !w {
+			continue
+		}
+		active++
+		if s == first {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.shardScan(e.shards[s], s, x, pnx, sqAbove, mh, rs1Total)
+		}(s)
+	}
+	if first >= 0 {
+		e.shardScan(e.shards[first], first, x, pnx, sqAbove, mh, rs1Total)
+	}
+	wg.Wait()
+
+	// Single active shard: its accumulator is already the merged set
+	// (declined candidates were never admitted to it), so steal it
+	// instead of copying.
+	if active == 1 {
+		sh := e.shards[first]
+		merged := sh.acc
+		sh.acc = nil
+		clear(sh.dead)
+		e.c.EntriesTraversed += sh.traversed
+		e.c.ExpiredEntries += sh.expired
+		e.c.Candidates += int64(len(merged))
+		sh.traversed, sh.expired = 0, 0
+		return merged
+	}
+
+	// Merge. Shard order is fixed so the merged partial dots are
+	// deterministic; they feed only the verification bounds, never a
+	// reported similarity. A candidate declined by any shard is provably
+	// below θ and dropped globally.
+	var deadAll map[uint64]bool
+	for _, sh := range e.shards {
+		for id := range sh.dead {
+			if deadAll == nil {
+				deadAll = make(map[uint64]bool)
+			}
+			deadAll[id] = true
+		}
+	}
+	merged := make(map[uint64]*accEng)
+	for _, sh := range e.shards {
+		e.c.EntriesTraversed += sh.traversed
+		e.c.ExpiredEntries += sh.expired
+		for id, a := range sh.acc {
+			if deadAll[id] {
+				continue
+			}
+			m := merged[id]
+			if m == nil {
+				merged[id] = &accEng{dot: a.dot, t: a.t}
+			} else {
+				m.dot += a.dot
+			}
+		}
+		clear(sh.acc)
+		clear(sh.dead)
+		sh.traversed, sh.expired = 0, 0
+	}
+	e.c.Candidates += int64(len(merged))
+	return merged
+}
+
+// shardScan is one shard's share of Algorithm 7: scan x's owned
+// coordinates in reverse order, accumulating exact partial dot products
+// for candidates that survive the shard-local admission bounds, with
+// time filtering applied per list.
+func (e *parEngine) shardScan(sh *parShard, s int, x stream.Item, pnx, sqAbove, mh []float64, rs1Total float64) {
+	dims, vals := x.Vec.Dims, x.Vec.Vals
+	if sh.acc == nil {
+		sh.acc = make(map[uint64]*accEng)
+		sh.dead = make(map[uint64]bool)
+	}
+	rs1 := rs1Total // minus the s-owned terms past the current position
+	ownSqAbove := 0.0
+
+	for i := len(dims) - 1; i >= 0; i-- {
+		d, xj := dims[i], vals[i]
+		if e.owner(d) != s {
+			continue
+		}
+		lst := sh.lists[d]
+		if lst != nil {
+			process := func(ent sentry) {
+				sh.traversed++
+				if sh.dead[ent.id] {
+					return
+				}
+				a := sh.acc[ent.id]
+				if a == nil {
+					// Shard-local admission: both bounds dominate the
+					// candidate's total similarity (see file comment).
+					bound := math.Inf(1)
+					if e.useAP {
+						bound = rs1
+					}
+					if e.useL2 {
+						cross := sqAbove[i] - ownSqAbove
+						if cross < 0 {
+							cross = 0
+						}
+						decay := e.kernel.Factor(x.Time - ent.t)
+						if b := decay * (pnx[i+1] + math.Sqrt(cross)); b < bound {
+							bound = b
+						}
+					}
+					if bound < e.p.Theta-boundSlack {
+						sh.dead[ent.id] = true
+						return
+					}
+					a = &accEng{t: ent.t}
+					sh.acc[ent.id] = a
+				}
+				a.dot += xj * ent.val
+			}
+			if e.useAP {
+				// Re-indexing may have broken time order, so scan forward
+				// through the whole list, compacting expired entries.
+				removed := lst.Filter(func(ent sentry) bool {
+					if x.Time-ent.t > e.tau {
+						sh.traversed++
+						return false
+					}
+					process(ent)
+					return true
+				})
+				sh.expired += int64(removed)
+			} else {
+				cut := -1
+				lst.Descend(func(j int, ent sentry) bool {
+					if x.Time-ent.t > e.tau {
+						cut = j
+						return false
+					}
+					process(ent)
+					return true
+				})
+				if cut >= 0 {
+					lst.TruncateFront(cut + 1)
+					sh.expired += int64(cut + 1)
+				}
+			}
+			if lst.Len() == 0 {
+				delete(sh.lists, d)
+			}
+		}
+		if e.useAP {
+			rs1 -= xj * mh[i]
+		}
+		ownSqAbove += xj * xj
+	}
+}
+
+// candVer verifies the merged candidates concurrently. The cheap
+// ps1/ds1/sz2 rejections use the merged partial dot; survivors are
+// recomputed exactly in the sequential engine's summation order so
+// reported similarities are bit-identical to the Workers=1 path.
+func (e *parEngine) candVer(x stream.Item, merged map[uint64]*accEng) []apss.Match {
+	if len(merged) == 0 {
+		return nil
+	}
+	type cand struct {
+		id uint64
+		a  *accEng
+	}
+	cands := make([]cand, 0, len(merged))
+	for id, a := range merged {
+		cands = append(cands, cand{id, a})
+	}
+
+	vmx := x.Vec.MaxVal()
+	sx := x.Vec.Sum()
+	nx := x.Vec.NNZ()
+	theta := e.p.Theta
+
+	verify := func(cs []cand, dots *int64) []apss.Match {
+		var out []apss.Match
+		for _, c := range cs {
+			meta, ok := e.res.Get(c.id)
+			if !ok {
+				continue
+			}
+			dt := x.Time - meta.t
+			decay := e.kernel.Factor(dt)
+			if (c.a.dot+meta.q)*decay < theta-boundSlack {
+				continue
+			}
+			if (c.a.dot+math.Min(vmx*meta.rsum, meta.rmax*sx))*decay < theta-boundSlack {
+				continue
+			}
+			if (c.a.dot+float64(min(nx, meta.boundary))*vmx*meta.rmax)*decay < theta-boundSlack {
+				continue
+			}
+			*dots++
+			aDot := suffixDotDesc(x.Vec, meta.vec, meta.boundary)
+			raw := aDot + vec.Dot(x.Vec, meta.vec.SliceByIndex(0, meta.boundary))
+			if sim := raw * decay; sim >= theta {
+				out = append(out, apss.Match{X: x.ID, Y: c.id, Sim: sim, Dot: raw, DT: dt})
+			}
+		}
+		return out
+	}
+
+	workers := len(e.shards)
+	if len(cands) < 2*workers || workers < 2 {
+		var dots int64
+		out := verify(cands, &dots)
+		e.c.FullDots += dots
+		return out
+	}
+	chunk := (len(cands) + workers - 1) / workers
+	outs := make([][]apss.Match, workers)
+	dots := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(cands) {
+			break
+		}
+		hi := min(lo+chunk, len(cands))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			outs[w] = verify(cands[lo:hi], &dots[w])
+		}(w, lo, hi)
+	}
+	outs[0] = verify(cands[:min(chunk, len(cands))], &dots[0])
+	wg.Wait()
+	var out []apss.Match
+	for w := range outs {
+		out = append(out, outs[w]...)
+		e.c.FullDots += dots[w]
+	}
+	return out
+}
+
+// suffixDotDesc computes Σ x_d·y_d over the coordinates of y at storage
+// positions ≥ boundary, accumulating in descending dimension order — the
+// order in which the sequential engine's reverse scan met the posting
+// entries, so the result is bit-identical to its partial dot.
+func suffixDotDesc(x, y vec.Vector, boundary int) float64 {
+	s := 0.0
+	i, j := len(x.Dims)-1, len(y.Dims)-1
+	for i >= 0 && j >= boundary {
+		switch {
+		case x.Dims[i] == y.Dims[j]:
+			s += x.Vals[i] * y.Vals[j]
+			i--
+			j--
+		case x.Dims[i] > y.Dims[j]:
+			i--
+		default:
+			j--
+		}
+	}
+	return s
+}
+
+func (e *parEngine) pushEntry(d uint32, ent sentry) {
+	sh := e.shards[e.owner(d)]
+	lst := sh.lists[d]
+	if lst == nil {
+		lst = &cbuf.Ring[sentry]{}
+		sh.lists[d] = lst
+	}
+	lst.PushBack(ent)
+}
+
+// mhatAt returns the shard's m̂λ_d evaluated at time now.
+func (sh *parShard) mhatAt(d uint32, lambda, now float64) float64 {
+	v, ok := sh.mhatVal[d]
+	if !ok {
+		return 0
+	}
+	return v * math.Exp(-lambda*(now-sh.mhatT[d]))
+}
+
+// mhatUpdate refreshes the decayed argmax slices with x's coordinates
+// and records the touch times that drive the horizon sweep.
+func (e *parEngine) mhatUpdate(x stream.Item) {
+	for i, d := range x.Vec.Dims {
+		sh := e.shards[e.owner(d)]
+		if x.Vec.Vals[i] >= sh.mhatAt(d, e.lambda, e.now) {
+			sh.mhatVal[d] = x.Vec.Vals[i]
+			sh.mhatT[d] = x.Time
+		}
+		e.lastTouch[d] = x.Time
+	}
+}
+
+// maybeSweep runs the horizon sweep when the clock says it is due.
+func (e *parEngine) maybeSweep() {
+	if !e.clock.due(e.now, e.tau) {
+		return
+	}
+	for _, sh := range e.shards {
+		e.c.ExpiredEntries += sweepLists(sh.lists, e.useAP, e.now, e.tau, func(ent sentry) float64 { return ent.t })
+	}
+	if e.useAP {
+		horizon := e.now - e.tau
+		for d, t := range e.lastTouch {
+			if t < horizon {
+				sh := e.shards[e.owner(d)]
+				delete(sh.mhatVal, d)
+				delete(sh.mhatT, d)
+				delete(e.m, d)
+				delete(e.lastTouch, d)
+			}
+		}
+	}
+}
+
+// Size implements Index.
+func (e *parEngine) Size() SizeInfo {
+	var s SizeInfo
+	for _, sh := range e.shards {
+		for _, lst := range sh.lists {
+			if lst.Len() > 0 {
+				s.Lists++
+				s.PostingEntries += lst.Len()
+			}
+		}
+	}
+	s.Residuals = e.res.Len()
+	if e.useAP {
+		mhat := 0
+		for _, sh := range e.shards {
+			mhat += len(sh.mhatVal)
+		}
+		s.TrackedDims = max(len(e.m), mhat)
+	}
+	return s
+}
+
+// Params implements Index.
+func (e *parEngine) Params() apss.Params { return e.p }
+
+// ---------------------------------------------------------------------------
+
+// invShard owns the STR-INV posting lists for its dimensions plus
+// per-Add scratch.
+type invShard struct {
+	lists     map[uint32]*cbuf.Ring[ientry]
+	acc       map[uint64]*accInv
+	traversed int64
+	expired   int64
+}
+
+// parInv is the sharded counterpart of invIndex. STR-INV has no pruning,
+// so each shard computes exact partial dot products over its dimensions
+// and the merge sums them. Summation order differs from the sequential
+// scan, so reported similarities can differ in the last bits; the match
+// set is the same on any stream without pairs sitting exactly on θ.
+type parInv struct {
+	p      apss.Params
+	kernel apss.Kernel
+	tau    float64
+	c      *metrics.Counters
+	shards []*invShard
+
+	clock sweepClock
+	now   float64
+	begun bool
+}
+
+func newParInv(p apss.Params, kernel apss.Kernel, workers int, c *metrics.Counters) *parInv {
+	ix := &parInv{
+		p:      p,
+		kernel: kernel,
+		tau:    kernel.Horizon(p.Theta),
+		c:      c,
+		shards: make([]*invShard, workers),
+	}
+	for i := range ix.shards {
+		ix.shards[i] = &invShard{lists: make(map[uint32]*cbuf.Ring[ientry])}
+	}
+	return ix
+}
+
+func (ix *parInv) owner(d uint32) int { return int(d % uint32(len(ix.shards))) }
+
+// Add implements Index.
+func (ix *parInv) Add(x stream.Item) ([]apss.Match, error) {
+	if ix.begun && x.Time < ix.now {
+		return nil, ErrTimeOrder
+	}
+	ix.begun = true
+	ix.now = x.Time
+	ix.c.Items++
+	ix.maybeSweep()
+
+	dims, vals := x.Vec.Dims, x.Vec.Vals
+	work := make([]bool, len(ix.shards))
+	first := -1
+	for _, d := range dims {
+		if s := ix.owner(d); !work[s] {
+			work[s] = true
+			if first < 0 || s < first {
+				first = s
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	scan := func(s int) {
+		sh := ix.shards[s]
+		if sh.acc == nil {
+			sh.acc = make(map[uint64]*accInv)
+		}
+		for i, d := range dims {
+			if ix.owner(d) != s {
+				continue
+			}
+			xj := vals[i]
+			lst := sh.lists[d]
+			if lst == nil {
+				continue
+			}
+			cut := -1
+			lst.Descend(func(j int, ent ientry) bool {
+				if x.Time-ent.t > ix.tau {
+					cut = j
+					return false
+				}
+				sh.traversed++
+				a := sh.acc[ent.id]
+				if a == nil {
+					a = &accInv{t: ent.t}
+					sh.acc[ent.id] = a
+				}
+				a.dot += xj * ent.val
+				return true
+			})
+			if cut >= 0 {
+				lst.TruncateFront(cut + 1)
+				sh.expired += int64(cut + 1)
+				if lst.Len() == 0 {
+					delete(sh.lists, d)
+				}
+			}
+		}
+	}
+	active := 0
+	for s, w := range work {
+		if !w {
+			continue
+		}
+		active++
+		if s == first {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			scan(s)
+		}(s)
+	}
+	if first >= 0 {
+		scan(first)
+	}
+	wg.Wait()
+
+	var merged map[uint64]*accInv
+	if active == 1 {
+		sh := ix.shards[first]
+		merged = sh.acc
+		sh.acc = nil
+		ix.c.EntriesTraversed += sh.traversed
+		ix.c.ExpiredEntries += sh.expired
+		sh.traversed, sh.expired = 0, 0
+	} else {
+		merged = make(map[uint64]*accInv)
+		for _, sh := range ix.shards {
+			ix.c.EntriesTraversed += sh.traversed
+			ix.c.ExpiredEntries += sh.expired
+			sh.traversed, sh.expired = 0, 0
+			for id, a := range sh.acc {
+				m := merged[id]
+				if m == nil {
+					merged[id] = &accInv{dot: a.dot, t: a.t}
+				} else {
+					m.dot += a.dot
+				}
+			}
+			clear(sh.acc)
+		}
+	}
+	ix.c.Candidates += int64(len(merged))
+
+	var out []apss.Match
+	for id, a := range merged {
+		dt := x.Time - a.t
+		sim := a.dot * ix.kernel.Factor(dt)
+		if sim >= ix.p.Theta {
+			out = append(out, apss.Match{X: x.ID, Y: id, Sim: sim, Dot: a.dot, DT: dt})
+		}
+	}
+	ix.c.Pairs += int64(len(out))
+
+	for i, d := range dims {
+		sh := ix.shards[ix.owner(d)]
+		lst := sh.lists[d]
+		if lst == nil {
+			lst = &cbuf.Ring[ientry]{}
+			sh.lists[d] = lst
+		}
+		lst.PushBack(ientry{id: x.ID, t: x.Time, val: vals[i]})
+		ix.c.IndexedEntries++
+	}
+	return out, nil
+}
+
+func (ix *parInv) maybeSweep() {
+	if !ix.clock.due(ix.now, ix.tau) {
+		return
+	}
+	for _, sh := range ix.shards {
+		ix.c.ExpiredEntries += sweepLists(sh.lists, false, ix.now, ix.tau, func(ent ientry) float64 { return ent.t })
+	}
+}
+
+// Size implements Index.
+func (ix *parInv) Size() SizeInfo {
+	var s SizeInfo
+	for _, sh := range ix.shards {
+		for _, lst := range sh.lists {
+			if lst.Len() > 0 {
+				s.Lists++
+				s.PostingEntries += lst.Len()
+			}
+		}
+	}
+	return s
+}
+
+// Params implements Index.
+func (ix *parInv) Params() apss.Params { return ix.p }

@@ -79,6 +79,14 @@ type Options struct {
 	// Order enables the warmup-learned dimension-ordering extension
 	// (see WarmupOrder). The zero value disables it, matching the paper.
 	Order WarmupOrder
+	// Workers selects the sharded parallel engine: the dimension space
+	// is partitioned across Workers shards, candidate generation fans
+	// out to them concurrently, and candidate verification runs in
+	// parallel over the merged accumulator. Values ≤ 1 select the
+	// paper's sequential engines, which remain the correctness oracle;
+	// the parallel engines emit the same match set (see parallel.go).
+	// Ablations require the sequential engines.
+	Workers int
 }
 
 // Ablations disables individual pruning rules of the prefix-filtering
@@ -117,6 +125,7 @@ type SizeInfo struct {
 	PostingEntries int // live entries across all posting lists
 	Residuals      int // vectors in the residual direct index
 	Lists          int // posting lists with at least one live entry
+	TrackedDims    int // dimensions tracked by the m/m̂λ statistics (L2AP/AP only)
 }
 
 // ErrTimeOrder is returned when items arrive with decreasing timestamps.
@@ -125,10 +134,19 @@ var ErrTimeOrder = errors.New("streaming: items must arrive in time order")
 // ErrKernel is returned when a scheme does not support the chosen kernel.
 var ErrKernel = errors.New("streaming: unsupported decay kernel for scheme")
 
+// ErrWorkers reports an invalid Workers configuration.
+var ErrWorkers = errors.New("streaming: invalid Workers configuration")
+
 // New builds a streaming index of the given kind.
 func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("%w: Workers must be >= 0, got %d", ErrWorkers, opts.Workers)
+	}
+	if opts.Workers > 1 && opts.Ablations != (Ablations{}) {
+		return nil, fmt.Errorf("%w: ablations require the sequential engine (Workers <= 1)", ErrWorkers)
 	}
 	c := opts.Counters
 	if c == nil {
@@ -138,17 +156,30 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 	if kernel == nil {
 		kernel = apss.Exponential{Lambda: params.Lambda}
 	}
+	parallel := opts.Workers > 1
 	var ix Index
 	switch kind {
 	case INV:
-		ix = newInvIndex(params, kernel, c)
+		if parallel {
+			ix = newParInv(params, kernel, opts.Workers, c)
+		} else {
+			ix = newInvIndex(params, kernel, c)
+		}
 	case L2:
-		ix = newEngine(params, kernel, false, true, opts.Ablations, c)
+		if parallel {
+			ix = newParEngine(params, kernel, false, true, opts.Workers, c)
+		} else {
+			ix = newEngine(params, kernel, false, true, opts.Ablations, c)
+		}
 	case L2AP, AP:
 		if _, ok := kernel.(apss.Exponential); !ok {
 			return nil, fmt.Errorf("%w: STR-%v needs apss.Exponential, got %T", ErrKernel, kind, kernel)
 		}
-		ix = newEngine(params, kernel, true, kind == L2AP, opts.Ablations, c)
+		if parallel {
+			ix = newParEngine(params, kernel, true, kind == L2AP, opts.Workers, c)
+		} else {
+			ix = newEngine(params, kernel, true, kind == L2AP, opts.Ablations, c)
+		}
 	default:
 		return nil, fmt.Errorf("streaming: unknown kind %d", int(kind))
 	}

@@ -1,0 +1,62 @@
+package streaming
+
+import "sssj/internal/cbuf"
+
+// sweepClock throttles the horizon sweep to at most once per τ of
+// stream time. Queries prune expired posting entries lazily, but only
+// on the lists they touch, and nothing prunes the per-dimension
+// statistics at all — so on a drifting vocabulary (dimensions that stop
+// recurring) index memory would grow without bound; the sweep walks
+// everything. All four streaming indexes embed this clock, and
+// checkpoints persist it so a resumed run sweeps at exactly the times
+// an uninterrupted run would.
+type sweepClock struct {
+	last  float64
+	swept bool
+}
+
+// due reports whether a sweep is due at now, advancing the clock. The
+// first observation only anchors the clock.
+func (c *sweepClock) due(now, tau float64) bool {
+	if !c.swept {
+		c.swept = true
+		c.last = now
+		return false
+	}
+	if now-c.last <= tau {
+		return false
+	}
+	c.last = now
+	return true
+}
+
+// sweepLists removes expired entries from every posting list, including
+// lists no query has touched since their entries expired, and deletes
+// emptied lists. Time-ordered lists are truncated from the front; lists
+// that re-indexing may have disordered are compacted in place. Returns
+// the number of removed entries.
+func sweepLists[T any](lists map[uint32]*cbuf.Ring[T], disordered bool, now, tau float64, entT func(T) float64) int64 {
+	var removed int64
+	for d, lst := range lists {
+		if disordered {
+			removed += int64(lst.Filter(func(ent T) bool { return now-entT(ent) <= tau }))
+		} else {
+			cut := 0
+			lst.Ascend(func(_ int, ent T) bool {
+				if now-entT(ent) > tau {
+					cut++
+					return true
+				}
+				return false
+			})
+			if cut > 0 {
+				lst.TruncateFront(cut)
+				removed += int64(cut)
+			}
+		}
+		if lst.Len() == 0 {
+			delete(lists, d)
+		}
+	}
+	return removed
+}

@@ -6,9 +6,10 @@ package metrics
 
 import "fmt"
 
-// Counters aggregates per-run operation counts. All algorithms in this
-// repository run single-threaded, as in the paper's evaluation, so plain
-// int64 fields suffice.
+// Counters aggregates per-run operation counts. Plain int64 fields
+// suffice: every joiner is driven from one goroutine, and the sharded
+// parallel STR engine accumulates shard-local counts that it merges into
+// the shared Counters only between fan-outs, on the driving goroutine.
 type Counters struct {
 	Items            int64 // stream items processed
 	EntriesTraversed int64 // posting entries scanned during CG

@@ -24,10 +24,28 @@
 // interleaved into a single self-join stream: a match can pair items
 // submitted by different clients.
 //
-// The joiner itself is sequential (as in the paper); the server
-// serializes Process calls with a mutex. ADD timestamps must be globally
-// non-decreasing across clients; ADDNOW sidesteps that by stamping items
-// with the server's monotonic clock.
+// # Ingest pipeline
+//
+// Connection handlers parse protocol lines concurrently and submit the
+// decoded items to a single ingest goroutine that owns the joiner, the
+// ID counter, and the stream clock; no lock is held while parsing or
+// writing responses. The pipeline processes items in submission order
+// and replies to each submitter with that item's ID and matches, so
+// every client sees its own responses in the order it sent its items,
+// and match output stays correctly paired with the item that caused it.
+// STATS and SIZE flow through the same pipeline, which makes them
+// consistent snapshots.
+//
+// A join stream has one arrival order, so ingest itself cannot fan out;
+// parallelism comes from inside the joiner. Config.Workers > 1 selects
+// the dimension-sharded parallel STR engine, which parallelizes
+// candidate generation and verification within each item while emitting
+// exactly the sequential engine's matches (Workers ≤ 1 keeps the
+// paper's sequential engine).
+//
+// ADD timestamps must be globally non-decreasing across clients; ADDNOW
+// sidesteps that by stamping items with the server's monotonic clock at
+// ingest.
 package server
 
 import (
@@ -51,7 +69,12 @@ import (
 // Config configures a Server.
 type Config struct {
 	Params apss.Params
-	// NewJoiner builds the joiner; defaults to STR-L2 via core.NewSTR.
+	// Workers selects the dimension-sharded parallel STR engine for the
+	// default joiner (values ≤ 1 keep the sequential engine). Ignored
+	// when NewJoiner is set.
+	Workers int
+	// NewJoiner builds the joiner; defaults to STR-L2 (sharded across
+	// Config.Workers shards when Workers > 1).
 	NewJoiner func(apss.Params, *metrics.Counters) (core.Joiner, error)
 	// Logf receives connection-level log lines; nil silences logging.
 	Logf func(format string, args ...interface{})
@@ -60,24 +83,54 @@ type Config struct {
 	Now func() float64
 }
 
+// ingestKind discriminates pipeline requests.
+type ingestKind int
+
+const (
+	ingestAdd ingestKind = iota
+	ingestStats
+	ingestSize
+)
+
+// ingestReq is one unit of work for the ingest pipeline.
+type ingestReq struct {
+	kind     ingestKind
+	t        float64 // ADD timestamp (ignored when stampNow)
+	stampNow bool
+	v        vec.Vector
+	reply    chan ingestResp // buffered(1); the pipeline always replies
+}
+
+// ingestResp is the pipeline's answer.
+type ingestResp struct {
+	id   uint64
+	ms   []apss.Match
+	info string // STATS/SIZE payload
+	err  error
+}
+
 // Server is a shared-stream SSSJ service.
 type Server struct {
 	cfg      Config
 	counters metrics.Counters
 
-	mu     sync.Mutex // guards joiner, nextID, lastT
+	// Owned by the ingest pipeline goroutine after New returns.
 	joiner core.Joiner
 	nextID uint64
 	lastT  float64
 	begun  bool
 
-	lnMu sync.Mutex
-	ln   net.Listener
-	wg   sync.WaitGroup
-	done chan struct{}
+	reqs       chan ingestReq
+	ingestDone chan struct{}
+
+	lnMu  sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{} // open connections, for shutdown interrupt
+	wg    sync.WaitGroup        // connection handlers — the only senders on reqs
+	done  chan struct{}
 }
 
-// New builds a Server.
+// New builds a Server and starts its ingest pipeline.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -85,7 +138,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
-	s := &Server{cfg: cfg, done: make(chan struct{})}
+	s := &Server{
+		cfg:        cfg,
+		done:       make(chan struct{}),
+		reqs:       make(chan ingestReq, 64),
+		ingestDone: make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}
 	if cfg.Now == nil {
 		start := time.Now()
 		s.cfg.Now = func() float64 { return time.Since(start).Seconds() }
@@ -93,7 +152,7 @@ func New(cfg Config) (*Server, error) {
 	mk := cfg.NewJoiner
 	if mk == nil {
 		mk = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
-			return core.NewSTR(streaming.L2, p, c)
+			return core.NewSTRFull(streaming.L2, p, streaming.Options{Counters: c, Workers: cfg.Workers})
 		}
 	}
 	j, err := mk(cfg.Params, &s.counters)
@@ -101,7 +160,67 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.joiner = j
+	go s.ingest()
 	return s, nil
+}
+
+// ingest is the pipeline goroutine: the sole owner of the joiner, the ID
+// counter, and the stream clock. Items are processed in submission order
+// and each submitter receives its item's ID and matches, preserving
+// per-item match ordering for every client. It replies to every request
+// on the queue — Close stops the handlers (the only senders) before
+// closing reqs, so an item that reached the queue is always processed
+// and answered, never silently dropped mid-shutdown.
+func (s *Server) ingest() {
+	defer close(s.ingestDone)
+	for req := range s.reqs {
+		req.reply <- s.serve(req)
+	}
+}
+
+// serve executes one pipeline request on the pipeline goroutine.
+func (s *Server) serve(req ingestReq) ingestResp {
+	switch req.kind {
+	case ingestStats:
+		return ingestResp{info: s.counters.String()}
+	case ingestSize:
+		if str, ok := s.joiner.(*core.STR); ok {
+			sz := str.IndexSize()
+			return ingestResp{info: fmt.Sprintf("entries=%d residuals=%d lists=%d", sz.PostingEntries, sz.Residuals, sz.Lists)}
+		}
+		return ingestResp{info: "unavailable"}
+	}
+	t := req.t
+	if req.stampNow {
+		t = s.cfg.Now()
+		if s.begun && t < s.lastT {
+			t = s.lastT // clamp clock regressions
+		}
+	} else if s.begun && t < s.lastT {
+		return ingestResp{err: fmt.Errorf("out of order: t=%v after t=%v", t, s.lastT)}
+	}
+	id := s.nextID
+	ms, err := s.joiner.Add(stream.Item{ID: id, Time: t, Vec: req.v})
+	if err != nil {
+		return ingestResp{err: err}
+	}
+	s.nextID++
+	s.lastT = t
+	s.begun = true
+	return ingestResp{id: id, ms: ms}
+}
+
+// submit routes one request through the pipeline. Once enqueued, the
+// reply is guaranteed: the pipeline runs until Close has stopped every
+// handler, and handlers are the only senders.
+func (s *Server) submit(req ingestReq) ingestResp {
+	req.reply = make(chan ingestResp, 1)
+	select {
+	case s.reqs <- req:
+		return <-req.reply
+	case <-s.done:
+		return ingestResp{err: errors.New("server shutting down")}
+	}
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
@@ -121,9 +240,28 @@ func (s *Server) Serve(ln net.Listener) error {
 				return err
 			}
 		}
+		// Register the handler under lnMu so Close — which acquires the
+		// same lock after closing done — observes either the done check
+		// failing here or the registration in wg.Wait, never a handler
+		// starting after the pipeline shut down.
+		s.lnMu.Lock()
+		select {
+		case <-s.done:
+			s.lnMu.Unlock()
+			conn.Close()
+			continue // the next Accept fails; the loop exits above
+		default:
+		}
 		s.wg.Add(1)
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.lnMu.Lock()
+				delete(s.conns, conn)
+				s.lnMu.Unlock()
+			}()
 			s.handle(conn)
 		}()
 	}
@@ -148,17 +286,26 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting and waits for in-flight connections to drain.
+// Close stops accepting, interrupts connections blocked on network I/O
+// (an idle client must not hold shutdown hostage), waits for in-flight
+// commands to drain — every item that reached the ingest queue is
+// processed and answered, though a reply write can fail once its
+// connection is torn down — and then stops the ingest pipeline.
 func (s *Server) Close() error {
 	close(s.done)
-	s.lnMu.Lock()
+	s.lnMu.Lock() // barrier against a handler registering after done
 	ln := s.ln
+	for conn := range s.conns {
+		conn.SetDeadline(time.Now()) // wake handlers parked in Read/Write
+	}
 	s.lnMu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.wg.Wait()
+	s.wg.Wait()   // handlers are the only senders on reqs…
+	close(s.reqs) // …so this is safe, and ingest drains what remains
+	<-s.ingestDone
 	return err
 }
 
@@ -203,21 +350,19 @@ func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool) {
 	case "ADDNOW":
 		s.cmdAdd(w, rest, true)
 	case "STATS":
-		s.mu.Lock()
-		st := s.counters
-		s.mu.Unlock()
-		fmt.Fprintf(w, "STATS %s\n", st.String())
-	case "SIZE":
-		s.mu.Lock()
-		var info string
-		if str, ok := s.joiner.(*core.STR); ok {
-			sz := str.IndexSize()
-			info = fmt.Sprintf("entries=%d residuals=%d lists=%d", sz.PostingEntries, sz.Residuals, sz.Lists)
-		} else {
-			info = "unavailable"
+		resp := s.submit(ingestReq{kind: ingestStats})
+		if resp.err != nil {
+			fmt.Fprintf(w, "ERR %v\n", resp.err)
+			return false
 		}
-		s.mu.Unlock()
-		fmt.Fprintf(w, "SIZE %s\n", info)
+		fmt.Fprintf(w, "STATS %s\n", resp.info)
+	case "SIZE":
+		resp := s.submit(ingestReq{kind: ingestSize})
+		if resp.err != nil {
+			fmt.Fprintf(w, "ERR %v\n", resp.err)
+			return false
+		}
+		fmt.Fprintf(w, "SIZE %s\n", resp.info)
 	case "PING":
 		fmt.Fprintln(w, "PONG")
 	case "QUIT":
@@ -229,7 +374,8 @@ func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool) {
 	return false
 }
 
-// cmdAdd parses and processes one item.
+// cmdAdd parses one item on the connection goroutine and submits it to
+// the ingest pipeline.
 func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool) {
 	fields := strings.Fields(rest)
 	var (
@@ -256,34 +402,15 @@ func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool) {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
-	s.mu.Lock()
-	if stampNow {
-		t = s.cfg.Now()
-		if s.begun && t < s.lastT {
-			t = s.lastT // clamp clock regressions
-		}
-	} else if s.begun && t < s.lastT {
-		s.mu.Unlock()
-		fmt.Fprintf(w, "ERR out of order: t=%v after t=%v\n", t, s.lastT)
+	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, v: v})
+	if resp.err != nil {
+		fmt.Fprintf(w, "ERR %v\n", resp.err)
 		return
 	}
-	id := s.nextID
-	item := stream.Item{ID: id, Time: t, Vec: v}
-	ms, err := s.joiner.Add(item)
-	if err == nil {
-		s.nextID++
-		s.lastT = t
-		s.begun = true
-	}
-	s.mu.Unlock()
-	if err != nil {
-		fmt.Fprintf(w, "ERR %v\n", err)
-		return
-	}
-	for _, m := range ms {
+	for _, m := range resp.ms {
 		fmt.Fprintf(w, "MATCH %d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
 	}
-	fmt.Fprintf(w, "OK %d\n", id)
+	fmt.Fprintf(w, "OK %d\n", resp.id)
 }
 
 // parseCoords parses "dim:val" fields into a normalized vector.

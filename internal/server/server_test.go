@@ -234,3 +234,134 @@ func TestServerValidation(t *testing.T) {
 		t.Fatal("bad params accepted")
 	}
 }
+
+// TestWorkersParity: a server built with the sharded parallel engine
+// must return exactly the same per-item matches as a sequential server
+// for the same submitted stream.
+func TestWorkersParity(t *testing.T) {
+	type labeled struct {
+		id uint64
+		ms []apss.Match
+	}
+	run := func(workers int) []labeled {
+		s := startServer(t, Config{Workers: workers, Params: apss.Params{Theta: 0.5, Lambda: 0.05}})
+		c := dialT(t, s)
+		var out []labeled
+		for i := 0; i < 120; i++ {
+			v := vec.MustNew(
+				[]uint32{uint32(i % 7), uint32(i%7 + 3), uint32(i%5 + 9)},
+				[]float64{1, 0.8, 0.6},
+			)
+			id, ms, err := c.Add(float64(i)*0.3, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, labeled{id, ms})
+		}
+		return out
+	}
+	seq := run(0)
+	par := run(4)
+	if len(seq) != len(par) {
+		t.Fatalf("item counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].id != par[i].id {
+			t.Fatalf("item %d: id %d vs %d", i, seq[i].id, par[i].id)
+		}
+		if !apss.EqualMatchSets(seq[i].ms, par[i].ms, 1e-12) {
+			t.Fatalf("item %d: matches diverge (%d vs %d)", i, len(seq[i].ms), len(par[i].ms))
+		}
+	}
+}
+
+// TestPipelineOrderingPerClient: responses come back in submission
+// order with strictly increasing IDs for a client that interleaves its
+// adds with other clients' traffic.
+func TestPipelineOrderingPerClient(t *testing.T) {
+	s := startServer(t, Config{Workers: 2})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // background traffic on a second connection
+		defer wg.Done()
+		c, err := Dial(s.addr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		v := vec.MustNew([]uint32{99}, []float64{1})
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := c.AddNow(v); err != nil {
+				return
+			}
+		}
+	}()
+	c := dialT(t, s)
+	last := uint64(0)
+	v := vec.MustNew([]uint32{7}, []float64{1})
+	for i := 0; i < 200; i++ {
+		id, _, err := c.AddNow(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && id <= last {
+			t.Fatalf("ids not increasing for one client: %d after %d", id, last)
+		}
+		last = id
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStatsDuringTraffic: STATS and SIZE flow through the ingest
+// pipeline, so they are consistent snapshots even under concurrent adds.
+func TestStatsDuringTraffic(t *testing.T) {
+	s := startServer(t, Config{Workers: 2})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(s.addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			v := vec.MustNew([]uint32{uint32(g)}, []float64{1})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := c.AddNow(v); err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	c := dialT(t, s)
+	for i := 0; i < 20; i++ {
+		if _, err := c.Stats(); err != nil {
+			t.Fatal(err)
+		}
+		info, err := c.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(info, "entries=") {
+			t.Fatalf("unexpected SIZE payload %q", info)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -151,6 +151,15 @@ type Options struct {
 	// warmup closes). The zero value keeps natural order, as in the
 	// paper.
 	DimOrder DimOrder
+	// Workers selects the sharded parallel Streaming engine: the
+	// dimension space is partitioned across Workers shards, each owning
+	// the posting lists for its dimensions; Process fans candidate
+	// generation out to the shards and verifies the merged candidates
+	// concurrently, producing the same match set as the sequential
+	// engine. Values ≤ 1 (the default) run the paper's sequential
+	// engine. Only the Streaming framework supports Workers > 1;
+	// MiniBatch returns ErrUnsupported.
+	Workers int
 }
 
 // DimOrder configures the dimension-ordering extension.
@@ -177,8 +186,13 @@ const (
 	OrderMaxValueDesc = dimorder.MaxValueDesc
 )
 
-// Joiner is a streaming similarity self-join operator. It is not safe for
-// concurrent use; the paper's algorithms are sequential.
+// Joiner is a streaming similarity self-join operator. Process and Flush
+// must not be called concurrently from multiple goroutines: a stream has
+// one arrival order, and the operator advances its clock with each item.
+// With Options.Workers > 1 the work *inside* each Process call is
+// executed by a pool of dimension-sharded workers while preserving the
+// sequential engine's match semantics; with Workers ≤ 1 (the default)
+// processing is fully sequential, exactly as in the paper.
 type Joiner struct {
 	inner  core.Joiner
 	params Params
@@ -210,7 +224,10 @@ func New(opts Options) (*Joiner, error) {
 		default:
 			return nil, fmt.Errorf("%w: unknown index %v", ErrUnsupported, opts.Index)
 		}
-		sopts := streaming.Options{Counters: opts.Stats, Kernel: opts.Kernel}
+		if opts.Workers < 0 {
+			return nil, fmt.Errorf("%w: Workers must be >= 0", ErrUnsupported)
+		}
+		sopts := streaming.Options{Counters: opts.Stats, Kernel: opts.Kernel, Workers: opts.Workers}
 		if opts.DimOrder.Strategy != OrderNone {
 			if opts.DimOrder.WarmupItems < 1 {
 				return nil, fmt.Errorf("%w: Streaming DimOrder needs WarmupItems > 0", ErrUnsupported)
@@ -224,6 +241,12 @@ func New(opts Options) (*Joiner, error) {
 	case MiniBatch:
 		if opts.Kernel != nil {
 			return nil, fmt.Errorf("%w: MB supports only exponential decay", ErrUnsupported)
+		}
+		if opts.Workers < 0 {
+			return nil, fmt.Errorf("%w: Workers must be >= 0", ErrUnsupported)
+		}
+		if opts.Workers > 1 {
+			return nil, fmt.Errorf("%w: Workers > 1 requires the Streaming framework", ErrUnsupported)
 		}
 		var kind static.Kind
 		switch opts.Index {
