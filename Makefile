@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench bench-workers clean
+.PHONY: verify build test race vet bench bench-smoke bench-workers clean
 
 # verify is the tier-1 gate: everything CI runs, from a clean checkout.
 verify: vet build race
@@ -20,6 +20,12 @@ race:
 # bench runs the paper-artifact benchmarks on reduced grids.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
+
+# bench-smoke runs every benchmark in every package for one iteration:
+# a CI gate that catches benchmark bit-rot and API breakage in cmd/ and
+# examples/ without paying for real measurements.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # bench-workers compares the sequential engine against the sharded
 # parallel engine at several GOMAXPROCS values.

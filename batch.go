@@ -14,15 +14,17 @@ import (
 // similarity (no time decay).
 type BatchPair = apss.Pair
 
-// BatchOptions configures BatchJoin.
-type BatchOptions struct {
-	// Index selects the batch scheme. The default, IndexL2, uses only
-	// the ℓ2 bounds; IndexL2AP (the batch state of the art per §5.3)
-	// adds the AP bounds and often prunes more on skewed data.
-	Index IndexKind
-	// Stats receives operation counters when non-nil.
-	Stats *Stats
-}
+// BatchPairSink consumes batch pairs as they are verified — the push
+// counterpart of a returned []BatchPair.
+type BatchPairSink = func(BatchPair) error
+
+// BatchOptions is the Options surface as consumed by BatchJoin. The
+// batch join has no time axis and no framework choice, so only Index,
+// Stats, and DimOrder.Strategy are meaningful; the shared decision
+// table (see Options) rejects combinations that cannot apply (a decay
+// Kernel, Workers > 1, K). Theta is an explicit BatchJoin argument and
+// the Theta/Lambda fields are ignored.
+type BatchOptions = Options
 
 // BatchJoin solves the static all-pairs similarity search problem (apss,
 // §3) the streaming algorithms build on: given unit vectors and a
@@ -31,36 +33,53 @@ type BatchOptions struct {
 //
 // This is the operator the MiniBatch framework runs per window; it is
 // exposed publicly because a batch self-join is useful on its own (data
-// cleaning, near-duplicate detection over a closed corpus).
+// cleaning, near-duplicate detection over a closed corpus). It is the
+// collect adapter over BatchJoinTo.
 func BatchJoin(vectors []Vector, theta float64, opts BatchOptions) ([]BatchPair, error) {
+	var pairs []BatchPair
+	err := BatchJoinTo(vectors, theta, opts, apss.PairCollector(&pairs))
+	return pairs, err
+}
+
+// BatchJoinTo is the push-based batch join: every verified pair is
+// handed to sink as index construction walks the dataset, so arbitrarily
+// large result sets never materialize in memory. A sink error stops
+// emission (the first error is returned); the DimOrder.Strategy option
+// orders dimensions inside the index, which changes work done but never
+// the result set.
+func BatchJoinTo(vectors []Vector, theta float64, opts BatchOptions, sink BatchPairSink) error {
 	if !(theta > 0 && theta <= 1) {
-		return nil, fmt.Errorf("%w: theta=%v, want 0 < theta <= 1", apss.ErrBadParams, theta)
+		return fmt.Errorf("%w: theta=%v, want 0 < theta <= 1", apss.ErrBadParams, theta)
+	}
+	if err := opts.validate(opBatch); err != nil {
+		return err
 	}
 	var kind static.Kind
 	switch opts.Index {
-	case IndexL2:
-		kind = static.L2
 	case IndexINV:
 		kind = static.INV
-	case IndexL2AP:
-		kind = static.L2AP
 	case IndexAP:
 		kind = static.AP
+	case IndexL2AP:
+		kind = static.L2AP
 	default:
-		return nil, fmt.Errorf("%w: unknown index %v", ErrUnsupported, opts.Index)
+		kind = static.L2
 	}
 	items := make([]stream.Item, 0, len(vectors))
 	for i, v := range vectors {
 		if err := v.Validate(); err != nil {
-			return nil, fmt.Errorf("sssj: vector %d: %w", i, err)
+			return fmt.Errorf("sssj: vector %d: %w", i, err)
 		}
 		if !v.IsEmpty() && !v.IsUnit(1e-6) {
-			return nil, fmt.Errorf("sssj: vector %d is not unit-normalized (norm=%v)", i, v.Norm())
+			return fmt.Errorf("sssj: vector %d is not unit-normalized (norm=%v)", i, v.Norm())
 		}
 		items = append(items, stream.Item{ID: uint64(i), Vec: v})
 	}
-	ix := static.New(kind, theta, static.Options{Counters: opts.Stats})
-	return ix.Build(items), nil
+	ix := static.New(kind, theta, static.Options{
+		Counters: opts.Stats,
+		Order:    opts.DimOrder.Strategy,
+	})
+	return ix.BuildTo(items, sink)
 }
 
 // Normalize returns a unit-length copy of v (empty stays empty), a

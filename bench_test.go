@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"sssj"
 	"sssj/internal/apss"
 	"sssj/internal/core"
 	"sssj/internal/datagen"
@@ -203,6 +204,92 @@ func BenchmarkEndToEnd(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Emission-path benchmarks: the before/after comparison for the sink
+// redesign. BenchmarkProcessSlice drives the legacy pull-and-copy API
+// (every call materializes a []Match); BenchmarkProcessSink drives the
+// same joiner through ProcessTo, where matches flow to the consumer
+// with no intermediate slice. Run with
+//
+//	go test -bench 'BenchmarkProcess' -benchmem
+//
+// and compare allocs/op: the sink path sheds the per-call result-slice
+// growth entirely.
+
+// benchMatchHeavyItems builds a stream of alternating near-identical
+// vectors in quick succession, so every Process call reports several
+// in-horizon matches — the workload where result-slice allocation
+// actually shows up.
+func benchMatchHeavyItems(n int) []sssj.Item {
+	items := make([]sssj.Item, n)
+	for i := range items {
+		vals := []float64{1, 2, 2}
+		if i%2 == 1 {
+			vals = []float64{1, 2, 1.9}
+		}
+		v, err := sssj.NewVector([]uint32{1, 2, 3}, vals)
+		if err != nil {
+			panic(err)
+		}
+		items[i] = sssj.Item{ID: uint64(i), Time: float64(i) * 0.5, Vec: v}
+	}
+	return items
+}
+
+func benchProcessOpts() sssj.Options { return sssj.Options{Theta: 0.7, Lambda: 0.1} }
+
+// BenchmarkProcessSlice measures the slice-returning Process call.
+func BenchmarkProcessSlice(b *testing.B) {
+	items := benchMatchHeavyItems(1024)
+	j, err := sssj.New(benchProcessOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		it.ID = uint64(i)
+		it.Time = float64(i) * 0.5
+		ms, err := j.Process(it)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(ms)
+	}
+	if b.N > 8 && total == 0 {
+		b.Fatal("match-heavy workload produced no matches")
+	}
+}
+
+// BenchmarkProcessSink measures the same workload through ProcessTo.
+func BenchmarkProcessSink(b *testing.B) {
+	items := benchMatchHeavyItems(1024)
+	j, err := sssj.New(benchProcessOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	sink := func(m sssj.Match) error {
+		total++
+		return nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		it.ID = uint64(i)
+		it.Time = float64(i) * 0.5
+		if err := j.ProcessTo(it, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if b.N > 8 && total == 0 {
+		b.Fatal("match-heavy workload produced no matches")
 	}
 }
 

@@ -24,12 +24,20 @@ func (j *Joiner) Checkpoint(w io.Writer) error {
 
 // Resume restores a joiner from a Checkpoint. The join parameters (θ, λ)
 // and index kind come from the checkpoint itself; opts supplies only
-// runtime state: Stats, and Kernel when the checkpointed joiner used a
-// custom decay kernel.
+// runtime state: Stats, Workers (a checkpoint written under any worker
+// count restores under any other, including back to the sequential
+// engine), and Kernel when the checkpointed joiner used a custom decay
+// kernel. Options that cannot apply to a restored index (a DimOrder
+// strategy, the MiniBatch framework, K) are rejected with
+// ErrUnsupported via the shared decision table.
 func Resume(r io.Reader, opts Options) (*Joiner, error) {
+	if err := opts.validate(opResume); err != nil {
+		return nil, err
+	}
 	idx, err := streaming.Load(r, streaming.Options{
 		Counters: opts.Stats,
 		Kernel:   opts.Kernel,
+		Workers:  opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -41,6 +49,7 @@ func Resume(r io.Reader, opts Options) (*Joiner, error) {
 		Framework: Streaming,
 		Kernel:    opts.Kernel,
 		Stats:     opts.Stats,
+		Workers:   opts.Workers,
 	}
 	return &Joiner{inner: inner, params: idx.Params(), opts: restored}, nil
 }

@@ -95,18 +95,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	w := bufio.NewWriter(stdout)
 	defer w.Flush()
+	// Matches stream from the join straight into the output buffer as
+	// they are found — no result slices, and a write error stops the
+	// join via the sink contract.
 	total := 0
-	emit := func(ms []sssj.Match) error {
-		total += len(ms)
+	sink := func(m sssj.Match) error {
+		total++
 		if *quiet {
 			return nil
 		}
-		for _, m := range ms {
-			if _, err := fmt.Fprintf(w, "%d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT); err != nil {
-				return err
-			}
-		}
-		return nil
+		_, err := fmt.Fprintf(w, "%d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
+		return err
 	}
 	for {
 		it, err := src.Next()
@@ -116,19 +115,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ms, err := j.Process(it)
-		if err != nil {
-			return err
-		}
-		if err := emit(ms); err != nil {
+		if err := j.ProcessTo(it, sink); err != nil {
 			return err
 		}
 	}
-	ms, err := j.Flush()
-	if err != nil {
-		return err
-	}
-	if err := emit(ms); err != nil {
+	if err := j.FlushTo(sink); err != nil {
 		return err
 	}
 	if *quiet {

@@ -1,0 +1,171 @@
+package sssj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+	"sssj/internal/stream"
+)
+
+// MatchSink consumes matches as they are found — the push counterpart
+// of a returned []Match, and the delivery path every operator in this
+// package uses internally. Returning a non-nil error stops emission:
+// the producer finishes processing the current item (its index state
+// advances exactly as if every match had been consumed), drops the
+// item's remaining matches, and returns the sink's first error.
+//
+// Return ErrStop to end a Join early without it being treated as a
+// failure; JoinCtx and SelfJoinCtx translate it to a nil return.
+type MatchSink = func(Match) error
+
+// ErrStop is returned by a MatchSink to stop a join early. The
+// stream-draining entry points (JoinCtx, SelfJoinCtx) treat it as a
+// clean termination and return nil; ProcessTo and FlushTo return it
+// unchanged so item-at-a-time callers can observe the stop themselves.
+var ErrStop = errors.New("sssj: stop")
+
+// CollectInto returns a MatchSink that appends every match to *dst —
+// the adapter between the sink world and code that wants slices.
+func CollectInto(dst *[]Match) MatchSink { return apss.Collector(dst) }
+
+// ProcessTo feeds the next stream item, pushing each match into sink
+// the moment it is verified — no intermediate slice, no per-item
+// allocation on the hot path. Under STR every match involving the item
+// is emitted during the call; under MB matches are emitted when window
+// boundaries are crossed.
+//
+// The item is always processed to completion: if sink returns an error
+// (including ErrStop), the remaining matches are dropped, the item is
+// still indexed, and the error is returned — so the joiner stays
+// reusable after an early exit.
+func (j *Joiner) ProcessTo(it Item, sink MatchSink) error {
+	if j.begun && it.Time < j.lastT {
+		return fmt.Errorf("%w: item %d at t=%v after t=%v", ErrTimeRegression, it.ID, it.Time, j.lastT)
+	}
+	j.begun, j.lastT = true, it.Time
+	if err := j.inner.AddTo(it, sink); err != nil {
+		return wrapTimeErr(err)
+	}
+	return nil
+}
+
+// FlushTo emits matches still buffered at end of stream (MB windows,
+// STR dimension-ordering warmups; a no-op otherwise) into sink.
+func (j *Joiner) FlushTo(sink MatchSink) error {
+	return wrapTimeErr(j.inner.FlushTo(sink))
+}
+
+// wrapTimeErr maps the engines' internal time-order errors onto the
+// public ErrTimeRegression. The Joiner pre-checks the clock itself, but
+// a restored joiner (Resume) only knows the checkpoint's clock once the
+// engine rejects the first regressing item.
+func wrapTimeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, streaming.ErrTimeOrder) || errors.Is(err, stream.ErrOutOfOrder) {
+		return fmt.Errorf("%w: %v", ErrTimeRegression, err)
+	}
+	return err
+}
+
+// JoinCtx drains a source through a fresh Joiner, pushing every match
+// into sink as it is found. The context is checked between items, so a
+// canceled join stops promptly; a sink returning ErrStop ends the join
+// cleanly (nil return). This is the streaming-first counterpart of
+// Join: nothing is buffered, and the memory footprint is the index
+// alone regardless of how many matches the stream produces.
+func JoinCtx(ctx context.Context, opts Options, src Source, sink MatchSink) error {
+	j, err := New(opts)
+	if err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return j.runTo(ctx, src, sink)
+}
+
+// SelfJoinCtx is JoinCtx over an in-memory stream.
+func SelfJoinCtx(ctx context.Context, opts Options, items []Item, sink MatchSink) error {
+	return JoinCtx(ctx, opts, stream.NewSliceSource(items), sink)
+}
+
+// runTo drains src through j into sink, translating ErrStop into a
+// clean stop.
+func (j *Joiner) runTo(ctx context.Context, src Source, sink MatchSink) error {
+	err := core.RunCtx(ctx, j.inner, src, sink)
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return wrapTimeErr(err)
+}
+
+// Matches runs the join over src and yields every match as it is found,
+// as a Go 1.23+ range-over-func iterator. Consumption is incremental
+// and backpressured — the join advances only as fast as the loop body —
+// and breaking out of the loop stops the join after the in-flight item.
+// A non-nil error (bad options, source failure, time regression,
+// context cancellation) is yielded as the final pair with a zero Match.
+//
+//	for m, err := range sssj.Matches(ctx, opts, src) {
+//	    if err != nil {
+//	        return err
+//	    }
+//	    use(m)
+//	}
+func Matches(ctx context.Context, opts Options, src Source) iter.Seq2[Match, error] {
+	return func(yield func(Match, error) bool) {
+		j, err := New(opts)
+		if err != nil {
+			yield(Match{}, err)
+			return
+		}
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		stopped := false
+		sink := func(m Match) error {
+			if !yield(m, nil) {
+				stopped = true
+				return ErrStop
+			}
+			return nil
+		}
+		fail := func(err error) {
+			// Never touch yield again once it returned false.
+			if !stopped {
+				yield(Match{}, err)
+			}
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
+			it, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := j.ProcessTo(it, sink); err != nil {
+				if !errors.Is(err, ErrStop) {
+					fail(err)
+				}
+				return
+			}
+		}
+		if err := j.FlushTo(sink); err != nil && !errors.Is(err, ErrStop) {
+			fail(err)
+		}
+	}
+}

@@ -1,11 +1,57 @@
 package sssj_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sssj"
 )
+
+// Streaming consumption with the range-over-func iterator: each match
+// is yielded the moment it is found, the loop body backpressures the
+// join, and breaking out stops it early.
+func ExampleMatches() {
+	v1, _ := sssj.NewVector([]uint32{1, 2, 3}, []float64{1, 2, 2})
+	v2, _ := sssj.NewVector([]uint32{1, 2, 3}, []float64{1, 2, 1.9})
+	items := []sssj.Item{
+		{ID: 0, Time: 0, Vec: v1},
+		{ID: 1, Time: 1, Vec: v2},
+	}
+	opts := sssj.Options{Theta: 0.7, Lambda: 0.1}
+	for m, err := range sssj.Matches(context.Background(), opts, sssj.SliceSource(items)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("items %d and %d are similar (sim %.2f)\n", m.X, m.Y, m.Sim)
+	}
+	// Output:
+	// items 1 and 0 are similar (sim 0.90)
+}
+
+// Sink-driven, context-aware joining: matches are pushed into the sink
+// as they are found, nothing is buffered, and cancelling the context
+// stops the join between items. Returning sssj.ErrStop from the sink
+// ends the join cleanly.
+func ExampleJoinCtx() {
+	v1, _ := sssj.NewVector([]uint32{1, 2, 3}, []float64{1, 2, 2})
+	v2, _ := sssj.NewVector([]uint32{1, 2, 3}, []float64{1, 2, 1.9})
+	items := []sssj.Item{
+		{ID: 0, Time: 0, Vec: v1},
+		{ID: 1, Time: 1, Vec: v2},
+		{ID: 2, Time: 9, Vec: v1}, // beyond the horizon: no match
+	}
+	opts := sssj.Options{Theta: 0.7, Lambda: 0.1}
+	err := sssj.JoinCtx(context.Background(), opts, sssj.SliceSource(items), func(m sssj.Match) error {
+		fmt.Printf("match: %d ~ %d (sim %.2f, dt %.1f)\n", m.X, m.Y, m.Sim, m.DT)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// match: 1 ~ 0 (sim 0.90, dt 1.0)
+}
 
 // The basic workflow: create a joiner, feed timestamped unit vectors in
 // time order, collect matches.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -82,15 +83,22 @@ func main() {
 		} else {
 			text = fillers[r.Intn(len(fillers))]
 		}
-		ms, err := j.Process(sssj.Item{ID: id, Time: t, Vec: vz.Vectorize(text)})
-		if err != nil {
+		// The filter only needs to know whether *any* earlier post is a
+		// near-copy: the sink keeps the first match and returns ErrStop,
+		// ending emission early — the post is still indexed.
+		var dup *sssj.Match
+		err := j.ProcessTo(sssj.Item{ID: id, Time: t, Vec: vz.Vectorize(text)}, func(m sssj.Match) error {
+			dup = &m
+			return sssj.ErrStop
+		})
+		if err != nil && !errors.Is(err, sssj.ErrStop) {
 			log.Fatal(err)
 		}
 		id++
-		if len(ms) > 0 {
+		if dup != nil {
 			suppressed++
 			fmt.Printf("  ~ t=%5.1f %s  (dup of item %d, sim %.2f)\n",
-				t, text, ms[0].Y, ms[0].Sim)
+				t, text, dup.Y, dup.Sim)
 			continue
 		}
 		shown++

@@ -1,10 +1,12 @@
 // Quickstart: the smallest useful SSSJ program. Builds a handful of
 // timestamped sparse vectors, runs the streaming join with the paper's
 // recommended configuration (STR framework, L2 index), and prints every
-// time-decayed similar pair as it is found.
+// time-decayed similar pair the moment it is found, by ranging over the
+// match iterator.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,11 +16,7 @@ import (
 func main() {
 	// θ = 0.7: pairs must be quite similar. λ = 0.1: similarity halves
 	// roughly every 7 time units; the horizon is ln(1/0.7)/0.1 ≈ 3.57.
-	j, err := sssj.New(sssj.Options{Theta: 0.7, Lambda: 0.1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("horizon tau = %.2f time units\n", j.Horizon())
+	opts := sssj.Options{Theta: 0.7, Lambda: 0.1}
 
 	// A tiny stream: items 0 and 1 are near-duplicates arriving close in
 	// time (match), item 2 is unrelated, item 3 duplicates item 0 but
@@ -34,23 +32,23 @@ func main() {
 		{1.5, []uint32{7, 8}, []float64{1, 1}},
 		{9.0, []uint32{1, 2, 3}, []float64{1, 2, 2}},
 	}
+	items := make([]sssj.Item, len(docs))
 	for i, d := range docs {
 		v, err := sssj.NewVector(d.dims, d.vals)
 		if err != nil {
 			log.Fatal(err)
 		}
-		matches, err := j.Process(sssj.Item{ID: uint64(i), Time: d.t, Vec: v})
+		items[i] = sssj.Item{ID: uint64(i), Time: d.t, Vec: v}
+	}
+
+	// Matches streams results as the join advances: each pair is yielded
+	// the moment its younger item is processed. Breaking out of the loop
+	// would stop the join early; the context cancels it from outside.
+	for m, err := range sssj.Matches(context.Background(), opts, sssj.SliceSource(items)) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, m := range matches {
-			fmt.Printf("match: items %d and %d  sim=%.3f (dot=%.3f, dt=%.1f)\n",
-				m.X, m.Y, m.Sim, m.Dot, m.DT)
-		}
-	}
-	// STR reports online; Flush is a no-op but good hygiene for code that
-	// may switch to the MiniBatch framework.
-	if _, err := j.Flush(); err != nil {
-		log.Fatal(err)
+		fmt.Printf("match: items %d and %d  sim=%.3f (dot=%.3f, dt=%.1f)\n",
+			m.X, m.Y, m.Sim, m.Dot, m.DT)
 	}
 }

@@ -48,31 +48,29 @@ func main() {
 	}
 
 	vz := textvec.New(1<<18, false)
-	emit := func(ns []sssj.Neighbors) {
-		for _, n := range ns {
-			fmt.Printf("\nrelated reading for %q:\n", articles[n.ID].title)
-			if len(n.Matches) == 0 {
-				fmt.Println("  (nothing related in the window)")
-			}
-			for _, m := range n.Matches {
-				fmt.Printf("  %.2f  %s\n", m.Sim, articles[m.Y].title)
-			}
+	// Neighborhoods stream out of the joiner the moment they finalize
+	// (the stream has advanced one horizon past the article).
+	emit := func(n sssj.Neighbors) error {
+		fmt.Printf("\nrelated reading for %q:\n", articles[n.ID].title)
+		if len(n.Matches) == 0 {
+			fmt.Println("  (nothing related in the window)")
 		}
+		for _, m := range n.Matches {
+			fmt.Printf("  %.2f  %s\n", m.Sim, articles[m.Y].title)
+		}
+		return nil
 	}
 	for i, a := range articles {
-		ns, err := tk.Process(sssj.Item{
+		err := tk.ProcessTo(sssj.Item{
 			ID:   uint64(i),
 			Time: a.t,
 			Vec:  vz.Vectorize(a.title + " " + a.body),
-		})
+		}, emit)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(ns)
 	}
-	ns, err := tk.Flush()
-	if err != nil {
+	if err := tk.FlushTo(emit); err != nil {
 		log.Fatal(err)
 	}
-	emit(ns)
 }

@@ -129,13 +129,15 @@ func main() {
 	matched := map[uint64]bool{}
 	for i, p := range posts {
 		item := sssj.Item{ID: uint64(i), Time: p.t, Vec: vz.Vectorize(p.text)}
-		ms, err := j.Process(item)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, m := range ms {
+		// Matches feed the union-find the moment they are verified; no
+		// per-item match slice is built.
+		err := j.ProcessTo(item, func(m sssj.Match) error {
 			uf.union(m.X, m.Y)
 			matched[m.X], matched[m.Y] = true, true
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
 

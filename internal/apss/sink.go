@@ -1,0 +1,88 @@
+package apss
+
+// Sink consumes matches as they are found, in the order the producing
+// operator reports them. Returning a non-nil error asks the producer to
+// stop emitting; what the producer does with its in-flight state then is
+// its own contract (the engines in this repository finish processing the
+// current item and return the error, see Gate).
+//
+// A Sink is the push counterpart of returning a []Match: it lets the hot
+// path hand each match to the consumer the moment it is verified, with
+// no intermediate slice, no copy, and no per-item allocation.
+type Sink func(Match) error
+
+// PairSink is the Sink of the static (non-decayed) all-pairs join.
+type PairSink func(Pair) error
+
+// Collector returns a Sink that appends every match to *dst. It is the
+// adapter that keeps the slice-returning APIs alive on top of the sink
+// path.
+func Collector(dst *[]Match) Sink {
+	return func(m Match) error {
+		*dst = append(*dst, m)
+		return nil
+	}
+}
+
+// PairCollector is Collector for static-join pairs.
+func PairCollector(dst *[]Pair) PairSink {
+	return func(p Pair) error {
+		*dst = append(*dst, p)
+		return nil
+	}
+}
+
+// Gate wraps a Sink so that a downstream error stops further emission
+// without interrupting the producer: the first error is latched, later
+// matches are dropped, and the producer finishes its state updates
+// normally before reporting the error via Err. Every engine wraps the
+// caller's sink in a Gate at the top of its per-item entry point, which
+// is what makes "break out of the match stream" leave the operator in
+// exactly the state it would have after a fully consumed item.
+type Gate struct {
+	sink Sink
+	err  error
+	n    int64
+}
+
+// NewGate returns a Gate over sink.
+func NewGate(sink Sink) Gate { return Gate{sink: sink} }
+
+// Emit forwards m to the underlying sink unless an error was latched.
+// It always returns nil, so producers can thread it anywhere a Sink is
+// expected without aborting mid-update. A match the sink errors on
+// still counts as emitted — the sink saw it; the error only stops what
+// follows.
+func (g *Gate) Emit(m Match) error {
+	if g.err == nil {
+		g.n++
+		g.err = g.sink(m)
+	}
+	return nil
+}
+
+// Err returns the first error the underlying sink reported, if any.
+func (g *Gate) Err() error { return g.err }
+
+// Emitted returns how many matches reached the underlying sink.
+func (g *Gate) Emitted() int64 { return g.n }
+
+// PairGate is Gate for static-join pairs.
+type PairGate struct {
+	sink PairSink
+	err  error
+}
+
+// NewPairGate returns a PairGate over sink.
+func NewPairGate(sink PairSink) PairGate { return PairGate{sink: sink} }
+
+// Emit forwards p unless an error was latched; it always returns nil.
+func (g *PairGate) Emit(p Pair) error {
+	if g.err == nil {
+		g.err = g.sink(p)
+	}
+	return nil
+}
+
+// Err returns the first error the underlying sink reported, if any.
+func (g *PairGate) Err() error { return g.err }

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"io"
 
 	"sssj/internal/apss"
@@ -35,28 +36,80 @@ type Joiner interface {
 	Flush() ([]apss.Match, error)
 }
 
+// SinkJoiner is a Joiner whose native reporting path is push-based:
+// AddTo and FlushTo hand each match to emit the moment it is reportable,
+// with no intermediate slice — the hot path of the framework. Add/Flush
+// are the collect adapters kept for callers that want slices.
+//
+// AddTo always processes x to completion: if emit returns an error, the
+// remaining matches of x are dropped, the joiner's state still advances
+// exactly as if every match had been consumed, and the first emit error
+// is returned. The same holds for FlushTo. Every joiner constructed by
+// this package implements SinkJoiner.
+type SinkJoiner interface {
+	Joiner
+	AddTo(x stream.Item, emit apss.Sink) error
+	FlushTo(emit apss.Sink) error
+}
+
 // Run drains src through j and returns all matches.
 func Run(j Joiner, src stream.Source) ([]apss.Match, error) {
 	var out []apss.Match
+	err := RunCtx(context.Background(), j, src, apss.Collector(&out))
+	return out, err
+}
+
+// RunCtx drains src through j, pushing every match into emit. The
+// context is checked between items, so a canceled join stops promptly
+// without scanning the rest of the stream; emit errors propagate
+// per the SinkJoiner contract. Joiners that do not implement SinkJoiner
+// fall back to the slice path with an emit loop per item.
+func RunCtx(ctx context.Context, j Joiner, src stream.Source, emit apss.Sink) error {
+	sj, _ := j.(SinkJoiner)
+	add := func(it stream.Item) error {
+		if sj != nil {
+			return sj.AddTo(it, emit)
+		}
+		ms, err := j.Add(it)
+		if err != nil {
+			return err
+		}
+		return emitAll(emit, ms)
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		it, err := src.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return out, err
+			return err
 		}
-		ms, err := j.Add(it)
-		if err != nil {
-			return out, err
+		if err := add(it); err != nil {
+			return err
 		}
-		out = append(out, ms...)
+	}
+	if sj != nil {
+		return sj.FlushTo(emit)
 	}
 	ms, err := j.Flush()
 	if err != nil {
-		return out, err
+		return err
 	}
-	return append(out, ms...), nil
+	return emitAll(emit, ms)
+}
+
+// emitAll pushes a match slice through a sink, stopping at the first
+// error.
+func emitAll(emit apss.Sink, ms []apss.Match) error {
+	for _, m := range ms {
+		if err := emit(m); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ApplyDecay converts a raw-dot pair from a static index into a Match,
@@ -97,10 +150,17 @@ func NewBruteForce(params apss.Params, counters *metrics.Counters) (*BruteForce,
 	return &BruteForce{params: params, tau: params.Horizon(), c: counters}, nil
 }
 
-// Add implements Joiner.
+// Add implements Joiner (the collect adapter over AddTo).
 func (b *BruteForce) Add(x stream.Item) ([]apss.Match, error) {
+	var out []apss.Match
+	err := b.AddTo(x, apss.Collector(&out))
+	return out, err
+}
+
+// AddTo implements SinkJoiner.
+func (b *BruteForce) AddTo(x stream.Item, emit apss.Sink) error {
 	if b.begun && x.Time < b.now {
-		return nil, stream.ErrOutOfOrder
+		return stream.ErrOutOfOrder
 	}
 	b.begun = true
 	b.now = x.Time
@@ -115,22 +175,25 @@ func (b *BruteForce) Add(x stream.Item) ([]apss.Match, error) {
 		b.window = append(b.window[:0], b.window[start:]...)
 	}
 
-	var out []apss.Match
+	g := apss.NewGate(emit)
 	for _, y := range b.window {
 		b.c.FullDots++
 		dt := x.Time - y.Time
 		dot := vec.Dot(x.Vec, y.Vec)
 		if sim := b.params.Sim(dot, dt); sim >= b.params.Theta {
-			out = append(out, apss.Match{X: x.ID, Y: y.ID, Sim: sim, Dot: dot, DT: dt})
+			g.Emit(apss.Match{X: x.ID, Y: y.ID, Sim: sim, Dot: dot, DT: dt})
 		}
 	}
-	b.c.Pairs += int64(len(out))
+	b.c.Pairs += g.Emitted()
 	b.window = append(b.window, x)
-	return out, nil
+	return g.Err()
 }
 
 // Flush implements Joiner; brute force reports everything online.
 func (b *BruteForce) Flush() ([]apss.Match, error) { return nil, nil }
+
+// FlushTo implements SinkJoiner; a no-op, as Flush.
+func (b *BruteForce) FlushTo(apss.Sink) error { return nil }
 
 // WindowSize reports the number of items currently retained.
 func (b *BruteForce) WindowSize() int { return len(b.window) }

@@ -66,11 +66,18 @@ func NewMiniBatch(kind static.Kind, params apss.Params, counters *metrics.Counte
 	return mb, nil
 }
 
-// Add implements Joiner. Matches are returned when window boundaries are
-// crossed; call Flush at end of stream.
+// Add implements Joiner (the collect adapter over AddTo).
 func (mb *MiniBatch) Add(x stream.Item) ([]apss.Match, error) {
+	var out []apss.Match
+	err := mb.AddTo(x, apss.Collector(&out))
+	return out, err
+}
+
+// AddTo implements SinkJoiner. Matches are emitted when window
+// boundaries are crossed; call FlushTo at end of stream.
+func (mb *MiniBatch) AddTo(x stream.Item, emit apss.Sink) error {
 	if mb.begun && x.Time < mb.now {
-		return nil, stream.ErrOutOfOrder
+		return stream.ErrOutOfOrder
 	}
 	if !mb.begun {
 		mb.begun = true
@@ -79,34 +86,47 @@ func (mb *MiniBatch) Add(x stream.Item) ([]apss.Match, error) {
 	mb.now = x.Time
 	mb.c.Items++
 
-	var out []apss.Match
-	// Rotate windows until x falls inside the current one.
+	g := apss.NewGate(emit)
+	// Rotate windows until x falls inside the current one. The rotation
+	// state always advances fully; a sink error only suppresses the
+	// remaining emissions (see SinkJoiner).
 	for x.Time >= mb.t0+mb.tau {
-		out = append(out, mb.rotate()...)
+		mb.rotate(&g)
 		mb.t0 += mb.tau
 	}
 	mb.cur = append(mb.cur, x)
 	mb.curMax.Update(x.Vec)
-	return out, nil
+	return g.Err()
 }
 
-// Flush implements Joiner: processes the last (possibly partial) windows.
+// Flush implements Joiner (the collect adapter over FlushTo).
 func (mb *MiniBatch) Flush() ([]apss.Match, error) {
+	var out []apss.Match
+	err := mb.FlushTo(apss.Collector(&out))
+	return out, err
+}
+
+// FlushTo implements SinkJoiner: processes the last (possibly partial)
+// windows.
+func (mb *MiniBatch) FlushTo(emit apss.Sink) error {
 	if !mb.begun {
-		return nil, nil
+		return nil
 	}
-	out := mb.rotate() // index old prev, join with cur, promote cur
+	g := apss.NewGate(emit)
+	mb.rotate(&g) // index old prev, join with cur, promote cur
 	// The promoted window still holds unreported intra-window pairs.
-	out = append(out, mb.rotate()...)
-	return out, nil
+	mb.rotate(&g)
+	return g.Err()
 }
 
 // rotate closes the current window: builds a static index over the
-// previous window (max vector merged per §6.1), reports its intra-window
+// previous window (max vector merged per §6.1), emits its intra-window
 // pairs, queries it with every current-window item for cross-window
-// pairs, then shifts cur → prev.
-func (mb *MiniBatch) rotate() []apss.Match {
-	var out []apss.Match
+// pairs, then shifts cur → prev. Pairs flow from the static index
+// through the decay filter straight into the gate — no per-window match
+// slice.
+func (mb *MiniBatch) rotate(g *apss.Gate) {
+	start := g.Emitted()
 	if len(mb.prev) > 0 {
 		mb.c.IndexBuilds++
 		idx := static.New(mb.kind, mb.params.Theta, static.Options{
@@ -119,25 +139,26 @@ func (mb *MiniBatch) rotate() []apss.Match {
 			times[it.ID] = it.Time
 		}
 		// Intra-window pairs (IndConstr), reported with delay.
-		for _, p := range idx.Build(mb.prev) {
+		idx.BuildTo(mb.prev, func(p apss.Pair) error {
 			if m, ok := ApplyDecay(p, mb.params, times[p.X], times[p.Y]); ok {
-				out = append(out, m)
+				g.Emit(m)
 			}
-		}
+			return nil
+		})
 		// Cross-window pairs (CandGen + CandVer per query).
 		for _, q := range mb.cur {
-			for _, p := range idx.Query(q) {
+			idx.QueryTo(q, func(p apss.Pair) error {
 				if m, ok := ApplyDecay(p, mb.params, q.Time, times[p.Y]); ok {
-					out = append(out, m)
+					g.Emit(m)
 				}
-			}
+				return nil
+			})
 		}
 	}
 	mb.prev, mb.cur = mb.cur, mb.prev[:0]
 	mb.prevMax, mb.curMax = mb.curMax, mb.prevMax
 	clear(mb.curMax)
-	mb.c.Pairs += int64(len(out))
-	return out
+	mb.c.Pairs += g.Emitted() - start
 }
 
 // WindowSizes reports the buffered item counts (previous, current).

@@ -14,6 +14,10 @@ import (
 // arrives — no delay, unlike MiniBatch.
 type STR struct {
 	idx streaming.Index
+	// sidx is idx's push-based face, set when the index supports it
+	// (every index built by streaming.New does); AddTo then bypasses the
+	// slice adapter entirely.
+	sidx streaming.SinkIndex
 }
 
 // NewSTR builds an STR joiner with the given streaming index kind.
@@ -34,16 +38,34 @@ func NewSTRFull(kind streaming.Kind, params apss.Params, opts streaming.Options)
 	if err != nil {
 		return nil, err
 	}
-	return &STR{idx: idx}, nil
+	return NewSTRFromIndex(idx), nil
 }
 
 // Add implements Joiner.
 func (s *STR) Add(x stream.Item) ([]apss.Match, error) { return s.idx.Add(x) }
 
+// AddTo implements SinkJoiner: matches flow from the index's
+// verification loop straight into emit.
+func (s *STR) AddTo(x stream.Item, emit apss.Sink) error {
+	if s.sidx != nil {
+		return s.sidx.AddTo(x, emit)
+	}
+	ms, err := s.idx.Add(x)
+	if err != nil {
+		return err
+	}
+	return emitAll(emit, ms)
+}
+
 // warmupFinisher is implemented by indexes that may hold back matches
 // until a warmup completes (the dimension-ordering extension).
 type warmupFinisher interface {
 	FinishWarmup() ([]apss.Match, error)
+}
+
+// warmupFinisherTo is warmupFinisher's push-based face.
+type warmupFinisherTo interface {
+	FinishWarmupTo(apss.Sink) error
 }
 
 // Flush implements Joiner. STR reports everything online, except when
@@ -56,6 +78,19 @@ func (s *STR) Flush() ([]apss.Match, error) {
 	return nil, nil
 }
 
+// FlushTo implements SinkJoiner, releasing warmup-buffered matches into
+// emit.
+func (s *STR) FlushTo(emit apss.Sink) error {
+	if wf, ok := s.idx.(warmupFinisherTo); ok {
+		return wf.FinishWarmupTo(emit)
+	}
+	ms, err := s.Flush()
+	if err != nil {
+		return err
+	}
+	return emitAll(emit, ms)
+}
+
 // IndexSize exposes current index occupancy.
 func (s *STR) IndexSize() streaming.SizeInfo { return s.idx.Size() }
 
@@ -65,7 +100,11 @@ func (s *STR) SaveIndex(w io.Writer) error { return streaming.Save(s.idx, w) }
 
 // NewSTRFromIndex wraps an existing streaming index (typically one
 // restored by streaming.Load) in the STR framework.
-func NewSTRFromIndex(idx streaming.Index) *STR { return &STR{idx: idx} }
+func NewSTRFromIndex(idx streaming.Index) *STR {
+	s := &STR{idx: idx}
+	s.sidx, _ = idx.(streaming.SinkIndex)
+	return s
+}
 
 // IndexParams returns the join parameters of the underlying index.
 func (s *STR) IndexParams() apss.Params { return s.idx.Params() }

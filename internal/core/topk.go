@@ -23,12 +23,17 @@ import (
 // own reporting delay would violate the finalization rule.
 type TopK struct {
 	j     Joiner
+	sj    SinkJoiner // j's push-based face, when supported
 	k     int
 	tau   float64
 	open  *lhmap.Map[uint64, *neighborhood] // in arrival order = time order
 	begun bool
 	now   float64
 }
+
+// NeighborsSink consumes finalized neighborhoods as the stream advances
+// past their horizon.
+type NeighborsSink func(Neighbors) error
 
 // Neighbors is one item's finalized top-k result.
 type Neighbors struct {
@@ -90,24 +95,37 @@ func NewTopK(j Joiner, k int, tau float64) (*TopK, error) {
 	if !(tau > 0) {
 		return nil, fmt.Errorf("core: top-k needs tau > 0, got %v", tau)
 	}
-	return &TopK{j: j, k: k, tau: tau, open: lhmap.New[uint64, *neighborhood]()}, nil
+	tk := &TopK{j: j, k: k, tau: tau, open: lhmap.New[uint64, *neighborhood]()}
+	tk.sj, _ = j.(SinkJoiner)
+	return tk, nil
 }
 
-// Add processes the next item and returns the neighborhoods that became
-// final (their items are now τ old).
+// Add is the collect adapter over AddTo.
 func (tk *TopK) Add(x stream.Item) ([]Neighbors, error) {
+	var out []Neighbors
+	err := tk.AddTo(x, func(n Neighbors) error {
+		out = append(out, n)
+		return nil
+	})
+	return out, err
+}
+
+// AddTo processes the next item, offering each underlying match to its
+// two open neighborhoods the moment it is found, and emits the
+// neighborhoods that became final (their items are now τ old). Like
+// every sink path in this package, the operator state advances fully
+// even when emit errors; the first error is returned at the end.
+func (tk *TopK) AddTo(x stream.Item, emit NeighborsSink) error {
 	if tk.begun && x.Time < tk.now {
-		return nil, stream.ErrOutOfOrder
+		return stream.ErrOutOfOrder
 	}
 	tk.begun = true
 	tk.now = x.Time
 
-	ms, err := tk.j.Add(x)
-	if err != nil {
-		return nil, err
-	}
+	// Open x's neighborhood first so matches streaming out of the join
+	// below land in it directly.
 	tk.open.Put(x.ID, &neighborhood{id: x.ID, t: x.Time, k: tk.k})
-	for _, m := range ms {
+	offer := func(m apss.Match) error {
 		// The match touches the new item (m.X == x.ID) and an older open
 		// item (m.Y); both neighborhoods gain a neighbor.
 		if nb, ok := tk.open.Get(m.X); ok {
@@ -116,29 +134,58 @@ func (tk *TopK) Add(x stream.Item) ([]Neighbors, error) {
 		if nb, ok := tk.open.Get(m.Y); ok {
 			nb.offer(m.Flipped())
 		}
+		return nil
 	}
-	var out []Neighbors
+	var err error
+	if tk.sj != nil {
+		err = tk.sj.AddTo(x, offer)
+	} else {
+		var ms []apss.Match
+		ms, err = tk.j.Add(x)
+		for _, m := range ms {
+			offer(m)
+		}
+	}
+	if err != nil {
+		tk.open.Delete(x.ID)
+		return err
+	}
+	var emitErr error
 	tk.open.PruneWhile(func(_ uint64, nb *neighborhood) bool {
 		if x.Time-nb.t <= tk.tau {
 			return false
 		}
-		out = append(out, nb.finalize())
+		if emitErr == nil {
+			emitErr = emit(nb.finalize())
+		}
 		return true
 	})
-	return out, nil
+	return emitErr
 }
 
-// Flush finalizes all still-open neighborhoods, in arrival order.
+// Flush is the collect adapter over FlushTo.
 func (tk *TopK) Flush() ([]Neighbors, error) {
-	if _, err := tk.j.Flush(); err != nil {
-		return nil, err
-	}
 	var out []Neighbors
+	err := tk.FlushTo(func(n Neighbors) error {
+		out = append(out, n)
+		return nil
+	})
+	return out, err
+}
+
+// FlushTo finalizes all still-open neighborhoods, in arrival order.
+func (tk *TopK) FlushTo(emit NeighborsSink) error {
+	if _, err := tk.j.Flush(); err != nil {
+		return err
+	}
+	var emitErr error
 	tk.open.PruneWhile(func(_ uint64, nb *neighborhood) bool {
-		out = append(out, nb.finalize())
+		if emitErr == nil {
+			emitErr = emit(nb.finalize())
+		}
 		return true
 	})
-	return out, nil
+	return emitErr
 }
 
 // Open reports how many items are awaiting finalization.

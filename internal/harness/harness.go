@@ -137,6 +137,30 @@ func RunOneWorkers(items []stream.Item, dataset, framework, index string, p apss
 	if err != nil {
 		return res
 	}
+	// Count matches through the sink path: the measured loop then runs
+	// the same zero-copy delivery the production entry points use, with
+	// no per-item result slice distorting the timings.
+	sj, _ := j.(core.SinkJoiner)
+	count := func(m apss.Match) error {
+		res.Matches++
+		return nil
+	}
+	add := func(it stream.Item) error {
+		if sj != nil {
+			return sj.AddTo(it, count)
+		}
+		ms, err := j.Add(it)
+		res.Matches += len(ms)
+		return err
+	}
+	flush := func() error {
+		if sj != nil {
+			return sj.FlushTo(count)
+		}
+		ms, err := j.Flush()
+		res.Matches += len(ms)
+		return err
+	}
 	start := time.Now()
 	deadline := time.Time{}
 	if budget > 0 {
@@ -144,23 +168,18 @@ func RunOneWorkers(items []stream.Item, dataset, framework, index string, p apss
 	}
 	completed := true
 	for i, it := range items {
-		ms, err := j.Add(it)
-		if err != nil {
+		if err := add(it); err != nil {
 			completed = false
 			break
 		}
-		res.Matches += len(ms)
 		if budget > 0 && i%32 == 31 && time.Now().After(deadline) {
 			completed = false
 			break
 		}
 	}
 	if completed {
-		ms, err := j.Flush()
-		if err != nil {
+		if err := flush(); err != nil {
 			completed = false
-		} else {
-			res.Matches += len(ms)
 		}
 		if budget > 0 && time.Now().After(deadline) {
 			completed = false

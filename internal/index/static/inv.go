@@ -25,36 +25,53 @@ type invIndex struct {
 	built bool
 }
 
-// Build implements Index.
+// Build implements Index (the collect adapter over BuildTo).
 func (ix *invIndex) Build(items []stream.Item) []apss.Pair {
+	var pairs []apss.Pair
+	ix.BuildTo(items, apss.PairCollector(&pairs))
+	return pairs
+}
+
+// BuildTo implements SinkIndex.
+func (ix *invIndex) BuildTo(items []stream.Item, emit apss.PairSink) error {
 	if ix.built {
 		panic("static: Build called twice")
 	}
 	ix.built = true
 	ix.dm = buildOrder(items, ix.order)
 	ix.lists = make(map[uint32][]invEntry)
-	var pairs []apss.Pair
+	g := apss.NewPairGate(emit)
 	for _, it := range items {
 		it.Vec = ix.dm.Remap(it.Vec)
-		pairs = append(pairs, ix.query(it)...)
+		ix.query(it, &g)
 		ix.insert(it)
 	}
+	return g.Err()
+}
+
+// Query implements Index (the collect adapter over QueryTo).
+func (ix *invIndex) Query(x stream.Item) []apss.Pair {
+	var pairs []apss.Pair
+	ix.QueryTo(x, apss.PairCollector(&pairs))
 	return pairs
 }
 
-// Query implements Index.
-func (ix *invIndex) Query(x stream.Item) []apss.Pair {
+// QueryTo implements SinkIndex.
+func (ix *invIndex) QueryTo(x stream.Item, emit apss.PairSink) error {
 	if !ix.built {
 		panic("static: Query before Build")
 	}
 	x.Vec = ix.dm.Remap(x.Vec)
-	return ix.query(x)
+	g := apss.NewPairGate(emit)
+	ix.query(x, &g)
+	return g.Err()
 }
 
-// query runs CandGen-INV + CandVer-INV on an already-remapped vector.
-func (ix *invIndex) query(x stream.Item) []apss.Pair {
+// query runs CandGen-INV + CandVer-INV on an already-remapped vector,
+// emitting pairs into the gate.
+func (ix *invIndex) query(x stream.Item, g *apss.PairGate) {
 	if x.Vec.IsEmpty() {
-		return nil
+		return
 	}
 	acc := make(map[uint64]float64)
 	for i, d := range x.Vec.Dims {
@@ -67,13 +84,11 @@ func (ix *invIndex) query(x stream.Item) []apss.Pair {
 			acc[e.id] += xj * e.val
 		}
 	}
-	var pairs []apss.Pair
 	for id, s := range acc {
 		if s >= ix.theta {
-			pairs = append(pairs, apss.Pair{X: x.ID, Y: id, Dot: s})
+			g.Emit(apss.Pair{X: x.ID, Y: id, Dot: s})
 		}
 	}
-	return pairs
 }
 
 // insert runs IndConstr-INV for one already-remapped vector.

@@ -61,8 +61,15 @@ func newPrefixIndex(theta float64, useAP, useL2 bool, opts Options, c *metrics.C
 	}
 }
 
-// Build implements Index (IndConstr, Algorithm 2 driver).
+// Build implements Index (the collect adapter over BuildTo).
 func (ix *prefixIndex) Build(items []stream.Item) []apss.Pair {
+	var pairs []apss.Pair
+	ix.BuildTo(items, apss.PairCollector(&pairs))
+	return pairs
+}
+
+// BuildTo implements SinkIndex (IndConstr, Algorithm 2 driver).
+func (ix *prefixIndex) BuildTo(items []stream.Item, emit apss.PairSink) error {
 	if ix.built {
 		panic("static: Build called twice")
 	}
@@ -82,29 +89,39 @@ func (ix *prefixIndex) Build(items []stream.Item) []apss.Pair {
 			ix.m.Update(remapped[i])
 		}
 	}
-	var pairs []apss.Pair
+	g := apss.NewPairGate(emit)
 	for i, it := range items {
 		it.Vec = remapped[i]
-		pairs = append(pairs, ix.query(it)...)
+		ix.query(it, &g)
 		ix.insert(it)
 	}
+	return g.Err()
+}
+
+// Query implements Index (the collect adapter over QueryTo).
+func (ix *prefixIndex) Query(x stream.Item) []apss.Pair {
+	var pairs []apss.Pair
+	ix.QueryTo(x, apss.PairCollector(&pairs))
 	return pairs
 }
 
-// Query implements Index (CandGen + CandVer for an external vector).
-func (ix *prefixIndex) Query(x stream.Item) []apss.Pair {
+// QueryTo implements SinkIndex (CandGen + CandVer for an external
+// vector).
+func (ix *prefixIndex) QueryTo(x stream.Item, emit apss.PairSink) error {
 	if !ix.built {
 		panic("static: Query before Build")
 	}
 	x.Vec = ix.dm.Remap(x.Vec)
-	return ix.query(x)
+	g := apss.NewPairGate(emit)
+	ix.query(x, &g)
+	return g.Err()
 }
 
 // query runs Algorithm 3 (CandGen) and Algorithm 4 (CandVer) on an
-// already-remapped vector.
-func (ix *prefixIndex) query(x stream.Item) []apss.Pair {
+// already-remapped vector, emitting pairs into the gate.
+func (ix *prefixIndex) query(x stream.Item, g *apss.PairGate) {
 	if x.Vec.IsEmpty() {
-		return nil
+		return
 	}
 	dims, vals := x.Vec.Dims, x.Vec.Vals
 	vmx := x.Vec.MaxVal()
@@ -178,17 +195,17 @@ func (ix *prefixIndex) query(x stream.Item) []apss.Pair {
 			rs2 = math.Sqrt(rst)
 		}
 	}
-	return ix.verify(x, vmx, acc)
+	ix.verify(x, vmx, acc, g)
 }
 
-// verify runs Algorithm 4 (CandVer) over the accumulated candidates.
-func (ix *prefixIndex) verify(x stream.Item, vmx float64, acc map[uint64]float64) []apss.Pair {
+// verify runs Algorithm 4 (CandVer) over the accumulated candidates,
+// emitting surviving pairs into the gate.
+func (ix *prefixIndex) verify(x stream.Item, vmx float64, acc map[uint64]float64, g *apss.PairGate) {
 	if len(acc) == 0 {
-		return nil
+		return
 	}
 	sx := x.Vec.Sum()
 	nx := x.Vec.NNZ()
-	var pairs []apss.Pair
 	for id, a := range acc {
 		ym := ix.meta[id]
 		// ps1: accumulated + pscore bound on the residual (line 3).
@@ -206,10 +223,9 @@ func (ix *prefixIndex) verify(x stream.Item, vmx float64, acc map[uint64]float64
 		ix.c.FullDots++
 		s := a + vec.Dot(x.Vec, ym.residual)
 		if s >= ix.theta {
-			pairs = append(pairs, apss.Pair{X: x.ID, Y: id, Dot: s})
+			g.Emit(apss.Pair{X: x.ID, Y: id, Dot: s})
 		}
 	}
-	return pairs
 }
 
 // insert runs Algorithm 2's index-construction step for one

@@ -82,8 +82,23 @@ type Index interface {
 	Query(x stream.Item) []apss.Pair
 }
 
-// New returns an index of the given kind for threshold theta.
-func New(kind Kind, theta float64, opts Options) Index {
+// SinkIndex is an Index whose native reporting path is push-based: pairs
+// are handed to the sink as they are verified, with no result slice.
+// Every index built by New implements it; Build/Query are the collect
+// adapters. BuildTo always finishes constructing the index even when the
+// sink errors mid-build (the first sink error is latched and returned),
+// so the index remains queryable.
+type SinkIndex interface {
+	Index
+	BuildTo(items []stream.Item, emit apss.PairSink) error
+	QueryTo(x stream.Item, emit apss.PairSink) error
+}
+
+// New returns an index of the given kind for threshold theta. The sink
+// path is the native one, so the concrete SinkIndex is the return type;
+// a new index kind that lacks BuildTo/QueryTo fails to compile here
+// instead of panicking at a call site.
+func New(kind Kind, theta float64, opts Options) SinkIndex {
 	c := opts.Counters
 	if c == nil {
 		c = &metrics.Counters{}

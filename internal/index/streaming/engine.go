@@ -244,12 +244,15 @@ func newEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, abl Ablatio
 	return e
 }
 
-// Add implements Index: IndConstr-L2AP-STR / IndConstr-L2-STR
-// (Algorithm 6), i.e. candidate generation, verification, then index
-// construction for x.
-func (e *engine) Add(x stream.Item) ([]apss.Match, error) {
+// Add implements Index (the collect adapter over AddTo).
+func (e *engine) Add(x stream.Item) ([]apss.Match, error) { return collectAdd(e, x) }
+
+// AddTo implements SinkIndex: IndConstr-L2AP-STR / IndConstr-L2-STR
+// (Algorithm 6), i.e. candidate generation, verification — emitting each
+// verified match straight into emit — then index construction for x.
+func (e *engine) AddTo(x stream.Item, emit apss.Sink) error {
 	if e.begun && x.Time < e.now {
-		return nil, ErrTimeOrder
+		return ErrTimeOrder
 	}
 	e.begun = true
 	e.now = x.Time
@@ -272,14 +275,17 @@ func (e *engine) Add(x stream.Item) ([]apss.Match, error) {
 	}
 
 	acc, pruned := e.candGen(x)
-	out := e.candVer(x, acc, pruned)
-	e.c.Pairs += int64(len(out))
+	// The gate lets a consumer stop mid-stream without leaving x half
+	// processed: index construction below runs regardless.
+	g := apss.NewGate(emit)
+	e.candVer(x, acc, pruned, &g)
+	e.c.Pairs += g.Emitted()
 
 	e.indexVector(x)
 	if e.useAP {
 		e.mhatUpdate(x)
 	}
-	return out, nil
+	return g.Err()
 }
 
 // candGen is Algorithm 7: scan x's coordinates in reverse indexing order,
@@ -391,15 +397,15 @@ func (e *engine) candGen(x stream.Item) (map[uint64]*accEng, map[uint64]bool) {
 }
 
 // candVer is Algorithm 8: apply the decayed ps1/ds1/sz2 bounds, then
-// compute the exact residual dot product and report true matches.
-func (e *engine) candVer(x stream.Item, acc map[uint64]*accEng, _ map[uint64]bool) []apss.Match {
+// compute the exact residual dot product and emit true matches into the
+// gate as they are verified — no result slice on the hot path.
+func (e *engine) candVer(x stream.Item, acc map[uint64]*accEng, _ map[uint64]bool, g *apss.Gate) {
 	if len(acc) == 0 {
-		return nil
+		return
 	}
 	vmx := x.Vec.MaxVal()
 	sx := x.Vec.Sum()
 	nx := x.Vec.NNZ()
-	var out []apss.Match
 	for id, a := range acc {
 		meta, ok := e.res.Get(id)
 		if !ok {
@@ -424,10 +430,9 @@ func (e *engine) candVer(x stream.Item, acc map[uint64]*accEng, _ map[uint64]boo
 		e.c.FullDots++
 		raw := a.dot + vec.Dot(x.Vec, residual)
 		if sim := raw * decay; sim >= e.p.Theta {
-			out = append(out, apss.Match{X: x.ID, Y: id, Sim: sim, Dot: raw, DT: dt})
+			g.Emit(apss.Match{X: x.ID, Y: id, Sim: sim, Dot: raw, DT: dt})
 		}
 	}
-	return out
 }
 
 func (e *engine) pushEntry(d uint32, ent sentry) {

@@ -46,10 +46,13 @@ type accInv struct {
 	t   float64
 }
 
-// Add implements Index.
-func (ix *invIndex) Add(x stream.Item) ([]apss.Match, error) {
+// Add implements Index (the collect adapter over AddTo).
+func (ix *invIndex) Add(x stream.Item) ([]apss.Match, error) { return collectAdd(ix, x) }
+
+// AddTo implements SinkIndex.
+func (ix *invIndex) AddTo(x stream.Item, emit apss.Sink) error {
 	if ix.begun && x.Time < ix.now {
-		return nil, ErrTimeOrder
+		return ErrTimeOrder
 	}
 	ix.begun = true
 	ix.now = x.Time
@@ -90,15 +93,15 @@ func (ix *invIndex) Add(x stream.Item) ([]apss.Match, error) {
 		}
 	}
 
-	var out []apss.Match
+	g := apss.NewGate(emit)
 	for id, a := range acc {
 		dt := x.Time - a.t
 		sim := a.dot * ix.kernel.Factor(dt)
 		if sim >= ix.p.Theta {
-			out = append(out, apss.Match{X: x.ID, Y: id, Sim: sim, Dot: a.dot, DT: dt})
+			g.Emit(apss.Match{X: x.ID, Y: id, Sim: sim, Dot: a.dot, DT: dt})
 		}
 	}
-	ix.c.Pairs += int64(len(out))
+	ix.c.Pairs += g.Emitted()
 
 	for i, d := range x.Vec.Dims {
 		lst := ix.lists[d]
@@ -109,7 +112,7 @@ func (ix *invIndex) Add(x stream.Item) ([]apss.Match, error) {
 		lst.PushBack(ientry{id: x.ID, t: x.Time, val: x.Vec.Vals[i]})
 		ix.c.IndexedEntries++
 	}
-	return out, nil
+	return g.Err()
 }
 
 // maybeSweep runs the horizon sweep when the clock says it is due,

@@ -27,9 +27,9 @@ type WarmupOrder struct {
 	Items int
 }
 
-// orderedIndex wraps an Index with warmup-learned dimension remapping.
+// orderedIndex wraps a SinkIndex with warmup-learned dimension remapping.
 type orderedIndex struct {
-	inner  Index
+	inner  SinkIndex
 	warm   WarmupOrder
 	buf    []stream.Item
 	dm     *dimorder.Map
@@ -37,55 +37,65 @@ type orderedIndex struct {
 }
 
 // newOrderedIndex wraps inner unless the warmup config is disabled.
-func newOrderedIndex(inner Index, warm WarmupOrder) Index {
+func newOrderedIndex(inner SinkIndex, warm WarmupOrder) SinkIndex {
 	if warm.Strategy == dimorder.None || warm.Items < 1 {
 		return inner
 	}
 	return &orderedIndex{inner: inner, warm: warm}
 }
 
-// Add implements Index. During warmup it buffers and reports nothing; the
-// Add that completes the warmup returns every match among the buffered
-// items at once.
-func (o *orderedIndex) Add(x stream.Item) ([]apss.Match, error) {
+// Add implements Index (the collect adapter over AddTo).
+func (o *orderedIndex) Add(x stream.Item) ([]apss.Match, error) { return collectAdd(o, x) }
+
+// AddTo implements SinkIndex. During warmup it buffers and reports
+// nothing; the call that completes the warmup emits every match among
+// the buffered items.
+func (o *orderedIndex) AddTo(x stream.Item, emit apss.Sink) error {
 	if o.active {
 		x.Vec = o.dm.Remap(x.Vec)
-		return o.inner.Add(x)
+		return o.inner.AddTo(x, emit)
 	}
 	// Validate time order up front so a bad item fails immediately
 	// rather than mid-replay.
 	if n := len(o.buf); n > 0 && x.Time < o.buf[n-1].Time {
-		return nil, ErrTimeOrder
+		return ErrTimeOrder
 	}
 	o.buf = append(o.buf, x)
 	if len(o.buf) < o.warm.Items {
-		return nil, nil
+		return nil
 	}
-	return o.FinishWarmup()
+	return o.FinishWarmupTo(emit)
 }
 
-// FinishWarmup closes an incomplete warmup early: the permutation is
-// learned from whatever was buffered and the buffer is replayed,
-// releasing its matches. The STR framework calls this from Flush so a
-// stream shorter than the warmup still reports every pair. Calling it
-// after the warmup completed (or on an empty buffer) is a no-op.
+// FinishWarmup is the collect adapter over FinishWarmupTo.
 func (o *orderedIndex) FinishWarmup() ([]apss.Match, error) {
+	var out []apss.Match
+	err := o.FinishWarmupTo(apss.Collector(&out))
+	return out, err
+}
+
+// FinishWarmupTo closes an incomplete warmup early: the permutation is
+// learned from whatever was buffered and the buffer is replayed,
+// emitting its matches. The STR framework calls this from Flush so a
+// stream shorter than the warmup still reports every pair. Calling it
+// after the warmup completed (or on an empty buffer) is a no-op. The
+// replay always runs to completion; a sink error is latched and
+// returned at the end, like SinkIndex.AddTo.
+func (o *orderedIndex) FinishWarmupTo(emit apss.Sink) error {
 	if o.active {
-		return nil, nil
+		return nil
 	}
 	o.dm = dimorder.Build(o.buf, o.warm.Strategy)
 	o.active = true
-	var out []apss.Match
+	g := apss.NewGate(emit)
 	for _, it := range o.buf {
 		it.Vec = o.dm.Remap(it.Vec)
-		ms, err := o.inner.Add(it)
-		if err != nil {
-			return out, err
+		if err := o.inner.AddTo(it, g.Emit); err != nil {
+			return err
 		}
-		out = append(out, ms...)
 	}
 	o.buf = nil
-	return out, nil
+	return g.Err()
 }
 
 // Size implements Index. During warmup the inner index is empty; the

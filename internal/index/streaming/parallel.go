@@ -121,10 +121,15 @@ func newParEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, workers 
 // owner maps a dimension to its shard.
 func (e *parEngine) owner(d uint32) int { return int(d % uint32(len(e.shards))) }
 
-// Add implements Index.
-func (e *parEngine) Add(x stream.Item) ([]apss.Match, error) {
+// Add implements Index (the collect adapter over AddTo).
+func (e *parEngine) Add(x stream.Item) ([]apss.Match, error) { return collectAdd(e, x) }
+
+// AddTo implements SinkIndex. Verification may fan out across the
+// workers, but emission happens only on the calling goroutine, after the
+// join barrier — a sink never sees concurrent calls.
+func (e *parEngine) AddTo(x stream.Item, emit apss.Sink) error {
 	if e.begun && x.Time < e.now {
-		return nil, ErrTimeOrder
+		return ErrTimeOrder
 	}
 	e.begun = true
 	e.now = x.Time
@@ -141,14 +146,15 @@ func (e *parEngine) Add(x stream.Item) ([]apss.Match, error) {
 	}
 
 	merged := e.candGen(x)
-	out := e.candVer(x, merged)
-	e.c.Pairs += int64(len(out))
+	g := apss.NewGate(emit)
+	e.candVer(x, merged, &g)
+	e.c.Pairs += g.Emitted()
 
 	e.indexVector(x)
 	if e.useAP {
 		e.mhatUpdate(x)
 	}
-	return out, nil
+	return g.Err()
 }
 
 // candGen fans the reverse coordinate scan out to the shards and merges
@@ -358,10 +364,13 @@ func (e *parEngine) shardScan(sh *parShard, s int, x stream.Item, pnx, sqAbove, 
 // candVer verifies the merged candidates concurrently. The cheap
 // ps1/ds1/sz2 rejections use the merged partial dot; survivors are
 // recomputed exactly in the sequential engine's summation order so
-// reported similarities are bit-identical to the Workers=1 path.
-func (e *parEngine) candVer(x stream.Item, merged map[uint64]*accEng) []apss.Match {
+// reported similarities are bit-identical to the Workers=1 path. With
+// few candidates, verified matches go straight into the gate; the
+// fanned-out path buffers per worker and the coordinator drains the
+// buffers into the gate after the join.
+func (e *parEngine) candVer(x stream.Item, merged map[uint64]*accEng, g *apss.Gate) {
 	if len(merged) == 0 {
-		return nil
+		return
 	}
 	type cand struct {
 		id uint64
@@ -377,8 +386,7 @@ func (e *parEngine) candVer(x stream.Item, merged map[uint64]*accEng) []apss.Mat
 	nx := x.Vec.NNZ()
 	theta := e.p.Theta
 
-	verify := func(cs []cand, dots *int64) []apss.Match {
-		var out []apss.Match
+	verify := func(cs []cand, dots *int64, emit func(apss.Match)) {
 		for _, c := range cs {
 			meta, ok := e.res.Get(c.id)
 			if !ok {
@@ -399,18 +407,17 @@ func (e *parEngine) candVer(x stream.Item, merged map[uint64]*accEng) []apss.Mat
 			aDot := suffixDotDesc(x.Vec, meta.vec, meta.boundary)
 			raw := aDot + vec.Dot(x.Vec, meta.vec.SliceByIndex(0, meta.boundary))
 			if sim := raw * decay; sim >= theta {
-				out = append(out, apss.Match{X: x.ID, Y: c.id, Sim: sim, Dot: raw, DT: dt})
+				emit(apss.Match{X: x.ID, Y: c.id, Sim: sim, Dot: raw, DT: dt})
 			}
 		}
-		return out
 	}
 
 	workers := len(e.shards)
 	if len(cands) < 2*workers || workers < 2 {
 		var dots int64
-		out := verify(cands, &dots)
+		verify(cands, &dots, func(m apss.Match) { g.Emit(m) })
 		e.c.FullDots += dots
-		return out
+		return
 	}
 	chunk := (len(cands) + workers - 1) / workers
 	outs := make([][]apss.Match, workers)
@@ -425,17 +432,17 @@ func (e *parEngine) candVer(x stream.Item, merged map[uint64]*accEng) []apss.Mat
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			outs[w] = verify(cands[lo:hi], &dots[w])
+			verify(cands[lo:hi], &dots[w], func(m apss.Match) { outs[w] = append(outs[w], m) })
 		}(w, lo, hi)
 	}
-	outs[0] = verify(cands[:min(chunk, len(cands))], &dots[0])
+	verify(cands[:min(chunk, len(cands))], &dots[0], func(m apss.Match) { outs[0] = append(outs[0], m) })
 	wg.Wait()
-	var out []apss.Match
 	for w := range outs {
-		out = append(out, outs[w]...)
+		for _, m := range outs[w] {
+			g.Emit(m)
+		}
 		e.c.FullDots += dots[w]
 	}
-	return out
 }
 
 // suffixDotDesc computes Σ x_d·y_d over the coordinates of y at storage
@@ -583,10 +590,14 @@ func newParInv(p apss.Params, kernel apss.Kernel, workers int, c *metrics.Counte
 
 func (ix *parInv) owner(d uint32) int { return int(d % uint32(len(ix.shards))) }
 
-// Add implements Index.
-func (ix *parInv) Add(x stream.Item) ([]apss.Match, error) {
+// Add implements Index (the collect adapter over AddTo).
+func (ix *parInv) Add(x stream.Item) ([]apss.Match, error) { return collectAdd(ix, x) }
+
+// AddTo implements SinkIndex. As in parEngine, shards scan concurrently
+// but the sink is only invoked from the calling goroutine.
+func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 	if ix.begun && x.Time < ix.now {
-		return nil, ErrTimeOrder
+		return ErrTimeOrder
 	}
 	ix.begun = true
 	ix.now = x.Time
@@ -690,15 +701,15 @@ func (ix *parInv) Add(x stream.Item) ([]apss.Match, error) {
 	}
 	ix.c.Candidates += int64(len(merged))
 
-	var out []apss.Match
+	g := apss.NewGate(emit)
 	for id, a := range merged {
 		dt := x.Time - a.t
 		sim := a.dot * ix.kernel.Factor(dt)
 		if sim >= ix.p.Theta {
-			out = append(out, apss.Match{X: x.ID, Y: id, Sim: sim, Dot: a.dot, DT: dt})
+			g.Emit(apss.Match{X: x.ID, Y: id, Sim: sim, Dot: a.dot, DT: dt})
 		}
 	}
-	ix.c.Pairs += int64(len(out))
+	ix.c.Pairs += g.Emitted()
 
 	for i, d := range dims {
 		sh := ix.shards[ix.owner(d)]
@@ -710,7 +721,7 @@ func (ix *parInv) Add(x stream.Item) ([]apss.Match, error) {
 		lst.PushBack(ientry{id: x.ID, t: x.Time, val: vals[i]})
 		ix.c.IndexedEntries++
 	}
-	return out, nil
+	return g.Err()
 }
 
 func (ix *parInv) maybeSweep() {

@@ -120,6 +120,28 @@ type Index interface {
 	Params() apss.Params
 }
 
+// SinkIndex is an Index whose native reporting path is push-based: AddTo
+// hands each match to emit the moment it is verified, with no
+// intermediate slice. Every index built by New implements it; Add is the
+// collect-into-a-slice adapter over AddTo.
+//
+// AddTo always processes x to completion: if emit returns an error, the
+// remaining matches of x are dropped, x is still indexed, and the first
+// emit error is returned — so a consumer can stop mid-stream and the
+// index stays exactly as consistent as after a fully consumed item.
+type SinkIndex interface {
+	Index
+	AddTo(x stream.Item, emit apss.Sink) error
+}
+
+// collectAdd adapts the push path to the pull API: it runs AddTo with a
+// sink that appends to a fresh slice.
+func collectAdd(ix SinkIndex, x stream.Item) ([]apss.Match, error) {
+	var out []apss.Match
+	err := ix.AddTo(x, apss.Collector(&out))
+	return out, err
+}
+
 // SizeInfo reports current index occupancy.
 type SizeInfo struct {
 	PostingEntries int // live entries across all posting lists
@@ -137,7 +159,8 @@ var ErrKernel = errors.New("streaming: unsupported decay kernel for scheme")
 // ErrWorkers reports an invalid Workers configuration.
 var ErrWorkers = errors.New("streaming: invalid Workers configuration")
 
-// New builds a streaming index of the given kind.
+// New builds a streaming index of the given kind. Every returned index
+// also implements SinkIndex, the push-based reporting path.
 func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -157,7 +180,7 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 		kernel = apss.Exponential{Lambda: params.Lambda}
 	}
 	parallel := opts.Workers > 1
-	var ix Index
+	var ix SinkIndex
 	switch kind {
 	case INV:
 		if parallel {

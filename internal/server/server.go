@@ -30,11 +30,13 @@
 // decoded items to a single ingest goroutine that owns the joiner, the
 // ID counter, and the stream clock; no lock is held while parsing or
 // writing responses. The pipeline processes items in submission order
-// and replies to each submitter with that item's ID and matches, so
-// every client sees its own responses in the order it sent its items,
-// and match output stays correctly paired with the item that caused it.
-// STATS and SIZE flow through the same pipeline, which makes them
-// consistent snapshots.
+// and pushes each item's matches through a per-request sink straight
+// into the submitting connection's write buffer — the handler is parked
+// on the reply channel for the duration, so the writes are ordered and
+// no match slice is materialized anywhere. Every client sees its own
+// responses in the order it sent its items, and match output stays
+// correctly paired with the item that caused it. STATS and SIZE flow
+// through the same pipeline, which makes them consistent snapshots.
 //
 // A join stream has one arrival order, so ingest itself cannot fan out;
 // parallelism comes from inside the joiner. Config.Workers > 1 selects
@@ -98,13 +100,17 @@ type ingestReq struct {
 	t        float64 // ADD timestamp (ignored when stampNow)
 	stampNow bool
 	v        vec.Vector
-	reply    chan ingestResp // buffered(1); the pipeline always replies
+	// emit receives the item's matches on the pipeline goroutine, as
+	// they are found. The submitting handler is parked on reply for the
+	// duration, so writing to its connection buffer is race-free: the
+	// reply channel send orders the writes before the handler resumes.
+	emit  apss.Sink
+	reply chan ingestResp // buffered(1); the pipeline always replies
 }
 
 // ingestResp is the pipeline's answer.
 type ingestResp struct {
 	id   uint64
-	ms   []apss.Match
 	info string // STATS/SIZE payload
 	err  error
 }
@@ -116,9 +122,13 @@ type Server struct {
 
 	// Owned by the ingest pipeline goroutine after New returns.
 	joiner core.Joiner
-	nextID uint64
-	lastT  float64
-	begun  bool
+	// sinkJoiner is joiner's push-based face; set when the joiner
+	// implements core.SinkJoiner (every built-in one does), so matches
+	// stream to the submitting connection without a per-item slice.
+	sinkJoiner core.SinkJoiner
+	nextID     uint64
+	lastT      float64
+	begun      bool
 
 	reqs       chan ingestReq
 	ingestDone chan struct{}
@@ -160,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.joiner = j
+	s.sinkJoiner, _ = j.(core.SinkJoiner)
 	go s.ingest()
 	return s, nil
 }
@@ -200,14 +211,26 @@ func (s *Server) serve(req ingestReq) ingestResp {
 		return ingestResp{err: fmt.Errorf("out of order: t=%v after t=%v", t, s.lastT)}
 	}
 	id := s.nextID
-	ms, err := s.joiner.Add(stream.Item{ID: id, Time: t, Vec: req.v})
+	it := stream.Item{ID: id, Time: t, Vec: req.v}
+	var err error
+	if s.sinkJoiner != nil && req.emit != nil {
+		err = s.sinkJoiner.AddTo(it, req.emit)
+	} else {
+		var ms []apss.Match
+		ms, err = s.joiner.Add(it)
+		if err == nil && req.emit != nil {
+			for _, m := range ms {
+				req.emit(m)
+			}
+		}
+	}
 	if err != nil {
 		return ingestResp{err: err}
 	}
 	s.nextID++
 	s.lastT = t
 	s.begun = true
-	return ingestResp{id: id, ms: ms}
+	return ingestResp{id: id}
 }
 
 // submit routes one request through the pipeline. Once enqueued, the
@@ -402,13 +425,22 @@ func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool) {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
-	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, v: v})
+	// Matches are written straight into the connection buffer by the
+	// pipeline goroutine while this handler waits on the reply — no
+	// match slice is built anywhere. Write errors are latched (not
+	// returned to the joiner, whose processing must not depend on a
+	// client's socket) and surface at the Flush in handle.
+	var writeErr error
+	emit := func(m apss.Match) error {
+		if writeErr == nil {
+			_, writeErr = fmt.Fprintf(w, "MATCH %d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
+		}
+		return nil
+	}
+	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, v: v, emit: emit})
 	if resp.err != nil {
 		fmt.Fprintf(w, "ERR %v\n", resp.err)
 		return
-	}
-	for _, m := range resp.ms {
-		fmt.Fprintf(w, "MATCH %d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
 	}
 	fmt.Fprintf(w, "OK %d\n", resp.id)
 }

@@ -12,19 +12,31 @@
 //
 // # Quick start
 //
+// The join is push-based: matches flow to the consumer the moment they
+// are verified. The range-over-func iterator is the idiomatic surface:
+//
+//	for m, err := range sssj.Matches(ctx, sssj.Options{Theta: 0.7, Lambda: 0.01}, src) {
+//	    if err != nil { ... }
+//	    ... // breaking out stops the join
+//	}
+//
+// For item-at-a-time control, feed a Joiner and receive matches through
+// a MatchSink (ProcessTo) or as slices (Process):
+//
 //	j, err := sssj.New(sssj.Options{Theta: 0.7, Lambda: 0.01})
 //	if err != nil { ... }
 //	for item := range input {
-//	    matches, err := j.Process(item)
+//	    err := j.ProcessTo(item, func(m sssj.Match) error { ...; return nil })
 //	    ...
 //	}
-//	tail, err := j.Flush()
+//	err = j.FlushTo(sink)
 //
 // The default configuration (STR framework, L2 index) is the paper's
 // recommended, most scalable combination.
 package sssj
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -122,12 +134,25 @@ func (k IndexKind) String() string {
 	}
 }
 
-// ErrUnsupported reports an invalid framework × index combination.
-var ErrUnsupported = errors.New("sssj: unsupported framework/index combination")
+// ErrUnsupported reports an Options combination outside the support
+// matrix of the operator it was handed to (see the decision table in
+// Options.validate).
+var ErrUnsupported = errors.New("sssj: unsupported option combination")
 
-// Options configures a Joiner. Theta and Lambda are required; everything
-// else defaults to the paper's recommended setup (STR framework, L2
-// index, exponential decay).
+// ErrTimeRegression reports an item whose timestamp is smaller than its
+// predecessor's. A stream has one arrival order and every operator's
+// time filtering depends on it, so a regressing item is rejected without
+// touching the index (see Joiner).
+var ErrTimeRegression = errors.New("sssj: timestamps must be non-decreasing")
+
+// Options is the single configuration surface shared by every operator
+// in the package: the streaming threshold join (New), the top-k
+// neighborhood join (NewTopK), the static batch join (BatchJoin), and
+// checkpoint restore (Resume). Theta and Lambda are required by the
+// streaming operators; everything else defaults to the paper's
+// recommended setup (STR framework, L2 index, exponential decay). Each
+// operator validates the combination against one shared decision table
+// and reports unsupported ones with ErrUnsupported.
 type Options struct {
 	// Theta is the similarity threshold θ in (0, 1].
 	Theta float64
@@ -160,6 +185,10 @@ type Options struct {
 	// engine. Only the Streaming framework supports Workers > 1;
 	// MiniBatch returns ErrUnsupported.
 	Workers int
+	// K is the neighborhood size of the top-k join (NewTopK); it must be
+	// 0 for every other operator. The NewTopK k parameter is shorthand
+	// for setting this field.
+	K int
 }
 
 // DimOrder configures the dimension-ordering extension.
@@ -186,17 +215,133 @@ const (
 	OrderMaxValueDesc = dimorder.MaxValueDesc
 )
 
+// opMode names the operator consuming an Options value. The validate
+// decision table keys support on it.
+type opMode int
+
+const (
+	opStream opMode = iota // New: streaming threshold join
+	opTopK                 // NewTopK: bounded-neighborhood join
+	opBatch                // BatchJoin: static all-pairs search
+	opResume               // Resume: restore from a checkpoint
+)
+
+// validate is the single support decision table behind ErrUnsupported.
+// Every operator taking Options funnels through it, so the support
+// matrix lives in exactly one place:
+//
+//	               STR                MB            batch     resume
+//	INV            yes                yes           yes       yes
+//	L2             yes (default)      yes           yes       yes
+//	L2AP           yes                yes           yes       yes
+//	AP             no (§5.2)          yes           yes       no (§5.2)
+//	custom Kernel  INV/L2 any; L2AP   no            no        as STR
+//	               exponential only
+//	Workers > 1    yes                no            no        yes
+//	DimOrder       warmup (STR) /     per window    strategy  no
+//	               needs WarmupItems                only
+//	K              top-k only (>= 1); 0 elsewhere
+//
+// Batch ignores Framework, Theta, and Lambda (the threshold is an
+// explicit argument and there is no time); Resume ignores Index, Theta,
+// and Lambda (they come from the checkpoint itself).
+func (o Options) validate(mode opMode) error {
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers must be >= 0, got %d", ErrUnsupported, o.Workers)
+	}
+	if mode == opTopK && o.K < 1 {
+		return fmt.Errorf("%w: top-k needs K >= 1, got %d", ErrUnsupported, o.K)
+	}
+	if mode != opTopK && o.K != 0 {
+		return fmt.Errorf("%w: K is the top-k neighborhood size; use NewTopK", ErrUnsupported)
+	}
+	switch mode {
+	case opBatch:
+		switch o.Index {
+		case IndexINV, IndexAP, IndexL2AP, IndexL2:
+		default:
+			return fmt.Errorf("%w: unknown index %v", ErrUnsupported, o.Index)
+		}
+		if o.Kernel != nil {
+			return fmt.Errorf("%w: the batch join has no time axis, so no decay kernel", ErrUnsupported)
+		}
+		if o.Workers > 1 {
+			return fmt.Errorf("%w: Workers > 1 requires the Streaming framework", ErrUnsupported)
+		}
+		return nil
+	case opResume:
+		if o.Framework != Streaming {
+			return fmt.Errorf("%w: checkpoints exist only for the Streaming framework", ErrUnsupported)
+		}
+		if o.DimOrder.Strategy != OrderNone {
+			return fmt.Errorf("%w: cannot resume into a dimension-ordered index (the checkpoint's residual splits are tied to natural order)", ErrUnsupported)
+		}
+		return nil
+	}
+	// opStream and opTopK share the streaming rules.
+	switch o.Framework {
+	case Streaming:
+		switch o.Index {
+		case IndexINV, IndexL2AP, IndexL2:
+		case IndexAP:
+			return fmt.Errorf("%w: STR-AP (paper §5.2 omits it as impractical)", ErrUnsupported)
+		default:
+			return fmt.Errorf("%w: unknown index %v", ErrUnsupported, o.Index)
+		}
+		if o.Kernel != nil && o.Index == IndexL2AP {
+			if _, ok := o.Kernel.(Exponential); !ok {
+				return fmt.Errorf("%w: STR-L2AP needs exponential decay (the m̂λ bound exploits it), got %T", ErrUnsupported, o.Kernel)
+			}
+		}
+		if o.DimOrder.Strategy != OrderNone {
+			if o.DimOrder.WarmupItems < 1 {
+				return fmt.Errorf("%w: Streaming DimOrder needs WarmupItems > 0", ErrUnsupported)
+			}
+			if mode == opTopK {
+				return fmt.Errorf("%w: top-k cannot run under a DimOrder warmup (delayed matches would corrupt neighborhood finalization)", ErrUnsupported)
+			}
+		}
+	case MiniBatch:
+		if mode == opTopK {
+			return fmt.Errorf("%w: top-k requires the Streaming framework", ErrUnsupported)
+		}
+		switch o.Index {
+		case IndexINV, IndexAP, IndexL2AP, IndexL2:
+		default:
+			return fmt.Errorf("%w: unknown index %v", ErrUnsupported, o.Index)
+		}
+		if o.Kernel != nil {
+			return fmt.Errorf("%w: MB supports only exponential decay", ErrUnsupported)
+		}
+		if o.Workers > 1 {
+			return fmt.Errorf("%w: Workers > 1 requires the Streaming framework", ErrUnsupported)
+		}
+	default:
+		return fmt.Errorf("%w: unknown framework %v", ErrUnsupported, o.Framework)
+	}
+	return nil
+}
+
 // Joiner is a streaming similarity self-join operator. Process and Flush
 // must not be called concurrently from multiple goroutines: a stream has
 // one arrival order, and the operator advances its clock with each item.
+//
+// Timestamps must be non-decreasing across Process calls (equal stamps
+// are fine). An item that regresses is rejected with ErrTimeRegression
+// before it reaches the index — the time-filtering bounds all assume a
+// monotone clock — and the joiner remains usable: the offending item is
+// simply not part of the stream.
+//
 // With Options.Workers > 1 the work *inside* each Process call is
 // executed by a pool of dimension-sharded workers while preserving the
 // sequential engine's match semantics; with Workers ≤ 1 (the default)
 // processing is fully sequential, exactly as in the paper.
 type Joiner struct {
-	inner  core.Joiner
+	inner  core.SinkJoiner
 	params Params
 	opts   Options
+	lastT  float64
+	begun  bool
 }
 
 // New builds a Joiner.
@@ -205,10 +350,19 @@ func New(opts Options) (*Joiner, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	var (
-		inner core.Joiner
-		err   error
-	)
+	if err := opts.validate(opStream); err != nil {
+		return nil, err
+	}
+	inner, err := buildJoiner(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Joiner{inner: inner, params: params, opts: opts}, nil
+}
+
+// buildJoiner constructs the framework × index combination of an
+// already-validated Options value.
+func buildJoiner(opts Options, params Params) (core.SinkJoiner, error) {
 	switch opts.Framework {
 	case Streaming:
 		var kind streaming.Kind
@@ -217,37 +371,18 @@ func New(opts Options) (*Joiner, error) {
 			kind = streaming.INV
 		case IndexL2AP:
 			kind = streaming.L2AP
-		case IndexL2:
-			kind = streaming.L2
-		case IndexAP:
-			return nil, fmt.Errorf("%w: STR-AP (paper §5.2 omits it as impractical)", ErrUnsupported)
 		default:
-			return nil, fmt.Errorf("%w: unknown index %v", ErrUnsupported, opts.Index)
-		}
-		if opts.Workers < 0 {
-			return nil, fmt.Errorf("%w: Workers must be >= 0", ErrUnsupported)
+			kind = streaming.L2
 		}
 		sopts := streaming.Options{Counters: opts.Stats, Kernel: opts.Kernel, Workers: opts.Workers}
 		if opts.DimOrder.Strategy != OrderNone {
-			if opts.DimOrder.WarmupItems < 1 {
-				return nil, fmt.Errorf("%w: Streaming DimOrder needs WarmupItems > 0", ErrUnsupported)
-			}
 			sopts.Order = streaming.WarmupOrder{
 				Strategy: opts.DimOrder.Strategy,
 				Items:    opts.DimOrder.WarmupItems,
 			}
 		}
-		inner, err = core.NewSTRFull(kind, params, sopts)
-	case MiniBatch:
-		if opts.Kernel != nil {
-			return nil, fmt.Errorf("%w: MB supports only exponential decay", ErrUnsupported)
-		}
-		if opts.Workers < 0 {
-			return nil, fmt.Errorf("%w: Workers must be >= 0", ErrUnsupported)
-		}
-		if opts.Workers > 1 {
-			return nil, fmt.Errorf("%w: Workers > 1 requires the Streaming framework", ErrUnsupported)
-		}
+		return core.NewSTRFull(kind, params, sopts)
+	default: // MiniBatch; validate rejected everything else
 		var kind static.Kind
 		switch opts.Index {
 		case IndexINV:
@@ -256,37 +391,45 @@ func New(opts Options) (*Joiner, error) {
 			kind = static.AP
 		case IndexL2AP:
 			kind = static.L2AP
-		case IndexL2:
-			kind = static.L2
 		default:
-			return nil, fmt.Errorf("%w: unknown index %v", ErrUnsupported, opts.Index)
+			kind = static.L2
 		}
 		var mbOpts []core.MBOption
 		if opts.DimOrder.Strategy != OrderNone {
 			mbOpts = append(mbOpts, core.WithOrder(opts.DimOrder.Strategy))
 		}
-		inner, err = core.NewMiniBatch(kind, params, opts.Stats, mbOpts...)
-	default:
-		return nil, fmt.Errorf("%w: unknown framework %v", ErrUnsupported, opts.Framework)
+		return core.NewMiniBatch(kind, params, opts.Stats, mbOpts...)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return &Joiner{inner: inner, params: params, opts: opts}, nil
 }
 
-// Process feeds the next stream item (timestamps must be non-decreasing)
-// and returns the matches reportable so far. Under STR all matches
-// involving the new item are returned immediately; under MB matches are
-// released at window boundaries.
-func (j *Joiner) Process(it Item) ([]Match, error) { return j.inner.Add(it) }
+// Process feeds the next stream item (timestamps must be non-decreasing;
+// see the Joiner contract) and returns the matches reportable so far.
+// Under STR all matches involving the new item are returned immediately;
+// under MB matches are released at window boundaries.
+//
+// Process is the collect adapter over ProcessTo: it buffers the matches
+// into a fresh slice. Hot paths should prefer ProcessTo, which delivers
+// each match as it is verified with no intermediate allocation.
+func (j *Joiner) Process(it Item) ([]Match, error) {
+	var out []Match
+	err := j.ProcessTo(it, apss.Collector(&out))
+	return out, err
+}
 
-// Flush releases matches still buffered at end of stream (MB only; a
-// no-op under STR).
-func (j *Joiner) Flush() ([]Match, error) { return j.inner.Flush() }
+// Flush releases matches still buffered at end of stream (MB windows,
+// STR dimension-ordering warmups; a no-op otherwise). It is the collect
+// adapter over FlushTo.
+func (j *Joiner) Flush() ([]Match, error) {
+	var out []Match
+	err := j.FlushTo(apss.Collector(&out))
+	return out, err
+}
 
 // Params returns the join parameters.
 func (j *Joiner) Params() Params { return j.params }
+
+// Options returns the effective configuration the joiner runs with.
+func (j *Joiner) Options() Options { return j.opts }
 
 // IndexSize reports current index occupancy: live posting entries,
 // residual vectors, and non-empty posting lists. It is the quantity the
@@ -305,20 +448,25 @@ func (j *Joiner) IndexSize() (IndexSize, bool) {
 }
 
 // Horizon returns the time horizon τ = ln(1/θ)/λ.
-func (j *Joiner) Horizon() float64 {
-	if j.opts.Kernel != nil {
-		return j.opts.Kernel.Horizon(j.params.Theta)
+func (j *Joiner) Horizon() float64 { return horizonFor(j.opts, j.params) }
+
+// horizonFor is the one place the kernel-vs-params horizon rule lives:
+// a custom kernel defines its own horizon, otherwise τ = ln(1/θ)/λ.
+// Both the threshold join and top-k finalization derive from it.
+func horizonFor(opts Options, params Params) float64 {
+	if opts.Kernel != nil {
+		return opts.Kernel.Horizon(params.Theta)
 	}
-	return j.params.Horizon()
+	return params.Horizon()
 }
 
 // Join drains a source through a fresh Joiner and returns all matches.
+// It is the collect adapter over JoinCtx; prefer JoinCtx (or Matches)
+// when the result set is large or the consumer is incremental.
 func Join(opts Options, src Source) ([]Match, error) {
-	j, err := New(opts)
-	if err != nil {
-		return nil, err
-	}
-	return core.Run(j.inner, src)
+	var out []Match
+	err := JoinCtx(context.Background(), opts, src, apss.Collector(&out))
+	return out, err
 }
 
 // SelfJoin runs the join over an in-memory stream.
@@ -336,6 +484,10 @@ func NewVector(dims []uint32, vals []float64) (Vector, error) {
 	}
 	return v.Normalize(), nil
 }
+
+// SliceSource returns a Source over an in-memory item slice (the slice
+// is not copied), for feeding Join, JoinCtx, or Matches.
+func SliceSource(items []Item) Source { return stream.NewSliceSource(items) }
 
 // ReadText returns a Source over the text dataset format:
 // "<timestamp> <dim>:<val> ..." per line. Vectors are normalized on read.

@@ -1,8 +1,6 @@
 package sssj
 
 import (
-	"fmt"
-
 	"sssj/internal/core"
 )
 
@@ -11,6 +9,10 @@ import (
 // similarity. Matches are reported from the item's perspective (X is the
 // item itself).
 type Neighbors = core.Neighbors
+
+// NeighborsSink consumes finalized neighborhoods as the stream advances
+// past their horizon — the push counterpart of a returned []Neighbors.
+type NeighborsSink = func(Neighbors) error
 
 // TopKJoiner turns the threshold join into a bounded-neighborhood join:
 // for every stream item, its k most similar items within the time
@@ -26,16 +28,24 @@ type TopKJoiner struct {
 
 // NewTopK builds a top-k joiner. opts must use the Streaming framework
 // (MiniBatch's reporting delay is incompatible with neighborhood
-// finalization); k is the neighborhood size.
+// finalization); k is the neighborhood size and is shorthand for
+// Options.K — pass k = 0 to use opts.K directly.
 func NewTopK(opts Options, k int) (*TopKJoiner, error) {
-	if opts.Framework != Streaming {
-		return nil, fmt.Errorf("%w: top-k requires the Streaming framework", ErrUnsupported)
+	if k != 0 {
+		opts.K = k
 	}
-	j, err := New(opts)
+	params := Params{Theta: opts.Theta, Lambda: opts.Lambda}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(opTopK); err != nil {
+		return nil, err
+	}
+	j, err := buildJoiner(opts, params)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewTopK(j.inner, k, j.Horizon())
+	inner, err := core.NewTopK(j, opts.K, horizonFor(opts, params))
 	if err != nil {
 		return nil, err
 	}
@@ -43,11 +53,32 @@ func NewTopK(opts Options, k int) (*TopKJoiner, error) {
 }
 
 // Process feeds the next item and returns the neighborhoods that became
-// final.
-func (t *TopKJoiner) Process(it Item) ([]Neighbors, error) { return t.inner.Add(it) }
+// final. It is the collect adapter over ProcessTo. Timestamps follow
+// the Joiner contract: a regressing item is rejected with
+// ErrTimeRegression.
+func (t *TopKJoiner) Process(it Item) ([]Neighbors, error) {
+	ns, err := t.inner.Add(it)
+	return ns, wrapTimeErr(err)
+}
 
-// Flush finalizes all pending neighborhoods at end of stream.
-func (t *TopKJoiner) Flush() ([]Neighbors, error) { return t.inner.Flush() }
+// ProcessTo feeds the next item, pushing each neighborhood into sink
+// the moment it finalizes. Matches flow from the underlying join
+// straight into the open neighborhoods with no intermediate slice.
+func (t *TopKJoiner) ProcessTo(it Item, sink NeighborsSink) error {
+	return wrapTimeErr(t.inner.AddTo(it, core.NeighborsSink(sink)))
+}
+
+// Flush finalizes all pending neighborhoods at end of stream. It is the
+// collect adapter over FlushTo.
+func (t *TopKJoiner) Flush() ([]Neighbors, error) {
+	ns, err := t.inner.Flush()
+	return ns, wrapTimeErr(err)
+}
+
+// FlushTo finalizes all pending neighborhoods into sink.
+func (t *TopKJoiner) FlushTo(sink NeighborsSink) error {
+	return wrapTimeErr(t.inner.FlushTo(core.NeighborsSink(sink)))
+}
 
 // Open reports how many items await finalization.
 func (t *TopKJoiner) Open() int { return t.inner.Open() }
