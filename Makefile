@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench bench-smoke bench-workers clean
+.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json clean
 
 # verify is the tier-1 gate: everything CI runs, from a clean checkout.
 verify: vet build race
@@ -31,6 +31,19 @@ bench-smoke:
 # parallel engine at several GOMAXPROCS values.
 bench-workers:
 	$(GO) test -bench 'BenchmarkWorkers' -cpu 1,2,4 -run '^$$'
+
+# bench-json runs the standing perf scenario matrix at smoke scale,
+# emits the machine-readable BENCH artifact, and validates that it
+# parses against the versioned schema. Compare against a committed
+# baseline with: go run ./cmd/sssjbench -exp perf -baseline BENCH_PR3.json
+bench-json:
+	$(GO) run ./cmd/sssjbench -exp perf -scale 0.1 -budget 5s -json BENCH.json
+	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
+
+# docvet fails if any exported identifier in the public sssj package
+# lacks a doc comment (also runs as part of `make test`).
+docvet:
+	$(GO) test -run TestPublicDocComments .
 
 clean:
 	$(GO) clean ./...

@@ -1,26 +1,36 @@
-// Command sssjbench regenerates the paper's evaluation artifacts: every
-// table and figure of §7, on the synthetic dataset analogues.
+// Command sssjbench regenerates the paper's evaluation artifacts — every
+// table and figure of §7 on the synthetic dataset analogues — and runs
+// the standing perf scenario matrix that produces the machine-readable
+// BENCH JSON baseline.
 //
 // Usage:
 //
 //	sssjbench -exp table1
 //	sssjbench -exp table2 -scale 0.5 -budget 5s
 //	sssjbench -exp all
+//	sssjbench -exp perf -json BENCH_PR3.json
+//	sssjbench -exp perf -baseline BENCH_PR3.json        # exits 1 on regression
+//	sssjbench -checkjson BENCH_PR3.json                 # validate an artifact
 //
 // Experiments: table1, table2, fig2..fig9, delay (the §4 reporting-delay
-// claim), ablation (per-bound pruning attribution), or all. See DESIGN.md
+// claim), ablation (per-bound pruning attribution), workers (parallel
+// scaling), perf (the BENCH JSON scenario matrix), or all. See DESIGN.md
 // for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured outcomes.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"sssj/internal/datagen"
 	"sssj/internal/harness"
+	"sssj/internal/perf"
 )
 
 func main() {
@@ -34,15 +44,56 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sssjbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment: table1 table2 fig2..fig9 delay ablation workers all")
+		exp    = fs.String("exp", "all", "experiment: table1 table2 fig2..fig9 delay ablation workers perf all")
 		scale  = fs.Float64("scale", 0.25, "dataset size multiplier")
 		seed   = fs.Int64("seed", 1, "dataset generation seed")
 		budget = fs.Duration("budget", 10*time.Second, "per-run time budget (the paper's 3h timeout analog)")
 		csv    = fs.String("csv", "", "also dump raw grid results as CSV to this path (fig3..fig9)")
 		work   = fs.Int("workers", 0, "max worker shards for the 'workers' scaling experiment: sweeps seq, 2, 4, ... up to N (0 = auto sweep sized to the machine)")
+
+		profile = fs.String("profile", "",
+			"restrict the perf matrix to one dataset profile (matrix covers "+
+				datagen.NameList(perf.Profiles(perf.DefaultScenarios()))+
+				"; all datagen profiles: "+datagen.NameList(datagen.ProfileNames())+"; empty = all)")
+		jsonOut  = fs.String("json", "", "perf: write the BENCH JSON artifact to this path")
+		baseline = fs.String("baseline", "", "perf: compare against this BENCH JSON baseline; exit nonzero past the regression threshold")
+		regress  = fs.Float64("regress", perf.DefaultThreshold, "perf: tolerated fractional items/s drop vs the baseline before failing")
+		repeats  = fs.Int("repeats", perf.DefaultRepeats, "perf: measure each scenario N times and report the best (noise is one-sided)")
+		check    = fs.String("checkjson", "", "validate that the BENCH JSON file at this path parses against the schema, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *check != "" {
+		f, err := perf.ReadFile(*check)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: valid %s v%d artifact, %d scenario(s), scale=%v seed=%d\n",
+			*check, f.Schema, f.Version, len(f.Reports), f.Scale, f.Seed)
+		return nil
+	}
+	// The perf-only flags do nothing under the paper experiments; reject
+	// rather than silently not gating (a CI job that forgets -exp perf
+	// must fail loudly, not skip its baseline comparison).
+	if *exp != "perf" {
+		perfOnly := map[string]bool{"json": true, "baseline": true, "regress": true, "repeats": true, "profile": true}
+		var misused []string
+		fs.Visit(func(fl *flag.Flag) {
+			if perfOnly[fl.Name] {
+				misused = append(misused, "-"+fl.Name)
+			}
+		})
+		if len(misused) > 0 {
+			return fmt.Errorf("%s require -exp perf (got -exp %s)", strings.Join(misused, ", "), *exp)
+		}
+	}
+	if *exp == "perf" {
+		if *regress <= 0 || *regress >= 1 {
+			return fmt.Errorf("-regress must be in (0, 1), got %v", *regress)
+		}
+		return runPerf(stdout, *profile, *jsonOut, *baseline, *regress,
+			perf.RunConfig{Scale: *scale, Seed: *seed, Budget: *budget, Repeats: *repeats})
 	}
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Budget: *budget}
 
@@ -144,5 +195,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	fn(stdout, cfg)
+	return nil
+}
+
+// errRegression is the perf compare verdict; main exits nonzero on it.
+var errRegression = errors.New("perf regression vs baseline")
+
+// runPerf measures the scenario matrix, optionally writes the BENCH JSON
+// artifact, and optionally compares against a committed baseline.
+func runPerf(stdout io.Writer, profile, jsonOut, baseline string, threshold float64, cfg perf.RunConfig) error {
+	all := perf.DefaultScenarios()
+	scs := perf.FilterByProfile(all, profile)
+	if len(scs) == 0 {
+		return fmt.Errorf("no perf scenarios for profile %q (matrix covers %s)",
+			profile, datagen.NameList(perf.Profiles(all)))
+	}
+	fmt.Fprintf(stdout, "perf: %d scenario(s), scale=%v seed=%d budget=%v\n",
+		len(scs), cfg.Scale, cfg.Seed, cfg.Budget)
+	f, err := perf.RunAll(scs, cfg, nil)
+	if err != nil {
+		return err
+	}
+	perf.PrintReports(stdout, f.Reports)
+	if jsonOut != "" {
+		if err := perf.WriteFile(jsonOut, f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%s v%d, %d scenarios)\n", jsonOut, f.Schema, f.Version, len(f.Reports))
+	}
+	if baseline != "" {
+		base, err := perf.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		c := perf.Compare(base, f, perf.CompareOpts{Threshold: threshold})
+		perf.PrintComparison(stdout, c)
+		if !c.Ok() {
+			return fmt.Errorf("%w: %d regression(s), %d missing scenario(s), %d config mismatch(es)",
+				errRegression, c.Regressions(), len(c.MissingInCurrent), len(c.ConfigMismatch))
+		}
+	}
 	return nil
 }

@@ -5,6 +5,9 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"sssj/internal/datagen"
+	"sssj/internal/perf"
 )
 
 func TestSingleExperiments(t *testing.T) {
@@ -63,6 +66,174 @@ func TestDelayAndAblationExperiments(t *testing.T) {
 		}
 		if out.Len() == 0 {
 			t.Fatalf("%s produced no output", exp)
+		}
+	}
+}
+
+// runPerfJSON runs the perf experiment at tiny scale and returns the
+// artifact path and stdout.
+func runPerfJSON(t *testing.T, extra ...string) (string, string) {
+	t.Helper()
+	path := t.TempDir() + "/bench.json"
+	args := append([]string{"-exp", "perf", "-scale", "0.02", "-budget", "30s", "-json", path}, extra...)
+	var out, errw bytes.Buffer
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("perf run: %v\nstderr: %s", err, errw.String())
+	}
+	return path, out.String()
+}
+
+func TestPerfEmitsValidArtifact(t *testing.T) {
+	path, stdout := runPerfJSON(t)
+	f, err := perf.ReadFile(path)
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if f.Schema != perf.Schema || f.Version != perf.SchemaVersion {
+		t.Fatalf("artifact envelope = %s v%d", f.Schema, f.Version)
+	}
+	if len(f.Reports) < 8 {
+		t.Fatalf("artifact covers %d scenarios, acceptance floor is 8", len(f.Reports))
+	}
+	if !strings.Contains(stdout, "RCV1/STR-L2/t0.70/w1") {
+		t.Fatalf("stdout table missing scenarios:\n%s", stdout)
+	}
+	// -checkjson accepts what -json wrote.
+	var out, errw bytes.Buffer
+	if err := run([]string{"-checkjson", path}, &out, &errw); err != nil {
+		t.Fatalf("-checkjson rejected a fresh artifact: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid sssj-bench v1") {
+		t.Fatalf("-checkjson output: %s", out.String())
+	}
+}
+
+func TestCheckJSONRejectsGarbage(t *testing.T) {
+	path := t.TempDir() + "/garbage.json"
+	if err := os.WriteFile(path, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-checkjson", path}, &out, &errw); err == nil {
+		t.Fatal("-checkjson accepted a wrong-schema file")
+	}
+}
+
+func TestPerfBaselineModes(t *testing.T) {
+	path, _ := runPerfJSON(t)
+	base, err := perf.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rerun := func(t *testing.T, baselinePath string) (string, error) {
+		var out, errw bytes.Buffer
+		err := run([]string{"-exp", "perf", "-scale", "0.02", "-budget", "30s",
+			"-baseline", baselinePath}, &out, &errw)
+		return out.String(), err
+	}
+	writeBase := func(t *testing.T, f *perf.File) string {
+		p := t.TempDir() + "/base.json"
+		if err := perf.WriteFile(p, f); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("improvement passes", func(t *testing.T) {
+		// A baseline that was much slower: the current run is a pure
+		// improvement and must pass.
+		slow := *base
+		slow.Reports = append([]perf.Report(nil), base.Reports...)
+		for i := range slow.Reports {
+			slow.Reports[i].ItemsPerSec /= 10
+		}
+		stdout, err := rerun(t, writeBase(t, &slow))
+		if err != nil {
+			t.Fatalf("improvement flagged as regression: %v\n%s", err, stdout)
+		}
+		if !strings.Contains(stdout, "OK: no regressions") {
+			t.Fatalf("missing OK verdict:\n%s", stdout)
+		}
+	})
+
+	t.Run("injected regression fails", func(t *testing.T) {
+		// A baseline claiming implausibly high throughput: every current
+		// scenario looks like a slowdown and the run must exit nonzero.
+		fast := *base
+		fast.Reports = append([]perf.Report(nil), base.Reports...)
+		for i := range fast.Reports {
+			fast.Reports[i].ItemsPerSec *= 1000
+			fast.Reports[i].Pairs = base.Reports[i].Pairs // keep pair counts honest
+		}
+		stdout, err := rerun(t, writeBase(t, &fast))
+		if err == nil {
+			t.Fatalf("1000x throughput drop not flagged:\n%s", stdout)
+		}
+		if !strings.Contains(stdout, "REGRESSION") {
+			t.Fatalf("stdout lacks REGRESSION flag:\n%s", stdout)
+		}
+	})
+
+	t.Run("missing scenario fails", func(t *testing.T) {
+		// A baseline with an extra scenario the current matrix no longer
+		// runs: coverage shrank, so the compare must fail.
+		wider := *base
+		wider.Reports = append([]perf.Report(nil), base.Reports...)
+		ghost := base.Reports[0]
+		ghost.Scenario.Name = "RCV1/STR-GHOST/t0.70/w1"
+		wider.Reports = append(wider.Reports, ghost)
+		stdout, err := rerun(t, writeBase(t, &wider))
+		if err == nil {
+			t.Fatalf("missing scenario not flagged:\n%s", stdout)
+		}
+		if !strings.Contains(stdout, "MISSING") {
+			t.Fatalf("stdout lacks MISSING callout:\n%s", stdout)
+		}
+	})
+}
+
+func TestPerfProfileFilter(t *testing.T) {
+	_, stdout := runPerfJSON(t, "-profile", "Tweets")
+	if strings.Contains(stdout, "RCV1/") {
+		t.Fatalf("-profile Tweets still ran RCV1 scenarios:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "Tweets/STR-L2/t0.70/w1") {
+		t.Fatalf("-profile Tweets ran nothing:\n%s", stdout)
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-exp", "perf", "-profile", "NoSuch"}, &out, &errw); err == nil {
+		t.Fatal("unknown -profile accepted")
+	}
+}
+
+func TestUsageListsProfiles(t *testing.T) {
+	var out, errw bytes.Buffer
+	_ = run([]string{"-h"}, &out, &errw)
+	for _, name := range datagen.ProfileNames() {
+		if !strings.Contains(errw.String(), name) {
+			t.Fatalf("-h does not list profile %s:\n%s", name, errw.String())
+		}
+	}
+}
+
+func TestPerfFlagsRequirePerfExp(t *testing.T) {
+	// A CI job that forgets -exp perf must fail loudly, not silently
+	// skip its baseline gate.
+	var out, errw bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-baseline", "x.json"}, &out, &errw); err == nil {
+		t.Fatal("-baseline without -exp perf accepted")
+	}
+	if err := run([]string{"-json", "x.json"}, &out, &errw); err == nil {
+		t.Fatal("-json without -exp perf accepted")
+	}
+}
+
+func TestPerfRegressFlagValidated(t *testing.T) {
+	var out, errw bytes.Buffer
+	for _, v := range []string{"0", "-0.5", "1", "2"} {
+		if err := run([]string{"-exp", "perf", "-regress", v}, &out, &errw); err == nil {
+			t.Fatalf("-regress %s accepted (must be in (0,1))", v)
 		}
 	}
 }

@@ -30,12 +30,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sssjgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		profile = fs.String("profile", "RCV1", "dataset profile: WebSpam, RCV1, Blogs, Tweets, or Topics")
-		scale   = fs.Float64("scale", 1, "size multiplier applied to the profile's n")
-		seed    = fs.Int64("seed", 1, "generation seed")
-		format  = fs.String("format", "text", "output format: text or binary")
-		out     = fs.String("out", "-", "output path, or - for stdout")
-		list    = fs.Bool("list", false, "list profiles and exit")
+		profile = fs.String("profile", "RCV1",
+			"stream generator: "+datagen.NameList(datagen.GeneratorNames()))
+		scale  = fs.Float64("scale", 1, "size multiplier applied to the profile's n")
+		seed   = fs.Int64("seed", 1, "generation seed")
+		format = fs.String("format", "text", "output format: text or binary")
+		out    = fs.String("out", "-", "output path, or - for stdout")
+		list   = fs.Bool("list", false, "list profiles and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,28 +46,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, p := range datagen.Profiles() {
 			fmt.Fprintf(stdout, "%-9s %8d %9d %8.1f %s\n", p.Name, p.N, p.Dims, p.MeanNNZ, p.Arrival)
 		}
+		tm := datagen.DefaultTopicModel()
+		fmt.Fprintf(stdout, "%-9s %8d %9d %8.1f %s (latent-topic model)\n", tm.Name, tm.N, tm.Dims, tm.MeanNNZ, tm.Arrival)
 		return nil
 	}
-	var items []stream.Item
-	var name string
-	if *profile == "Topics" {
-		// Latent-topic document model (see datagen.TopicModel): realistic
-		// graded similarities rather than planted duplicates.
-		tm := datagen.DefaultTopicModel()
-		tm.N = int(float64(tm.N) * *scale)
-		if tm.N < 1 {
-			tm.N = 1
-		}
-		items = tm.Generate(*seed)
-		name = tm.Name
-	} else {
-		prof, err := datagen.ProfileByName(*profile)
-		if err != nil {
-			return err
-		}
-		items = prof.Scaled(*scale).Generate(*seed)
-		name = prof.Name
+	items, err := datagen.GenerateByName(*profile, *scale, *seed)
+	if err != nil {
+		return err
 	}
+	name := *profile
 
 	var w io.Writer = stdout
 	if *out != "-" {
@@ -77,7 +65,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	var err error
 	switch *format {
 	case "text":
 		err = sssj.WriteText(w, items)

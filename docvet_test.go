@@ -1,0 +1,121 @@
+package sssj
+
+// The doc-comment gate for the public surface: every exported
+// identifier in package sssj must carry a doc comment (a group comment
+// on a const/var/type block covers its members). CI runs this with the
+// rest of the tests, so an undocumented export fails the build. It is
+// deliberately AST-based rather than go/doc-based: go/doc attributes a
+// group comment only to single-spec declarations, while godoc itself
+// renders group comments perfectly well.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+func TestPublicDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := pkgs["sssj"]
+	if pkg == nil {
+		t.Fatalf("package sssj not found in .")
+	}
+
+	var missing []string
+	hasPackageDoc := false
+	for name, file := range pkg.Files {
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			hasPackageDoc = true
+		}
+		for _, decl := range file.Decls {
+			for _, id := range undocumented(decl) {
+				missing = append(missing, id+" ("+name+")")
+			}
+		}
+	}
+	if !hasPackageDoc {
+		t.Errorf("package sssj lacks a package doc comment")
+	}
+	for _, id := range missing {
+		t.Errorf("exported identifier without doc comment: %s", id)
+	}
+}
+
+// undocumented returns the exported identifiers declared by decl that
+// no doc comment covers.
+func undocumented(decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && emptyDoc(d.Doc) && exportedRecv(d) {
+			out = append(out, funcLabel(d))
+		}
+	case *ast.GenDecl:
+		groupDoc := !emptyDoc(d.Doc)
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && emptyDoc(s.Doc) && !groupDoc {
+					out = append(out, s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A trailing line comment (`X = 1 // meaning`) counts:
+				// it is what godoc shows for enum-style members.
+				covered := groupDoc || !emptyDoc(s.Doc) || !emptyDoc(s.Comment)
+				if covered {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						out = append(out, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether d is a plain function or a method on an
+// exported receiver type (methods on unexported types are not part of
+// the public surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+func funcLabel(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+func emptyDoc(g *ast.CommentGroup) bool {
+	return g == nil || strings.TrimSpace(g.Text()) == ""
+}

@@ -1,7 +1,8 @@
 // Package apss holds the problem-level definitions shared by every index
 // and framework: the SSSJ parameters (similarity threshold θ and time-decay
-// factor λ), the time-dependent similarity function, the time horizon, and
-// the result types.
+// factor λ), the time-dependent similarity function, the time horizon, the
+// result types, and the match-delivery layer (Sink, Gate) every engine
+// emits through.
 //
 // Problem 1 of the paper: given a stream of timestamped unit vectors,
 // report all pairs (x, y) with
@@ -11,6 +12,14 @@
 // Because dot(x, y) ≤ 1 for unit vectors, a pair further apart in time than
 // the horizon τ = ln(1/θ)/λ can never be similar, which is the time
 // filtering property every algorithm builds on.
+//
+// Delivery is push-based: a producer hands each verified Match to a Sink
+// the moment it is found, wrapped in a Gate so that a consumer error
+// stops emission without ever interrupting the producer's state updates
+// (see Gate for the exact contract). Collector adapts the sink world
+// back to slices for callers that want them. Kernel generalizes the
+// exponential decay above to other time-decay functions (an extension;
+// kernel.go).
 package apss
 
 import (

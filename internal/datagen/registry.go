@@ -1,0 +1,52 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sssj/internal/stream"
+)
+
+// TopicsName is the registry name of the latent-topic generator
+// (TopicModel), the one selectable stream that is not a Profile.
+const TopicsName = "Topics"
+
+// ProfileNames returns the dataset-profile names in the paper's order
+// (Table 1). It is the single registry the CLI tools print from, so a
+// new profile shows up in every -h the moment it joins Profiles().
+func ProfileNames() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// GeneratorNames returns every stream generator selectable by name: the
+// dataset profiles plus the latent-topic model.
+func GeneratorNames() []string {
+	return append(ProfileNames(), TopicsName)
+}
+
+// NameList renders names as the comma-separated list used in flag usage
+// strings.
+func NameList(names []string) string { return strings.Join(names, ", ") }
+
+// GenerateByName materializes the named stream at the given scale,
+// deterministically from seed. It accepts every GeneratorNames entry:
+// the four profiles (scale multiplies the profile's n) and Topics (the
+// latent-topic model, same scaling rule).
+func GenerateByName(name string, scale float64, seed int64) ([]stream.Item, error) {
+	if name == TopicsName {
+		tm := DefaultTopicModel()
+		tm.N = int(math.Max(1, math.Round(float64(tm.N)*scale)))
+		return tm.Generate(seed), nil
+	}
+	p, err := ProfileByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: unknown generator %q (have %s)", name, NameList(GeneratorNames()))
+	}
+	return p.Scaled(scale).Generate(seed), nil
+}

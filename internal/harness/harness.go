@@ -72,6 +72,9 @@ type Result struct {
 	Completed bool // finished within the budget
 	Matches   int
 	Stats     metrics.Counters
+	// IndexSize is the index occupancy at end of run (zero under MB,
+	// which buffers windows instead of maintaining one index).
+	IndexSize streaming.SizeInfo
 }
 
 // Label renders "FRAMEWORK-INDEX".
@@ -114,17 +117,53 @@ func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, work
 	}
 }
 
+// RunOpts tunes a single measured run beyond the paper's defaults. The
+// zero value reproduces RunOne exactly.
+type RunOpts struct {
+	// Workers is the shard count for the parallel STR engine (≤ 1 runs
+	// the paper's sequential engine; ignored by MB).
+	Workers int
+	// Budget is the cooperative per-run deadline; 0 = unlimited.
+	Budget time.Duration
+	// Latency, when non-nil, receives one observation per processed item:
+	// the wall-clock nanoseconds that item spent inside the joiner
+	// (candidate generation + verification + indexing). Enabling it costs
+	// two monotonic-clock reads per item, so the throughput of an
+	// instrumented run is a hair below an uninstrumented one; perf
+	// reports always measure with it on, keeping runs comparable to each
+	// other.
+	Latency *metrics.Histogram
+}
+
+// Supported reports whether the framework × index names denote a
+// combination this harness can construct (the same judgment newJoiner
+// makes), so callers like internal/perf need not duplicate the support
+// matrix.
+func Supported(framework, index string) bool {
+	var c metrics.Counters
+	_, err := newJoiner(framework, index, apss.Params{Theta: 0.5, Lambda: 0.1}, &c, 0)
+	return err == nil
+}
+
 // RunOne executes one configuration over a pre-generated stream with a
 // cooperative per-run budget: the deadline is checked between items, so a
 // run that exceeds it stops early and is marked not completed — the
 // harness analog of the paper's 3-hour timeout.
 func RunOne(items []stream.Item, dataset, framework, index string, p apss.Params, budget time.Duration) Result {
-	return RunOneWorkers(items, dataset, framework, index, p, budget, 0)
+	return RunOneOpts(items, dataset, framework, index, p, RunOpts{Budget: budget})
 }
 
 // RunOneWorkers is RunOne with an explicit worker-shard count for the
 // STR framework (values ≤ 1 run the paper's sequential engine).
 func RunOneWorkers(items []stream.Item, dataset, framework, index string, p apss.Params, budget time.Duration, workers int) Result {
+	return RunOneOpts(items, dataset, framework, index, p, RunOpts{Budget: budget, Workers: workers})
+}
+
+// RunOneOpts is the fully instrumented run entry point: RunOne plus
+// worker shards and optional per-item latency capture. Every other Run*
+// helper funnels through it.
+func RunOneOpts(items []stream.Item, dataset, framework, index string, p apss.Params, o RunOpts) Result {
+	budget := o.Budget
 	res := Result{
 		Dataset:   dataset,
 		Framework: framework,
@@ -133,7 +172,7 @@ func RunOneWorkers(items []stream.Item, dataset, framework, index string, p apss
 		Lambda:    p.Lambda,
 		Tau:       p.Horizon(),
 	}
-	j, err := newJoiner(framework, index, p, &res.Stats, workers)
+	j, err := newJoiner(framework, index, p, &res.Stats, o.Workers)
 	if err != nil {
 		return res
 	}
@@ -168,7 +207,15 @@ func RunOneWorkers(items []stream.Item, dataset, framework, index string, p apss
 	}
 	completed := true
 	for i, it := range items {
-		if err := add(it); err != nil {
+		var itemStart time.Time
+		if o.Latency != nil {
+			itemStart = time.Now()
+		}
+		err := add(it)
+		if o.Latency != nil {
+			o.Latency.ObserveDuration(time.Since(itemStart))
+		}
+		if err != nil {
 			completed = false
 			break
 		}
@@ -187,6 +234,9 @@ func RunOneWorkers(items []stream.Item, dataset, framework, index string, p apss
 	}
 	res.Elapsed = time.Since(start)
 	res.Completed = completed
+	if sz, ok := j.(interface{ IndexSize() streaming.SizeInfo }); ok {
+		res.IndexSize = sz.IndexSize()
+	}
 	return res
 }
 

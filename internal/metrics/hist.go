@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Histogram bucket layout: fixed, log-spaced bucket upper bounds starting
+// at histBase nanoseconds and doubling histBuckets-1 times. A fixed layout
+// (rather than, say, HDR auto-ranging) keeps Observe a handful of integer
+// operations on the hot path and makes histograms from different runs
+// directly comparable bucket-for-bucket — which is what the perf reports
+// need.
+const (
+	histBase    = 64.0 // ns; upper bound of the first bucket
+	histGrowth  = 2.0
+	histBuckets = 40 // last bound ≈ 64ns·2^39 ≈ 9.7 hours
+)
+
+// histBounds holds the shared upper bounds; bucket i counts observations
+// v with bounds[i-1] < v ≤ bounds[i] (bucket 0: v ≤ bounds[0]).
+var histBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	v := histBase
+	for i := range b {
+		b[i] = v
+		v *= histGrowth
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram: log-spaced buckets over
+// nanoseconds, built for the per-item process-latency quantiles of the
+// perf reports. Observe is allocation-free; quantiles are estimated by
+// linear interpolation inside the covering bucket, so with growth factor
+// 2 a reported quantile is within one bucket (≤ 2×) of the true value,
+// and much closer for smooth distributions.
+//
+// A Histogram is not safe for concurrent use; every joiner in this
+// repository is driven from one goroutine, which is the granularity the
+// harness measures at.
+type Histogram struct {
+	counts   [histBuckets + 1]int64 // last bucket: overflow beyond the final bound
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records a latency in nanoseconds. Negative values clamp to 0.
+func (h *Histogram) Observe(ns float64) {
+	if ns < 0 || math.IsNaN(ns) {
+		ns = 0
+	}
+	i := 0
+	for i < histBuckets && ns > histBounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += ns
+	if h.count == 1 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// ObserveDuration records d as nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the exact arithmetic mean (tracked outside the buckets),
+// or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (exact), or 0 when empty.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation (exact), or 0 when empty.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile estimates the q-th quantile (q in [0, 1]) in nanoseconds. It
+// walks to the bucket containing the q·count-th observation and
+// interpolates linearly inside it, clamping the result to the exact
+// [Min, Max] envelope so the tails never over-report. Returns 0 for an
+// empty histogram; q outside [0, 1] clamps.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = histBounds[i-1]
+		}
+		hi := h.max
+		if i < histBuckets {
+			hi = histBounds[i]
+		}
+		// The exact envelope sharpens the edge buckets: no observation
+		// lies outside [min, max], so interpolating over the clipped
+		// range is strictly more accurate than over the full bucket.
+		lo = math.Max(lo, h.min)
+		hi = math.Min(hi, h.max)
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return h.max
+}
+
+// Reset zeroes the histogram for reuse.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Merge accumulates other into h (bucket layouts are identical by
+// construction). Used by sweeps that aggregate per-run histograms.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// relErr is the acceptance tolerance for interpolated quantiles on
+// smooth distributions: well inside the one-bucket (2×) worst case.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d p50=%v mean=%v max=%v",
+			h.Count(), h.Quantile(0.5), h.Mean(), h.Max())
+	}
+}
+
+func TestHistogramUniformQuantiles(t *testing.T) {
+	// Uniform over [1µs, 10ms]: interpolation inside a bucket is exact
+	// for uniform mass, so quantiles should land within a few percent.
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(42))
+	const n = 200000
+	lo, hi := 1e3, 1e7
+	for i := 0; i < n; i++ {
+		h.Observe(lo + r.Float64()*(hi-lo))
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, lo + 0.50*(hi-lo)},
+		{0.90, lo + 0.90*(hi-lo)},
+		{0.99, lo + 0.99*(hi-lo)},
+	} {
+		got := h.Quantile(tc.q)
+		if relErr(got, tc.want) > 0.10 {
+			t.Errorf("uniform p%v = %.0f, want ≈ %.0f (rel err %.3f)",
+				100*tc.q, got, tc.want, relErr(got, tc.want))
+		}
+	}
+	wantMean := (lo + hi) / 2
+	if relErr(h.Mean(), wantMean) > 0.01 {
+		t.Errorf("mean = %.0f, want ≈ %.0f", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramExponentialQuantiles(t *testing.T) {
+	// Exponential with mean 100µs: quantile q is −mean·ln(1−q). The
+	// log-spaced buckets are a natural fit; allow one-bucket error.
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(7))
+	const n = 200000
+	mean := 1e5
+	for i := 0; i < n; i++ {
+		h.Observe(r.ExpFloat64() * mean)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := -mean * math.Log(1-q)
+		got := h.Quantile(q)
+		if relErr(got, want) > 0.25 {
+			t.Errorf("exp p%v = %.0f, want ≈ %.0f (rel err %.3f)",
+				100*q, got, want, relErr(got, want))
+		}
+	}
+}
+
+func TestHistogramConstant(t *testing.T) {
+	// All mass in one bucket: every quantile must stay inside the exact
+	// [min, max] envelope, i.e. equal the constant.
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(5000)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 5000 {
+			t.Errorf("constant p%v = %v, want 5000", 100*q, got)
+		}
+	}
+	if h.Min() != 5000 || h.Max() != 5000 || h.Mean() != 5000 {
+		t.Errorf("min/max/mean = %v/%v/%v, want 5000", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramTwoPoint(t *testing.T) {
+	// 90 observations at 1µs, 10 at 1ms: p50 must sit in the low mode,
+	// p99 in the high mode — the shape report consumers rely on.
+	h := NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Observe(1e3)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1e6)
+	}
+	if p50 := h.Quantile(0.5); p50 > 2e3 {
+		t.Errorf("p50 = %v, want ≤ 2µs", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 5e5 {
+		t.Errorf("p99 = %v, want in the 1ms mode", p99)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		h.Observe(math.Abs(r.NormFloat64()) * 1e5)
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: p%.0f=%v < p%.0f=%v", 100*q, v, 100*(q-0.01), prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramOverflowAndClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5) // clamps to 0
+	h.Observe(1e30)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Errorf("min = %v, want 0 (negative clamped)", h.Min())
+	}
+	if got := h.Quantile(1); got != 1e30 {
+		t.Errorf("p100 = %v, want exact max 1e30", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Max() != 3e6 {
+		t.Fatalf("max = %v, want 3e6 ns", h.Max())
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Observe(1e3)
+		b.Observe(1e6)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Min() != 1e3 || a.Max() != 1e6 {
+		t.Errorf("merged min/max = %v/%v, want 1e3/1e6", a.Min(), a.Max())
+	}
+	if p99 := a.Quantile(0.99); p99 < 5e5 {
+		t.Errorf("merged p99 = %v, want in the 1ms mode", p99)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.5) != 0 {
+		t.Errorf("reset histogram not empty")
+	}
+	// Merging an empty histogram must not disturb min.
+	c := NewHistogram()
+	c.Observe(500)
+	c.Merge(NewHistogram())
+	if c.Min() != 500 || c.Count() != 1 {
+		t.Errorf("merge of empty changed state: min=%v count=%d", c.Min(), c.Count())
+	}
+}

@@ -10,18 +10,22 @@ import "fmt"
 // suffice: every joiner is driven from one goroutine, and the sharded
 // parallel STR engine accumulates shard-local counts that it merges into
 // the shared Counters only between fan-outs, on the driving goroutine.
+//
+// The json tags are part of the versioned perf-report schema
+// (internal/perf); renaming one is a schema change and must bump the
+// schema version there.
 type Counters struct {
-	Items            int64 // stream items processed
-	EntriesTraversed int64 // posting entries scanned during CG
-	Candidates       int64 // vectors admitted to the accumulator
-	FullDots         int64 // exact residual dot products computed in CV
-	Pairs            int64 // similar pairs reported
-	IndexedEntries   int64 // posting entries ever inserted
-	ExpiredEntries   int64 // posting entries removed by time filtering
-	Reindexings      int64 // residual vectors re-indexed (STR-L2AP only)
-	ReindexedEntries int64 // posting entries inserted by re-indexing
-	ResidualEntries  int64 // vectors ever stored in the residual index
-	IndexBuilds      int64 // full index (re)constructions (MB only)
+	Items            int64 `json:"items"`             // stream items processed
+	EntriesTraversed int64 `json:"entries_traversed"` // posting entries scanned during CG
+	Candidates       int64 `json:"candidates"`        // vectors admitted to the accumulator
+	FullDots         int64 `json:"full_dots"`         // exact residual dot products computed in CV
+	Pairs            int64 `json:"pairs"`             // similar pairs reported
+	IndexedEntries   int64 `json:"indexed_entries"`   // posting entries ever inserted
+	ExpiredEntries   int64 `json:"expired_entries"`   // posting entries removed by time filtering
+	Reindexings      int64 `json:"reindexings"`       // residual vectors re-indexed (STR-L2AP only)
+	ReindexedEntries int64 `json:"reindexed_entries"` // posting entries inserted by re-indexing
+	ResidualEntries  int64 `json:"residual_entries"`  // vectors ever stored in the residual index
+	IndexBuilds      int64 `json:"index_builds"`      // full index (re)constructions (MB only)
 }
 
 // Add accumulates other into c.

@@ -1,0 +1,167 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// twoFiles builds a baseline and a same-stream current file whose first
+// scenario's current-side throughput is baseline × ratio.
+func twoFiles(ratio float64) (*File, *File) {
+	base := sampleFile()
+	cur := sampleFile()
+	cur.Reports[0].ItemsPerSec = base.Reports[0].ItemsPerSec * ratio
+	cur.Reports[0].Latency.P50 = base.Reports[0].Latency.P50 / ratio
+	return base, cur
+}
+
+func TestCompareImprovement(t *testing.T) {
+	base, cur := twoFiles(1.5)
+	c := Compare(base, cur, CompareOpts{})
+	if !c.Ok() {
+		t.Fatalf("improvement flagged as failure: %+v", c)
+	}
+	if c.Regressions() != 0 {
+		t.Fatalf("regressions = %d, want 0", c.Regressions())
+	}
+	if c.Deltas[0].ItemsPerSecRatio != 1.5 {
+		t.Errorf("ratio = %v, want 1.5", c.Deltas[0].ItemsPerSecRatio)
+	}
+	var buf bytes.Buffer
+	PrintComparison(&buf, c)
+	if !strings.Contains(buf.String(), "OK: no regressions") {
+		t.Errorf("improvement output missing OK verdict:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "+50%") {
+		t.Errorf("improvement output missing +50%% delta:\n%s", buf.String())
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base, cur := twoFiles(0.5) // 50% drop, past the default DefaultThreshold (40%)
+	c := Compare(base, cur, CompareOpts{})
+	if c.Ok() {
+		t.Fatalf("50%% throughput drop not flagged")
+	}
+	if c.Regressions() != 1 {
+		t.Fatalf("regressions = %d, want exactly 1 (second scenario unchanged)", c.Regressions())
+	}
+	if !c.Deltas[0].Regression || c.Deltas[1].Regression {
+		t.Fatalf("wrong scenario flagged: %+v", c.Deltas)
+	}
+	var buf bytes.Buffer
+	PrintComparison(&buf, c)
+	if !strings.Contains(buf.String(), "REGRESSION") || !strings.Contains(buf.String(), "FAIL:") {
+		t.Errorf("regression output missing flags:\n%s", buf.String())
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	// A 10% drop passes the default threshold but fails a 5% one.
+	base, cur := twoFiles(0.9)
+	if c := Compare(base, cur, CompareOpts{}); !c.Ok() {
+		t.Errorf("10%% drop failed the default threshold")
+	}
+	if c := Compare(base, cur, CompareOpts{Threshold: 0.05}); c.Ok() {
+		t.Errorf("10%% drop passed a 5%% threshold")
+	}
+}
+
+func TestCompareMissingScenario(t *testing.T) {
+	base, cur := twoFiles(1)
+	cur.Reports = cur.Reports[:1] // current run lost the MB scenario
+	c := Compare(base, cur, CompareOpts{})
+	if c.Ok() {
+		t.Fatalf("missing scenario not treated as failure")
+	}
+	if len(c.MissingInCurrent) != 1 || c.MissingInCurrent[0] != base.Reports[1].Scenario.Name {
+		t.Fatalf("MissingInCurrent = %v", c.MissingInCurrent)
+	}
+	var buf bytes.Buffer
+	PrintComparison(&buf, c)
+	if !strings.Contains(buf.String(), "MISSING") {
+		t.Errorf("output does not call out the missing scenario:\n%s", buf.String())
+	}
+}
+
+func TestCompareNewScenarioIsInformational(t *testing.T) {
+	base, cur := twoFiles(1)
+	base.Reports = base.Reports[:1] // baseline predates the MB scenario
+	c := Compare(base, cur, CompareOpts{})
+	if !c.Ok() {
+		t.Fatalf("new scenario in current flagged as failure")
+	}
+	if len(c.NewInCurrent) != 1 {
+		t.Fatalf("NewInCurrent = %v", c.NewInCurrent)
+	}
+}
+
+func TestComparePairsMismatch(t *testing.T) {
+	// Same stream (scale+seed equal) with a different pair count is a
+	// correctness red flag, regardless of throughput.
+	base, cur := twoFiles(1)
+	cur.Reports[0].Pairs++
+	if c := Compare(base, cur, CompareOpts{}); c.Ok() || !c.Deltas[0].PairsMismatch {
+		t.Fatalf("same-stream pair mismatch not flagged: %+v", c.Deltas[0])
+	}
+	// Different streams: pair counts are incomparable, so no pair flag —
+	// but the config mismatch itself fails the gate (see below).
+	cur.Scale = base.Scale / 2
+	if c := Compare(base, cur, CompareOpts{}); c.Deltas[0].PairsMismatch {
+		t.Fatalf("cross-stream pair diff wrongly flagged as mismatch")
+	}
+}
+
+func TestCompareConfigMismatch(t *testing.T) {
+	// Throughput across different scales or seeds is meaningless; the
+	// compare must refuse a verdict rather than emit an arbitrary one.
+	for name, mutate := range map[string]func(*File){
+		"scale": func(f *File) { f.Scale /= 2 },
+		"seed":  func(f *File) { f.Seed++ },
+	} {
+		base, cur := twoFiles(1)
+		mutate(cur)
+		c := Compare(base, cur, CompareOpts{})
+		if c.Ok() || len(c.ConfigMismatch) == 0 {
+			t.Errorf("%s mismatch not gated: ok=%v mismatches=%v", name, c.Ok(), c.ConfigMismatch)
+		}
+		var buf bytes.Buffer
+		PrintComparison(&buf, c)
+		if !strings.Contains(buf.String(), "CONFIG MISMATCH") {
+			t.Errorf("%s: output lacks CONFIG MISMATCH callout:\n%s", name, buf.String())
+		}
+	}
+	// GOMAXPROCS differences only warn: same-machine reruns gate fine,
+	// cross-machine absolute numbers are the operator's judgment call.
+	base, cur := twoFiles(1)
+	cur.GOMAXPROCS = base.GOMAXPROCS + 7
+	c := Compare(base, cur, CompareOpts{})
+	if !c.Ok() || len(c.Warnings) == 0 {
+		t.Errorf("GOMAXPROCS diff should warn without gating: ok=%v warnings=%v", c.Ok(), c.Warnings)
+	}
+}
+
+func TestCompareLostCompletion(t *testing.T) {
+	base, cur := twoFiles(1)
+	cur.Reports[0].Completed = false
+	c := Compare(base, cur, CompareOpts{})
+	if c.Ok() || !c.Deltas[0].LostCompletion {
+		t.Fatalf("budget loss not flagged: %+v", c.Deltas[0])
+	}
+}
+
+func TestCompareBudgetMismatchDisablesCompletionGate(t *testing.T) {
+	// Different budgets make completion incomparable: warn, but do not
+	// flag the current run for hitting a tighter budget.
+	base, cur := twoFiles(1)
+	cur.BudgetSec = base.BudgetSec / 10
+	cur.Reports[0].Completed = false
+	c := Compare(base, cur, CompareOpts{})
+	if !c.Ok() || c.Deltas[0].LostCompletion {
+		t.Fatalf("cross-budget completion loss wrongly gated: ok=%v delta=%+v", c.Ok(), c.Deltas[0])
+	}
+	if len(c.Warnings) == 0 {
+		t.Fatalf("budget mismatch produced no warning")
+	}
+}

@@ -1,0 +1,253 @@
+// Package perf turns every benchmark run into a structured, comparable
+// artifact: the measurement vehicle the ROADMAP's speed-focused PRs
+// stand on. It defines
+//
+//   - a scenario registry — datagen profile × framework {STR, MB} ×
+//     index {INV, L2, L2AP} × θ × worker shards — so successive runs
+//     measure the same named workloads;
+//   - a Report per scenario: throughput (items/s, pairs/s), per-item
+//     process-latency quantiles (p50/p90/p99 from the fixed-bucket
+//     histogram in internal/metrics), heap-allocation stats, end-of-run
+//     index occupancy, and the full pruning counters;
+//   - a versioned JSON schema (File; see Schema and SchemaVersion) that
+//     sssjbench -exp perf emits and make bench-json commits; and
+//   - a baseline compare (Compare) that joins two files by scenario
+//     name, prints per-scenario deltas, and flags regressions past a
+//     threshold — the CI tripwire that makes "no future PR can prove a
+//     speedup or catch a regression" a solved problem.
+//
+// The paper's own evaluation (§7) is defined by throughput and pruning
+// curves across stream shapes; the default scenario matrix reproduces
+// exactly that cross-section, at a scale small enough to run on every
+// push.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/datagen"
+	"sssj/internal/harness"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+// Scenario names one cell of the benchmark matrix. Name is the join key
+// Compare uses across files; DefaultScenarios derives it from the other
+// fields, and hand-built scenarios should do the same (see label).
+type Scenario struct {
+	Name      string  `json:"name"`
+	Profile   string  `json:"profile"`   // datagen profile (registry name)
+	Framework string  `json:"framework"` // harness.FrameworkSTR or FrameworkMB
+	Index     string  `json:"index"`     // INV, L2, or L2AP (AP is MB-only, as in §7)
+	Theta     float64 `json:"theta"`
+	Lambda    float64 `json:"lambda"`
+	Workers   int     `json:"workers"` // STR shard count; ≤ 1 = sequential
+}
+
+// label renders the canonical scenario name, e.g. "RCV1/STR-L2/t0.70/w4".
+func (s Scenario) label() string {
+	w := s.Workers
+	if w < 1 {
+		w = 1
+	}
+	return fmt.Sprintf("%s/%s-%s/t%.2f/w%d", s.Profile, s.Framework, s.Index, s.Theta, w)
+}
+
+// named returns s with Name filled from label if empty.
+func (s Scenario) named() Scenario {
+	if s.Name == "" {
+		s.Name = s.label()
+	}
+	return s
+}
+
+// DefaultScenarios is the standing benchmark matrix: on a dense-ish
+// (RCV1) and a sparse bursty (Tweets) stream shape, the three STR
+// indexes, the sharded parallel engine at 4 workers, and MB-L2 as the
+// framework baseline — plus a θ sweep on the recommended STR-L2 to
+// track threshold sensitivity. 12 scenarios; at the default scale the
+// whole matrix runs in well under a minute.
+func DefaultScenarios() []Scenario {
+	const lambda = 0.01
+	var out []Scenario
+	for _, prof := range []string{"RCV1", "Tweets"} {
+		for _, sc := range []Scenario{
+			{Framework: harness.FrameworkSTR, Index: "L2", Theta: 0.7, Workers: 1},
+			{Framework: harness.FrameworkSTR, Index: "L2", Theta: 0.7, Workers: 4},
+			{Framework: harness.FrameworkSTR, Index: "INV", Theta: 0.7, Workers: 1},
+			{Framework: harness.FrameworkSTR, Index: "L2AP", Theta: 0.7, Workers: 1},
+			{Framework: harness.FrameworkMB, Index: "L2", Theta: 0.7, Workers: 1},
+		} {
+			sc.Profile, sc.Lambda = prof, lambda
+			out = append(out, sc.named())
+		}
+	}
+	for _, theta := range []float64{0.5, 0.9} {
+		sc := Scenario{
+			Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
+			Theta: theta, Lambda: lambda, Workers: 1,
+		}
+		out = append(out, sc.named())
+	}
+	return out
+}
+
+// Profiles returns the distinct profile names the scenarios cover, in
+// first-appearance order — the valid values for a profile filter.
+func Profiles(scs []Scenario) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range scs {
+		if !seen[s.Profile] {
+			seen[s.Profile] = true
+			out = append(out, s.Profile)
+		}
+	}
+	return out
+}
+
+// FilterByProfile returns the scenarios whose Profile equals profile
+// (all of them when profile is empty).
+func FilterByProfile(scs []Scenario, profile string) []Scenario {
+	if profile == "" {
+		return scs
+	}
+	var out []Scenario
+	for _, s := range scs {
+		if s.Profile == profile {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunConfig fixes the stream every scenario of a run measures.
+type RunConfig struct {
+	Scale  float64       // dataset size multiplier (0 → 1)
+	Seed   int64         // datagen seed
+	Budget time.Duration // per-scenario budget; 0 = unlimited
+	// Repeats is how many times each scenario is measured; the report
+	// with the highest items/s is kept (values < 1 → DefaultRepeats).
+	// Machine noise is one-sided — contention only ever slows a run
+	// down — so best-of-N converges on the machine's true capability
+	// and keeps baseline compares stable on shared hardware.
+	Repeats int
+}
+
+// DefaultRepeats is the best-of-N default for RunConfig.Repeats.
+const DefaultRepeats = 3
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Repeats < 1 {
+		c.Repeats = DefaultRepeats
+	}
+	return c
+}
+
+// RunScenario measures one scenario: it generates the profile's stream
+// at the configured scale, drives it through the framework × index
+// engine with per-item latency capture Repeats times, and assembles
+// the best-throughput Report (see RunConfig.Repeats for why best-of-N).
+// It is RunAll over a one-scenario matrix, so the repeat/selection
+// logic lives in exactly one place.
+func RunScenario(s Scenario, cfg RunConfig) (Report, error) {
+	f, err := RunAll([]Scenario{s}, cfg, nil)
+	if err != nil {
+		return Report{}, err
+	}
+	return f.Reports[0], nil
+}
+
+// runOnce validates the scenario and measures one pass over a
+// pre-generated stream. The up-front support check matters because
+// harness.RunOneOpts reports construction failures as an empty Result,
+// which would otherwise serialize as a silently-zero report.
+func runOnce(s Scenario, cfg RunConfig, items []stream.Item) (Report, error) {
+	s = s.named()
+	if !harness.Supported(s.Framework, s.Index) {
+		return Report{}, fmt.Errorf("perf: %s-%s unsupported in scenario %s", s.Framework, s.Index, s.Name)
+	}
+	p := apss.Params{Theta: s.Theta, Lambda: s.Lambda}
+	if err := p.Validate(); err != nil {
+		return Report{}, fmt.Errorf("perf: scenario %s: %w", s.Name, err)
+	}
+	lat := metrics.NewHistogram()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := harness.RunOneOpts(items, s.Profile, s.Framework, s.Index, p,
+		harness.RunOpts{Workers: s.Workers, Budget: cfg.Budget, Latency: lat})
+	runtime.ReadMemStats(&after)
+	return FromResult(s, res, lat, after.TotalAlloc-before.TotalAlloc, after.Mallocs-before.Mallocs), nil
+}
+
+// betterRun prefers a completed run, then higher throughput.
+func betterRun(a, b Report) bool {
+	if a.Completed != b.Completed {
+		return a.Completed
+	}
+	return a.ItemsPerSec > b.ItemsPerSec
+}
+
+// RunAll measures every scenario and assembles the versioned File. The
+// Repeats passes are interleaved — pass 1 over every scenario, then
+// pass 2, … — rather than back-to-back per scenario: shared-machine
+// noise arrives in bursts lasting seconds, and interleaving spreads
+// each scenario's repeats across the whole run so a burst costs at
+// most one pass, not a scenario's entire sample. progress, when
+// non-nil, is called with each scenario's final (best-of-passes)
+// report.
+func RunAll(scs []Scenario, cfg RunConfig, progress func(Report)) (*File, error) {
+	cfg = cfg.withDefaults()
+	f := &File{
+		Schema:     Schema,
+		Version:    SchemaVersion,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		BudgetSec:  cfg.Budget.Seconds(),
+	}
+	// Every scenario of a profile measures the same stream, so generate
+	// each distinct stream once up front instead of per scenario per
+	// pass — generation churn between measured passes would add exactly
+	// the GC noise best-of-N is trying to absorb.
+	streams := make(map[string][]stream.Item)
+	for _, s := range scs {
+		if _, ok := streams[s.Profile]; ok {
+			continue
+		}
+		items, err := datagen.GenerateByName(s.Profile, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		streams[s.Profile] = items
+	}
+	best := make([]Report, len(scs))
+	for pass := 0; pass < cfg.Repeats; pass++ {
+		for i, s := range scs {
+			r, err := runOnce(s, cfg, streams[s.Profile])
+			if err != nil {
+				return nil, err
+			}
+			if pass == 0 || betterRun(r, best[i]) {
+				best[i] = r
+			}
+		}
+	}
+	for _, r := range best {
+		if progress != nil {
+			progress(r)
+		}
+		f.Reports = append(f.Reports, r)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

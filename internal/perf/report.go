@@ -1,0 +1,198 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"sssj/internal/harness"
+	"sssj/internal/metrics"
+)
+
+// The versioned JSON schema. A BENCH file is rejected unless its schema
+// string matches exactly and its version is between 1 and SchemaVersion.
+//
+// Version history:
+//
+//	1 — initial: file header (schema, version, go/runtime info, scale,
+//	    seed, budget) + per-scenario reports with throughput, latency
+//	    quantiles, allocation stats, index occupancy, and the full
+//	    pruning counters. The json tags on metrics.Counters are part of
+//	    this schema.
+const (
+	Schema        = "sssj-bench"
+	SchemaVersion = 1
+)
+
+// File is the top-level BENCH JSON artifact: one run of the scenario
+// matrix under a single (scale, seed, budget) configuration. Files with
+// equal Scale and Seed measure identical streams, which is what makes
+// their pair counts comparable (Compare exploits this).
+type File struct {
+	Schema     string   `json:"schema"`         // always "sssj-bench"
+	Version    int      `json:"schema_version"` // 1..SchemaVersion
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Scale      float64  `json:"scale"`      // dataset size multiplier
+	Seed       int64    `json:"seed"`       // datagen seed
+	BudgetSec  float64  `json:"budget_sec"` // per-run budget (0 = unlimited)
+	Reports    []Report `json:"reports"`
+}
+
+// Report is one scenario's measurement: the structured, comparable
+// artifact every perf run produces. All latency figures are nanoseconds.
+type Report struct {
+	Scenario    Scenario         `json:"scenario"`
+	Items       int64            `json:"items"`       // stream items processed
+	Pairs       int64            `json:"pairs"`       // matches emitted
+	ElapsedSec  float64          `json:"elapsed_sec"` // wall clock of the measured loop
+	Completed   bool             `json:"completed"`   // finished within the budget
+	ItemsPerSec float64          `json:"items_per_sec"`
+	PairsPerSec float64          `json:"pairs_per_sec"`
+	Latency     LatencySummary   `json:"latency_ns"`
+	Alloc       AllocStats       `json:"alloc"`
+	Index       IndexStats       `json:"index"`
+	Counters    metrics.Counters `json:"counters"`
+}
+
+// LatencySummary holds per-item process-latency quantiles in
+// nanoseconds, from the fixed-bucket metrics.Histogram.
+type LatencySummary struct {
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	Count int64   `json:"count"`
+}
+
+// AllocStats reports heap allocation over the measured loop, from the
+// monotonic runtime.MemStats counters (exact regardless of GC timing).
+type AllocStats struct {
+	Bytes        uint64  `json:"bytes"`   // TotalAlloc delta
+	Objects      uint64  `json:"objects"` // Mallocs delta
+	BytesPerItem float64 `json:"bytes_per_item"`
+	ObjsPerItem  float64 `json:"objects_per_item"`
+}
+
+// IndexStats is the end-of-run index occupancy (streaming.SizeInfo with
+// schema-stable names); all-zero under MB, which buffers windows instead
+// of maintaining one index.
+type IndexStats struct {
+	PostingEntries int `json:"posting_entries"`
+	Residuals      int `json:"residuals"`
+	Lists          int `json:"lists"`
+	TrackedDims    int `json:"tracked_dims"`
+}
+
+// FromResult assembles a Report from an instrumented harness run: the
+// Result, the latency histogram the run observed into, and the heap
+// deltas around the measured loop. It is the bridge every experiment can
+// use to emit a perf artifact for whatever it just measured.
+func FromResult(s Scenario, res harness.Result, lat *metrics.Histogram, allocBytes, allocObjects uint64) Report {
+	r := Report{
+		Scenario:   s.named(),
+		Items:      res.Stats.Items,
+		Pairs:      int64(res.Matches),
+		ElapsedSec: res.Elapsed.Seconds(),
+		Completed:  res.Completed,
+		Alloc:      AllocStats{Bytes: allocBytes, Objects: allocObjects},
+		Index: IndexStats{
+			PostingEntries: res.IndexSize.PostingEntries,
+			Residuals:      res.IndexSize.Residuals,
+			Lists:          res.IndexSize.Lists,
+			TrackedDims:    res.IndexSize.TrackedDims,
+		},
+		Counters: res.Stats,
+	}
+	if r.ElapsedSec > 0 {
+		r.ItemsPerSec = float64(r.Items) / r.ElapsedSec
+		r.PairsPerSec = float64(r.Pairs) / r.ElapsedSec
+	}
+	if r.Items > 0 {
+		r.Alloc.BytesPerItem = float64(allocBytes) / float64(r.Items)
+		r.Alloc.ObjsPerItem = float64(allocObjects) / float64(r.Items)
+	}
+	if lat != nil {
+		r.Latency = LatencySummary{
+			P50:   lat.Quantile(0.50),
+			P90:   lat.Quantile(0.90),
+			P99:   lat.Quantile(0.99),
+			Mean:  lat.Mean(),
+			Max:   lat.Max(),
+			Count: lat.Count(),
+		}
+	}
+	return r
+}
+
+// Validate checks the schema envelope: exact schema string, version in
+// [1, SchemaVersion], at least one report, and unique scenario names
+// (the key Compare joins on).
+func (f *File) Validate() error {
+	if f.Schema != Schema {
+		return fmt.Errorf("perf: schema %q, want %q", f.Schema, Schema)
+	}
+	if f.Version < 1 || f.Version > SchemaVersion {
+		return fmt.Errorf("perf: schema version %d outside supported range 1..%d", f.Version, SchemaVersion)
+	}
+	if len(f.Reports) == 0 {
+		return fmt.Errorf("perf: no reports")
+	}
+	seen := make(map[string]bool, len(f.Reports))
+	for _, r := range f.Reports {
+		name := r.Scenario.Name
+		if name == "" {
+			return fmt.Errorf("perf: report with empty scenario name")
+		}
+		if seen[name] {
+			return fmt.Errorf("perf: duplicate scenario %q", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// Write serializes f as indented JSON (the committed-artifact format:
+// stable field order, readable diffs).
+func Write(w io.Writer, f *File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Read parses and validates a BENCH file.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("perf: parse: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// WriteFile writes f to path.
+func WriteFile(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile reads and validates the BENCH file at path.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return Read(in)
+}

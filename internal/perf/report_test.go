@@ -1,0 +1,236 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sssj/internal/harness"
+	"sssj/internal/metrics"
+)
+
+// sampleFile builds a valid two-scenario file with distinguishable
+// numbers in every field group.
+func sampleFile() *File {
+	return &File{
+		Schema: Schema, Version: SchemaVersion,
+		GoVersion: "go1.24", GOMAXPROCS: 1,
+		Scale: 0.25, Seed: 1, BudgetSec: 10,
+		Reports: []Report{
+			{
+				Scenario: Scenario{Name: "RCV1/STR-L2/t0.70/w1", Profile: "RCV1", Framework: "STR", Index: "L2", Theta: 0.7, Lambda: 0.01, Workers: 1},
+				Items:    1000, Pairs: 42, ElapsedSec: 0.5, Completed: true,
+				ItemsPerSec: 2000, PairsPerSec: 84,
+				Latency:  LatencySummary{P50: 1e4, P90: 3e4, P99: 9e4, Mean: 1.5e4, Max: 2e5, Count: 1000},
+				Alloc:    AllocStats{Bytes: 1 << 20, Objects: 5000, BytesPerItem: 1048.576, ObjsPerItem: 5},
+				Index:    IndexStats{PostingEntries: 321, Residuals: 100, Lists: 50, TrackedDims: 0},
+				Counters: metrics.Counters{Items: 1000, EntriesTraversed: 12345, Pairs: 42},
+			},
+			{
+				Scenario: Scenario{Name: "RCV1/MB-L2/t0.70/w1", Profile: "RCV1", Framework: "MB", Index: "L2", Theta: 0.7, Lambda: 0.01, Workers: 1},
+				Items:    1000, Pairs: 42, ElapsedSec: 0.8, Completed: true, ItemsPerSec: 1250,
+			},
+		},
+	}
+}
+
+func TestFileJSONRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip changed the file:\n  wrote %+v\n  read  %+v", f, got)
+	}
+}
+
+func TestFileSchemaFieldNames(t *testing.T) {
+	// The serialized field names are the schema contract README
+	// documents; renaming one must be a conscious version bump, so pin
+	// the load-bearing ones.
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleFile()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for _, key := range []string{
+		`"schema": "sssj-bench"`, `"schema_version": 1`,
+		`"items_per_sec"`, `"pairs_per_sec"`, `"latency_ns"`, `"p99"`,
+		`"bytes_per_item"`, `"posting_entries"`, `"entries_traversed"`,
+		`"scenario"`, `"workers"`,
+	} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("serialized file lacks schema field %s", key)
+		}
+	}
+}
+
+func TestReadRejectsBadEnvelope(t *testing.T) {
+	cases := map[string]func(*File){
+		"wrong schema":    func(f *File) { f.Schema = "other-tool" },
+		"version zero":    func(f *File) { f.Version = 0 },
+		"version too new": func(f *File) { f.Version = SchemaVersion + 1 },
+		"no reports":      func(f *File) { f.Reports = nil },
+		"empty name":      func(f *File) { f.Reports[0].Scenario.Name = "" },
+		"duplicate name":  func(f *File) { f.Reports[1].Scenario.Name = f.Reports[0].Scenario.Name },
+	}
+	for name, corrupt := range cases {
+		f := sampleFile()
+		corrupt(f)
+		var buf bytes.Buffer
+		if err := Write(&buf, f); err != nil {
+			t.Fatalf("%s: Write: %v", name, err)
+		}
+		if _, err := Read(&buf); err == nil {
+			t.Errorf("%s: Read accepted a bad file", name)
+		}
+	}
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Errorf("Read accepted malformed JSON")
+	}
+}
+
+func TestReadAcceptsOlderVersion(t *testing.T) {
+	// Forward compatibility contract: files written at any version
+	// 1..SchemaVersion must load. (A no-op today with one version; the
+	// test is the tripwire that keeps it true when version 2 lands.)
+	f := sampleFile()
+	f.Version = 1
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("version-1 file rejected: %v", err)
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	lat := metrics.NewHistogram()
+	for i := 0; i < 100; i++ {
+		lat.Observe(1e4)
+	}
+	res := harness.Result{
+		Dataset: "RCV1", Framework: "STR", Index: "L2",
+		Elapsed: 2 * time.Second, Completed: true, Matches: 10,
+	}
+	res.Stats.Items = 500
+	res.Stats.EntriesTraversed = 999
+	res.IndexSize.PostingEntries = 77
+	s := Scenario{Profile: "RCV1", Framework: "STR", Index: "L2", Theta: 0.7, Lambda: 0.01, Workers: 1}
+	r := FromResult(s, res, lat, 2048, 100)
+
+	if r.Scenario.Name != "RCV1/STR-L2/t0.70/w1" {
+		t.Errorf("derived name = %q", r.Scenario.Name)
+	}
+	if r.ItemsPerSec != 250 || r.PairsPerSec != 5 {
+		t.Errorf("throughput = %v items/s %v pairs/s, want 250/5", r.ItemsPerSec, r.PairsPerSec)
+	}
+	if r.Alloc.BytesPerItem != 2048.0/500 || r.Alloc.ObjsPerItem != 0.2 {
+		t.Errorf("alloc per item = %v B %v objs", r.Alloc.BytesPerItem, r.Alloc.ObjsPerItem)
+	}
+	if r.Latency.Count != 100 || r.Latency.P50 != 1e4 {
+		t.Errorf("latency = %+v, want count 100 p50 1e4", r.Latency)
+	}
+	if r.Index.PostingEntries != 77 {
+		t.Errorf("index stats not carried over: %+v", r.Index)
+	}
+	if r.Counters.EntriesTraversed != 999 {
+		t.Errorf("counters not carried over: %+v", r.Counters)
+	}
+}
+
+func TestRunScenarioSmoke(t *testing.T) {
+	// One tiny real run end to end: the report must have consistent,
+	// non-degenerate measurements.
+	s := Scenario{Profile: "RCV1", Framework: "STR", Index: "L2", Theta: 0.7, Lambda: 0.01, Workers: 1}
+	r, err := RunScenario(s, RunConfig{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if !r.Completed {
+		t.Fatalf("unbudgeted run not completed")
+	}
+	if r.Items != 200 { // RCV1 n=4000 × 0.05
+		t.Errorf("items = %d, want 200", r.Items)
+	}
+	if r.ItemsPerSec <= 0 || r.Latency.Count != r.Items || r.Latency.P99 < r.Latency.P50 {
+		t.Errorf("degenerate measurements: %+v", r)
+	}
+	if r.Index.PostingEntries <= 0 {
+		t.Errorf("STR run reported empty index: %+v", r.Index)
+	}
+	// Same stream, same engine → same pair count: determinism is what
+	// makes cross-PR pair comparison meaningful.
+	r2, err := RunScenario(s, RunConfig{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Pairs != r.Pairs {
+		t.Errorf("pairs not deterministic: %d vs %d", r.Pairs, r2.Pairs)
+	}
+}
+
+func TestRunScenarioRejectsBadCombos(t *testing.T) {
+	for _, s := range []Scenario{
+		{Profile: "RCV1", Framework: "XX", Index: "L2", Theta: 0.7, Lambda: 0.01},
+		{Profile: "RCV1", Framework: "STR", Index: "NOPE", Theta: 0.7, Lambda: 0.01},
+		{Profile: "RCV1", Framework: "STR", Index: "AP", Theta: 0.7, Lambda: 0.01}, // AP is MB-only
+		{Profile: "NoSuch", Framework: "STR", Index: "L2", Theta: 0.7, Lambda: 0.01},
+		{Profile: "RCV1", Framework: "STR", Index: "L2", Theta: 0, Lambda: 0.01}, // bad θ
+	} {
+		if _, err := RunScenario(s, RunConfig{Scale: 0.01}); err == nil {
+			t.Errorf("RunScenario accepted bad scenario %+v", s)
+		}
+	}
+}
+
+func TestDefaultScenarios(t *testing.T) {
+	scs := DefaultScenarios()
+	if len(scs) < 8 {
+		t.Fatalf("matrix has %d scenarios, acceptance floor is 8", len(scs))
+	}
+	names := make(map[string]bool)
+	for _, s := range scs {
+		if s.Name == "" {
+			t.Errorf("unnamed scenario %+v", s)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if got := len(FilterByProfile(scs, "RCV1")); got != 7 {
+		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 7", got)
+	}
+	if got := len(FilterByProfile(scs, "")); got != len(scs) {
+		t.Errorf("empty filter dropped scenarios")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	if err := WriteFile(path, sampleFile()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(f.Reports) != 2 {
+		t.Fatalf("read %d reports, want 2", len(f.Reports))
+	}
+	// Artifact must be indented (committed-file readability contract).
+	raw, _ := json.Marshal(sampleFile())
+	if onDisk, _ := os.ReadFile(path); len(onDisk) <= len(raw) {
+		t.Errorf("artifact not indented: %d bytes vs compact %d", len(onDisk), len(raw))
+	}
+}
