@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json clean
+# COVER_FLOOR is the minimum total statement coverage `make cover`
+# accepts (CI fails below it). Measured 88.1% when the gate was added;
+# the floor leaves headroom for legitimately hard-to-cover glue without
+# letting coverage rot unnoticed.
+COVER_FLOOR ?= 85
+
+.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate cover clean
 
 # verify is the tier-1 gate: everything CI runs, from a clean checkout.
 verify: vet build race
@@ -39,6 +45,25 @@ bench-workers:
 bench-json:
 	$(GO) run ./cmd/sssjbench -exp perf -scale 0.1 -budget 5s -json BENCH.json
 	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
+
+# bench-gate is the CI regression wall: it measures the full scenario
+# matrix at the committed baseline's scale and seed, then fails on a
+# throughput drop past -regress, any objects/item growth past
+# -allocregress, a pair-count mismatch (same stream ⇒ same pairs), or a
+# scenario that vanished. Refresh the baseline by committing a new
+# BENCH_PR3.json from `go run ./cmd/sssjbench -exp perf -scale 0.25 -json BENCH_PR3.json`.
+bench-gate:
+	$(GO) run ./cmd/sssjbench -exp perf -scale 0.25 -seed 1 -budget 10s \
+		-json BENCH.json -baseline BENCH_PR3.json
+	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
+
+# cover enforces the statement-coverage floor and leaves coverage.out
+# for the CI artifact upload.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "total statement coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { if (t+0 < f+0) { print "FAIL: coverage below floor"; exit 1 } }'
 
 # docvet fails if any exported identifier in the public sssj package
 # lacks a doc comment (also runs as part of `make test`).

@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonOut  = fs.String("json", "", "perf: write the BENCH JSON artifact to this path")
 		baseline = fs.String("baseline", "", "perf: compare against this BENCH JSON baseline; exit nonzero past the regression threshold")
 		regress  = fs.Float64("regress", perf.DefaultThreshold, "perf: tolerated fractional items/s drop vs the baseline before failing")
+		allocReg = fs.Float64("allocregress", perf.DefaultAllocThreshold, "perf: tolerated fractional objects/item growth vs the baseline before failing (negative disables)")
 		repeats  = fs.Int("repeats", perf.DefaultRepeats, "perf: measure each scenario N times and report the best (noise is one-sided)")
 		check    = fs.String("checkjson", "", "validate that the BENCH JSON file at this path parses against the schema, then exit")
 	)
@@ -77,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// rather than silently not gating (a CI job that forgets -exp perf
 	// must fail loudly, not skip its baseline comparison).
 	if *exp != "perf" {
-		perfOnly := map[string]bool{"json": true, "baseline": true, "regress": true, "repeats": true, "profile": true}
+		perfOnly := map[string]bool{"json": true, "baseline": true, "regress": true, "allocregress": true, "repeats": true, "profile": true}
 		var misused []string
 		fs.Visit(func(fl *flag.Flag) {
 			if perfOnly[fl.Name] {
@@ -92,7 +93,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *regress <= 0 || *regress >= 1 {
 			return fmt.Errorf("-regress must be in (0, 1), got %v", *regress)
 		}
-		return runPerf(stdout, *profile, *jsonOut, *baseline, *regress,
+		// Zero is ambiguous (perf.Compare treats it as "use the default"),
+		// so reject it rather than silently widening a gate the operator
+		// asked to close; near-zero tolerance is a small positive value.
+		if *allocReg == 0 {
+			return fmt.Errorf("-allocregress must be nonzero: positive tolerance (e.g. 0.01 for near-zero) or negative to disable")
+		}
+		return runPerf(stdout, *profile, *jsonOut, *baseline, *regress, *allocReg,
 			perf.RunConfig{Scale: *scale, Seed: *seed, Budget: *budget, Repeats: *repeats})
 	}
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Budget: *budget}
@@ -203,7 +210,7 @@ var errRegression = errors.New("perf regression vs baseline")
 
 // runPerf measures the scenario matrix, optionally writes the BENCH JSON
 // artifact, and optionally compares against a committed baseline.
-func runPerf(stdout io.Writer, profile, jsonOut, baseline string, threshold float64, cfg perf.RunConfig) error {
+func runPerf(stdout io.Writer, profile, jsonOut, baseline string, threshold, allocThreshold float64, cfg perf.RunConfig) error {
 	all := perf.DefaultScenarios()
 	scs := perf.FilterByProfile(all, profile)
 	if len(scs) == 0 {
@@ -228,7 +235,7 @@ func runPerf(stdout io.Writer, profile, jsonOut, baseline string, threshold floa
 		if err != nil {
 			return err
 		}
-		c := perf.Compare(base, f, perf.CompareOpts{Threshold: threshold})
+		c := perf.Compare(base, f, perf.CompareOpts{Threshold: threshold, AllocThreshold: allocThreshold})
 		perf.PrintComparison(stdout, c)
 		if !c.Ok() {
 			return fmt.Errorf("%w: %d regression(s), %d missing scenario(s), %d config mismatch(es)",

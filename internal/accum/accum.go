@@ -1,0 +1,81 @@
+// Package accum provides the dense epoch-stamped candidate accumulator
+// shared by the streaming and batch indexes.
+//
+// Candidate generation is the hot loop of every scheme in the paper: each
+// probe walks posting lists and accumulates a partial dot product per
+// candidate vector. Keying that accumulation by a hash map costs one map
+// allocation per probe plus a heap cell per candidate, and the GC has to
+// trace all of it. This package replaces the map with three flat arrays
+// indexed by a compact per-item slot (see the index's slot table):
+//
+//	Dot[slot]  — the accumulated partial dot product
+//	Mark[slot] — the epoch at which slot was last admitted
+//	Dead[slot] — the epoch at which slot was last pruned
+//
+// Begin bumps the epoch instead of clearing anything, so resetting the
+// accumulator between probes is O(1) and the arrays are reused for the
+// lifetime of the index: zero allocations on the steady-state hot path.
+package accum
+
+// Dense is an epoch-stamped accumulator over compact uint32 slots. The
+// zero value is ready to use after a call to Begin.
+type Dense struct {
+	// Epoch is the current probe's stamp. A slot is admitted this probe
+	// iff Mark[slot] == Epoch, and pruned iff Dead[slot] == Epoch.
+	Epoch uint32
+	// Mark stamps admitted slots; Dot[slot] is meaningful only when
+	// Mark[slot] == Epoch.
+	Mark []uint32
+	// Dead stamps pruned slots: candidates proven below threshold that
+	// must not be re-admitted or verified this probe.
+	Dead []uint32
+	// Dot is the accumulated partial dot product per admitted slot.
+	Dot []float64
+	// Cands lists admitted slots in first-touch order — the reusable
+	// candidate list that verification walks instead of a map iteration.
+	Cands []uint32
+	// Deads lists slots pruned at admission time (never admitted to
+	// Cands), in first-decline order. Only the sharded engines use it,
+	// to union per-shard declines during the merge.
+	Deads []uint32
+}
+
+// Begin starts a new probe over a slot space of size n: it grows the
+// arrays if the slot space grew, bumps the epoch, and resets the
+// candidate lists. No per-slot state is cleared — stale stamps from
+// earlier probes simply no longer equal Epoch.
+func (a *Dense) Begin(n int) {
+	if len(a.Mark) < n {
+		a.Mark = append(a.Mark, make([]uint32, n-len(a.Mark))...)
+		a.Dead = append(a.Dead, make([]uint32, n-len(a.Dead))...)
+		a.Dot = append(a.Dot, make([]float64, n-len(a.Dot))...)
+	}
+	a.Epoch++
+	if a.Epoch == 0 {
+		// Epoch wrapped (once per 2^32 probes): stale stamps could now
+		// collide with the restarted counter, so clear them explicitly.
+		clear(a.Mark)
+		clear(a.Dead)
+		a.Epoch = 1
+	}
+	a.Cands = a.Cands[:0]
+	a.Deads = a.Deads[:0]
+}
+
+// Admit marks slot as a candidate of the current probe with a zeroed
+// dot product and appends it to Cands. The caller must have checked
+// Mark[slot] != Epoch (hot loops inline that test).
+func (a *Dense) Admit(slot uint32) {
+	a.Mark[slot] = a.Epoch
+	a.Dot[slot] = 0
+	a.Cands = append(a.Cands, slot)
+}
+
+// Decline marks slot as pruned for the current probe and records it in
+// Deads. Safe to call more than once per slot per probe.
+func (a *Dense) Decline(slot uint32) {
+	if a.Dead[slot] != a.Epoch {
+		a.Dead[slot] = a.Epoch
+		a.Deads = append(a.Deads, slot)
+	}
+}

@@ -1,27 +1,34 @@
 package static
 
 import (
+	"sssj/internal/accum"
 	"sssj/internal/apss"
 	"sssj/internal/metrics"
 	"sssj/internal/stream"
 )
 
-// invEntry is a posting entry of the plain inverted index: a vector
-// reference and its value at the list's dimension.
+// invEntry is a posting entry of the plain inverted index: the indexed
+// vector's compact slot (its position in insertion order) and its value
+// at the list's dimension. The item id lives once in the slot table, not
+// in every entry.
 type invEntry struct {
-	id  uint64
-	val float64
+	slot uint32
+	val  float64
 }
 
 // invIndex is the INV scheme (§5.1): every non-zero coordinate is indexed,
 // candidate generation accumulates the full dot product, and verification
-// is a threshold check.
+// is a threshold check. Candidates accumulate in a dense epoch-stamped
+// accumulator reused across queries, so Build runs its n queries without
+// allocating a map per item.
 type invIndex struct {
 	theta float64
 	c     *metrics.Counters
 	order Order
 	dm    *dimMap
 	lists map[uint32][]invEntry
+	ids   []uint64 // slot → item id
+	acc   accum.Dense
 	built bool
 }
 
@@ -73,28 +80,32 @@ func (ix *invIndex) query(x stream.Item, g *apss.PairGate) {
 	if x.Vec.IsEmpty() {
 		return
 	}
-	acc := make(map[uint64]float64)
+	a := &ix.acc
+	a.Begin(len(ix.ids))
 	for i, d := range x.Vec.Dims {
 		xj := x.Vec.Vals[i]
 		for _, e := range ix.lists[d] {
 			ix.c.EntriesTraversed++
-			if _, seen := acc[e.id]; !seen {
+			if a.Mark[e.slot] != a.Epoch {
+				a.Admit(e.slot)
 				ix.c.Candidates++
 			}
-			acc[e.id] += xj * e.val
+			a.Dot[e.slot] += xj * e.val
 		}
 	}
-	for id, s := range acc {
-		if s >= ix.theta {
-			g.Emit(apss.Pair{X: x.ID, Y: id, Dot: s})
+	for _, sl := range a.Cands {
+		if s := a.Dot[sl]; s >= ix.theta {
+			g.Emit(apss.Pair{X: x.ID, Y: ix.ids[sl], Dot: s})
 		}
 	}
 }
 
 // insert runs IndConstr-INV for one already-remapped vector.
 func (ix *invIndex) insert(x stream.Item) {
+	slot := uint32(len(ix.ids))
+	ix.ids = append(ix.ids, x.ID)
 	for i, d := range x.Vec.Dims {
-		ix.lists[d] = append(ix.lists[d], invEntry{id: x.ID, val: x.Vec.Vals[i]})
+		ix.lists[d] = append(ix.lists[d], invEntry{slot: slot, val: x.Vec.Vals[i]})
 		ix.c.IndexedEntries++
 	}
 }

@@ -3,6 +3,7 @@ package static
 import (
 	"math"
 
+	"sssj/internal/accum"
 	"sssj/internal/apss"
 	"sssj/internal/metrics"
 	"sssj/internal/stream"
@@ -10,10 +11,11 @@ import (
 )
 
 // pentry is a posting entry of the prefix-filtering schemes:
-// (ι(x), x_j, ||x'_j||) per §5.3. The prefix norm is 0 for AP, which does
-// not use it.
+// (slot, x_j, ||x'_j||) per §5.3, with the indexed vector referenced by
+// its compact slot rather than its 8-byte id. The prefix norm is 0 for
+// AP, which does not use it.
 type pentry struct {
-	id    uint64
+	slot  uint32
 	val   float64
 	pnorm float64 // L2 norm of the vector's coordinates before this one
 }
@@ -22,6 +24,7 @@ type pentry struct {
 // schemes: the residual direct index entry R[ι(x)] plus the statistics the
 // candidate-verification bounds need, and the pscore Q[ι(x)].
 type vmeta struct {
+	id       uint64     // item id (emission)
 	residual vec.Vector // unindexed prefix x'
 	q        float64    // Q[ι(x)]: upper bound on dot(z, x') for any unit z
 	rsum     float64    // Σ x'
@@ -32,7 +35,9 @@ type vmeta struct {
 
 // prefixIndex is the shared engine behind AP (useAP), L2 (useL2), and
 // L2AP (both), following the color convention of Algorithms 2–4: red
-// lines are guarded by useAP, green lines by useL2.
+// lines are guarded by useAP, green lines by useL2. Candidates
+// accumulate in a dense epoch-stamped accumulator keyed by slot (one
+// vmeta per slot), reused across the Build loop's queries.
 type prefixIndex struct {
 	theta        float64
 	useAP, useL2 bool
@@ -44,7 +49,8 @@ type prefixIndex struct {
 	m     vec.MaxTracker // dataset ∪ external maxima (b1 bound; AP only)
 	mhat  vec.MaxTracker // maxima over indexed vectors (rs1 bound; AP only)
 	lists map[uint32][]pentry
-	meta  map[uint64]*vmeta
+	meta  []*vmeta // slot → per-vector state
+	acc   accum.Dense
 	built bool
 }
 
@@ -57,7 +63,6 @@ func newPrefixIndex(theta float64, useAP, useL2 bool, opts Options, c *metrics.C
 		order:  opts.Order,
 		extMax: opts.ExternalMax,
 		lists:  make(map[uint32][]pentry),
-		meta:   make(map[uint64]*vmeta),
 	}
 }
 
@@ -146,43 +151,40 @@ func (ix *prefixIndex) query(x stream.Item, g *apss.PairGate) {
 	}
 
 	pnx := x.Vec.PrefixNorms()
-	acc := make(map[uint64]float64)
-	pruned := make(map[uint64]bool)
+	a := &ix.acc
+	a.Begin(len(ix.meta))
 
 	// Scan x's coordinates in reverse indexing order.
 	for i := len(dims) - 1; i >= 0; i-- {
 		d, xj := dims[i], vals[i]
 		for _, e := range ix.lists[d] {
 			ix.c.EntriesTraversed++
-			if pruned[e.id] {
+			if a.Dead[e.slot] == a.Epoch {
 				continue
 			}
-			a, isCand := acc[e.id]
-			if !isCand {
+			if a.Mark[e.slot] != a.Epoch {
 				if math.Min(rs1, rs2) < ix.theta {
 					continue // remscore pruning: y can no longer reach θ
 				}
 				if ix.useAP {
 					// sz1 size filter (Algorithm 3, line 8).
-					ym := ix.meta[e.id]
+					ym := ix.meta[e.slot]
 					if float64(ym.nnz)*ym.vm < sz1 {
-						pruned[e.id] = true
+						a.Dead[e.slot] = a.Epoch
 						continue
 					}
 				}
+				a.Admit(e.slot)
 				ix.c.Candidates++
 			}
-			a += xj * e.val
+			a.Dot[e.slot] += xj * e.val
 			if ix.useL2 {
 				// Early ℓ2 pruning (Algorithm 3, lines 11–13):
 				// remaining dot ≤ ||x'_j||·||y'_j||.
-				if a+pnx[i]*e.pnorm < ix.theta {
-					delete(acc, e.id)
-					pruned[e.id] = true
-					continue
+				if a.Dot[e.slot]+pnx[i]*e.pnorm < ix.theta {
+					a.Dead[e.slot] = a.Epoch
 				}
 			}
-			acc[e.id] = a
 		}
 		if ix.useAP {
 			rs1 -= xj * ix.mhat.At(d)
@@ -195,35 +197,40 @@ func (ix *prefixIndex) query(x stream.Item, g *apss.PairGate) {
 			rs2 = math.Sqrt(rst)
 		}
 	}
-	ix.verify(x, vmx, acc, g)
+	ix.verify(x, vmx, g)
 }
 
-// verify runs Algorithm 4 (CandVer) over the accumulated candidates,
-// emitting surviving pairs into the gate.
-func (ix *prefixIndex) verify(x stream.Item, vmx float64, acc map[uint64]float64, g *apss.PairGate) {
-	if len(acc) == 0 {
+// verify runs Algorithm 4 (CandVer) over the candidate list, emitting
+// surviving pairs into the gate.
+func (ix *prefixIndex) verify(x stream.Item, vmx float64, g *apss.PairGate) {
+	a := &ix.acc
+	if len(a.Cands) == 0 {
 		return
 	}
 	sx := x.Vec.Sum()
 	nx := x.Vec.NNZ()
-	for id, a := range acc {
-		ym := ix.meta[id]
+	for _, sl := range a.Cands {
+		if a.Dead[sl] == a.Epoch {
+			continue
+		}
+		ym := ix.meta[sl]
+		dot := a.Dot[sl]
 		// ps1: accumulated + pscore bound on the residual (line 3).
-		if a+ym.q < ix.theta {
+		if dot+ym.q < ix.theta {
 			continue
 		}
 		// ds1: dot bound via coordinate sums (line 4).
-		if a+math.Min(vmx*ym.rsum, ym.rmax*sx) < ix.theta {
+		if dot+math.Min(vmx*ym.rsum, ym.rmax*sx) < ix.theta {
 			continue
 		}
 		// sz2: dot bound via sizes (line 5).
-		if a+float64(min(nx, ym.residual.NNZ()))*vmx*ym.rmax < ix.theta {
+		if dot+float64(min(nx, ym.residual.NNZ()))*vmx*ym.rmax < ix.theta {
 			continue
 		}
 		ix.c.FullDots++
-		s := a + vec.Dot(x.Vec, ym.residual)
+		s := dot + vec.Dot(x.Vec, ym.residual)
 		if s >= ix.theta {
-			g.Emit(apss.Pair{X: x.ID, Y: id, Dot: s})
+			g.Emit(apss.Pair{X: x.ID, Y: ym.id, Dot: s})
 		}
 	}
 }
@@ -247,6 +254,7 @@ func (ix *prefixIndex) insert(x stream.Item) {
 	b1, bt := 0.0, 0.0
 	firstIdx := -1
 	q := 0.0
+	slot := uint32(len(ix.meta))
 	for i, d := range dims {
 		xj := vals[i]
 		pscore := ix.icBound(b1, math.Sqrt(bt))
@@ -259,7 +267,7 @@ func (ix *prefixIndex) insert(x stream.Item) {
 				firstIdx = i
 				q = pscore
 			}
-			ix.lists[d] = append(ix.lists[d], pentry{id: x.ID, val: xj, pnorm: pn[i]})
+			ix.lists[d] = append(ix.lists[d], pentry{slot: slot, val: xj, pnorm: pn[i]})
 			ix.c.IndexedEntries++
 		}
 	}
@@ -269,14 +277,15 @@ func (ix *prefixIndex) insert(x stream.Item) {
 		return
 	}
 	residual := x.Vec.SliceByIndex(0, firstIdx)
-	ix.meta[x.ID] = &vmeta{
+	ix.meta = append(ix.meta, &vmeta{
+		id:       x.ID,
 		residual: residual,
 		q:        q,
 		rsum:     residual.Sum(),
 		rmax:     residual.MaxVal(),
 		vm:       x.Vec.MaxVal(),
 		nnz:      x.Vec.NNZ(),
-	}
+	})
 	ix.c.ResidualEntries++
 	if ix.useAP {
 		ix.mhat.Update(x.Vec)

@@ -1,0 +1,275 @@
+package streaming
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collect returns the (slot, t) pairs of ch oldest→newest.
+func collect(ar *parena, ch *chain) (slots []uint32, ts []float64) {
+	ar.ascend(ch, func(i int) {
+		slots = append(slots, ar.slot[i])
+		ts = append(ts, ar.t[i])
+	})
+	return
+}
+
+func TestArenaPushAscend(t *testing.T) {
+	ar := parena{}
+	ch := newChain()
+	const n = 3*blockCap + 5 // forces chaining across blocks
+	for i := 0; i < n; i++ {
+		ar.push(ch, uint32(i), float64(i), float64(2*i), 0)
+	}
+	if int(ch.n) != n {
+		t.Fatalf("n = %d, want %d", ch.n, n)
+	}
+	slots, ts := collect(&ar, ch)
+	if len(slots) != n {
+		t.Fatalf("ascend visited %d entries", len(slots))
+	}
+	for i := 0; i < n; i++ {
+		if slots[i] != uint32(i) || ts[i] != float64(i) {
+			t.Fatalf("entry %d = (%d, %v)", i, slots[i], ts[i])
+		}
+	}
+	if got, want := ar.blocks(), (n+blockCap-1)/blockCap; got != want {
+		t.Fatalf("blocks = %d, want %d", got, want)
+	}
+}
+
+func TestArenaDescendCut(t *testing.T) {
+	ar := parena{}
+	ch := newChain()
+	const n = 2*blockCap + 7
+	for i := 0; i < n; i++ {
+		ar.push(ch, uint32(i), float64(i), 0, 0)
+	}
+	// tau = 10 at now = n expires entries with n-t > 10, i.e. t < n-10,
+	// keeping exactly the last 10.
+	var visited []uint32
+	removed := ar.descendCut(ch, float64(n), 10, func(i int) {
+		visited = append(visited, ar.slot[i])
+	})
+	if removed != n-10 {
+		t.Fatalf("removed %d, want %d", removed, n-10)
+	}
+	if int(ch.n) != 10 {
+		t.Fatalf("remaining %d, want 10", ch.n)
+	}
+	// Visited newest→oldest, only live entries.
+	if len(visited) != 10 || visited[0] != uint32(n-1) || visited[9] != uint32(n-10) {
+		t.Fatalf("visited = %v", visited)
+	}
+	// Expired blocks went back on the freelist.
+	if ar.freeBlocks() == 0 {
+		t.Fatal("no blocks recycled")
+	}
+	// Pushing again reuses freed blocks instead of growing the arena.
+	grew := ar.blocks()
+	for i := 0; i < blockCap; i++ {
+		ar.push(ch, 99, float64(n+i), 0, 0)
+	}
+	if ar.blocks() != grew {
+		t.Fatalf("arena grew from %d to %d blocks despite a freelist", grew, ar.blocks())
+	}
+}
+
+func TestArenaDescendCutWholeChain(t *testing.T) {
+	ar := parena{}
+	ch := newChain()
+	for i := 0; i < blockCap+3; i++ {
+		ar.push(ch, uint32(i), 0, 0, 0)
+	}
+	removed := ar.descendCut(ch, 100, 1, func(int) { t.Fatal("visited an expired entry") })
+	if removed != blockCap+3 || ch.n != 0 || ch.newest != -1 || ch.oldest != -1 {
+		t.Fatalf("removed=%d chain=%+v", removed, ch)
+	}
+	if ar.freeBlocks() != 2 {
+		t.Fatalf("freelist = %d, want 2", ar.freeBlocks())
+	}
+}
+
+func TestArenaSweepOrdered(t *testing.T) {
+	ar := parena{}
+	ch := newChain()
+	const n = 2*blockCap + 3
+	for i := 0; i < n; i++ {
+		ar.push(ch, uint32(i), float64(i), 0, 0)
+	}
+	removed := ar.sweepOrdered(ch, float64(n), 4) // live: n-t <= 4 → last 4
+	if removed != n-4 || int(ch.n) != 4 {
+		t.Fatalf("removed=%d n=%d", removed, ch.n)
+	}
+	slots, _ := collect(&ar, ch)
+	if len(slots) != 4 || slots[0] != uint32(n-4) {
+		t.Fatalf("survivors = %v", slots)
+	}
+	// Sweep again with everything expired: chain empties entirely.
+	removed = ar.sweepOrdered(ch, float64(10*n), 1)
+	if removed != 4 || ch.n != 0 || ch.oldest != -1 || ch.newest != -1 {
+		t.Fatalf("removed=%d chain=%+v", removed, ch)
+	}
+}
+
+func TestArenaCompact(t *testing.T) {
+	ar := parena{withPnorm: true}
+	ch := newChain()
+	const n = 3*blockCap + 1
+	for i := 0; i < n; i++ {
+		ar.push(ch, uint32(i), float64(i), float64(i), float64(i))
+	}
+	// Drop every third entry.
+	removed := ar.compact(ch, func(i int) bool { return ar.slot[i]%3 != 0 })
+	wantRemoved := 0
+	var want []uint32
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			wantRemoved++
+		} else {
+			want = append(want, uint32(i))
+		}
+	}
+	if removed != wantRemoved || int(ch.n) != len(want) {
+		t.Fatalf("removed=%d n=%d want %d/%d", removed, ch.n, wantRemoved, len(want))
+	}
+	slots, _ := collect(&ar, ch)
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("order broken at %d: %v", i, slots[i])
+		}
+		ai := -1
+		ar.ascend(ch, func(j int) {
+			if ar.slot[j] == want[i] {
+				ai = j
+			}
+		})
+		if ar.val[ai] != float64(want[i]) || ar.pnorm[ai] != float64(want[i]) {
+			t.Fatalf("payload of %d not moved with slot", want[i])
+		}
+	}
+	// Compact everything away: chain empties, all blocks recycled.
+	total := ar.blocks()
+	removed = ar.compact(ch, func(int) bool { return false })
+	if removed != len(want) || ch.n != 0 || ch.oldest != -1 {
+		t.Fatalf("removed=%d chain=%+v", removed, ch)
+	}
+	if ar.freeBlocks() != total {
+		t.Fatalf("freelist=%d, want all %d blocks", ar.freeBlocks(), total)
+	}
+}
+
+func TestArenaCompactNoRemoval(t *testing.T) {
+	ar := parena{}
+	ch := newChain()
+	for i := 0; i < blockCap+2; i++ {
+		ar.push(ch, uint32(i), 0, 0, 0)
+	}
+	if removed := ar.compact(ch, func(int) bool { return true }); removed != 0 {
+		t.Fatalf("removed %d from all-keep compact", removed)
+	}
+	slots, _ := collect(&ar, ch)
+	if len(slots) != blockCap+2 || slots[0] != 0 {
+		t.Fatalf("entries disturbed: %v", slots)
+	}
+}
+
+// TestArenaRandomOps cross-checks the arena against a plain slice model
+// under a random schedule of pushes, cuts, sweeps, and compactions.
+func TestArenaRandomOps(t *testing.T) {
+	type ent struct {
+		slot uint32
+		t    float64
+	}
+	r := rand.New(rand.NewSource(42))
+	ar := parena{}
+	ch := newChain()
+	var model []ent
+	now := 0.0
+	next := uint32(0)
+	for step := 0; step < 4000; step++ {
+		switch op := r.Intn(10); {
+		case op < 6: // push
+			now += r.Float64()
+			ar.push(ch, next, now, 0, 0)
+			model = append(model, ent{next, now})
+			next++
+		case op < 8: // descendCut with random tau
+			tau := r.Float64() * 5
+			var got []uint32
+			ar.descendCut(ch, now, tau, func(i int) { got = append(got, ar.slot[i]) })
+			var keep []ent
+			var want []uint32
+			for _, e := range model {
+				if now-e.t > tau {
+					continue
+				}
+				keep = append(keep, e)
+			}
+			for i := len(keep) - 1; i >= 0; i-- {
+				want = append(want, keep[i].slot)
+			}
+			// The model is time-ordered, so the cut drops exactly the
+			// expired prefix.
+			if len(got) != len(want) {
+				t.Fatalf("step %d: visited %d, want %d", step, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: visit order diverged", step)
+				}
+			}
+			model = keep
+		case op < 9: // sweepOrdered
+			tau := r.Float64() * 5
+			ar.sweepOrdered(ch, now, tau)
+			var keep []ent
+			for _, e := range model {
+				if now-e.t > tau {
+					continue
+				}
+				keep = append(keep, e)
+			}
+			model = keep
+		default: // compact dropping random slots
+			mod := uint32(2 + r.Intn(5))
+			ar.compact(ch, func(i int) bool { return ar.slot[i]%mod != 0 })
+			var keep []ent
+			for _, e := range model {
+				if e.slot%mod != 0 {
+					keep = append(keep, e)
+				}
+			}
+			model = keep
+		}
+		if int(ch.n) != len(model) {
+			t.Fatalf("step %d: chain n=%d, model %d", step, ch.n, len(model))
+		}
+		slots, _ := collect(&ar, ch)
+		for i := range model {
+			if slots[i] != model[i].slot {
+				t.Fatalf("step %d: entry %d = %d, want %d", step, i, slots[i], model[i].slot)
+			}
+		}
+	}
+}
+
+func TestSlotTabRecycling(t *testing.T) {
+	var s slotTab
+	a := s.alloc(100, 1)
+	b := s.alloc(200, 2)
+	if a == b || s.span() != 2 {
+		t.Fatalf("slots %d %d span %d", a, b, s.span())
+	}
+	s.release(a)
+	c := s.alloc(300, 3)
+	if c != a {
+		t.Fatalf("freed slot not recycled: got %d want %d", c, a)
+	}
+	if s.id[c] != 300 || s.t[c] != 3 {
+		t.Fatalf("recycled slot kept stale identity: id=%d t=%v", s.id[c], s.t[c])
+	}
+	if s.span() != 2 {
+		t.Fatalf("span grew to %d despite recycling", s.span())
+	}
+}

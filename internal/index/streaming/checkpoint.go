@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"sssj/internal/apss"
 	"sssj/internal/cbuf"
@@ -22,7 +23,9 @@ import (
 // self-describing enough to reject foreign or truncated files.
 //
 // Operation counters are not part of a checkpoint; a restored index
-// starts counting from zero.
+// starts counting from zero. Item slots are runtime-only too: the file
+// records item ids, and Load assigns fresh slots as it rebuilds the
+// arena.
 
 var ckptMagic = [8]byte{'S', 'S', 'S', 'J', 'C', 'K', 'P', 'T'}
 
@@ -35,7 +38,13 @@ var ckptMagic = [8]byte{'S', 'S', 'S', 'J', 'C', 'K', 'P', 'T'}
 //	    1 files still load; their sweep state is reconstructed
 //	    conservatively (every tracked dimension treated as touched at
 //	    the checkpoint), which can only delay pruning by one horizon.
-const ckptVersion = 2
+//	3 — block framing: each posting list is written as its arena block
+//	    chain (block count, then per block an entry count and the
+//	    block's live entries, oldest→newest), so Save streams blocks
+//	    without materializing per-list slices and Load rebuilds chains
+//	    block by block. Entry payloads are unchanged; versions 1 and 2
+//	    (one flat entry count per list) still load.
+const ckptVersion = 3
 
 // ErrBadCheckpoint reports a corrupt or incompatible checkpoint.
 var ErrBadCheckpoint = errors.New("streaming: bad checkpoint")
@@ -52,29 +61,16 @@ func Save(ix Index, w io.Writer) error {
 	case *invIndex:
 		saveHeader(cw, INV, v.p, v.kernel, v.now, v.begun, v.clock)
 		cw.u32(uint32(len(v.lists)))
-		for d, lst := range v.lists {
+		for d, ch := range v.lists {
 			cw.u32(d)
-			cw.u32(uint32(lst.Len()))
-			lst.Ascend(func(_ int, e ientry) bool {
-				cw.u64(e.id)
-				cw.f64(e.t)
-				cw.f64(e.val)
-				return true
-			})
+			saveChain(cw, &v.ar, &v.slots, ch, false)
 		}
 	case *engine:
 		saveHeader(cw, engineKind(v.useAP, v.useL2), v.p, v.kernel, v.now, v.begun, v.clock)
 		cw.u32(uint32(len(v.lists)))
-		for d, lst := range v.lists {
+		for d, ch := range v.lists {
 			cw.u32(d)
-			cw.u32(uint32(lst.Len()))
-			lst.Ascend(func(_ int, e sentry) bool {
-				cw.u64(e.id)
-				cw.f64(e.t)
-				cw.f64(e.val)
-				cw.f64(e.pnorm)
-				return true
-			})
+			saveChain(cw, &v.ar, &v.slots, ch, true)
 		}
 		saveRes(cw, v.res)
 		if v.useAP {
@@ -103,16 +99,9 @@ func Save(ix Index, w io.Writer) error {
 		}
 		cw.u32(uint32(nLists))
 		for _, sh := range v.shards {
-			for d, lst := range sh.lists {
+			for d, ch := range sh.lists {
 				cw.u32(d)
-				cw.u32(uint32(lst.Len()))
-				lst.Ascend(func(_ int, e sentry) bool {
-					cw.u64(e.id)
-					cw.f64(e.t)
-					cw.f64(e.val)
-					cw.f64(e.pnorm)
-					return true
-				})
+				saveChain(cw, &sh.ar, &v.slots, ch, true)
 			}
 		}
 		saveRes(cw, v.res)
@@ -144,15 +133,9 @@ func Save(ix Index, w io.Writer) error {
 		}
 		cw.u32(uint32(nLists))
 		for _, sh := range v.shards {
-			for d, lst := range sh.lists {
+			for d, ch := range sh.lists {
 				cw.u32(d)
-				cw.u32(uint32(lst.Len()))
-				lst.Ascend(func(_ int, e ientry) bool {
-					cw.u64(e.id)
-					cw.f64(e.t)
-					cw.f64(e.val)
-					return true
-				})
+				saveChain(cw, &sh.ar, &v.slots, ch, false)
 			}
 		}
 	default:
@@ -162,6 +145,27 @@ func Save(ix Index, w io.Writer) error {
 		return cw.err
 	}
 	return bw.Flush()
+}
+
+// saveChain writes one posting chain in v3 block framing: the block
+// count, then per block its live-entry count and entries oldest→newest.
+// Entries are written with the item id (resolved through the slot
+// table); slots themselves are never serialized.
+func saveChain(cw *ckptWriter, ar *parena, slots *slotTab, ch *chain, withPnorm bool) {
+	cw.u32(uint32(ar.chainBlocks(ch)))
+	for b := ch.oldest; b >= 0; b = ar.newer[b] {
+		cw.u32(uint32(ar.end[b] - ar.off[b]))
+		base := int(b) << blockShift
+		for i := ar.off[b]; i < ar.end[b]; i++ {
+			ai := base + int(i)
+			cw.u64(slots.id[ar.slot[ai]])
+			cw.f64(ar.t[ai])
+			cw.f64(ar.val[ai])
+			if withPnorm {
+				cw.f64(ar.pnorm[ai])
+			}
+		}
+	}
 }
 
 // engineKind maps a prefix-filtering engine's flag pair to its Kind.
@@ -260,34 +264,70 @@ func Load(r io.Reader, opts Options) (Index, error) {
 		return nil, err
 	}
 
-	// Per-type sinks; the decode path below is shared. Version-1 files
-	// carry no lastTouch map, so putM/putMhat default every tracked
-	// dimension's touch time to the checkpoint time — conservative by at
-	// most one horizon; version-2 files overwrite with the saved values
-	// via putTouch.
+	// Per-type sinks; the decode path below is shared. idSlot maps the
+	// file's item ids to freshly assigned slots; the first entry of an
+	// item allocates its slot. The key includes the arrival time, not
+	// just the id: posting lists retain expired entries lazily, and an
+	// expired entry's slot may have been recycled to a newer item before
+	// the checkpoint was taken, in which case Save records the entry
+	// under the new owner's id. Keying by (id, time) keeps such a stale
+	// incarnation on its own slot — it is already outside the horizon,
+	// so it is never visited or emitted, only swept — instead of letting
+	// it cross-accumulate with the live item of the same id.
+	// Version-1 files carry no lastTouch map,
+	// so putM/putMhat default every tracked dimension's touch time to
+	// the checkpoint time — conservative by at most one horizon;
+	// version-2+ files overwrite with the saved values via putTouch.
 	var (
-		putIList func(d uint32, lst *cbuf.Ring[ientry])
-		putSList func(d uint32, lst *cbuf.Ring[sentry])
+		slots    *slotTab
+		putEntry func(d uint32, slot uint32, t, val, pnorm float64)
+		doneInv  func() // rebuilds the INV live-slot queue
 		putRes   func(id uint64, m *smeta)
 		putM     func(d uint32, val float64)
 		putMhat  func(d uint32, val, t float64)
 		putTouch func(d uint32, t float64)
 		useAP    bool
 	)
+	type incarnation struct {
+		id uint64
+		t  float64
+	}
+	idSlot := make(map[incarnation]uint32)
+	slotFor := func(id uint64, t float64) uint32 {
+		key := incarnation{id, t}
+		sl, ok := idSlot[key]
+		if !ok {
+			sl = slots.alloc(id, t)
+			idSlot[key] = sl
+		}
+		return sl
+	}
 	switch v := ix.(type) {
 	case *invIndex:
 		v.now, v.begun = now, begun
 		v.clock = sweepClock{last: lastSweep, swept: swept}
-		putIList = func(d uint32, lst *cbuf.Ring[ientry]) { v.lists[d] = lst }
+		slots = &v.slots
+		putEntry = func(d uint32, slot uint32, t, val, _ float64) {
+			v.ar.pushTo(v.lists, d, slot, t, val, 0)
+		}
+		doneInv = func() { rebuildLive(&v.live, &v.slots) }
 	case *parInv:
 		v.now, v.begun = now, begun
 		v.clock = sweepClock{last: lastSweep, swept: swept}
-		putIList = func(d uint32, lst *cbuf.Ring[ientry]) { v.shards[v.owner(d)].lists[d] = lst }
+		slots = &v.slots
+		putEntry = func(d uint32, slot uint32, t, val, _ float64) {
+			sh := v.shards[v.owner(d)]
+			sh.ar.pushTo(sh.lists, d, slot, t, val, 0)
+		}
+		doneInv = func() { rebuildLive(&v.live, &v.slots) }
 	case *engine:
 		v.now, v.begun = now, begun
 		v.clock = sweepClock{last: lastSweep, swept: swept}
 		useAP = v.useAP
-		putSList = func(d uint32, lst *cbuf.Ring[sentry]) { v.lists[d] = lst }
+		slots = &v.slots
+		putEntry = func(d uint32, slot uint32, t, val, pnorm float64) {
+			v.pushEntry(d, slot, t, val, pnorm)
+		}
 		putRes = func(id uint64, m *smeta) { v.res.Put(id, m) }
 		putM = func(d uint32, val float64) {
 			v.m[d] = val
@@ -303,7 +343,10 @@ func Load(r io.Reader, opts Options) (Index, error) {
 		v.now, v.begun = now, begun
 		v.clock = sweepClock{last: lastSweep, swept: swept}
 		useAP = v.useAP
-		putSList = func(d uint32, lst *cbuf.Ring[sentry]) { v.shards[v.owner(d)].lists[d] = lst }
+		slots = &v.slots
+		putEntry = func(d uint32, slot uint32, t, val, pnorm float64) {
+			v.pushEntry(d, slot, t, val, pnorm)
+		}
 		putRes = func(id uint64, m *smeta) { v.res.Put(id, m) }
 		putM = func(d uint32, val float64) {
 			v.m[d] = val
@@ -320,28 +363,36 @@ func Load(r io.Reader, opts Options) (Index, error) {
 		return nil, fmt.Errorf("streaming: cannot restore a checkpoint into %T", ix)
 	}
 
-	if kind == INV {
-		nLists := int(cr.u32())
-		for l := 0; l < nLists && cr.err == nil; l++ {
-			d := cr.u32()
-			n := int(cr.u32())
-			lst := &cbuf.Ring[ientry]{}
-			for i := 0; i < n && cr.err == nil; i++ {
-				lst.PushBack(ientry{id: cr.u64(), t: cr.f64(), val: cr.f64()})
+	withPnorm := kind != INV
+	// readEntries decodes n entries of one list fragment.
+	readEntries := func(d uint32, n int) {
+		for i := 0; i < n && cr.err == nil; i++ {
+			id := cr.u64()
+			t := cr.f64()
+			val := cr.f64()
+			pnorm := 0.0
+			if withPnorm {
+				pnorm = cr.f64()
 			}
-			putIList(d, lst)
-		}
-	} else {
-		nLists := int(cr.u32())
-		for l := 0; l < nLists && cr.err == nil; l++ {
-			d := cr.u32()
-			n := int(cr.u32())
-			lst := &cbuf.Ring[sentry]{}
-			for i := 0; i < n && cr.err == nil; i++ {
-				lst.PushBack(sentry{id: cr.u64(), t: cr.f64(), val: cr.f64(), pnorm: cr.f64()})
+			if cr.err != nil {
+				return
 			}
-			putSList(d, lst)
+			putEntry(d, slotFor(id, t), t, val, pnorm)
 		}
+	}
+	nLists := int(cr.u32())
+	for l := 0; l < nLists && cr.err == nil; l++ {
+		d := cr.u32()
+		if ver >= 3 {
+			nBlocks := int(cr.u32())
+			for b := 0; b < nBlocks && cr.err == nil; b++ {
+				readEntries(d, int(cr.u32()))
+			}
+		} else {
+			readEntries(d, int(cr.u32()))
+		}
+	}
+	if withPnorm {
 		nRes := int(cr.u32())
 		for i := 0; i < nRes && cr.err == nil; i++ {
 			id := cr.u64()
@@ -369,6 +420,7 @@ func Load(r io.Reader, opts Options) (Index, error) {
 				q:        q,
 				rsum:     residual.Sum(),
 				rmax:     residual.MaxVal(),
+				slot:     slotFor(id, t),
 			})
 		}
 		if useAP && cr.err == nil {
@@ -394,7 +446,30 @@ func Load(r io.Reader, opts Options) (Index, error) {
 	if cr.err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, cr.err)
 	}
+	if doneInv != nil {
+		doneInv()
+	}
 	return ix, nil
+}
+
+// rebuildLive reconstructs the INV indexes' live-slot expiry queue from
+// the restored slot table, ordered by arrival time (ties broken by id
+// for determinism — the order among equal times is irrelevant to expiry,
+// which only compares times).
+func rebuildLive(live *cbuf.Ring[uint32], slots *slotTab) {
+	order := make([]uint32, len(slots.id))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if slots.t[order[a]] != slots.t[order[b]] {
+			return slots.t[order[a]] < slots.t[order[b]]
+		}
+		return slots.id[order[a]] < slots.id[order[b]]
+	})
+	for _, sl := range order {
+		live.PushBack(sl)
+	}
 }
 
 func isDefaultKernel(k apss.Kernel, p apss.Params) bool {

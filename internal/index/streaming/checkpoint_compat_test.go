@@ -1,0 +1,204 @@
+package streaming
+
+import (
+	"bytes"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// This file pins the checkpoint loader's backward compatibility: version
+// 3 changed the posting-list framing from a flat entry count to arena
+// blocks, so v1 and v2 files (one entry count per list) are crafted
+// byte-for-byte here and must keep loading into the arena-backed
+// indexes.
+
+// writeOldHeader emits the magic, version, and per-index header of the
+// v1/v2 formats.
+func writeOldHeader(cw *ckptWriter, version uint32, kind Kind, p apss.Params, now float64, begun bool) {
+	cw.bytes(ckptMagic[:])
+	cw.u32(version)
+	cw.u8(uint8(kind))
+	cw.f64(p.Theta)
+	cw.f64(p.Lambda)
+	cw.u8(1) // default kernel
+	cw.f64(now)
+	cw.u8(boolByte(begun))
+	if version >= 2 {
+		cw.f64(now) // sweep clock last
+		cw.u8(boolByte(begun))
+	}
+}
+
+func TestLoadV2InvCheckpoint(t *testing.T) {
+	p := apss.Params{Theta: 0.6, Lambda: 0.05}
+	var buf bytes.Buffer
+	cw := &ckptWriter{w: &buf}
+	writeOldHeader(cw, 2, INV, p, 3.0, true)
+	// Two posting lists in the old flat framing: dim → count → entries.
+	cw.u32(2)
+	cw.u32(7) // dim 7: items 1@1.0 and 2@2.0
+	cw.u32(2)
+	cw.u64(1)
+	cw.f64(1.0)
+	cw.f64(0.8)
+	cw.u64(2)
+	cw.f64(2.0)
+	cw.f64(0.6)
+	cw.u32(9) // dim 9: item 2@2.0
+	cw.u32(1)
+	cw.u64(2)
+	cw.f64(2.0)
+	cw.f64(0.8)
+	if cw.err != nil {
+		t.Fatal(cw.err)
+	}
+
+	ix, err := Load(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ix.Size(); s.PostingEntries != 3 || s.Lists != 2 {
+		t.Fatalf("restored size %+v", s)
+	}
+	// Item 2's entries across the two lists must share one slot: a probe
+	// over both dims accumulates one candidate with the full dot.
+	ms, err := ix.Add(stream.Item{ID: 5, Time: 3.5,
+		Vec: vec.MustNew([]uint32{7, 9}, []float64{0.6, 0.8})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 *apss.Match
+	for i := range ms {
+		if ms[i].Y == 2 {
+			if m2 != nil {
+				t.Fatalf("item 2 matched twice: %v", ms)
+			}
+			m2 = &ms[i]
+		}
+	}
+	if m2 == nil {
+		t.Fatalf("pair with restored item 2 lost: %v", ms)
+	}
+	if want := 0.6*0.6 + 0.8*0.8; m2.Dot != want {
+		t.Fatalf("dot = %v, want %v (entries not merged onto one slot)", m2.Dot, want)
+	}
+}
+
+// TestLoadV2EngineCheckpoint re-encodes a live L2AP engine's state in
+// the v2 flat framing and verifies the restored index continues the
+// stream bit-identically to the uninterrupted engine.
+func TestLoadV2EngineCheckpoint(t *testing.T) {
+	p := apss.Params{Theta: 0.6, Lambda: 0.05}
+	items := fuzzItems(6, 120)
+	split := 60
+	ref, err := New(L2AP, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[:split] {
+		if _, err := ref.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, ok := ref.(*engine)
+	if !ok {
+		t.Fatalf("want *engine, got %T", ref)
+	}
+
+	// Hand-serialize e in the v2 format: flat per-list entry counts
+	// instead of block framing; everything after the lists is unchanged
+	// across versions.
+	var buf bytes.Buffer
+	cw := &ckptWriter{w: &buf}
+	writeV2EngineHeader(cw, e)
+	cw.u32(uint32(len(e.lists)))
+	for d, ch := range e.lists {
+		cw.u32(d)
+		cw.u32(uint32(ch.n))
+		e.ar.ascend(ch, func(ai int) {
+			cw.u64(e.slots.id[e.ar.slot[ai]])
+			cw.f64(e.ar.t[ai])
+			cw.f64(e.ar.val[ai])
+			cw.f64(e.ar.pnorm[ai])
+		})
+	}
+	saveRes(cw, e.res)
+	cw.u32(uint32(len(e.m)))
+	for d, val := range e.m {
+		cw.u32(d)
+		cw.f64(val)
+	}
+	cw.u32(uint32(len(e.mhatVal)))
+	for d, val := range e.mhatVal {
+		cw.u32(d)
+		cw.f64(val)
+		cw.f64(e.mhatT[d])
+	}
+	saveTouch(cw, e.lastTouch)
+	if cw.err != nil {
+		t.Fatal(cw.err)
+	}
+
+	restored, err := Load(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != ref.Size() {
+		t.Fatalf("restored size %+v, want %+v", restored.Size(), ref.Size())
+	}
+	for _, it := range items[split:] {
+		want, err1 := ref.Add(it)
+		got, err2 := restored.Add(it)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !equalMatchesExact(got, want) {
+			t.Fatalf("v2-restored run diverged: %v vs %v", got, want)
+		}
+	}
+}
+
+// writeV2EngineHeader emits the v2 header for a sequential L2AP engine,
+// cloning its live clock state.
+func writeV2EngineHeader(cw *ckptWriter, e *engine) {
+	cw.bytes(ckptMagic[:])
+	cw.u32(2)
+	cw.u8(uint8(engineKind(e.useAP, e.useL2)))
+	cw.f64(e.p.Theta)
+	cw.f64(e.p.Lambda)
+	cw.u8(1) // default kernel
+	cw.f64(e.now)
+	cw.u8(boolByte(e.begun))
+	cw.f64(e.clock.last)
+	cw.u8(boolByte(e.clock.swept))
+}
+
+func TestLoadV1StillSupported(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	var buf bytes.Buffer
+	cw := &ckptWriter{w: &buf}
+	writeOldHeader(cw, 1, INV, p, 1.0, true)
+	cw.u32(1)
+	cw.u32(3)
+	cw.u32(1)
+	cw.u64(7)
+	cw.f64(1.0)
+	cw.f64(1.0)
+	if cw.err != nil {
+		t.Fatal(cw.err)
+	}
+	ix, err := Load(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ix.Add(stream.Item{ID: 8, Time: 1.2, Vec: unit([]uint32{3}, []float64{1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Y != 7 {
+		t.Fatalf("v1 entry lost: %v", ms)
+	}
+}

@@ -3,28 +3,20 @@ package streaming
 import (
 	"math"
 
+	"sssj/internal/accum"
 	"sssj/internal/apss"
-	"sssj/internal/cbuf"
 	"sssj/internal/lhmap"
 	"sssj/internal/metrics"
 	"sssj/internal/stream"
 	"sssj/internal/vec"
 )
 
-// sentry is a posting entry of the prefix-filtering streaming schemes:
-// (ι(x), t(x), x_j, ||x'_j||) — §5.3 plus the arrival time that drives
-// time filtering.
-type sentry struct {
-	id    uint64
-	t     float64
-	val   float64
-	pnorm float64
-}
-
 // smeta is the per-vector state kept in the residual direct index R: the
 // full vector (its prefix before boundary is the residual, and the suffix
 // may be needed again by re-indexing), prefix norms, the Q[ι(x)] pscore,
-// and the residual statistics used by candidate verification.
+// the residual statistics used by candidate verification, and the item's
+// compact slot (what its posting entries and the accumulator are keyed
+// by; recycled when the residual expires).
 type smeta struct {
 	t        float64
 	vec      vec.Vector
@@ -33,13 +25,7 @@ type smeta struct {
 	q        float64   // Q[ι(x)]
 	rsum     float64   // Σ of the residual prefix
 	rmax     float64   // max value of the residual prefix
-}
-
-// accEng is an accumulator cell: partial dot over indexed coordinates and
-// the candidate's arrival time.
-type accEng struct {
-	dot float64
-	t   float64
+	slot     uint32
 }
 
 // icCore is the index-construction state machine shared by the
@@ -47,8 +33,8 @@ type accEng struct {
 // §5.3 re-indexing pass. Keeping one implementation matters beyond
 // reuse — the sharded engine's bit-identical-output guarantee depends on
 // both engines computing exactly the same boundaries, pscores, and
-// posting entries. push routes an entry to its posting list (direct map
-// for the sequential engine, owner shard for the sharded one).
+// posting entries. push routes an entry to its posting chain (direct map
+// for the sequential engine, owner shard's arena for the sharded one).
 type icCore struct {
 	p     apss.Params
 	useAP bool
@@ -60,8 +46,12 @@ type icCore struct {
 	// per §6.2 decay is deliberately not applied to it, so it only grows
 	// and re-indexing happens only when a new per-dimension maximum
 	// arrives. L2AP only.
-	m    vec.MaxTracker
-	push func(d uint32, ent sentry)
+	m vec.MaxTracker
+	// slots maps live items to the compact accumulator keys their
+	// posting entries carry; a slot is recycled when the item's residual
+	// expires from R.
+	slots slotTab
+	push  func(d uint32, slot uint32, t, val, pnorm float64)
 	// noIndexBound is the NoIndexBound ablation (sequential only).
 	noIndexBound bool
 }
@@ -91,6 +81,7 @@ func (ic *icCore) indexVector(x stream.Item) {
 	b1, bt := 0.0, 0.0
 	boundary := -1
 	q := 0.0
+	var slot uint32
 	for i, d := range dims {
 		xj := vals[i]
 		pscore := ic.icBound(b1, math.Sqrt(bt))
@@ -102,8 +93,9 @@ func (ic *icCore) indexVector(x stream.Item) {
 			if boundary < 0 {
 				boundary = i
 				q = pscore
+				slot = ic.slots.alloc(x.ID, x.Time)
 			}
-			ic.push(d, sentry{id: x.ID, t: x.Time, val: xj, pnorm: pn[i]})
+			ic.push(d, slot, x.Time, xj, pn[i])
 			ic.c.IndexedEntries++
 		}
 	}
@@ -121,6 +113,7 @@ func (ic *icCore) indexVector(x stream.Item) {
 		q:        q,
 		rsum:     residual.Sum(),
 		rmax:     residual.MaxVal(),
+		slot:     slot,
 	})
 	ic.c.ResidualEntries++
 }
@@ -173,7 +166,7 @@ func (ic *icCore) reindex(changed []uint32) {
 			return true
 		}
 		for i := newBoundary; i < meta.boundary; i++ {
-			ic.push(dims[i], sentry{id: id, t: meta.t, val: vals[i], pnorm: meta.pn[i]})
+			ic.push(dims[i], meta.slot, meta.t, vals[i], meta.pn[i])
 			ic.c.ReindexedEntries++
 			ic.c.IndexedEntries++
 		}
@@ -191,6 +184,12 @@ func (ic *icCore) reindex(changed []uint32) {
 // construction), 7 (candidate generation) and 8 (candidate verification).
 // Per the paper's color convention, green (ℓ2) lines are guarded by useL2
 // and red (AP) lines by useAP.
+//
+// Postings live in a block arena chained per dimension (arena.go);
+// candidate generation accumulates into a dense epoch-stamped
+// accumulator keyed by item slot, and verification walks the reusable
+// candidate list — the per-probe maps of the ring implementation (and
+// their allocations) are gone.
 type engine struct {
 	icCore
 	kernel apss.Kernel
@@ -198,7 +197,9 @@ type engine struct {
 	tau    float64
 	abl    Ablations
 
-	lists map[uint32]*cbuf.Ring[sentry]
+	ar    parena
+	lists map[uint32]*chain
+	acc   accum.Dense
 
 	// m̂λ, the time-decayed max vector used by rs1 (§5.3): for each
 	// dimension we keep the argmax (value, time). Under exponential decay
@@ -232,7 +233,8 @@ func newEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, abl Ablatio
 		lambda: p.Lambda,
 		tau:    kernel.Horizon(p.Theta),
 		abl:    abl,
-		lists:  make(map[uint32]*cbuf.Ring[sentry]),
+		ar:     parena{withPnorm: true},
+		lists:  make(map[uint32]*chain),
 	}
 	e.icCore.push = e.pushEntry
 	if useAP {
@@ -259,9 +261,16 @@ func (e *engine) AddTo(x stream.Item, emit apss.Sink) error {
 	e.c.Items++
 
 	// Expire residuals beyond the horizon (amortized O(1): R is in time
-	// order, §6.2).
+	// order, §6.2), recycling their slots — their remaining posting
+	// entries are expired too and will never be visited again.
 	horizonStart := x.Time - e.tau
-	e.res.PruneWhile(func(_ uint64, m *smeta) bool { return m.t < horizonStart })
+	e.res.PruneWhile(func(_ uint64, m *smeta) bool {
+		if m.t < horizonStart {
+			e.slots.release(m.slot)
+			return true
+		}
+		return false
+	})
 	e.maybeSweep()
 
 	// For L2AP, restore the prefix-filtering invariant *before* querying:
@@ -274,11 +283,11 @@ func (e *engine) AddTo(x stream.Item, emit apss.Sink) error {
 		}
 	}
 
-	acc, pruned := e.candGen(x)
+	e.candGen(x)
 	// The gate lets a consumer stop mid-stream without leaving x half
 	// processed: index construction below runs regardless.
 	g := apss.NewGate(emit)
-	e.candVer(x, acc, pruned, &g)
+	e.candVer(x, &g)
 	e.c.Pairs += g.Emitted()
 
 	e.indexVector(x)
@@ -290,11 +299,14 @@ func (e *engine) AddTo(x stream.Item, emit apss.Sink) error {
 
 // candGen is Algorithm 7: scan x's coordinates in reverse indexing order,
 // accumulating partial dot products for candidates that survive the
-// remscore and ℓ2 bounds, with time filtering applied per entry.
-func (e *engine) candGen(x stream.Item) (map[uint64]*accEng, map[uint64]bool) {
+// remscore and ℓ2 bounds, with time filtering applied per entry. The
+// result lives in e.acc until the next probe.
+func (e *engine) candGen(x stream.Item) {
+	a := &e.acc
+	a.Begin(e.slots.span())
 	dims, vals := x.Vec.Dims, x.Vec.Vals
 	if len(dims) == 0 {
-		return nil, nil
+		return
 	}
 	rs1 := math.Inf(1)
 	if e.useAP {
@@ -313,24 +325,22 @@ func (e *engine) candGen(x stream.Item) (map[uint64]*accEng, map[uint64]bool) {
 	}
 
 	pnx := x.Vec.PrefixNorms()
-	acc := make(map[uint64]*accEng)
-	pruned := make(map[uint64]bool)
 
 	for i := len(dims) - 1; i >= 0; i-- {
 		d, xj := dims[i], vals[i]
-		lst := e.lists[d]
-		if lst == nil {
+		ch := e.lists[d]
+		if ch == nil {
 			continue
 		}
-		process := func(ent sentry) {
+		process := func(ai int) {
 			e.c.EntriesTraversed++
-			if pruned[ent.id] {
+			sl := e.ar.slot[ai]
+			if a.Dead[sl] == a.Epoch {
 				return
 			}
-			dt := x.Time - ent.t
+			dt := x.Time - e.ar.t[ai]
 			decay := e.kernel.Factor(dt)
-			a := acc[ent.id]
-			if a == nil {
+			if a.Mark[sl] != a.Epoch {
 				// remscore admission (Algorithm 7, lines 7–8).
 				rs2d := rs2
 				if e.useL2 {
@@ -339,47 +349,34 @@ func (e *engine) candGen(x stream.Item) (map[uint64]*accEng, map[uint64]bool) {
 				if !e.abl.NoRemscore && math.Min(rs1, rs2d) < e.p.Theta {
 					return
 				}
-				a = &accEng{t: ent.t}
-				acc[ent.id] = a
+				a.Admit(sl)
 				e.c.Candidates++
 			}
-			a.dot += xj * ent.val
+			a.Dot[sl] += xj * e.ar.val[ai]
 			// Early ℓ2 pruning (Algorithm 7, lines 10–12).
-			if e.useL2 && !e.abl.NoL2Bound && a.dot+pnx[i]*ent.pnorm*decay < e.p.Theta {
-				delete(acc, ent.id)
-				pruned[ent.id] = true
+			if e.useL2 && !e.abl.NoL2Bound && a.Dot[sl]+pnx[i]*e.ar.pnorm[ai]*decay < e.p.Theta {
+				a.Dead[sl] = a.Epoch
 			}
 		}
 		if e.useAP {
 			// Re-indexing may have broken time order, so scan forward
-			// through the whole list, compacting expired entries (§6.2).
-			removed := lst.Filter(func(ent sentry) bool {
-				if x.Time-ent.t > e.tau {
+			// through the whole chain, compacting expired entries (§6.2).
+			removed := e.ar.compact(ch, func(ai int) bool {
+				if x.Time-e.ar.t[ai] > e.tau {
 					e.c.EntriesTraversed++
 					return false
 				}
-				process(ent)
+				process(ai)
 				return true
 			})
 			e.c.ExpiredEntries += int64(removed)
 		} else {
-			// Time-ordered list: scan backwards from the newest entry and
+			// Time-ordered chain: scan backwards from the newest entry and
 			// truncate at the first expired one (§6.2).
-			cut := -1
-			lst.Descend(func(j int, ent sentry) bool {
-				if x.Time-ent.t > e.tau {
-					cut = j
-					return false
-				}
-				process(ent)
-				return true
-			})
-			if cut >= 0 {
-				lst.TruncateFront(cut + 1)
-				e.c.ExpiredEntries += int64(cut + 1)
-			}
+			removed := e.ar.descendCut(ch, x.Time, e.tau, process)
+			e.c.ExpiredEntries += int64(removed)
 		}
-		if lst.Len() == 0 {
+		if ch.n == 0 {
 			delete(e.lists, d)
 		}
 		if e.useAP {
@@ -393,55 +390,56 @@ func (e *engine) candGen(x stream.Item) (map[uint64]*accEng, map[uint64]bool) {
 			rs2 = math.Sqrt(rst)
 		}
 	}
-	return acc, pruned
 }
 
-// candVer is Algorithm 8: apply the decayed ps1/ds1/sz2 bounds, then
-// compute the exact residual dot product and emit true matches into the
-// gate as they are verified — no result slice on the hot path.
-func (e *engine) candVer(x stream.Item, acc map[uint64]*accEng, _ map[uint64]bool, g *apss.Gate) {
-	if len(acc) == 0 {
+// candVer is Algorithm 8: walk the candidate list, apply the decayed
+// ps1/ds1/sz2 bounds, then compute the exact residual dot product and
+// emit true matches into the gate as they are verified — no result slice
+// on the hot path.
+func (e *engine) candVer(x stream.Item, g *apss.Gate) {
+	a := &e.acc
+	if len(a.Cands) == 0 {
 		return
 	}
 	vmx := x.Vec.MaxVal()
 	sx := x.Vec.Sum()
 	nx := x.Vec.NNZ()
-	for id, a := range acc {
+	for _, sl := range a.Cands {
+		if a.Dead[sl] == a.Epoch {
+			continue
+		}
+		id := e.slots.id[sl]
 		meta, ok := e.res.Get(id)
 		if !ok {
 			// The candidate expired from R; it is outside the horizon.
 			continue
 		}
+		dot := a.Dot[sl]
 		dt := x.Time - meta.t
 		decay := e.kernel.Factor(dt)
 		residual := meta.vec.SliceByIndex(0, meta.boundary)
 		// ps1 (line 3), ds1 (line 4), sz2 (line 5), all decayed.
 		if !e.abl.NoVerifyBounds {
-			if (a.dot+meta.q)*decay < e.p.Theta {
+			if (dot+meta.q)*decay < e.p.Theta {
 				continue
 			}
-			if (a.dot+math.Min(vmx*meta.rsum, meta.rmax*sx))*decay < e.p.Theta {
+			if (dot+math.Min(vmx*meta.rsum, meta.rmax*sx))*decay < e.p.Theta {
 				continue
 			}
-			if (a.dot+float64(min(nx, meta.boundary))*vmx*meta.rmax)*decay < e.p.Theta {
+			if (dot+float64(min(nx, meta.boundary))*vmx*meta.rmax)*decay < e.p.Theta {
 				continue
 			}
 		}
 		e.c.FullDots++
-		raw := a.dot + vec.Dot(x.Vec, residual)
+		raw := dot + vec.Dot(x.Vec, residual)
 		if sim := raw * decay; sim >= e.p.Theta {
 			g.Emit(apss.Match{X: x.ID, Y: id, Sim: sim, Dot: raw, DT: dt})
 		}
 	}
 }
 
-func (e *engine) pushEntry(d uint32, ent sentry) {
-	lst := e.lists[d]
-	if lst == nil {
-		lst = &cbuf.Ring[sentry]{}
-		e.lists[d] = lst
-	}
-	lst.PushBack(ent)
+func (e *engine) pushEntry(d uint32, slot uint32, t, val, pnorm float64) {
+	e.ar.pushTo(e.lists, d, slot, t, val, pnorm)
 }
 
 // mhatAt returns m̂λ_j evaluated at the current time.
@@ -468,16 +466,18 @@ func (e *engine) mhatUpdate(x stream.Item) {
 }
 
 // maybeSweep runs the horizon sweep when the clock says it is due. The
-// sweep walks every posting list, truncating expired entries, and drops
-// the per-dimension statistics of dimensions beyond every live vector's
-// reach. Dropping them is exact: a dimension untouched for a full
-// horizon appears in no live vector, so its true decayed maximum is
-// zero and its posting entries are all expired.
+// sweep walks every posting chain, truncating expired entries and
+// recycling emptied blocks into the arena freelist, releases the map
+// heads of dimensions whose chain emptied, and drops the per-dimension
+// statistics of dimensions beyond every live vector's reach. Dropping
+// them is exact: a dimension untouched for a full horizon appears in no
+// live vector, so its true decayed maximum is zero and its posting
+// entries are all expired.
 func (e *engine) maybeSweep() {
 	if !e.clock.due(e.now, e.tau) {
 		return
 	}
-	e.c.ExpiredEntries += sweepLists(e.lists, e.useAP, e.now, e.tau, func(ent sentry) float64 { return ent.t })
+	e.c.ExpiredEntries += sweepChains(&e.ar, e.lists, e.useAP, e.now, e.tau)
 	if e.useAP {
 		horizon := e.now - e.tau
 		for d, t := range e.lastTouch {
@@ -494,10 +494,10 @@ func (e *engine) maybeSweep() {
 // Size implements Index.
 func (e *engine) Size() SizeInfo {
 	var s SizeInfo
-	for _, lst := range e.lists {
-		if lst.Len() > 0 {
+	for _, ch := range e.lists {
+		if ch.n > 0 {
 			s.Lists++
-			s.PostingEntries += lst.Len()
+			s.PostingEntries += int(ch.n)
 		}
 	}
 	s.Residuals = e.res.Len()

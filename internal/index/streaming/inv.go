@@ -1,29 +1,34 @@
 package streaming
 
 import (
+	"sssj/internal/accum"
 	"sssj/internal/apss"
 	"sssj/internal/cbuf"
 	"sssj/internal/metrics"
 	"sssj/internal/stream"
 )
 
-// ientry is a posting entry of STR-INV: reference, arrival time, value.
-type ientry struct {
-	id  uint64
-	t   float64
-	val float64
-}
-
 // invIndex is STR-INV (§5.1): everything is indexed, posting lists stay
 // time-ordered, and candidate generation computes exact partial dot
 // products. Time filtering scans each touched list backwards from the
 // newest entry and truncates at the first expired one.
+//
+// Postings live in a block arena (see arena.go) chained per dimension;
+// candidates accumulate in a dense epoch-stamped accumulator keyed by
+// the compact item slot, so the per-probe hot path allocates nothing.
 type invIndex struct {
 	p      apss.Params
 	kernel apss.Kernel
 	tau    float64
 	c      *metrics.Counters
-	lists  map[uint32]*cbuf.Ring[ientry]
+
+	ar    parena
+	lists map[uint32]*chain
+	slots slotTab
+	// live holds the slots of in-horizon items in arrival order; the
+	// front expires first, recycling the slot.
+	live cbuf.Ring[uint32]
+	acc  accum.Dense
 
 	clock sweepClock
 	now   float64
@@ -36,14 +41,8 @@ func newInvIndex(p apss.Params, kernel apss.Kernel, c *metrics.Counters) *invInd
 		kernel: kernel,
 		tau:    kernel.Horizon(p.Theta),
 		c:      c,
-		lists:  make(map[uint32]*cbuf.Ring[ientry]),
+		lists:  make(map[uint32]*chain),
 	}
-}
-
-// accInv accumulates the dot product and remembers the candidate's time.
-type accInv struct {
-	dot float64
-	t   float64
 }
 
 // Add implements Index (the collect adapter over AddTo).
@@ -57,81 +56,83 @@ func (ix *invIndex) AddTo(x stream.Item, emit apss.Sink) error {
 	ix.begun = true
 	ix.now = x.Time
 	ix.c.Items++
+	// Recycle the slots of items past the horizon: no posting entry of
+	// theirs will ever be visited again (expiry uses the same cutoff).
+	for ix.live.Len() > 0 {
+		sl := ix.live.Front()
+		if x.Time-ix.slots.t[sl] <= ix.tau {
+			break
+		}
+		ix.live.PopFront()
+		ix.slots.release(sl)
+	}
 	ix.maybeSweep()
 
-	acc := make(map[uint64]*accInv)
+	a := &ix.acc
+	a.Begin(ix.slots.span())
 	for i, d := range x.Vec.Dims {
 		xj := x.Vec.Vals[i]
-		lst := ix.lists[d]
-		if lst == nil {
+		ch := ix.lists[d]
+		if ch == nil {
 			continue
 		}
 		// Backward scan: newest first, stop at the first expired entry,
 		// then drop it and everything older (§6.2 time filtering).
-		cut := -1
-		lst.Descend(func(i int, e ientry) bool {
-			if x.Time-e.t > ix.tau {
-				cut = i
-				return false
-			}
+		removed := ix.ar.descendCut(ch, x.Time, ix.tau, func(ai int) {
 			ix.c.EntriesTraversed++
-			a := acc[e.id]
-			if a == nil {
-				a = &accInv{t: e.t}
-				acc[e.id] = a
+			sl := ix.ar.slot[ai]
+			if a.Mark[sl] != a.Epoch {
+				a.Admit(sl)
 				ix.c.Candidates++
 			}
-			a.dot += xj * e.val
-			return true
+			a.Dot[sl] += xj * ix.ar.val[ai]
 		})
-		if cut >= 0 {
-			lst.TruncateFront(cut + 1)
-			ix.c.ExpiredEntries += int64(cut + 1)
-			if lst.Len() == 0 {
+		if removed > 0 {
+			ix.c.ExpiredEntries += int64(removed)
+			if ch.n == 0 {
 				delete(ix.lists, d)
 			}
 		}
 	}
 
 	g := apss.NewGate(emit)
-	for id, a := range acc {
-		dt := x.Time - a.t
-		sim := a.dot * ix.kernel.Factor(dt)
+	for _, sl := range a.Cands {
+		dt := x.Time - ix.slots.t[sl]
+		sim := a.Dot[sl] * ix.kernel.Factor(dt)
 		if sim >= ix.p.Theta {
-			g.Emit(apss.Match{X: x.ID, Y: id, Sim: sim, Dot: a.dot, DT: dt})
+			g.Emit(apss.Match{X: x.ID, Y: ix.slots.id[sl], Sim: sim, Dot: a.Dot[sl], DT: dt})
 		}
 	}
 	ix.c.Pairs += g.Emitted()
 
-	for i, d := range x.Vec.Dims {
-		lst := ix.lists[d]
-		if lst == nil {
-			lst = &cbuf.Ring[ientry]{}
-			ix.lists[d] = lst
+	if len(x.Vec.Dims) > 0 {
+		sl := ix.slots.alloc(x.ID, x.Time)
+		ix.live.PushBack(sl)
+		for i, d := range x.Vec.Dims {
+			ix.ar.pushTo(ix.lists, d, sl, x.Time, x.Vec.Vals[i], 0)
+			ix.c.IndexedEntries++
 		}
-		lst.PushBack(ientry{id: x.ID, t: x.Time, val: x.Vec.Vals[i]})
-		ix.c.IndexedEntries++
 	}
 	return g.Err()
 }
 
 // maybeSweep runs the horizon sweep when the clock says it is due,
 // truncating expired entries from lists no query has touched since their
-// entries expired (see engine.maybeSweep).
+// entries expired and recycling emptied blocks (see engine.maybeSweep).
 func (ix *invIndex) maybeSweep() {
 	if !ix.clock.due(ix.now, ix.tau) {
 		return
 	}
-	ix.c.ExpiredEntries += sweepLists(ix.lists, false, ix.now, ix.tau, func(ent ientry) float64 { return ent.t })
+	ix.c.ExpiredEntries += sweepChains(&ix.ar, ix.lists, false, ix.now, ix.tau)
 }
 
 // Size implements Index.
 func (ix *invIndex) Size() SizeInfo {
 	var s SizeInfo
-	for _, lst := range ix.lists {
-		if lst.Len() > 0 {
+	for _, ch := range ix.lists {
+		if ch.n > 0 {
 			s.Lists++
-			s.PostingEntries += lst.Len()
+			s.PostingEntries += int(ch.n)
 		}
 	}
 	return s

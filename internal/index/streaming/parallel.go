@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"sssj/internal/accum"
 	"sssj/internal/apss"
 	"sssj/internal/cbuf"
 	"sssj/internal/lhmap"
@@ -14,10 +15,13 @@ import (
 
 // This file implements the sharded parallel variants of the streaming
 // indexes (Options.Workers > 1). The dimension space is partitioned
-// across P shards, each owning the posting lists (and, for L2AP, the
-// m̂λ slices) of its dimensions. Add fans candidate generation out to
-// the shards in parallel, merges the per-shard accumulators, and runs
-// candidate verification concurrently over the merged set.
+// across P shards, each owning a block arena holding the posting chains
+// (and, for L2AP, the m̂λ slices) of its dimensions. Add fans candidate
+// generation out to the shards in parallel, merges the per-shard dense
+// accumulators, and runs candidate verification concurrently over the
+// merged candidate list. Items are keyed by the same compact slots as in
+// the sequential engines; the slot table is owned by the coordinator and
+// only read during a fan-out.
 //
 // Exactness. The sequential engines interleave accumulation with
 // data-dependent pruning; a shard cannot reuse those rules verbatim,
@@ -49,18 +53,18 @@ import (
 // exactly), never drop a real match.
 const boundSlack = 1e-9
 
-// parShard owns the posting lists and m̂λ slices for the dimensions
+// parShard owns the posting arena and chains for the dimensions
 // d with d mod P == shard index, plus per-Add scratch state that only
 // the shard's worker goroutine touches during a fan-out.
 type parShard struct {
-	lists   map[uint32]*cbuf.Ring[sentry]
+	ar      parena
+	lists   map[uint32]*chain
 	mhatVal map[uint32]float64 // L2AP only
 	mhatT   map[uint32]float64 // L2AP only
 
 	// Scratch, reset every Add; owned by the shard worker while the
 	// fan-out runs, read by the coordinator after the join barrier.
-	acc       map[uint64]*accEng
-	dead      map[uint64]bool
+	acc       accum.Dense
 	traversed int64
 	expired   int64
 }
@@ -78,6 +82,7 @@ type parEngine struct {
 	tau    float64
 
 	shards []*parShard
+	macc   accum.Dense // merged accumulator, coordinator-owned
 
 	// lastTouch tracks the newest arrival time per dimension, driving
 	// the horizon sweep (see sweepClock).
@@ -104,7 +109,7 @@ func newParEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, workers 
 	}
 	e.icCore.push = e.pushEntry
 	for i := range e.shards {
-		s := &parShard{lists: make(map[uint32]*cbuf.Ring[sentry])}
+		s := &parShard{ar: parena{withPnorm: true}, lists: make(map[uint32]*chain)}
 		if useAP {
 			s.mhatVal = make(map[uint32]float64)
 			s.mhatT = make(map[uint32]float64)
@@ -136,7 +141,13 @@ func (e *parEngine) AddTo(x stream.Item, emit apss.Sink) error {
 	e.c.Items++
 
 	horizonStart := x.Time - e.tau
-	e.res.PruneWhile(func(_ uint64, m *smeta) bool { return m.t < horizonStart })
+	e.res.PruneWhile(func(_ uint64, m *smeta) bool {
+		if m.t < horizonStart {
+			e.slots.release(m.slot)
+			return true
+		}
+		return false
+	})
 	e.maybeSweep()
 
 	if e.useAP {
@@ -145,9 +156,9 @@ func (e *parEngine) AddTo(x stream.Item, emit apss.Sink) error {
 		}
 	}
 
-	merged := e.candGen(x)
+	e.candGen(x)
 	g := apss.NewGate(emit)
-	e.candVer(x, merged, &g)
+	e.candVer(x, &g)
 	e.c.Pairs += g.Emitted()
 
 	e.indexVector(x)
@@ -158,12 +169,13 @@ func (e *parEngine) AddTo(x stream.Item, emit apss.Sink) error {
 }
 
 // candGen fans the reverse coordinate scan out to the shards and merges
-// the per-shard accumulators, dropping candidates any shard proved below
-// threshold.
-func (e *parEngine) candGen(x stream.Item) map[uint64]*accEng {
+// the per-shard accumulators into macc, dropping candidates any shard
+// proved below threshold.
+func (e *parEngine) candGen(x stream.Item) {
+	e.macc.Begin(e.slots.span())
 	dims, vals := x.Vec.Dims, x.Vec.Vals
 	if len(dims) == 0 {
-		return nil
+		return
 	}
 
 	// Shared read-only per-position tables.
@@ -200,13 +212,8 @@ func (e *parEngine) candGen(x stream.Item) map[uint64]*accEng {
 		}
 	}
 	var wg sync.WaitGroup
-	active := 0
 	for s, w := range work {
-		if !w {
-			continue
-		}
-		active++
-		if s == first {
+		if !w || s == first {
 			continue
 		}
 		wg.Add(1)
@@ -220,67 +227,51 @@ func (e *parEngine) candGen(x stream.Item) map[uint64]*accEng {
 	}
 	wg.Wait()
 
-	// Single active shard: its accumulator is already the merged set
-	// (declined candidates were never admitted to it), so steal it
-	// instead of copying.
-	if active == 1 {
-		sh := e.shards[first]
-		merged := sh.acc
-		sh.acc = nil
-		clear(sh.dead)
-		e.c.EntriesTraversed += sh.traversed
-		e.c.ExpiredEntries += sh.expired
-		e.c.Candidates += int64(len(merged))
-		sh.traversed, sh.expired = 0, 0
-		return merged
-	}
-
-	// Merge. Shard order is fixed so the merged partial dots are
+	// Merge in fixed shard order so the merged partial dots are
 	// deterministic; they feed only the verification bounds, never a
 	// reported similarity. A candidate declined by any shard is provably
 	// below θ and dropped globally.
-	var deadAll map[uint64]bool
-	for _, sh := range e.shards {
-		for id := range sh.dead {
-			if deadAll == nil {
-				deadAll = make(map[uint64]bool)
+	m := &e.macc
+	for s, w := range work {
+		if !w {
+			continue
+		}
+		sh := e.shards[s]
+		for _, sl := range sh.acc.Deads {
+			if m.Dead[sl] != m.Epoch {
+				m.Dead[sl] = m.Epoch
 			}
-			deadAll[id] = true
 		}
 	}
-	merged := make(map[uint64]*accEng)
-	for _, sh := range e.shards {
+	for s, w := range work {
+		if !w {
+			continue
+		}
+		sh := e.shards[s]
 		e.c.EntriesTraversed += sh.traversed
 		e.c.ExpiredEntries += sh.expired
-		for id, a := range sh.acc {
-			if deadAll[id] {
+		sh.traversed, sh.expired = 0, 0
+		for _, sl := range sh.acc.Cands {
+			if m.Dead[sl] == m.Epoch {
 				continue
 			}
-			m := merged[id]
-			if m == nil {
-				merged[id] = &accEng{dot: a.dot, t: a.t}
-			} else {
-				m.dot += a.dot
+			if m.Mark[sl] != m.Epoch {
+				m.Admit(sl)
 			}
+			m.Dot[sl] += sh.acc.Dot[sl]
 		}
-		clear(sh.acc)
-		clear(sh.dead)
-		sh.traversed, sh.expired = 0, 0
 	}
-	e.c.Candidates += int64(len(merged))
-	return merged
+	e.c.Candidates += int64(len(m.Cands))
 }
 
 // shardScan is one shard's share of Algorithm 7: scan x's owned
 // coordinates in reverse order, accumulating exact partial dot products
 // for candidates that survive the shard-local admission bounds, with
-// time filtering applied per list.
+// time filtering applied per chain.
 func (e *parEngine) shardScan(sh *parShard, s int, x stream.Item, pnx, sqAbove, mh []float64, rs1Total float64) {
 	dims, vals := x.Vec.Dims, x.Vec.Vals
-	if sh.acc == nil {
-		sh.acc = make(map[uint64]*accEng)
-		sh.dead = make(map[uint64]bool)
-	}
+	sh.acc.Begin(e.slots.span())
+	a := &sh.acc
 	rs1 := rs1Total // minus the s-owned terms past the current position
 	ownSqAbove := 0.0
 
@@ -289,15 +280,14 @@ func (e *parEngine) shardScan(sh *parShard, s int, x stream.Item, pnx, sqAbove, 
 		if e.owner(d) != s {
 			continue
 		}
-		lst := sh.lists[d]
-		if lst != nil {
-			process := func(ent sentry) {
+		if ch := sh.lists[d]; ch != nil {
+			process := func(ai int) {
 				sh.traversed++
-				if sh.dead[ent.id] {
+				sl := sh.ar.slot[ai]
+				if a.Dead[sl] == a.Epoch {
 					return
 				}
-				a := sh.acc[ent.id]
-				if a == nil {
+				if a.Mark[sl] != a.Epoch {
 					// Shard-local admission: both bounds dominate the
 					// candidate's total similarity (see file comment).
 					bound := math.Inf(1)
@@ -309,48 +299,36 @@ func (e *parEngine) shardScan(sh *parShard, s int, x stream.Item, pnx, sqAbove, 
 						if cross < 0 {
 							cross = 0
 						}
-						decay := e.kernel.Factor(x.Time - ent.t)
+						decay := e.kernel.Factor(x.Time - sh.ar.t[ai])
 						if b := decay * (pnx[i+1] + math.Sqrt(cross)); b < bound {
 							bound = b
 						}
 					}
 					if bound < e.p.Theta-boundSlack {
-						sh.dead[ent.id] = true
+						a.Decline(sl)
 						return
 					}
-					a = &accEng{t: ent.t}
-					sh.acc[ent.id] = a
+					a.Admit(sl)
 				}
-				a.dot += xj * ent.val
+				a.Dot[sl] += xj * sh.ar.val[ai]
 			}
 			if e.useAP {
 				// Re-indexing may have broken time order, so scan forward
-				// through the whole list, compacting expired entries.
-				removed := lst.Filter(func(ent sentry) bool {
-					if x.Time-ent.t > e.tau {
+				// through the whole chain, compacting expired entries.
+				removed := sh.ar.compact(ch, func(ai int) bool {
+					if x.Time-sh.ar.t[ai] > e.tau {
 						sh.traversed++
 						return false
 					}
-					process(ent)
+					process(ai)
 					return true
 				})
 				sh.expired += int64(removed)
 			} else {
-				cut := -1
-				lst.Descend(func(j int, ent sentry) bool {
-					if x.Time-ent.t > e.tau {
-						cut = j
-						return false
-					}
-					process(ent)
-					return true
-				})
-				if cut >= 0 {
-					lst.TruncateFront(cut + 1)
-					sh.expired += int64(cut + 1)
-				}
+				removed := sh.ar.descendCut(ch, x.Time, e.tau, process)
+				sh.expired += int64(removed)
 			}
-			if lst.Len() == 0 {
+			if ch.n == 0 {
 				delete(sh.lists, d)
 			}
 		}
@@ -368,46 +346,40 @@ func (e *parEngine) shardScan(sh *parShard, s int, x stream.Item, pnx, sqAbove, 
 // few candidates, verified matches go straight into the gate; the
 // fanned-out path buffers per worker and the coordinator drains the
 // buffers into the gate after the join.
-func (e *parEngine) candVer(x stream.Item, merged map[uint64]*accEng, g *apss.Gate) {
-	if len(merged) == 0 {
+func (e *parEngine) candVer(x stream.Item, g *apss.Gate) {
+	cands := e.macc.Cands
+	if len(cands) == 0 {
 		return
 	}
-	type cand struct {
-		id uint64
-		a  *accEng
-	}
-	cands := make([]cand, 0, len(merged))
-	for id, a := range merged {
-		cands = append(cands, cand{id, a})
-	}
-
 	vmx := x.Vec.MaxVal()
 	sx := x.Vec.Sum()
 	nx := x.Vec.NNZ()
 	theta := e.p.Theta
 
-	verify := func(cs []cand, dots *int64, emit func(apss.Match)) {
-		for _, c := range cs {
-			meta, ok := e.res.Get(c.id)
+	verify := func(cs []uint32, dots *int64, emit func(apss.Match)) {
+		for _, sl := range cs {
+			id := e.slots.id[sl]
+			meta, ok := e.res.Get(id)
 			if !ok {
 				continue
 			}
+			dot := e.macc.Dot[sl]
 			dt := x.Time - meta.t
 			decay := e.kernel.Factor(dt)
-			if (c.a.dot+meta.q)*decay < theta-boundSlack {
+			if (dot+meta.q)*decay < theta-boundSlack {
 				continue
 			}
-			if (c.a.dot+math.Min(vmx*meta.rsum, meta.rmax*sx))*decay < theta-boundSlack {
+			if (dot+math.Min(vmx*meta.rsum, meta.rmax*sx))*decay < theta-boundSlack {
 				continue
 			}
-			if (c.a.dot+float64(min(nx, meta.boundary))*vmx*meta.rmax)*decay < theta-boundSlack {
+			if (dot+float64(min(nx, meta.boundary))*vmx*meta.rmax)*decay < theta-boundSlack {
 				continue
 			}
 			*dots++
 			aDot := suffixDotDesc(x.Vec, meta.vec, meta.boundary)
 			raw := aDot + vec.Dot(x.Vec, meta.vec.SliceByIndex(0, meta.boundary))
 			if sim := raw * decay; sim >= theta {
-				emit(apss.Match{X: x.ID, Y: c.id, Sim: sim, Dot: raw, DT: dt})
+				emit(apss.Match{X: x.ID, Y: id, Sim: sim, Dot: raw, DT: dt})
 			}
 		}
 	}
@@ -467,14 +439,9 @@ func suffixDotDesc(x, y vec.Vector, boundary int) float64 {
 	return s
 }
 
-func (e *parEngine) pushEntry(d uint32, ent sentry) {
+func (e *parEngine) pushEntry(d uint32, slot uint32, t, val, pnorm float64) {
 	sh := e.shards[e.owner(d)]
-	lst := sh.lists[d]
-	if lst == nil {
-		lst = &cbuf.Ring[sentry]{}
-		sh.lists[d] = lst
-	}
-	lst.PushBack(ent)
+	sh.ar.pushTo(sh.lists, d, slot, t, val, pnorm)
 }
 
 // mhatAt returns the shard's m̂λ_d evaluated at time now.
@@ -505,7 +472,7 @@ func (e *parEngine) maybeSweep() {
 		return
 	}
 	for _, sh := range e.shards {
-		e.c.ExpiredEntries += sweepLists(sh.lists, e.useAP, e.now, e.tau, func(ent sentry) float64 { return ent.t })
+		e.c.ExpiredEntries += sweepChains(&sh.ar, sh.lists, e.useAP, e.now, e.tau)
 	}
 	if e.useAP {
 		horizon := e.now - e.tau
@@ -525,10 +492,10 @@ func (e *parEngine) maybeSweep() {
 func (e *parEngine) Size() SizeInfo {
 	var s SizeInfo
 	for _, sh := range e.shards {
-		for _, lst := range sh.lists {
-			if lst.Len() > 0 {
+		for _, ch := range sh.lists {
+			if ch.n > 0 {
 				s.Lists++
-				s.PostingEntries += lst.Len()
+				s.PostingEntries += int(ch.n)
 			}
 		}
 	}
@@ -548,11 +515,12 @@ func (e *parEngine) Params() apss.Params { return e.p }
 
 // ---------------------------------------------------------------------------
 
-// invShard owns the STR-INV posting lists for its dimensions plus
-// per-Add scratch.
+// invShard owns the STR-INV posting arena and chains for its dimensions
+// plus per-Add scratch.
 type invShard struct {
-	lists     map[uint32]*cbuf.Ring[ientry]
-	acc       map[uint64]*accInv
+	ar        parena
+	lists     map[uint32]*chain
+	acc       accum.Dense
 	traversed int64
 	expired   int64
 }
@@ -568,6 +536,9 @@ type parInv struct {
 	tau    float64
 	c      *metrics.Counters
 	shards []*invShard
+	slots  slotTab
+	live   cbuf.Ring[uint32]
+	macc   accum.Dense
 
 	clock sweepClock
 	now   float64
@@ -583,7 +554,7 @@ func newParInv(p apss.Params, kernel apss.Kernel, workers int, c *metrics.Counte
 		shards: make([]*invShard, workers),
 	}
 	for i := range ix.shards {
-		ix.shards[i] = &invShard{lists: make(map[uint32]*cbuf.Ring[ientry])}
+		ix.shards[i] = &invShard{lists: make(map[uint32]*chain)}
 	}
 	return ix
 }
@@ -602,6 +573,14 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 	ix.begun = true
 	ix.now = x.Time
 	ix.c.Items++
+	for ix.live.Len() > 0 {
+		sl := ix.live.Front()
+		if x.Time-ix.slots.t[sl] <= ix.tau {
+			break
+		}
+		ix.live.PopFront()
+		ix.slots.release(sl)
+	}
 	ix.maybeSweep()
 
 	dims, vals := x.Vec.Dims, x.Vec.Vals
@@ -618,49 +597,35 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 	var wg sync.WaitGroup
 	scan := func(s int) {
 		sh := ix.shards[s]
-		if sh.acc == nil {
-			sh.acc = make(map[uint64]*accInv)
-		}
+		sh.acc.Begin(ix.slots.span())
+		a := &sh.acc
 		for i, d := range dims {
 			if ix.owner(d) != s {
 				continue
 			}
 			xj := vals[i]
-			lst := sh.lists[d]
-			if lst == nil {
+			ch := sh.lists[d]
+			if ch == nil {
 				continue
 			}
-			cut := -1
-			lst.Descend(func(j int, ent ientry) bool {
-				if x.Time-ent.t > ix.tau {
-					cut = j
-					return false
-				}
+			removed := sh.ar.descendCut(ch, x.Time, ix.tau, func(ai int) {
 				sh.traversed++
-				a := sh.acc[ent.id]
-				if a == nil {
-					a = &accInv{t: ent.t}
-					sh.acc[ent.id] = a
+				sl := sh.ar.slot[ai]
+				if a.Mark[sl] != a.Epoch {
+					a.Admit(sl)
 				}
-				a.dot += xj * ent.val
-				return true
+				a.Dot[sl] += xj * sh.ar.val[ai]
 			})
-			if cut >= 0 {
-				lst.TruncateFront(cut + 1)
-				sh.expired += int64(cut + 1)
-				if lst.Len() == 0 {
+			if removed > 0 {
+				sh.expired += int64(removed)
+				if ch.n == 0 {
 					delete(sh.lists, d)
 				}
 			}
 		}
 	}
-	active := 0
 	for s, w := range work {
-		if !w {
-			continue
-		}
-		active++
-		if s == first {
+		if !w || s == first {
 			continue
 		}
 		wg.Add(1)
@@ -674,52 +639,43 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 	}
 	wg.Wait()
 
-	var merged map[uint64]*accInv
-	if active == 1 {
-		sh := ix.shards[first]
-		merged = sh.acc
-		sh.acc = nil
+	m := &ix.macc
+	m.Begin(ix.slots.span())
+	for s, w := range work {
+		if !w {
+			continue
+		}
+		sh := ix.shards[s]
 		ix.c.EntriesTraversed += sh.traversed
 		ix.c.ExpiredEntries += sh.expired
 		sh.traversed, sh.expired = 0, 0
-	} else {
-		merged = make(map[uint64]*accInv)
-		for _, sh := range ix.shards {
-			ix.c.EntriesTraversed += sh.traversed
-			ix.c.ExpiredEntries += sh.expired
-			sh.traversed, sh.expired = 0, 0
-			for id, a := range sh.acc {
-				m := merged[id]
-				if m == nil {
-					merged[id] = &accInv{dot: a.dot, t: a.t}
-				} else {
-					m.dot += a.dot
-				}
+		for _, sl := range sh.acc.Cands {
+			if m.Mark[sl] != m.Epoch {
+				m.Admit(sl)
 			}
-			clear(sh.acc)
+			m.Dot[sl] += sh.acc.Dot[sl]
 		}
 	}
-	ix.c.Candidates += int64(len(merged))
+	ix.c.Candidates += int64(len(m.Cands))
 
 	g := apss.NewGate(emit)
-	for id, a := range merged {
-		dt := x.Time - a.t
-		sim := a.dot * ix.kernel.Factor(dt)
+	for _, sl := range m.Cands {
+		dt := x.Time - ix.slots.t[sl]
+		sim := m.Dot[sl] * ix.kernel.Factor(dt)
 		if sim >= ix.p.Theta {
-			g.Emit(apss.Match{X: x.ID, Y: id, Sim: sim, Dot: a.dot, DT: dt})
+			g.Emit(apss.Match{X: x.ID, Y: ix.slots.id[sl], Sim: sim, Dot: m.Dot[sl], DT: dt})
 		}
 	}
 	ix.c.Pairs += g.Emitted()
 
-	for i, d := range dims {
-		sh := ix.shards[ix.owner(d)]
-		lst := sh.lists[d]
-		if lst == nil {
-			lst = &cbuf.Ring[ientry]{}
-			sh.lists[d] = lst
+	if len(dims) > 0 {
+		sl := ix.slots.alloc(x.ID, x.Time)
+		ix.live.PushBack(sl)
+		for i, d := range dims {
+			sh := ix.shards[ix.owner(d)]
+			sh.ar.pushTo(sh.lists, d, sl, x.Time, vals[i], 0)
+			ix.c.IndexedEntries++
 		}
-		lst.PushBack(ientry{id: x.ID, t: x.Time, val: vals[i]})
-		ix.c.IndexedEntries++
 	}
 	return g.Err()
 }
@@ -729,7 +685,7 @@ func (ix *parInv) maybeSweep() {
 		return
 	}
 	for _, sh := range ix.shards {
-		ix.c.ExpiredEntries += sweepLists(sh.lists, false, ix.now, ix.tau, func(ent ientry) float64 { return ent.t })
+		ix.c.ExpiredEntries += sweepChains(&sh.ar, sh.lists, false, ix.now, ix.tau)
 	}
 }
 
@@ -737,10 +693,10 @@ func (ix *parInv) maybeSweep() {
 func (ix *parInv) Size() SizeInfo {
 	var s SizeInfo
 	for _, sh := range ix.shards {
-		for _, lst := range sh.lists {
-			if lst.Len() > 0 {
+		for _, ch := range sh.lists {
+			if ch.n > 0 {
 				s.Lists++
-				s.PostingEntries += lst.Len()
+				s.PostingEntries += int(ch.n)
 			}
 		}
 	}

@@ -1,7 +1,5 @@
 package streaming
 
-import "sssj/internal/cbuf"
-
 // sweepClock throttles the horizon sweep to at most once per τ of
 // stream time. Queries prune expired posting entries lazily, but only
 // on the lists they touch, and nothing prunes the per-dimension
@@ -30,31 +28,23 @@ func (c *sweepClock) due(now, tau float64) bool {
 	return true
 }
 
-// sweepLists removes expired entries from every posting list, including
-// lists no query has touched since their entries expired, and deletes
-// emptied lists. Time-ordered lists are truncated from the front; lists
-// that re-indexing may have disordered are compacted in place. Returns
-// the number of removed entries.
-func sweepLists[T any](lists map[uint32]*cbuf.Ring[T], disordered bool, now, tau float64, entT func(T) float64) int64 {
+// sweepChains removes expired entries from every posting chain,
+// including chains no query has touched since their entries expired.
+// Time-ordered chains are truncated from the oldest end; chains that
+// re-indexing may have disordered are compacted in place. Fully expired
+// blocks go back on the arena freelist, and the map heads of emptied
+// dimensions are released so Lists (and, downstream, TrackedDims)
+// reflect live state after dimension churn. Returns the number of
+// removed entries.
+func sweepChains(ar *parena, lists map[uint32]*chain, disordered bool, now, tau float64) int64 {
 	var removed int64
-	for d, lst := range lists {
+	for d, ch := range lists {
 		if disordered {
-			removed += int64(lst.Filter(func(ent T) bool { return now-entT(ent) <= tau }))
+			removed += int64(ar.compact(ch, func(i int) bool { return now-ar.t[i] <= tau }))
 		} else {
-			cut := 0
-			lst.Ascend(func(_ int, ent T) bool {
-				if now-entT(ent) > tau {
-					cut++
-					return true
-				}
-				return false
-			})
-			if cut > 0 {
-				lst.TruncateFront(cut)
-				removed += int64(cut)
-			}
+			removed += int64(ar.sweepOrdered(ch, now, tau))
 		}
-		if lst.Len() == 0 {
+		if ch.n == 0 {
 			delete(lists, d)
 		}
 	}

@@ -14,6 +14,13 @@ type CompareOpts struct {
 	// shared CI machines tail quantiles are too noisy to fail a build
 	// on; throughput over a whole run is the stable signal.
 	Threshold float64
+	// AllocThreshold is the tolerated fractional growth in heap objects
+	// allocated per item: a scenario regresses when current objects/item
+	// > (1+AllocThreshold)·baseline. Unlike wall-clock throughput,
+	// allocation counts are nearly machine-independent, so this gate can
+	// be much tighter than Threshold. 0 → DefaultAllocThreshold;
+	// negative disables the gate.
+	AllocThreshold float64
 }
 
 // DefaultThreshold tolerates the run-to-run noise of a busy shared
@@ -24,6 +31,13 @@ type CompareOpts struct {
 // -regress) on quiet dedicated hardware.
 const DefaultThreshold = 0.40
 
+// DefaultAllocThreshold tolerates the small run-to-run wobble of
+// allocation counts (budget-limited runs process different item counts,
+// and amortized growth lands on different probes) while catching any
+// systematic new allocation on a hot path, which shows up as an
+// integer-factor jump in objects/item.
+const DefaultAllocThreshold = 0.25
+
 // Delta is one scenario's baseline-vs-current comparison.
 type Delta struct {
 	Name             string
@@ -31,9 +45,11 @@ type Delta struct {
 	Current          Report
 	ItemsPerSecRatio float64 // current/baseline; 0 when baseline measured none
 	P50Ratio         float64 // current/baseline p50 latency; 0 when unmeasured
+	ObjsPerItemRatio float64 // current/baseline objects allocated per item; 0 when unmeasured
 	PairsMismatch    bool    // same stream (scale+seed), different pair count
 	LostCompletion   bool    // baseline completed, current hit the (equal) budget
-	Regression       bool    // any of: throughput past threshold, mismatch, lost completion
+	AllocRegression  bool    // objects/item grew past the alloc threshold
+	Regression       bool    // any of: throughput or allocs past threshold, mismatch, lost completion
 }
 
 // Comparison is the full result of joining two BENCH files by scenario
@@ -85,6 +101,9 @@ func Compare(baseline, current *File, opts CompareOpts) Comparison {
 	if opts.Threshold == 0 {
 		opts.Threshold = DefaultThreshold
 	}
+	if opts.AllocThreshold == 0 {
+		opts.AllocThreshold = DefaultAllocThreshold
+	}
 	c := Comparison{
 		Threshold:  opts.Threshold,
 		SameStream: baseline.Scale == current.Scale && baseline.Seed == current.Seed,
@@ -131,6 +150,19 @@ func Compare(baseline, current *File, opts CompareOpts) Comparison {
 		if base.Latency.P50 > 0 {
 			d.P50Ratio = cur.Latency.P50 / base.Latency.P50
 		}
+		if base.Alloc.ObjsPerItem > 0 {
+			d.ObjsPerItemRatio = cur.Alloc.ObjsPerItem / base.Alloc.ObjsPerItem
+			if opts.AllocThreshold >= 0 && d.ObjsPerItemRatio > 1+opts.AllocThreshold {
+				d.AllocRegression = true
+				d.Regression = true
+			}
+		} else if opts.AllocThreshold >= 0 && base.Items > 0 && cur.Alloc.ObjsPerItem > 0 {
+			// The baseline ran and allocated nothing per item; any growth
+			// from zero is an infinite ratio, so no threshold can excuse
+			// it.
+			d.AllocRegression = true
+			d.Regression = true
+		}
 		if c.SameStream && base.Completed && cur.Completed && base.Pairs != cur.Pairs {
 			d.PairsMismatch = true
 			d.Regression = true
@@ -158,8 +190,8 @@ func PrintComparison(w io.Writer, c Comparison) {
 	for _, m := range c.Warnings {
 		fmt.Fprintf(w, "warning: %s\n", m)
 	}
-	fmt.Fprintf(w, "%-26s %12s %12s %8s %8s  %s\n",
-		"scenario", "base it/s", "cur it/s", "Δit/s", "Δp50", "flags")
+	fmt.Fprintf(w, "%-26s %12s %12s %8s %8s %8s  %s\n",
+		"scenario", "base it/s", "cur it/s", "Δit/s", "Δp50", "Δobj/it", "flags")
 	for _, d := range c.Deltas {
 		flags := ""
 		if d.PairsMismatch {
@@ -168,12 +200,15 @@ func PrintComparison(w io.Writer, c Comparison) {
 		if d.LostCompletion {
 			flags += " BUDGET"
 		}
+		if d.AllocRegression {
+			flags += " ALLOCS"
+		}
 		if d.Regression {
 			flags += " REGRESSION"
 		}
-		fmt.Fprintf(w, "%-26s %12.0f %12.0f %8s %8s %s\n",
+		fmt.Fprintf(w, "%-26s %12.0f %12.0f %8s %8s %8s %s\n",
 			d.Name, d.Baseline.ItemsPerSec, d.Current.ItemsPerSec,
-			pct(d.ItemsPerSecRatio), pct(d.P50Ratio), flags)
+			pct(d.ItemsPerSecRatio), pct(d.P50Ratio), pct(d.ObjsPerItemRatio), flags)
 	}
 	for _, name := range c.MissingInCurrent {
 		fmt.Fprintf(w, "%-26s MISSING from current run\n", name)

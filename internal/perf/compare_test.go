@@ -165,3 +165,72 @@ func TestCompareBudgetMismatchDisablesCompletionGate(t *testing.T) {
 		t.Fatalf("budget mismatch produced no warning")
 	}
 }
+
+func TestCompareAllocRegression(t *testing.T) {
+	base, cur := twoFiles(1.0)
+	cur.Reports[0].Alloc.ObjsPerItem = base.Reports[0].Alloc.ObjsPerItem * 1.5 // +50%, past the 25% default
+	c := Compare(base, cur, CompareOpts{})
+	if c.Ok() {
+		t.Fatal("50% objects/item growth not flagged")
+	}
+	if !c.Deltas[0].AllocRegression || !c.Deltas[0].Regression {
+		t.Fatalf("delta flags: %+v", c.Deltas[0])
+	}
+	var buf bytes.Buffer
+	PrintComparison(&buf, c)
+	if !strings.Contains(buf.String(), "ALLOCS") {
+		t.Errorf("alloc regression missing from output:\n%s", buf.String())
+	}
+}
+
+func TestCompareAllocWithinTolerance(t *testing.T) {
+	base, cur := twoFiles(1.0)
+	cur.Reports[0].Alloc.ObjsPerItem = base.Reports[0].Alloc.ObjsPerItem * 1.1 // +10%, inside the default 25%
+	if c := Compare(base, cur, CompareOpts{}); !c.Ok() {
+		t.Fatalf("tolerated alloc wobble flagged: %+v", c.Deltas[0])
+	}
+	// A tighter explicit threshold catches it.
+	if c := Compare(base, cur, CompareOpts{AllocThreshold: 0.05}); c.Ok() {
+		t.Fatal("10% growth passed a 5% threshold")
+	}
+	// Negative disables the gate entirely.
+	cur.Reports[0].Alloc.ObjsPerItem = base.Reports[0].Alloc.ObjsPerItem * 10
+	if c := Compare(base, cur, CompareOpts{AllocThreshold: -1}); !c.Ok() {
+		t.Fatal("disabled alloc gate still fired")
+	}
+}
+
+func TestCompareAllocImprovementReported(t *testing.T) {
+	base, cur := twoFiles(1.0)
+	cur.Reports[0].Alloc.ObjsPerItem = base.Reports[0].Alloc.ObjsPerItem / 2
+	c := Compare(base, cur, CompareOpts{})
+	if !c.Ok() {
+		t.Fatalf("alloc improvement flagged: %+v", c.Deltas[0])
+	}
+	if c.Deltas[0].ObjsPerItemRatio != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", c.Deltas[0].ObjsPerItemRatio)
+	}
+}
+
+func TestCompareAllocFromZeroBaseline(t *testing.T) {
+	base, cur := twoFiles(1.0)
+	base.Reports[0].Alloc.ObjsPerItem = 0 // alloc-free baseline
+	cur.Reports[0].Alloc.ObjsPerItem = 3  // any growth from zero fails
+	c := Compare(base, cur, CompareOpts{})
+	if c.Ok() || !c.Deltas[0].AllocRegression {
+		t.Fatalf("growth from an alloc-free baseline not flagged: %+v", c.Deltas[0])
+	}
+	// Still flagged even under a huge tolerance (the ratio is infinite)…
+	if c := Compare(base, cur, CompareOpts{AllocThreshold: 100}); c.Ok() {
+		t.Fatal("zero-baseline growth excused by a finite threshold")
+	}
+	// …but not when the gate is disabled, and not when current is also
+	// alloc-free.
+	if c := Compare(base, cur, CompareOpts{AllocThreshold: -1}); !c.Ok() {
+		t.Fatal("disabled gate fired on zero baseline")
+	}
+	cur.Reports[0].Alloc.ObjsPerItem = 0
+	if c := Compare(base, cur, CompareOpts{}); !c.Ok() {
+		t.Fatal("alloc-free on both sides flagged")
+	}
+}
