@@ -6,7 +6,7 @@ GO ?= go
 # letting coverage rot unnoticed.
 COVER_FLOOR ?= 85
 
-.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate cover clean
+.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate fuzz-smoke cover clean
 
 # verify is the tier-1 gate: everything CI runs, from a clean checkout.
 verify: vet build race
@@ -56,6 +56,14 @@ bench-gate:
 	$(GO) run ./cmd/sssjbench -exp perf -scale 0.25 -seed 1 -budget 10s \
 		-json BENCH.json -baseline BENCH_PR3.json
 	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
+
+# fuzz-smoke runs the metamorphic foreign-vs-self-join fuzz target for a
+# short burst on top of its committed seed corpus (testdata/fuzz/…) — a
+# CI pass that keeps hunting for oracle violations without the cost of a
+# long fuzzing campaign.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzForeignSelfParity -fuzztime $(FUZZTIME) .
 
 # cover enforces the statement-coverage floor and leaves coverage.out
 # for the CI artifact upload.

@@ -26,10 +26,14 @@ func (j *Joiner) Checkpoint(w io.Writer) error {
 // and index kind come from the checkpoint itself; opts supplies only
 // runtime state: Stats, Workers (a checkpoint written under any worker
 // count restores under any other, including back to the sequential
-// engine), and Kernel when the checkpointed joiner used a custom decay
-// kernel. Options that cannot apply to a restored index (a DimOrder
-// strategy, the MiniBatch framework, K) are rejected with
-// ErrUnsupported via the shared decision table.
+// engine), Kernel when the checkpointed joiner used a custom decay
+// kernel, and Join — a checkpoint restores under either join mode, with
+// each item's Side bit carried by the v4 format (older files restore
+// with every item on SideA, so a pre-side checkpoint resumed as a
+// foreign join treats its whole history as stream A). Options that
+// cannot apply to a restored index (a DimOrder strategy, the MiniBatch
+// framework, K) are rejected with ErrUnsupported via the shared
+// decision table.
 func Resume(r io.Reader, opts Options) (*Joiner, error) {
 	if err := opts.validate(opResume); err != nil {
 		return nil, err
@@ -38,6 +42,7 @@ func Resume(r io.Reader, opts Options) (*Joiner, error) {
 		Counters: opts.Stats,
 		Kernel:   opts.Kernel,
 		Workers:  opts.Workers,
+		Foreign:  opts.Join == JoinForeign,
 	})
 	if err != nil {
 		return nil, err
@@ -50,6 +55,7 @@ func Resume(r io.Reader, opts Options) (*Joiner, error) {
 		Kernel:    opts.Kernel,
 		Stats:     opts.Stats,
 		Workers:   opts.Workers,
+		Join:      opts.Join,
 	}
 	return &Joiner{inner: inner, params: idx.Params(), opts: restored}, nil
 }

@@ -1,12 +1,16 @@
-// Command sssj runs a streaming similarity self-join over a dataset file
-// and prints matched pairs.
+// Command sssj runs a streaming similarity join over dataset files and
+// prints matched pairs.
 //
 // Usage:
 //
 //	sssj -theta 0.7 -lambda 0.01 -input data.txt
 //	sssjgen -profile RCV1 | sssj -theta 0.7 -lambda 0.01 -format binary
+//	sssj -join foreign -input a.txt -inputB b.txt -theta 0.7 -lambda 0.01
 //
-// Output: one match per line, "x y sim dot dt".
+// Output: one match per line, "x y sim dot dt". With -join foreign the
+// two inputs are interleaved by timestamp (side A = -input, side B =
+// -inputB), IDs number the merged stream, and every match pairs an A
+// item with a B item.
 package main
 
 import (
@@ -34,7 +38,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		lambda    = fs.Float64("lambda", 0.01, "time-decay factor > 0")
 		framework = fs.String("framework", "STR", "framework: STR or MB")
 		index     = fs.String("index", "L2", "index: L2, INV, L2AP, or AP (MB only)")
-		input     = fs.String("input", "-", "input path, or - for stdin")
+		input     = fs.String("input", "-", "input path, or - for stdin (side A under -join foreign)")
+		inputB    = fs.String("inputB", "", "side-B input path for -join foreign")
+		join      = fs.String("join", "self", "join mode: self, or foreign (A=-input vs B=-inputB, merged by timestamp)")
 		format    = fs.String("format", "text", "input format: text or binary")
 		stats     = fs.Bool("stats", false, "print operation counters to stderr")
 		quiet     = fs.Bool("quiet", false, "suppress per-match output; print only the count")
@@ -45,6 +51,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	opts := sssj.Options{Theta: *theta, Lambda: *lambda, Workers: *workers}
+	switch *join {
+	case "self":
+		if *inputB != "" {
+			return fmt.Errorf("-inputB requires -join foreign")
+		}
+	case "foreign":
+		if *inputB == "" {
+			return fmt.Errorf("-join foreign needs a side-B stream: set -inputB")
+		}
+		if *input == "-" && *inputB == "-" {
+			return fmt.Errorf("-input and -inputB cannot both read stdin")
+		}
+		opts.Join = sssj.JoinForeign
+	default:
+		return fmt.Errorf("unknown join mode %q", *join)
+	}
 	switch *framework {
 	case "STR":
 		opts.Framework = sssj.Streaming
@@ -70,23 +92,41 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		opts.Stats = &st
 	}
 
-	var in io.Reader = stdin
-	if *input != "-" {
-		f, err := os.Open(*input)
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	open := func(path string) (sssj.Source, error) {
+		var in io.Reader = stdin
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, f)
+			in = f
+		}
+		switch *format {
+		case "text":
+			return sssj.ReadText(in), nil
+		case "binary":
+			return sssj.ReadBinary(in), nil
+		default:
+			return nil, fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	src, err := open(*input)
+	if err != nil {
+		return err
+	}
+	if opts.Join == sssj.JoinForeign {
+		srcB, err := open(*inputB)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		in = f
-	}
-	var src sssj.Source
-	switch *format {
-	case "text":
-		src = sssj.ReadText(in)
-	case "binary":
-		src = sssj.ReadBinary(in)
-	default:
-		return fmt.Errorf("unknown format %q", *format)
+		src = sssj.MergeSideSources(src, srcB)
 	}
 
 	j, err := sssj.New(opts)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -77,5 +78,47 @@ func TestRunMalformedInput(t *testing.T) {
 	err := run(nil, strings.NewReader("garbage line\n"), &out, &errw)
 	if err == nil {
 		t.Fatal("malformed input accepted")
+	}
+}
+
+// TestRunForeignJoin drives -join foreign over two files and checks that
+// only cross-stream pairs are printed.
+func TestRunForeignJoin(t *testing.T) {
+	dir := t.TempDir()
+	// Side A: two identical items (a same-side pair a self-join would
+	// report); side B: one item between them.
+	a := dir + "/a.txt"
+	b := dir + "/b.txt"
+	if err := os.WriteFile(a, []byte("0 1:1\n0.4 1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("0.2 1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	err := run([]string{"-theta", "0.7", "-lambda", "0.1",
+		"-join", "foreign", "-input", a, "-inputB", b}, strings.NewReader(""), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Merged stream: id0 = A@0, id1 = B@0.2, id2 = A@0.4. Cross pairs:
+	// (1,0) and (2,1); the same-side pair (2,0) must be absent.
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "1 0 ") || !strings.HasPrefix(lines[1], "2 1 ") {
+		t.Fatalf("output = %q", out.String())
+	}
+
+	// Flag validation.
+	if err := run([]string{"-join", "foreign"}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("foreign without -inputB accepted")
+	}
+	if err := run([]string{"-join", "foreign", "-inputB", "-"}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("both sides reading stdin accepted")
+	}
+	if err := run([]string{"-inputB", b}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("-inputB without -join foreign accepted")
+	}
+	if err := run([]string{"-join", "bogus"}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("bogus join mode accepted")
 	}
 }

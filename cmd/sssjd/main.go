@@ -4,6 +4,13 @@
 //
 //	sssjd -addr :7407 -theta 0.7 -lambda 0.01 &
 //	printf 'ADD 0 1:1 2:1\nADD 1 1:1 2:1\nQUIT\n' | nc localhost 7407
+//
+// With -join foreign the server runs the two-stream foreign join:
+// connections pick their stream with "SIDE A" / "SIDE B" (default A)
+// and only cross-side matches are reported:
+//
+//	sssjd -join foreign &
+//	printf 'ADD 0 1:1\nSIDE B\nADD 1 1:1\nQUIT\n' | nc localhost 7407
 package main
 
 import (
@@ -42,9 +49,18 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		index  = fs.String("index", "L2", "streaming index: L2, INV, or L2AP")
 		quiet  = fs.Bool("quiet", false, "suppress connection logging")
 		work   = fs.Int("workers", 0, "dimension shards for the parallel STR engine (<=1 = sequential)")
+		join   = fs.String("join", "self", "join mode: self, or foreign (clients tag streams with SIDE A|B)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var foreign bool
+	switch *join {
+	case "self":
+	case "foreign":
+		foreign = true
+	default:
+		return fmt.Errorf("unknown join mode %q", *join)
 	}
 	var kind streaming.Kind
 	switch *index {
@@ -61,8 +77,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	cfg := server.Config{
 		Params:  apss.Params{Theta: *theta, Lambda: *lambda},
 		Workers: *work,
+		Foreign: foreign,
 		NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
-			return core.NewSTRFull(kind, p, streaming.Options{Counters: c, Workers: *work})
+			return core.NewSTRFull(kind, p, streaming.Options{Counters: c, Workers: *work, Foreign: foreign})
 		},
 	}
 	if !*quiet {
@@ -76,8 +93,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g workers=%d)",
-		ln.Addr(), *theta, *lambda, *index, cfg.Params.Horizon(), *work)
+	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g workers=%d join=%s)",
+		ln.Addr(), *theta, *lambda, *index, cfg.Params.Horizon(), *work, *join)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -53,6 +53,39 @@ func ExampleJoinCtx() {
 	// match: 1 ~ 0 (sim 0.90, dt 1.0)
 }
 
+// Two-stream foreign join A ⋈ B: queries (stream A) match only the
+// indexed ads (stream B) and vice versa — same-stream near-duplicates
+// are never reported. ProcessA/ProcessB tag the sides; the interleaving
+// of the calls defines the one shared arrival order.
+func ExampleForeignJoiner() {
+	ad, _ := sssj.NewVector([]uint32{1, 2, 3}, []float64{1, 2, 2})
+	query, _ := sssj.NewVector([]uint32{1, 2, 3}, []float64{1, 2, 1.9})
+
+	fj, err := sssj.NewForeign(sssj.Options{Theta: 0.7, Lambda: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// An ad arrives on stream B, then two user queries on stream A.
+	if _, err := fj.ProcessB(sssj.Item{ID: 100, Time: 0, Vec: ad}); err != nil {
+		log.Fatal(err)
+	}
+	for i, t := range []float64{0.5, 1.0} {
+		ms, err := fj.ProcessA(sssj.Item{ID: uint64(i), Time: t, Vec: query})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range ms {
+			fmt.Printf("query %d matches ad %d (sim %.2f)\n", m.X, m.Y, m.Sim)
+		}
+	}
+	// Note: the two identical queries never match each other — they
+	// share a side.
+
+	// Output:
+	// query 0 matches ad 100 (sim 0.95)
+	// query 1 matches ad 100 (sim 0.90)
+}
+
 // The basic workflow: create a joiner, feed timestamped unit vectors in
 // time order, collect matches.
 func ExampleNew() {

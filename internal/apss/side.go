@@ -1,0 +1,48 @@
+package apss
+
+import "fmt"
+
+// Side tags a stream item with the input stream it belongs to in a
+// two-stream (foreign) join A ⋈ B: probes from stream A report matches
+// only against items indexed from stream B, and vice versa. The
+// self-join is the degenerate case in which sides are ignored.
+//
+// Side is a property of an item's provenance, not of its content, so it
+// travels with the item through every engine and is stored alongside the
+// item's compact slot in the indexes (one bit per live item). The zero
+// value is SideA, which keeps every side-unaware producer — including
+// checkpoints written before sides existed — on a single well-defined
+// side.
+type Side uint8
+
+// The two sides of a foreign join.
+const (
+	SideA Side = iota
+	SideB
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	switch s {
+	case SideA:
+		return "A"
+	case SideB:
+		return "B"
+	default:
+		return fmt.Sprintf("Side(%d)", uint8(s))
+	}
+}
+
+// Other returns the opposite side.
+func (s Side) Other() Side {
+	if s == SideA {
+		return SideB
+	}
+	return SideA
+}
+
+// CrossSide reports whether a pair of sides is reportable under a
+// foreign join: exactly the cross-side pairs are. Every engine funnels
+// its foreign-mode admission and emission gating through this one
+// predicate.
+func CrossSide(a, b Side) bool { return a != b }

@@ -91,6 +91,14 @@ func RunCtx(ctx context.Context, j Joiner, src stream.Source, emit apss.Sink) er
 			return err
 		}
 	}
+	// Re-check cancellation before the flush: for MiniBatch, Flush joins
+	// up to two full buffered windows — by far the heaviest step of a
+	// short stream — and a context canceled during the last item (or by
+	// the consumer racing EOF) must stop the join promptly instead of
+	// emitting a final burst of matches after cancellation.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if sj != nil {
 		return sj.FlushTo(emit)
 	}
@@ -133,10 +141,13 @@ func ApplyDecay(p apss.Pair, params apss.Params, tx, ty float64) (apss.Match, bo
 type BruteForce struct {
 	params apss.Params
 	tau    float64
-	window []stream.Item
-	c      *metrics.Counters
-	now    float64
-	begun  bool
+	// foreign restricts the scan to cross-side pairs (the two-stream
+	// foreign-join oracle; see NewForeignBruteForce).
+	foreign bool
+	window  []stream.Item
+	c       *metrics.Counters
+	now     float64
+	begun   bool
 }
 
 // NewBruteForce returns a brute-force joiner. counters may be nil.
@@ -148,6 +159,18 @@ func NewBruteForce(params apss.Params, counters *metrics.Counters) (*BruteForce,
 		counters = &metrics.Counters{}
 	}
 	return &BruteForce{params: params, tau: params.Horizon(), c: counters}, nil
+}
+
+// NewForeignBruteForce returns the brute-force oracle of the two-stream
+// foreign join: identical to NewBruteForce except that only cross-side
+// pairs (stream.Item.Side) are scored and reported.
+func NewForeignBruteForce(params apss.Params, counters *metrics.Counters) (*BruteForce, error) {
+	b, err := NewBruteForce(params, counters)
+	if err != nil {
+		return nil, err
+	}
+	b.foreign = true
+	return b, nil
 }
 
 // Add implements Joiner (the collect adapter over AddTo).
@@ -177,6 +200,9 @@ func (b *BruteForce) AddTo(x stream.Item, emit apss.Sink) error {
 
 	g := apss.NewGate(emit)
 	for _, y := range b.window {
+		if b.foreign && !apss.CrossSide(y.Side, x.Side) {
+			continue
+		}
 		b.c.FullDots++
 		dt := x.Time - y.Time
 		dot := vec.Dot(x.Vec, y.Vec)

@@ -22,8 +22,11 @@ type MiniBatch struct {
 	params apss.Params
 	kind   static.Kind
 	order  static.Order
-	c      *metrics.Counters
-	tau    float64
+	// foreign runs the two-stream foreign join: the per-window static
+	// indexes gate admission to cross-side pairs (see WithForeign).
+	foreign bool
+	c       *metrics.Counters
+	tau     float64
 
 	t0      float64 // start of the current window
 	prev    []stream.Item
@@ -41,6 +44,16 @@ type MBOption func(*MiniBatch)
 // static indexes (extension; default OrderNone as in the paper).
 func WithOrder(o static.Order) MBOption {
 	return func(mb *MiniBatch) { mb.order = o }
+}
+
+// WithForeign switches the joiner to the two-stream foreign join A ⋈ B:
+// items carry stream.Item.Side tags and only cross-side pairs are
+// reported. Window rotation, the §6.1 max-vector merge, and every
+// pruning bound are unchanged — the static indexes gate candidate
+// admission on sides — so the result set equals the side-filtered
+// self-join over the same interleaved stream, bit for bit.
+func WithForeign() MBOption {
+	return func(mb *MiniBatch) { mb.foreign = true }
 }
 
 // NewMiniBatch builds an MB joiner over the given static index kind.
@@ -133,6 +146,7 @@ func (mb *MiniBatch) rotate(g *apss.Gate) {
 			ExternalMax: mb.curMax,
 			Counters:    mb.c,
 			Order:       mb.order,
+			Foreign:     mb.foreign,
 		})
 		times := make(map[uint64]float64, len(mb.prev))
 		for _, it := range mb.prev {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"io"
 	"testing"
 
 	"sssj/internal/apss"
+	"sssj/internal/index/static"
 	"sssj/internal/index/streaming"
 	"sssj/internal/stream"
 	"sssj/internal/vec"
@@ -68,6 +71,171 @@ func TestRunCleanEOF(t *testing.T) {
 	ms, err := Run(j, stream.NewSliceSource(nil))
 	if err != nil || len(ms) != 0 {
 		t.Fatalf("empty run: %v %v", ms, err)
+	}
+}
+
+// mbMatchStream yields near-duplicate items n per window across several
+// MiniBatch windows, so every window rotation has matches to report.
+func mbMatchStream(p apss.Params, windows, perWindow int) []stream.Item {
+	tau := p.Horizon()
+	var items []stream.Item
+	id := uint64(0)
+	for w := 0; w < windows; w++ {
+		for i := 0; i < perWindow; i++ {
+			t := float64(w)*tau + float64(i)*tau/float64(perWindow+1)
+			items = append(items, stream.Item{ID: id, Time: t,
+				Vec: vec.MustNew([]uint32{1, 2}, []float64{3, 4}).Normalize()})
+			id++
+		}
+	}
+	return items
+}
+
+// cancelAtEOFSource cancels a context immediately before reporting EOF —
+// the consumer-races-end-of-stream shape that used to slip past RunCtx's
+// between-items check straight into the MiniBatch flush.
+type cancelAtEOFSource struct {
+	inner  stream.Source
+	cancel context.CancelFunc
+}
+
+func (s *cancelAtEOFSource) Next() (stream.Item, error) {
+	it, err := s.inner.Next()
+	if err == io.EOF {
+		s.cancel()
+	}
+	return it, err
+}
+
+// TestRunCtxCancelSkipsMiniBatchFlush pins the cancellation contract on
+// the MB path: a context canceled by stream end must stop the join
+// before the flush, which for MiniBatch would otherwise join up to two
+// full buffered windows and emit their matches after cancellation.
+func TestRunCtxCancelSkipsMiniBatchFlush(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	items := mbMatchStream(p, 1, 8) // a single buffered window: all matches live in the flush
+	mb, err := NewMiniBatch(static.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	err = RunCtx(ctx, mb, &cancelAtEOFSource{inner: stream.NewSliceSource(items), cancel: cancel},
+		func(apss.Match) error { emitted++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted != 0 {
+		t.Fatalf("%d matches emitted after cancellation (flush ran)", emitted)
+	}
+}
+
+// TestRunCtxCancelMidBatch cancels from inside the sink mid-stream while
+// MiniBatch is rotating a window and requires RunCtx to surface the
+// cancellation at the next item boundary, with no further emissions.
+func TestRunCtxCancelMidBatch(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	items := mbMatchStream(p, 4, 6)
+	mb, err := NewMiniBatch(static.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted, afterCancel := 0, 0
+	err = RunCtx(ctx, mb, stream.NewSliceSource(items), func(apss.Match) error {
+		if ctx.Err() != nil {
+			afterCancel++
+		}
+		emitted++
+		if emitted == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted == 0 {
+		t.Fatal("test vacuous: no matches before cancellation")
+	}
+	// Matches of the in-flight item may still arrive (AddTo completes the
+	// item; that is the sink contract), but nothing from later items or
+	// the flush may.
+	if afterCancel > emitted-1 {
+		t.Fatalf("emissions continued past the in-flight item: %d of %d after cancel", afterCancel, emitted)
+	}
+}
+
+// TestMiniBatchSinkErrorMidRotate pins the first-error contract on a
+// window rotation triggered mid-stream: the first sink error is
+// returned, the rotation still completes (windows shift), the rest of
+// that rotation's matches are dropped, and the joiner remains usable
+// with later windows reporting exactly the reference match stream.
+func TestMiniBatchSinkErrorMidRotate(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	items := mbMatchStream(p, 3, 5)
+
+	// Reference: per-item matches of an uninterrupted run.
+	ref, err := NewMiniBatch(static.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]apss.Match, len(items))
+	for i, it := range items {
+		if want[i], err = ref.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTail, err := ref.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the first item whose Add reports matches (a rotation).
+	rotateAt := -1
+	for i := range want {
+		if len(want[i]) > 0 {
+			rotateAt = i
+			break
+		}
+	}
+	if rotateAt < 0 {
+		t.Fatal("test vacuous: no mid-stream rotation with matches")
+	}
+
+	mb, err := NewMiniBatch(static.L2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	for i, it := range items {
+		if i == rotateAt {
+			calls := 0
+			err := mb.AddTo(it, func(apss.Match) error { calls++; return boom })
+			if !errors.Is(err, boom) {
+				t.Fatalf("first sink error not returned: %v", err)
+			}
+			if calls != 1 {
+				t.Fatalf("sink called %d times after erroring (remaining matches not dropped)", calls)
+			}
+			continue
+		}
+		got, err := mb.Add(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !apss.EqualMatchSets(got, want[i], 0) {
+			t.Fatalf("item %d: diverged after mid-rotate sink error: %d vs %d matches", i, len(got), len(want[i]))
+		}
+	}
+	gotTail, err := mb.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apss.EqualMatchSets(gotTail, wantTail, 0) {
+		t.Fatalf("flush diverged after mid-rotate sink error: %d vs %d matches", len(gotTail), len(wantTail))
 	}
 }
 

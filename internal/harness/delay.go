@@ -42,7 +42,7 @@ func RunDelay(cfg Config, dataset string, p apss.Params) ([]DelayStat, error) {
 	var out []DelayStat
 	for _, fw := range []string{FrameworkSTR, FrameworkMB} {
 		for _, ix := range IndexNames() {
-			j, err := newJoiner(fw, ix, p, nil, 0)
+			j, err := newJoiner(fw, ix, p, nil, 0, false)
 			if err != nil {
 				return nil, err
 			}

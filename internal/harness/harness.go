@@ -81,8 +81,9 @@ type Result struct {
 func (r Result) Label() string { return r.Framework + "-" + r.Index }
 
 // newJoiner instantiates a framework × index combination. workers > 1
-// selects the sharded parallel STR engine (STR only).
-func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, workers int) (core.Joiner, error) {
+// selects the sharded parallel STR engine (STR only); foreign selects
+// the two-stream foreign join.
+func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, workers int, foreign bool) (core.Joiner, error) {
 	switch framework {
 	case FrameworkSTR:
 		var k streaming.Kind
@@ -96,7 +97,7 @@ func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, work
 		default:
 			return nil, fmt.Errorf("harness: unknown index %q", index)
 		}
-		return core.NewSTRFull(k, p, streaming.Options{Counters: c, Workers: workers})
+		return core.NewSTRFull(k, p, streaming.Options{Counters: c, Workers: workers, Foreign: foreign})
 	case FrameworkMB:
 		var k static.Kind
 		switch index {
@@ -111,7 +112,11 @@ func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, work
 		default:
 			return nil, fmt.Errorf("harness: unknown index %q", index)
 		}
-		return core.NewMiniBatch(k, p, c)
+		var mbOpts []core.MBOption
+		if foreign {
+			mbOpts = append(mbOpts, core.WithForeign())
+		}
+		return core.NewMiniBatch(k, p, c, mbOpts...)
 	default:
 		return nil, fmt.Errorf("harness: unknown framework %q", framework)
 	}
@@ -133,6 +138,13 @@ type RunOpts struct {
 	// reports always measure with it on, keeping runs comparable to each
 	// other.
 	Latency *metrics.Histogram
+	// Foreign measures the two-stream foreign join A ⋈ B instead of the
+	// self-join: the measured loop tags the stream's items with
+	// alternating sides (even positions → A, odd → B), the canonical
+	// interleaved two-stream workload. The underlying item slice is not
+	// modified, so foreign and self scenarios can share one generated
+	// stream.
+	Foreign bool
 }
 
 // Supported reports whether the framework × index names denote a
@@ -141,7 +153,7 @@ type RunOpts struct {
 // matrix.
 func Supported(framework, index string) bool {
 	var c metrics.Counters
-	_, err := newJoiner(framework, index, apss.Params{Theta: 0.5, Lambda: 0.1}, &c, 0)
+	_, err := newJoiner(framework, index, apss.Params{Theta: 0.5, Lambda: 0.1}, &c, 0, false)
 	return err == nil
 }
 
@@ -172,7 +184,7 @@ func RunOneOpts(items []stream.Item, dataset, framework, index string, p apss.Pa
 		Lambda:    p.Lambda,
 		Tau:       p.Horizon(),
 	}
-	j, err := newJoiner(framework, index, p, &res.Stats, o.Workers)
+	j, err := newJoiner(framework, index, p, &res.Stats, o.Workers, o.Foreign)
 	if err != nil {
 		return res
 	}
@@ -207,6 +219,9 @@ func RunOneOpts(items []stream.Item, dataset, framework, index string, p apss.Pa
 	}
 	completed := true
 	for i, it := range items {
+		if o.Foreign && i%2 == 1 {
+			it.Side = apss.SideB // tag the loop's copy; the shared slice stays untouched
+		}
 		var itemStart time.Time
 		if o.Latency != nil {
 			itemStart = time.Now()

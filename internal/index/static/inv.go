@@ -25,11 +25,15 @@ type invIndex struct {
 	theta float64
 	c     *metrics.Counters
 	order Order
-	dm    *dimMap
-	lists map[uint32][]invEntry
-	ids   []uint64 // slot → item id
-	acc   accum.Dense
-	built bool
+	// foreign enables two-stream join gating: only cross-side entries
+	// are admitted as candidates (see Options.Foreign).
+	foreign bool
+	dm      *dimMap
+	lists   map[uint32][]invEntry
+	ids     []uint64    // slot → item id
+	sides   []apss.Side // slot → foreign-join side
+	acc     accum.Dense
+	built   bool
 }
 
 // Build implements Index (the collect adapter over BuildTo).
@@ -86,6 +90,11 @@ func (ix *invIndex) query(x stream.Item, g *apss.PairGate) {
 		xj := x.Vec.Vals[i]
 		for _, e := range ix.lists[d] {
 			ix.c.EntriesTraversed++
+			// Foreign-join side gating: same-side entries are not
+			// candidates and accumulate nothing.
+			if ix.foreign && !apss.CrossSide(ix.sides[e.slot], x.Side) {
+				continue
+			}
 			if a.Mark[e.slot] != a.Epoch {
 				a.Admit(e.slot)
 				ix.c.Candidates++
@@ -104,6 +113,7 @@ func (ix *invIndex) query(x stream.Item, g *apss.PairGate) {
 func (ix *invIndex) insert(x stream.Item) {
 	slot := uint32(len(ix.ids))
 	ix.ids = append(ix.ids, x.ID)
+	ix.sides = append(ix.sides, x.Side)
 	for i, d := range x.Vec.Dims {
 		ix.lists[d] = append(ix.lists[d], invEntry{slot: slot, val: x.Vec.Vals[i]})
 		ix.c.IndexedEntries++

@@ -25,6 +25,7 @@ type pentry struct {
 // candidate-verification bounds need, and the pscore Q[ι(x)].
 type vmeta struct {
 	id       uint64     // item id (emission)
+	side     apss.Side  // foreign-join side (admission gating)
 	residual vec.Vector // unindexed prefix x'
 	q        float64    // Q[ι(x)]: upper bound on dot(z, x') for any unit z
 	rsum     float64    // Σ x'
@@ -41,10 +42,13 @@ type vmeta struct {
 type prefixIndex struct {
 	theta        float64
 	useAP, useL2 bool
-	c            *metrics.Counters
-	order        Order
-	dm           *dimMap
-	extMax       vec.MaxTracker
+	// foreign enables two-stream join gating: only cross-side entries
+	// are admitted as candidates (see Options.Foreign).
+	foreign bool
+	c       *metrics.Counters
+	order   Order
+	dm      *dimMap
+	extMax  vec.MaxTracker
 
 	m     vec.MaxTracker // dataset ∪ external maxima (b1 bound; AP only)
 	mhat  vec.MaxTracker // maxima over indexed vectors (rs1 bound; AP only)
@@ -56,13 +60,14 @@ type prefixIndex struct {
 
 func newPrefixIndex(theta float64, useAP, useL2 bool, opts Options, c *metrics.Counters) *prefixIndex {
 	return &prefixIndex{
-		theta:  theta,
-		useAP:  useAP,
-		useL2:  useL2,
-		c:      c,
-		order:  opts.Order,
-		extMax: opts.ExternalMax,
-		lists:  make(map[uint32][]pentry),
+		theta:   theta,
+		useAP:   useAP,
+		useL2:   useL2,
+		foreign: opts.Foreign,
+		c:       c,
+		order:   opts.Order,
+		extMax:  opts.ExternalMax,
+		lists:   make(map[uint32][]pentry),
 	}
 }
 
@@ -163,6 +168,13 @@ func (ix *prefixIndex) query(x stream.Item, g *apss.PairGate) {
 				continue
 			}
 			if a.Mark[e.slot] != a.Epoch {
+				// Foreign-join side gating: a same-side item is not a
+				// candidate at all, so it is declined before any bound
+				// is evaluated or any dot accumulated.
+				if ix.foreign && !apss.CrossSide(ix.meta[e.slot].side, x.Side) {
+					a.Dead[e.slot] = a.Epoch
+					continue
+				}
 				if math.Min(rs1, rs2) < ix.theta {
 					continue // remscore pruning: y can no longer reach θ
 				}
@@ -279,6 +291,7 @@ func (ix *prefixIndex) insert(x stream.Item) {
 	residual := x.Vec.SliceByIndex(0, firstIdx)
 	ix.meta = append(ix.meta, &vmeta{
 		id:       x.ID,
+		side:     x.Side,
 		residual: residual,
 		q:        q,
 		rsum:     residual.Sum(),

@@ -69,6 +69,13 @@ type Options struct {
 	// Order selects the dimension-ordering strategy (extension; see
 	// order.go). Defaults to OrderNone, the paper's configuration.
 	Order Order
+	// Foreign switches the index from a self-join to a two-stream
+	// foreign join: each item carries a stream.Item.Side tag and only
+	// cross-side pairs are admitted and emitted. As in the streaming
+	// engines, every pruning bound and every global statistic stays
+	// side-blind — gating only removes candidates — so the foreign join
+	// over a dataset equals the side-filtered self-join bit for bit.
+	Foreign bool
 }
 
 // Index is a batch APSS index over one dataset.
@@ -105,7 +112,7 @@ func New(kind Kind, theta float64, opts Options) SinkIndex {
 	}
 	switch kind {
 	case INV:
-		return &invIndex{theta: theta, c: c, order: opts.Order}
+		return &invIndex{theta: theta, c: c, order: opts.Order, foreign: opts.Foreign}
 	case AP:
 		return newPrefixIndex(theta, true, false, opts, c)
 	case L2AP:

@@ -1,5 +1,7 @@
 package streaming
 
+import "sssj/internal/apss"
+
 // This file implements the block-arena posting storage shared by every
 // streaming index (INV, L2, L2AP/AP, sequential and sharded).
 //
@@ -320,27 +322,31 @@ func (ar *parena) chainBlocks(ch *chain) int {
 // and the dense accumulator refer to items by slot; the table maps a
 // slot back to the item id (for emission and checkpointing) and records
 // the item's arrival time (which is every posting entry's time, so slot
-// expiry and entry expiry coincide). Slots are recycled through a
-// freelist when the item leaves the horizon, so the slot space — and
-// with it the accumulator arrays — stays proportional to the live
-// window, not the stream length.
+// expiry and entry expiry coincide) and its foreign-join side bit (what
+// cross-side admission gating reads; always side A in a self-join).
+// Slots are recycled through a freelist when the item leaves the
+// horizon, so the slot space — and with it the accumulator arrays —
+// stays proportional to the live window, not the stream length.
 type slotTab struct {
 	id   []uint64
 	t    []float64
+	side []apss.Side
 	free []uint32
 }
 
-// alloc assigns a slot to item id arriving at time t.
-func (s *slotTab) alloc(id uint64, t float64) uint32 {
+// alloc assigns a slot to item id arriving at time t on the given side.
+func (s *slotTab) alloc(id uint64, t float64, side apss.Side) uint32 {
 	if n := len(s.free); n > 0 {
 		sl := s.free[n-1]
 		s.free = s.free[:n-1]
 		s.id[sl] = id
 		s.t[sl] = t
+		s.side[sl] = side
 		return sl
 	}
 	s.id = append(s.id, id)
 	s.t = append(s.t, t)
+	s.side = append(s.side, side)
 	return uint32(len(s.id) - 1)
 }
 

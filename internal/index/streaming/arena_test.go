@@ -3,6 +3,8 @@ package streaming
 import (
 	"math/rand"
 	"testing"
+
+	"sssj/internal/apss"
 )
 
 // collect returns the (slot, t) pairs of ch oldest→newest.
@@ -256,18 +258,21 @@ func TestArenaRandomOps(t *testing.T) {
 
 func TestSlotTabRecycling(t *testing.T) {
 	var s slotTab
-	a := s.alloc(100, 1)
-	b := s.alloc(200, 2)
+	a := s.alloc(100, 1, apss.SideA)
+	b := s.alloc(200, 2, apss.SideB)
 	if a == b || s.span() != 2 {
 		t.Fatalf("slots %d %d span %d", a, b, s.span())
 	}
+	if s.side[a] != apss.SideA || s.side[b] != apss.SideB {
+		t.Fatalf("side bits lost: %v %v", s.side[a], s.side[b])
+	}
 	s.release(a)
-	c := s.alloc(300, 3)
+	c := s.alloc(300, 3, apss.SideB)
 	if c != a {
 		t.Fatalf("freed slot not recycled: got %d want %d", c, a)
 	}
-	if s.id[c] != 300 || s.t[c] != 3 {
-		t.Fatalf("recycled slot kept stale identity: id=%d t=%v", s.id[c], s.t[c])
+	if s.id[c] != 300 || s.t[c] != 3 || s.side[c] != apss.SideB {
+		t.Fatalf("recycled slot kept stale identity: id=%d t=%v side=%v", s.id[c], s.t[c], s.side[c])
 	}
 	if s.span() != 2 {
 		t.Fatalf("span grew to %d despite recycling", s.span())

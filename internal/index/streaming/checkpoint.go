@@ -44,7 +44,20 @@ var ckptMagic = [8]byte{'S', 'S', 'S', 'J', 'C', 'K', 'P', 'T'}
 //	    without materializing per-list slices and Load rebuilds chains
 //	    block by block. Entry payloads are unchanged; versions 1 and 2
 //	    (one flat entry count per list) still load.
-const ckptVersion = 3
+//	4 — foreign-join side bits: every posting entry and every residual
+//	    record gains the item's Side byte, so a two-stream join resumes
+//	    with each live item's provenance intact. Sides are resolved
+//	    through the slot table exactly like ids, so a lazily retained
+//	    expired entry under a recycled slot serializes with the new
+//	    owner's (id, side) pair and its own time — the (id, time)
+//	    incarnation keying on load keeps it on a separate slot, where
+//	    it is beyond the horizon and never consulted by gating. The
+//	    side is per-item content, not operator config: whether the
+//	    restored index *gates* on sides is chosen at load time via
+//	    Options.Foreign, which is how a version ≤ 3 (or self-join)
+//	    checkpoint loads into a foreign-join engine — every restored
+//	    item then defaults to side A.
+const ckptVersion = 4
 
 // ErrBadCheckpoint reports a corrupt or incompatible checkpoint.
 var ErrBadCheckpoint = errors.New("streaming: bad checkpoint")
@@ -72,7 +85,7 @@ func Save(ix Index, w io.Writer) error {
 			cw.u32(d)
 			saveChain(cw, &v.ar, &v.slots, ch, true)
 		}
-		saveRes(cw, v.res)
+		saveRes(cw, v.res, &v.slots)
 		if v.useAP {
 			cw.u32(uint32(len(v.m)))
 			for d, val := range v.m {
@@ -104,7 +117,7 @@ func Save(ix Index, w io.Writer) error {
 				saveChain(cw, &sh.ar, &v.slots, ch, true)
 			}
 		}
-		saveRes(cw, v.res)
+		saveRes(cw, v.res, &v.slots)
 		if v.useAP {
 			cw.u32(uint32(len(v.m)))
 			for d, val := range v.m {
@@ -147,10 +160,11 @@ func Save(ix Index, w io.Writer) error {
 	return bw.Flush()
 }
 
-// saveChain writes one posting chain in v3 block framing: the block
-// count, then per block its live-entry count and entries oldest→newest.
-// Entries are written with the item id (resolved through the slot
-// table); slots themselves are never serialized.
+// saveChain writes one posting chain in the v3 block framing plus the
+// v4 per-entry side byte: the block count, then per block its
+// live-entry count and entries oldest→newest. Entries are written with
+// the item id and side (both resolved through the slot table); slots
+// themselves are never serialized.
 func saveChain(cw *ckptWriter, ar *parena, slots *slotTab, ch *chain, withPnorm bool) {
 	cw.u32(uint32(ar.chainBlocks(ch)))
 	for b := ch.oldest; b >= 0; b = ar.newer[b] {
@@ -164,6 +178,7 @@ func saveChain(cw *ckptWriter, ar *parena, slots *slotTab, ch *chain, withPnorm 
 			if withPnorm {
 				cw.f64(ar.pnorm[ai])
 			}
+			cw.u8(uint8(slots.side[ar.slot[ai]]))
 		}
 	}
 }
@@ -202,8 +217,10 @@ func saveTouch(cw *ckptWriter, touch map[uint32]float64) {
 	}
 }
 
-// saveRes serializes a residual direct index.
-func saveRes(cw *ckptWriter, res *lhmap.Map[uint64, *smeta]) {
+// saveRes serializes a residual direct index. The v4 side byte is
+// resolved through the slot table (a live residual always owns its
+// slot).
+func saveRes(cw *ckptWriter, res *lhmap.Map[uint64, *smeta], slots *slotTab) {
 	cw.u32(uint32(res.Len()))
 	res.Ascend(func(id uint64, m *smeta) bool {
 		cw.u64(id)
@@ -215,6 +232,7 @@ func saveRes(cw *ckptWriter, res *lhmap.Map[uint64, *smeta]) {
 			cw.u32(m.vec.Dims[i])
 			cw.f64(m.vec.Vals[i])
 		}
+		cw.u8(uint8(slots.side[m.slot]))
 		return true
 	})
 }
@@ -222,7 +240,11 @@ func saveRes(cw *ckptWriter, res *lhmap.Map[uint64, *smeta]) {
 // Load restores an index saved by Save. opts supplies runtime-only state
 // (counters, ablations, the Workers count — a checkpoint restores under
 // any Workers value, regardless of the value it was saved with — and,
-// when the checkpoint used a custom kernel, the kernel itself).
+// when the checkpoint used a custom kernel, the kernel itself). The
+// Foreign flag likewise is operator config, chosen at load time: a v4
+// checkpoint restores each item's side bit, and a file written before
+// sides existed (v1–v3) loads into a foreign-join engine with every
+// item on side A.
 func Load(r io.Reader, opts Options) (Index, error) {
 	cr := &ckptReader{r: bufio.NewReader(r)}
 	var magic [8]byte
@@ -293,11 +315,11 @@ func Load(r io.Reader, opts Options) (Index, error) {
 		t  float64
 	}
 	idSlot := make(map[incarnation]uint32)
-	slotFor := func(id uint64, t float64) uint32 {
+	slotFor := func(id uint64, t float64, side apss.Side) uint32 {
 		key := incarnation{id, t}
 		sl, ok := idSlot[key]
 		if !ok {
-			sl = slots.alloc(id, t)
+			sl = slots.alloc(id, t, side)
 			idSlot[key] = sl
 		}
 		return sl
@@ -364,7 +386,8 @@ func Load(r io.Reader, opts Options) (Index, error) {
 	}
 
 	withPnorm := kind != INV
-	// readEntries decodes n entries of one list fragment.
+	// readEntries decodes n entries of one list fragment. Files older
+	// than v4 carry no side bits; every restored item lands on side A.
 	readEntries := func(d uint32, n int) {
 		for i := 0; i < n && cr.err == nil; i++ {
 			id := cr.u64()
@@ -374,10 +397,18 @@ func Load(r io.Reader, opts Options) (Index, error) {
 			if withPnorm {
 				pnorm = cr.f64()
 			}
+			side := apss.SideA
+			if ver >= 4 {
+				side = apss.Side(cr.u8())
+				if cr.err == nil && side > apss.SideB {
+					cr.err = fmt.Errorf("entry of item %d has side %d", id, side)
+					return
+				}
+			}
 			if cr.err != nil {
 				return
 			}
-			putEntry(d, slotFor(id, t), t, val, pnorm)
+			putEntry(d, slotFor(id, t, side), t, val, pnorm)
 		}
 	}
 	nLists := int(cr.u32())
@@ -405,8 +436,15 @@ func Load(r io.Reader, opts Options) (Index, error) {
 				vv.Dims[k] = cr.u32()
 				vv.Vals[k] = cr.f64()
 			}
+			side := apss.SideA
+			if ver >= 4 {
+				side = apss.Side(cr.u8())
+			}
 			if cr.err != nil {
 				break
+			}
+			if side > apss.SideB {
+				return nil, fmt.Errorf("%w: residual %d has side %d", ErrBadCheckpoint, id, side)
 			}
 			if err := vv.Validate(); err != nil || boundary > nnz {
 				return nil, fmt.Errorf("%w: residual %d invalid", ErrBadCheckpoint, id)
@@ -420,7 +458,7 @@ func Load(r io.Reader, opts Options) (Index, error) {
 				q:        q,
 				rsum:     residual.Sum(),
 				rmax:     residual.MaxVal(),
-				slot:     slotFor(id, t),
+				slot:     slotFor(id, t, side),
 			})
 		}
 		if useAP && cr.err == nil {

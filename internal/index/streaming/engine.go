@@ -39,7 +39,13 @@ type icCore struct {
 	p     apss.Params
 	useAP bool
 	useL2 bool
-	c     *metrics.Counters
+	// foreign enables the two-stream join: candidate admission and
+	// emission are restricted to cross-side pairs. Index construction
+	// and the global statistics are side-blind on purpose — see
+	// Options.Foreign for why that is what makes the foreign join
+	// bit-identical to the side-filtered self-join.
+	foreign bool
+	c       *metrics.Counters
 
 	res *lhmap.Map[uint64, *smeta]
 	// m is the monotone (undecayed) max vector driving the b1 bound;
@@ -93,7 +99,7 @@ func (ic *icCore) indexVector(x stream.Item) {
 			if boundary < 0 {
 				boundary = i
 				q = pscore
-				slot = ic.slots.alloc(x.ID, x.Time)
+				slot = ic.slots.alloc(x.ID, x.Time, x.Side)
 			}
 			ic.push(d, slot, x.Time, xj, pn[i])
 			ic.c.IndexedEntries++
@@ -219,12 +225,13 @@ type engine struct {
 	begun bool
 }
 
-func newEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, abl Ablations, c *metrics.Counters) *engine {
+func newEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, abl Ablations, foreign bool, c *metrics.Counters) *engine {
 	e := &engine{
 		icCore: icCore{
 			p:            p,
 			useAP:        useAP,
 			useL2:        useL2,
+			foreign:      foreign,
 			c:            c,
 			res:          lhmap.New[uint64, *smeta](),
 			noIndexBound: abl.NoIndexBound,
@@ -341,6 +348,13 @@ func (e *engine) candGen(x stream.Item) {
 			dt := x.Time - e.ar.t[ai]
 			decay := e.kernel.Factor(dt)
 			if a.Mark[sl] != a.Epoch {
+				// Foreign-join side gating: a same-side item is not a
+				// candidate at all, so it is pruned before any bound is
+				// evaluated or any dot accumulated.
+				if e.foreign && !apss.CrossSide(e.slots.side[sl], x.Side) {
+					a.Dead[sl] = a.Epoch
+					return
+				}
 				// remscore admission (Algorithm 7, lines 7–8).
 				rs2d := rs2
 				if e.useL2 {

@@ -20,7 +20,10 @@ type invIndex struct {
 	p      apss.Params
 	kernel apss.Kernel
 	tau    float64
-	c      *metrics.Counters
+	// foreign enables two-stream join gating: only cross-side entries
+	// are admitted as candidates (see Options.Foreign).
+	foreign bool
+	c       *metrics.Counters
 
 	ar    parena
 	lists map[uint32]*chain
@@ -35,13 +38,14 @@ type invIndex struct {
 	begun bool
 }
 
-func newInvIndex(p apss.Params, kernel apss.Kernel, c *metrics.Counters) *invIndex {
+func newInvIndex(p apss.Params, kernel apss.Kernel, foreign bool, c *metrics.Counters) *invIndex {
 	return &invIndex{
-		p:      p,
-		kernel: kernel,
-		tau:    kernel.Horizon(p.Theta),
-		c:      c,
-		lists:  make(map[uint32]*chain),
+		p:       p,
+		kernel:  kernel,
+		tau:     kernel.Horizon(p.Theta),
+		foreign: foreign,
+		c:       c,
+		lists:   make(map[uint32]*chain),
 	}
 }
 
@@ -81,6 +85,11 @@ func (ix *invIndex) AddTo(x stream.Item, emit apss.Sink) error {
 		removed := ix.ar.descendCut(ch, x.Time, ix.tau, func(ai int) {
 			ix.c.EntriesTraversed++
 			sl := ix.ar.slot[ai]
+			// Foreign-join side gating: same-side entries are not
+			// candidates and accumulate nothing.
+			if ix.foreign && !apss.CrossSide(ix.slots.side[sl], x.Side) {
+				return
+			}
 			if a.Mark[sl] != a.Epoch {
 				a.Admit(sl)
 				ix.c.Candidates++
@@ -106,7 +115,7 @@ func (ix *invIndex) AddTo(x stream.Item, emit apss.Sink) error {
 	ix.c.Pairs += g.Emitted()
 
 	if len(x.Vec.Dims) > 0 {
-		sl := ix.slots.alloc(x.ID, x.Time)
+		sl := ix.slots.alloc(x.ID, x.Time, x.Side)
 		ix.live.PushBack(sl)
 		for i, d := range x.Vec.Dims {
 			ix.ar.pushTo(ix.lists, d, sl, x.Time, x.Vec.Vals[i], 0)

@@ -93,14 +93,15 @@ type parEngine struct {
 	begun bool
 }
 
-func newParEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, workers int, c *metrics.Counters) *parEngine {
+func newParEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, workers int, foreign bool, c *metrics.Counters) *parEngine {
 	e := &parEngine{
 		icCore: icCore{
-			p:     p,
-			useAP: useAP,
-			useL2: useL2,
-			c:     c,
-			res:   lhmap.New[uint64, *smeta](),
+			p:       p,
+			useAP:   useAP,
+			useL2:   useL2,
+			foreign: foreign,
+			c:       c,
+			res:     lhmap.New[uint64, *smeta](),
 		},
 		kernel: kernel,
 		lambda: p.Lambda,
@@ -288,6 +289,14 @@ func (e *parEngine) shardScan(sh *parShard, s int, x stream.Item, pnx, sqAbove, 
 					return
 				}
 				if a.Mark[sl] != a.Epoch {
+					// Foreign-join side gating first: a same-side item is
+					// not a candidate in any shard (the slot table is
+					// read-only during the fan-out), so declining it here
+					// is globally sound.
+					if e.foreign && !apss.CrossSide(e.slots.side[sl], x.Side) {
+						a.Decline(sl)
+						return
+					}
 					// Shard-local admission: both bounds dominate the
 					// candidate's total similarity (see file comment).
 					bound := math.Inf(1)
@@ -534,24 +543,27 @@ type parInv struct {
 	p      apss.Params
 	kernel apss.Kernel
 	tau    float64
-	c      *metrics.Counters
-	shards []*invShard
-	slots  slotTab
-	live   cbuf.Ring[uint32]
-	macc   accum.Dense
+	// foreign enables two-stream join gating (see Options.Foreign).
+	foreign bool
+	c       *metrics.Counters
+	shards  []*invShard
+	slots   slotTab
+	live    cbuf.Ring[uint32]
+	macc    accum.Dense
 
 	clock sweepClock
 	now   float64
 	begun bool
 }
 
-func newParInv(p apss.Params, kernel apss.Kernel, workers int, c *metrics.Counters) *parInv {
+func newParInv(p apss.Params, kernel apss.Kernel, workers int, foreign bool, c *metrics.Counters) *parInv {
 	ix := &parInv{
-		p:      p,
-		kernel: kernel,
-		tau:    kernel.Horizon(p.Theta),
-		c:      c,
-		shards: make([]*invShard, workers),
+		p:       p,
+		kernel:  kernel,
+		tau:     kernel.Horizon(p.Theta),
+		foreign: foreign,
+		c:       c,
+		shards:  make([]*invShard, workers),
 	}
 	for i := range ix.shards {
 		ix.shards[i] = &invShard{lists: make(map[uint32]*chain)}
@@ -611,6 +623,11 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 			removed := sh.ar.descendCut(ch, x.Time, ix.tau, func(ai int) {
 				sh.traversed++
 				sl := sh.ar.slot[ai]
+				// Foreign-join side gating: the slot table is read-only
+				// during the fan-out, so every shard sees the same sides.
+				if ix.foreign && !apss.CrossSide(ix.slots.side[sl], x.Side) {
+					return
+				}
 				if a.Mark[sl] != a.Epoch {
 					a.Admit(sl)
 				}
@@ -669,7 +686,7 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 	ix.c.Pairs += g.Emitted()
 
 	if len(dims) > 0 {
-		sl := ix.slots.alloc(x.ID, x.Time)
+		sl := ix.slots.alloc(x.ID, x.Time, x.Side)
 		ix.live.PushBack(sl)
 		for i, d := range dims {
 			sh := ix.shards[ix.owner(d)]

@@ -87,6 +87,20 @@ type Options struct {
 	// the parallel engines emit the same match set (see parallel.go).
 	// Ablations require the sequential engines.
 	Workers int
+	// Foreign switches the index from a self-join to a two-stream
+	// foreign join A ⋈ B: each item carries a stream.Item.Side tag, and
+	// only cross-side pairs are admitted as candidates and emitted.
+	//
+	// Soundness and the oracle property: every per-pair pruning bound of
+	// the self-join remains valid verbatim — side gating only removes
+	// candidates, never loosens a bound — and the global statistics
+	// (boundaries, pscores, m, m̂λ) are deliberately kept identical to
+	// the self-join over the same interleaved stream (a max over A ∪ B
+	// dominates the per-side max, so bounds built on it stay safe for
+	// cross-side pairs). The foreign join over an interleaved stream is
+	// therefore exactly the side-filtered self-join, with bit-identical
+	// similarities — the metamorphic oracle the test battery checks.
+	Foreign bool
 }
 
 // Ablations disables individual pruning rules of the prefix-filtering
@@ -184,24 +198,24 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 	switch kind {
 	case INV:
 		if parallel {
-			ix = newParInv(params, kernel, opts.Workers, c)
+			ix = newParInv(params, kernel, opts.Workers, opts.Foreign, c)
 		} else {
-			ix = newInvIndex(params, kernel, c)
+			ix = newInvIndex(params, kernel, opts.Foreign, c)
 		}
 	case L2:
 		if parallel {
-			ix = newParEngine(params, kernel, false, true, opts.Workers, c)
+			ix = newParEngine(params, kernel, false, true, opts.Workers, opts.Foreign, c)
 		} else {
-			ix = newEngine(params, kernel, false, true, opts.Ablations, c)
+			ix = newEngine(params, kernel, false, true, opts.Ablations, opts.Foreign, c)
 		}
 	case L2AP, AP:
 		if _, ok := kernel.(apss.Exponential); !ok {
 			return nil, fmt.Errorf("%w: STR-%v needs apss.Exponential, got %T", ErrKernel, kind, kernel)
 		}
 		if parallel {
-			ix = newParEngine(params, kernel, true, kind == L2AP, opts.Workers, c)
+			ix = newParEngine(params, kernel, true, kind == L2AP, opts.Workers, opts.Foreign, c)
 		} else {
-			ix = newEngine(params, kernel, true, kind == L2AP, opts.Ablations, c)
+			ix = newEngine(params, kernel, true, kind == L2AP, opts.Ablations, opts.Foreign, c)
 		}
 	default:
 		return nil, fmt.Errorf("streaming: unknown kind %d", int(kind))

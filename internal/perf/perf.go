@@ -45,15 +45,27 @@ type Scenario struct {
 	Theta     float64 `json:"theta"`
 	Lambda    float64 `json:"lambda"`
 	Workers   int     `json:"workers"` // STR shard count; ≤ 1 = sequential
+	// Join is "foreign" for the two-stream foreign join (the stream's
+	// items are tagged with alternating sides; see harness.RunOpts) and
+	// empty or "self" for the paper's self-join.
+	Join string `json:"join,omitempty"`
 }
 
-// label renders the canonical scenario name, e.g. "RCV1/STR-L2/t0.70/w4".
+// foreign reports whether the scenario measures the foreign join.
+func (s Scenario) foreign() bool { return s.Join == "foreign" }
+
+// label renders the canonical scenario name, e.g. "RCV1/STR-L2/t0.70/w4"
+// ("…/w4/foreign" for foreign-join scenarios).
 func (s Scenario) label() string {
 	w := s.Workers
 	if w < 1 {
 		w = 1
 	}
-	return fmt.Sprintf("%s/%s-%s/t%.2f/w%d", s.Profile, s.Framework, s.Index, s.Theta, w)
+	name := fmt.Sprintf("%s/%s-%s/t%.2f/w%d", s.Profile, s.Framework, s.Index, s.Theta, w)
+	if s.foreign() {
+		name += "/foreign"
+	}
+	return name
 }
 
 // named returns s with Name filled from label if empty.
@@ -68,8 +80,11 @@ func (s Scenario) named() Scenario {
 // (RCV1) and a sparse bursty (Tweets) stream shape, the three STR
 // indexes, the sharded parallel engine at 4 workers, and MB-L2 as the
 // framework baseline — plus a θ sweep on the recommended STR-L2 to
-// track threshold sensitivity. 12 scenarios; at the default scale the
-// whole matrix runs in well under a minute.
+// track threshold sensitivity, and a 4-scenario foreign-join (A ⋈ B)
+// cross-section. 16 scenarios; at the default scale the whole matrix
+// runs in well under a minute. Scenarios not yet present in a committed
+// baseline are reported as informational by Compare until the baseline
+// is refreshed.
 func DefaultScenarios() []Scenario {
 	const lambda = 0.01
 	var out []Scenario
@@ -90,6 +105,19 @@ func DefaultScenarios() []Scenario {
 			Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
 			Theta: theta, Lambda: lambda, Workers: 1,
 		}
+		out = append(out, sc.named())
+	}
+	// The foreign-join (A ⋈ B) cross-section: the recommended STR-L2 on
+	// both stream shapes, its sharded variant, and the MB framework
+	// baseline — enough to track the new path's throughput, its parallel
+	// scaling, and the cross-framework gap without doubling the matrix.
+	for _, sc := range []Scenario{
+		{Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2", Theta: 0.7, Workers: 1},
+		{Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2", Theta: 0.7, Workers: 4},
+		{Profile: "Tweets", Framework: harness.FrameworkSTR, Index: "L2", Theta: 0.7, Workers: 1},
+		{Profile: "RCV1", Framework: harness.FrameworkMB, Index: "L2", Theta: 0.7, Workers: 1},
+	} {
+		sc.Lambda, sc.Join = lambda, "foreign"
 		out = append(out, sc.named())
 	}
 	return out
@@ -181,7 +209,7 @@ func runOnce(s Scenario, cfg RunConfig, items []stream.Item) (Report, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	res := harness.RunOneOpts(items, s.Profile, s.Framework, s.Index, p,
-		harness.RunOpts{Workers: s.Workers, Budget: cfg.Budget, Latency: lat})
+		harness.RunOpts{Workers: s.Workers, Budget: cfg.Budget, Latency: lat, Foreign: s.foreign()})
 	runtime.ReadMemStats(&after)
 	return FromResult(s, res, lat, after.TotalAlloc-before.TotalAlloc, after.Mallocs-before.Mallocs), nil
 }

@@ -208,11 +208,51 @@ func TestDefaultScenarios(t *testing.T) {
 		}
 		names[s.Name] = true
 	}
-	if got := len(FilterByProfile(scs, "RCV1")); got != 7 {
-		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 7", got)
+	if got := len(FilterByProfile(scs, "RCV1")); got != 10 {
+		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 10", got)
 	}
 	if got := len(FilterByProfile(scs, "")); got != len(scs) {
 		t.Errorf("empty filter dropped scenarios")
+	}
+	// The foreign-join cross-section is part of the standing matrix, and
+	// its names carry the mode so they can never collide with (or be
+	// compared against) the self-join scenarios.
+	foreignN := 0
+	for _, s := range scs {
+		if s.foreign() {
+			foreignN++
+			if !strings.HasSuffix(s.Name, "/foreign") {
+				t.Errorf("foreign scenario name %q lacks the /foreign suffix", s.Name)
+			}
+		}
+	}
+	if foreignN != 4 {
+		t.Errorf("matrix has %d foreign scenarios, want 4", foreignN)
+	}
+}
+
+// TestRunForeignScenario smoke-runs one foreign scenario end to end and
+// checks it reports fewer pairs than its self-join twin on the same
+// stream (the gate must actually remove same-side pairs).
+func TestRunForeignScenario(t *testing.T) {
+	self := Scenario{Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
+		Theta: 0.5, Lambda: 0.01, Workers: 1}
+	foreign := self
+	foreign.Join = "foreign"
+	cfg := RunConfig{Scale: 0.02, Seed: 3, Repeats: 1}
+	rs, err := RunScenario(self, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := RunScenario(foreign, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Pairs == 0 {
+		t.Fatal("self scenario found no pairs; smoke test vacuous")
+	}
+	if rf.Pairs == 0 || rf.Pairs >= rs.Pairs {
+		t.Fatalf("foreign pairs %d vs self %d: want 0 < foreign < self", rf.Pairs, rs.Pairs)
 	}
 }
 

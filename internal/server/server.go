@@ -10,6 +10,7 @@
 //
 //	ADD <timestamp> <dim>:<val> <dim>:<val> ...
 //	ADDNOW <dim>:<val> ...        (server assigns the arrival timestamp)
+//	SIDE <A|B>                    (foreign join: side of subsequent ADDs)
 //	STATS                         (operation counters)
 //	SIZE                          (index occupancy)
 //	PING
@@ -23,6 +24,13 @@
 // or "ERR <message>" for rejected input. Items from all connections are
 // interleaved into a single self-join stream: a match can pair items
 // submitted by different clients.
+//
+// A server started with Config.Foreign runs the two-stream foreign join
+// A ⋈ B instead: each connection carries a current side (side A until
+// it issues SIDE), every ADD/ADDNOW ingests on that side, and matches
+// pair only cross-side items. SIDE answers "SIDE <A|B>" (echo) and is
+// rejected on a self-join server, where the tag would be silently
+// meaningless.
 //
 // # Ingest pipeline
 //
@@ -75,6 +83,12 @@ type Config struct {
 	// default joiner (values ≤ 1 keep the sequential engine). Ignored
 	// when NewJoiner is set.
 	Workers int
+	// Foreign runs the two-stream foreign join: connections tag their
+	// items with the SIDE command and only cross-side matches are
+	// reported. Applies to the default joiner (a custom NewJoiner must
+	// build a foreign-gating joiner itself); the SIDE command is
+	// accepted only when this is set.
+	Foreign bool
 	// NewJoiner builds the joiner; defaults to STR-L2 (sharded across
 	// Config.Workers shards when Workers > 1).
 	NewJoiner func(apss.Params, *metrics.Counters) (core.Joiner, error)
@@ -99,6 +113,7 @@ type ingestReq struct {
 	kind     ingestKind
 	t        float64 // ADD timestamp (ignored when stampNow)
 	stampNow bool
+	side     apss.Side // foreign-join side of the item (A on self-join servers)
 	v        vec.Vector
 	// emit receives the item's matches on the pipeline goroutine, as
 	// they are found. The submitting handler is parked on reply for the
@@ -162,7 +177,11 @@ func New(cfg Config) (*Server, error) {
 	mk := cfg.NewJoiner
 	if mk == nil {
 		mk = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
-			return core.NewSTRFull(streaming.L2, p, streaming.Options{Counters: c, Workers: cfg.Workers})
+			return core.NewSTRFull(streaming.L2, p, streaming.Options{
+				Counters: c,
+				Workers:  cfg.Workers,
+				Foreign:  cfg.Foreign,
+			})
 		}
 	}
 	j, err := mk(cfg.Params, &s.counters)
@@ -211,7 +230,7 @@ func (s *Server) serve(req ingestReq) ingestResp {
 		return ingestResp{err: fmt.Errorf("out of order: t=%v after t=%v", t, s.lastT)}
 	}
 	id := s.nextID
-	it := stream.Item{ID: id, Time: t, Vec: req.v}
+	it := stream.Item{ID: id, Time: t, Side: req.side, Vec: req.v}
 	var err error
 	if s.sinkJoiner != nil && req.emit != nil {
 		err = s.sinkJoiner.AddTo(it, req.emit)
@@ -332,19 +351,21 @@ func (s *Server) Close() error {
 	return err
 }
 
-// handle runs one client connection.
+// handle runs one client connection. side is the connection's current
+// foreign-join side: A until a SIDE command changes it.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	s.cfg.Logf("client %s connected", conn.RemoteAddr())
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	w := bufio.NewWriter(conn)
+	side := apss.SideA
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		quit := s.dispatch(w, line)
+		quit := s.dispatch(w, line, &side)
 		if err := w.Flush(); err != nil {
 			break
 		}
@@ -360,8 +381,9 @@ func (s *Server) handle(conn net.Conn) {
 	s.cfg.Logf("client %s disconnected", conn.RemoteAddr())
 }
 
-// dispatch executes one protocol line, reporting whether to close.
-func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool) {
+// dispatch executes one protocol line, reporting whether to close. side
+// is the connection's current foreign-join side, updated by SIDE.
+func (s *Server) dispatch(w *bufio.Writer, line string, side *apss.Side) (quit bool) {
 	cmd := line
 	rest := ""
 	if i := strings.IndexByte(line, ' '); i >= 0 {
@@ -369,9 +391,24 @@ func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool) {
 	}
 	switch strings.ToUpper(cmd) {
 	case "ADD":
-		s.cmdAdd(w, rest, false)
+		s.cmdAdd(w, rest, false, *side)
 	case "ADDNOW":
-		s.cmdAdd(w, rest, true)
+		s.cmdAdd(w, rest, true, *side)
+	case "SIDE":
+		if !s.cfg.Foreign {
+			fmt.Fprintln(w, "ERR SIDE requires a foreign-join server")
+			return false
+		}
+		switch strings.ToUpper(rest) {
+		case "A":
+			*side = apss.SideA
+		case "B":
+			*side = apss.SideB
+		default:
+			fmt.Fprintf(w, "ERR bad side %q, want A or B\n", rest)
+			return false
+		}
+		fmt.Fprintf(w, "SIDE %v\n", *side)
 	case "STATS":
 		resp := s.submit(ingestReq{kind: ingestStats})
 		if resp.err != nil {
@@ -398,8 +435,8 @@ func (s *Server) dispatch(w *bufio.Writer, line string) (quit bool) {
 }
 
 // cmdAdd parses one item on the connection goroutine and submits it to
-// the ingest pipeline.
-func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool) {
+// the ingest pipeline on the connection's current side.
+func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool, side apss.Side) {
 	fields := strings.Fields(rest)
 	var (
 		t     float64
@@ -437,7 +474,7 @@ func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool) {
 		}
 		return nil
 	}
-	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, v: v, emit: emit})
+	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, side: side, v: v, emit: emit})
 	if resp.err != nil {
 		fmt.Fprintf(w, "ERR %v\n", resp.err)
 		return
@@ -535,6 +572,14 @@ func (c *Client) add(line string) (uint64, []apss.Match, error) {
 			return 0, nil, fmt.Errorf("server: unexpected response %q", resp)
 		}
 	}
+}
+
+// Side sets the connection's foreign-join side for subsequent Add and
+// AddNow calls. The server must be running a foreign join
+// (Config.Foreign); new connections start on side A.
+func (c *Client) Side(side apss.Side) error {
+	_, err := c.simple("SIDE "+side.String(), "SIDE "+side.String())
+	return err
 }
 
 // Stats fetches the server's counter line.

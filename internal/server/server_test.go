@@ -365,3 +365,52 @@ func TestStatsDuringTraffic(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestForeignSideFraming covers the SIDE command: a foreign-join server
+// matches only cross-side items, connections default to side A, and a
+// self-join server rejects SIDE outright.
+func TestForeignSideFraming(t *testing.T) {
+	s := startServer(t, Config{Foreign: true})
+	a := dialT(t, s) // stays on the default side A
+	b := dialT(t, s)
+	if err := b.Side(apss.SideB); err != nil {
+		t.Fatal(err)
+	}
+
+	v := vec.MustNew([]uint32{1, 2}, []float64{1, 1}).Normalize()
+	idA, ms, err := a.Add(0, v)
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("first add: id=%d ms=%v err=%v", idA, ms, err)
+	}
+	// A second side-A item: identical vector, but same side — no match.
+	if _, ms, err = a.Add(0.1, v); err != nil || len(ms) != 0 {
+		t.Fatalf("same-side add matched: ms=%v err=%v", ms, err)
+	}
+	// A side-B item matches both side-A items.
+	_, ms, err = b.Add(0.2, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("cross-side add matched %d items, want 2: %v", len(ms), ms)
+	}
+	// Switching a connection's side applies to its subsequent adds.
+	if err := a.Side(apss.SideB); err != nil {
+		t.Fatal(err)
+	}
+	if _, ms, err = a.Add(0.3, v); err != nil || len(ms) != 2 {
+		t.Fatalf("re-sided add: ms=%v err=%v (want the 2 side-A items)", ms, err)
+	}
+}
+
+func TestSideRejectedOnSelfJoinServer(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	if err := c.Side(apss.SideB); err == nil {
+		t.Fatal("SIDE accepted on a self-join server")
+	}
+	// The connection survives the rejected command.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,8 @@ package stream
 import (
 	"container/heap"
 	"io"
+
+	"sssj/internal/apss"
 )
 
 // Merge combines multiple time-ordered sources into one time-ordered
@@ -86,6 +88,33 @@ func (m *Merge) Next() (Item, error) {
 	out.ID = m.nextID
 	m.nextID++
 	return out, nil
+}
+
+// SideTag wraps a source, stamping every item with a fixed side — the
+// adapter that turns an ordinary single-stream source into one input of
+// a two-stream (foreign) join.
+type SideTag struct {
+	Src  Source
+	Side apss.Side
+}
+
+// Next implements Source.
+func (t SideTag) Next() (Item, error) {
+	it, err := t.Src.Next()
+	if err != nil {
+		return Item{}, err
+	}
+	it.Side = t.Side
+	return it, nil
+}
+
+// MergeSides interleaves two time-ordered sources into one foreign-join
+// input stream: a's items are tagged SideA, b's SideB, the interleave is
+// by timestamp, and IDs are reassigned densely in merged arrival order
+// (the package-wide ID convention; see Merge). Match IDs from a join
+// over the result therefore index the merged stream.
+func MergeSides(a, b Source) Source {
+	return NewMerge(SideTag{Src: a, Side: apss.SideA}, SideTag{Src: b, Side: apss.SideB})
 }
 
 // TimeScale wraps a source, multiplying timestamps by Factor and shifting

@@ -16,14 +16,21 @@ import (
 	"fmt"
 	"io"
 
+	"sssj/internal/apss"
 	"sssj/internal/vec"
 )
 
 // Item is a timestamped vector in the stream. ID is a dense sequence number
 // assigned in arrival order (the ι(x) reference of the paper).
+//
+// Side tags the item's input stream for the two-stream (foreign) join
+// extension; the self-join operators ignore it, and the zero value keeps
+// every untagged item on side A. It is an operator-level tag: the
+// on-disk dataset formats do not carry it.
 type Item struct {
 	ID   uint64
 	Time float64
+	Side apss.Side
 	Vec  vec.Vector
 }
 

@@ -33,6 +33,10 @@
 //
 // The default configuration (STR framework, L2 index) is the paper's
 // recommended, most scalable combination.
+//
+// Beyond the paper's self-join, the same engines run a two-stream
+// foreign join A ⋈ B (probes from one stream match only items of the
+// other); see JoinMode and ForeignJoiner.
 package sssj
 
 import (
@@ -54,7 +58,8 @@ import (
 // Re-exported core types. Vector is a sparse vector with sorted
 // dimensions; Item is a timestamped vector; Match is a reported similar
 // pair; Params bundles (θ, λ); Stats carries operation counters; Source
-// yields stream items; Kernel generalizes the decay function.
+// yields stream items; Kernel generalizes the decay function; Side tags
+// an item's input stream for the two-stream (foreign) join.
 type (
 	Vector = vec.Vector
 	Item   = stream.Item
@@ -63,6 +68,15 @@ type (
 	Stats  = metrics.Counters
 	Source = stream.Source
 	Kernel = apss.Kernel
+	Side   = apss.Side
+)
+
+// The two sides of a foreign join (see Side and ForeignJoiner). The
+// zero value is SideA, so untagged items of a self-join all share one
+// side.
+const (
+	SideA = apss.SideA
+	SideB = apss.SideB
 )
 
 // Decay kernels (see Kernel). Exponential is the paper's definition and
@@ -134,6 +148,36 @@ func (k IndexKind) String() string {
 	}
 }
 
+// JoinMode selects which pairs of the stream a joiner reports.
+type JoinMode int
+
+// Join modes.
+const (
+	// JoinSelf is the paper's streaming similarity self-join: every
+	// in-horizon pair above θ is reported, regardless of item sides.
+	// The default.
+	JoinSelf JoinMode = iota
+	// JoinForeign is the two-stream foreign join A ⋈ B: every item
+	// carries a Side tag and only cross-side pairs are reported. On an
+	// interleaved stream it produces exactly the side-filtered self-join
+	// — same pairs, bit-identical similarities — while skipping the
+	// candidate work for same-side pairs. See ForeignJoiner for the
+	// two-stream entry points.
+	JoinForeign
+)
+
+// String implements fmt.Stringer.
+func (m JoinMode) String() string {
+	switch m {
+	case JoinSelf:
+		return "self"
+	case JoinForeign:
+		return "foreign"
+	default:
+		return fmt.Sprintf("JoinMode(%d)", int(m))
+	}
+}
+
 // ErrUnsupported reports an Options combination outside the support
 // matrix of the operator it was handed to (see the decision table in
 // Options.validate).
@@ -189,6 +233,15 @@ type Options struct {
 	// 0 for every other operator. The NewTopK k parameter is shorthand
 	// for setting this field.
 	K int
+	// Join selects the self-join (default) or the two-stream foreign
+	// join (see JoinMode). Under JoinForeign every processed Item must
+	// carry its Side tag; the ForeignJoiner wrapper and the Foreign*
+	// entry points manage the tagging for you. Supported by both
+	// frameworks, all indexes, Workers, DimOrder, custom kernels, and
+	// Resume; the batch join and the top-k join reject it (BatchJoin's
+	// vector input carries no sides, and a one-sided neighborhood is not
+	// yet defined).
+	Join JoinMode
 }
 
 // DimOrder configures the dimension-ordering extension.
@@ -241,6 +294,8 @@ const (
 //	DimOrder       warmup (STR) /     per window    strategy  no
 //	               needs WarmupItems                only
 //	K              top-k only (>= 1); 0 elsewhere
+//	Join foreign   yes                yes           no        yes
+//	               (top-k: no)
 //
 // Batch ignores Framework, Theta, and Lambda (the threshold is an
 // explicit argument and there is no time); Resume ignores Index, Theta,
@@ -248,6 +303,18 @@ const (
 func (o Options) validate(mode opMode) error {
 	if o.Workers < 0 {
 		return fmt.Errorf("%w: Workers must be >= 0, got %d", ErrUnsupported, o.Workers)
+	}
+	switch o.Join {
+	case JoinSelf:
+	case JoinForeign:
+		if mode == opBatch {
+			return fmt.Errorf("%w: the batch join's vector input carries no sides; use the streaming foreign join", ErrUnsupported)
+		}
+		if mode == opTopK {
+			return fmt.Errorf("%w: top-k neighborhoods are not defined for the foreign join", ErrUnsupported)
+		}
+	default:
+		return fmt.Errorf("%w: unknown join mode %v", ErrUnsupported, o.Join)
 	}
 	if mode == opTopK && o.K < 1 {
 		return fmt.Errorf("%w: top-k needs K >= 1, got %d", ErrUnsupported, o.K)
@@ -374,7 +441,12 @@ func buildJoiner(opts Options, params Params) (core.SinkJoiner, error) {
 		default:
 			kind = streaming.L2
 		}
-		sopts := streaming.Options{Counters: opts.Stats, Kernel: opts.Kernel, Workers: opts.Workers}
+		sopts := streaming.Options{
+			Counters: opts.Stats,
+			Kernel:   opts.Kernel,
+			Workers:  opts.Workers,
+			Foreign:  opts.Join == JoinForeign,
+		}
 		if opts.DimOrder.Strategy != OrderNone {
 			sopts.Order = streaming.WarmupOrder{
 				Strategy: opts.DimOrder.Strategy,
@@ -397,6 +469,9 @@ func buildJoiner(opts Options, params Params) (core.SinkJoiner, error) {
 		var mbOpts []core.MBOption
 		if opts.DimOrder.Strategy != OrderNone {
 			mbOpts = append(mbOpts, core.WithOrder(opts.DimOrder.Strategy))
+		}
+		if opts.Join == JoinForeign {
+			mbOpts = append(mbOpts, core.WithForeign())
 		}
 		return core.NewMiniBatch(kind, params, opts.Stats, mbOpts...)
 	}
