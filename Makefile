@@ -41,7 +41,7 @@ bench-workers:
 # bench-json runs the standing perf scenario matrix at smoke scale,
 # emits the machine-readable BENCH artifact, and validates that it
 # parses against the versioned schema. Compare against a committed
-# baseline with: go run ./cmd/sssjbench -exp perf -baseline BENCH_PR3.json
+# baseline with: go run ./cmd/sssjbench -exp perf -baseline BENCH_PR6.json
 bench-json:
 	$(GO) run ./cmd/sssjbench -exp perf -scale 0.1 -budget 5s -json BENCH.json
 	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
@@ -51,19 +51,22 @@ bench-json:
 # throughput drop past -regress, any objects/item growth past
 # -allocregress, a pair-count mismatch (same stream ⇒ same pairs), or a
 # scenario that vanished. Refresh the baseline by committing a new
-# BENCH_PR3.json from `go run ./cmd/sssjbench -exp perf -scale 0.25 -json BENCH_PR3.json`.
+# BENCH_PR6.json from `go run ./cmd/sssjbench -exp perf -scale 0.25 -json BENCH_PR6.json`.
 bench-gate:
 	$(GO) run ./cmd/sssjbench -exp perf -scale 0.25 -seed 1 -budget 10s \
-		-json BENCH.json -baseline BENCH_PR3.json
+		-json BENCH.json -baseline BENCH_PR6.json
 	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
 
-# fuzz-smoke runs the metamorphic foreign-vs-self-join fuzz target for a
-# short burst on top of its committed seed corpus (testdata/fuzz/…) — a
-# CI pass that keeps hunting for oracle violations without the cost of a
-# long fuzzing campaign.
-FUZZTIME ?= 30s
+# fuzz-smoke runs the metamorphic fuzz targets — foreign-vs-self-join
+# parity and reorder-vs-sorted parity — for a short burst each on top of
+# their committed seed corpora (testdata/fuzz/…): a CI pass that keeps
+# hunting for oracle violations without the cost of a long fuzzing
+# campaign. `go test -fuzz` takes one target per run, hence two commands
+# of $(FUZZTIME) each.
+FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzForeignSelfParity -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzReorderParity -fuzztime $(FUZZTIME) .
 
 # cover enforces the statement-coverage floor and leaves coverage.out
 # for the CI artifact upload.

@@ -6,20 +6,30 @@ import (
 
 	"sssj/internal/core"
 	"sssj/internal/index/streaming"
+	"sssj/internal/stream"
 )
 
-// Checkpoint serializes the joiner's index state so the join can resume
-// later with Resume. Only the Streaming framework supports checkpointing
-// (MiniBatch buffers whole windows and is cheap to warm up by replaying
-// the last 2τ of the stream instead).
+// Checkpoint serializes the joiner's state — the index plus the
+// event-time reorder stage (lateness, watermark clocks, and any items
+// still buffered within the lateness window) — so the join can resume
+// later with Resume, admitting and rejecting exactly the items an
+// uninterrupted run would. Only the Streaming framework with the
+// default decay model supports checkpointing (MiniBatch buffers whole
+// windows and is cheap to warm up by replaying the last 2τ of the
+// stream instead; the window modes likewise re-derive their state from
+// at most one window of replay).
 //
 // Counters are not checkpointed; a resumed joiner counts from zero.
 func (j *Joiner) Checkpoint(w io.Writer) error {
+	if j.opts.Window.Kind != WindowDecay {
+		return fmt.Errorf("%w: window-mode joins do not support checkpointing (replay the last window instead)", ErrUnsupported)
+	}
 	s, ok := j.inner.(*core.STR)
 	if !ok {
 		return fmt.Errorf("%w: checkpointing requires the Streaming framework", ErrUnsupported)
 	}
-	return s.SaveIndex(w)
+	st := j.reo.State()
+	return s.SaveIndexFull(w, &st)
 }
 
 // Resume restores a joiner from a Checkpoint. The join parameters (θ, λ)
@@ -38,7 +48,7 @@ func Resume(r io.Reader, opts Options) (*Joiner, error) {
 	if err := opts.validate(opResume); err != nil {
 		return nil, err
 	}
-	idx, err := streaming.Load(r, streaming.Options{
+	idx, et, err := streaming.LoadFull(r, streaming.Options{
 		Counters: opts.Stats,
 		Kernel:   opts.Kernel,
 		Workers:  opts.Workers,
@@ -56,6 +66,22 @@ func Resume(r io.Reader, opts Options) (*Joiner, error) {
 		Stats:     opts.Stats,
 		Workers:   opts.Workers,
 		Join:      opts.Join,
+		Lateness:  opts.Lateness,
 	}
-	return &Joiner{inner: inner, params: idx.Params(), opts: restored}, nil
+	// The event-time state (v5 section) is authoritative when present:
+	// the restored reorder stage carries the checkpoint's lateness,
+	// clocks, and still-buffered items. opts.Lateness may restate the
+	// checkpointed δ (or be left zero to inherit it); asking for a
+	// different δ would silently change which in-flight items are late,
+	// so it is rejected. Pre-v5 files carry no event-time state and
+	// resume with a fresh reorder stage at opts.Lateness — the engine's
+	// own clock still rejects items behind the checkpoint.
+	if et != nil {
+		if opts.Lateness != 0 && opts.Lateness != et.Delta {
+			return nil, fmt.Errorf("%w: checkpoint carries Lateness=%v; resume with that value or 0 to inherit it", ErrUnsupported, et.Delta)
+		}
+		restored.Lateness = et.Delta
+		return &Joiner{inner: inner, params: idx.Params(), opts: restored, reo: stream.RestoreReorder(*et)}, nil
+	}
+	return &Joiner{inner: inner, params: idx.Params(), opts: restored, reo: newReorderFor(restored)}, nil
 }

@@ -2,10 +2,12 @@ package sssj
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"sssj/internal/apss"
 	"sssj/internal/datagen"
+	"sssj/internal/stream"
 )
 
 func TestCheckpointResumePublicAPI(t *testing.T) {
@@ -94,5 +96,119 @@ func TestResumedJoinerStats(t *testing.T) {
 	}
 	if st.Items != 1 {
 		t.Fatalf("resumed stats items = %d, want 1 (fresh counters)", st.Items)
+	}
+}
+
+// TestCheckpointResumeWithLateness checkpoints a bounded-lateness join
+// mid-stream — with items still buffered in the reorder stage — and
+// checks the resumed joiner continues exactly: inherited δ, identical
+// remaining match stream, and the same late-item rejections.
+func TestCheckpointResumeWithLateness(t *testing.T) {
+	const delta = 5.0
+	items := datagen.RCV1Profile().Scaled(0.04).Generate(6)
+	shuffled := stream.ShuffleWithin(items, delta, 77)
+	opts := Options{Theta: 0.6, Lambda: 0.05, Lateness: delta}
+
+	run := func(j *Joiner, in []Item, out *[]Match) {
+		t.Helper()
+		for _, it := range in {
+			ms, err := j.Process(it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*out = append(*out, ms...)
+		}
+	}
+
+	ref, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Match
+	run(ref, shuffled, &want)
+	fm, err := ref.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, fm...)
+
+	split := len(shuffled) / 2
+	j, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	run(j, shuffled[:split], &got)
+	var buf bytes.Buffer
+	if err := j.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Resume(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Options().Lateness != delta {
+		t.Fatalf("resumed Lateness = %v, want %v", j2.Options().Lateness, delta)
+	}
+	if j2.Watermark() != j.Watermark() {
+		t.Fatalf("resumed watermark = %v, want %v", j2.Watermark(), j.Watermark())
+	}
+	run(j2, shuffled[split:], &got)
+	fm, err = j2.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, fm...)
+	if len(got) != len(want) {
+		t.Fatalf("resumed run diverged: %d vs %d matches", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no matches")
+	}
+}
+
+// TestResumeRejectsLatenessMismatch: a checkpoint carries its δ; asking
+// for a different one would silently re-classify in-flight items.
+func TestResumeRejectsLatenessMismatch(t *testing.T) {
+	j, err := New(Options{Theta: 0.6, Lambda: 0.05, Lateness: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewVector([]uint32{1}, []float64{1})
+	if _, err := j.Process(Item{ID: 0, Time: 0, Vec: v}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := j.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(bytes.NewReader(buf.Bytes()), Options{Lateness: 7}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("mismatched lateness: got %v", err)
+	}
+	if _, err := Resume(bytes.NewReader(buf.Bytes()), Options{Lateness: 5}); err != nil {
+		t.Fatalf("matching lateness rejected: %v", err)
+	}
+}
+
+// TestCheckpointRejectsWindowModes: window joins re-derive their state
+// from replay; Checkpoint must refuse rather than write a decay-model
+// file.
+func TestCheckpointRejectsWindowModes(t *testing.T) {
+	for _, w := range []Window{
+		{Kind: WindowTumbling, Size: 10},
+		{Kind: WindowSliding, Size: 10},
+	} {
+		j, err := New(Options{Theta: 0.6, Window: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Checkpoint(&bytes.Buffer{}); !errors.Is(err, ErrUnsupported) {
+			t.Fatalf("%v: got %v", w.Kind, err)
+		}
 	}
 }

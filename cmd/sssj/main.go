@@ -11,6 +11,11 @@
 // two inputs are interleaved by timestamp (side A = -input, side B =
 // -inputB), IDs number the merged stream, and every match pairs an A
 // item with a B item.
+//
+// With -lateness δ the input may be out of order by up to δ: a bounded
+// reorder stage re-sorts it and items further behind than δ are
+// rejected. -window tumbling:SIZE or -window sliding:SIZE replaces
+// exponential decay with a window join (-lambda is then ignored).
 package main
 
 import (
@@ -18,10 +23,36 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"sssj"
 )
+
+// parseWindow parses the -window flag value "KIND:SIZE" into a window
+// spec (KIND tumbling or sliding, SIZE a positive finite duration).
+func parseWindow(s string) (sssj.Window, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return sssj.Window{}, fmt.Errorf(`bad -window %q, want "tumbling:SIZE" or "sliding:SIZE"`, s)
+	}
+	var kind sssj.WindowKind
+	switch s[:colon] {
+	case "tumbling":
+		kind = sssj.WindowTumbling
+	case "sliding":
+		kind = sssj.WindowSliding
+	default:
+		return sssj.Window{}, fmt.Errorf("unknown window kind %q, want tumbling or sliding", s[:colon])
+	}
+	size, err := strconv.ParseFloat(s[colon+1:], 64)
+	if err != nil || !(size > 0) || math.IsInf(size, 1) {
+		return sssj.Window{}, fmt.Errorf("bad window size %q, want a positive finite number", s[colon+1:])
+	}
+	return sssj.Window{Kind: kind, Size: size}, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
@@ -35,9 +66,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		theta     = fs.Float64("theta", 0.7, "similarity threshold in (0,1]")
-		lambda    = fs.Float64("lambda", 0.01, "time-decay factor > 0")
+		lambda    = fs.Float64("lambda", 0.01, "time-decay factor > 0 (ignored with -window)")
 		framework = fs.String("framework", "STR", "framework: STR or MB")
-		index     = fs.String("index", "L2", "index: L2, INV, L2AP, or AP (MB only)")
+		index     = fs.String("index", "L2", "index: L2, INV, L2AP, or AP (MB and tumbling windows only)")
+		lateness  = fs.Float64("lateness", 0, "event-time lateness bound: accept items up to this far behind the newest timestamp")
+		window    = fs.String("window", "", `window mode replacing exponential decay: "tumbling:SIZE" or "sliding:SIZE"`)
 		input     = fs.String("input", "-", "input path, or - for stdin (side A under -join foreign)")
 		inputB    = fs.String("inputB", "", "side-B input path for -join foreign")
 		join      = fs.String("join", "self", "join mode: self, or foreign (A=-input vs B=-inputB, merged by timestamp)")
@@ -50,7 +83,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	opts := sssj.Options{Theta: *theta, Lambda: *lambda, Workers: *workers}
+	opts := sssj.Options{Theta: *theta, Lambda: *lambda, Workers: *workers, Lateness: *lateness}
+	if *window != "" {
+		w, err := parseWindow(*window)
+		if err != nil {
+			return err
+		}
+		opts.Window = w
+		opts.Lambda = 0 // window joins have no decay; λ is synthesized
+	}
 	switch *join {
 	case "self":
 		if *inputB != "" {

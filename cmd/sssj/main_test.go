@@ -122,3 +122,62 @@ func TestRunForeignJoin(t *testing.T) {
 		t.Fatal("bogus join mode accepted")
 	}
 }
+
+// TestRunLateness: -lateness lets a within-δ out-of-order stream join
+// as if sorted; without it the disordered item is an error.
+func TestRunLateness(t *testing.T) {
+	const input = "0 1:1\n1 1:1\n0.5 1:1\n"
+	var out, errw bytes.Buffer
+	if err := run([]string{"-theta", "0.7", "-lambda", "0.1"},
+		strings.NewReader(input), &out, &errw); err == nil {
+		t.Fatal("out-of-order input accepted without -lateness")
+	}
+	out.Reset()
+	if err := run([]string{"-theta", "0.7", "-lambda", "0.1", "-lateness", "1", "-quiet"},
+		strings.NewReader(input), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted, the three near-identical items form all 3 pairs.
+	if got := strings.TrimSpace(out.String()); got != "3" {
+		t.Fatalf("match count = %q, want 3", got)
+	}
+}
+
+// TestRunWindowModes: -window joins run over the same inputs; tumbling
+// pairs only items in one window, sliding only items within SIZE.
+func TestRunWindowModes(t *testing.T) {
+	const input = "0 1:1\n1 1:1\n12 1:1\n"
+	for _, tc := range []struct {
+		window string
+		count  string
+	}{
+		{"tumbling:10", "1"}, // windows [0,10) and [10,20): only (1,0)
+		{"sliding:10", "1"},  // dt 11 and 12 exceed the window: only (1,0)
+	} {
+		var out, errw bytes.Buffer
+		err := run([]string{"-theta", "0.7", "-window", tc.window, "-quiet"},
+			strings.NewReader(input), &out, &errw)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.window, err)
+		}
+		if got := strings.TrimSpace(out.String()); got != tc.count {
+			t.Fatalf("%s: match count = %q, want %s", tc.window, got, tc.count)
+		}
+	}
+	// Flag validation.
+	var out, errw bytes.Buffer
+	for _, args := range [][]string{
+		{"-window", "nope"},
+		{"-window", "tumbling"},
+		{"-window", "tumbling:0"},
+		{"-window", "sliding:-3"},
+		{"-window", "bogus:5"},
+		{"-window", "sliding:10", "-index", "L2AP"},
+		{"-window", "tumbling:10", "-framework", "MB"},
+		{"-lateness", "-1"},
+	} {
+		if err := run(args, strings.NewReader(""), &out, &errw); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

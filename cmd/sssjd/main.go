@@ -11,6 +11,12 @@
 //
 //	sssjd -join foreign &
 //	printf 'ADD 0 1:1\nSIDE B\nADD 1 1:1\nQUIT\n' | nc localhost 7407
+//
+// With -lateness δ the server tolerates ADDs up to δ behind the newest
+// timestamp (a bounded reorder stage re-sorts them for the join) and
+// accepts the WM event-time heartbeat; -window tumbling:SIZE or
+// -window sliding:SIZE replaces exponential decay with a window join
+// (-lambda is then ignored).
 package main
 
 import (
@@ -18,17 +24,42 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"sssj/internal/apss"
 	"sssj/internal/core"
+	"sssj/internal/index/static"
 	"sssj/internal/index/streaming"
 	"sssj/internal/metrics"
 	"sssj/internal/server"
 )
+
+// parseWindow parses the -window flag: "" (decay), or "KIND:SIZE" with
+// KIND tumbling or sliding and SIZE a positive finite duration.
+func parseWindow(s string) (kind string, size float64, err error) {
+	if s == "" {
+		return "", 0, nil
+	}
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return "", 0, fmt.Errorf(`bad -window %q, want "tumbling:SIZE" or "sliding:SIZE"`, s)
+	}
+	kind = s[:colon]
+	if kind != "tumbling" && kind != "sliding" {
+		return "", 0, fmt.Errorf("unknown window kind %q, want tumbling or sliding", kind)
+	}
+	size, err = strconv.ParseFloat(s[colon+1:], 64)
+	if err != nil || !(size > 0) || math.IsInf(size, 1) {
+		return "", 0, fmt.Errorf("bad window size %q, want a positive finite number", s[colon+1:])
+	}
+	return kind, size, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
@@ -43,13 +74,15 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("sssjd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr   = fs.String("addr", "127.0.0.1:7407", "listen address")
-		theta  = fs.Float64("theta", 0.7, "similarity threshold in (0,1]")
-		lambda = fs.Float64("lambda", 0.01, "time-decay factor > 0")
-		index  = fs.String("index", "L2", "streaming index: L2, INV, or L2AP")
-		quiet  = fs.Bool("quiet", false, "suppress connection logging")
-		work   = fs.Int("workers", 0, "dimension shards for the parallel STR engine (<=1 = sequential)")
-		join   = fs.String("join", "self", "join mode: self, or foreign (clients tag streams with SIDE A|B)")
+		addr     = fs.String("addr", "127.0.0.1:7407", "listen address")
+		theta    = fs.Float64("theta", 0.7, "similarity threshold in (0,1]")
+		lambda   = fs.Float64("lambda", 0.01, "time-decay factor > 0 (ignored with -window)")
+		index    = fs.String("index", "L2", "streaming index: L2, INV, or L2AP (plus AP with -window tumbling)")
+		quiet    = fs.Bool("quiet", false, "suppress connection logging")
+		work     = fs.Int("workers", 0, "dimension shards for the parallel STR engine (<=1 = sequential)")
+		join     = fs.String("join", "self", "join mode: self, or foreign (clients tag streams with SIDE A|B)")
+		lateness = fs.Float64("lateness", 0, "event-time lateness bound: accept ADDs up to this far behind the newest timestamp, and enable WM")
+		window   = fs.String("window", "", `window mode replacing exponential decay: "tumbling:SIZE" or "sliding:SIZE"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,25 +95,82 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	default:
 		return fmt.Errorf("unknown join mode %q", *join)
 	}
-	var kind streaming.Kind
-	switch *index {
-	case "L2":
-		kind = streaming.L2
-	case "INV":
-		kind = streaming.INV
-	case "L2AP":
-		kind = streaming.L2AP
-	default:
-		return fmt.Errorf("unknown index %q", *index)
+	winKind, winSize, err := parseWindow(*window)
+	if err != nil {
+		return err
+	}
+	params := apss.Params{Theta: *theta, Lambda: *lambda}
+	if winKind != "" {
+		// Window joins have no decay; synthesize the λ that makes the
+		// horizon equal the window size so the shared Params invariants
+		// hold (mirrors the public API's paramsFor).
+		if *theta == 1 {
+			params.Lambda = 1 / winSize
+		} else {
+			params.Lambda = math.Log(1 / *theta) / winSize
+		}
 	}
 	logger := log.New(stderr, "sssjd: ", log.LstdFlags)
 	cfg := server.Config{
-		Params:  apss.Params{Theta: *theta, Lambda: *lambda},
-		Workers: *work,
-		Foreign: foreign,
-		NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+		Params:   params,
+		Workers:  *work,
+		Foreign:  foreign,
+		Lateness: *lateness,
+	}
+	switch winKind {
+	case "":
+		var kind streaming.Kind
+		switch *index {
+		case "L2":
+			kind = streaming.L2
+		case "INV":
+			kind = streaming.INV
+		case "L2AP":
+			kind = streaming.L2AP
+		default:
+			return fmt.Errorf("unknown index %q", *index)
+		}
+		cfg.NewJoiner = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
 			return core.NewSTRFull(kind, p, streaming.Options{Counters: c, Workers: *work, Foreign: foreign})
-		},
+		}
+	case "tumbling":
+		if *work > 1 {
+			return fmt.Errorf("-window tumbling is a per-window batch join; -workers > 1 is not supported")
+		}
+		var kind static.Kind
+		switch *index {
+		case "L2":
+			kind = static.L2
+		case "INV":
+			kind = static.INV
+		case "L2AP":
+			kind = static.L2AP
+		case "AP":
+			kind = static.AP
+		default:
+			return fmt.Errorf("unknown index %q", *index)
+		}
+		cfg.NewJoiner = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+			return core.NewTumbling(kind, p.Theta, winSize, c, foreign)
+		}
+	case "sliding":
+		var kind streaming.Kind
+		switch *index {
+		case "L2":
+			kind = streaming.L2
+		case "INV":
+			kind = streaming.INV
+		default:
+			return fmt.Errorf("-window sliding runs on index L2 or INV, not %q", *index)
+		}
+		cfg.NewJoiner = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+			return core.NewSTRFull(kind, p, streaming.Options{
+				Counters: c,
+				Workers:  *work,
+				Foreign:  foreign,
+				Kernel:   apss.SlidingWindow{Tau: winSize},
+			})
+		}
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -93,8 +183,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g workers=%d join=%s)",
-		ln.Addr(), *theta, *lambda, *index, cfg.Params.Horizon(), *work, *join)
+	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g workers=%d join=%s lateness=%g window=%q)",
+		ln.Addr(), *theta, params.Lambda, *index, cfg.Params.Horizon(), *work, *join, *lateness, *window)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

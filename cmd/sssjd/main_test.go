@@ -66,3 +66,75 @@ func TestDaemonBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonLatenessAndWindowFlags: a daemon started with -lateness
+// serves the WM heartbeat, and -window validation rejects bad specs.
+func TestDaemonLatenessAndWindowFlags(t *testing.T) {
+	var logBuf bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-quiet",
+			"-lateness", "5", "-window", "tumbling:10"}, &logBuf, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	// Out of order within δ: admissible under -lateness.
+	if _, _, err := c.Add(3, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Add(1, v); err != nil {
+		t.Fatalf("within-lateness add rejected: %v", err)
+	}
+	// WM releases both buffered items into the tumbling window; they
+	// share window [0,10) but the window is still open, so no matches yet.
+	wm, ms, err := c.Watermark(8)
+	if err != nil || wm != 3 || len(ms) != 0 {
+		t.Fatalf("WM 8: wm=%v ms=%v err=%v", wm, ms, err)
+	}
+	// Closing the window (watermark past 10) emits the pair.
+	wm, ms, err = c.Watermark(16)
+	if err != nil || wm != 11 || len(ms) != 1 {
+		t.Fatalf("WM 16: wm=%v ms=%v err=%v", wm, ms, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestDaemonBadLatenessAndWindow(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-lateness", "-2"},
+		{"-window", "nope"},
+		{"-window", "tumbling:0"},
+		{"-window", "bogus:5"},
+		{"-window", "sliding:10", "-index", "L2AP"},
+		{"-window", "tumbling:10", "-workers", "4"},
+		{"-window", "tumbling:10", "-index", "NOPE"},
+	} {
+		if err := run(args, &buf, nil); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

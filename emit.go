@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"math"
 
 	"sssj/internal/apss"
 	"sssj/internal/core"
@@ -40,26 +41,98 @@ func CollectInto(dst *[]Match) MatchSink { return apss.Collector(dst) }
 // is emitted during the call; under MB matches are emitted when window
 // boundaries are crossed.
 //
-// The item is always processed to completion: if sink returns an error
-// (including ErrStop), the remaining matches are dropped, the item is
-// still indexed, and the error is returned — so the joiner stays
-// reusable after an early exit.
+// With Options.Lateness δ > 0 the item first passes the reorder stage:
+// it may be buffered and released (together with earlier buffered
+// items, in event-time order) by a later call once the watermark passes
+// it — so one ProcessTo may index zero or several items, and a match is
+// attributed to the call that released its younger item. With δ = 0
+// every item is indexed by its own call, exactly the pre-event-time
+// contract.
+//
+// A released item is always processed to completion: if sink returns an
+// error (including ErrStop), the remaining matches are dropped, the
+// item is still indexed, and the error is returned — so the joiner
+// stays reusable after an early exit. An item behind the watermark is
+// rejected with a *TimeRegressionError and counted in Stats.LateDrops.
 func (j *Joiner) ProcessTo(it Item, sink MatchSink) error {
-	if j.begun && it.Time < j.lastT {
-		return fmt.Errorf("%w: item %d at t=%v after t=%v", ErrTimeRegression, it.ID, it.Time, j.lastT)
+	g := apss.NewGate(sink)
+	if err := j.reo.Push(it, j.feed(&g)); err != nil {
+		return j.admissionErr(err)
 	}
-	j.begun, j.lastT = true, it.Time
-	if err := j.inner.AddTo(it, sink); err != nil {
-		return wrapTimeErr(err)
-	}
-	return nil
+	return g.Err()
 }
 
-// FlushTo emits matches still buffered at end of stream (MB windows,
-// STR dimension-ordering warmups; a no-op otherwise) into sink.
-func (j *Joiner) FlushTo(sink MatchSink) error {
-	return wrapTimeErr(j.inner.FlushTo(sink))
+// feed adapts the inner joiner to the reorder stage's release callback.
+// The gate latches sink errors (so a consumer stop never aborts a
+// release batch mid-way), leaving AddTo's return to carry only engine
+// errors.
+func (j *Joiner) feed(g *apss.Gate) func(stream.Item) error {
+	return func(rel stream.Item) error { return j.inner.AddTo(rel, g.Emit) }
 }
+
+// admissionErr maps reorder-stage errors onto the public surface: a
+// late item becomes a *TimeRegressionError (counted in Stats.LateDrops),
+// anything else — an engine error surfaced through the release callback
+// — goes through wrapTimeErr.
+func (j *Joiner) admissionErr(err error) error {
+	var late *stream.LateError
+	if errors.As(err, &late) {
+		if j.opts.Stats != nil {
+			j.opts.Stats.LateDrops++
+		}
+		return &TimeRegressionError{ID: late.ID, Time: late.Time, Watermark: late.Watermark}
+	}
+	return wrapTimeErr(err)
+}
+
+// FlushTo ends the stream: the reorder stage drains (every still-
+// buffered item is indexed, in event-time order, regardless of the
+// watermark), then matches still buffered by the framework (MB windows,
+// STR dimension-ordering warmups) are emitted into sink.
+func (j *Joiner) FlushTo(sink MatchSink) error {
+	g := apss.NewGate(sink)
+	if err := j.reo.Flush(j.feed(&g)); err != nil {
+		return wrapTimeErr(err)
+	}
+	if err := j.inner.FlushTo(g.Emit); err != nil {
+		return wrapTimeErr(err)
+	}
+	return g.Err()
+}
+
+// AdvanceTo applies an event-time heartbeat: a promise from the caller
+// that every future item (of either side, under the foreign join) has
+// timestamp ≥ t. The reorder stage advances its clocks to t, releasing
+// (and indexing) every buffered item the new watermark t − δ passes,
+// and the watermark barrier is forwarded to the framework, which
+// performs the horizon maintenance an arrival would and — under a
+// window mode — closes and reports every window that can no longer
+// receive items, without waiting for the next arrival. Matches released
+// by the barrier flow into sink. A stale heartbeat (t at or behind the
+// stream clock) is a no-op; heartbeats on a fresh joiner establish the
+// clock, so a later item behind t is rejected as late.
+func (j *Joiner) AdvanceTo(t float64, sink MatchSink) error {
+	g := apss.NewGate(sink)
+	if err := j.reo.AdvanceTo(t, j.feed(&g)); err != nil {
+		return wrapTimeErr(err)
+	}
+	if w := j.reo.Watermark(); !math.IsInf(w, -1) {
+		if adv, ok := j.inner.(core.Advancer); ok {
+			if err := adv.AdvanceTo(w, g.Emit); err != nil {
+				return wrapTimeErr(err)
+			}
+		}
+	}
+	return g.Err()
+}
+
+// Watermark returns the joiner's current event-time watermark: the
+// latest timestamp seen minus Options.Lateness (under the foreign join,
+// the older of the two sides' clocks minus δ). Items at or after the
+// watermark are admitted; items strictly behind it are rejected.
+// Before any input (or, sided, before both sides have produced an
+// item) it is -Inf.
+func (j *Joiner) Watermark() float64 { return j.reo.Watermark() }
 
 // wrapTimeErr maps the engines' internal time-order errors onto the
 // public ErrTimeRegression. The Joiner pre-checks the clock itself, but
@@ -98,13 +171,36 @@ func SelfJoinCtx(ctx context.Context, opts Options, items []Item, sink MatchSink
 }
 
 // runTo drains src through j into sink, translating ErrStop into a
-// clean stop.
+// clean stop. It routes every item through ProcessTo so the event-time
+// reorder stage is in the path, checking the context between items (and
+// again before the flush, whose window joins are the heaviest step of a
+// short stream).
 func (j *Joiner) runTo(ctx context.Context, src Source, sink MatchSink) error {
-	err := core.RunCtx(ctx, j.inner, src, sink)
-	if errors.Is(err, ErrStop) {
-		return nil
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := j.ProcessTo(it, sink); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
 	}
-	return wrapTimeErr(err)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := j.FlushTo(sink); err != nil && !errors.Is(err, ErrStop) {
+		return err
+	}
+	return nil
 }
 
 // Matches runs the join over src and yields every match as it is found,

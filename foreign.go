@@ -29,7 +29,11 @@ import (
 // streams share one clock: timestamps must be non-decreasing across
 // *all* Process calls in either order (the interleaving defines the
 // arrival order, exactly as in the Joiner contract), and IDs must be
-// unique across both streams.
+// unique across both streams. With Options.Lateness δ > 0 each side
+// instead keeps its own event-time clock and items are admitted against
+// the merged watermark (the older side's clock minus δ), so the two
+// streams may drift apart and interleave out of order within δ without
+// loss; see Options.Lateness and Watermark.
 //
 // A ForeignJoiner is a thin side-tagging wrapper over a Joiner built
 // with Options.Join = JoinForeign; everything else — sink semantics,
@@ -97,8 +101,22 @@ func (f *ForeignJoiner) Process(it Item) ([]Match, error) { return f.j.Process(i
 // ProcessTo is the sink form of Process for side-tagged items.
 func (f *ForeignJoiner) ProcessTo(it Item, sink MatchSink) error { return f.j.ProcessTo(it, sink) }
 
-// Flush releases matches still buffered at end of stream (MB windows,
-// DimOrder warmups). It is the collect adapter over FlushTo.
+// AdvanceTo applies an event-time heartbeat to both sides: a promise
+// that every future item of either stream has timestamp ≥ t (see
+// Joiner.AdvanceTo). With Options.Lateness δ > 0 this is how a caller
+// unblocks the merged watermark when one stream goes quiet — the
+// watermark is the older of the two sides' clocks minus δ, so a silent
+// side otherwise holds back every buffered item of the active one.
+func (f *ForeignJoiner) AdvanceTo(t float64, sink MatchSink) error { return f.j.AdvanceTo(t, sink) }
+
+// Watermark returns the merged event-time watermark (see
+// Joiner.Watermark): min of the two sides' latest timestamps minus
+// Options.Lateness, or -Inf until both sides have produced an item.
+func (f *ForeignJoiner) Watermark() float64 { return f.j.Watermark() }
+
+// Flush releases matches still buffered at end of stream (the reorder
+// stage's buffered items, MB windows, DimOrder warmups). It is the
+// collect adapter over FlushTo.
 func (f *ForeignJoiner) Flush() ([]Match, error) { return f.j.Flush() }
 
 // FlushTo emits still-buffered matches into sink.

@@ -52,6 +52,18 @@ type SinkJoiner interface {
 	FlushTo(emit apss.Sink) error
 }
 
+// Advancer is a SinkJoiner that accepts event-time watermark barriers.
+// AdvanceTo(t, emit) promises that no item with Time < t will ever be
+// added: the joiner advances its clock to t, performs the horizon
+// maintenance an arrival at t would, and — for window frameworks —
+// closes and reports every window that can no longer receive items,
+// emitting the released matches. A stale barrier (t at or behind the
+// clock) is a no-op. Like Add, AdvanceTo is called from one goroutine
+// at a time.
+type Advancer interface {
+	AdvanceTo(t float64, emit apss.Sink) error
+}
+
 // Run drains src through j and returns all matches.
 func Run(j Joiner, src stream.Source) ([]apss.Match, error) {
 	var out []apss.Match

@@ -112,6 +112,27 @@ func (mb *MiniBatch) AddTo(x stream.Item, emit apss.Sink) error {
 	return g.Err()
 }
 
+// AdvanceTo implements Advancer: a window whose end the barrier has
+// passed can no longer receive items (every future arrival has
+// Time ≥ t), so it rotates out and its matches are emitted now instead
+// of at the next arrival. The rotation loop is byte-for-byte the AddTo
+// loop, so a barrier-advanced joiner's window anchors (and therefore
+// its output) stay bit-identical to one advanced by an arrival at t.
+// Before the first item there is no window anchor; the barrier is
+// dropped (sound: it only defers work the first arrival performs).
+func (mb *MiniBatch) AdvanceTo(t float64, emit apss.Sink) error {
+	if !mb.begun || t <= mb.now {
+		return nil
+	}
+	mb.now = t
+	g := apss.NewGate(emit)
+	for t >= mb.t0+mb.tau {
+		mb.rotate(&g)
+		mb.t0 += mb.tau
+	}
+	return g.Err()
+}
+
 // Flush implements Joiner (the collect adapter over FlushTo).
 func (mb *MiniBatch) Flush() ([]apss.Match, error) {
 	var out []apss.Match

@@ -91,12 +91,29 @@ func (s *STR) FlushTo(emit apss.Sink) error {
 	return emitAll(emit, ms)
 }
 
+// AdvanceTo implements Advancer: the barrier forwards to the streaming
+// index, which expires and sweeps exactly as an arrival at t would. STR
+// reports every match online, so a barrier emits nothing.
+func (s *STR) AdvanceTo(t float64, _ apss.Sink) error {
+	if adv, ok := s.idx.(streaming.Advancer); ok {
+		return adv.Advance(t)
+	}
+	return nil
+}
+
 // IndexSize exposes current index occupancy.
 func (s *STR) IndexSize() streaming.SizeInfo { return s.idx.Size() }
 
 // SaveIndex checkpoints the underlying streaming index (see
 // streaming.Save).
 func (s *STR) SaveIndex(w io.Writer) error { return streaming.Save(s.idx, w) }
+
+// SaveIndexFull checkpoints the underlying streaming index together
+// with the event-time reorder state of the operator feeding it (see
+// streaming.SaveFull).
+func (s *STR) SaveIndexFull(w io.Writer, et *streaming.EventTimeState) error {
+	return streaming.SaveFull(s.idx, et, w)
+}
 
 // NewSTRFromIndex wraps an existing streaming index (typically one
 // restored by streaming.Load) in the STR framework.

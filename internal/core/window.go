@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sssj/internal/apss"
+	"sssj/internal/index/static"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+// Tumbling is the tumbling-window join: the stream is cut into disjoint
+// windows of fixed length anchored at the first item's timestamp, and
+// every pair inside a window with dot ≥ θ is reported when the window
+// closes. There is no time decay — Sim equals the raw dot product — so
+// it is the classic periodic batch APSS join, the natural baseline the
+// paper's decay model generalizes. Matches are reported with up to one
+// window of delay.
+//
+// Windows close when an arrival (or a watermark barrier, see AdvanceTo)
+// proves no further item can fall inside them; empty windows are
+// skipped for free since the anchor only advances in whole window
+// lengths.
+type Tumbling struct {
+	theta   float64
+	kind    static.Kind
+	foreign bool
+	c       *metrics.Counters
+	size    float64
+
+	t0    float64 // start of the current window
+	buf   []stream.Item
+	begun bool
+	now   float64
+}
+
+// NewTumbling builds a tumbling-window joiner over the given static
+// index kind with window length size. foreign selects the two-stream
+// A ⋈ B join (only cross-side pairs are reported). counters may be nil.
+func NewTumbling(kind static.Kind, theta, size float64, counters *metrics.Counters, foreign bool) (*Tumbling, error) {
+	if !(theta > 0 && theta <= 1) {
+		return nil, fmt.Errorf("%w: theta=%v, want 0 < theta <= 1", apss.ErrBadParams, theta)
+	}
+	if !(size > 0) || size != size || size > maxWindow {
+		return nil, ErrBadWindow
+	}
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	return &Tumbling{theta: theta, kind: kind, c: counters, size: size, foreign: foreign}, nil
+}
+
+// maxWindow rejects infinite (and absurd) window sizes up front.
+const maxWindow = 1e300
+
+// ErrBadWindow reports an invalid window length (must be positive and
+// finite).
+var ErrBadWindow = errors.New("core: window size must be positive and finite")
+
+// Add implements Joiner (the collect adapter over AddTo).
+func (tw *Tumbling) Add(x stream.Item) ([]apss.Match, error) {
+	var out []apss.Match
+	err := tw.AddTo(x, apss.Collector(&out))
+	return out, err
+}
+
+// AddTo implements SinkJoiner. Matches are emitted when the arrival
+// proves a window closed; call FlushTo at end of stream for the final
+// partial window.
+func (tw *Tumbling) AddTo(x stream.Item, emit apss.Sink) error {
+	if tw.begun && x.Time < tw.now {
+		return stream.ErrOutOfOrder
+	}
+	if !tw.begun {
+		tw.begun = true
+		tw.t0 = x.Time
+	}
+	tw.now = x.Time
+	tw.c.Items++
+
+	g := apss.NewGate(emit)
+	for x.Time >= tw.t0+tw.size {
+		tw.close(&g)
+		tw.t0 += tw.size
+	}
+	tw.buf = append(tw.buf, x)
+	return g.Err()
+}
+
+// AdvanceTo implements Advancer: windows entirely behind the barrier
+// can no longer receive items, so they close and report now instead of
+// at the next arrival. The rotation loop is byte-for-byte the AddTo
+// loop, keeping window anchors bit-identical between barrier-advanced
+// and arrival-advanced runs. Before the first item there is no anchor;
+// the barrier is dropped.
+func (tw *Tumbling) AdvanceTo(t float64, emit apss.Sink) error {
+	if !tw.begun || t <= tw.now {
+		return nil
+	}
+	tw.now = t
+	g := apss.NewGate(emit)
+	for t >= tw.t0+tw.size {
+		tw.close(&g)
+		tw.t0 += tw.size
+	}
+	return g.Err()
+}
+
+// Flush implements Joiner (the collect adapter over FlushTo).
+func (tw *Tumbling) Flush() ([]apss.Match, error) {
+	var out []apss.Match
+	err := tw.FlushTo(apss.Collector(&out))
+	return out, err
+}
+
+// FlushTo implements SinkJoiner: closes the final (possibly partial)
+// window.
+func (tw *Tumbling) FlushTo(emit apss.Sink) error {
+	if !tw.begun {
+		return nil
+	}
+	g := apss.NewGate(emit)
+	tw.close(&g)
+	return g.Err()
+}
+
+// close joins the buffered window with a static index and empties it.
+// Pairs flow from the index straight into the gate; Sim is the raw dot
+// (no decay inside a tumbling window), DT the true time gap.
+func (tw *Tumbling) close(g *apss.Gate) {
+	if len(tw.buf) == 0 {
+		return
+	}
+	start := g.Emitted()
+	tw.c.IndexBuilds++
+	idx := static.New(tw.kind, tw.theta, static.Options{
+		Counters: tw.c,
+		Foreign:  tw.foreign,
+	})
+	times := make(map[uint64]float64, len(tw.buf))
+	for _, it := range tw.buf {
+		times[it.ID] = it.Time
+	}
+	idx.BuildTo(tw.buf, func(p apss.Pair) error {
+		dt := times[p.X] - times[p.Y]
+		if dt < 0 {
+			dt = -dt
+		}
+		g.Emit(apss.Match{X: p.X, Y: p.Y, Sim: p.Dot, Dot: p.Dot, DT: dt})
+		return nil
+	})
+	tw.buf = tw.buf[:0]
+	tw.c.Pairs += g.Emitted() - start
+}
+
+// WindowSize reports the number of items buffered in the open window.
+func (tw *Tumbling) WindowSize() int { return len(tw.buf) }

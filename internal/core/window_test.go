@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/index/static"
+	"sssj/internal/index/streaming"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// tumblingOracle is the O(n²) reference: pairs sharing the window
+// floor((t − t_first)/size) with dot ≥ θ, Sim = Dot.
+func tumblingOracle(items []stream.Item, theta, size float64, foreign bool) []apss.Match {
+	var out []apss.Match
+	if len(items) == 0 {
+		return out
+	}
+	t0 := items[0].Time
+	win := func(t float64) int { return int(math.Floor((t - t0) / size)) }
+	for i, x := range items {
+		for _, y := range items[:i] {
+			if win(x.Time) != win(y.Time) {
+				continue
+			}
+			if foreign && !apss.CrossSide(x.Side, y.Side) {
+				continue
+			}
+			dot := vec.Dot(x.Vec, y.Vec)
+			if dot >= theta {
+				out = append(out, apss.Match{X: x.ID, Y: y.ID, Sim: dot, Dot: dot, DT: x.Time - y.Time})
+			}
+		}
+	}
+	return out
+}
+
+func TestTumblingMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, kind := range static.Kinds() {
+		for trial := 0; trial < 3; trial++ {
+			items := randomStream(r, 150, 40, 8)
+			theta, size := 0.6, 10.0
+			tw, err := NewTumbling(kind, theta, size, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(tw, stream.NewSliceSource(items))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tumblingOracle(items, theta, size, false)
+			requireSameMatches(t, fmt.Sprintf("Tumbling-%v trial %d", kind, trial), got, want)
+		}
+	}
+}
+
+func TestTumblingForeignMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	items := randomStream(r, 150, 40, 8)
+	for i := range items {
+		if r.Intn(2) == 1 {
+			items[i].Side = apss.SideB
+		}
+	}
+	theta, size := 0.6, 10.0
+	tw, err := NewTumbling(static.L2AP, theta, size, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(tw, stream.NewSliceSource(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tumblingOracle(items, theta, size, true)
+	requireSameMatches(t, "Tumbling-foreign", got, want)
+}
+
+// TestTumblingBarrierParity: a run whose windows close via AdvanceTo
+// barriers reports the same matches (in the same order) as a run whose
+// windows close on arrivals only.
+func TestTumblingBarrierParity(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	items := randomStream(r, 120, 40, 8)
+	theta, size := 0.6, 7.0
+
+	run := func(barriers bool) []apss.Match {
+		tw, err := NewTumbling(static.L2, theta, size, nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []apss.Match
+		sink := apss.Collector(&out)
+		for i, it := range items {
+			if err := tw.AddTo(it, sink); err != nil {
+				t.Fatal(err)
+			}
+			if barriers && i+1 < len(items) {
+				mid := (it.Time + items[i+1].Time) / 2
+				if err := tw.AdvanceTo(mid, sink); err != nil {
+					t.Fatal(err)
+				}
+				// Stale barrier: must be a no-op.
+				if err := tw.AdvanceTo(mid-100, sink); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := tw.FlushTo(sink); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	plain, barred := run(false), run(true)
+	if len(plain) != len(barred) {
+		t.Fatalf("barriers changed match count: %d vs %d", len(barred), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != barred[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, barred[i], plain[i])
+		}
+	}
+	if len(plain) == 0 {
+		t.Fatal("degenerate test: no matches")
+	}
+}
+
+// TestTumblingBarrierEmitsEarly: a barrier past the open window's end
+// releases its matches without any further arrival.
+func TestTumblingBarrierEmitsEarly(t *testing.T) {
+	v := vec.FromMap(map[uint32]float64{1: 1}).Normalize()
+	tw, err := NewTumbling(static.INV, 0.5, 10, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []apss.Match
+	sink := apss.Collector(&out)
+	if err := tw.AddTo(stream.Item{ID: 1, Time: 0, Vec: v}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.AddTo(stream.Item{ID: 2, Time: 3, Vec: v}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("window still open, got %d matches", len(out))
+	}
+	if err := tw.AdvanceTo(10, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].X != 2 || out[0].Y != 1 {
+		t.Fatalf("barrier did not release the window: %+v", out)
+	}
+	// The window emptied: a flush adds nothing.
+	if err := tw.FlushTo(sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("flush after barrier re-emitted: %+v", out)
+	}
+}
+
+func TestTumblingRejectsBadConfig(t *testing.T) {
+	if _, err := NewTumbling(static.INV, 0, 10, nil, false); !errors.Is(err, apss.ErrBadParams) {
+		t.Fatalf("theta=0: got %v", err)
+	}
+	for _, size := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewTumbling(static.INV, 0.5, size, nil, false); !errors.Is(err, ErrBadWindow) {
+			t.Fatalf("size=%v: got %v", size, err)
+		}
+	}
+}
+
+func TestTumblingOutOfOrderRejected(t *testing.T) {
+	v := vec.FromMap(map[uint32]float64{1: 1}).Normalize()
+	tw, err := NewTumbling(static.INV, 0.5, 10, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Add(stream.Item{ID: 1, Time: 5, Vec: v}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Add(stream.Item{ID: 2, Time: 4, Vec: v}); !errors.Is(err, stream.ErrOutOfOrder) {
+		t.Fatalf("want ErrOutOfOrder, got %v", err)
+	}
+}
+
+// slidingOracle: the classic hard-window join — every pair within Tau
+// of each other with dot ≥ θ, regardless of window anchors.
+func slidingOracle(items []stream.Item, theta, tau float64) []apss.Match {
+	var out []apss.Match
+	for i, x := range items {
+		for _, y := range items[:i] {
+			dt := x.Time - y.Time
+			if dt > tau {
+				continue
+			}
+			dot := vec.Dot(x.Vec, y.Vec)
+			if dot >= theta {
+				out = append(out, apss.Match{X: x.ID, Y: y.ID, Sim: dot, Dot: dot, DT: dt})
+			}
+		}
+	}
+	return out
+}
+
+// TestSlidingWindowSTRMatchesOracle pins the sliding window mode's core
+// composition: STR over the hard-window kernel computes the classic
+// sliding-window join (Sim = Dot inside the window).
+func TestSlidingWindowSTRMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	items := randomStream(r, 150, 40, 8)
+	theta, tau := 0.6, 10.0
+	p := apss.Params{Theta: theta, Lambda: math.Log(1/theta) / tau}
+	for _, kind := range []streaming.Kind{streaming.INV, streaming.L2} {
+		s, err := NewSTRWithKernel(kind, p, apss.SlidingWindow{Tau: tau}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(s, stream.NewSliceSource(items))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := slidingOracle(items, theta, tau)
+		requireSameMatches(t, "STR-sliding-"+kind.String(), got, want)
+	}
+}

@@ -145,7 +145,21 @@ type RunOpts struct {
 	// modified, so foreign and self scenarios can share one generated
 	// stream.
 	Foreign bool
+	// Reorder routes the measured loop through the bounded-lateness
+	// reorder stage (stream.Reorder with δ = Lateness) after perturbing
+	// the input with stream.ShuffleWithin(items, Lateness, ShuffleSeed) —
+	// the event-time pipeline as the production entry points run it. With
+	// Lateness = 0 the shuffle is the identity and the stage is a
+	// pass-through, measuring its pure per-item overhead.
+	Reorder bool
+	// Lateness is the reorder stage's lateness bound δ; used only with
+	// Reorder.
+	Lateness float64
 }
+
+// ShuffleSeed seeds the within-δ input perturbation of Reorder runs: one
+// fixed seed, so bench runs and oracle tests exercise the same disorder.
+const ShuffleSeed int64 = 1
 
 // Supported reports whether the framework × index names denote a
 // combination this harness can construct (the same judgment newJoiner
@@ -211,6 +225,25 @@ func RunOneOpts(items []stream.Item, dataset, framework, index string, p apss.Pa
 		ms, err := j.Flush()
 		res.Matches += len(ms)
 		return err
+	}
+	if o.Reorder {
+		items = stream.ShuffleWithin(items, o.Lateness, ShuffleSeed)
+		var reo *stream.Reorder
+		if o.Foreign && o.Lateness > 0 {
+			reo = stream.NewSidedReorder(o.Lateness)
+		} else {
+			reo = stream.NewReorder(o.Lateness)
+		}
+		// The shuffle is admissible under δ by construction, so the stage
+		// drops nothing: the joiner sees the sorted stream, later.
+		joinerAdd, joinerFlush := add, flush
+		add = func(it stream.Item) error { return reo.Push(it, joinerAdd) }
+		flush = func() error {
+			if err := reo.Flush(joinerAdd); err != nil {
+				return err
+			}
+			return joinerFlush()
+		}
 	}
 	start := time.Now()
 	deadline := time.Time{}

@@ -13,6 +13,7 @@ import (
 	"sssj/internal/cbuf"
 	"sssj/internal/dimorder"
 	"sssj/internal/lhmap"
+	"sssj/internal/stream"
 	"sssj/internal/vec"
 )
 
@@ -57,7 +58,15 @@ var ckptMagic = [8]byte{'S', 'S', 'S', 'J', 'C', 'K', 'P', 'T'}
 //	    Options.Foreign, which is how a version ≤ 3 (or self-join)
 //	    checkpoint loads into a foreign-join engine — every restored
 //	    item then defaults to side A.
-const ckptVersion = 4
+//	5 — event-time section: a presence byte right after the version,
+//	    followed (when present) by the reorder stage's state — lateness
+//	    δ, sidedness, per-side clocks, and the still-buffered items with
+//	    full vectors — so a bounded-lateness join resumes with its
+//	    watermark and in-flight items intact. SaveFull/LoadFull carry
+//	    the section; plain Save writes an absent section and plain Load
+//	    skips one. Versions 1–4 (no presence byte) still load, with no
+//	    event-time state.
+const ckptVersion = 5
 
 // ErrBadCheckpoint reports a corrupt or incompatible checkpoint.
 var ErrBadCheckpoint = errors.New("streaming: bad checkpoint")
@@ -65,11 +74,27 @@ var ErrBadCheckpoint = errors.New("streaming: bad checkpoint")
 // Save writes ix's state. Only indexes created by New are supported.
 // Custom (non-exponential) kernels are recorded as a flag; Load then
 // requires the same kernel to be re-supplied in Options.
-func Save(ix Index, w io.Writer) error {
+func Save(ix Index, w io.Writer) error { return SaveFull(ix, nil, w) }
+
+// EventTimeState is the serializable state of the event-time reorder
+// stage that fronts a joiner (see stream.Reorder): lateness, per-side
+// clocks, and the items buffered awaiting the watermark. It rides in
+// the version-5 checkpoint section so a bounded-lateness join restores
+// its admission clock and in-flight items exactly.
+type EventTimeState = stream.ReorderState
+
+// SaveFull writes ix's state plus, when et is non-nil, the event-time
+// reorder state of the operator feeding it (the v5 section). Save is
+// SaveFull with no event-time state.
+func SaveFull(ix Index, et *EventTimeState, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	cw := &ckptWriter{w: bw}
 	cw.bytes(ckptMagic[:])
 	cw.u32(ckptVersion)
+	cw.u8(boolByte(et != nil))
+	if et != nil {
+		saveEventTime(cw, et)
+	}
 	switch v := ix.(type) {
 	case *invIndex:
 		saveHeader(cw, INV, v.p, v.kernel, v.now, v.begun, v.clock)
@@ -195,6 +220,76 @@ func engineKind(useAP, useL2 bool) Kind {
 	}
 }
 
+// saveEventTime writes the v5 event-time section: the reorder stage's
+// config and clocks, then its buffered items (already sorted by
+// (Time, ID) per ReorderState) with full vectors.
+func saveEventTime(cw *ckptWriter, et *EventTimeState) {
+	cw.f64(et.Delta)
+	cw.u8(boolByte(et.Sided))
+	cw.u8(boolByte(et.Seen[0]))
+	cw.u8(boolByte(et.Seen[1]))
+	cw.f64(et.MaxT[0])
+	cw.f64(et.MaxT[1])
+	cw.u32(uint32(len(et.Buffered)))
+	for _, it := range et.Buffered {
+		cw.u64(it.ID)
+		cw.f64(it.Time)
+		cw.u8(uint8(it.Side))
+		cw.u32(uint32(it.Vec.NNZ()))
+		for i := range it.Vec.Dims {
+			cw.u32(it.Vec.Dims[i])
+			cw.f64(it.Vec.Vals[i])
+		}
+	}
+}
+
+// readEventTime decodes the v5 event-time section (after its presence
+// byte reported it present).
+func readEventTime(cr *ckptReader) (*EventTimeState, error) {
+	var et EventTimeState
+	et.Delta = cr.f64()
+	et.Sided = cr.u8() == 1
+	et.Seen[0] = cr.u8() == 1
+	et.Seen[1] = cr.u8() == 1
+	et.MaxT[0] = cr.f64()
+	et.MaxT[1] = cr.f64()
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	if et.Delta < 0 || math.IsNaN(et.Delta) || math.IsInf(et.Delta, 0) {
+		return nil, fmt.Errorf("event-time lateness %v invalid", et.Delta)
+	}
+	n := int(cr.u32())
+	for i := 0; i < n && cr.err == nil; i++ {
+		id := cr.u64()
+		t := cr.f64()
+		side := cr.u8()
+		nnz := int(cr.u32())
+		if cr.err != nil {
+			break
+		}
+		if side > uint8(apss.SideB) {
+			return nil, fmt.Errorf("buffered item %d has side %d", id, side)
+		}
+		vv := vec.Vector{Dims: make([]uint32, nnz), Vals: make([]float64, nnz)}
+		for k := 0; k < nnz && cr.err == nil; k++ {
+			vv.Dims[k] = cr.u32()
+			vv.Vals[k] = cr.f64()
+		}
+		if cr.err != nil {
+			break
+		}
+		if err := vv.Validate(); err != nil {
+			return nil, fmt.Errorf("buffered item %d invalid: %v", id, err)
+		}
+		et.Buffered = append(et.Buffered, stream.Item{ID: id, Time: t, Side: apss.Side(side), Vec: vv})
+	}
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	return &et, nil
+}
+
 // saveHeader writes the per-index checkpoint header shared by all four
 // engine types: kind, params, kernel flag, stream clock, sweep clock.
 func saveHeader(cw *ckptWriter, kind Kind, p apss.Params, kernel apss.Kernel, now float64, begun bool, clock sweepClock) {
@@ -246,15 +341,30 @@ func saveRes(cw *ckptWriter, res *lhmap.Map[uint64, *smeta], slots *slotTab) {
 // sides existed (v1–v3) loads into a foreign-join engine with every
 // item on side A.
 func Load(r io.Reader, opts Options) (Index, error) {
+	ix, _, err := LoadFull(r, opts)
+	return ix, err
+}
+
+// LoadFull restores an index saved by Save or SaveFull, together with
+// the event-time reorder state when the file carries one (nil for
+// files written by plain Save and for every pre-v5 version).
+func LoadFull(r io.Reader, opts Options) (Index, *EventTimeState, error) {
 	cr := &ckptReader{r: bufio.NewReader(r)}
 	var magic [8]byte
 	cr.bytes(magic[:])
 	if cr.err != nil || magic != ckptMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
 	ver := cr.u32()
 	if ver < 1 || ver > ckptVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, ver)
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, ver)
+	}
+	var et *EventTimeState
+	if ver >= 5 && cr.u8() == 1 {
+		var err error
+		if et, err = readEventTime(cr); err != nil {
+			return nil, nil, fmt.Errorf("%w: event-time section: %v", ErrBadCheckpoint, err)
+		}
 	}
 	kind := Kind(cr.u8())
 	p := apss.Params{Theta: cr.f64(), Lambda: cr.f64()}
@@ -267,10 +377,10 @@ func Load(r io.Reader, opts Options) (Index, error) {
 		swept = cr.u8() == 1
 	}
 	if cr.err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, cr.err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, cr.err)
 	}
 	if !defaultKernel && opts.Kernel == nil {
-		return nil, fmt.Errorf("%w: checkpoint used a custom kernel; supply it in Options", ErrBadCheckpoint)
+		return nil, nil, fmt.Errorf("%w: checkpoint used a custom kernel; supply it in Options", ErrBadCheckpoint)
 	}
 	if defaultKernel {
 		opts.Kernel = nil // force the params-derived exponential kernel
@@ -279,11 +389,11 @@ func Load(r io.Reader, opts Options) (Index, error) {
 	// wrapper), so it cannot be restored into either: the residual splits
 	// in the file are tied to natural dimension order.
 	if opts.Order.Strategy != dimorder.None && opts.Order.Items >= 1 {
-		return nil, fmt.Errorf("%w: cannot restore into a dimension-ordered index", ErrBadCheckpoint)
+		return nil, nil, fmt.Errorf("%w: cannot restore into a dimension-ordered index", ErrBadCheckpoint)
 	}
 	ix, err := New(kind, p, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Per-type sinks; the decode path below is shared. idSlot maps the
@@ -382,7 +492,7 @@ func Load(r io.Reader, opts Options) (Index, error) {
 		}
 		putTouch = func(d uint32, t float64) { v.lastTouch[d] = t }
 	default:
-		return nil, fmt.Errorf("streaming: cannot restore a checkpoint into %T", ix)
+		return nil, nil, fmt.Errorf("streaming: cannot restore a checkpoint into %T", ix)
 	}
 
 	withPnorm := kind != INV
@@ -444,10 +554,10 @@ func Load(r io.Reader, opts Options) (Index, error) {
 				break
 			}
 			if side > apss.SideB {
-				return nil, fmt.Errorf("%w: residual %d has side %d", ErrBadCheckpoint, id, side)
+				return nil, nil, fmt.Errorf("%w: residual %d has side %d", ErrBadCheckpoint, id, side)
 			}
 			if err := vv.Validate(); err != nil || boundary > nnz {
-				return nil, fmt.Errorf("%w: residual %d invalid", ErrBadCheckpoint, id)
+				return nil, nil, fmt.Errorf("%w: residual %d invalid", ErrBadCheckpoint, id)
 			}
 			residual := vv.SliceByIndex(0, boundary)
 			putRes(id, &smeta{
@@ -482,12 +592,12 @@ func Load(r io.Reader, opts Options) (Index, error) {
 		}
 	}
 	if cr.err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, cr.err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, cr.err)
 	}
 	if doneInv != nil {
 		doneInv()
 	}
-	return ix, nil
+	return ix, et, nil
 }
 
 // rebuildLive reconstructs the INV indexes' live-slot expiry queue from

@@ -263,22 +263,8 @@ func (e *engine) AddTo(x stream.Item, emit apss.Sink) error {
 	if e.begun && x.Time < e.now {
 		return ErrTimeOrder
 	}
-	e.begun = true
-	e.now = x.Time
+	e.advanceTo(x.Time)
 	e.c.Items++
-
-	// Expire residuals beyond the horizon (amortized O(1): R is in time
-	// order, §6.2), recycling their slots — their remaining posting
-	// entries are expired too and will never be visited again.
-	horizonStart := x.Time - e.tau
-	e.res.PruneWhile(func(_ uint64, m *smeta) bool {
-		if m.t < horizonStart {
-			e.slots.release(m.slot)
-			return true
-		}
-		return false
-	})
-	e.maybeSweep()
 
 	// For L2AP, restore the prefix-filtering invariant *before* querying:
 	// if x raises any per-dimension maximum, residuals touching those
@@ -302,6 +288,39 @@ func (e *engine) AddTo(x stream.Item, emit apss.Sink) error {
 		e.mhatUpdate(x)
 	}
 	return g.Err()
+}
+
+// advanceTo moves the stream clock to t (which must be ≥ e.now once
+// begun) and runs the clock-driven maintenance every arrival performs:
+// expire residuals beyond the horizon (amortized O(1): R is in time
+// order, §6.2), recycling their slots — their remaining posting entries
+// are expired too and will never be visited again — and run the horizon
+// sweep if it is due. Factored out of AddTo so a watermark barrier
+// (Advance) drives exactly the same maintenance as an arrival at t.
+func (e *engine) advanceTo(t float64) {
+	e.begun = true
+	e.now = t
+	horizonStart := t - e.tau
+	e.res.PruneWhile(func(_ uint64, m *smeta) bool {
+		if m.t < horizonStart {
+			e.slots.release(m.slot)
+			return true
+		}
+		return false
+	})
+	e.maybeSweep()
+}
+
+// Advance implements Advancer: an itemless watermark barrier. Expiry
+// is sound because t is a promise that no item with Time < t will be
+// added; a stale barrier (t ≤ now) is a no-op, and a barrier on a fresh
+// engine establishes the clock floor.
+func (e *engine) Advance(t float64) error {
+	if e.begun && t <= e.now {
+		return nil
+	}
+	e.advanceTo(t)
+	return nil
 }
 
 // candGen is Algorithm 7: scan x's coordinates in reverse indexing order,

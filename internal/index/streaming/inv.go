@@ -57,20 +57,8 @@ func (ix *invIndex) AddTo(x stream.Item, emit apss.Sink) error {
 	if ix.begun && x.Time < ix.now {
 		return ErrTimeOrder
 	}
-	ix.begun = true
-	ix.now = x.Time
+	ix.advanceTo(x.Time)
 	ix.c.Items++
-	// Recycle the slots of items past the horizon: no posting entry of
-	// theirs will ever be visited again (expiry uses the same cutoff).
-	for ix.live.Len() > 0 {
-		sl := ix.live.Front()
-		if x.Time-ix.slots.t[sl] <= ix.tau {
-			break
-		}
-		ix.live.PopFront()
-		ix.slots.release(sl)
-	}
-	ix.maybeSweep()
 
 	a := &ix.acc
 	a.Begin(ix.slots.span())
@@ -123,6 +111,35 @@ func (ix *invIndex) AddTo(x stream.Item, emit apss.Sink) error {
 		}
 	}
 	return g.Err()
+}
+
+// advanceTo moves the stream clock to t (≥ ix.now once begun) and runs
+// the clock-driven maintenance every arrival performs: recycle the
+// slots of items past the horizon — no posting entry of theirs will
+// ever be visited again (expiry uses the same cutoff) — and run the
+// horizon sweep if due. Shared by AddTo and the Advance barrier.
+func (ix *invIndex) advanceTo(t float64) {
+	ix.begun = true
+	ix.now = t
+	for ix.live.Len() > 0 {
+		sl := ix.live.Front()
+		if t-ix.slots.t[sl] <= ix.tau {
+			break
+		}
+		ix.live.PopFront()
+		ix.slots.release(sl)
+	}
+	ix.maybeSweep()
+}
+
+// Advance implements Advancer: an itemless watermark barrier (see
+// engine.Advance).
+func (ix *invIndex) Advance(t float64) error {
+	if ix.begun && t <= ix.now {
+		return nil
+	}
+	ix.advanceTo(t)
+	return nil
 }
 
 // maybeSweep runs the horizon sweep when the clock says it is due,

@@ -98,6 +98,21 @@ func (o *orderedIndex) FinishWarmupTo(emit apss.Sink) error {
 	return g.Err()
 }
 
+// Advance implements Advancer by forwarding to the inner index. During
+// an open warmup the barrier is dropped: the buffered items have not
+// reached the inner index yet, and advancing its clock past them would
+// reject them at replay. Dropping a barrier is always sound — it only
+// defers maintenance the next arrival performs anyway.
+func (o *orderedIndex) Advance(t float64) error {
+	if !o.active {
+		return nil
+	}
+	if adv, ok := o.inner.(Advancer); ok {
+		return adv.Advance(t)
+	}
+	return nil
+}
+
 // Size implements Index. During warmup the inner index is empty; the
 // buffered items are reported as residuals-in-waiting.
 func (o *orderedIndex) Size() SizeInfo {

@@ -137,19 +137,8 @@ func (e *parEngine) AddTo(x stream.Item, emit apss.Sink) error {
 	if e.begun && x.Time < e.now {
 		return ErrTimeOrder
 	}
-	e.begun = true
-	e.now = x.Time
+	e.advanceTo(x.Time)
 	e.c.Items++
-
-	horizonStart := x.Time - e.tau
-	e.res.PruneWhile(func(_ uint64, m *smeta) bool {
-		if m.t < horizonStart {
-			e.slots.release(m.slot)
-			return true
-		}
-		return false
-	})
-	e.maybeSweep()
 
 	if e.useAP {
 		if changed := e.m.Update(x.Vec); len(changed) > 0 {
@@ -167,6 +156,37 @@ func (e *parEngine) AddTo(x stream.Item, emit apss.Sink) error {
 		e.mhatUpdate(x)
 	}
 	return g.Err()
+}
+
+// advanceTo moves the stream clock to t (≥ e.now once begun) and runs
+// the clock-driven maintenance every arrival performs (see the
+// sequential engine's advanceTo). All shard state is touched from the
+// calling goroutine only — no fan-out is in flight during a barrier.
+func (e *parEngine) advanceTo(t float64) {
+	e.begun = true
+	e.now = t
+	horizonStart := t - e.tau
+	e.res.PruneWhile(func(_ uint64, m *smeta) bool {
+		if m.t < horizonStart {
+			e.slots.release(m.slot)
+			return true
+		}
+		return false
+	})
+	e.maybeSweep()
+}
+
+// Advance implements Advancer: an itemless watermark barrier (see
+// engine.Advance). Because the sweep clock advances exactly as it would
+// for an arrival at t, a barrier keeps the sharded engine's maintenance
+// schedule — and therefore its output — identical to the sequential
+// engine fed the same items and barriers.
+func (e *parEngine) Advance(t float64) error {
+	if e.begun && t <= e.now {
+		return nil
+	}
+	e.advanceTo(t)
+	return nil
 }
 
 // candGen fans the reverse coordinate scan out to the shards and merges
@@ -582,18 +602,8 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 	if ix.begun && x.Time < ix.now {
 		return ErrTimeOrder
 	}
-	ix.begun = true
-	ix.now = x.Time
+	ix.advanceTo(x.Time)
 	ix.c.Items++
-	for ix.live.Len() > 0 {
-		sl := ix.live.Front()
-		if x.Time-ix.slots.t[sl] <= ix.tau {
-			break
-		}
-		ix.live.PopFront()
-		ix.slots.release(sl)
-	}
-	ix.maybeSweep()
 
 	dims, vals := x.Vec.Dims, x.Vec.Vals
 	work := make([]bool, len(ix.shards))
@@ -695,6 +705,33 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 		}
 	}
 	return g.Err()
+}
+
+// advanceTo moves the stream clock to t (≥ ix.now once begun) and runs
+// the clock-driven maintenance every arrival performs (see
+// invIndex.advanceTo).
+func (ix *parInv) advanceTo(t float64) {
+	ix.begun = true
+	ix.now = t
+	for ix.live.Len() > 0 {
+		sl := ix.live.Front()
+		if t-ix.slots.t[sl] <= ix.tau {
+			break
+		}
+		ix.live.PopFront()
+		ix.slots.release(sl)
+	}
+	ix.maybeSweep()
+}
+
+// Advance implements Advancer: an itemless watermark barrier (see
+// engine.Advance).
+func (ix *parInv) Advance(t float64) error {
+	if ix.begun && t <= ix.now {
+		return nil
+	}
+	ix.advanceTo(t)
+	return nil
 }
 
 func (ix *parInv) maybeSweep() {

@@ -148,6 +148,21 @@ type SinkIndex interface {
 	AddTo(x stream.Item, emit apss.Sink) error
 }
 
+// Advancer is implemented by indexes that accept event-time watermark
+// barriers. Advance(t) promises that no item with Time < t will ever be
+// added; the index moves its stream clock to t and performs the same
+// horizon expiry and sweep maintenance an arrival at t would, without
+// processing an item. A stale barrier (t at or behind the clock) is a
+// no-op; a barrier on a fresh index establishes the clock floor, so a
+// later item behind t is rejected like any regression.
+//
+// Every index built by New implements Advancer (the interface is
+// asserted, not embedded in Index, to keep frozen reference
+// implementations in the test suite valid).
+type Advancer interface {
+	Advance(t float64) error
+}
+
 // collectAdd adapts the push path to the pull API: it runs AddTo with a
 // sink that appends to a fresh slice.
 func collectAdd(ix SinkIndex, x stream.Item) ([]apss.Match, error) {

@@ -26,6 +26,7 @@ type Counters struct {
 	ReindexedEntries int64 `json:"reindexed_entries"` // posting entries inserted by re-indexing
 	ResidualEntries  int64 `json:"residual_entries"`  // vectors ever stored in the residual index
 	IndexBuilds      int64 `json:"index_builds"`      // full index (re)constructions (MB only)
+	LateDrops        int64 `json:"late_drops"`        // items dropped behind the lateness watermark
 }
 
 // Add accumulates other into c.
@@ -41,6 +42,7 @@ func (c *Counters) Add(other Counters) {
 	c.ReindexedEntries += other.ReindexedEntries
 	c.ResidualEntries += other.ResidualEntries
 	c.IndexBuilds += other.IndexBuilds
+	c.LateDrops += other.LateDrops
 }
 
 // Reset zeroes all counters.
@@ -48,7 +50,7 @@ func (c *Counters) Reset() { *c = Counters{} }
 
 // String renders a compact single-line summary.
 func (c *Counters) String() string {
-	return fmt.Sprintf("items=%d entries=%d cand=%d dots=%d pairs=%d indexed=%d expired=%d reidx=%d",
+	return fmt.Sprintf("items=%d entries=%d cand=%d dots=%d pairs=%d indexed=%d expired=%d reidx=%d late=%d",
 		c.Items, c.EntriesTraversed, c.Candidates, c.FullDots, c.Pairs,
-		c.IndexedEntries, c.ExpiredEntries, c.Reindexings)
+		c.IndexedEntries, c.ExpiredEntries, c.Reindexings, c.LateDrops)
 }

@@ -49,6 +49,14 @@ type Scenario struct {
 	// items are tagged with alternating sides; see harness.RunOpts) and
 	// empty or "self" for the paper's self-join.
 	Join string `json:"join,omitempty"`
+	// Reorder routes the run through the bounded-lateness reorder stage
+	// over a within-δ shuffle of the stream (δ = Lateness; see
+	// harness.RunOpts.Reorder). With Lateness = 0 it measures the
+	// stage's pure pass-through overhead against the plain scenarios.
+	Reorder bool `json:"reorder,omitempty"`
+	// Lateness is the reorder stage's lateness bound δ; meaningful only
+	// with Reorder.
+	Lateness float64 `json:"lateness,omitempty"`
 }
 
 // foreign reports whether the scenario measures the foreign join.
@@ -65,6 +73,9 @@ func (s Scenario) label() string {
 	if s.foreign() {
 		name += "/foreign"
 	}
+	if s.Reorder {
+		name += fmt.Sprintf("/lat%g", s.Lateness)
+	}
 	return name
 }
 
@@ -80,8 +91,9 @@ func (s Scenario) named() Scenario {
 // (RCV1) and a sparse bursty (Tweets) stream shape, the three STR
 // indexes, the sharded parallel engine at 4 workers, and MB-L2 as the
 // framework baseline — plus a θ sweep on the recommended STR-L2 to
-// track threshold sensitivity, and a 4-scenario foreign-join (A ⋈ B)
-// cross-section. 16 scenarios; at the default scale the whole matrix
+// track threshold sensitivity, a 4-scenario foreign-join (A ⋈ B)
+// cross-section, and a 2-scenario bounded-lateness (reorder stage)
+// cross-section. 18 scenarios; at the default scale the whole matrix
 // runs in well under a minute. Scenarios not yet present in a committed
 // baseline are reported as informational by Compare until the baseline
 // is refreshed.
@@ -118,6 +130,17 @@ func DefaultScenarios() []Scenario {
 		{Profile: "RCV1", Framework: harness.FrameworkMB, Index: "L2", Theta: 0.7, Workers: 1},
 	} {
 		sc.Lambda, sc.Join = lambda, "foreign"
+		out = append(out, sc.named())
+	}
+	// The event-time cross-section: the recommended STR-L2 behind the
+	// bounded-lateness reorder stage. δ = 0 is the pass-through overhead
+	// tripwire against the plain w1 scenario; δ = 1000 buffers and
+	// re-sorts a heavily disordered stream.
+	for _, delta := range []float64{0, 1000} {
+		sc := Scenario{
+			Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
+			Theta: 0.7, Lambda: lambda, Workers: 1, Reorder: true, Lateness: delta,
+		}
 		out = append(out, sc.named())
 	}
 	return out
@@ -205,11 +228,15 @@ func runOnce(s Scenario, cfg RunConfig, items []stream.Item) (Report, error) {
 	if err := p.Validate(); err != nil {
 		return Report{}, fmt.Errorf("perf: scenario %s: %w", s.Name, err)
 	}
+	if s.Lateness < 0 || (s.Lateness > 0 && !s.Reorder) {
+		return Report{}, fmt.Errorf("perf: scenario %s: Lateness needs Reorder and must be >= 0", s.Name)
+	}
 	lat := metrics.NewHistogram()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	res := harness.RunOneOpts(items, s.Profile, s.Framework, s.Index, p,
-		harness.RunOpts{Workers: s.Workers, Budget: cfg.Budget, Latency: lat, Foreign: s.foreign()})
+		harness.RunOpts{Workers: s.Workers, Budget: cfg.Budget, Latency: lat, Foreign: s.foreign(),
+			Reorder: s.Reorder, Lateness: s.Lateness})
 	runtime.ReadMemStats(&after)
 	return FromResult(s, res, lat, after.TotalAlloc-before.TotalAlloc, after.Mallocs-before.Mallocs), nil
 }

@@ -208,8 +208,8 @@ func TestDefaultScenarios(t *testing.T) {
 		}
 		names[s.Name] = true
 	}
-	if got := len(FilterByProfile(scs, "RCV1")); got != 10 {
-		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 10", got)
+	if got := len(FilterByProfile(scs, "RCV1")); got != 12 {
+		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 12", got)
 	}
 	if got := len(FilterByProfile(scs, "")); got != len(scs) {
 		t.Errorf("empty filter dropped scenarios")
@@ -228,6 +228,46 @@ func TestDefaultScenarios(t *testing.T) {
 	}
 	if foreignN != 4 {
 		t.Errorf("matrix has %d foreign scenarios, want 4", foreignN)
+	}
+	// Likewise the bounded-lateness cross-section, tagged /lat<δ>.
+	reorderN := 0
+	for _, s := range scs {
+		if s.Reorder {
+			reorderN++
+			if !strings.Contains(s.Name, "/lat") {
+				t.Errorf("reorder scenario name %q lacks the /lat tag", s.Name)
+			}
+		}
+	}
+	if reorderN != 2 {
+		t.Errorf("matrix has %d reorder scenarios, want 2", reorderN)
+	}
+}
+
+// TestRunReorderScenario: the reorder stage re-sorts its shuffled input,
+// so a reorder scenario must report exactly the pairs of its plain twin
+// on the same stream; Lateness without Reorder is rejected.
+func TestRunReorderScenario(t *testing.T) {
+	plain := Scenario{Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
+		Theta: 0.5, Lambda: 0.01, Workers: 1}
+	reorder := plain
+	reorder.Reorder, reorder.Lateness = true, 500
+	cfg := RunConfig{Scale: 0.05, Repeats: 1}
+	rp, err := RunScenario(plain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RunScenario(reorder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Pairs == 0 || rr.Pairs != rp.Pairs {
+		t.Fatalf("reorder run found %d pairs, plain %d — the stage must re-sort exactly", rr.Pairs, rp.Pairs)
+	}
+	bad := plain
+	bad.Lateness = 500 // no Reorder
+	if _, err := RunScenario(bad, cfg); err == nil {
+		t.Fatal("Lateness without Reorder accepted")
 	}
 }
 

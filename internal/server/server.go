@@ -11,6 +11,7 @@
 //	ADD <timestamp> <dim>:<val> <dim>:<val> ...
 //	ADDNOW <dim>:<val> ...        (server assigns the arrival timestamp)
 //	SIDE <A|B>                    (foreign join: side of subsequent ADDs)
+//	WM <timestamp>                (event-time heartbeat; bounded-lateness servers)
 //	STATS                         (operation counters)
 //	SIZE                          (index occupancy)
 //	PING
@@ -56,12 +57,40 @@
 // ADD timestamps must be globally non-decreasing across clients; ADDNOW
 // sidesteps that by stamping items with the server's monotonic clock at
 // ingest.
+//
+// # Bounded lateness
+//
+// A server started with Config.Lateness δ > 0 relaxes the ordering
+// contract: a bounded reorder stage (internal/stream.Reorder) sits in
+// front of the joiner, items may arrive up to δ behind the newest event
+// time seen, and the joiner receives them re-sorted into (time, ID)
+// order as the watermark W = maxEventTimeSeen − δ passes them. An item
+// behind W is rejected with "ERR stream: item ... behind watermark ..."
+// and counted in STATS as late=N. The new command
+//
+//	WM <timestamp>
+//
+// is an event-time heartbeat: it promises every producer's clock has
+// reached the timestamp, advances the watermark, and answers
+// "WM <watermark>" (−Inf while the watermark is undefined). On a
+// foreign-join server the watermark is min over the two sides' clocks
+// minus δ, and a WM heartbeat advances both sides at once.
+//
+// One subtlety follows from the shared stream: an ADD or WM that moves
+// the watermark can release items buffered by *other* connections, and
+// the MATCH lines of a released item are written to the connection
+// whose request released it — match output pairs with the releasing
+// request, not with the item's original submitter. Clients that need
+// every match should drive the stream from one connection or treat the
+// server as a firehose per request. WM is rejected on a δ = 0 server,
+// where the watermark would be the plain stream clock.
 package server
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -89,6 +118,13 @@ type Config struct {
 	// build a foreign-gating joiner itself); the SIDE command is
 	// accepted only when this is set.
 	Foreign bool
+	// Lateness is the event-time lateness bound δ. With δ > 0 a bounded
+	// reorder stage admits items up to δ behind the newest event time
+	// seen (per side under Foreign), re-sorting them before the joiner;
+	// items behind the watermark are rejected, and the WM command is
+	// enabled. 0 (the default) keeps the strict in-order contract. Must
+	// be finite and >= 0.
+	Lateness float64
 	// NewJoiner builds the joiner; defaults to STR-L2 (sharded across
 	// Config.Workers shards when Workers > 1).
 	NewJoiner func(apss.Params, *metrics.Counters) (core.Joiner, error)
@@ -104,6 +140,7 @@ type ingestKind int
 
 const (
 	ingestAdd ingestKind = iota
+	ingestWM
 	ingestStats
 	ingestSize
 )
@@ -111,7 +148,7 @@ const (
 // ingestReq is one unit of work for the ingest pipeline.
 type ingestReq struct {
 	kind     ingestKind
-	t        float64 // ADD timestamp (ignored when stampNow)
+	t        float64 // ADD timestamp (ignored when stampNow) or WM heartbeat
 	stampNow bool
 	side     apss.Side // foreign-join side of the item (A on self-join servers)
 	v        vec.Vector
@@ -141,9 +178,12 @@ type Server struct {
 	// implements core.SinkJoiner (every built-in one does), so matches
 	// stream to the submitting connection without a per-item slice.
 	sinkJoiner core.SinkJoiner
-	nextID     uint64
-	lastT      float64
-	begun      bool
+	// reo is the bounded-lateness reorder stage in front of the joiner;
+	// nil when Config.Lateness is 0 (strict in-order contract).
+	reo    *stream.Reorder
+	nextID uint64
+	lastT  float64
+	begun  bool
 
 	reqs       chan ingestReq
 	ingestDone chan struct{}
@@ -159,6 +199,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Lateness < 0 || math.IsNaN(cfg.Lateness) || math.IsInf(cfg.Lateness, 0) {
+		return nil, fmt.Errorf("server: Lateness must be finite and >= 0, got %v", cfg.Lateness)
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
@@ -190,6 +233,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.joiner = j
 	s.sinkJoiner, _ = j.(core.SinkJoiner)
+	if cfg.Lateness > 0 {
+		if cfg.Foreign {
+			s.reo = stream.NewSidedReorder(cfg.Lateness)
+		} else {
+			s.reo = stream.NewReorder(cfg.Lateness)
+		}
+	}
 	go s.ingest()
 	return s, nil
 }
@@ -219,6 +269,8 @@ func (s *Server) serve(req ingestReq) ingestResp {
 			return ingestResp{info: fmt.Sprintf("entries=%d residuals=%d lists=%d", sz.PostingEntries, sz.Residuals, sz.Lists)}
 		}
 		return ingestResp{info: "unavailable"}
+	case ingestWM:
+		return s.serveWM(req)
 	}
 	t := req.t
 	if req.stampNow {
@@ -226,30 +278,79 @@ func (s *Server) serve(req ingestReq) ingestResp {
 		if s.begun && t < s.lastT {
 			t = s.lastT // clamp clock regressions
 		}
-	} else if s.begun && t < s.lastT {
+	} else if s.reo == nil && s.begun && t < s.lastT {
 		return ingestResp{err: fmt.Errorf("out of order: t=%v after t=%v", t, s.lastT)}
 	}
 	id := s.nextID
 	it := stream.Item{ID: id, Time: t, Side: req.side, Vec: req.v}
-	var err error
-	if s.sinkJoiner != nil && req.emit != nil {
-		err = s.sinkJoiner.AddTo(it, req.emit)
-	} else {
-		var ms []apss.Match
-		ms, err = s.joiner.Add(it)
-		if err == nil && req.emit != nil {
-			for _, m := range ms {
-				req.emit(m)
+	if s.reo != nil {
+		// The reorder stage owns admission: a late item is rejected with
+		// the watermark it fell behind, an admissible one is buffered and
+		// every buffered item the new watermark passed flows through the
+		// joiner — with its matches written to THIS request's connection
+		// (see the package comment on bounded lateness).
+		if err := s.reo.Push(it, s.feed(req.emit)); err != nil {
+			var late *stream.LateError
+			if errors.As(err, &late) {
+				s.counters.LateDrops++
 			}
+			return ingestResp{err: err}
 		}
-	}
-	if err != nil {
+	} else if err := s.feed(req.emit)(it); err != nil {
 		return ingestResp{err: err}
 	}
 	s.nextID++
-	s.lastT = t
+	if !s.begun || t > s.lastT {
+		s.lastT = t
+	}
 	s.begun = true
 	return ingestResp{id: id}
+}
+
+// serveWM executes a WM heartbeat on the pipeline goroutine: the
+// reorder stage's clocks advance to req.t (stale heartbeats are no-ops),
+// released items flow through the joiner into the requester's
+// connection, and the engine's own clock is advanced to the watermark so
+// expiration and sweeping happen even on an idle stream.
+func (s *Server) serveWM(req ingestReq) ingestResp {
+	if err := s.reo.AdvanceTo(req.t, s.feed(req.emit)); err != nil {
+		return ingestResp{err: err}
+	}
+	wm := s.reo.Watermark()
+	if !math.IsInf(wm, -1) {
+		if adv, ok := s.joiner.(core.Advancer); ok {
+			if err := adv.AdvanceTo(wm, req.emit); err != nil {
+				return ingestResp{err: err}
+			}
+		}
+	}
+	// The heartbeat promises producer clocks reached req.t; keep ADDNOW's
+	// clamp floor consistent with that promise.
+	if !s.begun || req.t > s.lastT {
+		s.lastT = req.t
+		s.begun = true
+	}
+	return ingestResp{info: strconv.FormatFloat(wm, 'g', -1, 64)}
+}
+
+// feed returns the joiner-facing release target for one request: each
+// item flows through the joiner with its matches streaming into emit.
+func (s *Server) feed(emit apss.Sink) func(stream.Item) error {
+	return func(it stream.Item) error {
+		if s.sinkJoiner != nil && emit != nil {
+			return s.sinkJoiner.AddTo(it, emit)
+		}
+		ms, err := s.joiner.Add(it)
+		if err != nil {
+			return err
+		}
+		if emit != nil {
+			for _, m := range ms {
+				emit(m)
+			}
+		}
+		return nil
+	}
 }
 
 // submit routes one request through the pipeline. Once enqueued, the
@@ -409,6 +510,17 @@ func (s *Server) dispatch(w *bufio.Writer, line string, side *apss.Side) (quit b
 			return false
 		}
 		fmt.Fprintf(w, "SIDE %v\n", *side)
+	case "WM":
+		if s.reo == nil {
+			fmt.Fprintln(w, "ERR WM requires a bounded-lateness server (Config.Lateness > 0)")
+			return false
+		}
+		t, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad timestamp %q\n", rest)
+			return false
+		}
+		s.cmdWM(w, t)
 	case "STATS":
 		resp := s.submit(ingestReq{kind: ingestStats})
 		if resp.err != nil {
@@ -480,6 +592,24 @@ func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool, side apss.S
 		return
 	}
 	fmt.Fprintf(w, "OK %d\n", resp.id)
+}
+
+// cmdWM submits a WM heartbeat. Matches of items the advancing
+// watermark releases are written to this connection, like cmdAdd's.
+func (s *Server) cmdWM(w *bufio.Writer, t float64) {
+	var writeErr error
+	emit := func(m apss.Match) error {
+		if writeErr == nil {
+			_, writeErr = fmt.Fprintf(w, "MATCH %d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
+		}
+		return nil
+	}
+	resp := s.submit(ingestReq{kind: ingestWM, t: t, emit: emit})
+	if resp.err != nil {
+		fmt.Fprintf(w, "ERR %v\n", resp.err)
+		return
+	}
+	fmt.Fprintf(w, "WM %s\n", resp.info)
 }
 
 // parseCoords parses "dim:val" fields into a normalized vector.
@@ -566,6 +696,45 @@ func (c *Client) add(line string) (uint64, []apss.Match, error) {
 				return 0, nil, fmt.Errorf("server: bad ok line %q", resp)
 			}
 			return id, matches, nil
+		case strings.HasPrefix(resp, "ERR "):
+			return 0, nil, errors.New(resp[4:])
+		default:
+			return 0, nil, fmt.Errorf("server: unexpected response %q", resp)
+		}
+	}
+}
+
+// Watermark sends a WM event-time heartbeat (bounded-lateness servers
+// only): a promise that every producer's clock has reached t. It
+// returns the server's watermark after the heartbeat — −Inf while
+// undefined — along with the matches of any items the advancing
+// watermark released.
+func (c *Client) Watermark(t float64) (float64, []apss.Match, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "WM %g\n", t); err != nil {
+		return 0, nil, err
+	}
+	var matches []apss.Match
+	for {
+		resp, err := c.r.ReadString('\n')
+		if err != nil {
+			return 0, nil, err
+		}
+		resp = strings.TrimSpace(resp)
+		switch {
+		case strings.HasPrefix(resp, "MATCH "):
+			var m apss.Match
+			if _, err := fmt.Sscanf(resp, "MATCH %d %d %f %f %f", &m.X, &m.Y, &m.Sim, &m.Dot, &m.DT); err != nil {
+				return 0, nil, fmt.Errorf("server: bad match line %q: %w", resp, err)
+			}
+			matches = append(matches, m)
+		case strings.HasPrefix(resp, "WM "):
+			wm, err := strconv.ParseFloat(resp[3:], 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("server: bad watermark line %q", resp)
+			}
+			return wm, matches, nil
 		case strings.HasPrefix(resp, "ERR "):
 			return 0, nil, errors.New(resp[4:])
 		default:

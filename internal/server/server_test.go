@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -412,5 +413,149 @@ func TestSideRejectedOnSelfJoinServer(t *testing.T) {
 	// The connection survives the rejected command.
 	if err := c.Ping(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLatenessReordersWithinDelta: with Config.Lateness items may
+// arrive out of order within δ; the joiner sees them re-sorted, and the
+// matches of released items ride on the releasing request's reply.
+func TestLatenessReordersWithinDelta(t *testing.T) {
+	s := startServer(t, Config{Lateness: 5, Params: apss.Params{Theta: 0.7, Lambda: 0.01}})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	if _, ms, err := c.Add(10, v); err != nil || len(ms) != 0 {
+		t.Fatalf("t=10: ms=%v err=%v", ms, err)
+	}
+	// 3 behind the newest time: admissible under δ=5, buffered.
+	id, ms, err := c.Add(7, v)
+	if err != nil || id != 1 || len(ms) != 0 {
+		t.Fatalf("t=7: id=%d ms=%v err=%v", id, ms, err)
+	}
+	// t=20 pushes the watermark to 15, releasing t=7 (id 1) then t=10
+	// (id 0); the pair they form is reported on THIS request.
+	id, ms, err = c.Add(20, v)
+	if err != nil || id != 2 {
+		t.Fatalf("t=20: id=%d err=%v", id, err)
+	}
+	if len(ms) != 1 || ms[0].X != 0 || ms[0].Y != 1 || ms[0].DT != 3 {
+		t.Fatalf("released match = %+v, want X=0 Y=1 DT=3", ms)
+	}
+}
+
+// TestLatenessRejectsBehindWatermark: an item behind W = maxT − δ gets
+// an ERR reply, the connection survives, and STATS counts the drop.
+func TestLatenessRejectsBehindWatermark(t *testing.T) {
+	s := startServer(t, Config{Lateness: 5, Params: apss.Params{Theta: 0.7, Lambda: 0.01}})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	if _, _, err := c.Add(20, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Add(14, v); err == nil {
+		t.Fatal("item behind the watermark accepted")
+	}
+	if _, _, err := c.Add(16, v); err != nil {
+		t.Fatalf("admissible item after a late one: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil || !strings.Contains(st, "late=1") {
+		t.Fatalf("stats = %q err=%v, want late=1", st, err)
+	}
+}
+
+// TestWatermarkHeartbeat: WM advances the watermark without an item,
+// releasing buffered items (their matches ride on the WM reply), and
+// answers with the new watermark. Stale heartbeats are no-ops.
+func TestWatermarkHeartbeat(t *testing.T) {
+	s := startServer(t, Config{Lateness: 5, Params: apss.Params{Theta: 0.7, Lambda: 0.01}})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	if _, _, err := c.Add(10, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Add(12, v); err != nil {
+		t.Fatal(err)
+	}
+	wm, ms, err := c.Watermark(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 15 {
+		t.Fatalf("watermark = %v, want 15", wm)
+	}
+	if len(ms) != 1 || ms[0].DT != 2 {
+		t.Fatalf("released matches = %+v, want one with DT=2", ms)
+	}
+	// Stale heartbeat: clocks only move forward.
+	wm, ms, err = c.Watermark(3)
+	if err != nil || wm != 15 || len(ms) != 0 {
+		t.Fatalf("stale WM: wm=%v ms=%v err=%v", wm, ms, err)
+	}
+	// The heartbeat floor applies to admission like any clock advance.
+	if _, _, err := c.Add(14, v); err == nil {
+		t.Fatal("item behind the heartbeat watermark accepted")
+	}
+}
+
+// TestWatermarkForeignMinOfSides: on a foreign-join server the
+// watermark is min over both sides' clocks − δ, −Inf until both sides
+// are seen; a WM heartbeat advances both sides at once.
+func TestWatermarkForeignMinOfSides(t *testing.T) {
+	s := startServer(t, Config{Foreign: true, Lateness: 2, Params: apss.Params{Theta: 0.7, Lambda: 0.01}})
+	a := dialT(t, s)
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	if _, ms, err := a.Add(10, v); err != nil || len(ms) != 0 {
+		t.Fatalf("side-A add: ms=%v err=%v", ms, err)
+	}
+	wm, ms, err := a.Watermark(10)
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("WM 10: ms=%v err=%v", ms, err)
+	}
+	if wm != 8 {
+		t.Fatalf("watermark = %v, want 8 (both clocks at 10, δ=2)", wm)
+	}
+	// Advancing past the buffered item releases it; being alone on its
+	// side it matches nothing.
+	wm, ms, err = a.Watermark(15)
+	if err != nil || wm != 13 || len(ms) != 0 {
+		t.Fatalf("WM 15: wm=%v ms=%v err=%v", wm, ms, err)
+	}
+	// A side-B item near the released side-A one pairs with it.
+	b := dialT(t, s)
+	if err := b.Side(apss.SideB); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Add(13.5, v); err != nil {
+		t.Fatal(err)
+	}
+	wm, ms, err = b.Watermark(20)
+	if err != nil || wm != 18 {
+		t.Fatalf("WM 20: wm=%v err=%v", wm, err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("cross-side match missing after release: %v", ms)
+	}
+}
+
+// TestWatermarkRequiresLateness: WM is rejected on a strict-order
+// server, and the connection survives.
+func TestWatermarkRequiresLateness(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	if _, _, err := c.Watermark(10); err == nil {
+		t.Fatal("WM accepted on a strict-order server")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRejectsBadLateness: negative or non-finite δ is a
+// configuration error.
+func TestServerRejectsBadLateness(t *testing.T) {
+	for _, d := range []float64{-1, math.Inf(1), math.NaN()} {
+		if _, err := New(Config{Params: apss.Params{Theta: 0.7, Lambda: 0.1}, Lateness: d}); err == nil {
+			t.Fatalf("Lateness=%v accepted", d)
+		}
 	}
 }

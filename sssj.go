@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"sssj/internal/apss"
 	"sssj/internal/core"
@@ -183,11 +184,42 @@ func (m JoinMode) String() string {
 // Options.validate).
 var ErrUnsupported = errors.New("sssj: unsupported option combination")
 
-// ErrTimeRegression reports an item whose timestamp is smaller than its
-// predecessor's. A stream has one arrival order and every operator's
-// time filtering depends on it, so a regressing item is rejected without
-// touching the index (see Joiner).
+// ErrTimeRegression reports an item whose timestamp falls strictly
+// behind the joiner's event-time watermark. With Options.Lateness zero
+// (the default) the watermark is simply the latest timestamp seen, so
+// this is the classic "timestamps must be non-decreasing" rejection;
+// with Lateness δ > 0 items may arrive up to δ out of order and only
+// items later than that are rejected. The offending item never touches
+// the index and the joiner remains usable.
+//
+// The concrete error is a *TimeRegressionError carrying the item's
+// timestamp and the watermark it fell behind; errors.Is(err,
+// ErrTimeRegression) holds for it.
 var ErrTimeRegression = errors.New("sssj: timestamps must be non-decreasing")
+
+// TimeRegressionError is the structured form of ErrTimeRegression: the
+// rejected item's identity, its timestamp, and the event-time watermark
+// it arrived behind (watermark = latest time seen − Options.Lateness,
+// per side under the foreign join). errors.Is against ErrTimeRegression
+// matches it; errors.As extracts the fields. Each rejection is also
+// counted in Stats.LateDrops.
+type TimeRegressionError struct {
+	// ID is the rejected item's identifier.
+	ID uint64
+	// Time is the rejected item's timestamp.
+	Time float64
+	// Watermark is the event-time watermark Time fell strictly behind.
+	Watermark float64
+}
+
+// Error implements error.
+func (e *TimeRegressionError) Error() string {
+	return fmt.Sprintf("%v: item %d at t=%v behind watermark t=%v",
+		ErrTimeRegression, e.ID, e.Time, e.Watermark)
+}
+
+// Unwrap makes errors.Is(err, ErrTimeRegression) hold.
+func (e *TimeRegressionError) Unwrap() error { return ErrTimeRegression }
 
 // Options is the single configuration surface shared by every operator
 // in the package: the streaming threshold join (New), the top-k
@@ -242,6 +274,78 @@ type Options struct {
 	// vector input carries no sides, and a one-sided neighborhood is not
 	// yet defined).
 	Join JoinMode
+	// Lateness is the bounded event-time lateness δ ≥ 0 (default 0). With
+	// δ > 0, items may arrive up to δ out of timestamp order: the joiner
+	// buffers them in a reorder stage and releases them in event-time
+	// order once the watermark (latest time seen − δ) passes them, so the
+	// match set is bit-identical to the one a perfectly ordered stream
+	// would produce. Items arriving strictly behind the watermark are
+	// rejected with ErrTimeRegression (a *TimeRegressionError) and counted
+	// in Stats.LateDrops. With δ = 0 (the default) the strict
+	// non-decreasing contract applies unchanged, at no buffering cost.
+	// Under the foreign join each side keeps its own event-time clock and
+	// the watermark is the older of the two, so one stream may run ahead
+	// of the other by more than δ without losing items. Supported by the
+	// streaming operators and Resume; the batch and top-k joins reject a
+	// nonzero δ.
+	Lateness float64
+	// Window selects the join's window semantics (default: the paper's
+	// exponential-decay model). See Window and WindowKind for the
+	// tumbling and sliding modes and their support matrix.
+	Window Window
+}
+
+// WindowKind selects the event-time window semantics of the streaming
+// join.
+type WindowKind int
+
+// Window kinds.
+const (
+	// WindowDecay is the paper's model and the default: similarity decays
+	// continuously with the pair's time gap, sim = dot · Kernel(Δt).
+	WindowDecay WindowKind = iota
+	// WindowTumbling cuts the stream into disjoint windows of length
+	// Size, anchored at the first item, and reports every pair inside a
+	// window with dot ≥ θ when the window closes (Sim is the raw dot; no
+	// decay). Matches are delayed up to one window. Runs on any batch
+	// index kind; Workers > 1 and DimOrder are rejected.
+	WindowTumbling
+	// WindowSliding reports every pair at most Size apart with dot ≥ θ,
+	// fully online (Sim is the raw dot; no decay) — the classic
+	// sliding-window join, realized as the streaming framework over the
+	// hard-window kernel. IndexINV and IndexL2 only (the L2AP m̂λ bound
+	// needs exponential decay); Workers, DimOrder, and the foreign join
+	// all compose.
+	WindowSliding
+)
+
+// String implements fmt.Stringer.
+func (k WindowKind) String() string {
+	switch k {
+	case WindowDecay:
+		return "decay"
+	case WindowTumbling:
+		return "tumbling"
+	case WindowSliding:
+		return "sliding"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(k))
+	}
+}
+
+// Window configures the window semantics of the join (see WindowKind).
+// The zero value is the paper's decay model. For the tumbling and
+// sliding kinds, Size is the window length in stream time units and
+// must be positive and finite; Lambda may be left zero (the window
+// defines the horizon) and Kernel must be nil (the window defines the
+// kernel). Window modes run under the Streaming framework's operator
+// surface (New, Join, Matches and friends) only.
+type Window struct {
+	// Kind selects the semantics (default WindowDecay).
+	Kind WindowKind
+	// Size is the window length; required > 0 for the tumbling and
+	// sliding kinds, required 0 for WindowDecay.
+	Size float64
 }
 
 // DimOrder configures the dimension-ordering extension.
@@ -296,6 +400,10 @@ const (
 //	K              top-k only (>= 1); 0 elsewhere
 //	Join foreign   yes                yes           no        yes
 //	               (top-k: no)
+//	Lateness > 0   yes                yes           no        yes
+//	Window         tumbling: any index, workers 1, no DimOrder, no kernel
+//	               sliding:  INV/L2 under STR; workers, DimOrder, foreign OK
+//	               stream op only (top-k, batch, and resume reject both kinds)
 //
 // Batch ignores Framework, Theta, and Lambda (the threshold is an
 // explicit argument and there is no time); Resume ignores Index, Theta,
@@ -321,6 +429,45 @@ func (o Options) validate(mode opMode) error {
 	}
 	if mode != opTopK && o.K != 0 {
 		return fmt.Errorf("%w: K is the top-k neighborhood size; use NewTopK", ErrUnsupported)
+	}
+	if o.Lateness < 0 || math.IsNaN(o.Lateness) || math.IsInf(o.Lateness, 0) {
+		return fmt.Errorf("%w: Lateness must be finite and >= 0, got %v", ErrUnsupported, o.Lateness)
+	}
+	if o.Lateness > 0 && (mode == opTopK || mode == opBatch) {
+		return fmt.Errorf("%w: Lateness applies to the streaming joins only", ErrUnsupported)
+	}
+	switch o.Window.Kind {
+	case WindowDecay:
+		if o.Window.Size != 0 {
+			return fmt.Errorf("%w: Window.Size is set but Window.Kind is the decay default", ErrUnsupported)
+		}
+	case WindowTumbling, WindowSliding:
+		if !(o.Window.Size > 0) || math.IsInf(o.Window.Size, 1) {
+			return fmt.Errorf("%w: %v window needs finite Size > 0, got %v", ErrUnsupported, o.Window.Kind, o.Window.Size)
+		}
+		if mode != opStream {
+			return fmt.Errorf("%w: window modes exist only for the streaming threshold join", ErrUnsupported)
+		}
+		if o.Framework != Streaming {
+			return fmt.Errorf("%w: window modes run on the Streaming operator surface (MiniBatch has its own windows)", ErrUnsupported)
+		}
+		if o.Kernel != nil {
+			return fmt.Errorf("%w: a window mode defines its own kernel", ErrUnsupported)
+		}
+		if o.Window.Kind == WindowSliding {
+			if o.Index != IndexINV && o.Index != IndexL2 {
+				return fmt.Errorf("%w: the sliding window runs on IndexINV or IndexL2 (the L2AP m̂λ bound needs exponential decay)", ErrUnsupported)
+			}
+		} else {
+			if o.Workers > 1 {
+				return fmt.Errorf("%w: the tumbling window is a per-window batch join; Workers > 1 is not supported", ErrUnsupported)
+			}
+			if o.DimOrder.Strategy != OrderNone {
+				return fmt.Errorf("%w: the tumbling window does not support DimOrder", ErrUnsupported)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown window kind %v", ErrUnsupported, o.Window.Kind)
 	}
 	switch mode {
 	case opBatch:
@@ -351,7 +498,12 @@ func (o Options) validate(mode opMode) error {
 		switch o.Index {
 		case IndexINV, IndexL2AP, IndexL2:
 		case IndexAP:
-			return fmt.Errorf("%w: STR-AP (paper §5.2 omits it as impractical)", ErrUnsupported)
+			// The tumbling window is a per-window batch join, where AP is
+			// fine (as under MiniBatch); only the true streaming index
+			// lacks it.
+			if o.Window.Kind != WindowTumbling {
+				return fmt.Errorf("%w: STR-AP (paper §5.2 omits it as impractical)", ErrUnsupported)
+			}
 		default:
 			return fmt.Errorf("%w: unknown index %v", ErrUnsupported, o.Index)
 		}
@@ -407,29 +559,81 @@ type Joiner struct {
 	inner  core.SinkJoiner
 	params Params
 	opts   Options
-	lastT  float64
-	begun  bool
+	// reo is the event-time admission stage: with Options.Lateness 0 it
+	// is a zero-buffer strict-order check, with δ > 0 a bounded reorder
+	// buffer releasing items behind the watermark (see Options.Lateness).
+	reo *stream.Reorder
 }
 
 // New builds a Joiner.
 func New(opts Options) (*Joiner, error) {
-	params := Params{Theta: opts.Theta, Lambda: opts.Lambda}
-	if err := params.Validate(); err != nil {
+	if err := opts.validate(opStream); err != nil {
 		return nil, err
 	}
-	if err := opts.validate(opStream); err != nil {
+	params, err := paramsFor(opts)
+	if err != nil {
 		return nil, err
 	}
 	inner, err := buildJoiner(opts, params)
 	if err != nil {
 		return nil, err
 	}
-	return &Joiner{inner: inner, params: params, opts: opts}, nil
+	return &Joiner{inner: inner, params: params, opts: opts, reo: newReorderFor(opts)}, nil
+}
+
+// paramsFor derives the effective (θ, λ) of an already-validated
+// Options value. Window modes have no decay, so λ may be left zero;
+// it is synthesized so the shared Params invariants hold and
+// Params.Horizon() equals the window size.
+func paramsFor(opts Options) (Params, error) {
+	params := Params{Theta: opts.Theta, Lambda: opts.Lambda}
+	if opts.Window.Kind != WindowDecay && params.Lambda == 0 {
+		if params.Theta == 1 {
+			params.Lambda = 1 / opts.Window.Size
+		} else {
+			params.Lambda = math.Log(1/params.Theta) / opts.Window.Size
+		}
+	}
+	if err := params.Validate(); err != nil {
+		return Params{}, err
+	}
+	return params, nil
+}
+
+// newReorderFor builds the joiner's event-time admission stage. The
+// foreign join gets per-side clocks only when a reorder window is
+// actually open (δ > 0): at δ = 0 the sided watermark would stall on
+// the unseen side, while the strict single-clock check is exactly the
+// interleaved-stream contract the foreign join documents.
+func newReorderFor(opts Options) *stream.Reorder {
+	if opts.Join == JoinForeign && opts.Lateness > 0 {
+		return stream.NewSidedReorder(opts.Lateness)
+	}
+	return stream.NewReorder(opts.Lateness)
 }
 
 // buildJoiner constructs the framework × index combination of an
 // already-validated Options value.
 func buildJoiner(opts Options, params Params) (core.SinkJoiner, error) {
+	switch opts.Window.Kind {
+	case WindowTumbling:
+		var kind static.Kind
+		switch opts.Index {
+		case IndexINV:
+			kind = static.INV
+		case IndexAP:
+			kind = static.AP
+		case IndexL2AP:
+			kind = static.L2AP
+		default:
+			kind = static.L2
+		}
+		return core.NewTumbling(kind, params.Theta, opts.Window.Size, opts.Stats, opts.Join == JoinForeign)
+	case WindowSliding:
+		// The sliding window is STR over the hard-window kernel: same
+		// engine, same bounds, factor 1 inside the window and 0 outside.
+		opts.Kernel = SlidingWindow{Tau: opts.Window.Size}
+	}
 	switch opts.Framework {
 	case Streaming:
 		var kind streaming.Kind
@@ -526,9 +730,13 @@ func (j *Joiner) IndexSize() (IndexSize, bool) {
 func (j *Joiner) Horizon() float64 { return horizonFor(j.opts, j.params) }
 
 // horizonFor is the one place the kernel-vs-params horizon rule lives:
-// a custom kernel defines its own horizon, otherwise τ = ln(1/θ)/λ.
-// Both the threshold join and top-k finalization derive from it.
+// a window mode's horizon is the window size, a custom kernel defines
+// its own horizon, otherwise τ = ln(1/θ)/λ. Both the threshold join and
+// top-k finalization derive from it.
 func horizonFor(opts Options, params Params) float64 {
+	if opts.Window.Kind != WindowDecay {
+		return opts.Window.Size
+	}
 	if opts.Kernel != nil {
 		return opts.Kernel.Horizon(params.Theta)
 	}
