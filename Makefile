@@ -6,7 +6,7 @@ GO ?= go
 # letting coverage rot unnoticed.
 COVER_FLOOR ?= 85
 
-.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate fuzz-smoke cover clean
+.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate fuzz-smoke cluster-smoke cover clean
 
 # verify is the tier-1 gate: everything CI runs, from a clean checkout.
 verify: vet build race
@@ -58,15 +58,27 @@ bench-gate:
 	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
 
 # fuzz-smoke runs the metamorphic fuzz targets — foreign-vs-self-join
-# parity and reorder-vs-sorted parity — for a short burst each on top of
-# their committed seed corpora (testdata/fuzz/…): a CI pass that keeps
-# hunting for oracle violations without the cost of a long fuzzing
-# campaign. `go test -fuzz` takes one target per run, hence two commands
-# of $(FUZZTIME) each.
+# parity, reorder-vs-sorted parity, and cluster-vs-sequential parity —
+# for a short burst each on top of their committed seed corpora
+# (testdata/fuzz/…): a CI pass that keeps hunting for oracle violations
+# without the cost of a long fuzzing campaign. `go test -fuzz` takes one
+# target per run, hence one command of $(FUZZTIME) each.
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzForeignSelfParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzReorderParity -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzClusterParity -fuzztime $(FUZZTIME) .
+
+# cluster-smoke is the process-level cluster parity check: it builds the
+# real binaries, boots 2 sssjd shard workers + 1 sssjc coordinator (plus
+# a single-process reference daemon) as separate OS processes on
+# loopback, streams the self-join and foreign workloads through the
+# coordinator, and fails unless the match sets are bit-identical to the
+# single process. Runs in CI's test job.
+cluster-smoke:
+	$(GO) build -o bin/sssjd ./cmd/sssjd
+	$(GO) build -o bin/sssjc ./cmd/sssjc
+	$(GO) run ./scripts/clustersmoke -sssjd bin/sssjd -sssjc bin/sssjc
 
 # cover enforces the statement-coverage floor and leaves coverage.out
 # for the CI artifact upload.

@@ -1,0 +1,71 @@
+package sssj
+
+import (
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/cluster"
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+)
+
+// FuzzClusterParity fuzzes the cluster-tier oracle: for a derived
+// stream and a fuzz-chosen index × join mode × worker count, an
+// in-process cluster (real loopback servers behind the coordinator)
+// must reproduce the sequential engine bit for bit — the end-to-end
+// guarantee the deployment mode advertises, including the line
+// protocol's float round trip.
+func FuzzClusterParity(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(42), uint8(1), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(2), uint8(2), uint8(2))
+	f.Add(uint64(1234), uint8(4), uint8(1), uint8(1))
+	f.Add(uint64(99), uint8(5), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, cfg, thetaSel, workerSel uint8) {
+		items := fuzzForeignItems(seed, 50)
+		if len(items) == 0 {
+			return
+		}
+		theta := []float64{0.5, 0.7, 0.9}[int(thetaSel)%3]
+		kind := []streaming.Kind{streaming.INV, streaming.L2, streaming.L2AP}[int(cfg)%3]
+		foreign := cfg%6 >= 3
+		if !foreign {
+			for i := range items {
+				items[i].Side = SideA
+			}
+		}
+		workers := []int{1, 2, 4}[int(workerSel)%3]
+		p := apss.Params{Theta: theta, Lambda: 0.1}
+
+		oracle, err := core.NewSTRFull(kind, p, streaming.Options{Foreign: foreign})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []apss.Match
+		for _, it := range items {
+			ms, err := oracle.Add(it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, ms...)
+		}
+
+		cl, err := cluster.StartLocal(kind, p, cluster.LocalOptions{Workers: workers, Foreign: foreign})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		var got []apss.Match
+		for _, it := range items {
+			ms, err := cl.Add(it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, ms...)
+		}
+		if !apss.EqualMatchSets(got, want, 0) {
+			t.Fatalf("cluster ≠ sequential: %d vs %d matches (seed %d cfg %d θ %v workers %d)",
+				len(got), len(want), seed, cfg, theta, workers)
+		}
+	})
+}

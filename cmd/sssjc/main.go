@@ -1,0 +1,168 @@
+// Command sssjc is the cluster coordinator: it fronts N sssjd worker
+// processes (started with -shard i/N) and serves the standard sssjd line
+// protocol on its own port, with output bit-identical to one
+// single-process daemon over the same stream.
+//
+// A 2-worker loopback cluster:
+//
+//	sssjd -addr 127.0.0.1:7411 -shard 0/2 -theta 0.7 &
+//	sssjd -addr 127.0.0.1:7412 -shard 1/2 -theta 0.7 &
+//	sssjc -addr 127.0.0.1:7407 -workers 127.0.0.1:7411,127.0.0.1:7412 -theta 0.7 &
+//	printf 'ADD 0 1:1 2:1\nADD 1 1:1 2:1\nQUIT\n' | nc localhost 7407
+//
+// For demos and smoke tests, -spawn N boots the N shard workers inside
+// the coordinator process instead (no separate sssjd invocations).
+//
+// The coordinator owns the stream: ID assignment, the time-order
+// contract, and — with -lateness δ — the bounded reorder stage plus the
+// WM heartbeat, which fans out to the workers as engine barriers.
+// -theta/-lambda/-index/-join must match the worker daemons' flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/cluster"
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sssjc:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the coordinator daemon; ready (if non-nil) receives the
+// bound address once listening, which tests use to connect.
+func run(args []string, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sssjc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7407", "listen address")
+		theta    = fs.Float64("theta", 0.7, "similarity threshold in (0,1]")
+		lambda   = fs.Float64("lambda", 0.01, "time-decay factor > 0")
+		index    = fs.String("index", "L2", "streaming index every worker runs: L2, INV, or L2AP")
+		join     = fs.String("join", "self", "join mode: self, or foreign (clients tag streams with SIDE A|B)")
+		lateness = fs.Float64("lateness", 0, "event-time lateness bound: accept ADDs up to this far behind the newest timestamp, and enable WM")
+		workers  = fs.String("workers", "", "comma-separated sssjd worker addresses; worker i must run -shard i/N")
+		spawn    = fs.Int("spawn", 0, "boot N in-process shard workers instead of connecting to -workers")
+		quiet    = fs.Bool("quiet", false, "suppress connection logging")
+		dialTO   = fs.Duration("dial-timeout", 2*time.Second, "per-attempt worker dial timeout")
+		ioTO     = fs.Duration("io-timeout", 30*time.Second, "per-request worker I/O deadline (0 = none)")
+		retries  = fs.Int("dial-retries", 5, "extra dial attempts per worker (exponential backoff)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var foreign bool
+	switch *join {
+	case "self":
+	case "foreign":
+		foreign = true
+	default:
+		return fmt.Errorf("unknown join mode %q", *join)
+	}
+	var kind streaming.Kind
+	switch *index {
+	case "L2":
+		kind = streaming.L2
+	case "INV":
+		kind = streaming.INV
+	case "L2AP":
+		kind = streaming.L2AP
+	default:
+		return fmt.Errorf("unknown index %q", *index)
+	}
+	addrs := strings.FieldsFunc(*workers, func(r rune) bool { return r == ',' })
+	if (len(addrs) == 0) == (*spawn == 0) {
+		return fmt.Errorf("need exactly one of -workers or -spawn")
+	}
+	params := apss.Params{Theta: *theta, Lambda: *lambda}
+	dialer := server.Dialer{DialTimeout: *dialTO, IOTimeout: *ioTO, Retries: *retries}
+
+	// The hosting server owns the public stream exactly like sssjd: ID
+	// assignment and (with -lateness) the reorder stage + WM. Its joiner
+	// is the coordinator, which always runs its workers at δ = 0.
+	var closer io.Closer
+	cfg := server.Config{
+		Params:   params,
+		Foreign:  foreign,
+		Lateness: *lateness,
+		NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+			if *spawn > 0 {
+				l, err := cluster.StartLocal(kind, p, cluster.LocalOptions{
+					Workers: *spawn,
+					Foreign: foreign,
+					Dialer:  dialer,
+				})
+				if err != nil {
+					return nil, err
+				}
+				closer = l
+				return l, nil
+			}
+			coord, err := cluster.Connect(cluster.Config{
+				Kind:    kind,
+				Params:  p,
+				Workers: addrs,
+				Foreign: foreign,
+				Dialer:  dialer,
+			})
+			if err != nil {
+				return nil, err
+			}
+			closer = coord
+			return coord, nil
+		},
+	}
+	logger := log.New(stderr, "sssjc: ", log.LstdFlags)
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if closer != nil {
+			closer.Close()
+		}
+	}()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	n := len(addrs)
+	if *spawn > 0 {
+		n = *spawn
+	}
+	logger.Printf("listening on %s (theta=%g lambda=%g index=%s join=%s lateness=%g workers=%d spawn=%v)",
+		ln.Addr(), *theta, *lambda, *index, *join, *lateness, n, *spawn > 0)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logger.Printf("shutting down")
+		s.Close()
+	}()
+	return s.Serve(ln)
+}

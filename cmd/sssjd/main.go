@@ -17,6 +17,12 @@
 // accepts the WM event-time heartbeat; -window tumbling:SIZE or
 // -window sliding:SIZE replaces exponential decay with a window join
 // (-lambda is then ignored).
+//
+// With -shard i/N the daemon runs as cluster worker i of N: its engine
+// stores only dimensions d with d mod N == i, and a coordinator (sssjc)
+// feeds it over the PUT/ADV protocol extensions. Worker daemons keep the
+// strict ordering contract, so -shard excludes -lateness, -window, and
+// -workers (the in-process sharding).
 package main
 
 import (
@@ -39,6 +45,30 @@ import (
 	"sssj/internal/metrics"
 	"sssj/internal/server"
 )
+
+// parseShard parses the -shard flag: "" (standalone), or "i/N" selecting
+// cluster worker i of N.
+func parseShard(s string) (streaming.Shard, error) {
+	if s == "" {
+		return streaming.Shard{}, nil
+	}
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return streaming.Shard{}, fmt.Errorf(`bad -shard %q, want "i/N"`, s)
+	}
+	id, err := strconv.Atoi(s[:slash])
+	if err != nil {
+		return streaming.Shard{}, fmt.Errorf("bad shard id %q", s[:slash])
+	}
+	n, err := strconv.Atoi(s[slash+1:])
+	if err != nil {
+		return streaming.Shard{}, fmt.Errorf("bad shard count %q", s[slash+1:])
+	}
+	if n < 1 || id < 0 || id >= n {
+		return streaming.Shard{}, fmt.Errorf("bad -shard %q: want 0 <= i < N", s)
+	}
+	return streaming.Shard{ID: id, N: n}, nil
+}
 
 // parseWindow parses the -window flag: "" (decay), or "KIND:SIZE" with
 // KIND tumbling or sliding and SIZE a positive finite duration.
@@ -83,9 +113,25 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		join     = fs.String("join", "self", "join mode: self, or foreign (clients tag streams with SIDE A|B)")
 		lateness = fs.Float64("lateness", 0, "event-time lateness bound: accept ADDs up to this far behind the newest timestamp, and enable WM")
 		window   = fs.String("window", "", `window mode replacing exponential decay: "tumbling:SIZE" or "sliding:SIZE"`)
+		shardArg = fs.String("shard", "", `run as cluster worker "i/N": index only dimensions d with d mod N == i (fed by sssjc)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	shard, err := parseShard(*shardArg)
+	if err != nil {
+		return err
+	}
+	if shard != (streaming.Shard{}) {
+		if *window != "" {
+			return fmt.Errorf("-shard runs the streaming cluster worker engine; -window is not supported")
+		}
+		if *work > 1 {
+			return fmt.Errorf("-shard is the cluster sharding; combine it with -workers <= 1")
+		}
+		if *lateness > 0 {
+			return fmt.Errorf("-shard workers keep strict ordering (the coordinator owns reordering); -lateness must be 0")
+		}
 	}
 	var foreign bool
 	switch *join {
@@ -131,7 +177,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 			return fmt.Errorf("unknown index %q", *index)
 		}
 		cfg.NewJoiner = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
-			return core.NewSTRFull(kind, p, streaming.Options{Counters: c, Workers: *work, Foreign: foreign})
+			return core.NewSTRFull(kind, p, streaming.Options{Counters: c, Workers: *work, Foreign: foreign, Shard: shard})
 		}
 	case "tumbling":
 		if *work > 1 {
@@ -183,8 +229,8 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g workers=%d join=%s lateness=%g window=%q)",
-		ln.Addr(), *theta, params.Lambda, *index, cfg.Params.Horizon(), *work, *join, *lateness, *window)
+	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g workers=%d join=%s lateness=%g window=%q shard=%q)",
+		ln.Addr(), *theta, params.Lambda, *index, cfg.Params.Horizon(), *work, *join, *lateness, *window, *shardArg)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

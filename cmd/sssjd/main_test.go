@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"sssj/internal/apss"
 	"sssj/internal/server"
 	"sssj/internal/vec"
 )
@@ -136,5 +137,72 @@ func TestDaemonBadLatenessAndWindow(t *testing.T) {
 		if err := run(args, &buf, nil); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+// TestDaemonShardFlags: -shard validation, and a shard worker daemon
+// end-to-end: it accepts the cluster PUT/ADV commands and only indexes
+// its owned dimensions.
+func TestDaemonShardFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-shard", "2"},
+		{"-shard", "x/2"},
+		{"-shard", "2/2"},
+		{"-shard", "-1/2"},
+		{"-shard", "0/0"},
+		{"-shard", "0/2", "-window", "tumbling:10"},
+		{"-shard", "0/2", "-workers", "4"},
+		{"-shard", "0/2", "-lateness", "5"},
+	} {
+		if err := run(args, &buf, nil); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-quiet", "-shard", "0/2"}, &buf, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dims 2 and 4 belong to shard 0 of 2; the worker indexes and matches.
+	v := vec.MustNew([]uint32{2, 4}, []float64{1, 1}).Normalize()
+	if _, err := c.Put(0, apss.SideA, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.Put(1, apss.SideA, 1, v)
+	if err != nil || len(ms) != 1 || ms[0].X != 1 || ms[0].Y != 0 {
+		t.Fatalf("shard worker match: %v %v", ms, err)
+	}
+	// ADV moves the worker clock: an earlier PUT is now rejected.
+	if _, err := c.Advance(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(2, apss.SideA, 10, v); err == nil {
+		t.Fatal("PUT behind ADV barrier accepted")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
 	}
 }

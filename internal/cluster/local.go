@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"net"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/server"
+)
+
+// LocalOptions configures an in-process cluster.
+type LocalOptions struct {
+	// Workers is the cluster width N; 0 defaults to 2.
+	Workers int
+	// Foreign selects the two-stream foreign join.
+	Foreign bool
+	// Lateness is the coordinator's event-time lateness bound δ.
+	Lateness float64
+	// Dialer overrides the worker-connection dialer; the zero value gets
+	// a conservative default (1s dial, 30s I/O, 3 retries).
+	Dialer server.Dialer
+}
+
+// Local is a self-contained in-process cluster: N worker servers on
+// loopback ports plus a Coordinator fronting them. It exists for tests
+// and the harness; production workers are separate sssjd processes.
+type Local struct {
+	*Coordinator
+	servers []*server.Server
+}
+
+// StartLocal boots N shard-engine worker servers on 127.0.0.1:0 and
+// connects a coordinator to them.
+func StartLocal(kind streaming.Kind, params apss.Params, opts LocalOptions) (*Local, error) {
+	n := opts.Workers
+	if n == 0 {
+		n = 2
+	}
+	dialer := opts.Dialer
+	if dialer == (server.Dialer{}) {
+		dialer = server.Dialer{DialTimeout: time.Second, IOTimeout: 30 * time.Second, Retries: 3}
+	}
+	l := &Local{}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		shard := streaming.Shard{ID: i, N: n}
+		srv, err := server.New(server.Config{
+			Params:  params,
+			Foreign: opts.Foreign,
+			NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+				return core.NewSTRFull(kind, p, streaming.Options{
+					Counters: c,
+					Foreign:  opts.Foreign,
+					Shard:    shard,
+				})
+			},
+		})
+		if err != nil {
+			l.stopServers()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			l.stopServers()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		l.servers = append(l.servers, srv)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	coord, err := Connect(Config{
+		Kind:     kind,
+		Params:   params,
+		Workers:  addrs,
+		Foreign:  opts.Foreign,
+		Lateness: opts.Lateness,
+		Dialer:   dialer,
+	})
+	if err != nil {
+		l.stopServers()
+		return nil, err
+	}
+	l.Coordinator = coord
+	return l, nil
+}
+
+// StopWorker shuts down worker i's server in place — the failure-path
+// tests' way of killing a worker mid-stream.
+func (l *Local) StopWorker(i int) { l.servers[i].Close() }
+
+func (l *Local) stopServers() {
+	for _, s := range l.servers {
+		s.Close()
+	}
+}
+
+// Close disconnects the coordinator and stops every worker server.
+func (l *Local) Close() error {
+	err := l.Coordinator.Close()
+	l.stopServers()
+	return err
+}

@@ -10,9 +10,11 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"sssj/internal/apss"
+	"sssj/internal/cluster"
 	"sssj/internal/core"
 	"sssj/internal/datagen"
 	"sssj/internal/index/static"
@@ -155,6 +157,13 @@ type RunOpts struct {
 	// Lateness is the reorder stage's lateness bound δ; used only with
 	// Reorder.
 	Lateness float64
+	// Cluster, when > 0, measures the multi-process tier instead of an
+	// in-process joiner: an in-process cluster of Cluster shard-engine
+	// worker servers on loopback behind a coordinator
+	// (internal/cluster.StartLocal). STR only. The measured loop then
+	// includes the full line-protocol round trip per item — the cluster
+	// scenarios are deployment-shape measurements, not engine ones.
+	Cluster int
 }
 
 // ShuffleSeed seeds the within-δ input perturbation of Reorder runs: one
@@ -198,9 +207,18 @@ func RunOneOpts(items []stream.Item, dataset, framework, index string, p apss.Pa
 		Lambda:    p.Lambda,
 		Tau:       p.Horizon(),
 	}
-	j, err := newJoiner(framework, index, p, &res.Stats, o.Workers, o.Foreign)
+	var j core.Joiner
+	var err error
+	if o.Cluster > 0 {
+		j, err = newClusterJoiner(framework, index, p, o)
+	} else {
+		j, err = newJoiner(framework, index, p, &res.Stats, o.Workers, o.Foreign)
+	}
 	if err != nil {
 		return res
+	}
+	if cl, ok := j.(io.Closer); ok {
+		defer cl.Close()
 	}
 	// Count matches through the sink path: the measured loop then runs
 	// the same zero-copy delivery the production entry points use, with
@@ -285,7 +303,40 @@ func RunOneOpts(items []stream.Item, dataset, framework, index string, p apss.Pa
 	if sz, ok := j.(interface{ IndexSize() streaming.SizeInfo }); ok {
 		res.IndexSize = sz.IndexSize()
 	}
+	// A joiner that aggregates its own counters (the cluster coordinator
+	// sums its workers') overrides the locally threaded ones.
+	if sp, ok := j.(interface {
+		Stats() (metrics.Counters, error)
+	}); ok {
+		if c, err := sp.Stats(); err == nil {
+			res.Stats = c
+		}
+	}
 	return res
+}
+
+// newClusterJoiner boots the in-process cluster tier for a measured run:
+// o.Cluster shard-engine worker servers on loopback ports behind a
+// coordinator. The caller closes the returned joiner.
+func newClusterJoiner(framework, index string, p apss.Params, o RunOpts) (core.Joiner, error) {
+	if framework != FrameworkSTR {
+		return nil, fmt.Errorf("harness: cluster runs require the STR framework, got %q", framework)
+	}
+	var k streaming.Kind
+	switch index {
+	case "INV":
+		k = streaming.INV
+	case "L2AP":
+		k = streaming.L2AP
+	case "L2":
+		k = streaming.L2
+	default:
+		return nil, fmt.Errorf("harness: unknown index %q", index)
+	}
+	return cluster.StartLocal(k, p, cluster.LocalOptions{
+		Workers: o.Cluster,
+		Foreign: o.Foreign,
+	})
 }
 
 // Datasets materializes the four profiles at the configured scale.

@@ -1,0 +1,268 @@
+package streaming
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/dimorder"
+	"sssj/internal/stream"
+)
+
+// shardTargets routes one item the way the cluster coordinator does:
+// L2AP/AP items are broadcast to every worker (the monotone max vector
+// must observe the full stream), INV/L2 items go to the workers owning
+// at least one of their dimensions.
+func shardTargets(kind Kind, n int, it stream.Item) []int {
+	if kind == L2AP || kind == AP {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]bool, n)
+	var out []int
+	for _, d := range it.Vec.Dims {
+		w := int(d % uint32(n))
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// runShardCluster drives items through an n-worker group of shard
+// engines with coordinator-style routing, deduplicating each item's
+// matches by candidate ID across workers. It returns the merged stream
+// and the number of duplicate emissions removed — the parity tests
+// assert the dedup path is actually exercised.
+func runShardCluster(t *testing.T, kind Kind, p apss.Params, n int, foreign bool, items []stream.Item) ([]apss.Match, int) {
+	t.Helper()
+	workers := make([]Index, n)
+	for i := range workers {
+		ix, err := New(kind, p, Options{Shard: Shard{ID: i, N: n}, Foreign: foreign})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = ix
+	}
+	var out []apss.Match
+	dups := 0
+	for _, it := range items {
+		seen := make(map[uint64]bool)
+		for _, w := range shardTargets(kind, n, it) {
+			ms, err := workers[w].Add(it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range ms {
+				if seen[m.Y] {
+					dups++
+					continue
+				}
+				seen[m.Y] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out, dups
+}
+
+// TestShardClusterParity: for every kind, an n-worker group of shard
+// engines under coordinator routing must emit exactly the sequential
+// engine's matches with bit-identical similarities — including INV,
+// whose worker recomputes the full dot in the sequential accumulation
+// order (unlike the in-process parInv, which merges per-shard sums).
+func TestShardClusterParity(t *testing.T) {
+	for _, kind := range []Kind{INV, L2, L2AP, AP} {
+		for _, p := range []apss.Params{
+			{Theta: 0.5, Lambda: 0.05},
+			{Theta: 0.7, Lambda: 0.01},
+			{Theta: 0.9, Lambda: 0.2},
+		} {
+			for seed := int64(0); seed < 3; seed++ {
+				items := fuzzItems(seed, 350)
+				want := runKind(t, kind, p, Options{}, items)
+				for _, n := range []int{1, 2, 3, 4} {
+					t.Run(fmt.Sprintf("%v/theta=%g/lambda=%g/seed=%d/n=%d", kind, p.Theta, p.Lambda, seed, n), func(t *testing.T) {
+						got, dups := runShardCluster(t, kind, p, n, false, items)
+						if !equalMatchesExact(got, want) {
+							t.Fatalf("shard cluster diverged: %d vs %d matches", len(got), len(want))
+						}
+						// With several workers and a narrow vocabulary,
+						// duplicate discovery must occur — otherwise the
+						// dedup contract is vacuous here.
+						if n >= 2 && kind != L2AP && kind != AP && p.Theta == 0.5 && len(want) > 20 && dups == 0 {
+							t.Fatalf("no duplicate emissions across %d workers; dedup untested", n)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestShardForeignParity: the shard-engine group under the foreign join
+// must equal the sequential foreign engine bit for bit.
+func TestShardForeignParity(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.05}
+	for _, kind := range []Kind{INV, L2, L2AP} {
+		items := fuzzItems(5, 300)
+		for i := range items {
+			if i%2 == 1 {
+				items[i].Side = apss.SideB
+			}
+		}
+		want := runKind(t, kind, p, Options{Foreign: true}, items)
+		if len(want) == 0 {
+			t.Fatalf("%v: foreign oracle vacuous", kind)
+		}
+		for _, n := range []int{2, 4} {
+			got, _ := runShardCluster(t, kind, p, n, true, items)
+			if !equalMatchesExact(got, want) {
+				t.Fatalf("%v/n=%d: foreign shard cluster diverged: %d vs %d", kind, n, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestShardAdvanceBarrier: watermark barriers broadcast to every worker
+// (as the coordinator does after each WM) must keep the group's output
+// identical to a sequential engine receiving the same barriers.
+func TestShardAdvanceBarrier(t *testing.T) {
+	p := apss.Params{Theta: 0.6, Lambda: 0.1}
+	for _, kind := range []Kind{INV, L2, L2AP} {
+		items := fuzzItems(9, 200)
+		seq, err := New(kind, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 3
+		workers := make([]Index, n)
+		for i := range workers {
+			ix, err := New(kind, p, Options{Shard: Shard{ID: i, N: n}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers[i] = ix
+		}
+		var want, got []apss.Match
+		for k, it := range items {
+			ms, err := seq.Add(it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, ms...)
+			seen := make(map[uint64]bool)
+			for _, w := range shardTargets(kind, n, it) {
+				wms, err := workers[w].Add(it)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range wms {
+					if !seen[m.Y] {
+						seen[m.Y] = true
+						got = append(got, m)
+					}
+				}
+			}
+			if k%17 == 16 && k+1 < len(items) {
+				// Stay at or below the next arrival so the barrier's
+				// no-earlier-item promise holds.
+				barrier := it.Time + (items[k+1].Time-it.Time)/2
+				if err := seq.(Advancer).Advance(barrier); err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range workers {
+					if err := w.(Advancer).Advance(barrier); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		if !equalMatchesExact(got, want) {
+			t.Fatalf("%v: barrier run diverged: %d vs %d", kind, len(got), len(want))
+		}
+	}
+}
+
+// TestShardOptionValidation pins the Shard column of the decision
+// table.
+func TestShardOptionValidation(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	for _, bad := range []Options{
+		{Shard: Shard{ID: 2, N: 2}},
+		{Shard: Shard{ID: -1, N: 2}},
+		{Shard: Shard{ID: 1, N: 0}},
+		{Shard: Shard{ID: 0, N: 2}, Workers: 4},
+		{Shard: Shard{ID: 0, N: 2}, Ablations: Ablations{NoRemscore: true}},
+		{Shard: Shard{ID: 0, N: 2}, Order: WarmupOrder{Strategy: dimorder.DocFreqAsc, Items: 4}},
+	} {
+		if _, err := New(L2, p, bad); !errors.Is(err, ErrShard) {
+			t.Fatalf("options %+v: want ErrShard, got %v", bad, err)
+		}
+	}
+	for _, kind := range []Kind{INV, L2, L2AP, AP} {
+		ix, err := New(kind, p, Options{Shard: Shard{ID: 1, N: 3}})
+		if err != nil {
+			t.Fatalf("%v: valid shard options rejected: %v", kind, err)
+		}
+		if _, ok := ix.(SinkIndex); !ok {
+			t.Fatalf("%v: shard index is not a SinkIndex", kind)
+		}
+		if _, ok := ix.(Advancer); !ok {
+			t.Fatalf("%v: shard index is not an Advancer", kind)
+		}
+	}
+	// L2AP on a non-exponential kernel is rejected in shard mode too.
+	if _, err := New(L2AP, p, Options{Shard: Shard{ID: 0, N: 2}, Kernel: apss.SlidingWindow{Tau: 5}}); !errors.Is(err, ErrKernel) {
+		t.Fatal("shard L2AP accepted a non-exponential kernel")
+	}
+}
+
+// TestShardSizeParams: shard indexes report their own occupancy (owned
+// posting lists, full residual set) and the configured params, for both
+// the INV and the engine-backed shards.
+func TestShardSizeParams(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	items := fuzzItems(3, 40)
+	for _, kind := range []Kind{INV, L2, L2AP} {
+		var total int
+		for i := 0; i < 2; i++ {
+			ix, err := New(kind, p, Options{Shard: Shard{ID: i, N: 2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ix.Params(); got != p {
+				t.Fatalf("%v shard %d: Params = %+v, want %+v", kind, i, got, p)
+			}
+			for _, it := range items {
+				if _, err := ix.Add(it); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sz := ix.Size()
+			if sz.Residuals == 0 || sz.PostingEntries == 0 || sz.Lists == 0 {
+				t.Fatalf("%v shard %d: degenerate SizeInfo %+v", kind, i, sz)
+			}
+			total += sz.PostingEntries
+		}
+		// Dimension sharding partitions the postings: the shards together
+		// hold exactly one entry per (item, dimension).
+		seq, err := New(kind, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			if _, err := seq.Add(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want := seq.Size().PostingEntries; total != want {
+			t.Fatalf("%v: shards hold %d posting entries, sequential %d", kind, total, want)
+		}
+	}
+}

@@ -87,6 +87,13 @@ type Options struct {
 	// the parallel engines emit the same match set (see parallel.go).
 	// Ablations require the sequential engines.
 	Workers int
+	// Shard configures the index as one worker of an N-way
+	// dimension-sharded cluster group (see the Shard type and shard.go):
+	// posting entries are stored only for owned dimensions, admission
+	// uses the shard-local bounds of parallel.go, and verification is
+	// always exact. Mutually exclusive with Workers > 1, Ablations, and
+	// Order; the zero value disables shard mode.
+	Shard Shard
 	// Foreign switches the index from a self-join to a two-stream
 	// foreign join A ⋈ B: each item carries a stream.Item.Side tag, and
 	// only cross-side pairs are admitted as candidates and emitted.
@@ -188,6 +195,9 @@ var ErrKernel = errors.New("streaming: unsupported decay kernel for scheme")
 // ErrWorkers reports an invalid Workers configuration.
 var ErrWorkers = errors.New("streaming: invalid Workers configuration")
 
+// ErrShard reports an invalid Shard (cluster-worker) configuration.
+var ErrShard = errors.New("streaming: invalid Shard configuration")
+
 // New builds a streaming index of the given kind. Every returned index
 // also implements SinkIndex, the push-based reporting path.
 func New(kind Kind, params apss.Params, opts Options) (Index, error) {
@@ -207,6 +217,33 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 	kernel := opts.Kernel
 	if kernel == nil {
 		kernel = apss.Exponential{Lambda: params.Lambda}
+	}
+	if opts.Shard != (Shard{}) {
+		if !opts.Shard.enabled() || opts.Shard.ID < 0 || opts.Shard.ID >= opts.Shard.N {
+			return nil, fmt.Errorf("%w: Shard.ID must be in [0, Shard.N), got %d/%d", ErrShard, opts.Shard.ID, opts.Shard.N)
+		}
+		if opts.Workers > 1 {
+			return nil, fmt.Errorf("%w: a cluster worker is a single shard; combine with Workers <= 1", ErrShard)
+		}
+		if opts.Ablations != (Ablations{}) {
+			return nil, fmt.Errorf("%w: ablations require the sequential engine", ErrShard)
+		}
+		if opts.Order != (WarmupOrder{}) {
+			return nil, fmt.Errorf("%w: dimension-ordering warmup is not supported on a cluster worker", ErrShard)
+		}
+		switch kind {
+		case INV:
+			return newShardInv(params, kernel, opts.Shard, opts.Foreign, c), nil
+		case L2:
+			return newShardEngine(params, kernel, false, true, opts.Shard, opts.Foreign, c), nil
+		case L2AP, AP:
+			if _, ok := kernel.(apss.Exponential); !ok {
+				return nil, fmt.Errorf("%w: STR-%v needs apss.Exponential, got %T", ErrKernel, kind, kernel)
+			}
+			return newShardEngine(params, kernel, true, kind == L2AP, opts.Shard, opts.Foreign, c), nil
+		default:
+			return nil, fmt.Errorf("streaming: unknown kind %d", int(kind))
+		}
 	}
 	parallel := opts.Workers > 1
 	var ix SinkIndex

@@ -57,6 +57,11 @@ type Scenario struct {
 	// Lateness is the reorder stage's lateness bound δ; meaningful only
 	// with Reorder.
 	Lateness float64 `json:"lateness,omitempty"`
+	// Cluster > 0 measures the multi-process deployment shape: an
+	// in-process cluster of that many shard-engine worker servers on
+	// loopback behind a coordinator (see harness.RunOpts.Cluster). STR
+	// only; the run includes the full line-protocol round trip per item.
+	Cluster int `json:"cluster,omitempty"`
 }
 
 // foreign reports whether the scenario measures the foreign join.
@@ -76,6 +81,9 @@ func (s Scenario) label() string {
 	if s.Reorder {
 		name += fmt.Sprintf("/lat%g", s.Lateness)
 	}
+	if s.Cluster > 0 {
+		name += fmt.Sprintf("/cluster%d", s.Cluster)
+	}
 	return name
 }
 
@@ -92,11 +100,12 @@ func (s Scenario) named() Scenario {
 // indexes, the sharded parallel engine at 4 workers, and MB-L2 as the
 // framework baseline — plus a θ sweep on the recommended STR-L2 to
 // track threshold sensitivity, a 4-scenario foreign-join (A ⋈ B)
-// cross-section, and a 2-scenario bounded-lateness (reorder stage)
-// cross-section. 18 scenarios; at the default scale the whole matrix
-// runs in well under a minute. Scenarios not yet present in a committed
-// baseline are reported as informational by Compare until the baseline
-// is refreshed.
+// cross-section, a 2-scenario bounded-lateness (reorder stage)
+// cross-section, and a 2-scenario cluster-tier (coordinator + loopback
+// worker servers) cross-section. 20 scenarios; at the default scale the
+// whole matrix runs in well under a minute. Scenarios not yet present
+// in a committed baseline are reported as informational by Compare
+// until the baseline is refreshed.
 func DefaultScenarios() []Scenario {
 	const lambda = 0.01
 	var out []Scenario
@@ -140,6 +149,18 @@ func DefaultScenarios() []Scenario {
 		sc := Scenario{
 			Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
 			Theta: 0.7, Lambda: lambda, Workers: 1, Reorder: true, Lateness: delta,
+		}
+		out = append(out, sc.named())
+	}
+	// The cluster cross-section: the recommended STR-L2 behind a 2-worker
+	// in-process cluster tier (loopback servers + coordinator), self and
+	// foreign. These measure the deployment shape — per-item
+	// line-protocol round trips included — against the plain w1
+	// scenarios, not engine throughput.
+	for _, join := range []string{"", "foreign"} {
+		sc := Scenario{
+			Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
+			Theta: 0.7, Lambda: lambda, Workers: 1, Join: join, Cluster: 2,
 		}
 		out = append(out, sc.named())
 	}
@@ -231,12 +252,15 @@ func runOnce(s Scenario, cfg RunConfig, items []stream.Item) (Report, error) {
 	if s.Lateness < 0 || (s.Lateness > 0 && !s.Reorder) {
 		return Report{}, fmt.Errorf("perf: scenario %s: Lateness needs Reorder and must be >= 0", s.Name)
 	}
+	if s.Cluster > 0 && s.Framework != harness.FrameworkSTR {
+		return Report{}, fmt.Errorf("perf: scenario %s: Cluster runs require the STR framework", s.Name)
+	}
 	lat := metrics.NewHistogram()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	res := harness.RunOneOpts(items, s.Profile, s.Framework, s.Index, p,
 		harness.RunOpts{Workers: s.Workers, Budget: cfg.Budget, Latency: lat, Foreign: s.foreign(),
-			Reorder: s.Reorder, Lateness: s.Lateness})
+			Reorder: s.Reorder, Lateness: s.Lateness, Cluster: s.Cluster})
 	runtime.ReadMemStats(&after)
 	return FromResult(s, res, lat, after.TotalAlloc-before.TotalAlloc, after.Mallocs-before.Mallocs), nil
 }

@@ -185,7 +185,8 @@ func TestRunScenarioRejectsBadCombos(t *testing.T) {
 		{Profile: "RCV1", Framework: "STR", Index: "NOPE", Theta: 0.7, Lambda: 0.01},
 		{Profile: "RCV1", Framework: "STR", Index: "AP", Theta: 0.7, Lambda: 0.01}, // AP is MB-only
 		{Profile: "NoSuch", Framework: "STR", Index: "L2", Theta: 0.7, Lambda: 0.01},
-		{Profile: "RCV1", Framework: "STR", Index: "L2", Theta: 0, Lambda: 0.01}, // bad θ
+		{Profile: "RCV1", Framework: "STR", Index: "L2", Theta: 0, Lambda: 0.01},              // bad θ
+		{Profile: "RCV1", Framework: "MB", Index: "L2", Theta: 0.7, Lambda: 0.01, Cluster: 2}, // cluster is STR-only
 	} {
 		if _, err := RunScenario(s, RunConfig{Scale: 0.01}); err == nil {
 			t.Errorf("RunScenario accepted bad scenario %+v", s)
@@ -208,8 +209,8 @@ func TestDefaultScenarios(t *testing.T) {
 		}
 		names[s.Name] = true
 	}
-	if got := len(FilterByProfile(scs, "RCV1")); got != 12 {
-		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 12", got)
+	if got := len(FilterByProfile(scs, "RCV1")); got != 14 {
+		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 14", got)
 	}
 	if got := len(FilterByProfile(scs, "")); got != len(scs) {
 		t.Errorf("empty filter dropped scenarios")
@@ -221,13 +222,13 @@ func TestDefaultScenarios(t *testing.T) {
 	for _, s := range scs {
 		if s.foreign() {
 			foreignN++
-			if !strings.HasSuffix(s.Name, "/foreign") {
-				t.Errorf("foreign scenario name %q lacks the /foreign suffix", s.Name)
+			if !strings.Contains(s.Name, "/foreign") {
+				t.Errorf("foreign scenario name %q lacks the /foreign tag", s.Name)
 			}
 		}
 	}
-	if foreignN != 4 {
-		t.Errorf("matrix has %d foreign scenarios, want 4", foreignN)
+	if foreignN != 5 {
+		t.Errorf("matrix has %d foreign scenarios, want 5", foreignN)
 	}
 	// Likewise the bounded-lateness cross-section, tagged /lat<δ>.
 	reorderN := 0
@@ -241,6 +242,19 @@ func TestDefaultScenarios(t *testing.T) {
 	}
 	if reorderN != 2 {
 		t.Errorf("matrix has %d reorder scenarios, want 2", reorderN)
+	}
+	// And the cluster-tier cross-section, tagged /cluster<N>.
+	clusterN := 0
+	for _, s := range scs {
+		if s.Cluster > 0 {
+			clusterN++
+			if !strings.Contains(s.Name, "/cluster") {
+				t.Errorf("cluster scenario name %q lacks the /cluster tag", s.Name)
+			}
+		}
+	}
+	if clusterN != 2 {
+		t.Errorf("matrix has %d cluster scenarios, want 2", clusterN)
 	}
 }
 
@@ -293,6 +307,32 @@ func TestRunForeignScenario(t *testing.T) {
 	}
 	if rf.Pairs == 0 || rf.Pairs >= rs.Pairs {
 		t.Fatalf("foreign pairs %d vs self %d: want 0 < foreign < self", rf.Pairs, rs.Pairs)
+	}
+}
+
+// TestRunClusterScenario: a cluster scenario boots a real in-process
+// worker tier, so it must report exactly the pairs of its plain twin on
+// the same stream — the parity the cluster subsystem guarantees, here
+// verified through the perf path end to end.
+func TestRunClusterScenario(t *testing.T) {
+	plain := Scenario{Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
+		Theta: 0.5, Lambda: 0.01, Workers: 1}
+	clustered := plain
+	clustered.Cluster = 2
+	cfg := RunConfig{Scale: 0.05, Seed: 2, Repeats: 1}
+	rp, err := RunScenario(plain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := RunScenario(clustered, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Pairs == 0 || rc.Pairs != rp.Pairs {
+		t.Fatalf("cluster run found %d pairs, plain %d — the tier must be bit-identical", rc.Pairs, rp.Pairs)
+	}
+	if rc.Index.PostingEntries == 0 {
+		t.Errorf("cluster run reported empty aggregated index: %+v", rc.Index)
 	}
 }
 

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/core"
+	"sssj/internal/index/streaming"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// statsJoiner is a stub joiner carrying its own aggregated counters,
+// standing in for the cluster coordinator.
+type statsJoiner struct{}
+
+func (statsJoiner) Add(stream.Item) ([]apss.Match, error) { return nil, nil }
+func (statsJoiner) Flush() ([]apss.Match, error)          { return nil, nil }
+func (statsJoiner) Stats() (metrics.Counters, error) {
+	return metrics.Counters{Items: 42}, nil
+}
+
+// randomItems builds a deterministic stream of normalized sparse vectors
+// whose coordinates are awkward floats (no short decimal form), so any
+// precision loss across the wire shows up as a parity break.
+func randomItems(seed int64, n int) []stream.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]stream.Item, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		nnz := 1 + rng.Intn(4)
+		seen := map[uint32]bool{}
+		var dims []uint32
+		var vals []float64
+		for len(dims) < nnz {
+			d := uint32(rng.Intn(12))
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			dims = append(dims, d)
+			vals = append(vals, 0.1+rng.Float64())
+		}
+		v, err := vec.New(dims, vals)
+		if err != nil {
+			panic(err)
+		}
+		t += rng.Float64() / 3
+		items = append(items, stream.Item{ID: uint64(i), Time: t, Vec: v.Normalize()})
+	}
+	return items
+}
+
+// TestPutExactParity: PUT round-trips coordinates and match floats at
+// full precision — the server's output must be bit-identical to a local
+// engine fed the same normalized vectors.
+func TestPutExactParity(t *testing.T) {
+	p := apss.Params{Theta: 0.5, Lambda: 0.1}
+	s := startServer(t, Config{Params: p})
+	c := dialT(t, s)
+	ix, err := streaming.New(streaming.L2, p, streaming.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := randomItems(3, 120)
+	for _, it := range items {
+		want, err := ix.Add(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Put(it.ID, apss.SideA, it.Time, it.Vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("item %d: %d matches over the wire, want %d", it.ID, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("item %d match %d: wire %+v != local %+v", it.ID, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPutIDSequencing: auto-assigned IDs advance past every PUT ID, and
+// malformed PUTs are rejected without disturbing the stream.
+func TestPutIDSequencing(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1, 2}, []float64{1, 1}).Normalize()
+	if _, err := c.Put(7, apss.SideA, 1, v); err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := c.Add(2, v)
+	if err != nil || id != 8 {
+		t.Fatalf("ADD after PUT 7: id=%d err=%v, want 8", id, err)
+	}
+	// Lower explicit IDs are allowed (the coordinator's sequence is the
+	// real contract); the auto counter never goes backwards.
+	if _, err := c.Put(3, apss.SideA, 3, v); err != nil {
+		t.Fatal(err)
+	}
+	id, _, err = c.Add(4, v)
+	if err != nil || id != 9 {
+		t.Fatalf("ADD after PUT 3: id=%d err=%v, want 9", id, err)
+	}
+	// Side B needs a foreign server; a time regression is rejected.
+	if _, err := c.Put(20, apss.SideB, 5, v); err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Fatalf("side B on self-join server: err=%v", err)
+	}
+	if _, err := c.Put(21, apss.SideA, 0.5, v); err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("time regression: err=%v", err)
+	}
+}
+
+// TestPutAdvRejectedUnderLateness: the reorder stage and the cluster
+// commands are mutually exclusive tiers.
+func TestPutAdvRejectedUnderLateness(t *testing.T) {
+	s := startServer(t, Config{Lateness: 5})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1}, []float64{1}).Normalize()
+	if _, err := c.Put(0, apss.SideA, 1, v); err == nil || !strings.Contains(err.Error(), "strict-order") {
+		t.Fatalf("PUT under lateness: err=%v", err)
+	}
+	if _, err := c.Advance(1); err == nil || !strings.Contains(err.Error(), "strict-order") {
+		t.Fatalf("ADV under lateness: err=%v", err)
+	}
+}
+
+// TestAdvBarrier: ADV moves the engine clock — earlier items are then
+// rejected, expiry happens on an idle stream, and the echo carries the
+// barrier timestamp.
+func TestAdvBarrier(t *testing.T) {
+	s := startServer(t, Config{Params: apss.Params{Theta: 0.7, Lambda: 2}})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1, 2}, []float64{1, 1}).Normalize()
+	if _, _, err := c.Add(0, v); err != nil {
+		t.Fatal(err)
+	}
+	if ms, err := c.Advance(100); err != nil || len(ms) != 0 {
+		t.Fatalf("ADV: ms=%v err=%v", ms, err)
+	}
+	// Behind the barrier → time regression.
+	if _, _, err := c.Add(50, v); err == nil {
+		t.Fatal("item behind ADV barrier accepted")
+	}
+	// The barrier expired the horizon: a far-future twin matches nothing.
+	if _, ms, err := c.Add(101, v); err != nil || len(ms) != 0 {
+		t.Fatalf("post-barrier add: ms=%v err=%v", ms, err)
+	}
+	// A stale barrier is a no-op, not an error.
+	if _, err := c.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsJSON: STATS JSON is one JSON object using the Counters tags,
+// and the typed client accessor decodes it.
+func TestStatsJSON(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1, 2}, []float64{1, 1}).Normalize()
+	if _, _, err := c.Add(0, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Add(1, v); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.simple("STATS JSON", "STATS ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(raw), &m); err != nil {
+		t.Fatalf("STATS JSON payload %q: %v", raw, err)
+	}
+	if m["items"] != 2 || m["pairs"] != 1 {
+		t.Fatalf("counters = %v", m)
+	}
+	counters, err := c.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Items != 2 || counters.Pairs != 1 {
+		t.Fatalf("decoded counters = %+v", counters)
+	}
+}
+
+// TestSizeInfoDecode: the typed SIZE accessor round-trips occupancy.
+func TestSizeInfoDecode(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	v := vec.MustNew([]uint32{1, 2}, []float64{1, 1}).Normalize()
+	if _, _, err := c.Add(0, v); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := c.SizeInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.PostingEntries == 0 && sz.Residuals == 0 {
+		t.Fatalf("empty SizeInfo after an add: %+v", sz)
+	}
+}
+
+// TestStatsDelegation: a joiner with its own Stats() overrides the
+// server-local counters — the coordinator's aggregation hook.
+func TestStatsDelegation(t *testing.T) {
+	s := startServer(t, Config{
+		NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+			return statsJoiner{}, nil
+		},
+	})
+	c := dialT(t, s)
+	counters, err := c.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Items != 42 {
+		t.Fatalf("delegated counters = %+v", counters)
+	}
+}
+
+// TestDialerRetry: a listener that drops its first connection before
+// any read still yields a working client via retry-with-backoff, while
+// the zero-retry dialer fails.
+func TestDialerRetry(t *testing.T) {
+	s := startServer(t, Config{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var drops atomic.Int32
+	drops.Store(1)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if drops.Add(-1) >= 0 {
+				conn.Close() // flaky accept: drop before the client speaks
+				continue
+			}
+			// Afterwards, proxy to the real server.
+			up, err := net.Dial("tcp", s.addr)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() { defer up.Close(); defer conn.Close(); _, _ = copyConn(up, conn) }()
+			go func() { _, _ = copyConn(conn, up) }()
+		}
+	}()
+
+	d := Dialer{DialTimeout: time.Second, IOTimeout: 5 * time.Second, Retries: 3, Backoff: 5 * time.Millisecond}
+	c, err := d.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The dropped first connection surfaces on first use; the client's
+	// caller retries at the request level — here we only need the
+	// eventual connection to work.
+	if err := c.Ping(); err != nil {
+		c2, err2 := d.Dial(ln.Addr().String())
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		defer c2.Close()
+		if err := c2.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No listener at all: retries are attempted, then a structured error.
+	dead := Dialer{DialTimeout: 50 * time.Millisecond, Retries: 2, Backoff: time.Millisecond}
+	if _, err := dead.Dial("127.0.0.1:1"); err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("dead dial: err=%v", err)
+	}
+}
+
+// TestClientIODeadline: a server that stops answering trips the
+// per-request deadline instead of hanging the caller.
+func TestClientIODeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Read forever, never answer.
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	d := Dialer{DialTimeout: time.Second, IOTimeout: 100 * time.Millisecond}
+	c, err := d.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	start := time.Now()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping against a mute server succeeded")
+	} else {
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("want timeout error, got %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v", elapsed)
+	}
+}
+
+func copyConn(dst net.Conn, src net.Conn) (int64, error) {
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := src.Read(buf)
+		if k > 0 {
+			m, werr := dst.Write(buf[:k])
+			n += int64(m)
+			if werr != nil {
+				return n, werr
+			}
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+}
+
+// TestListenAndServePlainJoiner covers the ListenAndServe entry point
+// and the slice-based (non-sink) joiner feed path in one pass: a
+// joiner without AddTo still serves ADD, and Addr reports the bound
+// listener.
+func TestListenAndServePlainJoiner(t *testing.T) {
+	s, err := New(Config{
+		Params: apss.Params{Theta: 0.7, Lambda: 0.1},
+		NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+			return statsJoiner{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != nil {
+		t.Fatal("Addr non-nil before Serve")
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe("127.0.0.1:0") }()
+	var addr net.Addr
+	for i := 0; i < 100 && addr == nil; i++ {
+		addr = s.Addr()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == nil {
+		t.Fatal("Addr still nil after ListenAndServe")
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v := vec.MustNew([]uint32{1}, []float64{1})
+	if _, ms, err := c.Add(0, v); err != nil || len(ms) != 0 {
+		t.Fatalf("ADD through plain joiner: ms=%v err=%v", ms, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ListenAndServe returned %v after Close", err)
+	}
+}
+
+// advJoiner emits one synthetic match per barrier, exercising the
+// ADV → MATCH response path a custom worker joiner can take.
+type advJoiner struct{ statsJoiner }
+
+func (advJoiner) AdvanceTo(t float64, emit apss.Sink) error {
+	if emit != nil {
+		return emit(apss.Match{X: 1, Y: 2, Sim: 0.5, Dot: 0.5, DT: t})
+	}
+	return nil
+}
+
+// TestAdvMatchesAndMalformedClusterLines: ADV forwards joiner-reported
+// matches at full precision, and malformed PUT/ADV lines get ERR
+// replies without killing the connection.
+func TestAdvMatchesAndMalformedClusterLines(t *testing.T) {
+	s := startServer(t, Config{
+		NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+			return advJoiner{}, nil
+		},
+	})
+	c, err := Dial(s.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ms, err := c.Advance(3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := apss.Match{X: 1, Y: 2, Sim: 0.5, Dot: 0.5, DT: 3.5}
+	if len(ms) != 1 || ms[0] != want {
+		t.Fatalf("ADV matches = %+v, want [%+v]", ms, want)
+	}
+
+	conn, err := net.Dial("tcp", s.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(line string) string {
+		fmt.Fprintln(conn, line)
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read after %q: %v", line, err)
+		}
+		return strings.TrimSpace(resp)
+	}
+	for _, tc := range []string{
+		"PUT",                  // no fields
+		"PUT 1 A",              // missing time + coords
+		"PUT x A 1 1:1",        // bad id
+		"PUT 1 C 1 1:1",        // bad side
+		"PUT 1 A notatime 1:1", // bad time
+		"PUT 1 A 1 garbage",    // bad coords
+		"PUT 1 B 1 1:1",        // side B on a self-join server
+		"ADV",                  // missing time
+		"ADV notatime",         // bad time
+	} {
+		if resp := send(tc); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("%q got %q, want ERR", tc, resp)
+		}
+	}
+	// The connection survives: a well-formed ADV still works.
+	if resp := send("ADV 9"); resp != "MATCH 1 2 0.5 0.5 9" {
+		t.Fatalf("ADV after errors got %q", resp)
+	}
+}

@@ -12,7 +12,10 @@
 //	ADDNOW <dim>:<val> ...        (server assigns the arrival timestamp)
 //	SIDE <A|B>                    (foreign join: side of subsequent ADDs)
 //	WM <timestamp>                (event-time heartbeat; bounded-lateness servers)
-//	STATS                         (operation counters)
+//	PUT <id> <A|B> <timestamp> <dim>:<val> ...   (cluster ingest; see below)
+//	ADV <timestamp>               (engine time barrier; cluster watermark fan-out)
+//	STATS                         (operation counters, text form)
+//	STATS JSON                    (operation counters as one JSON line)
 //	SIZE                          (index occupancy)
 //	PING
 //	QUIT
@@ -84,10 +87,45 @@
 // every match should drive the stream from one connection or treat the
 // server as a firehose per request. WM is rejected on a δ = 0 server,
 // where the watermark would be the plain stream clock.
+//
+// # Cluster extensions
+//
+// PUT and ADV exist for the cluster coordinator (internal/cluster),
+// which fronts N worker servers and must keep their output bit-identical
+// to a single process:
+//
+//	PUT <id> <A|B> <timestamp> <dim>:<val> ...
+//
+// ingests like ADD but with a caller-assigned stream ID (the coordinator
+// owns the global ID sequence) and an explicit side, and — critically —
+// takes the coordinates verbatim: they are NOT re-normalized, because the
+// coordinator already normalized the vector once and normalizing the
+// transmitted values again would perturb the bits and break parity. PUT
+// responses carry MATCH lines at full float64 round-trip precision
+// (strconv 'g' with precision −1) instead of ADD's human-oriented %.6f.
+// The server's next auto-assigned ID advances past every PUT ID.
+//
+//	ADV <timestamp>
+//
+// is an engine time barrier: the promise that no item with an earlier
+// timestamp will ever arrive. The joiner advances its stream clock
+// (expiry + sweep maintenance, window flushes) exactly as the coordinator's
+// watermark dictates, and any released matches stream back before the
+// "ADV <timestamp>" echo. PUT and ADV are rejected on a bounded-lateness
+// server: reordering belongs to exactly one tier, and in cluster mode the
+// coordinator owns it (workers run δ = 0).
+//
+// STATS JSON answers "STATS {…}" with the metrics.Counters JSON object on
+// one line, so the coordinator and scrapers aggregate counters without
+// parsing the text form. When the joiner itself aggregates counters (the
+// coordinator does, summing its workers), the server reports the joiner's
+// Stats() instead of its local counters; SIZE likewise prefers the
+// joiner's IndexSize() whenever it has one.
 package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -141,6 +179,7 @@ type ingestKind int
 const (
 	ingestAdd ingestKind = iota
 	ingestWM
+	ingestAdv
 	ingestStats
 	ingestSize
 )
@@ -148,10 +187,15 @@ const (
 // ingestReq is one unit of work for the ingest pipeline.
 type ingestReq struct {
 	kind     ingestKind
-	t        float64 // ADD timestamp (ignored when stampNow) or WM heartbeat
+	t        float64 // ADD/PUT timestamp (ignored when stampNow), or WM/ADV barrier
 	stampNow bool
 	side     apss.Side // foreign-join side of the item (A on self-join servers)
 	v        vec.Vector
+	// explicitID marks a PUT: the item carries the caller-assigned id
+	// instead of the server's counter, which advances past it.
+	explicitID bool
+	id         uint64
+	statsJSON  bool // STATS JSON: render counters as a JSON line
 	// emit receives the item's matches on the pipeline goroutine, as
 	// they are found. The submitting handler is parked on reply for the
 	// duration, so writing to its connection buffer is race-free: the
@@ -188,11 +232,12 @@ type Server struct {
 	reqs       chan ingestReq
 	ingestDone chan struct{}
 
-	lnMu  sync.Mutex
-	ln    net.Listener
-	conns map[net.Conn]struct{} // open connections, for shutdown interrupt
-	wg    sync.WaitGroup        // connection handlers — the only senders on reqs
-	done  chan struct{}
+	lnMu      sync.Mutex
+	ln        net.Listener
+	conns     map[net.Conn]struct{} // open connections, for shutdown interrupt
+	wg        sync.WaitGroup        // connection handlers — the only senders on reqs
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // New builds a Server and starts its ingest pipeline.
@@ -262,15 +307,34 @@ func (s *Server) ingest() {
 func (s *Server) serve(req ingestReq) ingestResp {
 	switch req.kind {
 	case ingestStats:
-		return ingestResp{info: s.counters.String()}
+		c := s.counters
+		if sp, ok := s.joiner.(interface {
+			Stats() (metrics.Counters, error)
+		}); ok {
+			cc, err := sp.Stats()
+			if err != nil {
+				return ingestResp{err: err}
+			}
+			c = cc
+		}
+		if req.statsJSON {
+			b, err := json.Marshal(&c)
+			if err != nil {
+				return ingestResp{err: err}
+			}
+			return ingestResp{info: string(b)}
+		}
+		return ingestResp{info: c.String()}
 	case ingestSize:
-		if str, ok := s.joiner.(*core.STR); ok {
-			sz := str.IndexSize()
-			return ingestResp{info: fmt.Sprintf("entries=%d residuals=%d lists=%d", sz.PostingEntries, sz.Residuals, sz.Lists)}
+		if sizer, ok := s.joiner.(interface{ IndexSize() streaming.SizeInfo }); ok {
+			sz := sizer.IndexSize()
+			return ingestResp{info: fmt.Sprintf("entries=%d residuals=%d lists=%d tracked=%d", sz.PostingEntries, sz.Residuals, sz.Lists, sz.TrackedDims)}
 		}
 		return ingestResp{info: "unavailable"}
 	case ingestWM:
 		return s.serveWM(req)
+	case ingestAdv:
+		return s.serveAdv(req)
 	}
 	t := req.t
 	if req.stampNow {
@@ -282,6 +346,9 @@ func (s *Server) serve(req ingestReq) ingestResp {
 		return ingestResp{err: fmt.Errorf("out of order: t=%v after t=%v", t, s.lastT)}
 	}
 	id := s.nextID
+	if req.explicitID {
+		id = req.id
+	}
 	it := stream.Item{ID: id, Time: t, Side: req.side, Vec: req.v}
 	if s.reo != nil {
 		// The reorder stage owns admission: a late item is rejected with
@@ -299,7 +366,14 @@ func (s *Server) serve(req ingestReq) ingestResp {
 	} else if err := s.feed(req.emit)(it); err != nil {
 		return ingestResp{err: err}
 	}
-	s.nextID++
+	if req.explicitID {
+		// Keep auto-assigned IDs ahead of every caller-assigned one.
+		if req.id+1 > s.nextID {
+			s.nextID = req.id + 1
+		}
+	} else {
+		s.nextID++
+	}
 	if !s.begun || t > s.lastT {
 		s.lastT = t
 	}
@@ -331,6 +405,26 @@ func (s *Server) serveWM(req ingestReq) ingestResp {
 		s.begun = true
 	}
 	return ingestResp{info: strconv.FormatFloat(wm, 'g', -1, 64)}
+}
+
+// serveAdv executes an ADV barrier on the pipeline goroutine: the joiner
+// moves its stream clock to req.t — performing expiry, sweep
+// maintenance, and (window modes) watermark-closed flushes — and later
+// items behind the barrier are rejected like any time regression. A
+// stale barrier is the joiner's no-op.
+func (s *Server) serveAdv(req ingestReq) ingestResp {
+	adv, ok := s.joiner.(core.Advancer)
+	if !ok {
+		return ingestResp{err: errors.New("joiner does not support time barriers")}
+	}
+	if err := adv.AdvanceTo(req.t, req.emit); err != nil {
+		return ingestResp{err: err}
+	}
+	if !s.begun || req.t > s.lastT {
+		s.lastT = req.t
+		s.begun = true
+	}
+	return ingestResp{info: strconv.FormatFloat(req.t, 'g', -1, 64)}
 }
 
 // feed returns the joiner-facing release target for one request: each
@@ -433,8 +527,15 @@ func (s *Server) Addr() net.Addr {
 // (an idle client must not hold shutdown hostage), waits for in-flight
 // commands to drain — every item that reached the ingest queue is
 // processed and answered, though a reply write can fail once its
-// connection is torn down — and then stops the ingest pipeline.
+// connection is torn down — and then stops the ingest pipeline. Close is
+// idempotent; calls after the first return nil without re-waiting.
 func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() { err = s.close() })
+	return err
+}
+
+func (s *Server) close() error {
 	close(s.done)
 	s.lnMu.Lock() // barrier against a handler registering after done
 	ln := s.ln
@@ -495,6 +596,23 @@ func (s *Server) dispatch(w *bufio.Writer, line string, side *apss.Side) (quit b
 		s.cmdAdd(w, rest, false, *side)
 	case "ADDNOW":
 		s.cmdAdd(w, rest, true, *side)
+	case "PUT":
+		if s.reo != nil {
+			fmt.Fprintln(w, "ERR PUT requires a strict-order server (Config.Lateness 0)")
+			return false
+		}
+		s.cmdPut(w, rest)
+	case "ADV":
+		if s.reo != nil {
+			fmt.Fprintln(w, "ERR ADV requires a strict-order server (Config.Lateness 0); use WM")
+			return false
+		}
+		t, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			fmt.Fprintf(w, "ERR bad timestamp %q\n", rest)
+			return false
+		}
+		s.cmdAdv(w, t)
 	case "SIDE":
 		if !s.cfg.Foreign {
 			fmt.Fprintln(w, "ERR SIDE requires a foreign-join server")
@@ -522,7 +640,7 @@ func (s *Server) dispatch(w *bufio.Writer, line string, side *apss.Side) (quit b
 		}
 		s.cmdWM(w, t)
 	case "STATS":
-		resp := s.submit(ingestReq{kind: ingestStats})
+		resp := s.submit(ingestReq{kind: ingestStats, statsJSON: strings.EqualFold(rest, "JSON")})
 		if resp.err != nil {
 			fmt.Fprintf(w, "ERR %v\n", resp.err)
 			return false
@@ -579,14 +697,7 @@ func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool, side apss.S
 	// match slice is built anywhere. Write errors are latched (not
 	// returned to the joiner, whose processing must not depend on a
 	// client's socket) and surface at the Flush in handle.
-	var writeErr error
-	emit := func(m apss.Match) error {
-		if writeErr == nil {
-			_, writeErr = fmt.Fprintf(w, "MATCH %d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
-		}
-		return nil
-	}
-	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, side: side, v: v, emit: emit})
+	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, side: side, v: v, emit: matchEmitter(w, false)})
 	if resp.err != nil {
 		fmt.Fprintf(w, "ERR %v\n", resp.err)
 		return
@@ -594,17 +705,68 @@ func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool, side apss.S
 	fmt.Fprintf(w, "OK %d\n", resp.id)
 }
 
+// cmdPut parses and submits a cluster PUT: explicit stream ID, explicit
+// side, and coordinates taken verbatim (no re-normalization — the
+// coordinator sends an already-normalized vector, and %g round-trips
+// float64 exactly). Matches stream back at full precision.
+func (s *Server) cmdPut(w *bufio.Writer, rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		fmt.Fprintln(w, "ERR PUT needs <id> <A|B> <timestamp> <dim>:<val>...")
+		return
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		fmt.Fprintf(w, "ERR bad id %q\n", fields[0])
+		return
+	}
+	var side apss.Side
+	switch strings.ToUpper(fields[1]) {
+	case "A":
+		side = apss.SideA
+	case "B":
+		side = apss.SideB
+	default:
+		fmt.Fprintf(w, "ERR bad side %q, want A or B\n", fields[1])
+		return
+	}
+	if side == apss.SideB && !s.cfg.Foreign {
+		fmt.Fprintln(w, "ERR side B requires a foreign-join server")
+		return
+	}
+	t, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		fmt.Fprintf(w, "ERR bad timestamp %q\n", fields[2])
+		return
+	}
+	v, err := parseCoordsRaw(fields[3:])
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	resp := s.submit(ingestReq{kind: ingestAdd, t: t, side: side, v: v, explicitID: true, id: id, emit: matchEmitter(w, true)})
+	if resp.err != nil {
+		fmt.Fprintf(w, "ERR %v\n", resp.err)
+		return
+	}
+	fmt.Fprintf(w, "OK %d\n", resp.id)
+}
+
+// cmdAdv submits an engine time barrier; released matches (window
+// flushes) stream back at full precision before the echo.
+func (s *Server) cmdAdv(w *bufio.Writer, t float64) {
+	resp := s.submit(ingestReq{kind: ingestAdv, t: t, emit: matchEmitter(w, true)})
+	if resp.err != nil {
+		fmt.Fprintf(w, "ERR %v\n", resp.err)
+		return
+	}
+	fmt.Fprintf(w, "ADV %s\n", resp.info)
+}
+
 // cmdWM submits a WM heartbeat. Matches of items the advancing
 // watermark releases are written to this connection, like cmdAdd's.
 func (s *Server) cmdWM(w *bufio.Writer, t float64) {
-	var writeErr error
-	emit := func(m apss.Match) error {
-		if writeErr == nil {
-			_, writeErr = fmt.Fprintf(w, "MATCH %d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
-		}
-		return nil
-	}
-	resp := s.submit(ingestReq{kind: ingestWM, t: t, emit: emit})
+	resp := s.submit(ingestReq{kind: ingestWM, t: t, emit: matchEmitter(w, false)})
 	if resp.err != nil {
 		fmt.Fprintf(w, "ERR %v\n", resp.err)
 		return
@@ -612,8 +774,43 @@ func (s *Server) cmdWM(w *bufio.Writer, t float64) {
 	fmt.Fprintf(w, "WM %s\n", resp.info)
 }
 
+// matchEmitter returns the per-request sink that writes MATCH lines into
+// the connection buffer on the pipeline goroutine. exact selects full
+// float64 round-trip formatting — the cluster paths (PUT/ADV), where
+// ADD's human-oriented %.6f truncation would break bit-identical parity
+// across the wire. Write errors are latched (never returned to the
+// joiner, whose processing must not depend on a client's socket) and
+// surface at the Flush in handle.
+func matchEmitter(w *bufio.Writer, exact bool) apss.Sink {
+	var writeErr error
+	return func(m apss.Match) error {
+		if writeErr != nil {
+			return nil
+		}
+		if exact {
+			_, writeErr = fmt.Fprintf(w, "MATCH %d %d %s %s %s\n", m.X, m.Y,
+				strconv.FormatFloat(m.Sim, 'g', -1, 64),
+				strconv.FormatFloat(m.Dot, 'g', -1, 64),
+				strconv.FormatFloat(m.DT, 'g', -1, 64))
+		} else {
+			_, writeErr = fmt.Fprintf(w, "MATCH %d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT)
+		}
+		return nil
+	}
+}
+
 // parseCoords parses "dim:val" fields into a normalized vector.
 func parseCoords(fields []string) (vec.Vector, error) {
+	v, err := parseCoordsRaw(fields)
+	if err != nil {
+		return vec.Vector{}, err
+	}
+	return v.Normalize(), nil
+}
+
+// parseCoordsRaw parses "dim:val" fields verbatim — PUT's path, where
+// the values are already normalized and renormalizing would change bits.
+func parseCoordsRaw(fields []string) (vec.Vector, error) {
 	dims := make([]uint32, 0, len(fields))
 	vals := make([]float64, 0, len(fields))
 	for _, f := range fields {
@@ -632,11 +829,7 @@ func parseCoords(fields []string) (vec.Vector, error) {
 		dims = append(dims, uint32(d))
 		vals = append(vals, val)
 	}
-	v, err := vec.New(dims, vals)
-	if err != nil {
-		return vec.Vector{}, err
-	}
-	return v.Normalize(), nil
+	return vec.New(dims, vals)
 }
 
 // Client is a minimal client for the server protocol.
@@ -644,6 +837,50 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	mu   sync.Mutex
+	// ioTimeout bounds each request round-trip; 0 means no deadline.
+	ioTimeout time.Duration
+}
+
+// Dialer configures connection establishment and per-request deadlines.
+// The zero value matches plain Dial: no timeouts, no retries.
+type Dialer struct {
+	// DialTimeout bounds each connection attempt; 0 means no limit.
+	DialTimeout time.Duration
+	// IOTimeout is applied as a connection deadline at the start of every
+	// request round-trip, so a wedged server surfaces as a timeout error
+	// instead of a hang; 0 disables deadlines.
+	IOTimeout time.Duration
+	// Retries is the number of additional dial attempts after a failure —
+	// the coordinator's tolerance for workers that are still binding
+	// their listeners. 0 means a single attempt.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling each attempt;
+	// defaults to 50ms when Retries > 0.
+	Backoff time.Duration
+}
+
+// Dial connects with the configured timeout, retrying transient dial
+// failures with exponential backoff.
+func (d Dialer) Dial(addr string) (*Client, error) {
+	backoff := d.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= d.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", addr, d.DialTimeout)
+		if err == nil {
+			c := NewClient(conn)
+			c.ioTimeout = d.IOTimeout
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("server: dial %s failed after %d attempts: %w", addr, d.Retries+1, lastErr)
 }
 
 // Dial connects to a server.
@@ -660,6 +897,13 @@ func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, r: bufio.NewReader(conn)}
 }
 
+// beginRequest arms the per-request I/O deadline. Callers hold c.mu.
+func (c *Client) beginRequest() {
+	if c.ioTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+	}
+}
+
 // Add submits a timestamped item and returns its stream ID and matches.
 func (c *Client) Add(t float64, v vec.Vector) (uint64, []apss.Match, error) {
 	return c.add(fmt.Sprintf("ADD %g %s", t, formatCoords(v)))
@@ -670,24 +914,71 @@ func (c *Client) AddNow(v vec.Vector) (uint64, []apss.Match, error) {
 	return c.add("ADDNOW " + formatCoords(v))
 }
 
+// Put submits an item with a caller-assigned stream ID, side, and
+// verbatim (pre-normalized) coordinates — the cluster coordinator's
+// ingest path. Matches come back at full float64 precision.
+func (c *Client) Put(id uint64, side apss.Side, t float64, v vec.Vector) ([]apss.Match, error) {
+	gotID, matches, err := c.add(fmt.Sprintf("PUT %d %v %s %s", id, side, strconv.FormatFloat(t, 'g', -1, 64), formatCoords(v)))
+	if err != nil {
+		return nil, err
+	}
+	if gotID != id {
+		return matches, fmt.Errorf("server: PUT %d acknowledged as %d", id, gotID)
+	}
+	return matches, nil
+}
+
+// Advance sends an ADV engine time barrier: the promise that no item
+// with Time < t will ever be submitted. It returns the matches the
+// barrier released (window-mode flushes; empty for plain STR).
+func (c *Client) Advance(t float64) ([]apss.Match, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginRequest()
+	if _, err := fmt.Fprintf(c.conn, "ADV %s\n", strconv.FormatFloat(t, 'g', -1, 64)); err != nil {
+		return nil, err
+	}
+	var matches []apss.Match
+	for {
+		resp, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(resp, "MATCH "):
+			m, err := parseMatchLine(resp)
+			if err != nil {
+				return nil, err
+			}
+			matches = append(matches, m)
+		case strings.HasPrefix(resp, "ADV "):
+			return matches, nil
+		case strings.HasPrefix(resp, "ERR "):
+			return nil, errors.New(resp[4:])
+		default:
+			return nil, fmt.Errorf("server: unexpected response %q", resp)
+		}
+	}
+}
+
 func (c *Client) add(line string) (uint64, []apss.Match, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.beginRequest()
 	if _, err := fmt.Fprintln(c.conn, line); err != nil {
 		return 0, nil, err
 	}
 	var matches []apss.Match
 	for {
-		resp, err := c.r.ReadString('\n')
+		resp, err := c.readLine()
 		if err != nil {
 			return 0, nil, err
 		}
-		resp = strings.TrimSpace(resp)
 		switch {
 		case strings.HasPrefix(resp, "MATCH "):
-			var m apss.Match
-			if _, err := fmt.Sscanf(resp, "MATCH %d %d %f %f %f", &m.X, &m.Y, &m.Sim, &m.Dot, &m.DT); err != nil {
-				return 0, nil, fmt.Errorf("server: bad match line %q: %w", resp, err)
+			m, err := parseMatchLine(resp)
+			if err != nil {
+				return 0, nil, err
 			}
 			matches = append(matches, m)
 		case strings.HasPrefix(resp, "OK "):
@@ -704,6 +995,41 @@ func (c *Client) add(line string) (uint64, []apss.Match, error) {
 	}
 }
 
+// readLine reads one trimmed response line. Callers hold c.mu.
+func (c *Client) readLine() (string, error) {
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(resp), nil
+}
+
+// parseMatchLine decodes a MATCH response at full precision.
+func parseMatchLine(resp string) (apss.Match, error) {
+	f := strings.Fields(resp)
+	if len(f) != 6 || f[0] != "MATCH" {
+		return apss.Match{}, fmt.Errorf("server: bad match line %q", resp)
+	}
+	var m apss.Match
+	var err error
+	if m.X, err = strconv.ParseUint(f[1], 10, 64); err != nil {
+		return apss.Match{}, fmt.Errorf("server: bad match line %q: %w", resp, err)
+	}
+	if m.Y, err = strconv.ParseUint(f[2], 10, 64); err != nil {
+		return apss.Match{}, fmt.Errorf("server: bad match line %q: %w", resp, err)
+	}
+	if m.Sim, err = strconv.ParseFloat(f[3], 64); err != nil {
+		return apss.Match{}, fmt.Errorf("server: bad match line %q: %w", resp, err)
+	}
+	if m.Dot, err = strconv.ParseFloat(f[4], 64); err != nil {
+		return apss.Match{}, fmt.Errorf("server: bad match line %q: %w", resp, err)
+	}
+	if m.DT, err = strconv.ParseFloat(f[5], 64); err != nil {
+		return apss.Match{}, fmt.Errorf("server: bad match line %q: %w", resp, err)
+	}
+	return m, nil
+}
+
 // Watermark sends a WM event-time heartbeat (bounded-lateness servers
 // only): a promise that every producer's clock has reached t. It
 // returns the server's watermark after the heartbeat — −Inf while
@@ -712,21 +1038,21 @@ func (c *Client) add(line string) (uint64, []apss.Match, error) {
 func (c *Client) Watermark(t float64) (float64, []apss.Match, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.beginRequest()
 	if _, err := fmt.Fprintf(c.conn, "WM %g\n", t); err != nil {
 		return 0, nil, err
 	}
 	var matches []apss.Match
 	for {
-		resp, err := c.r.ReadString('\n')
+		resp, err := c.readLine()
 		if err != nil {
 			return 0, nil, err
 		}
-		resp = strings.TrimSpace(resp)
 		switch {
 		case strings.HasPrefix(resp, "MATCH "):
-			var m apss.Match
-			if _, err := fmt.Sscanf(resp, "MATCH %d %d %f %f %f", &m.X, &m.Y, &m.Sim, &m.Dot, &m.DT); err != nil {
-				return 0, nil, fmt.Errorf("server: bad match line %q: %w", resp, err)
+			m, err := parseMatchLine(resp)
+			if err != nil {
+				return 0, nil, err
 			}
 			matches = append(matches, m)
 		case strings.HasPrefix(resp, "WM "):
@@ -754,8 +1080,37 @@ func (c *Client) Side(side apss.Side) error {
 // Stats fetches the server's counter line.
 func (c *Client) Stats() (string, error) { return c.simple("STATS", "STATS ") }
 
+// StatsJSON fetches the server's counters via STATS JSON and decodes
+// them — the coordinator's aggregation path, immune to text-format
+// drift.
+func (c *Client) StatsJSON() (metrics.Counters, error) {
+	payload, err := c.simple("STATS JSON", "STATS ")
+	if err != nil {
+		return metrics.Counters{}, err
+	}
+	var counters metrics.Counters
+	if err := json.Unmarshal([]byte(payload), &counters); err != nil {
+		return metrics.Counters{}, fmt.Errorf("server: bad STATS JSON payload %q: %w", payload, err)
+	}
+	return counters, nil
+}
+
 // Size fetches the server's index-occupancy line.
 func (c *Client) Size() (string, error) { return c.simple("SIZE", "SIZE ") }
+
+// SizeInfo fetches and decodes the server's index occupancy.
+func (c *Client) SizeInfo() (streaming.SizeInfo, error) {
+	payload, err := c.Size()
+	if err != nil {
+		return streaming.SizeInfo{}, err
+	}
+	var sz streaming.SizeInfo
+	if _, err := fmt.Sscanf(payload, "entries=%d residuals=%d lists=%d tracked=%d",
+		&sz.PostingEntries, &sz.Residuals, &sz.Lists, &sz.TrackedDims); err != nil {
+		return streaming.SizeInfo{}, fmt.Errorf("server: bad SIZE payload %q: %w", payload, err)
+	}
+	return sz, nil
+}
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
@@ -766,14 +1121,17 @@ func (c *Client) Ping() error {
 func (c *Client) simple(cmd, prefix string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.beginRequest()
 	if _, err := fmt.Fprintln(c.conn, cmd); err != nil {
 		return "", err
 	}
-	resp, err := c.r.ReadString('\n')
+	resp, err := c.readLine()
 	if err != nil {
 		return "", err
 	}
-	resp = strings.TrimSpace(resp)
+	if strings.HasPrefix(resp, "ERR ") {
+		return "", errors.New(resp[4:])
+	}
 	if !strings.HasPrefix(resp, prefix) {
 		return "", fmt.Errorf("server: unexpected response %q", resp)
 	}

@@ -1,0 +1,224 @@
+// Command clustersmoke is the process-level cluster smoke test behind
+// `make cluster-smoke`: it boots two sssjd worker daemons (-shard 0/2
+// and 1/2) plus an sssjc coordinator as real OS processes on loopback,
+// streams a deterministic workload through the coordinator, and
+// requires the match set to equal — bit for bit — what one
+// single-process sssjd reports for the same stream. Both the self-join
+// and the foreign A ⋈ B stream shapes run. This is the deployment-shape
+// check the in-process tests cannot give: separate address spaces,
+// real TCP, real process lifecycle.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/server"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+func main() {
+	sssjd := flag.String("sssjd", "bin/sssjd", "path to the sssjd binary")
+	sssjc := flag.String("sssjc", "bin/sssjc", "path to the sssjc binary")
+	n := flag.Int("n", 200, "items per stream")
+	flag.Parse()
+	for _, join := range []string{"self", "foreign"} {
+		if err := runMode(*sssjd, *sssjc, join, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster-smoke: %s: %v\n", join, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cluster-smoke: %s join OK (2 workers ≡ single process, %d items)\n", join, *n)
+	}
+}
+
+// proc is a spawned daemon plus the address it bound.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// start launches a daemon on 127.0.0.1:0 and scans its stderr for the
+// "listening on <addr>" line every daemon logs once bound.
+func start(bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+		io.Copy(io.Discard, stderr)
+	}()
+	select {
+	case addr := <-addrCh:
+		return &proc{cmd: cmd, addr: addr}, nil
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("%s did not report a listen address", bin)
+	}
+}
+
+// stop SIGTERMs the daemon and waits for a clean exit.
+func (p *proc) stop() error {
+	if p == nil || p.cmd.Process == nil {
+		return nil
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("daemon did not exit on SIGTERM")
+	}
+}
+
+// genItems derives the deterministic workload: clustered draws from a
+// small vocabulary so real matches occur, strictly increasing times.
+func genItems(seed int64, n int) []stream.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]stream.Item, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		nnz := 1 + rng.Intn(4)
+		dims := map[uint32]float64{}
+		for len(dims) < nnz {
+			dims[uint32(rng.Intn(20))] = 0.1 + rng.Float64()
+		}
+		var ds []uint32
+		var vs []float64
+		for d := uint32(0); d < 20; d++ {
+			if v, ok := dims[d]; ok {
+				ds = append(ds, d)
+				vs = append(vs, v)
+			}
+		}
+		t += rng.Float64()
+		items = append(items, stream.Item{ID: uint64(i), Time: t, Vec: vec.MustNew(ds, vs).Normalize()})
+	}
+	return items
+}
+
+// feed streams the items through one server and returns every reported
+// match. Under the foreign join, odd positions go to stream B.
+func feed(addr, join string, items []stream.Item) ([]apss.Match, error) {
+	c, err := server.Dialer{DialTimeout: 2 * time.Second, IOTimeout: 30 * time.Second, Retries: 5}.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	side := apss.SideA
+	var all []apss.Match
+	for i, it := range items {
+		if join == "foreign" {
+			want := apss.SideA
+			if i%2 == 1 {
+				want = apss.SideB
+			}
+			if want != side {
+				if err := c.Side(want); err != nil {
+					return nil, err
+				}
+				side = want
+			}
+		}
+		_, ms, err := c.Add(it.Time, it.Vec)
+		if err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, err)
+		}
+		all = append(all, ms...)
+	}
+	st, err := c.StatsJSON()
+	if err != nil {
+		return nil, fmt.Errorf("STATS JSON: %w", err)
+	}
+	if st.Items != int64(len(items)) {
+		return nil, fmt.Errorf("server counted %d items, fed %d", st.Items, len(items))
+	}
+	return all, nil
+}
+
+// runMode runs one join mode end to end: 2-worker cluster vs a
+// single-process daemon on the same stream.
+func runMode(sssjd, sssjc, join string, n int) error {
+	base := []string{"-theta", "0.7", "-lambda", "0.05", "-index", "L2", "-join", join}
+	var procs []*proc
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	}()
+	var workerAddrs []string
+	for i := 0; i < 2; i++ {
+		w, err := start(sssjd, append([]string{"-shard", fmt.Sprintf("%d/2", i)}, base...)...)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+		procs = append(procs, w)
+		workerAddrs = append(workerAddrs, w.addr)
+	}
+	coord, err := start(sssjc, append([]string{"-workers", strings.Join(workerAddrs, ",")}, base...)...)
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	procs = append(procs, coord)
+	single, err := start(sssjd, base...)
+	if err != nil {
+		return fmt.Errorf("single-process daemon: %w", err)
+	}
+	procs = append(procs, single)
+
+	items := genItems(7, n)
+	got, err := feed(coord.addr, join, items)
+	if err != nil {
+		return fmt.Errorf("cluster stream: %w", err)
+	}
+	want, err := feed(single.addr, join, items)
+	if err != nil {
+		return fmt.Errorf("single-process stream: %w", err)
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("single-process run found no matches; smoke test vacuous")
+	}
+	if !apss.EqualMatchSets(got, want, 0) {
+		return fmt.Errorf("cluster reported %d matches, single process %d — outputs differ", len(got), len(want))
+	}
+	for _, p := range procs {
+		if err := p.stop(); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+	}
+	procs = nil
+	return nil
+}
