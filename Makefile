@@ -41,7 +41,7 @@ bench-workers:
 # bench-json runs the standing perf scenario matrix at smoke scale,
 # emits the machine-readable BENCH artifact, and validates that it
 # parses against the versioned schema. Compare against a committed
-# baseline with: go run ./cmd/sssjbench -exp perf -baseline BENCH_PR6.json
+# baseline with: go run ./cmd/sssjbench -exp perf -baseline BENCH_PR8.json
 bench-json:
 	$(GO) run ./cmd/sssjbench -exp perf -scale 0.1 -budget 5s -json BENCH.json
 	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
@@ -51,15 +51,15 @@ bench-json:
 # throughput drop past -regress, any objects/item growth past
 # -allocregress, a pair-count mismatch (same stream ⇒ same pairs), or a
 # scenario that vanished. Refresh the baseline by committing a new
-# BENCH_PR6.json from `go run ./cmd/sssjbench -exp perf -scale 0.25 -json BENCH_PR6.json`.
+# BENCH_PR8.json from `go run ./cmd/sssjbench -exp perf -scale 0.25 -json BENCH_PR8.json`.
 bench-gate:
 	$(GO) run ./cmd/sssjbench -exp perf -scale 0.25 -seed 1 -budget 10s \
-		-json BENCH.json -baseline BENCH_PR6.json
+		-json BENCH.json -baseline BENCH_PR8.json
 	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
 
 # fuzz-smoke runs the metamorphic fuzz targets — foreign-vs-self-join
-# parity, reorder-vs-sorted parity, and cluster-vs-sequential parity —
-# for a short burst each on top of their committed seed corpora
+# parity, reorder-vs-sorted parity, cluster-vs-sequential parity, and
+# vectorized-vs-scalar kernel parity — for a short burst each on top of their committed seed corpora
 # (testdata/fuzz/…): a CI pass that keeps hunting for oracle violations
 # without the cost of a long fuzzing campaign. `go test -fuzz` takes one
 # target per run, hence one command of $(FUZZTIME) each.
@@ -68,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzForeignSelfParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzReorderParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzClusterParity -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzKernelParity -fuzztime $(FUZZTIME) .
 
 # cluster-smoke is the process-level cluster parity check: it builds the
 # real binaries, boots 2 sssjd shard workers + 1 sssjc coordinator (plus

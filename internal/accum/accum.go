@@ -79,3 +79,33 @@ func (a *Dense) Decline(slot uint32) {
 		a.Deads = append(a.Deads, slot)
 	}
 }
+
+// MergeDeads unions src's declined slots into a. The sharded engines
+// call it for every shard before any MergeCands so that a candidate
+// declined by one shard (provably below threshold) is dropped globally
+// even if another shard admitted it. a and src must be on the same
+// probe (a.Begin called for this probe; src.Begin run by the shard).
+func (a *Dense) MergeDeads(src *Dense) {
+	for _, sl := range src.Deads {
+		if a.Dead[sl] != a.Epoch {
+			a.Dead[sl] = a.Epoch
+		}
+	}
+}
+
+// MergeCands folds src's admitted slots and partial dot products into
+// a, skipping slots already declined in a (see MergeDeads). Merged
+// Cands ordering is src's first-touch order filtered by liveness, so
+// merging shards in a fixed order keeps the global candidate list
+// deterministic.
+func (a *Dense) MergeCands(src *Dense) {
+	for _, sl := range src.Cands {
+		if a.Dead[sl] == a.Epoch {
+			continue
+		}
+		if a.Mark[sl] != a.Epoch {
+			a.Admit(sl)
+		}
+		a.Dot[sl] += src.Dot[sl]
+	}
+}

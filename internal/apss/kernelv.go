@@ -1,0 +1,77 @@
+package apss
+
+import "math"
+
+// This file provides the batched lane primitives of the vectorized
+// verification kernels (see internal/index/streaming/kernelv.go). The
+// streaming indexes store posting entries in 16-entry struct-of-arrays
+// blocks, so the hot per-entry quantities — decay factors and coordinate
+// products — can be computed over contiguous float slices per block
+// instead of one interface call per entry. Every primitive is
+// bit-identical to its scalar counterpart: same operations, same order,
+// one lane at a time, so the vectorized engines reproduce the frozen
+// scalar kernels' floats exactly.
+//
+// Quant8/Dequant8 implement the 8-bit admissible quantization of the
+// cheap-reject tier: per-block maxima of posting values and prefix norms
+// are stored as ceil-quantized uint8 summaries, and a block is discarded
+// wholesale when even the dequantized (over-estimated) best case cannot
+// reach θ. Admissibility — Dequant8(Quant8(v)) ≥ v for v ∈ [0, 1] — is
+// what makes a quantized reject a proof, never a heuristic: the tier can
+// only skip work whose outcome is already decided, so match sets and
+// pruning counters stay bit-identical to the scalar path.
+
+// Quant8 ceil-quantizes v ∈ [0, 1] to 8 bits: the smallest q with
+// q/255 ≥ v. Inputs ≥ 1 saturate to 255; negative (or NaN) inputs clamp
+// to 0. Outside [0, 1] the round trip is not admissible — callers that
+// summarize possibly-out-of-range data must detect that and disable the
+// quantized tier (see parena.qbad).
+func Quant8(v float64) uint8 {
+	if !(v > 0) {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(math.Ceil(v * 255))
+}
+
+// Dequant8 maps a quantized summary back to its upper bound q/255.
+func Dequant8(q uint8) float64 { return float64(q) / 255 }
+
+// FactorLanes fills out[j] = k.Factor(now - ts[j]) for every lane. For
+// the paper's Exponential kernel the interface dispatch is hoisted out
+// of the loop and the loop body is exactly Exponential.Factor inlined —
+// math.Exp(-λ·(now-t)), same expression, same rounding — so a batched
+// decay is bitwise the per-entry one.
+func FactorLanes(k Kernel, now float64, ts, out []float64) {
+	out = out[:len(ts)]
+	if e, ok := k.(Exponential); ok {
+		l := e.Lambda
+		for j, t := range ts {
+			out[j] = math.Exp(-l * (now - t))
+		}
+		return
+	}
+	for j, t := range ts {
+		out[j] = k.Factor(now - t)
+	}
+}
+
+// ScaleLanes fills out[j] = x * vals[j], hand-unrolled 4-wide over the
+// contiguous block slice. Each product is the same single float64
+// multiply the scalar kernel performs before accumulating, so scattering
+// out[j] into the accumulator afterwards is bitwise `dot += x*val`.
+func ScaleLanes(x float64, vals, out []float64) {
+	out = out[:len(vals)]
+	j := 0
+	for ; j+4 <= len(vals); j += 4 {
+		out[j] = x * vals[j]
+		out[j+1] = x * vals[j+1]
+		out[j+2] = x * vals[j+2]
+		out[j+3] = x * vals[j+3]
+	}
+	for ; j < len(vals); j++ {
+		out[j] = x * vals[j]
+	}
+}

@@ -1,0 +1,112 @@
+package apss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stepKernel is a non-Exponential Kernel used to exercise FactorLanes'
+// generic fallback path (interface dispatch per lane).
+type stepKernel struct{ h float64 }
+
+func (s stepKernel) Factor(dt float64) float64 {
+	if dt > s.h {
+		return 0
+	}
+	return 1 - dt/(2*s.h)
+}
+func (s stepKernel) Horizon(float64) float64 { return s.h }
+
+// TestQuant8Admissible: the property the quantized cheap-reject tier
+// rests on — for every v ∈ [0, 1], Dequant8(Quant8(v)) ≥ v, so a
+// quantized block summary never under-states the block's best case and
+// a quantized reject is a proof. Checked on edge cases and a dense
+// random sweep, plus the documented clamping outside [0, 1].
+func TestQuant8Admissible(t *testing.T) {
+	check := func(v float64) {
+		t.Helper()
+		q := Quant8(v)
+		if got := Dequant8(q); got < v {
+			t.Fatalf("Quant8 not admissible: v=%v q=%d dequant=%v < v", v, q, got)
+		}
+	}
+	for _, v := range []float64{0, 1, 0.5, 1.0 / 255, 0.999999, math.SmallestNonzeroFloat64} {
+		check(v)
+	}
+	// Exact grid points: q/255 must round-trip to exactly q (tightness —
+	// the summary is the least admissible 8-bit bound).
+	for q := 0; q <= 255; q++ {
+		v := float64(q) / 255
+		if got := Quant8(v); int(got) != q {
+			t.Fatalf("Quant8(%d/255) = %d, want %d", q, got, q)
+		}
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100000; i++ {
+		check(rng.Float64())
+	}
+	// Out-of-range clamps.
+	for _, tc := range []struct {
+		v float64
+		q uint8
+	}{{-0.5, 0}, {math.Inf(-1), 0}, {math.NaN(), 0}, {1.5, 255}, {math.Inf(1), 255}} {
+		if got := Quant8(tc.v); got != tc.q {
+			t.Fatalf("Quant8(%v) = %d, want %d", tc.v, got, tc.q)
+		}
+	}
+}
+
+// TestFactorLanesBitwise: batched decay must be bitwise the per-entry
+// Kernel.Factor — for the specialized Exponential fast path and for
+// the generic fallback.
+func TestFactorLanesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	kernels := []Kernel{Exponential{Lambda: 0.1}, Exponential{Lambda: 2.5}, stepKernel{h: 10}}
+	for _, k := range kernels {
+		for trial := 0; trial < 200; trial++ {
+			n := rng.Intn(17)
+			ts := make([]float64, n)
+			now := rng.Float64() * 100
+			for j := range ts {
+				ts[j] = now - rng.Float64()*50
+			}
+			out := make([]float64, n)
+			FactorLanes(k, now, ts, out)
+			for j := range ts {
+				want := k.Factor(now - ts[j])
+				if math.Float64bits(out[j]) != math.Float64bits(want) {
+					t.Fatalf("kernel %T lane %d: FactorLanes=%v, Factor=%v", k, j, out[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestScaleLanesBitwise: the 4-wide unrolled products must be bitwise
+// x*vals[j] at every length 0..20 (covering all unroll remainders),
+// including negative, denormal, and infinite operands.
+func TestScaleLanesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	specials := []float64{0, -0.0, 1, -1, math.SmallestNonzeroFloat64, math.Inf(1)}
+	for n := 0; n <= 20; n++ {
+		vals := make([]float64, n)
+		for j := range vals {
+			if j < len(specials) {
+				vals[j] = specials[j]
+			} else {
+				vals[j] = rng.NormFloat64()
+			}
+		}
+		for _, x := range []float64{0.37, -2.25, 0, math.Inf(1)} {
+			out := make([]float64, n)
+			ScaleLanes(x, vals, out)
+			for j := range vals {
+				want := x * vals[j]
+				if math.Float64bits(out[j]) != math.Float64bits(want) {
+					t.Fatalf("n=%d x=%v lane %d: ScaleLanes=%v, want %v", n, x, j, out[j], want)
+				}
+			}
+		}
+	}
+}

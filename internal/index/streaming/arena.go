@@ -1,6 +1,10 @@
 package streaming
 
-import "sssj/internal/apss"
+import (
+	"math"
+
+	"sssj/internal/apss"
+)
 
 // This file implements the block-arena posting storage shared by every
 // streaming index (INV, L2, L2AP/AP, sequential and sharded).
@@ -67,6 +71,24 @@ type parena struct {
 	off   []int32
 	end   []int32
 
+	// Per-block summaries for the vectorized kernels' quantized
+	// cheap-reject tier (withPnorm arenas only; see kernelv.go). They
+	// are derived state, maintained as monotone maxima over the block's
+	// ever-held entries: push and compaction moves fold entries in,
+	// removals never shrink them — stale-high is admissible, the tier
+	// only over-estimates and skips less. Checkpoint load rebuilds them
+	// through the ordinary push path, so they are not serialized.
+	qval []uint8   // ceil-quantized max |val| in the block (apss.Quant8)
+	qpn  []uint8   // ceil-quantized max pnorm in the block
+	tmax []float64 // upper bound on the newest entry time in the block
+
+	// qbad disables the quantized tier: it latches true if any
+	// summarized |val| or pnorm ever falls outside the admissible [0, 1]
+	// quantization domain (unit vectors guarantee it never does;
+	// out-of-contract inputs merely disable the tier instead of
+	// corrupting its soundness). Zero value: tier enabled.
+	qbad bool
+
 	free []int32 // recycled block indexes
 }
 
@@ -90,6 +112,10 @@ func (ar *parena) alloc() int32 {
 		ar.free = ar.free[:n-1]
 		ar.older[b], ar.newer[b] = -1, -1
 		ar.off[b], ar.end[b] = 0, 0
+		if ar.withPnorm {
+			ar.qval[b], ar.qpn[b] = 0, 0
+			ar.tmax[b] = math.Inf(-1)
+		}
 		return b
 	}
 	b := int32(len(ar.older))
@@ -102,8 +128,31 @@ func (ar *parena) alloc() int32 {
 	ar.val = append(ar.val, zeroF64[:]...)
 	if ar.withPnorm {
 		ar.pnorm = append(ar.pnorm, zeroF64[:]...)
+		ar.qval = append(ar.qval, 0)
+		ar.qpn = append(ar.qpn, 0)
+		ar.tmax = append(ar.tmax, math.Inf(-1))
 	}
 	return b
+}
+
+// coverAt folds the entry at arena index ai into block b's summaries,
+// keeping the quantized tier's upper bounds valid. Called on every push
+// and on every compaction move into b; summaries never shrink.
+func (ar *parena) coverAt(b int32, ai int) {
+	v, pn := ar.val[ai], ar.pnorm[ai]
+	av := math.Abs(v)
+	if !(av <= 1 && pn >= 0 && pn <= 1) {
+		ar.qbad = true
+	}
+	if q := apss.Quant8(av); q > ar.qval[b] {
+		ar.qval[b] = q
+	}
+	if q := apss.Quant8(pn); q > ar.qpn[b] {
+		ar.qpn[b] = q
+	}
+	if t := ar.t[ai]; t > ar.tmax[b] {
+		ar.tmax[b] = t
+	}
 }
 
 // release puts a block on the freelist.
@@ -140,6 +189,7 @@ func (ar *parena) push(ch *chain, slot uint32, t, val, pnorm float64) {
 	ar.val[i] = val
 	if ar.withPnorm {
 		ar.pnorm[i] = pnorm
+		ar.coverAt(b, i)
 	}
 	ar.end[b]++
 	ch.n++
@@ -269,6 +319,9 @@ func (ar *parena) compact(ch *chain, keep func(i int) bool) int {
 				ar.val[wa] = ar.val[ai]
 				if ar.withPnorm {
 					ar.pnorm[wa] = ar.pnorm[ai]
+					// The write block's summaries must keep covering the
+					// lane it just received.
+					ar.coverAt(wb, wa)
 				}
 			}
 			wi++
@@ -284,6 +337,74 @@ func (ar *parena) compact(ch *chain, keep func(i int) bool) int {
 	if wi == ar.off[wb] {
 		ar.releaseChain(ch)
 		ch.n = 0
+		return removed
+	}
+	for b := ar.newer[wb]; b >= 0; {
+		nb := ar.newer[b]
+		ar.release(b)
+		b = nb
+	}
+	ar.newer[wb] = -1
+	ar.end[wb] = wi
+	ch.newest = wb
+	ch.n -= int32(removed)
+	return removed
+}
+
+// vcompact is the block-granular variant of compact used by the
+// vectorized scan kernels (kernelv.go) on disordered (AP) chains. Expiry
+// is the keep criterion: per block it first computes the live-lane
+// bitmask (bit j set ⇔ lane at block position j has now-t ≤ tau), hands
+// the whole block to blk for batched lane processing, then packs the
+// survivors exactly as compact does (same write-cursor walk, same final
+// layout, write-block summaries re-covered on every move). blk sees the
+// block's storage untouched: the write cursor cannot have reached a
+// block before all older blocks were read, so moves only overwrite
+// already-processed positions. Returns the number of removed entries.
+func (ar *parena) vcompact(ch *chain, now, tau float64, blk func(b int32, base, lo, hi int, live uint16)) int {
+	if ch.oldest < 0 {
+		return 0
+	}
+	removed := 0
+	wb, wi := ch.oldest, ar.off[ch.oldest]
+	for rb := ch.oldest; rb >= 0; rb = ar.newer[rb] {
+		base := int(rb) << blockShift
+		lo, hi := int(ar.off[rb]), int(ar.end[rb])
+		var live uint16
+		for j := lo; j < hi; j++ {
+			if !(now-ar.t[base+j] > tau) {
+				live |= 1 << uint(j)
+			}
+		}
+		blk(rb, base, lo, hi, live)
+		for ri := lo; ri < hi; ri++ {
+			if live&(1<<uint(ri)) == 0 {
+				removed++
+				continue
+			}
+			if wi == ar.end[wb] && wb != rb {
+				wb = ar.newer[wb]
+				wi = ar.off[wb]
+			}
+			ai := base + ri
+			wa := int(wb)<<blockShift + int(wi)
+			if wa != ai {
+				ar.slot[wa] = ar.slot[ai]
+				ar.t[wa] = ar.t[ai]
+				ar.val[wa] = ar.val[ai]
+				if ar.withPnorm {
+					ar.pnorm[wa] = ar.pnorm[ai]
+					ar.coverAt(wb, wa)
+				}
+			}
+			wi++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	if wi == ar.off[wb] {
+		ar.releaseChain(ch)
 		return removed
 	}
 	for b := ar.newer[wb]; b >= 0; {

@@ -223,6 +223,17 @@ type engine struct {
 	clock sweepClock
 	now   float64
 	begun bool
+
+	// Vectorized-kernel scratch: per-block lane buffers for batched decay
+	// factors and coordinate products (kernelv.go).
+	dkLanes [blockCap]float64
+	prLanes [blockCap]float64
+	// Quantized-tier effectiveness stats (not part of metrics.Counters —
+	// the tier is a computational shortcut, work counters are identical
+	// either way; these feed the in-package effectiveness tests and
+	// microbenchmarks).
+	qRejects int64 // blocks rejected wholesale by the admission bound
+	qKills   int64 // blocks whose fresh candidates were killed wholesale
 }
 
 func newEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, abl Ablations, foreign bool, c *metrics.Counters) *engine {
@@ -326,102 +337,15 @@ func (e *engine) Advance(t float64) error {
 // candGen is Algorithm 7: scan x's coordinates in reverse indexing order,
 // accumulating partial dot products for candidates that survive the
 // remscore and ℓ2 bounds, with time filtering applied per entry. The
-// result lives in e.acc until the next probe.
+// result lives in e.acc until the next probe. The scan runs on the
+// vectorized block kernels (kernelv.go) unless the ScalarKernel ablation
+// selects the frozen entry-at-a-time oracle (kernel_scalar.go); both
+// produce bit-identical accumulator state and counters.
 func (e *engine) candGen(x stream.Item) {
-	a := &e.acc
-	a.Begin(e.slots.span())
-	dims, vals := x.Vec.Dims, x.Vec.Vals
-	if len(dims) == 0 {
-		return
-	}
-	rs1 := math.Inf(1)
-	if e.useAP {
-		rs1 = 0
-		for i, d := range dims {
-			rs1 += vals[i] * e.mhatAt(d)
-		}
-	}
-	rst := 0.0
-	rs2 := math.Inf(1)
-	if e.useL2 {
-		for _, v := range vals {
-			rst += v * v
-		}
-		rs2 = math.Sqrt(rst)
-	}
-
-	pnx := x.Vec.PrefixNorms()
-
-	for i := len(dims) - 1; i >= 0; i-- {
-		d, xj := dims[i], vals[i]
-		ch := e.lists[d]
-		if ch == nil {
-			continue
-		}
-		process := func(ai int) {
-			e.c.EntriesTraversed++
-			sl := e.ar.slot[ai]
-			if a.Dead[sl] == a.Epoch {
-				return
-			}
-			dt := x.Time - e.ar.t[ai]
-			decay := e.kernel.Factor(dt)
-			if a.Mark[sl] != a.Epoch {
-				// Foreign-join side gating: a same-side item is not a
-				// candidate at all, so it is pruned before any bound is
-				// evaluated or any dot accumulated.
-				if e.foreign && !apss.CrossSide(e.slots.side[sl], x.Side) {
-					a.Dead[sl] = a.Epoch
-					return
-				}
-				// remscore admission (Algorithm 7, lines 7–8).
-				rs2d := rs2
-				if e.useL2 {
-					rs2d = rs2 * decay
-				}
-				if !e.abl.NoRemscore && math.Min(rs1, rs2d) < e.p.Theta {
-					return
-				}
-				a.Admit(sl)
-				e.c.Candidates++
-			}
-			a.Dot[sl] += xj * e.ar.val[ai]
-			// Early ℓ2 pruning (Algorithm 7, lines 10–12).
-			if e.useL2 && !e.abl.NoL2Bound && a.Dot[sl]+pnx[i]*e.ar.pnorm[ai]*decay < e.p.Theta {
-				a.Dead[sl] = a.Epoch
-			}
-		}
-		if e.useAP {
-			// Re-indexing may have broken time order, so scan forward
-			// through the whole chain, compacting expired entries (§6.2).
-			removed := e.ar.compact(ch, func(ai int) bool {
-				if x.Time-e.ar.t[ai] > e.tau {
-					e.c.EntriesTraversed++
-					return false
-				}
-				process(ai)
-				return true
-			})
-			e.c.ExpiredEntries += int64(removed)
-		} else {
-			// Time-ordered chain: scan backwards from the newest entry and
-			// truncate at the first expired one (§6.2).
-			removed := e.ar.descendCut(ch, x.Time, e.tau, process)
-			e.c.ExpiredEntries += int64(removed)
-		}
-		if ch.n == 0 {
-			delete(e.lists, d)
-		}
-		if e.useAP {
-			rs1 -= xj * e.mhatAt(d)
-		}
-		if e.useL2 {
-			rst -= xj * xj
-			if rst < 0 {
-				rst = 0
-			}
-			rs2 = math.Sqrt(rst)
-		}
+	if e.abl.ScalarKernel {
+		e.candGenScalar(x)
+	} else {
+		e.candGenVec(x)
 	}
 }
 

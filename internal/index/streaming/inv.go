@@ -23,7 +23,10 @@ type invIndex struct {
 	// foreign enables two-stream join gating: only cross-side entries
 	// are admitted as candidates (see Options.Foreign).
 	foreign bool
-	c       *metrics.Counters
+	// scalar selects the frozen entry-at-a-time scan kernel
+	// (kernel_scalar.go) instead of the vectorized block kernel.
+	scalar bool
+	c      *metrics.Counters
 
 	ar    parena
 	lists map[uint32]*chain
@@ -36,14 +39,19 @@ type invIndex struct {
 	clock sweepClock
 	now   float64
 	begun bool
+
+	// Vectorized-kernel scratch: per-block lane buffer for batched
+	// coordinate products (kernelv.go).
+	prLanes [blockCap]float64
 }
 
-func newInvIndex(p apss.Params, kernel apss.Kernel, foreign bool, c *metrics.Counters) *invIndex {
+func newInvIndex(p apss.Params, kernel apss.Kernel, foreign, scalar bool, c *metrics.Counters) *invIndex {
 	return &invIndex{
 		p:       p,
 		kernel:  kernel,
 		tau:     kernel.Horizon(p.Theta),
 		foreign: foreign,
+		scalar:  scalar,
 		c:       c,
 		lists:   make(map[uint32]*chain),
 	}
@@ -62,34 +70,14 @@ func (ix *invIndex) AddTo(x stream.Item, emit apss.Sink) error {
 
 	a := &ix.acc
 	a.Begin(ix.slots.span())
-	for i, d := range x.Vec.Dims {
-		xj := x.Vec.Vals[i]
-		ch := ix.lists[d]
-		if ch == nil {
-			continue
-		}
-		// Backward scan: newest first, stop at the first expired entry,
-		// then drop it and everything older (§6.2 time filtering).
-		removed := ix.ar.descendCut(ch, x.Time, ix.tau, func(ai int) {
-			ix.c.EntriesTraversed++
-			sl := ix.ar.slot[ai]
-			// Foreign-join side gating: same-side entries are not
-			// candidates and accumulate nothing.
-			if ix.foreign && !apss.CrossSide(ix.slots.side[sl], x.Side) {
-				return
-			}
-			if a.Mark[sl] != a.Epoch {
-				a.Admit(sl)
-				ix.c.Candidates++
-			}
-			a.Dot[sl] += xj * ix.ar.val[ai]
-		})
-		if removed > 0 {
-			ix.c.ExpiredEntries += int64(removed)
-			if ch.n == 0 {
-				delete(ix.lists, d)
-			}
-		}
+	// Backward scan per touched dimension: newest first, stop at the
+	// first expired entry, then drop it and everything older (§6.2 time
+	// filtering). Runs on the vectorized block kernel unless the
+	// ScalarKernel ablation selects the frozen oracle.
+	if ix.scalar {
+		ix.scanScalar(x)
+	} else {
+		ix.scanVec(x)
 	}
 
 	g := apss.NewGate(emit)

@@ -1,0 +1,245 @@
+package streaming
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/datagen"
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+// checkBlockSummaries asserts the admissibility invariant of the
+// quantized cheap-reject tier on every live block of ch: the
+// dequantized summaries and tmax are upper bounds on the live entries'
+// |val|, pnorm, and t. (They may over-state — summaries are monotone
+// maxima over ever-held entries — but must never under-state, or a
+// quantized reject could drop a real candidate.)
+func checkBlockSummaries(t *testing.T, ar *parena, ch *chain) {
+	t.Helper()
+	for b := ch.oldest; b >= 0; b = ar.newer[b] {
+		base := int(b) << blockShift
+		ubVal := apss.Dequant8(ar.qval[b])
+		ubPn := apss.Dequant8(ar.qpn[b])
+		for i := ar.off[b]; i < ar.end[b]; i++ {
+			ai := base + int(i)
+			if av := math.Abs(ar.val[ai]); av > ubVal {
+				t.Fatalf("block %d: |val|=%v exceeds dequantized summary %v", b, av, ubVal)
+			}
+			if ar.pnorm[ai] > ubPn {
+				t.Fatalf("block %d: pnorm=%v exceeds dequantized summary %v", b, ar.pnorm[ai], ubPn)
+			}
+			if ar.t[ai] > ar.tmax[b] {
+				t.Fatalf("block %d: t=%v exceeds tmax %v", b, ar.t[ai], ar.tmax[b])
+			}
+		}
+	}
+}
+
+// TestArenaSummariesOrdered: summaries stay admissible on a
+// time-ordered chain through pushes, oldest-end sweeps, and newest-end
+// cuts — including blocks recycled through the freelist, whose
+// summaries must reset on alloc.
+func TestArenaSummariesOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ar := &parena{withPnorm: true}
+	ch := newChain()
+	now, tau := 0.0, 8.0
+	for i := 0; i < 2000; i++ {
+		now += rng.Float64() * 0.3
+		ar.push(ch, uint32(i), now, rng.Float64(), rng.Float64())
+		switch rng.Intn(10) {
+		case 0:
+			ar.sweepOrdered(ch, now, tau)
+		case 1:
+			// Cut at a random live position, like descendCut's expiry cut.
+			if ch.n > 1 {
+				b := ch.oldest
+				ar.cutAt(ch, b, ar.off[b])
+			}
+		}
+		checkBlockSummaries(t, ar, ch)
+		if ar.qbad {
+			t.Fatal("qbad latched on in-range entries")
+		}
+	}
+}
+
+// TestArenaSummariesCompacted: summaries stay admissible on a
+// disordered (AP-style) chain through compact and vcompact, whose
+// write-cursor moves fold surviving entries into their destination
+// block's summaries.
+func TestArenaSummariesCompacted(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ar := &parena{withPnorm: true}
+	ch := newChain()
+	now := 0.0
+	for i := 0; i < 1500; i++ {
+		now += rng.Float64() * 0.3
+		// Disordered insertion times, like re-indexed residuals.
+		ar.push(ch, uint32(i), now-rng.Float64()*5, rng.Float64(), rng.Float64())
+		switch rng.Intn(8) {
+		case 0:
+			ar.compact(ch, func(int) bool { return rng.Intn(4) > 0 })
+		case 1:
+			ar.vcompact(ch, now, 6.0, func(b int32, base, lo, hi int, live uint16) {})
+		}
+		checkBlockSummaries(t, ar, ch)
+	}
+}
+
+// TestArenaQbadLatch: entries outside the admissible quantization
+// domain ([0,1] values and prefix norms — guaranteed by unit vectors,
+// violable by out-of-contract input) must permanently disable the
+// quantized tier rather than corrupt its soundness.
+func TestArenaQbadLatch(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		val, pn   float64
+		wantLatch bool
+	}{
+		{"in-range", 0.9, 0.8, false},
+		{"val-over", 1.5, 0.5, true},
+		{"val-neg-over", -1.5, 0.5, true},
+		{"pnorm-over", 0.5, 1.2, true},
+		{"pnorm-neg", 0.5, -0.1, true},
+		{"val-nan", math.NaN(), 0.5, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ar := &parena{withPnorm: true}
+			ch := newChain()
+			ar.push(ch, 0, 1, tc.val, tc.pn)
+			if ar.qbad != tc.wantLatch {
+				t.Fatalf("qbad = %v, want %v", ar.qbad, tc.wantLatch)
+			}
+			if tc.wantLatch {
+				// Latched for good: in-range entries don't clear it.
+				ar.push(ch, 1, 2, 0.5, 0.5)
+				if !ar.qbad {
+					t.Fatal("qbad cleared by in-range push")
+				}
+			}
+		})
+	}
+}
+
+// TestQuantTiersEffective: on a match-sparse stream (high θ over a
+// realistic profile) the quantized tiers must actually fire — the
+// parity tests prove they are sound, this proves they are not dead
+// code — and the live index's block summaries must stay admissible
+// end to end.
+func TestQuantTiersEffective(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.05).Generate(3)
+	p := apss.Params{Theta: 0.9, Lambda: 0.1}
+	t.Run("engine", func(t *testing.T) {
+		for _, kind := range []Kind{L2, L2AP} {
+			ix, err := New(kind, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := ix.(*engine)
+			for _, it := range items {
+				if _, err := e.Add(it); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if e.ar.qbad {
+				t.Fatalf("%v: qbad latched on unit vectors", kind)
+			}
+			if e.qRejects+e.qKills == 0 {
+				t.Fatalf("%v: quantized tiers never fired (rejects=%d kills=%d)",
+					kind, e.qRejects, e.qKills)
+			}
+			for _, ch := range e.lists {
+				checkBlockSummaries(t, &e.ar, ch)
+			}
+		}
+	})
+	t.Run("shard", func(t *testing.T) {
+		ix, err := New(L2, p, Options{Shard: Shard{ID: 0, N: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := ix.(*shardEngine)
+		for _, it := range items {
+			if _, err := e.Add(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.qRejects == 0 {
+			t.Fatal("shard engine: block decline tier never fired")
+		}
+	})
+}
+
+// TestScalarKernelParity pins the vectorized kernels to the frozen
+// scalar kernels from inside the package, driving every scalar entry
+// point (sequential engine, inverted index, parallel shards, cluster
+// shard) directly. The root-level grid proves deployment-shaped
+// parity end to end; this one keeps the frozen oracle itself under
+// in-package test.
+func TestScalarKernelParity(t *testing.T) {
+	p := apss.Params{Theta: 0.55, Lambda: 0.1}
+	base := fuzzItems(31, 300)
+	rng := rand.New(rand.NewSource(32))
+	sided := make([]stream.Item, len(base))
+	copy(sided, base)
+	for i := range sided {
+		if rng.Intn(2) == 1 {
+			sided[i].Side = apss.SideB
+		}
+	}
+	deploys := []struct {
+		name string
+		opts Options
+	}{
+		{"seq", Options{}},
+		{"w3", Options{Workers: 3}},
+		{"s1", Options{Shard: Shard{ID: 0, N: 1}}},
+	}
+	for _, kind := range []Kind{INV, L2, L2AP, AP} {
+		for _, d := range deploys {
+			for _, foreign := range []bool{false, true} {
+				items, mode := base, "self"
+				if foreign {
+					items, mode = sided, "foreign"
+				}
+				t.Run(fmt.Sprintf("%v/%s/%s", kind, d.name, mode), func(t *testing.T) {
+					run := func(scalar bool) ([]apss.Match, metrics.Counters) {
+						var c metrics.Counters
+						opts := d.opts
+						opts.Foreign = foreign
+						opts.Counters = &c
+						opts.Ablations = Ablations{ScalarKernel: scalar}
+						ix, err := New(kind, p, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var out []apss.Match
+						for _, it := range items {
+							ms, err := ix.Add(it)
+							if err != nil {
+								t.Fatal(err)
+							}
+							out = append(out, ms...)
+						}
+						return out, c
+					}
+					want, wc := run(true)
+					got, gc := run(false)
+					if !apss.EqualMatchSets(got, want, 0) {
+						onlyG, onlyW := apss.DiffMatchSets(got, want)
+						t.Fatalf("vectorized ≠ scalar: %d vs %d matches (only-vec %v, only-scalar %v)",
+							len(got), len(want), onlyG, onlyW)
+					}
+					if gc != wc {
+						t.Fatalf("counters diverge:\nvec    %+v\nscalar %+v", gc, wc)
+					}
+				})
+			}
+		}
+	}
+}

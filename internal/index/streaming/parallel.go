@@ -67,6 +67,12 @@ type parShard struct {
 	acc       accum.Dense
 	traversed int64
 	expired   int64
+
+	// Vectorized-kernel scratch and quantized-tier stats, merged into
+	// the engine's totals after the join barrier (see engine).
+	dkLanes  [blockCap]float64
+	prLanes  [blockCap]float64
+	qRejects int64
 }
 
 // parEngine is the sharded counterpart of engine: STR-L2, STR-L2AP, and
@@ -80,9 +86,15 @@ type parEngine struct {
 	kernel apss.Kernel
 	lambda float64
 	tau    float64
+	// scalar selects the frozen entry-at-a-time scan kernel
+	// (kernel_scalar.go) instead of the vectorized block kernel.
+	scalar bool
 
 	shards []*parShard
 	macc   accum.Dense // merged accumulator, coordinator-owned
+
+	// Quantized-tier stats, summed over the shards at merge time.
+	qRejects int64
 
 	// lastTouch tracks the newest arrival time per dimension, driving
 	// the horizon sweep (see sweepClock).
@@ -93,7 +105,7 @@ type parEngine struct {
 	begun bool
 }
 
-func newParEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, workers int, foreign bool, c *metrics.Counters) *parEngine {
+func newParEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, workers int, foreign, scalar bool, c *metrics.Counters) *parEngine {
 	e := &parEngine{
 		icCore: icCore{
 			p:       p,
@@ -106,6 +118,7 @@ func newParEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, workers 
 		kernel: kernel,
 		lambda: p.Lambda,
 		tau:    kernel.Horizon(p.Theta),
+		scalar: scalar,
 		shards: make([]*parShard, workers),
 	}
 	e.icCore.push = e.pushEntry
@@ -251,18 +264,14 @@ func (e *parEngine) candGen(x stream.Item) {
 	// Merge in fixed shard order so the merged partial dots are
 	// deterministic; they feed only the verification bounds, never a
 	// reported similarity. A candidate declined by any shard is provably
-	// below θ and dropped globally.
+	// below θ and dropped globally. Both passes are the batched
+	// accumulator merges of internal/accum.
 	m := &e.macc
 	for s, w := range work {
 		if !w {
 			continue
 		}
-		sh := e.shards[s]
-		for _, sl := range sh.acc.Deads {
-			if m.Dead[sl] != m.Epoch {
-				m.Dead[sl] = m.Epoch
-			}
-		}
+		m.MergeDeads(&e.shards[s].acc)
 	}
 	for s, w := range work {
 		if !w {
@@ -271,16 +280,9 @@ func (e *parEngine) candGen(x stream.Item) {
 		sh := e.shards[s]
 		e.c.EntriesTraversed += sh.traversed
 		e.c.ExpiredEntries += sh.expired
-		sh.traversed, sh.expired = 0, 0
-		for _, sl := range sh.acc.Cands {
-			if m.Dead[sl] == m.Epoch {
-				continue
-			}
-			if m.Mark[sl] != m.Epoch {
-				m.Admit(sl)
-			}
-			m.Dot[sl] += sh.acc.Dot[sl]
-		}
+		e.qRejects += sh.qRejects
+		sh.traversed, sh.expired, sh.qRejects = 0, 0, 0
+		m.MergeCands(&sh.acc)
 	}
 	e.c.Candidates += int64(len(m.Cands))
 }
@@ -288,83 +290,14 @@ func (e *parEngine) candGen(x stream.Item) {
 // shardScan is one shard's share of Algorithm 7: scan x's owned
 // coordinates in reverse order, accumulating exact partial dot products
 // for candidates that survive the shard-local admission bounds, with
-// time filtering applied per chain.
+// time filtering applied per chain. Runs on the vectorized block kernel
+// (kernelv.go) unless the ScalarKernel ablation selects the frozen
+// oracle (kernel_scalar.go).
 func (e *parEngine) shardScan(sh *parShard, s int, x stream.Item, pnx, sqAbove, mh []float64, rs1Total float64) {
-	dims, vals := x.Vec.Dims, x.Vec.Vals
-	sh.acc.Begin(e.slots.span())
-	a := &sh.acc
-	rs1 := rs1Total // minus the s-owned terms past the current position
-	ownSqAbove := 0.0
-
-	for i := len(dims) - 1; i >= 0; i-- {
-		d, xj := dims[i], vals[i]
-		if e.owner(d) != s {
-			continue
-		}
-		if ch := sh.lists[d]; ch != nil {
-			process := func(ai int) {
-				sh.traversed++
-				sl := sh.ar.slot[ai]
-				if a.Dead[sl] == a.Epoch {
-					return
-				}
-				if a.Mark[sl] != a.Epoch {
-					// Foreign-join side gating first: a same-side item is
-					// not a candidate in any shard (the slot table is
-					// read-only during the fan-out), so declining it here
-					// is globally sound.
-					if e.foreign && !apss.CrossSide(e.slots.side[sl], x.Side) {
-						a.Decline(sl)
-						return
-					}
-					// Shard-local admission: both bounds dominate the
-					// candidate's total similarity (see file comment).
-					bound := math.Inf(1)
-					if e.useAP {
-						bound = rs1
-					}
-					if e.useL2 {
-						cross := sqAbove[i] - ownSqAbove
-						if cross < 0 {
-							cross = 0
-						}
-						decay := e.kernel.Factor(x.Time - sh.ar.t[ai])
-						if b := decay * (pnx[i+1] + math.Sqrt(cross)); b < bound {
-							bound = b
-						}
-					}
-					if bound < e.p.Theta-boundSlack {
-						a.Decline(sl)
-						return
-					}
-					a.Admit(sl)
-				}
-				a.Dot[sl] += xj * sh.ar.val[ai]
-			}
-			if e.useAP {
-				// Re-indexing may have broken time order, so scan forward
-				// through the whole chain, compacting expired entries.
-				removed := sh.ar.compact(ch, func(ai int) bool {
-					if x.Time-sh.ar.t[ai] > e.tau {
-						sh.traversed++
-						return false
-					}
-					process(ai)
-					return true
-				})
-				sh.expired += int64(removed)
-			} else {
-				removed := sh.ar.descendCut(ch, x.Time, e.tau, process)
-				sh.expired += int64(removed)
-			}
-			if ch.n == 0 {
-				delete(sh.lists, d)
-			}
-		}
-		if e.useAP {
-			rs1 -= xj * mh[i]
-		}
-		ownSqAbove += xj * xj
+	if e.scalar {
+		e.shardScanScalar(sh, s, x, pnx, sqAbove, mh, rs1Total)
+	} else {
+		e.shardScanVec(sh, s, x, pnx, sqAbove, mh, rs1Total)
 	}
 }
 
@@ -552,6 +485,9 @@ type invShard struct {
 	acc       accum.Dense
 	traversed int64
 	expired   int64
+
+	// Vectorized-kernel scratch, owned by the shard worker (see invIndex).
+	prLanes [blockCap]float64
 }
 
 // parInv is the sharded counterpart of invIndex. STR-INV has no pruning,
@@ -565,8 +501,11 @@ type parInv struct {
 	tau    float64
 	// foreign enables two-stream join gating (see Options.Foreign).
 	foreign bool
-	c       *metrics.Counters
-	shards  []*invShard
+	// scalar selects the frozen entry-at-a-time scan kernel
+	// (kernel_scalar.go) instead of the vectorized block kernel.
+	scalar bool
+	c      *metrics.Counters
+	shards []*invShard
 	slots   slotTab
 	live    cbuf.Ring[uint32]
 	macc    accum.Dense
@@ -576,12 +515,13 @@ type parInv struct {
 	begun bool
 }
 
-func newParInv(p apss.Params, kernel apss.Kernel, workers int, foreign bool, c *metrics.Counters) *parInv {
+func newParInv(p apss.Params, kernel apss.Kernel, workers int, foreign, scalar bool, c *metrics.Counters) *parInv {
 	ix := &parInv{
 		p:       p,
 		kernel:  kernel,
 		tau:     kernel.Horizon(p.Theta),
 		foreign: foreign,
+		scalar:  scalar,
 		c:       c,
 		shards:  make([]*invShard, workers),
 	}
@@ -617,38 +557,15 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 		}
 	}
 	var wg sync.WaitGroup
+	// Each shard scans its owned dimensions on the vectorized block
+	// kernel (kernelv.go) unless the ScalarKernel ablation selects the
+	// frozen oracle (kernel_scalar.go).
 	scan := func(s int) {
 		sh := ix.shards[s]
-		sh.acc.Begin(ix.slots.span())
-		a := &sh.acc
-		for i, d := range dims {
-			if ix.owner(d) != s {
-				continue
-			}
-			xj := vals[i]
-			ch := sh.lists[d]
-			if ch == nil {
-				continue
-			}
-			removed := sh.ar.descendCut(ch, x.Time, ix.tau, func(ai int) {
-				sh.traversed++
-				sl := sh.ar.slot[ai]
-				// Foreign-join side gating: the slot table is read-only
-				// during the fan-out, so every shard sees the same sides.
-				if ix.foreign && !apss.CrossSide(ix.slots.side[sl], x.Side) {
-					return
-				}
-				if a.Mark[sl] != a.Epoch {
-					a.Admit(sl)
-				}
-				a.Dot[sl] += xj * sh.ar.val[ai]
-			})
-			if removed > 0 {
-				sh.expired += int64(removed)
-				if ch.n == 0 {
-					delete(sh.lists, d)
-				}
-			}
+		if ix.scalar {
+			ix.shardScanScalar(sh, s, x)
+		} else {
+			ix.shardScanVec(sh, s, x)
 		}
 	}
 	for s, w := range work {
@@ -666,6 +583,8 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 	}
 	wg.Wait()
 
+	// STR-INV never declines a candidate, so the merge is a single
+	// batched MergeCands pass per shard.
 	m := &ix.macc
 	m.Begin(ix.slots.span())
 	for s, w := range work {
@@ -676,12 +595,7 @@ func (ix *parInv) AddTo(x stream.Item, emit apss.Sink) error {
 		ix.c.EntriesTraversed += sh.traversed
 		ix.c.ExpiredEntries += sh.expired
 		sh.traversed, sh.expired = 0, 0
-		for _, sl := range sh.acc.Cands {
-			if m.Mark[sl] != m.Epoch {
-				m.Admit(sl)
-			}
-			m.Dot[sl] += sh.acc.Dot[sl]
-		}
+		m.MergeCands(&sh.acc)
 	}
 	ix.c.Candidates += int64(len(m.Cands))
 

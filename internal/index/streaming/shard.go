@@ -102,10 +102,18 @@ type shardEngine struct {
 	lambda float64
 	tau    float64
 	shard  Shard
+	// scalar selects the frozen entry-at-a-time scan kernel
+	// (kernel_scalar.go) instead of the vectorized block kernel.
+	scalar bool
 
 	ar    parena
 	lists map[uint32]*chain
 	acc   accum.Dense
+
+	// Vectorized-kernel scratch and quantized-tier stats (see engine).
+	dkLanes  [blockCap]float64
+	prLanes  [blockCap]float64
+	qRejects int64
 
 	// m̂λ over ALL dimensions of the items this worker observed — not
 	// just owned ones: rs1 needs m̂λ at every coordinate of the query.
@@ -122,7 +130,7 @@ type shardEngine struct {
 	begun bool
 }
 
-func newShardEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, shard Shard, foreign bool, c *metrics.Counters) *shardEngine {
+func newShardEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, shard Shard, foreign, scalar bool, c *metrics.Counters) *shardEngine {
 	e := &shardEngine{
 		icCore: icCore{
 			p:       p,
@@ -136,6 +144,7 @@ func newShardEngine(p apss.Params, kernel apss.Kernel, useAP, useL2 bool, shard 
 		lambda: p.Lambda,
 		tau:    kernel.Horizon(p.Theta),
 		shard:  shard,
+		scalar: scalar,
 		ar:     parena{withPnorm: true},
 		lists:  make(map[uint32]*chain),
 	}
@@ -220,98 +229,13 @@ func (e *shardEngine) Advance(t float64) error {
 // coordinates in reverse order, accumulating exact partial dot products
 // for candidates that survive the shard-local admission bounds — the
 // same bounds parEngine.shardScan applies, against this worker's view.
+// Runs on the vectorized block kernel (kernelv.go) unless the
+// ScalarKernel ablation selects the frozen oracle (kernel_scalar.go).
 func (e *shardEngine) candGen(x stream.Item) {
-	a := &e.acc
-	a.Begin(e.slots.span())
-	dims, vals := x.Vec.Dims, x.Vec.Vals
-	if len(dims) == 0 {
-		return
-	}
-	pnx := x.Vec.PrefixNorms()
-	var sqAbove []float64 // sum of squared values strictly past position i
-	if e.useL2 {
-		sqAbove = make([]float64, len(vals))
-		for i := len(vals) - 2; i >= 0; i-- {
-			sqAbove[i] = sqAbove[i+1] + vals[i+1]*vals[i+1]
-		}
-	}
-	rs1 := math.Inf(1) // minus the owned terms past the current position
-	if e.useAP {
-		rs1 = 0
-		for i, d := range dims {
-			rs1 += vals[i] * e.mhatAt(d)
-		}
-	}
-	ownSqAbove := 0.0
-
-	for i := len(dims) - 1; i >= 0; i-- {
-		d, xj := dims[i], vals[i]
-		if !e.shard.owns(d) {
-			continue
-		}
-		if ch := e.lists[d]; ch != nil {
-			process := func(ai int) {
-				e.c.EntriesTraversed++
-				sl := e.ar.slot[ai]
-				if a.Dead[sl] == a.Epoch {
-					return
-				}
-				if a.Mark[sl] != a.Epoch {
-					// Foreign-join side gating first: a same-side item is
-					// not a candidate on any worker.
-					if e.foreign && !apss.CrossSide(e.slots.side[sl], x.Side) {
-						a.Decline(sl)
-						return
-					}
-					// Shard-local admission: both bounds dominate the
-					// candidate's total similarity (see parallel.go).
-					bound := math.Inf(1)
-					if e.useAP {
-						bound = rs1
-					}
-					if e.useL2 {
-						cross := sqAbove[i] - ownSqAbove
-						if cross < 0 {
-							cross = 0
-						}
-						decay := e.kernel.Factor(x.Time - e.ar.t[ai])
-						if b := decay * (pnx[i+1] + math.Sqrt(cross)); b < bound {
-							bound = b
-						}
-					}
-					if bound < e.p.Theta-boundSlack {
-						a.Decline(sl)
-						return
-					}
-					a.Admit(sl)
-					e.c.Candidates++
-				}
-				a.Dot[sl] += xj * e.ar.val[ai]
-			}
-			if e.useAP {
-				// Re-indexing may have broken time order, so scan forward
-				// through the whole chain, compacting expired entries.
-				removed := e.ar.compact(ch, func(ai int) bool {
-					if x.Time-e.ar.t[ai] > e.tau {
-						e.c.EntriesTraversed++
-						return false
-					}
-					process(ai)
-					return true
-				})
-				e.c.ExpiredEntries += int64(removed)
-			} else {
-				removed := e.ar.descendCut(ch, x.Time, e.tau, process)
-				e.c.ExpiredEntries += int64(removed)
-			}
-			if ch.n == 0 {
-				delete(e.lists, d)
-			}
-		}
-		if e.useAP {
-			rs1 -= xj * e.mhatAt(d)
-		}
-		ownSqAbove += xj * xj
+	if e.scalar {
+		e.candGenScalar(x)
+	} else {
+		e.candGenVec(x)
 	}
 }
 
@@ -425,7 +349,9 @@ type shardInv struct {
 	tau     float64
 	shard   Shard
 	foreign bool
-	c       *metrics.Counters
+	// scalar selects the frozen entry-at-a-time scan kernel.
+	scalar bool
+	c      *metrics.Counters
 
 	ar    parena
 	lists map[uint32]*chain
@@ -439,15 +365,19 @@ type shardInv struct {
 	clock sweepClock
 	now   float64
 	begun bool
+
+	// Vectorized-kernel scratch (see invIndex).
+	prLanes [blockCap]float64
 }
 
-func newShardInv(p apss.Params, kernel apss.Kernel, shard Shard, foreign bool, c *metrics.Counters) *shardInv {
+func newShardInv(p apss.Params, kernel apss.Kernel, shard Shard, foreign, scalar bool, c *metrics.Counters) *shardInv {
 	return &shardInv{
 		p:       p,
 		kernel:  kernel,
 		tau:     kernel.Horizon(p.Theta),
 		shard:   shard,
 		foreign: foreign,
+		scalar:  scalar,
 		c:       c,
 		lists:   make(map[uint32]*chain),
 	}
@@ -467,33 +397,10 @@ func (ix *shardInv) AddTo(x stream.Item, emit apss.Sink) error {
 	a := &ix.acc
 	a.Begin(ix.slots.span())
 	dims, vals := x.Vec.Dims, x.Vec.Vals
-	for i, d := range dims {
-		if !ix.shard.owns(d) {
-			continue
-		}
-		xj := vals[i]
-		ch := ix.lists[d]
-		if ch == nil {
-			continue
-		}
-		removed := ix.ar.descendCut(ch, x.Time, ix.tau, func(ai int) {
-			ix.c.EntriesTraversed++
-			sl := ix.ar.slot[ai]
-			if ix.foreign && !apss.CrossSide(ix.slots.side[sl], x.Side) {
-				return
-			}
-			if a.Mark[sl] != a.Epoch {
-				a.Admit(sl)
-				ix.c.Candidates++
-			}
-			a.Dot[sl] += xj * ix.ar.val[ai]
-		})
-		if removed > 0 {
-			ix.c.ExpiredEntries += int64(removed)
-			if ch.n == 0 {
-				delete(ix.lists, d)
-			}
-		}
+	if ix.scalar {
+		ix.scanScalar(x)
+	} else {
+		ix.scanVec(x)
 	}
 
 	g := apss.NewGate(emit)

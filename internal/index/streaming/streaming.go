@@ -126,6 +126,25 @@ type Ablations struct {
 	// past the b1/b2 threshold crossing (Algorithm 6, lines 10–14),
 	// degenerating the index toward INV with residual machinery intact.
 	NoIndexBound bool
+	// ScalarKernel selects the frozen entry-at-a-time candidate-scan
+	// kernel (kernel_scalar.go) instead of the vectorized block kernel
+	// (kernelv.go). Unlike the pruning ablations above this is an
+	// implementation selector, not an algorithm change: both kernels
+	// produce bit-identical matches and counters, and it is therefore
+	// allowed on the parallel and cluster-worker engines too. It exists
+	// as the parity oracle for the kernel tests and as an ablation knob
+	// for the verification-kernel benchmarks.
+	ScalarKernel bool
+}
+
+// pruning returns a with the kernel-implementation selector cleared,
+// leaving only the flags that change which pruning rules run. The
+// engine-eligibility checks in New compare against this: pruning
+// ablations require the sequential engine, but ScalarKernel is valid
+// everywhere.
+func (a Ablations) pruning() Ablations {
+	a.ScalarKernel = false
+	return a
 }
 
 // Index is a streaming SSSJ index.
@@ -207,7 +226,7 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("%w: Workers must be >= 0, got %d", ErrWorkers, opts.Workers)
 	}
-	if opts.Workers > 1 && opts.Ablations != (Ablations{}) {
+	if opts.Workers > 1 && opts.Ablations.pruning() != (Ablations{}) {
 		return nil, fmt.Errorf("%w: ablations require the sequential engine (Workers <= 1)", ErrWorkers)
 	}
 	c := opts.Counters
@@ -225,38 +244,40 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 		if opts.Workers > 1 {
 			return nil, fmt.Errorf("%w: a cluster worker is a single shard; combine with Workers <= 1", ErrShard)
 		}
-		if opts.Ablations != (Ablations{}) {
+		if opts.Ablations.pruning() != (Ablations{}) {
 			return nil, fmt.Errorf("%w: ablations require the sequential engine", ErrShard)
 		}
 		if opts.Order != (WarmupOrder{}) {
 			return nil, fmt.Errorf("%w: dimension-ordering warmup is not supported on a cluster worker", ErrShard)
 		}
+		scalar := opts.Ablations.ScalarKernel
 		switch kind {
 		case INV:
-			return newShardInv(params, kernel, opts.Shard, opts.Foreign, c), nil
+			return newShardInv(params, kernel, opts.Shard, opts.Foreign, scalar, c), nil
 		case L2:
-			return newShardEngine(params, kernel, false, true, opts.Shard, opts.Foreign, c), nil
+			return newShardEngine(params, kernel, false, true, opts.Shard, opts.Foreign, scalar, c), nil
 		case L2AP, AP:
 			if _, ok := kernel.(apss.Exponential); !ok {
 				return nil, fmt.Errorf("%w: STR-%v needs apss.Exponential, got %T", ErrKernel, kind, kernel)
 			}
-			return newShardEngine(params, kernel, true, kind == L2AP, opts.Shard, opts.Foreign, c), nil
+			return newShardEngine(params, kernel, true, kind == L2AP, opts.Shard, opts.Foreign, scalar, c), nil
 		default:
 			return nil, fmt.Errorf("streaming: unknown kind %d", int(kind))
 		}
 	}
 	parallel := opts.Workers > 1
+	scalar := opts.Ablations.ScalarKernel
 	var ix SinkIndex
 	switch kind {
 	case INV:
 		if parallel {
-			ix = newParInv(params, kernel, opts.Workers, opts.Foreign, c)
+			ix = newParInv(params, kernel, opts.Workers, opts.Foreign, scalar, c)
 		} else {
-			ix = newInvIndex(params, kernel, opts.Foreign, c)
+			ix = newInvIndex(params, kernel, opts.Foreign, scalar, c)
 		}
 	case L2:
 		if parallel {
-			ix = newParEngine(params, kernel, false, true, opts.Workers, opts.Foreign, c)
+			ix = newParEngine(params, kernel, false, true, opts.Workers, opts.Foreign, scalar, c)
 		} else {
 			ix = newEngine(params, kernel, false, true, opts.Ablations, opts.Foreign, c)
 		}
@@ -265,7 +286,7 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 			return nil, fmt.Errorf("%w: STR-%v needs apss.Exponential, got %T", ErrKernel, kind, kernel)
 		}
 		if parallel {
-			ix = newParEngine(params, kernel, true, kind == L2AP, opts.Workers, opts.Foreign, c)
+			ix = newParEngine(params, kernel, true, kind == L2AP, opts.Workers, opts.Foreign, scalar, c)
 		} else {
 			ix = newEngine(params, kernel, true, kind == L2AP, opts.Ablations, opts.Foreign, c)
 		}
