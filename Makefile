@@ -6,7 +6,7 @@ GO ?= go
 # letting coverage rot unnoticed.
 COVER_FLOOR ?= 85
 
-.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate fuzz-smoke cluster-smoke cover clean
+.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate fuzz-smoke cluster-smoke server-smoke cover clean
 
 # verify is the tier-1 gate: everything CI runs, from a clean checkout.
 verify: vet build race
@@ -58,17 +58,21 @@ bench-gate:
 	$(GO) run ./cmd/sssjbench -checkjson BENCH.json
 
 # fuzz-smoke runs the metamorphic fuzz targets — foreign-vs-self-join
-# parity, reorder-vs-sorted parity, cluster-vs-sequential parity, and
-# vectorized-vs-scalar kernel parity — for a short burst each on top of their committed seed corpora
-# (testdata/fuzz/…): a CI pass that keeps hunting for oracle violations
-# without the cost of a long fuzzing campaign. `go test -fuzz` takes one
-# target per run, hence one command of $(FUZZTIME) each.
+# parity, reorder-vs-sorted parity, cluster-vs-sequential parity,
+# vectorized-vs-scalar kernel parity, and the multi-tenant session
+# protocol (random SESSION/ADD/STATS interleavings against a live
+# server, per-session accounting as the oracle) — for a short burst each
+# on top of their committed seed corpora (testdata/fuzz/…): a CI pass
+# that keeps hunting for oracle violations without the cost of a long
+# fuzzing campaign. `go test -fuzz` takes one target per run, hence one
+# command of $(FUZZTIME) each.
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzForeignSelfParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzReorderParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzClusterParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzKernelParity -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzSessionProtocol -fuzztime $(FUZZTIME) .
 
 # cluster-smoke is the process-level cluster parity check: it builds the
 # real binaries, boots 2 sssjd shard workers + 1 sssjc coordinator (plus
@@ -80,6 +84,17 @@ cluster-smoke:
 	$(GO) build -o bin/sssjd ./cmd/sssjd
 	$(GO) build -o bin/sssjc ./cmd/sssjc
 	$(GO) run ./scripts/clustersmoke -sssjd bin/sssjd -sssjc bin/sssjc
+
+# server-smoke is the process-level multi-tenant check: it boots one
+# sssjd with /metrics enabled, creates 3 sessions with different
+# thresholds and join modes, streams a deterministic workload through
+# each, scrapes the Prometheus endpoint, live-migrates one session to a
+# second daemon mid-stream, and fails unless every session's match set
+# is bit-identical to a dedicated single-tenant daemon's. Runs in CI's
+# test job alongside cluster-smoke.
+server-smoke:
+	$(GO) build -o bin/sssjd ./cmd/sssjd
+	$(GO) run ./scripts/serversmoke -sssjd bin/sssjd
 
 # cover enforces the statement-coverage floor and leaves coverage.out
 # for the CI artifact upload.

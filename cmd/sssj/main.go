@@ -16,6 +16,15 @@
 // reorder stage re-sorts it and items further behind than δ are
 // rejected. -window tumbling:SIZE or -window sliding:SIZE replaces
 // exponential decay with a window join (-lambda is then ignored).
+//
+// With -server ADDR the join runs remotely: items stream through a
+// running sssjd instead of an in-process joiner, and matches come back
+// over the same connection. -session NAME creates a private session on
+// the daemon (options from -theta/-lambda/-index/-join/-lateness/
+// -workers) or attaches to it if it already exists, in which case the
+// existing session's options win; without -session the items go to the
+// daemon's default session under the daemon's own flags. -window is
+// local-only and -framework must be STR in client mode.
 package main
 
 import (
@@ -29,6 +38,8 @@ import (
 	"strings"
 
 	"sssj"
+	"sssj/internal/apss"
+	"sssj/internal/server"
 )
 
 // parseWindow parses the -window flag value "KIND:SIZE" into a window
@@ -78,6 +89,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		stats     = fs.Bool("stats", false, "print operation counters to stderr")
 		quiet     = fs.Bool("quiet", false, "suppress per-match output; print only the count")
 		workers   = fs.Int("workers", 0, "dimension shards for the parallel STR engine (<=1 = sequential)")
+		srvAddr   = fs.String("server", "", "stream through a running sssjd at this address instead of joining in-process")
+		session   = fs.String("session", "", "with -server: create or attach to this named session (empty = the daemon's default session)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +128,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		opts.Framework = sssj.MiniBatch
 	default:
 		return fmt.Errorf("unknown framework %q", *framework)
+	}
+	if *session != "" && *srvAddr == "" {
+		return fmt.Errorf("-session requires -server")
+	}
+	if *srvAddr != "" {
+		if opts.Framework != sssj.Streaming {
+			return fmt.Errorf("client mode (-server) streams through a sssjd session; -framework must be STR")
+		}
+		if *window != "" {
+			return fmt.Errorf("-window is local-only; a sssjd session joins with exponential decay")
+		}
+		if *lateness < 0 || math.IsNaN(*lateness) || math.IsInf(*lateness, 0) {
+			return fmt.Errorf("lateness must be finite and >= 0, got %v", *lateness)
+		}
 	}
 	switch *index {
 	case "L2":
@@ -170,6 +197,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		src = sssj.MergeSideSources(src, srcB)
 	}
 
+	if *srvAddr != "" {
+		return runClient(*srvAddr, *session, *index, opts, src, stdout, stderr, *stats, *quiet)
+	}
+
 	j, err := sssj.New(opts)
 	if err != nil {
 		return err
@@ -207,6 +238,110 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(w, "%d\n", total)
 	}
 	if *stats {
+		fmt.Fprintln(stderr, st.String())
+	}
+	return nil
+}
+
+// runClient streams the source through a sssjd session and prints the
+// matches the daemon sends back, in the same format as a local join.
+// Match IDs are the session's own stream numbering, so a fresh session
+// prints exactly what a local run over the same input would.
+func runClient(addr, session, index string, opts sssj.Options, src sssj.Source, stdout, stderr io.Writer, stats, quiet bool) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if session != "" {
+		so := []string{
+			"theta=" + strconv.FormatFloat(opts.Theta, 'g', -1, 64),
+			"lambda=" + strconv.FormatFloat(opts.Lambda, 'g', -1, 64),
+			"index=" + index,
+		}
+		if opts.Join == sssj.JoinForeign {
+			so = append(so, "join=foreign")
+		}
+		if opts.Lateness > 0 {
+			so = append(so, "lateness="+strconv.FormatFloat(opts.Lateness, 'g', -1, 64))
+		}
+		if opts.Workers > 1 {
+			so = append(so, "workers="+strconv.Itoa(opts.Workers))
+		}
+		if err := c.Session(session, so...); err != nil {
+			// The name is taken: attach to the existing session. Its
+			// options win over the local flags.
+			if err2 := c.Session(session); err2 != nil {
+				return err
+			}
+		}
+	}
+
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	total := 0
+	emit := func(ms []sssj.Match) error {
+		total += len(ms)
+		if quiet {
+			return nil
+		}
+		for _, m := range ms {
+			if _, err := fmt.Fprintf(w, "%d %d %.6f %.6f %.6f\n", m.X, m.Y, m.Sim, m.Dot, m.DT); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	side := apss.SideA
+	lastT := math.Inf(-1)
+	sent := false
+	for {
+		it, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if opts.Join == sssj.JoinForeign && it.Side != side {
+			side = it.Side
+			if err := c.Side(side); err != nil {
+				return err
+			}
+		}
+		_, ms, err := c.Add(it.Time, it.Vec)
+		if err != nil {
+			return err
+		}
+		if it.Time > lastT {
+			lastT = it.Time
+		}
+		sent = true
+		if err := emit(ms); err != nil {
+			return err
+		}
+	}
+	if opts.Lateness > 0 && sent {
+		// Drain the reorder stage: push the watermark past everything
+		// that could still be buffered.
+		_, ms, err := c.Watermark(lastT + opts.Lateness + 1)
+		if err != nil {
+			return err
+		}
+		if err := emit(ms); err != nil {
+			return err
+		}
+	}
+
+	if quiet {
+		fmt.Fprintf(w, "%d\n", total)
+	}
+	if stats {
+		st, err := c.StatsJSON()
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(stderr, st.String())
 	}
 	return nil

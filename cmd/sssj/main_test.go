@@ -2,13 +2,33 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"strings"
 	"testing"
 
 	"sssj"
+	"sssj/internal/apss"
 	"sssj/internal/datagen"
+	"sssj/internal/server"
 )
+
+// startDaemon boots an in-process multi-tenant server for client-mode
+// tests and returns its address.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	srv, err := server.New(server.Config{Params: apss.Params{Theta: 0.7, Lambda: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
 
 func TestRunTextInput(t *testing.T) {
 	in := strings.NewReader("0 1:1\n0.5 1:1\n")
@@ -120,6 +140,111 @@ func TestRunForeignJoin(t *testing.T) {
 	}
 	if err := run([]string{"-join", "bogus"}, strings.NewReader(""), &out, &errw); err == nil {
 		t.Fatal("bogus join mode accepted")
+	}
+}
+
+// TestRunClientMode: -server streams through a sssjd session and prints
+// the same matches a local run would; a second run attaching to the
+// same session continues its ID numbering.
+func TestRunClientMode(t *testing.T) {
+	addr := startDaemon(t)
+	args := []string{"-theta", "0.7", "-lambda", "0.1", "-server", addr, "-session", "cli"}
+
+	var local, remote, errw bytes.Buffer
+	const input = "0 1:1\n0.5 1:1\n"
+	if err := run([]string{"-theta", "0.7", "-lambda", "0.1"},
+		strings.NewReader(input), &local, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, strings.NewReader(input), &remote, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() || !strings.HasPrefix(remote.String(), "1 0 ") {
+		t.Fatalf("remote = %q, local = %q", remote.String(), local.String())
+	}
+
+	// Second run re-attaches: the session keeps its state, so the new
+	// item (id 2) matches both earlier ones.
+	remote.Reset()
+	errw.Reset()
+	if err := run(append(args, "-stats"), strings.NewReader("1 1:1\n"), &remote, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(remote.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "2 ") || !strings.HasPrefix(lines[1], "2 ") {
+		t.Fatalf("re-attach output = %q", remote.String())
+	}
+	if !strings.Contains(errw.String(), "items=3") {
+		t.Fatalf("stats = %q, want items=3", errw.String())
+	}
+
+	// Without -session the items land on the daemon's default session.
+	remote.Reset()
+	if err := run([]string{"-quiet", "-server", addr},
+		strings.NewReader(input), &remote, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(remote.String()); got != "1" {
+		t.Fatalf("default-session count = %q, want 1", got)
+	}
+}
+
+// TestRunClientForeign: -join foreign in client mode switches sides on
+// the session and reports only cross-stream pairs.
+func TestRunClientForeign(t *testing.T) {
+	addr := startDaemon(t)
+	dir := t.TempDir()
+	a := dir + "/a.txt"
+	b := dir + "/b.txt"
+	if err := os.WriteFile(a, []byte("0 1:1\n0.4 1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("0.2 1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	err := run([]string{"-theta", "0.7", "-lambda", "0.1",
+		"-join", "foreign", "-input", a, "-inputB", b,
+		"-server", addr, "-session", "fk"}, strings.NewReader(""), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "1 0 ") || !strings.HasPrefix(lines[1], "2 1 ") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// TestRunClientLateness: a -lateness session buffers the disordered
+// stream remotely; the client drains it with a final watermark.
+func TestRunClientLateness(t *testing.T) {
+	addr := startDaemon(t)
+	var out, errw bytes.Buffer
+	err := run([]string{"-theta", "0.7", "-lambda", "0.1",
+		"-lateness", "1", "-quiet", "-server", addr, "-session", "late"},
+		strings.NewReader("0 1:1\n1 1:1\n0.5 1:1\n"), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "3" {
+		t.Fatalf("match count = %q, want 3", got)
+	}
+}
+
+// TestRunClientRejects: client-mode flag validation and dial failures.
+func TestRunClientRejects(t *testing.T) {
+	var out, errw bytes.Buffer
+	for _, args := range [][]string{
+		{"-session", "s"},                             // -session without -server
+		{"-server", "x", "-framework", "MB"},          // MB is local-only
+		{"-server", "x", "-window", "tumbling:10"},    // windows are local-only
+		{"-server", "x", "-lateness", "-1"},           // bad lateness caught locally
+		{"-server", "127.0.0.1:1", "-quiet"},          // nothing listening
+		{"-server", "127.0.0.1:1", "-session", "s!x"}, // invalid name (dial fails first)
+	} {
+		if err := run(args, strings.NewReader("0 1:1\n"), &out, &errw); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
 	}
 }
 

@@ -23,6 +23,16 @@
 // feeds it over the PUT/ADV protocol extensions. Worker daemons keep the
 // strict ordering contract, so -shard excludes -lateness, -window, and
 // -workers (the in-process sharding).
+//
+// The daemon is multi-tenant: the flags above configure the "default"
+// session, and clients create further independent joins with the
+// SESSION command ("SESSION fast theta=0.9 index=INV"), each with its
+// own options, counters, and bounded ingest queue (-queue; a full queue
+// answers the typed BUSY backpressure reply, and -entry-budget bounds
+// the total live posting entries across all sessions). MIGRATE <addr>
+// hands a session to a peer daemon live, with zero item loss. With
+// -metrics ADDR the daemon serves a Prometheus-format scrape of every
+// session on http://ADDR/metrics.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"log"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -114,6 +125,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		lateness = fs.Float64("lateness", 0, "event-time lateness bound: accept ADDs up to this far behind the newest timestamp, and enable WM")
 		window   = fs.String("window", "", `window mode replacing exponential decay: "tumbling:SIZE" or "sliding:SIZE"`)
 		shardArg = fs.String("shard", "", `run as cluster worker "i/N": index only dimensions d with d mod N == i (fed by sssjc)`)
+		queue    = fs.Int("queue", 0, "per-session ingest queue bound; a full queue answers BUSY (0 = default 64)")
+		budget   = fs.Int("entry-budget", 0, "shared index budget: total live posting entries across sessions before ingest answers BUSY (0 = unlimited)")
+		metAddr  = fs.String("metrics", "", `HTTP listen address for the Prometheus /metrics endpoint (e.g. "127.0.0.1:9407"; empty = disabled)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,10 +172,12 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 	logger := log.New(stderr, "sssjd: ", log.LstdFlags)
 	cfg := server.Config{
-		Params:   params,
-		Workers:  *work,
-		Foreign:  foreign,
-		Lateness: *lateness,
+		Params:      params,
+		Workers:     *work,
+		Foreign:     foreign,
+		Lateness:    *lateness,
+		Queue:       *queue,
+		EntryBudget: *budget,
 	}
 	switch winKind {
 	case "":
@@ -231,6 +247,22 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 	}
 	logger.Printf("listening on %s (theta=%g lambda=%g index=%s tau=%.3g workers=%d join=%s lateness=%g window=%q shard=%q)",
 		ln.Addr(), *theta, params.Lambda, *index, cfg.Params.Horizon(), *work, *join, *lateness, *window, *shardArg)
+	if *metAddr != "" {
+		mln, err := net.Listen("tcp", *metAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.MetricsHandler())
+		msrv := &http.Server{Handler: mux}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		logger.Printf("metrics on %s", mln.Addr())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -52,6 +56,69 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonMetricsFlag: -metrics boots the HTTP endpoint, logs its
+// bound address, and serves a Prometheus scrape of the live sessions.
+func TestDaemonMetricsFlag(t *testing.T) {
+	var logBuf bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-quiet",
+			"-metrics", "127.0.0.1:0", "-queue", "16", "-entry-budget", "100000"}, &logBuf, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	// ready fires after the metrics server is up and logged.
+	m := regexp.MustCompile(`metrics on (\S+)`).FindStringSubmatch(logBuf.String())
+	if m == nil {
+		t.Fatalf("no metrics address in log: %q", logBuf.String())
+	}
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec.MustNew([]uint32{1, 2}, []float64{1, 1}).Normalize()
+	if _, _, err := c.Add(0, v); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + m[1] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `sssj_items_total{session="default"} 1`) {
+		t.Fatalf("scrape missing the default session's item count:\n%s", body)
+	}
+	c.Close()
+
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// A metrics address that cannot bind is a startup error.
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:0", "-quiet", "-metrics", "256.0.0.1:1"}, &buf, nil); err == nil {
+		t.Fatal("unbindable -metrics address accepted")
 	}
 }
 

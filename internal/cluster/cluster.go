@@ -53,6 +53,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"sssj/internal/apss"
@@ -80,6 +81,14 @@ type Config struct {
 	// coordinator owns the reorder stage; workers always run strict
 	// ordering (δ = 0), which the PUT command enforces.
 	Lateness float64
+	// Session, when non-empty, makes the coordinator address a session
+	// of that name on every worker instead of the workers' default
+	// joiners: Connect creates it (SESSION <name> ... shard=i/N) on each
+	// worker's connection, so the workers can be plain multi-tenant
+	// daemons — no -shard flag — and one daemon fleet can host the
+	// worker shards of several clusters side by side. Empty keeps the
+	// PR 7 deployment: dedicated sssjd -shard i/N workers.
+	Session string
 	// Dialer establishes the worker connections. Configure IOTimeout so a
 	// wedged worker surfaces as a WorkerError instead of a stalled merge.
 	Dialer server.Dialer
@@ -146,6 +155,20 @@ func Connect(cfg Config) (*Coordinator, error) {
 	}
 	for i, addr := range cfg.Workers {
 		cl, err := cfg.Dialer.Dial(addr)
+		if err == nil && cfg.Session != "" {
+			// The session IS the shard engine: creating it with shard=i/N
+			// builds exactly the joiner a dedicated -shard worker would run,
+			// scoped to this cluster's name.
+			err = cl.Session(cfg.Session,
+				"theta="+strconv.FormatFloat(cfg.Params.Theta, 'g', -1, 64),
+				"lambda="+strconv.FormatFloat(cfg.Params.Lambda, 'g', -1, 64),
+				"index="+cfg.Kind.String(),
+				"join="+joinName(cfg.Foreign),
+				fmt.Sprintf("shard=%d/%d", i, len(cfg.Workers)))
+			if err != nil {
+				cl.Close()
+			}
+		}
 		if err != nil {
 			for _, open := range c.clients {
 				open.Close()
@@ -155,6 +178,14 @@ func Connect(cfg Config) (*Coordinator, error) {
 		c.clients = append(c.clients, cl)
 	}
 	return c, nil
+}
+
+// joinName renders the join mode as the SESSION option value.
+func joinName(foreign bool) string {
+	if foreign {
+		return "foreign"
+	}
+	return "self"
 }
 
 // route fills c.targets with the workers that must receive it.

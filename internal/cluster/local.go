@@ -19,6 +19,10 @@ type LocalOptions struct {
 	Foreign bool
 	// Lateness is the coordinator's event-time lateness bound δ.
 	Lateness float64
+	// Session, when non-empty, runs each worker's shard engine as a
+	// named session on a plain multi-tenant server instead of as the
+	// server's default joiner (see cluster.Config.Session).
+	Session string
 	// Dialer overrides the worker-connection dialer; the zero value gets
 	// a conservative default (1s dial, 30s I/O, 3 retries).
 	Dialer server.Dialer
@@ -47,17 +51,24 @@ func StartLocal(kind streaming.Kind, params apss.Params, opts LocalOptions) (*Lo
 	addrs := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		shard := streaming.Shard{ID: i, N: n}
-		srv, err := server.New(server.Config{
+		scfg := server.Config{
 			Params:  params,
 			Foreign: opts.Foreign,
-			NewJoiner: func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
+		}
+		if opts.Session == "" {
+			// Dedicated workers: the shard engine is the default joiner,
+			// like a sssjd -shard i/N process. With a session name the
+			// workers boot as plain servers and Connect creates the shard
+			// sessions over the wire.
+			scfg.NewJoiner = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
 				return core.NewSTRFull(kind, p, streaming.Options{
 					Counters: c,
 					Foreign:  opts.Foreign,
 					Shard:    shard,
 				})
-			},
-		})
+			}
+		}
+		srv, err := server.New(scfg)
 		if err != nil {
 			l.stopServers()
 			return nil, err
@@ -78,6 +89,7 @@ func StartLocal(kind streaming.Kind, params apss.Params, opts LocalOptions) (*Lo
 		Workers:  addrs,
 		Foreign:  opts.Foreign,
 		Lateness: opts.Lateness,
+		Session:  opts.Session,
 		Dialer:   dialer,
 	})
 	if err != nil {

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/index/streaming"
+)
+
+// TestSessionModeParity: a coordinator addressing named sessions on
+// plain multi-tenant workers (no -shard flag, no dedicated joiner) is
+// bit-identical to the sequential engine — the PR 9 deployment shape
+// where one daemon fleet hosts the shards of many clusters.
+func TestSessionModeParity(t *testing.T) {
+	p := apss.Params{Theta: 0.6, Lambda: 0.1}
+	for _, kind := range []streaming.Kind{streaming.INV, streaming.L2} {
+		for _, foreign := range []bool{false, true} {
+			items := genItems(11, 160, foreign)
+			want := runSingle(t, kind, p, foreign, items)
+			if len(want) == 0 {
+				t.Fatalf("%v foreign=%v: vacuous oracle", kind, foreign)
+			}
+			l, err := StartLocal(kind, p, LocalOptions{Workers: 3, Foreign: foreign, Session: "tenant-a"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []apss.Match
+			sink := apss.Collector(&got)
+			for _, it := range items {
+				if err := l.AddTo(it, sink); err != nil {
+					l.Close()
+					t.Fatal(err)
+				}
+			}
+			if !apss.EqualMatchSets(want, got, 0) {
+				l.Close()
+				t.Fatalf("%v foreign=%v: session-mode cluster diverges (%d vs %d matches)",
+					kind, foreign, len(got), len(want))
+			}
+			// The workers' default sessions never saw an item: the shards
+			// are fully session-scoped.
+			st, err := l.Stats()
+			if err != nil {
+				l.Close()
+				t.Fatal(err)
+			}
+			if st.Items != int64(len(items)) {
+				l.Close()
+				t.Fatalf("%v foreign=%v: coordinator items = %d, want %d", kind, foreign, st.Items, len(items))
+			}
+			l.Close()
+		}
+	}
+}

@@ -104,6 +104,16 @@ func (s *STR) AdvanceTo(t float64, _ apss.Sink) error {
 // IndexSize exposes current index occupancy.
 func (s *STR) IndexSize() streaming.SizeInfo { return s.idx.Size() }
 
+// ArenaInfo exposes block-arena occupancy when the underlying index is
+// arena-backed (every index built by streaming.New is; the frozen ring
+// oracle is not, and reports ok = false).
+func (s *STR) ArenaInfo() (streaming.BlockInfo, bool) {
+	if as, ok := s.idx.(streaming.ArenaSizer); ok {
+		return as.ArenaInfo(), true
+	}
+	return streaming.BlockInfo{}, false
+}
+
 // SaveIndex checkpoints the underlying streaming index (see
 // streaming.Save).
 func (s *STR) SaveIndex(w io.Writer) error { return streaming.Save(s.idx, w) }

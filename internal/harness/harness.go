@@ -164,6 +164,13 @@ type RunOpts struct {
 	// includes the full line-protocol round trip per item — the cluster
 	// scenarios are deployment-shape measurements, not engine ones.
 	Cluster int
+	// Sessions, when > 0, measures the multi-tenant service shape: one
+	// server hosting that many identically-configured sessions, the
+	// stream dealt round-robin across them over per-session client
+	// connections (see sessionsJoiner). STR only; like Cluster, a
+	// deployment-shape measurement including the line-protocol round
+	// trip per item.
+	Sessions int
 }
 
 // ShuffleSeed seeds the within-δ input perturbation of Reorder runs: one
@@ -211,6 +218,8 @@ func RunOneOpts(items []stream.Item, dataset, framework, index string, p apss.Pa
 	var err error
 	if o.Cluster > 0 {
 		j, err = newClusterJoiner(framework, index, p, o)
+	} else if o.Sessions > 0 {
+		j, err = newSessionsJoiner(framework, index, p, o)
 	} else {
 		j, err = newJoiner(framework, index, p, &res.Stats, o.Workers, o.Foreign)
 	}

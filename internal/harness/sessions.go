@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+
+	"sssj/internal/apss"
+	"sssj/internal/metrics"
+	"sssj/internal/server"
+	"sssj/internal/stream"
+)
+
+// sessionsJoiner measures the multi-tenant service shape: one sssjd-
+// style server on loopback hosting N identically-configured sessions,
+// with the measured stream dealt round-robin across them over N client
+// connections. Each item pays the full line-protocol round trip plus
+// the per-session pipeline hop, so mt scenarios track service overhead
+// (parse, queue, per-session dispatch) the way cluster scenarios track
+// the coordinator tier — they are deployment-shape measurements, not
+// engine ones, and their pair counts are per-session (each session
+// joins only its 1/N slice of the stream).
+type sessionsJoiner struct {
+	srv     *server.Server
+	clients []*server.Client
+	next    int
+}
+
+// newSessionsJoiner boots the server and creates the N tenant sessions.
+func newSessionsJoiner(framework, index string, p apss.Params, o RunOpts) (*sessionsJoiner, error) {
+	if framework != FrameworkSTR {
+		return nil, fmt.Errorf("harness: sessions runs require the STR framework, got %q", framework)
+	}
+	switch index {
+	case "INV", "L2", "L2AP":
+	default:
+		return nil, fmt.Errorf("harness: sessions runs support INV, L2, or L2AP, got %q", index)
+	}
+	srv, err := server.New(server.Config{Params: p})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	go srv.Serve(ln)
+	sj := &sessionsJoiner{srv: srv}
+	opts := []string{
+		"theta=" + strconv.FormatFloat(p.Theta, 'g', -1, 64),
+		"lambda=" + strconv.FormatFloat(p.Lambda, 'g', -1, 64),
+		"index=" + index,
+	}
+	for i := 0; i < o.Sessions; i++ {
+		c, err := server.Dial(ln.Addr().String())
+		if err != nil {
+			sj.Close()
+			return nil, err
+		}
+		sj.clients = append(sj.clients, c)
+		if err := c.Session(fmt.Sprintf("tenant%d", i), opts...); err != nil {
+			sj.Close()
+			return nil, err
+		}
+	}
+	return sj, nil
+}
+
+// Add deals the item to the next session in round-robin order. The
+// global stream is time-ordered, so every session's slice is too.
+func (s *sessionsJoiner) Add(it stream.Item) ([]apss.Match, error) {
+	c := s.clients[s.next]
+	s.next = (s.next + 1) % len(s.clients)
+	_, ms, err := c.Add(it.Time, it.Vec)
+	return ms, err
+}
+
+// Flush is a no-op: sessions buffer nothing at lateness 0.
+func (s *sessionsJoiner) Flush() ([]apss.Match, error) { return nil, nil }
+
+// Stats sums the tenants' counters, so mt reports carry the real
+// operation counts instead of the zero Counters the harness threads
+// through for self-counting joiners.
+func (s *sessionsJoiner) Stats() (metrics.Counters, error) {
+	var total metrics.Counters
+	for _, c := range s.clients {
+		st, err := c.StatsJSON()
+		if err != nil {
+			return metrics.Counters{}, err
+		}
+		total.Add(st)
+	}
+	return total, nil
+}
+
+// Close tears down the clients and the server.
+func (s *sessionsJoiner) Close() error {
+	for _, c := range s.clients {
+		c.Close()
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"sssj/internal/apss"
+	"sssj/internal/datagen"
+)
+
+// TestRunOneSessions: the multi-tenant service shape completes, counts
+// every item exactly once across the tenants, and reports the summed
+// per-session counters (pairs are per-session slices of the stream, so
+// only Items is comparable to an in-process run).
+func TestRunOneSessions(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.02).Generate(1)
+	p := apss.Params{Theta: 0.7, Lambda: 0.05}
+	res := RunOneOpts(items, "RCV1", FrameworkSTR, "L2", p, RunOpts{Sessions: 3})
+	if !res.Completed {
+		t.Fatal("sessions run did not complete")
+	}
+	if res.Stats.Items != int64(len(items)) {
+		t.Fatalf("tenants counted %d items, fed %d", res.Stats.Items, len(items))
+	}
+	if res.Stats.Pairs == 0 {
+		t.Fatal("no pairs found; test vacuous")
+	}
+
+	// A single tenant sees the whole stream: identical results to the
+	// plain in-process engine.
+	one := RunOneOpts(items, "RCV1", FrameworkSTR, "L2", p, RunOpts{Sessions: 1})
+	ref := RunOne(items, "RCV1", FrameworkSTR, "L2", p, 0)
+	if !one.Completed || one.Matches != ref.Matches {
+		t.Fatalf("1-session run found %d matches, in-process %d", one.Matches, ref.Matches)
+	}
+}
+
+// TestRunOneSessionsRejects: sessions runs are STR-only and need a
+// streaming index the server can build.
+func TestRunOneSessionsRejects(t *testing.T) {
+	items := datagen.RCV1Profile().Scaled(0.01).Generate(1)
+	p := apss.Params{Theta: 0.7, Lambda: 0.05}
+	if res := RunOneOpts(items, "RCV1", FrameworkMB, "L2", p, RunOpts{Sessions: 2}); res.Completed {
+		t.Fatal("MB sessions run accepted")
+	}
+	if res := RunOneOpts(items, "RCV1", FrameworkSTR, "AP", p, RunOpts{Sessions: 2}); res.Completed {
+		t.Fatal("AP sessions run accepted")
+	}
+}

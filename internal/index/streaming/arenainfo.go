@@ -1,0 +1,84 @@
+package streaming
+
+// BlockInfo reports block-arena occupancy: how many fixed-size posting
+// blocks the arena has ever allocated and how many of those currently
+// sit on the freelist. Live blocks are the difference. It is reported
+// separately from SizeInfo — which counts logical posting entries and is
+// compared by struct equality against the ring-buffer oracle in the
+// parity tests — because the oracle has no arena and must keep matching
+// field for field.
+type BlockInfo struct {
+	// Blocks is the number of blocks ever allocated (live + free).
+	Blocks int
+	// FreeBlocks is the current freelist length; steady-state streaming
+	// recycles through it instead of growing the arena.
+	FreeBlocks int
+}
+
+// add accumulates b's figures (sharded engines sum their shards).
+func (b *BlockInfo) add(ar *parena) {
+	b.Blocks += ar.blocks()
+	b.FreeBlocks += ar.freeBlocks()
+}
+
+// ArenaSizer is implemented by arena-backed indexes; the frozen ring
+// oracle deliberately is not, which is how callers distinguish the two.
+type ArenaSizer interface {
+	ArenaInfo() BlockInfo
+}
+
+// ArenaInfo implements ArenaSizer.
+func (ix *invIndex) ArenaInfo() BlockInfo {
+	var b BlockInfo
+	b.add(&ix.ar)
+	return b
+}
+
+// ArenaInfo implements ArenaSizer.
+func (e *engine) ArenaInfo() BlockInfo {
+	var b BlockInfo
+	b.add(&e.ar)
+	return b
+}
+
+// ArenaInfo implements ArenaSizer, summing the per-worker arenas.
+func (e *parEngine) ArenaInfo() BlockInfo {
+	var b BlockInfo
+	for i := range e.shards {
+		b.add(&e.shards[i].ar)
+	}
+	return b
+}
+
+// ArenaInfo implements ArenaSizer, summing the per-worker arenas.
+func (ix *parInv) ArenaInfo() BlockInfo {
+	var b BlockInfo
+	for i := range ix.shards {
+		b.add(&ix.shards[i].ar)
+	}
+	return b
+}
+
+// ArenaInfo implements ArenaSizer.
+func (e *shardEngine) ArenaInfo() BlockInfo {
+	var b BlockInfo
+	b.add(&e.ar)
+	return b
+}
+
+// ArenaInfo implements ArenaSizer.
+func (ix *shardInv) ArenaInfo() BlockInfo {
+	var b BlockInfo
+	b.add(&ix.ar)
+	return b
+}
+
+// ArenaInfo forwards to the inner index when it is arena-backed; during
+// warmup the buffered items are not posting entries yet, so the inner
+// figures are the whole truth.
+func (o *orderedIndex) ArenaInfo() BlockInfo {
+	if as, ok := o.inner.(ArenaSizer); ok {
+		return as.ArenaInfo()
+	}
+	return BlockInfo{}
+}

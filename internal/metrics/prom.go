@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text-format rendering (version 0.0.4, the format every
+// Prometheus-compatible scraper accepts). It lives in this package
+// because Histogram's buckets are private: the exposition layer walks
+// them here instead of widening the Histogram API for one consumer.
+//
+// The writer is deliberately tiny — families and samples, no registry.
+// The server's /metrics handler knows which families exist and which
+// sessions to sample; this type only owns the wire format.
+
+// PromWriter renders metric families in the Prometheus text format.
+// Errors latch: rendering continues as no-ops after the first write
+// failure and Err reports it at the end, so callers check once.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family writes the HELP/TYPE header of one metric family. typ is
+// "counter", "gauge", or "histogram"; call it once per family, before
+// the family's samples.
+func (p *PromWriter) Family(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample writes one sample. labels is the rendered label set without
+// braces (`session="fast"`); empty for an unlabeled sample.
+func (p *PromWriter) Sample(name, labels string, value float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	p.printf("%s%s %s\n", name, labels, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// Histogram writes one histogram sample set — cumulative buckets with
+// le labels, _sum, and _count — under the family name. Observations
+// were recorded in nanoseconds; they are exposed in seconds, the
+// Prometheus base unit for time. labels as in Sample.
+func (p *PromWriter) Histogram(name, labels string, h *Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, c := range h.counts {
+		cum += c
+		if i < histBuckets {
+			p.printf("%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep,
+				strconv.FormatFloat(histBounds[i]/1e9, 'g', -1, 64), cum)
+		}
+	}
+	p.printf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	sumLabels, countLabels := labels, labels
+	if labels != "" {
+		sumLabels, countLabels = "{"+labels+"}", "{"+labels+"}"
+	}
+	p.printf("%s_sum%s %s\n", name, sumLabels, strconv.FormatFloat(h.sum/1e9, 'g', -1, 64))
+	p.printf("%s_count%s %d\n", name, countLabels, h.count)
+}

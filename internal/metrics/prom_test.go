@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestPromWriterFormat pins the exact Prometheus text-format output for
+// families, labeled and unlabeled samples.
+func TestPromWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Family("sssj_items_total", "counter", "Stream items processed.")
+	p.Sample("sssj_items_total", `session="fast"`, 3)
+	p.Sample("sssj_items_total", "", 0.5)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP sssj_items_total Stream items processed.\n" +
+		"# TYPE sssj_items_total counter\n" +
+		"sssj_items_total{session=\"fast\"} 3\n" +
+		"sssj_items_total 0.5\n"
+	if sb.String() != want {
+		t.Fatalf("output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+// TestPromWriterHistogram: cumulative buckets in seconds, the +Inf
+// bucket equal to _count, and _sum converted from nanoseconds.
+func TestPromWriterHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)  // 100ns
+	h.Observe(2e9)  // 2s
+	h.Observe(5e12) // over the last bound: +Inf only
+
+	for _, labels := range []string{`session="a"`, ""} {
+		var sb strings.Builder
+		p := NewPromWriter(&sb)
+		p.Histogram("sssj_lat_seconds", labels, h)
+		if err := p.Err(); err != nil {
+			t.Fatal(err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, `le="+Inf"} 3`) {
+			t.Fatalf("%q: +Inf bucket should hold all 3 observations:\n%s", labels, out)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if n := len(lines); n != histBuckets+3 { // buckets + Inf + sum + count
+			t.Fatalf("%q: %d lines, want %d", labels, n, histBuckets+3)
+		}
+		countLine := lines[len(lines)-1]
+		if !strings.HasSuffix(countLine, " 3") || !strings.HasPrefix(countLine, "sssj_lat_seconds_count") {
+			t.Fatalf("count line = %q", countLine)
+		}
+		sumLine := lines[len(lines)-2]
+		if !strings.HasPrefix(sumLine, "sssj_lat_seconds_sum") {
+			t.Fatalf("sum line = %q", sumLine)
+		}
+		// Cumulative monotonicity: a later bucket never counts fewer.
+		prev := int64(-1)
+		for _, l := range lines {
+			if !strings.Contains(l, "_bucket{") {
+				continue
+			}
+			var c int64
+			if _, err := fmtSscan(l, &c); err != nil {
+				t.Fatalf("parse %q: %v", l, err)
+			}
+			if c < prev {
+				t.Fatalf("bucket counts not cumulative at %q", l)
+			}
+			prev = c
+		}
+	}
+}
+
+// fmtSscan pulls the trailing integer off a sample line.
+func fmtSscan(line string, c *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v, err := parseInt(line[i+1:])
+	*c = v
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, errors.New("not an integer: " + s)
+		}
+		v = v*10 + int64(r-'0')
+	}
+	return v, nil
+}
+
+// failWriter fails every write after the first n calls.
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink failed")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errSink
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestPromWriterErrorLatch: the first write error latches; later calls
+// are no-ops and Err reports the original failure.
+func TestPromWriterErrorLatch(t *testing.T) {
+	p := NewPromWriter(&failWriter{n: 0})
+	p.Family("m", "gauge", "h")
+	if p.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	first := p.Err()
+	p.Sample("m", "", 1)
+	p.Histogram("m", "", NewHistogram())
+	if p.Err() != first {
+		t.Fatalf("latched error changed: %v -> %v", first, p.Err())
+	}
+	if !errors.Is(p.Err(), errSink) {
+		t.Fatalf("latched error = %v, want the sink failure", p.Err())
+	}
+}

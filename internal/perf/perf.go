@@ -62,6 +62,12 @@ type Scenario struct {
 	// loopback behind a coordinator (see harness.RunOpts.Cluster). STR
 	// only; the run includes the full line-protocol round trip per item.
 	Cluster int `json:"cluster,omitempty"`
+	// Sessions > 0 measures the multi-tenant service shape: one server
+	// hosting that many identically-configured sessions with the stream
+	// dealt round-robin across them (see harness.RunOpts.Sessions). STR
+	// only; like Cluster, the run includes the line-protocol round trip
+	// per item, and pair counts are per-session slices.
+	Sessions int `json:"sessions,omitempty"`
 }
 
 // foreign reports whether the scenario measures the foreign join.
@@ -84,6 +90,9 @@ func (s Scenario) label() string {
 	if s.Cluster > 0 {
 		name += fmt.Sprintf("/cluster%d", s.Cluster)
 	}
+	if s.Sessions > 0 {
+		name += fmt.Sprintf("/mt%d", s.Sessions)
+	}
 	return name
 }
 
@@ -101,9 +110,10 @@ func (s Scenario) named() Scenario {
 // framework baseline — plus a θ sweep on the recommended STR-L2 to
 // track threshold sensitivity, a 4-scenario foreign-join (A ⋈ B)
 // cross-section, a 2-scenario bounded-lateness (reorder stage)
-// cross-section, and a 2-scenario cluster-tier (coordinator + loopback
-// worker servers) cross-section. 20 scenarios; at the default scale the
-// whole matrix runs in well under a minute. Scenarios not yet present
+// cross-section, a 2-scenario cluster-tier (coordinator + loopback
+// worker servers) cross-section, and a multi-tenant (4-session server)
+// scenario. 21 scenarios; at the default scale the whole matrix runs in
+// well under a minute. Scenarios not yet present
 // in a committed baseline are reported as informational by Compare
 // until the baseline is refreshed.
 func DefaultScenarios() []Scenario {
@@ -164,6 +174,14 @@ func DefaultScenarios() []Scenario {
 		}
 		out = append(out, sc.named())
 	}
+	// The multi-tenant cross-section: one server hosting 4 sessions with
+	// the stream dealt round-robin across them — the per-session
+	// pipeline and protocol overhead of the service layer against the
+	// plain w1 scenario. Informational until the baseline is refreshed.
+	out = append(out, Scenario{
+		Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
+		Theta: 0.7, Lambda: lambda, Workers: 1, Sessions: 4,
+	}.named())
 	return out
 }
 
@@ -255,12 +273,15 @@ func runOnce(s Scenario, cfg RunConfig, items []stream.Item) (Report, error) {
 	if s.Cluster > 0 && s.Framework != harness.FrameworkSTR {
 		return Report{}, fmt.Errorf("perf: scenario %s: Cluster runs require the STR framework", s.Name)
 	}
+	if s.Sessions > 0 && s.Framework != harness.FrameworkSTR {
+		return Report{}, fmt.Errorf("perf: scenario %s: Sessions runs require the STR framework", s.Name)
+	}
 	lat := metrics.NewHistogram()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	res := harness.RunOneOpts(items, s.Profile, s.Framework, s.Index, p,
 		harness.RunOpts{Workers: s.Workers, Budget: cfg.Budget, Latency: lat, Foreign: s.foreign(),
-			Reorder: s.Reorder, Lateness: s.Lateness, Cluster: s.Cluster})
+			Reorder: s.Reorder, Lateness: s.Lateness, Cluster: s.Cluster, Sessions: s.Sessions})
 	runtime.ReadMemStats(&after)
 	return FromResult(s, res, lat, after.TotalAlloc-before.TotalAlloc, after.Mallocs-before.Mallocs), nil
 }

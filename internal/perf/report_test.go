@@ -209,8 +209,8 @@ func TestDefaultScenarios(t *testing.T) {
 		}
 		names[s.Name] = true
 	}
-	if got := len(FilterByProfile(scs, "RCV1")); got != 14 {
-		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 14", got)
+	if got := len(FilterByProfile(scs, "RCV1")); got != 15 {
+		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 15", got)
 	}
 	if got := len(FilterByProfile(scs, "")); got != len(scs) {
 		t.Errorf("empty filter dropped scenarios")
@@ -255,6 +255,43 @@ func TestDefaultScenarios(t *testing.T) {
 	}
 	if clusterN != 2 {
 		t.Errorf("matrix has %d cluster scenarios, want 2", clusterN)
+	}
+	// And the multi-tenant scenario, tagged /mt<N>.
+	mtN := 0
+	for _, s := range scs {
+		if s.Sessions > 0 {
+			mtN++
+			if !strings.Contains(s.Name, "/mt") {
+				t.Errorf("sessions scenario name %q lacks the /mt tag", s.Name)
+			}
+		}
+	}
+	if mtN != 1 {
+		t.Errorf("matrix has %d multi-tenant scenarios, want 1", mtN)
+	}
+}
+
+// TestRunSessionsScenario smoke-runs the multi-tenant scenario end to
+// end: the run completes, counts every item exactly once across the
+// tenants, and Sessions is STR-only.
+func TestRunSessionsScenario(t *testing.T) {
+	mt := Scenario{Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
+		Theta: 0.7, Lambda: 0.01, Workers: 1, Sessions: 4}
+	cfg := RunConfig{Scale: 0.05, Repeats: 1}
+	r, err := RunScenario(mt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed || r.Items == 0 {
+		t.Fatalf("sessions run: completed=%v items=%d", r.Completed, r.Items)
+	}
+	if r.Counters.Items != r.Items {
+		t.Fatalf("tenants counted %d items, stream has %d — round-robin lost items", r.Counters.Items, r.Items)
+	}
+	bad := mt
+	bad.Framework = harness.FrameworkMB
+	if _, err := RunScenario(bad, cfg); err == nil {
+		t.Fatal("Sessions on MB accepted")
 	}
 }
 

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"sssj/internal/metrics"
+	"sssj/internal/stream"
+)
+
+var (
+	errShutdown   = errors.New("server shutting down")
+	errNoBarriers = errors.New("joiner does not support time barriers")
+)
+
+// ErrBusy is the sentinel under every BusyError: the session's bounded
+// ingest queue (or the server's shared entry budget) refused an item.
+// The refusal is backpressure, not failure — the item was not ingested
+// and the caller should retry after draining or backing off.
+var ErrBusy = errors.New("session busy")
+
+// ErrMoved is the sentinel under every MovedError: the session migrated
+// to another daemon and no longer accepts requests here.
+var ErrMoved = errors.New("session moved")
+
+// BusyError is the typed decode of a "BUSY <session>" reply.
+type BusyError struct {
+	// Session is the name of the session whose queue was full.
+	Session string
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("session %q busy: ingest queue full", e.Session)
+}
+
+// Unwrap ties BusyError to the ErrBusy sentinel for errors.Is.
+func (e *BusyError) Unwrap() error { return ErrBusy }
+
+// MovedError is the typed decode of a "MOVED <addr>" reply: the session
+// was migrated and now lives at Addr. Redial there and re-attach with
+// Session to continue.
+type MovedError struct {
+	// Addr is the peer daemon the session migrated to.
+	Addr string
+}
+
+// Error implements error.
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("session moved to %s", e.Addr)
+}
+
+// Unwrap ties MovedError to the ErrMoved sentinel for errors.Is.
+func (e *MovedError) Unwrap() error { return ErrMoved }
+
+// isLate reports whether err is the reorder stage's late-item rejection.
+func isLate(err error) bool {
+	var late *stream.LateError
+	return errors.As(err, &late)
+}
+
+// marshalCounters renders counters as the one-line JSON form shared by
+// STATS JSON and the migration handshake.
+func marshalCounters(c *metrics.Counters) (string, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

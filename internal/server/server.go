@@ -1,8 +1,8 @@
-// Package server exposes a streaming similarity self-join over TCP, so
-// that producers in other processes (or machines) can feed one shared
-// stream and receive matches online — the deployment shape of the
-// paper's motivating applications, where posts arrive from a frontend
-// and near-duplicate/trend signals flow back.
+// Package server exposes streaming similarity joins over TCP, so that
+// producers in other processes (or machines) can feed shared streams
+// and receive matches online — the deployment shape of the paper's
+// motivating applications, where posts arrive from a frontend and
+// near-duplicate/trend signals flow back.
 //
 // # Protocol
 //
@@ -11,9 +11,12 @@
 //	ADD <timestamp> <dim>:<val> <dim>:<val> ...
 //	ADDNOW <dim>:<val> ...        (server assigns the arrival timestamp)
 //	SIDE <A|B>                    (foreign join: side of subsequent ADDs)
-//	WM <timestamp>                (event-time heartbeat; bounded-lateness servers)
+//	WM <timestamp>                (event-time heartbeat; bounded-lateness sessions)
 //	PUT <id> <A|B> <timestamp> <dim>:<val> ...   (cluster ingest; see below)
 //	ADV <timestamp>               (engine time barrier; cluster watermark fan-out)
+//	SESSION <name> [<k>=<v> ...]  (attach to — or, with options, create — a session)
+//	SESSIONS                      (list sessions)
+//	MIGRATE <addr>                (hand the attached session to a peer daemon)
 //	STATS                         (operation counters, text form)
 //	STATS JSON                    (operation counters as one JSON line)
 //	SIZE                          (index occupancy)
@@ -25,102 +28,101 @@
 //	MATCH <x> <y> <sim> <dot> <dt>   (zero or more)
 //	OK <id>                          (the item's assigned stream ID)
 //
-// or "ERR <message>" for rejected input. Items from all connections are
-// interleaved into a single self-join stream: a match can pair items
-// submitted by different clients.
+// or "ERR <message>" for rejected input, plus two typed replies every
+// client must know:
 //
-// A server started with Config.Foreign runs the two-stream foreign join
-// A ⋈ B instead: each connection carries a current side (side A until
-// it issues SIDE), every ADD/ADDNOW ingests on that side, and matches
-// pair only cross-side items. SIDE answers "SIDE <A|B>" (echo) and is
-// rejected on a self-join server, where the tag would be silently
-// meaningless.
+//	BUSY <session>   (backpressure: the session's bounded ingest queue —
+//	                 or the server's shared entry budget — refused the
+//	                 item; nothing was ingested, retry after backing off)
+//	MOVED <addr>     (the session migrated to the daemon at <addr>;
+//	                 redial there and re-attach with SESSION)
 //
-// # Ingest pipeline
+// # Sessions
 //
-// Connection handlers parse protocol lines concurrently and submit the
-// decoded items to a single ingest goroutine that owns the joiner, the
-// ID counter, and the stream clock; no lock is held while parsing or
-// writing responses. The pipeline processes items in submission order
-// and pushes each item's matches through a per-request sink straight
-// into the submitting connection's write buffer — the handler is parked
-// on the reply channel for the duration, so the writes are ordered and
-// no match slice is materialized anywhere. Every client sees its own
-// responses in the order it sent its items, and match output stays
-// correctly paired with the item that caused it. STATS and SIZE flow
-// through the same pipeline, which makes them consistent snapshots.
+// The server is multi-tenant: it hosts named sessions, each one an
+// independent joiner with its own θ/λ, index scheme, join mode,
+// lateness bound, worker count, counters, and bounded ingest queue.
+// Every connection is attached to exactly one session — the "default"
+// session (built from the server's own Config) until a SESSION command
+// switches it — and all stream commands (ADD/ADDNOW/PUT/ADV/WM/STATS/
+// SIZE/MIGRATE) act on the attached session.
 //
-// A join stream has one arrival order, so ingest itself cannot fan out;
-// parallelism comes from inside the joiner. Config.Workers > 1 selects
-// the dimension-sharded parallel STR engine, which parallelizes
-// candidate generation and verification within each item while emitting
-// exactly the sequential engine's matches (Workers ≤ 1 keeps the
-// paper's sequential engine).
+//	SESSION <name>                attach to an existing session
+//	SESSION <name> <k>=<v> ...    create <name> with the given options
+//	                              (error if it exists) and attach
 //
-// ADD timestamps must be globally non-decreasing across clients; ADDNOW
-// sidesteps that by stamping items with the server's monotonic clock at
-// ingest.
+// Option keys: theta, lambda, index (L2|INV|L2AP), join (self|foreign),
+// lateness, workers, queue, shard (i/N); unset keys inherit the server
+// Config. Items from all connections attached to one session interleave
+// into that session's stream, exactly as all connections of the old
+// single-join server did; sessions never observe each other's items.
 //
-// # Bounded lateness
+// Within a session the ingest pipeline works as before: connection
+// handlers parse concurrently and submit to one pipeline goroutine per
+// session that owns the joiner, the ID counter, and the stream clock,
+// writing each item's matches straight into the submitting connection's
+// buffer while the handler is parked on the reply. What changed is the
+// queue bound: an item submitted to a full session queue is refused
+// immediately with "BUSY <session>" instead of parking the handler, so
+// one slow consumer saturating its session cannot stall or reorder
+// other sessions. Control commands (STATS/SIZE/WM/ADV/MIGRATE) still
+// wait for a queue slot — they are rare, and their callers want the
+// answer.
 //
-// A server started with Config.Lateness δ > 0 relaxes the ordering
-// contract: a bounded reorder stage (internal/stream.Reorder) sits in
-// front of the joiner, items may arrive up to δ behind the newest event
-// time seen, and the joiner receives them re-sorted into (time, ID)
-// order as the watermark W = maxEventTimeSeen − δ passes them. An item
-// behind W is rejected with "ERR stream: item ... behind watermark ..."
-// and counted in STATS as late=N. The new command
+// # Migration
 //
-//	WM <timestamp>
+// MIGRATE <addr> hands the attached session to the daemon at addr with
+// zero item loss: the pipeline serializes the session's engine state
+// (checkpoint v5, including any buffered out-of-order items) plus its
+// counters and clocks, streams them to the peer's ADOPT command, and on
+// the peer's acknowledgment marks the session moved. Every later
+// request on the source answers "MOVED <addr>"; clients redial and
+// re-attach with SESSION <name>. The transfer runs on the session's own
+// pipeline goroutine, so it is a consistent cut: items ingested before
+// it are in the payload, items after it are refused with MOVED — none
+// are lost, which the migration parity battery proves by bit-identical
+// output. Other sessions keep streaming throughout.
 //
-// is an event-time heartbeat: it promises every producer's clock has
-// reached the timestamp, advances the watermark, and answers
-// "WM <watermark>" (−Inf while the watermark is undefined). On a
-// foreign-join server the watermark is min over the two sides' clocks
-// minus δ, and a WM heartbeat advances both sides at once.
+// ADOPT is the server-to-server half (clients never send it): a header
+// line, a counters line, and the raw checkpoint bytes. See migrate.go.
 //
-// One subtlety follows from the shared stream: an ADD or WM that moves
-// the watermark can release items buffered by *other* connections, and
-// the MATCH lines of a released item are written to the connection
-// whose request released it — match output pairs with the releasing
-// request, not with the item's original submitter. Clients that need
-// every match should drive the stream from one connection or treat the
-// server as a firehose per request. WM is rejected on a δ = 0 server,
-// where the watermark would be the plain stream clock.
+// # Observability
 //
-// # Cluster extensions
+// MetricsHandler serves a Prometheus-format scrape of every session:
+// items/pairs/late-drop counters, ingest-latency histogram, queue
+// depth, backpressure refusals, index occupancy, and arena block
+// gauges. cmd/sssjd exposes it on -metrics. The handler reads
+// per-session snapshots published by the pipelines, so a stalled
+// session serves its last known state rather than stalling the scrape.
 //
-// PUT and ADV exist for the cluster coordinator (internal/cluster),
-// which fronts N worker servers and must keep their output bit-identical
-// to a single process:
+// # Ordering, lateness, cluster extensions
 //
-//	PUT <id> <A|B> <timestamp> <dim>:<val> ...
+// ADD timestamps must be non-decreasing across a session's clients;
+// ADDNOW sidesteps that by stamping items with the server's monotonic
+// clock at ingest. A session with lateness δ > 0 instead runs a bounded
+// reorder stage in front of its joiner: items may arrive up to δ behind
+// the newest event time seen (per side under a foreign join), are
+// re-sorted into (time, ID) order as the watermark W = maxSeen − δ
+// passes them, and an item behind W is rejected with "ERR stream: ...
+// behind watermark ..." and counted as late=N. WM <timestamp> is the
+// event-time heartbeat: it promises every producer's clock reached the
+// timestamp, advances the watermark, and answers "WM <watermark>"
+// (−Inf while undefined). An ADD or WM that moves the watermark can
+// release items buffered by other connections of the same session, and
+// the released MATCH lines go to the connection whose request released
+// them.
 //
-// ingests like ADD but with a caller-assigned stream ID (the coordinator
-// owns the global ID sequence) and an explicit side, and — critically —
-// takes the coordinates verbatim: they are NOT re-normalized, because the
-// coordinator already normalized the vector once and normalizing the
-// transmitted values again would perturb the bits and break parity. PUT
-// responses carry MATCH lines at full float64 round-trip precision
-// (strconv 'g' with precision −1) instead of ADD's human-oriented %.6f.
-// The server's next auto-assigned ID advances past every PUT ID.
-//
-//	ADV <timestamp>
-//
-// is an engine time barrier: the promise that no item with an earlier
-// timestamp will ever arrive. The joiner advances its stream clock
-// (expiry + sweep maintenance, window flushes) exactly as the coordinator's
-// watermark dictates, and any released matches stream back before the
-// "ADV <timestamp>" echo. PUT and ADV are rejected on a bounded-lateness
-// server: reordering belongs to exactly one tier, and in cluster mode the
-// coordinator owns it (workers run δ = 0).
-//
-// STATS JSON answers "STATS {…}" with the metrics.Counters JSON object on
-// one line, so the coordinator and scrapers aggregate counters without
-// parsing the text form. When the joiner itself aggregates counters (the
-// coordinator does, summing its workers), the server reports the joiner's
-// Stats() instead of its local counters; SIZE likewise prefers the
-// joiner's IndexSize() whenever it has one.
+// PUT and ADV exist for the cluster coordinator (internal/cluster):
+// PUT ingests with a caller-assigned stream ID and explicit side,
+// taking coordinates verbatim (no re-normalization — the coordinator
+// already normalized once, and renormalizing would perturb bits and
+// break cross-wire parity), with MATCH replies at full float64
+// round-trip precision instead of ADD's human-oriented %.6f. ADV is the
+// engine time barrier carrying the coordinator's watermark. Both are
+// rejected on δ > 0 sessions: reordering belongs to exactly one tier,
+// and in cluster mode the coordinator owns it. A session created with
+// shard=i/N runs as worker i of an N-way dimension-sharded cluster
+// group, which lets one daemon host worker shards of several clusters.
 package server
 
 import (
@@ -139,33 +141,58 @@ import (
 	"sssj/internal/core"
 	"sssj/internal/index/streaming"
 	"sssj/internal/metrics"
-	"sssj/internal/stream"
 	"sssj/internal/vec"
 )
 
-// Config configures a Server.
+// DefaultSession is the name of the session every connection starts
+// attached to. It is built from the server's Config, so a client of the
+// old single-join protocol — which never sends SESSION — sees exactly
+// the old behavior.
+const DefaultSession = "default"
+
+// Config configures a Server. Params/Workers/Foreign/Lateness describe
+// the default session; sessions created by the SESSION command inherit
+// them as defaults and override per-option.
 type Config struct {
 	Params apss.Params
 	// Workers selects the dimension-sharded parallel STR engine for the
 	// default joiner (values ≤ 1 keep the sequential engine). Ignored
 	// when NewJoiner is set.
 	Workers int
-	// Foreign runs the two-stream foreign join: connections tag their
-	// items with the SIDE command and only cross-side matches are
-	// reported. Applies to the default joiner (a custom NewJoiner must
-	// build a foreign-gating joiner itself); the SIDE command is
-	// accepted only when this is set.
+	// Foreign runs the default session as the two-stream foreign join:
+	// connections tag their items with the SIDE command and only
+	// cross-side matches are reported. Applies to the default joiner (a
+	// custom NewJoiner must build a foreign-gating joiner itself).
 	Foreign bool
-	// Lateness is the event-time lateness bound δ. With δ > 0 a bounded
-	// reorder stage admits items up to δ behind the newest event time
-	// seen (per side under Foreign), re-sorting them before the joiner;
-	// items behind the watermark are rejected, and the WM command is
-	// enabled. 0 (the default) keeps the strict in-order contract. Must
-	// be finite and >= 0.
+	// Lateness is the default session's event-time lateness bound δ.
+	// With δ > 0 a bounded reorder stage admits items up to δ behind the
+	// newest event time seen (per side under Foreign), re-sorting them
+	// before the joiner; items behind the watermark are rejected, and
+	// the WM command is enabled. 0 (the default) keeps the strict
+	// in-order contract. Must be finite and >= 0.
 	Lateness float64
-	// NewJoiner builds the joiner; defaults to STR-L2 (sharded across
-	// Config.Workers shards when Workers > 1).
+	// Queue bounds each session's ingest queue (the backpressure knob);
+	// 0 means DefaultQueue. A SESSION command's queue= option overrides
+	// it per session.
+	Queue int
+	// EntryBudget, when > 0, bounds the total live posting entries
+	// across all sessions — the shared-arena admission control. An item
+	// arriving while the last-sampled total is at or past the budget is
+	// refused with BUSY. The total is sampled (every sizeSampleEvery
+	// items per session), so the bound has that much slack; entries
+	// expire as each session's horizon moves, making BUSY retryable.
+	EntryBudget int
+	// NewJoiner builds the default session's joiner; defaults to STR-L2
+	// (sharded across Config.Workers shards when Workers > 1).
 	NewJoiner func(apss.Params, *metrics.Counters) (core.Joiner, error)
+	// NewSessionJoiner, when set, builds the joiner of every session
+	// that does not use NewJoiner (i.e. all SESSION-created sessions,
+	// plus the default one when NewJoiner is nil). Tests use it to
+	// inject instrumented joiners; nil builds the STR engine the
+	// session's options describe. Migration-adopted sessions restore
+	// their joiner from the transferred checkpoint and bypass both
+	// hooks.
+	NewSessionJoiner func(name string, opts SessionOptions, c *metrics.Counters) (core.Joiner, error)
 	// Logf receives connection-level log lines; nil silences logging.
 	Logf func(format string, args ...interface{})
 	// Now supplies the clock for ADDNOW; defaults to a monotonic clock
@@ -182,20 +209,22 @@ const (
 	ingestAdv
 	ingestStats
 	ingestSize
+	ingestMigrate
 )
 
-// ingestReq is one unit of work for the ingest pipeline.
+// ingestReq is one unit of work for a session's ingest pipeline.
 type ingestReq struct {
 	kind     ingestKind
 	t        float64 // ADD/PUT timestamp (ignored when stampNow), or WM/ADV barrier
 	stampNow bool
-	side     apss.Side // foreign-join side of the item (A on self-join servers)
+	side     apss.Side // foreign-join side of the item (A on self-join sessions)
 	v        vec.Vector
 	// explicitID marks a PUT: the item carries the caller-assigned id
-	// instead of the server's counter, which advances past it.
+	// instead of the session's counter, which advances past it.
 	explicitID bool
 	id         uint64
-	statsJSON  bool // STATS JSON: render counters as a JSON line
+	statsJSON  bool   // STATS JSON: render counters as a JSON line
+	migrateTo  string // MIGRATE: the peer daemon's address
 	// emit receives the item's matches on the pipeline goroutine, as
 	// they are found. The submitting handler is parked on reply for the
 	// duration, so writing to its connection buffer is race-free: the
@@ -206,41 +235,35 @@ type ingestReq struct {
 
 // ingestResp is the pipeline's answer.
 type ingestResp struct {
-	id   uint64
-	info string // STATS/SIZE payload
-	err  error
+	id    uint64
+	info  string // STATS/SIZE/MIGRATE payload
+	busy  bool   // typed backpressure: queue full or entry budget exhausted
+	moved string // session migrated; the peer's address
+	err   error
 }
 
-// Server is a shared-stream SSSJ service.
+// Server is a multi-tenant SSSJ service: a registry of sessions (see
+// session.go), each an independent joiner with its own pipeline, plus
+// the TCP front end connecting clients to them.
 type Server struct {
-	cfg      Config
-	counters metrics.Counters
+	cfg Config
 
-	// Owned by the ingest pipeline goroutine after New returns.
-	joiner core.Joiner
-	// sinkJoiner is joiner's push-based face; set when the joiner
-	// implements core.SinkJoiner (every built-in one does), so matches
-	// stream to the submitting connection without a per-item slice.
-	sinkJoiner core.SinkJoiner
-	// reo is the bounded-lateness reorder stage in front of the joiner;
-	// nil when Config.Lateness is 0 (strict in-order contract).
-	reo    *stream.Reorder
-	nextID uint64
-	lastT  float64
-	begun  bool
-
-	reqs       chan ingestReq
-	ingestDone chan struct{}
+	// mu guards the session registry; individual sessions have their
+	// own synchronization.
+	mu       sync.Mutex
+	sessions map[string]*session
+	def      *session // the default session, for fresh connections
 
 	lnMu      sync.Mutex
 	ln        net.Listener
 	conns     map[net.Conn]struct{} // open connections, for shutdown interrupt
-	wg        sync.WaitGroup        // connection handlers — the only senders on reqs
+	wg        sync.WaitGroup        // connection handlers — the only senders on session queues
 	done      chan struct{}
 	closeOnce sync.Once
 }
 
-// New builds a Server and starts its ingest pipeline.
+// New builds a Server, creates its default session, and starts that
+// session's ingest pipeline.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -248,216 +271,39 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Lateness < 0 || math.IsNaN(cfg.Lateness) || math.IsInf(cfg.Lateness, 0) {
 		return nil, fmt.Errorf("server: Lateness must be finite and >= 0, got %v", cfg.Lateness)
 	}
+	if cfg.Queue < 0 {
+		return nil, fmt.Errorf("server: Queue must be >= 0, got %d", cfg.Queue)
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
 	s := &Server{
-		cfg:        cfg,
-		done:       make(chan struct{}),
-		reqs:       make(chan ingestReq, 64),
-		ingestDone: make(chan struct{}),
-		conns:      make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		done:     make(chan struct{}),
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	if cfg.Now == nil {
 		start := time.Now()
 		s.cfg.Now = func() float64 { return time.Since(start).Seconds() }
 	}
-	mk := cfg.NewJoiner
-	if mk == nil {
-		mk = func(p apss.Params, c *metrics.Counters) (core.Joiner, error) {
-			return core.NewSTRFull(streaming.L2, p, streaming.Options{
-				Counters: c,
-				Workers:  cfg.Workers,
-				Foreign:  cfg.Foreign,
-			})
+	var mk func(*session) error
+	if nj := cfg.NewJoiner; nj != nil {
+		mk = func(se *session) error {
+			j, err := nj(cfg.Params, &se.counters)
+			if err != nil {
+				return err
+			}
+			se.joiner = j
+			return nil
 		}
 	}
-	j, err := mk(cfg.Params, &s.counters)
+	def, err := s.newSession(DefaultSession, optionsFor(s.cfg), mk)
 	if err != nil {
 		return nil, err
 	}
-	s.joiner = j
-	s.sinkJoiner, _ = j.(core.SinkJoiner)
-	if cfg.Lateness > 0 {
-		if cfg.Foreign {
-			s.reo = stream.NewSidedReorder(cfg.Lateness)
-		} else {
-			s.reo = stream.NewReorder(cfg.Lateness)
-		}
-	}
-	go s.ingest()
+	s.def = def
 	return s, nil
-}
-
-// ingest is the pipeline goroutine: the sole owner of the joiner, the ID
-// counter, and the stream clock. Items are processed in submission order
-// and each submitter receives its item's ID and matches, preserving
-// per-item match ordering for every client. It replies to every request
-// on the queue — Close stops the handlers (the only senders) before
-// closing reqs, so an item that reached the queue is always processed
-// and answered, never silently dropped mid-shutdown.
-func (s *Server) ingest() {
-	defer close(s.ingestDone)
-	for req := range s.reqs {
-		req.reply <- s.serve(req)
-	}
-}
-
-// serve executes one pipeline request on the pipeline goroutine.
-func (s *Server) serve(req ingestReq) ingestResp {
-	switch req.kind {
-	case ingestStats:
-		c := s.counters
-		if sp, ok := s.joiner.(interface {
-			Stats() (metrics.Counters, error)
-		}); ok {
-			cc, err := sp.Stats()
-			if err != nil {
-				return ingestResp{err: err}
-			}
-			c = cc
-		}
-		if req.statsJSON {
-			b, err := json.Marshal(&c)
-			if err != nil {
-				return ingestResp{err: err}
-			}
-			return ingestResp{info: string(b)}
-		}
-		return ingestResp{info: c.String()}
-	case ingestSize:
-		if sizer, ok := s.joiner.(interface{ IndexSize() streaming.SizeInfo }); ok {
-			sz := sizer.IndexSize()
-			return ingestResp{info: fmt.Sprintf("entries=%d residuals=%d lists=%d tracked=%d", sz.PostingEntries, sz.Residuals, sz.Lists, sz.TrackedDims)}
-		}
-		return ingestResp{info: "unavailable"}
-	case ingestWM:
-		return s.serveWM(req)
-	case ingestAdv:
-		return s.serveAdv(req)
-	}
-	t := req.t
-	if req.stampNow {
-		t = s.cfg.Now()
-		if s.begun && t < s.lastT {
-			t = s.lastT // clamp clock regressions
-		}
-	} else if s.reo == nil && s.begun && t < s.lastT {
-		return ingestResp{err: fmt.Errorf("out of order: t=%v after t=%v", t, s.lastT)}
-	}
-	id := s.nextID
-	if req.explicitID {
-		id = req.id
-	}
-	it := stream.Item{ID: id, Time: t, Side: req.side, Vec: req.v}
-	if s.reo != nil {
-		// The reorder stage owns admission: a late item is rejected with
-		// the watermark it fell behind, an admissible one is buffered and
-		// every buffered item the new watermark passed flows through the
-		// joiner — with its matches written to THIS request's connection
-		// (see the package comment on bounded lateness).
-		if err := s.reo.Push(it, s.feed(req.emit)); err != nil {
-			var late *stream.LateError
-			if errors.As(err, &late) {
-				s.counters.LateDrops++
-			}
-			return ingestResp{err: err}
-		}
-	} else if err := s.feed(req.emit)(it); err != nil {
-		return ingestResp{err: err}
-	}
-	if req.explicitID {
-		// Keep auto-assigned IDs ahead of every caller-assigned one.
-		if req.id+1 > s.nextID {
-			s.nextID = req.id + 1
-		}
-	} else {
-		s.nextID++
-	}
-	if !s.begun || t > s.lastT {
-		s.lastT = t
-	}
-	s.begun = true
-	return ingestResp{id: id}
-}
-
-// serveWM executes a WM heartbeat on the pipeline goroutine: the
-// reorder stage's clocks advance to req.t (stale heartbeats are no-ops),
-// released items flow through the joiner into the requester's
-// connection, and the engine's own clock is advanced to the watermark so
-// expiration and sweeping happen even on an idle stream.
-func (s *Server) serveWM(req ingestReq) ingestResp {
-	if err := s.reo.AdvanceTo(req.t, s.feed(req.emit)); err != nil {
-		return ingestResp{err: err}
-	}
-	wm := s.reo.Watermark()
-	if !math.IsInf(wm, -1) {
-		if adv, ok := s.joiner.(core.Advancer); ok {
-			if err := adv.AdvanceTo(wm, req.emit); err != nil {
-				return ingestResp{err: err}
-			}
-		}
-	}
-	// The heartbeat promises producer clocks reached req.t; keep ADDNOW's
-	// clamp floor consistent with that promise.
-	if !s.begun || req.t > s.lastT {
-		s.lastT = req.t
-		s.begun = true
-	}
-	return ingestResp{info: strconv.FormatFloat(wm, 'g', -1, 64)}
-}
-
-// serveAdv executes an ADV barrier on the pipeline goroutine: the joiner
-// moves its stream clock to req.t — performing expiry, sweep
-// maintenance, and (window modes) watermark-closed flushes — and later
-// items behind the barrier are rejected like any time regression. A
-// stale barrier is the joiner's no-op.
-func (s *Server) serveAdv(req ingestReq) ingestResp {
-	adv, ok := s.joiner.(core.Advancer)
-	if !ok {
-		return ingestResp{err: errors.New("joiner does not support time barriers")}
-	}
-	if err := adv.AdvanceTo(req.t, req.emit); err != nil {
-		return ingestResp{err: err}
-	}
-	if !s.begun || req.t > s.lastT {
-		s.lastT = req.t
-		s.begun = true
-	}
-	return ingestResp{info: strconv.FormatFloat(req.t, 'g', -1, 64)}
-}
-
-// feed returns the joiner-facing release target for one request: each
-// item flows through the joiner with its matches streaming into emit.
-func (s *Server) feed(emit apss.Sink) func(stream.Item) error {
-	return func(it stream.Item) error {
-		if s.sinkJoiner != nil && emit != nil {
-			return s.sinkJoiner.AddTo(it, emit)
-		}
-		ms, err := s.joiner.Add(it)
-		if err != nil {
-			return err
-		}
-		if emit != nil {
-			for _, m := range ms {
-				emit(m)
-			}
-		}
-		return nil
-	}
-}
-
-// submit routes one request through the pipeline. Once enqueued, the
-// reply is guaranteed: the pipeline runs until Close has stopped every
-// handler, and handlers are the only senders.
-func (s *Server) submit(req ingestReq) ingestResp {
-	req.reply = make(chan ingestResp, 1)
-	select {
-	case s.reqs <- req:
-		return <-req.reply
-	case <-s.done:
-		return ingestResp{err: errors.New("server shutting down")}
-	}
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
@@ -480,7 +326,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		// Register the handler under lnMu so Close — which acquires the
 		// same lock after closing done — observes either the done check
 		// failing here or the registration in wg.Wait, never a handler
-		// starting after the pipeline shut down.
+		// starting after the pipelines shut down.
 		s.lnMu.Lock()
 		select {
 		case <-s.done:
@@ -525,10 +371,11 @@ func (s *Server) Addr() net.Addr {
 
 // Close stops accepting, interrupts connections blocked on network I/O
 // (an idle client must not hold shutdown hostage), waits for in-flight
-// commands to drain — every item that reached the ingest queue is
+// commands to drain — every item that reached a session queue is
 // processed and answered, though a reply write can fail once its
-// connection is torn down — and then stops the ingest pipeline. Close is
-// idempotent; calls after the first return nil without re-waiting.
+// connection is torn down — and then stops every session pipeline.
+// Close is idempotent; calls after the first return nil without
+// re-waiting.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() { err = s.close() })
@@ -547,31 +394,43 @@ func (s *Server) close() error {
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.wg.Wait()   // handlers are the only senders on reqs…
-	close(s.reqs) // …so this is safe, and ingest drains what remains
-	<-s.ingestDone
+	s.wg.Wait() // handlers — the only queue senders and session creators — are gone…
+	for _, se := range s.sessionList() {
+		close(se.reqs) // …so this is safe, and each pipeline drains what remains
+		<-se.pipeDone
+	}
 	return err
 }
 
-// handle runs one client connection. side is the connection's current
-// foreign-join side: A until a SIDE command changes it.
+// connState is one connection's protocol state: the session it is
+// attached to and its current foreign-join side.
+type connState struct {
+	sess *session
+	side apss.Side
+}
+
+// handle runs one client connection.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	s.cfg.Logf("client %s connected", conn.RemoteAddr())
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	// A plain Reader, not a Scanner: ADOPT switches mid-stream to a
+	// length-framed binary payload, which a line scanner cannot yield.
+	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriter(conn)
-	side := apss.SideA
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	st := &connState{sess: s.def, side: apss.SideA}
+	for {
+		line, err := r.ReadString('\n')
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" {
+			quit := s.dispatch(r, w, trimmed, st)
+			if ferr := w.Flush(); ferr != nil {
+				break
+			}
+			if quit {
+				break
+			}
 		}
-		quit := s.dispatch(w, line, &side)
-		if err := w.Flush(); err != nil {
-			break
-		}
-		if quit {
+		if err != nil {
 			break
 		}
 		select {
@@ -583,28 +442,46 @@ func (s *Server) handle(conn net.Conn) {
 	s.cfg.Logf("client %s disconnected", conn.RemoteAddr())
 }
 
-// dispatch executes one protocol line, reporting whether to close. side
-// is the connection's current foreign-join side, updated by SIDE.
-func (s *Server) dispatch(w *bufio.Writer, line string, side *apss.Side) (quit bool) {
+// writeRespErr writes the error-class replies (BUSY/MOVED/ERR) for
+// resp, reporting whether one was written.
+func writeRespErr(w *bufio.Writer, sess *session, resp ingestResp) bool {
+	switch {
+	case resp.busy:
+		fmt.Fprintf(w, "BUSY %s\n", sess.name)
+	case resp.moved != "":
+		fmt.Fprintf(w, "MOVED %s\n", resp.moved)
+	case resp.err != nil:
+		fmt.Fprintf(w, "ERR %v\n", resp.err)
+	default:
+		return false
+	}
+	return true
+}
+
+// dispatch executes one protocol line, reporting whether to close. r is
+// the connection's reader, consumed past the line only by ADOPT's
+// binary payload.
+func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string, st *connState) (quit bool) {
 	cmd := line
 	rest := ""
 	if i := strings.IndexByte(line, ' '); i >= 0 {
 		cmd, rest = line[:i], strings.TrimSpace(line[i+1:])
 	}
+	sess := st.sess
 	switch strings.ToUpper(cmd) {
 	case "ADD":
-		s.cmdAdd(w, rest, false, *side)
+		sess.cmdAdd(w, rest, false, st.side)
 	case "ADDNOW":
-		s.cmdAdd(w, rest, true, *side)
+		sess.cmdAdd(w, rest, true, st.side)
 	case "PUT":
-		if s.reo != nil {
-			fmt.Fprintln(w, "ERR PUT requires a strict-order server (Config.Lateness 0)")
+		if sess.reo != nil {
+			fmt.Fprintln(w, "ERR PUT requires a strict-order session (lateness 0)")
 			return false
 		}
-		s.cmdPut(w, rest)
+		sess.cmdPut(w, rest)
 	case "ADV":
-		if s.reo != nil {
-			fmt.Fprintln(w, "ERR ADV requires a strict-order server (Config.Lateness 0); use WM")
+		if sess.reo != nil {
+			fmt.Fprintln(w, "ERR ADV requires a strict-order session (lateness 0); use WM")
 			return false
 		}
 		t, err := strconv.ParseFloat(rest, 64)
@@ -612,25 +489,25 @@ func (s *Server) dispatch(w *bufio.Writer, line string, side *apss.Side) (quit b
 			fmt.Fprintf(w, "ERR bad timestamp %q\n", rest)
 			return false
 		}
-		s.cmdAdv(w, t)
+		sess.cmdAdv(w, t)
 	case "SIDE":
-		if !s.cfg.Foreign {
-			fmt.Fprintln(w, "ERR SIDE requires a foreign-join server")
+		if !sess.opts.Foreign {
+			fmt.Fprintln(w, "ERR SIDE requires a foreign-join session")
 			return false
 		}
 		switch strings.ToUpper(rest) {
 		case "A":
-			*side = apss.SideA
+			st.side = apss.SideA
 		case "B":
-			*side = apss.SideB
+			st.side = apss.SideB
 		default:
 			fmt.Fprintf(w, "ERR bad side %q, want A or B\n", rest)
 			return false
 		}
-		fmt.Fprintf(w, "SIDE %v\n", *side)
+		fmt.Fprintf(w, "SIDE %v\n", st.side)
 	case "WM":
-		if s.reo == nil {
-			fmt.Fprintln(w, "ERR WM requires a bounded-lateness server (Config.Lateness > 0)")
+		if sess.reo == nil {
+			fmt.Fprintln(w, "ERR WM requires a bounded-lateness session (lateness > 0)")
 			return false
 		}
 		t, err := strconv.ParseFloat(rest, 64)
@@ -638,18 +515,36 @@ func (s *Server) dispatch(w *bufio.Writer, line string, side *apss.Side) (quit b
 			fmt.Fprintf(w, "ERR bad timestamp %q\n", rest)
 			return false
 		}
-		s.cmdWM(w, t)
+		sess.cmdWM(w, t)
+	case "SESSION":
+		s.cmdSession(w, rest, st)
+	case "SESSIONS":
+		names := make([]string, 0, 8)
+		for _, se := range s.sessionList() {
+			names = append(names, se.name)
+		}
+		fmt.Fprintf(w, "SESSIONS %s\n", strings.Join(names, " "))
+	case "MIGRATE":
+		if rest == "" {
+			fmt.Fprintln(w, "ERR MIGRATE needs <addr>")
+			return false
+		}
+		resp := sess.submit(ingestReq{kind: ingestMigrate, migrateTo: rest}, true)
+		if writeRespErr(w, sess, resp) {
+			return false
+		}
+		fmt.Fprintf(w, "MIGRATED %s\n", resp.info)
+	case "ADOPT":
+		s.cmdAdopt(r, w, rest)
 	case "STATS":
-		resp := s.submit(ingestReq{kind: ingestStats, statsJSON: strings.EqualFold(rest, "JSON")})
-		if resp.err != nil {
-			fmt.Fprintf(w, "ERR %v\n", resp.err)
+		resp := sess.submit(ingestReq{kind: ingestStats, statsJSON: strings.EqualFold(rest, "JSON")}, true)
+		if writeRespErr(w, sess, resp) {
 			return false
 		}
 		fmt.Fprintf(w, "STATS %s\n", resp.info)
 	case "SIZE":
-		resp := s.submit(ingestReq{kind: ingestSize})
-		if resp.err != nil {
-			fmt.Fprintf(w, "ERR %v\n", resp.err)
+		resp := sess.submit(ingestReq{kind: ingestSize}, true)
+		if writeRespErr(w, sess, resp) {
 			return false
 		}
 		fmt.Fprintf(w, "SIZE %s\n", resp.info)
@@ -664,9 +559,40 @@ func (s *Server) dispatch(w *bufio.Writer, line string, side *apss.Side) (quit b
 	return false
 }
 
+// cmdSession attaches the connection to a session: an existing one when
+// called bare, a newly created one when options follow the name.
+func (s *Server) cmdSession(w *bufio.Writer, rest string, st *connState) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		fmt.Fprintln(w, "ERR SESSION needs <name> [<k>=<v> ...]")
+		return
+	}
+	name := fields[0]
+	var sess *session
+	if len(fields) == 1 {
+		var ok bool
+		if sess, ok = s.lookupSession(name); !ok {
+			fmt.Fprintf(w, "ERR no session %q (create one: SESSION %s theta=... )\n", name, name)
+			return
+		}
+	} else {
+		opts, err := parseSessionOptions(optionsFor(s.cfg), fields[1:])
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		if sess, err = s.newSession(name, opts, nil); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+	}
+	st.sess = sess
+	fmt.Fprintf(w, "SESSION %s\n", name)
+}
+
 // cmdAdd parses one item on the connection goroutine and submits it to
-// the ingest pipeline on the connection's current side.
-func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool, side apss.Side) {
+// the session pipeline on the connection's current side.
+func (s *session) cmdAdd(w *bufio.Writer, rest string, stampNow bool, side apss.Side) {
 	fields := strings.Fields(rest)
 	var (
 		t     float64
@@ -697,9 +623,8 @@ func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool, side apss.S
 	// match slice is built anywhere. Write errors are latched (not
 	// returned to the joiner, whose processing must not depend on a
 	// client's socket) and surface at the Flush in handle.
-	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, side: side, v: v, emit: matchEmitter(w, false)})
-	if resp.err != nil {
-		fmt.Fprintf(w, "ERR %v\n", resp.err)
+	resp := s.submit(ingestReq{kind: ingestAdd, t: t, stampNow: stampNow, side: side, v: v, emit: matchEmitter(w, false)}, false)
+	if writeRespErr(w, s, resp) {
 		return
 	}
 	fmt.Fprintf(w, "OK %d\n", resp.id)
@@ -709,7 +634,7 @@ func (s *Server) cmdAdd(w *bufio.Writer, rest string, stampNow bool, side apss.S
 // side, and coordinates taken verbatim (no re-normalization — the
 // coordinator sends an already-normalized vector, and %g round-trips
 // float64 exactly). Matches stream back at full precision.
-func (s *Server) cmdPut(w *bufio.Writer, rest string) {
+func (s *session) cmdPut(w *bufio.Writer, rest string) {
 	fields := strings.Fields(rest)
 	if len(fields) < 3 {
 		fmt.Fprintln(w, "ERR PUT needs <id> <A|B> <timestamp> <dim>:<val>...")
@@ -730,8 +655,8 @@ func (s *Server) cmdPut(w *bufio.Writer, rest string) {
 		fmt.Fprintf(w, "ERR bad side %q, want A or B\n", fields[1])
 		return
 	}
-	if side == apss.SideB && !s.cfg.Foreign {
-		fmt.Fprintln(w, "ERR side B requires a foreign-join server")
+	if side == apss.SideB && !s.opts.Foreign {
+		fmt.Fprintln(w, "ERR side B requires a foreign-join session")
 		return
 	}
 	t, err := strconv.ParseFloat(fields[2], 64)
@@ -744,9 +669,8 @@ func (s *Server) cmdPut(w *bufio.Writer, rest string) {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
-	resp := s.submit(ingestReq{kind: ingestAdd, t: t, side: side, v: v, explicitID: true, id: id, emit: matchEmitter(w, true)})
-	if resp.err != nil {
-		fmt.Fprintf(w, "ERR %v\n", resp.err)
+	resp := s.submit(ingestReq{kind: ingestAdd, t: t, side: side, v: v, explicitID: true, id: id, emit: matchEmitter(w, true)}, false)
+	if writeRespErr(w, s, resp) {
 		return
 	}
 	fmt.Fprintf(w, "OK %d\n", resp.id)
@@ -754,10 +678,9 @@ func (s *Server) cmdPut(w *bufio.Writer, rest string) {
 
 // cmdAdv submits an engine time barrier; released matches (window
 // flushes) stream back at full precision before the echo.
-func (s *Server) cmdAdv(w *bufio.Writer, t float64) {
-	resp := s.submit(ingestReq{kind: ingestAdv, t: t, emit: matchEmitter(w, true)})
-	if resp.err != nil {
-		fmt.Fprintf(w, "ERR %v\n", resp.err)
+func (s *session) cmdAdv(w *bufio.Writer, t float64) {
+	resp := s.submit(ingestReq{kind: ingestAdv, t: t, emit: matchEmitter(w, true)}, true)
+	if writeRespErr(w, s, resp) {
 		return
 	}
 	fmt.Fprintf(w, "ADV %s\n", resp.info)
@@ -765,10 +688,9 @@ func (s *Server) cmdAdv(w *bufio.Writer, t float64) {
 
 // cmdWM submits a WM heartbeat. Matches of items the advancing
 // watermark releases are written to this connection, like cmdAdd's.
-func (s *Server) cmdWM(w *bufio.Writer, t float64) {
-	resp := s.submit(ingestReq{kind: ingestWM, t: t, emit: matchEmitter(w, false)})
-	if resp.err != nil {
-		fmt.Fprintf(w, "ERR %v\n", resp.err)
+func (s *session) cmdWM(w *bufio.Writer, t float64) {
+	resp := s.submit(ingestReq{kind: ingestWM, t: t, emit: matchEmitter(w, false)}, true)
+	if writeRespErr(w, s, resp) {
 		return
 	}
 	fmt.Fprintf(w, "WM %s\n", resp.info)
@@ -904,7 +826,24 @@ func (c *Client) beginRequest() {
 	}
 }
 
+// respError decodes the protocol's error-class replies — ERR text,
+// typed BUSY backpressure, typed MOVED redirects — or returns nil when
+// resp is not one.
+func respError(resp string) error {
+	switch {
+	case strings.HasPrefix(resp, "ERR "):
+		return errors.New(resp[4:])
+	case strings.HasPrefix(resp, "BUSY "):
+		return &BusyError{Session: resp[5:]}
+	case strings.HasPrefix(resp, "MOVED "):
+		return &MovedError{Addr: resp[6:]}
+	}
+	return nil
+}
+
 // Add submits a timestamped item and returns its stream ID and matches.
+// A full session queue surfaces as a *BusyError (errors.Is ErrBusy); a
+// migrated session as a *MovedError (errors.Is ErrMoved).
 func (c *Client) Add(t float64, v vec.Vector) (uint64, []apss.Match, error) {
 	return c.add(fmt.Sprintf("ADD %g %s", t, formatCoords(v)))
 }
@@ -953,9 +892,10 @@ func (c *Client) Advance(t float64) ([]apss.Match, error) {
 			matches = append(matches, m)
 		case strings.HasPrefix(resp, "ADV "):
 			return matches, nil
-		case strings.HasPrefix(resp, "ERR "):
-			return nil, errors.New(resp[4:])
 		default:
+			if err := respError(resp); err != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("server: unexpected response %q", resp)
 		}
 	}
@@ -987,9 +927,10 @@ func (c *Client) add(line string) (uint64, []apss.Match, error) {
 				return 0, nil, fmt.Errorf("server: bad ok line %q", resp)
 			}
 			return id, matches, nil
-		case strings.HasPrefix(resp, "ERR "):
-			return 0, nil, errors.New(resp[4:])
 		default:
+			if err := respError(resp); err != nil {
+				return 0, nil, err
+			}
 			return 0, nil, fmt.Errorf("server: unexpected response %q", resp)
 		}
 	}
@@ -1030,7 +971,7 @@ func parseMatchLine(resp string) (apss.Match, error) {
 	return m, nil
 }
 
-// Watermark sends a WM event-time heartbeat (bounded-lateness servers
+// Watermark sends a WM event-time heartbeat (bounded-lateness sessions
 // only): a promise that every producer's clock has reached t. It
 // returns the server's watermark after the heartbeat — −Inf while
 // undefined — along with the matches of any items the advancing
@@ -1061,28 +1002,61 @@ func (c *Client) Watermark(t float64) (float64, []apss.Match, error) {
 				return 0, nil, fmt.Errorf("server: bad watermark line %q", resp)
 			}
 			return wm, matches, nil
-		case strings.HasPrefix(resp, "ERR "):
-			return 0, nil, errors.New(resp[4:])
 		default:
+			if err := respError(resp); err != nil {
+				return 0, nil, err
+			}
 			return 0, nil, fmt.Errorf("server: unexpected response %q", resp)
 		}
 	}
 }
 
 // Side sets the connection's foreign-join side for subsequent Add and
-// AddNow calls. The server must be running a foreign join
-// (Config.Foreign); new connections start on side A.
+// AddNow calls. The attached session must be running a foreign join;
+// new connections start on side A.
 func (c *Client) Side(side apss.Side) error {
 	_, err := c.simple("SIDE "+side.String(), "SIDE "+side.String())
 	return err
 }
 
-// Stats fetches the server's counter line.
+// Session attaches the connection to the named session. With no opts it
+// must already exist (the re-attach path after a migration); with
+// "k=v" option tokens — theta=0.7, index=INV, join=foreign, lateness=3,
+// workers=4, queue=128, shard=0/2 — the session is created (an error if
+// the name is taken) and the connection attached to it.
+func (c *Client) Session(name string, opts ...string) error {
+	cmd := "SESSION " + name
+	if len(opts) > 0 {
+		cmd += " " + strings.Join(opts, " ")
+	}
+	_, err := c.simple(cmd, "SESSION "+name)
+	return err
+}
+
+// Sessions lists the server's session names, sorted.
+func (c *Client) Sessions() ([]string, error) {
+	payload, err := c.simple("SESSIONS", "SESSIONS")
+	if err != nil {
+		return nil, err
+	}
+	return strings.Fields(payload), nil
+}
+
+// Migrate hands the attached session to the daemon at addr (live
+// migration; see the package comment). After it returns, requests on
+// this server answer *MovedError — reconnect to addr and re-attach with
+// Session.
+func (c *Client) Migrate(addr string) error {
+	_, err := c.simple("MIGRATE "+addr, "MIGRATED "+addr)
+	return err
+}
+
+// Stats fetches the attached session's counter line.
 func (c *Client) Stats() (string, error) { return c.simple("STATS", "STATS ") }
 
-// StatsJSON fetches the server's counters via STATS JSON and decodes
-// them — the coordinator's aggregation path, immune to text-format
-// drift.
+// StatsJSON fetches the attached session's counters via STATS JSON and
+// decodes them — the coordinator's aggregation path, immune to
+// text-format drift.
 func (c *Client) StatsJSON() (metrics.Counters, error) {
 	payload, err := c.simple("STATS JSON", "STATS ")
 	if err != nil {
@@ -1095,10 +1069,10 @@ func (c *Client) StatsJSON() (metrics.Counters, error) {
 	return counters, nil
 }
 
-// Size fetches the server's index-occupancy line.
+// Size fetches the attached session's index-occupancy line.
 func (c *Client) Size() (string, error) { return c.simple("SIZE", "SIZE ") }
 
-// SizeInfo fetches and decodes the server's index occupancy.
+// SizeInfo fetches and decodes the attached session's index occupancy.
 func (c *Client) SizeInfo() (streaming.SizeInfo, error) {
 	payload, err := c.Size()
 	if err != nil {
@@ -1129,8 +1103,8 @@ func (c *Client) simple(cmd, prefix string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if strings.HasPrefix(resp, "ERR ") {
-		return "", errors.New(resp[4:])
+	if err := respError(resp); err != nil {
+		return "", err
 	}
 	if !strings.HasPrefix(resp, prefix) {
 		return "", fmt.Errorf("server: unexpected response %q", resp)

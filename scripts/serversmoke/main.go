@@ -1,0 +1,399 @@
+// Command serversmoke is the process-level multi-tenant smoke test
+// behind `make server-smoke`: it boots one sssjd daemon with the
+// Prometheus endpoint enabled, creates three sessions with different
+// thresholds and join modes, streams a deterministic workload through
+// each, scrapes /metrics, live-migrates one session to a second daemon
+// mid-stream, and requires every session's match set to equal — bit for
+// bit — what a dedicated single-tenant daemon reports for the same
+// stream. This is the deployment-shape check the in-process tests
+// cannot give: separate address spaces, real TCP, real process
+// lifecycle, a real HTTP scrape.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"sssj/internal/apss"
+	"sssj/internal/server"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+// tenant is one session in the smoke matrix: a name, its creation
+// options, whether its stream is two-sided, and the flags a dedicated
+// single-tenant reference daemon needs to run the same join.
+type tenant struct {
+	name    string
+	opts    []string
+	foreign bool
+	refArgs []string
+	seed    int64
+}
+
+var tenants = []tenant{
+	{
+		name:    "inv-low",
+		opts:    []string{"theta=0.6", "lambda=0.05", "index=INV"},
+		refArgs: []string{"-theta", "0.6", "-lambda", "0.05", "-index", "INV"},
+		seed:    11,
+	},
+	{
+		name:    "l2-high",
+		opts:    []string{"theta=0.75", "lambda=0.05", "index=L2"},
+		refArgs: []string{"-theta", "0.75", "-lambda", "0.05", "-index", "L2"},
+		seed:    12,
+	},
+	{
+		name:    "fk",
+		opts:    []string{"theta=0.6", "lambda=0.05", "index=L2", "join=foreign"},
+		foreign: true,
+		refArgs: []string{"-theta", "0.6", "-lambda", "0.05", "-index", "L2", "-join", "foreign"},
+		seed:    13,
+	},
+}
+
+// migrateTenant is the session handed to the second daemon mid-stream.
+const migrateTenant = "l2-high"
+
+func main() {
+	sssjd := flag.String("sssjd", "bin/sssjd", "path to the sssjd binary")
+	n := flag.Int("n", 200, "items per tenant stream")
+	flag.Parse()
+	if err := runSmoke(*sssjd, *n); err != nil {
+		fmt.Fprintf(os.Stderr, "server-smoke: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// proc is a spawned daemon plus the addresses it bound.
+type proc struct {
+	cmd     *exec.Cmd
+	addr    string
+	metrics string
+}
+
+// start launches a daemon on 127.0.0.1:0 and scans its stderr for the
+// "listening on <addr>" line every daemon logs once bound, plus the
+// "metrics on <addr>" line when -metrics is among the args.
+func start(bin string, args ...string) (*proc, error) {
+	wantMetrics := false
+	for _, a := range args {
+		if a == "-metrics" {
+			wantMetrics = true
+		}
+	}
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	metCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			for prefix, ch := range map[string]chan string{
+				"listening on ": addrCh,
+				"metrics on ":   metCh,
+			} {
+				if i := strings.Index(line, prefix); i >= 0 {
+					rest := line[i+len(prefix):]
+					if j := strings.IndexByte(rest, ' '); j >= 0 {
+						rest = rest[:j]
+					}
+					select {
+					case ch <- rest:
+					default:
+					}
+				}
+			}
+		}
+		io.Copy(io.Discard, stderr)
+	}()
+	p := &proc{cmd: cmd}
+	deadline := time.After(10 * time.Second)
+	select {
+	case p.addr = <-addrCh:
+	case <-deadline:
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("%s did not report a listen address", bin)
+	}
+	if wantMetrics {
+		select {
+		case p.metrics = <-metCh:
+		case <-deadline:
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("%s did not report a metrics address", bin)
+		}
+	}
+	return p, nil
+}
+
+// stop SIGTERMs the daemon and waits for a clean exit.
+func (p *proc) stop() error {
+	if p == nil || p.cmd.Process == nil {
+		return nil
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("daemon did not exit on SIGTERM")
+	}
+}
+
+// genItems derives a deterministic workload: clustered draws from a
+// small vocabulary so real matches occur, strictly increasing times.
+func genItems(seed int64, n int) []stream.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]stream.Item, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		nnz := 1 + rng.Intn(4)
+		dims := map[uint32]float64{}
+		for len(dims) < nnz {
+			dims[uint32(rng.Intn(20))] = 0.1 + rng.Float64()
+		}
+		var ds []uint32
+		var vs []float64
+		for d := uint32(0); d < 20; d++ {
+			if v, ok := dims[d]; ok {
+				ds = append(ds, d)
+				vs = append(vs, v)
+			}
+		}
+		t += rng.Float64()
+		items = append(items, stream.Item{ID: uint64(i), Time: t, Vec: vec.MustNew(ds, vs).Normalize()})
+	}
+	return items
+}
+
+func dial(addr string) (*server.Client, error) {
+	return server.Dialer{DialTimeout: 2 * time.Second, IOTimeout: 30 * time.Second, Retries: 5}.Dial(addr)
+}
+
+// feed streams items[from:to] on an already-attached connection and
+// returns the reported matches. Under the foreign join, odd positions
+// go to stream B; side is the connection's current side, carried across
+// calls so a resumed feed re-establishes it after reconnecting.
+func feed(c *server.Client, items []stream.Item, from, to int, foreign bool, side *apss.Side) ([]apss.Match, error) {
+	var all []apss.Match
+	for i := from; i < to; i++ {
+		if foreign {
+			want := apss.SideA
+			if i%2 == 1 {
+				want = apss.SideB
+			}
+			if want != *side {
+				if err := c.Side(want); err != nil {
+					return nil, err
+				}
+				*side = want
+			}
+		}
+		_, ms, err := c.Add(items[i].Time, items[i].Vec)
+		if err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, err)
+		}
+		all = append(all, ms...)
+	}
+	return all, nil
+}
+
+// scrape fetches the Prometheus endpoint and checks that every tenant
+// session is reporting.
+func scrape(metricsAddr string, halfway map[string]int) error {
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return fmt.Errorf("/metrics Content-Type = %q, want the Prometheus text format", ct)
+	}
+	text := string(body)
+	for name, items := range halfway {
+		up := fmt.Sprintf(`sssj_session_up{session=%q} 1`, name)
+		if !strings.Contains(text, up) {
+			return fmt.Errorf("scrape is missing %s", up)
+		}
+		counted := fmt.Sprintf(`sssj_items_total{session=%q} %d`, name, items)
+		if !strings.Contains(text, counted) {
+			return fmt.Errorf("scrape is missing %s", counted)
+		}
+	}
+	return nil
+}
+
+// runSmoke is the whole scenario: one multi-tenant daemon + one
+// migration target + one single-tenant reference daemon per session.
+func runSmoke(sssjd string, n int) error {
+	var procs []*proc
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	}()
+
+	// The shared daemon hosts every tenant; daemon B adopts the
+	// migrated session mid-stream.
+	shared, err := start(sssjd, "-metrics", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("shared daemon: %w", err)
+	}
+	procs = append(procs, shared)
+	target, err := start(sssjd)
+	if err != nil {
+		return fmt.Errorf("migration target: %w", err)
+	}
+	procs = append(procs, target)
+
+	streams := map[string][]stream.Item{}
+	conns := map[string]*server.Client{}
+	sides := map[string]*apss.Side{}
+	got := map[string][]apss.Match{}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for _, tn := range tenants {
+		streams[tn.name] = genItems(tn.seed, n)
+		c, err := dial(shared.addr)
+		if err != nil {
+			return err
+		}
+		conns[tn.name] = c
+		if err := c.Session(tn.name, tn.opts...); err != nil {
+			return fmt.Errorf("SESSION %s: %w", tn.name, err)
+		}
+		side := apss.SideA
+		sides[tn.name] = &side
+	}
+
+	// First half of every stream goes to the shared daemon.
+	half := n / 2
+	halfway := map[string]int{}
+	for _, tn := range tenants {
+		ms, err := feed(conns[tn.name], streams[tn.name], 0, half, tn.foreign, sides[tn.name])
+		if err != nil {
+			return fmt.Errorf("%s first half: %w", tn.name, err)
+		}
+		got[tn.name] = ms
+		halfway[tn.name] = half
+	}
+
+	// Scrape with every session half-fed: the endpoint must report each
+	// tenant by name with its exact item count.
+	if err := scrape(shared.metrics, halfway); err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	fmt.Printf("server-smoke: /metrics OK (%d sessions reporting at %d items each)\n", len(tenants), half)
+
+	// Live-migrate one session, then finish every stream — the migrated
+	// tenant on daemon B, the rest where they started.
+	if err := conns[migrateTenant].Migrate(target.addr); err != nil {
+		return fmt.Errorf("MIGRATE %s: %w", migrateTenant, err)
+	}
+	conns[migrateTenant].Close()
+	mc, err := dial(target.addr)
+	if err != nil {
+		return err
+	}
+	conns[migrateTenant] = mc
+	if err := mc.Session(migrateTenant); err != nil {
+		return fmt.Errorf("attach after migration: %w", err)
+	}
+	fmt.Printf("server-smoke: migrated %q to %s at item %d\n", migrateTenant, target.addr, half)
+
+	for _, tn := range tenants {
+		foreign := tn.foreign
+		// A fresh connection starts on side A; force re-sync after the
+		// migration reconnect.
+		if tn.name == migrateTenant {
+			side := apss.SideA
+			sides[tn.name] = &side
+		}
+		ms, err := feed(conns[tn.name], streams[tn.name], half, n, foreign, sides[tn.name])
+		if err != nil {
+			return fmt.Errorf("%s second half: %w", tn.name, err)
+		}
+		got[tn.name] = append(got[tn.name], ms...)
+		st, err := conns[tn.name].StatsJSON()
+		if err != nil {
+			return err
+		}
+		if st.Items != int64(n) {
+			return fmt.Errorf("%s counted %d items, fed %d", tn.name, st.Items, n)
+		}
+	}
+
+	// Reference: one dedicated single-tenant daemon per session, fed the
+	// identical stream in one uninterrupted run.
+	for _, tn := range tenants {
+		ref, err := start(sssjd, tn.refArgs...)
+		if err != nil {
+			return fmt.Errorf("reference daemon for %s: %w", tn.name, err)
+		}
+		procs = append(procs, ref)
+		rc, err := dial(ref.addr)
+		if err != nil {
+			return err
+		}
+		side := apss.SideA
+		want, err := feed(rc, streams[tn.name], 0, n, tn.foreign, &side)
+		rc.Close()
+		if err != nil {
+			return fmt.Errorf("%s reference stream: %w", tn.name, err)
+		}
+		if len(want) == 0 {
+			return fmt.Errorf("%s reference run found no matches; smoke test vacuous", tn.name)
+		}
+		if !apss.EqualMatchSets(got[tn.name], want, 0) {
+			return fmt.Errorf("%s: multi-tenant run reported %d matches, single-tenant %d — outputs differ",
+				tn.name, len(got[tn.name]), len(want))
+		}
+		fmt.Printf("server-smoke: %s OK (%d matches ≡ single-tenant daemon, %d items)\n",
+			tn.name, len(want), n)
+	}
+
+	for _, c := range conns {
+		c.Close()
+	}
+	conns = map[string]*server.Client{}
+	for _, p := range procs {
+		if err := p.stop(); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+	}
+	procs = nil
+	return nil
+}
