@@ -6,7 +6,7 @@ GO ?= go
 # letting coverage rot unnoticed.
 COVER_FLOOR ?= 85
 
-.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate fuzz-smoke cluster-smoke server-smoke cover clean
+.PHONY: verify build test race vet docvet bench bench-smoke bench-workers bench-json bench-gate fuzz-smoke cluster-smoke server-smoke adapt-smoke cover clean
 
 # verify is the tier-1 gate: everything CI runs, from a clean checkout.
 verify: vet build race
@@ -59,19 +59,21 @@ bench-gate:
 
 # fuzz-smoke runs the metamorphic fuzz targets — foreign-vs-self-join
 # parity, reorder-vs-sorted parity, cluster-vs-sequential parity,
-# vectorized-vs-scalar kernel parity, and the multi-tenant session
-# protocol (random SESSION/ADD/STATS interleavings against a live
-# server, per-session accounting as the oracle) — for a short burst each
-# on top of their committed seed corpora (testdata/fuzz/…): a CI pass
-# that keeps hunting for oracle violations without the cost of a long
-# fuzzing campaign. `go test -fuzz` takes one target per run, hence one
-# command of $(FUZZTIME) each.
+# vectorized-vs-scalar kernel parity, adaptive-vs-static parity (the
+# self-tuning layer's output-invariance contract), and the multi-tenant
+# session protocol (random SESSION/ADD/STATS interleavings against a
+# live server, per-session accounting as the oracle) — for a short burst
+# each on top of their committed seed corpora (testdata/fuzz/…): a CI
+# pass that keeps hunting for oracle violations without the cost of a
+# long fuzzing campaign. `go test -fuzz` takes one target per run, hence
+# one command of $(FUZZTIME) each.
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzForeignSelfParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzReorderParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzClusterParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzKernelParity -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzAdaptParity -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzSessionProtocol -fuzztime $(FUZZTIME) .
 
 # cluster-smoke is the process-level cluster parity check: it builds the
@@ -95,6 +97,14 @@ cluster-smoke:
 server-smoke:
 	$(GO) build -o bin/sssjd ./cmd/sssjd
 	$(GO) run ./scripts/serversmoke -sssjd bin/sssjd
+
+# adapt-smoke is the self-tuning convergence check: the auto-selector
+# (plus online re-ranking) over the RCV1 and Tweets stream shapes must
+# report exactly the static reference's match set, promote at most its
+# structural maximum of two engine switches (the monotone ladder cannot
+# flap), and actually engage the re-ranker. Runs in CI's test job.
+adapt-smoke:
+	$(GO) run ./scripts/adaptsmoke
 
 # cover enforces the statement-coverage floor and leaves coverage.out
 # for the CI artifact upload.

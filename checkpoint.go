@@ -9,6 +9,16 @@ import (
 	"sssj/internal/stream"
 )
 
+// ErrWarmupOpen is the sentinel under every WarmupOpenError; match it
+// with errors.Is.
+var ErrWarmupOpen = streaming.ErrWarmupOpen
+
+// WarmupOpenError is returned by Checkpoint when a dimension-ordered
+// joiner's warmup is still open: the buffered warmup items have
+// unreported matches a checkpoint would silently lose. Buffered says how
+// many; Flush drains them.
+type WarmupOpenError = streaming.WarmupOpenError
+
 // Checkpoint serializes the joiner's state — the index plus the
 // event-time reorder stage (lateness, watermark clocks, and any items
 // still buffered within the lateness window) — so the join can resume
@@ -20,6 +30,16 @@ import (
 // at most one window of replay).
 //
 // Counters are not checkpointed; a resumed joiner counts from zero.
+//
+// Learned state is derived, not serialized: a dimension-ordered joiner
+// (DimOrder) checkpoints its live window mapped back to natural
+// dimension order, and an adaptive joiner (Adaptive / IndexAuto)
+// likewise checkpoints its natural-space window — both land in the
+// standard format and can be restored into any compatible
+// configuration. One exception: a dimension-ordered joiner whose
+// warmup is still open has buffered items with unreported matches, so
+// Checkpoint refuses with a *WarmupOpenError (errors.Is:
+// ErrWarmupOpen); call Flush to drain the warmup first.
 func (j *Joiner) Checkpoint(w io.Writer) error {
 	if j.opts.Window.Kind != WindowDecay {
 		return fmt.Errorf("%w: window-mode joins do not support checkpointing (replay the last window instead)", ErrUnsupported)
@@ -44,16 +64,31 @@ func (j *Joiner) Checkpoint(w io.Writer) error {
 // cannot apply to a restored index (a DimOrder strategy, the MiniBatch
 // framework, K) are rejected with ErrUnsupported via the shared
 // decision table.
+//
+// Adaptive (or Index: IndexAuto) is honored on resume: the adaptive
+// layer's state is derived, so the restored index is wrapped fresh —
+// the re-ranker restarts its observation counters from the restored
+// live window and the selector restarts from the checkpointed engine
+// kind. A checkpoint written by an adaptive joiner restores equally
+// well into a static configuration.
 func Resume(r io.Reader, opts Options) (*Joiner, error) {
 	if err := opts.validate(opResume); err != nil {
 		return nil, err
 	}
-	idx, et, err := streaming.LoadFull(r, streaming.Options{
+	sopts := streaming.Options{
 		Counters: opts.Stats,
 		Kernel:   opts.Kernel,
 		Workers:  opts.Workers,
 		Foreign:  opts.Join == JoinForeign,
-	})
+	}
+	if opts.Adaptive.enabled() || opts.Index == IndexAuto {
+		sopts.Adapt = streaming.Adapt{
+			Rerank:  opts.Adaptive.Rerank,
+			Cadence: opts.Adaptive.Cadence,
+			Auto:    opts.Adaptive.Auto || opts.Index == IndexAuto,
+		}
+	}
+	idx, et, err := streaming.LoadFull(r, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +102,8 @@ func Resume(r io.Reader, opts Options) (*Joiner, error) {
 		Workers:   opts.Workers,
 		Join:      opts.Join,
 		Lateness:  opts.Lateness,
+		Index:     opts.Index,
+		Adaptive:  opts.Adaptive,
 	}
 	// The event-time state (v5 section) is authoritative when present:
 	// the restored reorder stage carries the checkpoint's lateness,

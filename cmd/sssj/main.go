@@ -79,7 +79,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		theta     = fs.Float64("theta", 0.7, "similarity threshold in (0,1]")
 		lambda    = fs.Float64("lambda", 0.01, "time-decay factor > 0 (ignored with -window)")
 		framework = fs.String("framework", "STR", "framework: STR or MB")
-		index     = fs.String("index", "L2", "index: L2, INV, L2AP, or AP (MB and tumbling windows only)")
+		index     = fs.String("index", "L2", "index: L2, INV, L2AP, AP (MB and tumbling windows only), or auto (STR: online engine selection)")
 		lateness  = fs.Float64("lateness", 0, "event-time lateness bound: accept items up to this far behind the newest timestamp")
 		window    = fs.String("window", "", `window mode replacing exponential decay: "tumbling:SIZE" or "sliding:SIZE"`)
 		input     = fs.String("input", "-", "input path, or - for stdin (side A under -join foreign)")
@@ -152,6 +152,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		opts.Index = sssj.IndexL2AP
 	case "AP":
 		opts.Index = sssj.IndexAP
+	case "auto", "AUTO":
+		opts.Index = sssj.IndexAuto
 	default:
 		return fmt.Errorf("unknown index %q", *index)
 	}

@@ -29,10 +29,15 @@
 // SESSION command ("SESSION fast theta=0.9 index=INV"), each with its
 // own options, counters, and bounded ingest queue (-queue; a full queue
 // answers the typed BUSY backpressure reply, and -entry-budget bounds
-// the total live posting entries across all sessions). MIGRATE <addr>
-// hands a session to a peer daemon live, with zero item loss. With
-// -metrics ADDR the daemon serves a Prometheus-format scrape of every
-// session on http://ADDR/metrics.
+// the total live posting entries across all sessions). Sessions can
+// self-tune: index=auto runs the online engine selector (INV → L2 →
+// L2AP as the stream warrants), rerank=docfreq|maxval maintains the
+// dimension order online instead of a warmup, and cadence=N sets the
+// review interval — the reported pairs are identical to a static
+// session's, and /metrics exposes the current engine and rerank count
+// per session. MIGRATE <addr> hands a session to a peer daemon live,
+// with zero item loss. With -metrics ADDR the daemon serves a
+// Prometheus-format scrape of every session on http://ADDR/metrics.
 package main
 
 import (

@@ -1,0 +1,208 @@
+// Package adapt implements the statistics-free self-tuning heuristics of
+// the streaming join: an incremental dimension re-ranker fed by cheap
+// per-item observations, and an online engine selector that promotes a
+// joiner from INV through L2 to L2AP from the work counters the kernels
+// already emit. Both are greedy, local, and zero-overhead in the sense of
+// the janus-datalog results: no global statistics, no cost model — just
+// windowed counter deltas and monotone decisions.
+package adapt
+
+import (
+	"sort"
+
+	"sssj/internal/dimorder"
+	"sssj/internal/vec"
+)
+
+// Stats maintains the per-dimension document-frequency and max-value
+// counters the re-ranker reads. Observations are fed from the same
+// per-item pass the engines already make (one call per admitted item, in
+// natural dimension space), so maintaining them costs one map update per
+// coordinate.
+type Stats struct {
+	df    map[uint32]int64
+	max   map[uint32]float64
+	items int64
+}
+
+// NewStats returns empty counters.
+func NewStats() *Stats {
+	return &Stats{df: make(map[uint32]int64), max: make(map[uint32]float64)}
+}
+
+// Observe folds one item's coordinates into the counters.
+func (s *Stats) Observe(v vec.Vector) {
+	s.items++
+	for i, d := range v.Dims {
+		s.df[d]++
+		if val := v.Vals[i]; val > s.max[d] {
+			s.max[d] = val
+		}
+	}
+}
+
+// Items reports how many items have been observed.
+func (s *Stats) Items() int64 { return s.items }
+
+// Dims reports how many distinct dimensions have been observed.
+func (s *Stats) Dims() int { return len(s.df) }
+
+// Ranking computes the dim → rank assignment the observed counters
+// imply for the given strategy, with the same orderings and tie-breaks
+// as dimorder.Build: DocFreqAsc ranks by increasing document frequency,
+// MaxValueDesc by decreasing maximum value, ties broken by dimension.
+// Strategy None returns nil (identity).
+func (s *Stats) Ranking(strategy dimorder.Strategy) map[uint32]uint32 {
+	if strategy == dimorder.None {
+		return nil
+	}
+	dims := make([]uint32, 0, len(s.df))
+	for d := range s.df {
+		dims = append(dims, d)
+	}
+	switch strategy {
+	case dimorder.DocFreqAsc:
+		sort.Slice(dims, func(i, j int) bool {
+			if s.df[dims[i]] != s.df[dims[j]] {
+				return s.df[dims[i]] < s.df[dims[j]]
+			}
+			return dims[i] < dims[j]
+		})
+	case dimorder.MaxValueDesc:
+		sort.Slice(dims, func(i, j int) bool {
+			if s.max[dims[i]] != s.max[dims[j]] {
+				return s.max[dims[i]] > s.max[dims[j]]
+			}
+			return dims[i] < dims[j]
+		})
+	}
+	ranks := make(map[uint32]uint32, len(dims))
+	for r, d := range dims {
+		ranks[d] = uint32(r)
+	}
+	return ranks
+}
+
+// Tier is a rung of the engine ladder, ordered by filtering power: INV
+// (index everything, no filtering state) < L2 (ℓ2 prefix bounds) < L2AP
+// (ℓ2 + AP bounds with m/m̂λ maintenance).
+type Tier int
+
+// The ladder's rungs.
+const (
+	TierINV Tier = iota
+	TierL2
+	TierL2AP
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierINV:
+		return "INV"
+	case TierL2:
+		return "L2"
+	case TierL2AP:
+		return "L2AP"
+	default:
+		return "Tier(?)"
+	}
+}
+
+// Window carries one review window's counter deltas — the cheap signals
+// the selector reads. All values are deltas over the window except
+// PostingEntries, which is the index occupancy at review time.
+type Window struct {
+	Items            int64 // stream items admitted in the window
+	Candidates       int64 // candidates admitted to verification
+	EntriesTraversed int64 // posting entries scanned during candidate generation
+	PostingEntries   int64 // live posting entries at review time
+}
+
+// SelectorConfig tunes the promotion predicates. The zero value selects
+// the defaults; see the field docs for what each knob gates.
+type SelectorConfig struct {
+	// MaxTier caps the ladder (TierL2 when the kernel cannot support the
+	// L2AP m̂λ bound). Zero means TierL2AP.
+	MaxTier Tier
+	// Hysteresis is how many consecutive review windows a promotion
+	// predicate must hold before the selector acts (default 2). Because
+	// the ladder is monotone — the selector never demotes — hysteresis
+	// only delays promotions; it cannot oscillate.
+	Hysteresis int
+	// CandidatesPerItem is the INV → L2 trigger: when the window's
+	// candidates/item exceed it, candidate generation is drowning in
+	// full-list scans and the ℓ2 prefix bounds pay for themselves
+	// (default 4).
+	CandidatesPerItem float64
+	// EntriesPerItem is the L2 → L2AP trigger: when posting entries
+	// traversed per item still exceed it under L2, the AP bounds' extra
+	// pruning (at the cost of m/m̂λ maintenance and re-indexing) is
+	// worth it (default 48).
+	EntriesPerItem float64
+}
+
+func (c SelectorConfig) withDefaults() SelectorConfig {
+	if c.MaxTier == 0 {
+		c.MaxTier = TierL2AP
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 2
+	}
+	if c.CandidatesPerItem <= 0 {
+		c.CandidatesPerItem = 4
+	}
+	if c.EntriesPerItem <= 0 {
+		c.EntriesPerItem = 48
+	}
+	return c
+}
+
+// Selector is the online engine selector: a one-way INV → L2 → L2AP
+// ladder driven by windowed counter deltas. Monotonicity is the
+// no-thrash guarantee — once promoted, a joiner never demotes, so the
+// engine choice converges after at most two switches; hysteresis makes
+// each switch require sustained evidence rather than one noisy window.
+type Selector struct {
+	cfg    SelectorConfig
+	tier   Tier
+	streak int
+}
+
+// NewSelector builds a selector starting at the given tier (clamped to
+// cfg.MaxTier).
+func NewSelector(start Tier, cfg SelectorConfig) *Selector {
+	cfg = cfg.withDefaults()
+	if start > cfg.MaxTier {
+		start = cfg.MaxTier
+	}
+	return &Selector{cfg: cfg, tier: start}
+}
+
+// Tier reports the current rung.
+func (s *Selector) Tier() Tier { return s.tier }
+
+// Observe feeds one review window and returns the tier to run next.
+// Windows with no items are ignored (an idle joiner is no evidence).
+func (s *Selector) Observe(w Window) Tier {
+	if w.Items <= 0 || s.tier >= s.cfg.MaxTier {
+		return s.tier
+	}
+	hold := false
+	switch s.tier {
+	case TierINV:
+		hold = float64(w.Candidates) > s.cfg.CandidatesPerItem*float64(w.Items)
+	case TierL2:
+		hold = float64(w.EntriesTraversed) > s.cfg.EntriesPerItem*float64(w.Items)
+	}
+	if !hold {
+		s.streak = 0
+		return s.tier
+	}
+	s.streak++
+	if s.streak >= s.cfg.Hysteresis {
+		s.tier++
+		s.streak = 0
+	}
+	return s.tier
+}

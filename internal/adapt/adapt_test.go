@@ -1,0 +1,93 @@
+package adapt
+
+import (
+	"testing"
+
+	"sssj/internal/dimorder"
+	"sssj/internal/stream"
+	"sssj/internal/vec"
+)
+
+func TestStatsRankingMatchesBuild(t *testing.T) {
+	// The online counters must produce the same ranking dimorder.Build
+	// computes from the same items — same orderings, same tie-breaks.
+	items := []stream.Item{
+		{ID: 1, Vec: vec.MustNew([]uint32{1, 5}, []float64{0.2, 0.9})},
+		{ID: 2, Vec: vec.MustNew([]uint32{5}, []float64{0.4})},
+		{ID: 3, Vec: vec.MustNew([]uint32{2, 5}, []float64{0.7, 0.1})},
+		{ID: 4, Vec: vec.MustNew([]uint32{2}, []float64{0.7})},
+	}
+	for _, strat := range []dimorder.Strategy{dimorder.DocFreqAsc, dimorder.MaxValueDesc} {
+		s := NewStats()
+		for _, it := range items {
+			s.Observe(it.Vec)
+		}
+		want := dimorder.Build(items, strat)
+		if !want.Same(s.Ranking(strat)) {
+			t.Fatalf("%v: online ranking differs from Build", strat)
+		}
+	}
+	s := NewStats()
+	if s.Ranking(dimorder.None) != nil {
+		t.Fatal("None must rank to identity")
+	}
+	if s.Items() != 0 || s.Dims() != 0 {
+		t.Fatal("fresh stats not empty")
+	}
+}
+
+func TestSelectorPromotionAndHysteresis(t *testing.T) {
+	sel := NewSelector(TierINV, SelectorConfig{Hysteresis: 2, CandidatesPerItem: 4, EntriesPerItem: 48})
+	hot := Window{Items: 100, Candidates: 1000, EntriesTraversed: 10000}
+	cold := Window{Items: 100, Candidates: 10, EntriesTraversed: 100}
+
+	if got := sel.Observe(hot); got != TierINV {
+		t.Fatalf("promoted after one window, got %v", got)
+	}
+	if got := sel.Observe(cold); got != TierINV {
+		t.Fatalf("cold window should not promote, got %v", got)
+	}
+	// A cold window must reset the streak.
+	sel.Observe(hot)
+	if got := sel.Observe(hot); got != TierL2 {
+		t.Fatalf("two consecutive hot windows should promote, got %v", got)
+	}
+	// L2 → L2AP uses the traversal predicate.
+	sel.Observe(hot)
+	if got := sel.Observe(hot); got != TierL2AP {
+		t.Fatalf("expected L2AP, got %v", got)
+	}
+	// Top of the ladder: nothing further, and never a demotion.
+	for i := 0; i < 10; i++ {
+		if got := sel.Observe(cold); got != TierL2AP {
+			t.Fatalf("selector demoted to %v", got)
+		}
+	}
+}
+
+func TestSelectorMaxTierCap(t *testing.T) {
+	sel := NewSelector(TierINV, SelectorConfig{MaxTier: TierL2, Hysteresis: 1})
+	hot := Window{Items: 10, Candidates: 1000, EntriesTraversed: 100000}
+	sel.Observe(hot)
+	for i := 0; i < 5; i++ {
+		if got := sel.Observe(hot); got != TierL2 {
+			t.Fatalf("cap violated: %v", got)
+		}
+	}
+	if got := NewSelector(TierL2AP, SelectorConfig{MaxTier: TierL2}).Tier(); got != TierL2 {
+		t.Fatalf("start tier not clamped: %v", got)
+	}
+}
+
+func TestSelectorIgnoresEmptyWindows(t *testing.T) {
+	sel := NewSelector(TierINV, SelectorConfig{Hysteresis: 1})
+	if got := sel.Observe(Window{Items: 0, Candidates: 999}); got != TierINV {
+		t.Fatalf("empty window promoted to %v", got)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierINV.String() != "INV" || TierL2.String() != "L2" || TierL2AP.String() != "L2AP" || Tier(9).String() != "Tier(?)" {
+		t.Fatal("tier names wrong")
+	}
+}

@@ -104,6 +104,10 @@ func (s *STR) AdvanceTo(t float64, _ apss.Sink) error {
 // IndexSize exposes current index occupancy.
 func (s *STR) IndexSize() streaming.SizeInfo { return s.idx.Size() }
 
+// AdaptInfo reports the self-tuning state of the underlying index; ok is
+// false when the index is not adaptive.
+func (s *STR) AdaptInfo() (streaming.AdaptState, bool) { return streaming.AdaptInfo(s.idx) }
+
 // ArenaInfo exposes block-arena occupancy when the underlying index is
 // arena-backed (every index built by streaming.New is; the frozen ring
 // oracle is not, and reports ok = false).

@@ -13,6 +13,7 @@ package dimorder
 
 import (
 	"sort"
+	"sync"
 
 	"sssj/internal/stream"
 	"sssj/internal/vec"
@@ -50,9 +51,18 @@ func (s Strategy) String() string {
 
 // Map is a consistent dimension permutation. Dimensions unseen when the
 // map was built are assigned fresh ranks on first use: they cannot match
-// anything already indexed, so their relative order is irrelevant. A nil
+// anything already indexed, so their relative order is irrelevant — any
+// unique rank works, and the assignment is simply first-come. A nil
 // *Map is the identity.
+//
+// Remap is safe for concurrent use: the fresh-rank assignment mutates
+// the shared permutation, so it runs under a write lock (reads of
+// already-ranked dimensions share a read lock). The adaptive re-ranker
+// calls Remap from the sharded path, where concurrent lookups are the
+// norm rather than the accident they were under the single-threaded
+// warmup wrapper.
 type Map struct {
+	mu   sync.RWMutex
 	perm map[uint32]uint32
 	next uint32
 }
@@ -110,21 +120,53 @@ func Build(items []stream.Item, s Strategy) *Map {
 	return m
 }
 
+// FromRanks builds a Map from an explicit dim → rank assignment (the
+// adaptive re-ranker computes rankings from its own online counters).
+// Ranks must be unique; the map is copied.
+func FromRanks(ranks map[uint32]uint32) *Map {
+	m := &Map{perm: make(map[uint32]uint32, len(ranks))}
+	for d, r := range ranks {
+		m.perm[d] = r
+		if r >= m.next {
+			m.next = r + 1
+		}
+	}
+	return m
+}
+
 // Remap returns v with dimensions permuted and re-sorted. A nil receiver
-// returns v unchanged.
+// returns v unchanged. Safe for concurrent use; see the Map doc for the
+// fresh-rank assignment semantics.
 func (m *Map) Remap(v vec.Vector) vec.Vector {
 	if m == nil {
 		return v
 	}
 	dims := make([]uint32, len(v.Dims))
+	miss := false
+	m.mu.RLock()
 	for i, d := range v.Dims {
-		r, ok := m.perm[d]
-		if !ok {
-			r = m.next
-			m.perm[d] = r
-			m.next++
+		if r, ok := m.perm[d]; ok {
+			dims[i] = r
+		} else {
+			miss = true
 		}
-		dims[i] = r
+	}
+	m.mu.RUnlock()
+	if miss {
+		// Unseen dimensions: assign fresh ranks under the write lock,
+		// recomputing every rank so concurrent assigners that won the
+		// race are observed consistently.
+		m.mu.Lock()
+		for i, d := range v.Dims {
+			r, ok := m.perm[d]
+			if !ok {
+				r = m.next
+				m.perm[d] = r
+				m.next++
+			}
+			dims[i] = r
+		}
+		m.mu.Unlock()
 	}
 	out := vec.Vector{Dims: dims, Vals: append([]float64(nil), v.Vals...)}
 	sort.Sort(byDim{&out})
@@ -138,12 +180,65 @@ func (m *Map) RemapMax(mt vec.MaxTracker) vec.MaxTracker {
 		return mt
 	}
 	out := vec.NewMaxTracker()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for d, val := range mt {
 		if r, ok := m.perm[d]; ok {
 			out[r] = val
 		}
 	}
 	return out
+}
+
+// Inverse returns the rank → dimension permutation as a fresh Map, so a
+// vector remapped into rank space can be restored to natural dimensions
+// (the checkpoint path saves a natural-space clone of an ordered index).
+// A nil receiver returns nil (the identity inverts to itself).
+func (m *Map) Inverse() *Map {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	inv := &Map{perm: make(map[uint32]uint32, len(m.perm)), next: 0}
+	for d, r := range m.perm {
+		inv.perm[r] = d
+		if d >= inv.next {
+			inv.next = d + 1
+		}
+	}
+	return inv
+}
+
+// Same reports whether the map's current permutation equals ranks. A nil
+// receiver (identity) equals only the empty ranking — the adaptive
+// re-ranker uses this to skip rebuilds when the recomputed ranking did
+// not move.
+func (m *Map) Same(ranks map[uint32]uint32) bool {
+	if m == nil {
+		return len(ranks) == 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.perm) != len(ranks) {
+		return false
+	}
+	for d, r := range ranks {
+		if mr, ok := m.perm[d]; !ok || mr != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Len reports how many dimensions currently have an assigned rank.
+func (m *Map) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.perm)
 }
 
 // byDim sorts a vector's parallel slices by dimension.

@@ -84,8 +84,10 @@ func (r Result) Label() string { return r.Framework + "-" + r.Index }
 
 // newJoiner instantiates a framework × index combination. workers > 1
 // selects the sharded parallel STR engine (STR only); foreign selects
-// the two-stream foreign join.
-func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, workers int, foreign bool) (core.Joiner, error) {
+// the two-stream foreign join; adapt enables the self-tuning layer
+// (STR only; the index name "AUTO" additionally turns on the engine
+// selector, starting from the INV floor).
+func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, workers int, foreign bool, adapt streaming.Adapt) (core.Joiner, error) {
 	switch framework {
 	case FrameworkSTR:
 		var k streaming.Kind
@@ -96,10 +98,13 @@ func newJoiner(framework, index string, p apss.Params, c *metrics.Counters, work
 			k = streaming.L2AP
 		case "L2":
 			k = streaming.L2
+		case "AUTO":
+			k = streaming.INV
+			adapt.Auto = true
 		default:
 			return nil, fmt.Errorf("harness: unknown index %q", index)
 		}
-		return core.NewSTRFull(k, p, streaming.Options{Counters: c, Workers: workers, Foreign: foreign})
+		return core.NewSTRFull(k, p, streaming.Options{Counters: c, Workers: workers, Foreign: foreign, Adapt: adapt})
 	case FrameworkMB:
 		var k static.Kind
 		switch index {
@@ -171,6 +176,11 @@ type RunOpts struct {
 	// deployment-shape measurement including the line-protocol round
 	// trip per item.
 	Sessions int
+	// Adapt enables the self-tuning layer on STR runs: online dimension
+	// re-ranking (Adapt.Rerank) and, together with the index name
+	// "AUTO", the online engine selector. Ignored by Cluster and
+	// Sessions runs.
+	Adapt streaming.Adapt
 }
 
 // ShuffleSeed seeds the within-δ input perturbation of Reorder runs: one
@@ -183,7 +193,7 @@ const ShuffleSeed int64 = 1
 // matrix.
 func Supported(framework, index string) bool {
 	var c metrics.Counters
-	_, err := newJoiner(framework, index, apss.Params{Theta: 0.5, Lambda: 0.1}, &c, 0, false)
+	_, err := newJoiner(framework, index, apss.Params{Theta: 0.5, Lambda: 0.1}, &c, 0, false, streaming.Adapt{})
 	return err == nil
 }
 
@@ -221,7 +231,7 @@ func RunOneOpts(items []stream.Item, dataset, framework, index string, p apss.Pa
 	} else if o.Sessions > 0 {
 		j, err = newSessionsJoiner(framework, index, p, o)
 	} else {
-		j, err = newJoiner(framework, index, p, &res.Stats, o.Workers, o.Foreign)
+		j, err = newJoiner(framework, index, p, &res.Stats, o.Workers, o.Foreign, o.Adapt)
 	}
 	if err != nil {
 		return res

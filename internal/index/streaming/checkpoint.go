@@ -87,6 +87,29 @@ type EventTimeState = stream.ReorderState
 // reorder state of the operator feeding it (the v5 section). Save is
 // SaveFull with no event-time state.
 func SaveFull(ix Index, et *EventTimeState, w io.Writer) error {
+	// The ordering and adaptive wrappers serialize as natural-space INV
+	// clones of their live window — same format, no version bump. The
+	// learned state (permutation, engine choice, observation counters)
+	// is derived and is re-learned after a restore; what must survive is
+	// the window itself, and INV indexes every coordinate, so a plain
+	// INV image of the window in natural dimension space carries it
+	// losslessly. An ordered index mid-warmup has buffered items whose
+	// matches were never reported; cloning would silently drop them, so
+	// Save refuses with WarmupOpenError (drain with FinishWarmup first).
+	switch v := ix.(type) {
+	case *orderedIndex:
+		cl, err := v.checkpointClone()
+		if err != nil {
+			return err
+		}
+		ix = cl
+	case *adaptiveIndex:
+		cl, err := v.naturalClone()
+		if err != nil {
+			return err
+		}
+		ix = cl
+	}
 	bw := bufio.NewWriter(w)
 	cw := &ckptWriter{w: bw}
 	cw.bytes(ckptMagic[:])
@@ -385,12 +408,20 @@ func LoadFull(r io.Reader, opts Options) (Index, *EventTimeState, error) {
 	if defaultKernel {
 		opts.Kernel = nil // force the params-derived exponential kernel
 	}
-	// A dimension-ordered index cannot be checkpointed (Save rejects the
-	// wrapper), so it cannot be restored into either: the residual splits
-	// in the file are tied to natural dimension order.
+	// A dimension-ordered index is checkpointed as a natural-space clone
+	// (see SaveFull), so restoring into a fresh warmup wrapper is
+	// rejected: the wrapper would buffer the restored window's future
+	// peers while the restored items sit in the inner index under
+	// natural order — two orders in one index. Restore plain, or restore
+	// with Options.Adapt, which re-learns its order online.
 	if opts.Order.Strategy != dimorder.None && opts.Order.Items >= 1 {
 		return nil, nil, fmt.Errorf("%w: cannot restore into a dimension-ordered index", ErrBadCheckpoint)
 	}
+	// The adaptive wrapper's state is derived: load the plain index
+	// first, then extract its live window and seed a fresh wrapper with
+	// it (the selector restarts from the checkpointed kind).
+	adaptOpts := opts
+	opts.Adapt = Adapt{}
 	ix, err := New(kind, p, opts)
 	if err != nil {
 		return nil, nil, err
@@ -596,6 +627,21 @@ func LoadFull(r io.Reader, opts Options) (Index, *EventTimeState, error) {
 	}
 	if doneInv != nil {
 		doneInv()
+	}
+	if adaptOpts.Adapt.enabled() {
+		st, err := extractLive(ix)
+		if err != nil {
+			return nil, nil, err
+		}
+		wrapped, err := New(kind, p, adaptOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		aix := wrapped.(*adaptiveIndex)
+		if err := aix.seed(st); err != nil {
+			return nil, nil, err
+		}
+		return aix, et, nil
 	}
 	return ix, et, nil
 }

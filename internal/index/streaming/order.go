@@ -1,8 +1,12 @@
 package streaming
 
 import (
+	"errors"
+	"fmt"
+
 	"sssj/internal/apss"
 	"sssj/internal/dimorder"
+	"sssj/internal/metrics"
 	"sssj/internal/stream"
 )
 
@@ -78,9 +82,15 @@ func (o *orderedIndex) FinishWarmup() ([]apss.Match, error) {
 // learned from whatever was buffered and the buffer is replayed,
 // emitting its matches. The STR framework calls this from Flush so a
 // stream shorter than the warmup still reports every pair. Calling it
-// after the warmup completed (or on an empty buffer) is a no-op. The
-// replay always runs to completion; a sink error is latched and
-// returned at the end, like SinkIndex.AddTo.
+// after the warmup completed (or on an empty buffer) is a no-op.
+//
+// The replay always runs to completion, honoring the SinkIndex.AddTo
+// contract for the warmup as a whole: every buffered item is indexed,
+// the first error — sink or index, in stream order — is latched and
+// returned at the end, and the wrapper stays reusable. (Returning on
+// the first inner error used to leak the remainder of the buffer: those
+// items were never indexed, yet Size kept reporting them as
+// residuals-in-waiting forever.)
 func (o *orderedIndex) FinishWarmupTo(emit apss.Sink) error {
 	if o.active {
 		return nil
@@ -88,13 +98,25 @@ func (o *orderedIndex) FinishWarmupTo(emit apss.Sink) error {
 	o.dm = dimorder.Build(o.buf, o.warm.Strategy)
 	o.active = true
 	g := apss.NewGate(emit)
+	var firstErr error
 	for _, it := range o.buf {
 		it.Vec = o.dm.Remap(it.Vec)
-		if err := o.inner.AddTo(it, g.Emit); err != nil {
-			return err
+		err := o.inner.AddTo(it, g.Emit)
+		if firstErr == nil {
+			// The gate latches sink errors (AddTo returns them too, but
+			// only for the item that hit one); an inner index error is
+			// later in stream order than any already-latched sink error.
+			if serr := g.Err(); serr != nil {
+				firstErr = serr
+			} else if err != nil {
+				firstErr = err
+			}
 		}
 	}
 	o.buf = nil
+	if firstErr != nil {
+		return firstErr
+	}
 	return g.Err()
 }
 
@@ -111,6 +133,52 @@ func (o *orderedIndex) Advance(t float64) error {
 		return adv.Advance(t)
 	}
 	return nil
+}
+
+// ErrWarmupOpen is the sentinel under every WarmupOpenError; match it
+// with errors.Is.
+var ErrWarmupOpen = errors.New("streaming: dimension-ordering warmup still open")
+
+// WarmupOpenError is returned by Save when a dimension-ordered index is
+// checkpointed before its warmup closed: the buffered items have not
+// been joined yet, so a checkpoint taken now would silently lose their
+// matches. Callers should drain the warmup (FinishWarmup, or the STR
+// framework's Flush) and retry, or wait until Items arrivals complete
+// it. Buffered reports how many items are pending.
+type WarmupOpenError struct {
+	// Buffered is the number of warmup items whose matches are not yet
+	// reported.
+	Buffered int
+}
+
+// Error implements error.
+func (e *WarmupOpenError) Error() string {
+	return fmt.Sprintf("%v: %d buffered items have unreported matches; drain with FinishWarmup (or Flush) before checkpointing", ErrWarmupOpen, e.Buffered)
+}
+
+// Unwrap makes errors.Is(err, ErrWarmupOpen) work.
+func (e *WarmupOpenError) Unwrap() error { return ErrWarmupOpen }
+
+// checkpointClone resolves the wrapper into its checkpointable stand-in:
+// a plain INV index holding the inner engine's live window mapped back
+// to natural dimension space via the inverse permutation. See SaveFull.
+func (o *orderedIndex) checkpointClone() (SinkIndex, error) {
+	if !o.active {
+		return nil, &WarmupOpenError{Buffered: len(o.buf)}
+	}
+	st, err := extractLive(o.inner)
+	if err != nil {
+		return nil, err
+	}
+	inv := o.dm.Inverse()
+	for i := range st.items {
+		st.items[i].Vec = inv.Remap(st.items[i].Vec)
+	}
+	clone := newInvIndex(st.p, st.kernel, false, false, &metrics.Counters{})
+	if err := st.seedInto(clone); err != nil {
+		return nil, err
+	}
+	return clone, nil
 }
 
 // Size implements Index. During warmup the inner index is empty; the

@@ -79,6 +79,11 @@ type Options struct {
 	// Order enables the warmup-learned dimension-ordering extension
 	// (see WarmupOrder). The zero value disables it, matching the paper.
 	Order WarmupOrder
+	// Adapt enables the statistics-free self-tuning layer (see Adapt):
+	// incremental dimension re-ranking and/or online engine selection.
+	// Mutually exclusive with Order (it subsumes it), Shard, and the
+	// pruning Ablations; the zero value disables it.
+	Adapt Adapt
 	// Workers selects the sharded parallel engine: the dimension space
 	// is partitioned across Workers shards, candidate generation fans
 	// out to them concurrently, and candidate verification runs in
@@ -250,6 +255,9 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 		if opts.Order != (WarmupOrder{}) {
 			return nil, fmt.Errorf("%w: dimension-ordering warmup is not supported on a cluster worker", ErrShard)
 		}
+		if opts.Adapt.enabled() {
+			return nil, fmt.Errorf("%w: the self-tuning layer is not supported on a cluster worker (coordinator routing is keyed by natural dimensions)", ErrShard)
+		}
 		scalar := opts.Ablations.ScalarKernel
 		switch kind {
 		case INV:
@@ -265,33 +273,49 @@ func New(kind Kind, params apss.Params, opts Options) (Index, error) {
 			return nil, fmt.Errorf("streaming: unknown kind %d", int(kind))
 		}
 	}
-	parallel := opts.Workers > 1
-	scalar := opts.Ablations.ScalarKernel
-	var ix SinkIndex
+	if opts.Adapt.enabled() {
+		if opts.Order != (WarmupOrder{}) {
+			return nil, fmt.Errorf("%w: Adapt replaces the warmup-learned dimension order; configure one or the other", ErrAdapt)
+		}
+		if opts.Ablations.pruning() != (Ablations{}) {
+			return nil, fmt.Errorf("%w: pruning ablations require a fixed engine", ErrAdapt)
+		}
+		return newAdaptiveIndex(kind, params, kernel, opts, c)
+	}
+	ix, err := newCoreIndex(kind, params, kernel, opts.Workers, opts.Foreign, opts.Ablations, c)
+	if err != nil {
+		return nil, err
+	}
+	return newOrderedIndex(ix, opts.Order), nil
+}
+
+// newCoreIndex builds a bare engine — no ordering or adaptive wrapper —
+// of the given kind, dispatching on Workers between the sequential and
+// sharded-parallel implementations. It is the shared constructor of New
+// and the adaptive index's rebuild path.
+func newCoreIndex(kind Kind, params apss.Params, kernel apss.Kernel, workers int, foreign bool, abl Ablations, c *metrics.Counters) (SinkIndex, error) {
+	parallel := workers > 1
+	scalar := abl.ScalarKernel
 	switch kind {
 	case INV:
 		if parallel {
-			ix = newParInv(params, kernel, opts.Workers, opts.Foreign, scalar, c)
-		} else {
-			ix = newInvIndex(params, kernel, opts.Foreign, scalar, c)
+			return newParInv(params, kernel, workers, foreign, scalar, c), nil
 		}
+		return newInvIndex(params, kernel, foreign, scalar, c), nil
 	case L2:
 		if parallel {
-			ix = newParEngine(params, kernel, false, true, opts.Workers, opts.Foreign, scalar, c)
-		} else {
-			ix = newEngine(params, kernel, false, true, opts.Ablations, opts.Foreign, c)
+			return newParEngine(params, kernel, false, true, workers, foreign, scalar, c), nil
 		}
+		return newEngine(params, kernel, false, true, abl, foreign, c), nil
 	case L2AP, AP:
 		if _, ok := kernel.(apss.Exponential); !ok {
 			return nil, fmt.Errorf("%w: STR-%v needs apss.Exponential, got %T", ErrKernel, kind, kernel)
 		}
 		if parallel {
-			ix = newParEngine(params, kernel, true, kind == L2AP, opts.Workers, opts.Foreign, scalar, c)
-		} else {
-			ix = newEngine(params, kernel, true, kind == L2AP, opts.Ablations, opts.Foreign, c)
+			return newParEngine(params, kernel, true, kind == L2AP, workers, foreign, scalar, c), nil
 		}
+		return newEngine(params, kernel, true, kind == L2AP, abl, foreign, c), nil
 	default:
 		return nil, fmt.Errorf("streaming: unknown kind %d", int(kind))
 	}
-	return newOrderedIndex(ix, opts.Order), nil
 }

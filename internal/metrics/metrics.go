@@ -45,6 +45,26 @@ func (c *Counters) Add(other Counters) {
 	c.LateDrops += other.LateDrops
 }
 
+// Sub subtracts other from c field-by-field. The adaptive index uses it
+// to forward per-item counter deltas from its private scratch counters
+// while withholding the work a live rebuild replays (replayed items are
+// not stream items; counting them would break the adaptive ≤ static
+// counter bounds).
+func (c *Counters) Sub(other Counters) {
+	c.Items -= other.Items
+	c.EntriesTraversed -= other.EntriesTraversed
+	c.Candidates -= other.Candidates
+	c.FullDots -= other.FullDots
+	c.Pairs -= other.Pairs
+	c.IndexedEntries -= other.IndexedEntries
+	c.ExpiredEntries -= other.ExpiredEntries
+	c.Reindexings -= other.Reindexings
+	c.ReindexedEntries -= other.ReindexedEntries
+	c.ResidualEntries -= other.ResidualEntries
+	c.IndexBuilds -= other.IndexBuilds
+	c.LateDrops -= other.LateDrops
+}
+
 // Reset zeroes all counters.
 func (c *Counters) Reset() { *c = Counters{} }
 

@@ -29,7 +29,9 @@ import (
 
 	"sssj/internal/apss"
 	"sssj/internal/datagen"
+	"sssj/internal/dimorder"
 	"sssj/internal/harness"
+	"sssj/internal/index/streaming"
 	"sssj/internal/metrics"
 	"sssj/internal/stream"
 )
@@ -68,6 +70,12 @@ type Scenario struct {
 	// only; like Cluster, the run includes the line-protocol round trip
 	// per item, and pair counts are per-session slices.
 	Sessions int `json:"sessions,omitempty"`
+	// Adaptive measures the self-tuning layer: online dimension
+	// re-ranking (docfreq) plus, with Index "AUTO", the engine selector
+	// starting from the INV floor (see harness.RunOpts.Adapt). STR only;
+	// the output is identical to the static run's, so the scenario
+	// measures the layer's overhead and the selector's payoff.
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
 // foreign reports whether the scenario measures the foreign join.
@@ -93,6 +101,9 @@ func (s Scenario) label() string {
 	if s.Sessions > 0 {
 		name += fmt.Sprintf("/mt%d", s.Sessions)
 	}
+	if s.Adaptive {
+		name += "/adapt"
+	}
 	return name
 }
 
@@ -111,9 +122,10 @@ func (s Scenario) named() Scenario {
 // track threshold sensitivity, a 4-scenario foreign-join (A ⋈ B)
 // cross-section, a 2-scenario bounded-lateness (reorder stage)
 // cross-section, a 2-scenario cluster-tier (coordinator + loopback
-// worker servers) cross-section, and a multi-tenant (4-session server)
-// scenario. 21 scenarios; at the default scale the whole matrix runs in
-// well under a minute. Scenarios not yet present
+// worker servers) cross-section, a multi-tenant (4-session server)
+// scenario, and a 2-scenario self-tuning (auto-selector + online
+// re-ranking) cross-section. 23 scenarios; at the default scale the
+// whole matrix runs in well under a minute. Scenarios not yet present
 // in a committed baseline are reported as informational by Compare
 // until the baseline is refreshed.
 func DefaultScenarios() []Scenario {
@@ -182,6 +194,16 @@ func DefaultScenarios() []Scenario {
 		Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "L2",
 		Theta: 0.7, Lambda: lambda, Workers: 1, Sessions: 4,
 	}.named())
+	// The self-tuning cross-section: the auto-selector (with online
+	// docfreq re-ranking) on both stream shapes, against the static
+	// scenarios it must converge toward. Informational until the
+	// baseline is refreshed.
+	for _, prof := range []string{"RCV1", "Tweets"} {
+		out = append(out, Scenario{
+			Profile: prof, Framework: harness.FrameworkSTR, Index: "AUTO",
+			Theta: 0.7, Lambda: lambda, Workers: 1, Adaptive: true,
+		}.named())
+	}
 	return out
 }
 
@@ -276,12 +298,20 @@ func runOnce(s Scenario, cfg RunConfig, items []stream.Item) (Report, error) {
 	if s.Sessions > 0 && s.Framework != harness.FrameworkSTR {
 		return Report{}, fmt.Errorf("perf: scenario %s: Sessions runs require the STR framework", s.Name)
 	}
+	var adapt streaming.Adapt
+	if s.Adaptive {
+		if s.Framework != harness.FrameworkSTR || s.Cluster > 0 || s.Sessions > 0 {
+			return Report{}, fmt.Errorf("perf: scenario %s: Adaptive runs require the plain STR framework", s.Name)
+		}
+		adapt = streaming.Adapt{Rerank: dimorder.DocFreqAsc, Auto: s.Index == "AUTO"}
+	}
 	lat := metrics.NewHistogram()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	res := harness.RunOneOpts(items, s.Profile, s.Framework, s.Index, p,
 		harness.RunOpts{Workers: s.Workers, Budget: cfg.Budget, Latency: lat, Foreign: s.foreign(),
-			Reorder: s.Reorder, Lateness: s.Lateness, Cluster: s.Cluster, Sessions: s.Sessions})
+			Reorder: s.Reorder, Lateness: s.Lateness, Cluster: s.Cluster, Sessions: s.Sessions,
+			Adapt: adapt})
 	runtime.ReadMemStats(&after)
 	return FromResult(s, res, lat, after.TotalAlloc-before.TotalAlloc, after.Mallocs-before.Mallocs), nil
 }

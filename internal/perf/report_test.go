@@ -209,8 +209,8 @@ func TestDefaultScenarios(t *testing.T) {
 		}
 		names[s.Name] = true
 	}
-	if got := len(FilterByProfile(scs, "RCV1")); got != 15 {
-		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 15", got)
+	if got := len(FilterByProfile(scs, "RCV1")); got != 16 {
+		t.Errorf("FilterByProfile(RCV1) = %d scenarios, want 16", got)
 	}
 	if got := len(FilterByProfile(scs, "")); got != len(scs) {
 		t.Errorf("empty filter dropped scenarios")
@@ -269,6 +269,19 @@ func TestDefaultScenarios(t *testing.T) {
 	if mtN != 1 {
 		t.Errorf("matrix has %d multi-tenant scenarios, want 1", mtN)
 	}
+	// And the self-tuning cross-section, tagged /adapt.
+	adaptN := 0
+	for _, s := range scs {
+		if s.Adaptive {
+			adaptN++
+			if !strings.Contains(s.Name, "/adapt") {
+				t.Errorf("adaptive scenario name %q lacks the /adapt tag", s.Name)
+			}
+		}
+	}
+	if adaptN != 2 {
+		t.Errorf("matrix has %d adaptive scenarios, want 2", adaptN)
+	}
 }
 
 // TestRunSessionsScenario smoke-runs the multi-tenant scenario end to
@@ -292,6 +305,42 @@ func TestRunSessionsScenario(t *testing.T) {
 	bad.Framework = harness.FrameworkMB
 	if _, err := RunScenario(bad, cfg); err == nil {
 		t.Fatal("Sessions on MB accepted")
+	}
+}
+
+// TestRunAdaptScenario smoke-runs the self-tuning scenario end to end:
+// the run completes, its pair count equals the static INV run's over
+// the same stream (the output-invariance contract at the perf layer),
+// and Adaptive is plain-STR-only.
+func TestRunAdaptScenario(t *testing.T) {
+	ad := Scenario{Profile: "RCV1", Framework: harness.FrameworkSTR, Index: "AUTO",
+		Theta: 0.7, Lambda: 0.01, Workers: 1, Adaptive: true}
+	cfg := RunConfig{Scale: 0.05, Repeats: 1}
+	r, err := RunScenario(ad, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed || r.Items == 0 {
+		t.Fatalf("adaptive run: completed=%v items=%d", r.Completed, r.Items)
+	}
+	static := ad
+	static.Index, static.Adaptive = "INV", false
+	sr, err := RunScenario(static, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs != sr.Pairs {
+		t.Fatalf("adaptive run found %d pairs, static INV %d — self-tuning changed the output", r.Pairs, sr.Pairs)
+	}
+	bad := ad
+	bad.Framework = harness.FrameworkMB
+	if _, err := RunScenario(bad, cfg); err == nil {
+		t.Fatal("Adaptive on MB accepted")
+	}
+	bad = ad
+	bad.Framework, bad.Cluster = harness.FrameworkSTR, 2
+	if _, err := RunScenario(bad, cfg); err == nil {
+		t.Fatal("Adaptive cluster scenario accepted")
 	}
 }
 

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sssj/internal/apss"
+)
+
+// TestSessionAdaptiveOptions covers the self-tuning session surface:
+// the index=auto / rerank / cadence keys parse and validate, invalid
+// combinations are refused without killing the connection, and the
+// String() rendering round-trips through parseSessionOptions — the
+// contract MIGRATE relies on to re-create the session remotely.
+func TestSessionAdaptiveOptions(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	for i, ok := range [][]string{
+		{"auto", "index=auto"},
+		{"auto2", "index=AUTO", "cadence=128"},
+		{"rr", "index=L2", "rerank=docfreq"},
+		{"rr2", "index=INV", "rerank=maxval", "cadence=32"},
+	} {
+		if err := c.Session(ok[0], ok[1:]...); err != nil {
+			t.Fatalf("accepting combo %d %v: %v", i, ok, err)
+		}
+	}
+	for _, bad := range [][]string{
+		{"bad", "rerank=bogus"},             // unknown strategy
+		{"bad", "index=auto", "cadence=-1"}, // negative cadence
+		{"bad", "cadence=64"},               // cadence without self-tuning
+		{"bad", "index=auto", "shard=0/2"},  // shards cannot self-tune
+		{"bad", "rerank=docfreq", "shard=0/2"},
+	} {
+		if err := c.Session(bad[0], bad[1:]...); err == nil {
+			t.Fatalf("SESSION %v accepted", bad)
+		}
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	base := optionsFor(Config{})
+	opts, err := parseSessionOptions(base, []string{"theta=0.6", "lambda=0.1", "index=auto", "rerank=maxval", "cadence=128"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := parseSessionOptions(base, strings.Fields(opts.String()))
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", opts.String(), err)
+	}
+	if rt != opts {
+		t.Fatalf("options do not round-trip:\nwant %+v\ngot  %+v", opts, rt)
+	}
+}
+
+// TestSessionAdaptiveParity is the server-level output-invariance check:
+// a self-tuning session and a static INV session fed the same stream
+// report the same match set over the wire.
+func TestSessionAdaptiveParity(t *testing.T) {
+	s := startServer(t, Config{})
+	items := migStream(41, 160, false)
+
+	plain := dialT(t, s)
+	if err := plain.Session("plain", "theta=0.6", "lambda=0.1", "index=INV"); err != nil {
+		t.Fatal(err)
+	}
+	side := apss.SideA
+	want := feedADD(t, plain, items, false, &side)
+	if len(want) == 0 {
+		t.Fatal("vacuous parity: static session found no matches")
+	}
+
+	tuned := dialT(t, s)
+	if err := tuned.Session("tuned", "theta=0.6", "lambda=0.1", "index=auto", "rerank=docfreq", "cadence=16"); err != nil {
+		t.Fatal(err)
+	}
+	side = apss.SideA
+	got := feedADD(t, tuned, items, false, &side)
+	if !apss.EqualMatchSets(got, want, 1e-9) {
+		t.Fatalf("adaptive session diverges: %d matches vs %d static", len(got), len(want))
+	}
+}
+
+// TestAdaptiveMetricsGauges scrapes the two self-tuning families: the
+// engine info-gauge (labelled with the engine currently running) and
+// the rerank counter appear for adaptive sessions only.
+func TestAdaptiveMetricsGauges(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialT(t, s)
+	if err := c.Session("tuned", "theta=0.6", "lambda=0.1", "index=auto", "rerank=docfreq", "cadence=8"); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range migStream(43, 60, false) {
+		if _, _, err := c.Add(it.Time, it.Vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Size(); err != nil { // force a snapshot sample
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE sssj_session_engine gauge",
+		"# TYPE sssj_session_reranks_total counter",
+		`sssj_session_engine{session="tuned",engine="`,
+		`sssj_session_reranks_total{session="tuned"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `sssj_session_engine{session="default"`) {
+		t.Fatal("static session exposes an engine gauge")
+	}
+}
+
+// TestMigrateAdaptiveSession: a self-tuning session survives live
+// migration — the options (rerank, cadence, index=auto) round-trip to
+// the target, the restored joiner is adaptive again, and the combined
+// match set equals an uninterrupted adaptive session's. Counters are
+// not compared: the migrated selector restarts from the checkpointed
+// engine, so its filtering work may lawfully differ while the reported
+// pairs may not.
+func TestMigrateAdaptiveSession(t *testing.T) {
+	items := migStream(47, 140, false)
+	opts := []string{"theta=0.6", "lambda=0.1", "index=auto", "rerank=docfreq", "cadence=16"}
+
+	ref := startServer(t, Config{})
+	rc := dialT(t, ref)
+	if err := rc.Session("mig", opts...); err != nil {
+		t.Fatal(err)
+	}
+	side := apss.SideA
+	want := feedADD(t, rc, items, false, &side)
+	if len(want) == 0 {
+		t.Fatal("vacuous migration check: no matches")
+	}
+
+	a := startServer(t, Config{})
+	b := startServer(t, Config{})
+	ca := dialT(t, a)
+	if err := ca.Session("mig", opts...); err != nil {
+		t.Fatal(err)
+	}
+	half := len(items) / 2
+	side = apss.SideA
+	got := feedADD(t, ca, items[:half], false, &side)
+	if err := ca.Migrate(b.addr); err != nil {
+		t.Fatal(err)
+	}
+	var moved *MovedError
+	if _, _, err := ca.Add(items[half].Time, items[half].Vec); !errors.As(err, &moved) {
+		t.Fatalf("add after migration: err=%v, want *MovedError", err)
+	}
+	cb := dialT(t, b)
+	if err := cb.Session("mig"); err != nil {
+		t.Fatal(err)
+	}
+	side = apss.SideA
+	got = append(got, feedADD(t, cb, items[half:], false, &side)...)
+	if !apss.EqualMatchSets(got, want, 1e-9) {
+		t.Fatalf("migrated adaptive session diverges: %d matches vs %d uninterrupted", len(got), len(want))
+	}
+
+	// The adopted joiner self-tunes again: its engine gauge is exposed.
+	if _, err := cb.Size(); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	b.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), `sssj_session_engine{session="mig",engine="`) {
+		t.Fatal("adopted session lost its self-tuning layer")
+	}
+}

@@ -113,6 +113,20 @@ func (s *Server) MetricsHandler() http.Handler {
 			}
 		}
 
+		p.Family("sssj_session_engine", "gauge", "1 for the engine the self-tuning session currently runs (label engine).")
+		for i := range snaps {
+			if snaps[i].s.hasAdapt {
+				p.Sample("sssj_session_engine",
+					label(snaps[i].name)+`,engine="`+snaps[i].s.adapt.Kind.String()+`"`, 1)
+			}
+		}
+		p.Family("sssj_session_reranks_total", "counter", "Dimension-order rebuilds performed by the self-tuning layer.")
+		for i := range snaps {
+			if snaps[i].s.hasAdapt {
+				p.Sample("sssj_session_reranks_total", label(snaps[i].name), float64(snaps[i].s.adapt.Reranks))
+			}
+		}
+
 		p.Family("sssj_ingest_latency_seconds", "histogram", "Per-item ingest latency through the session pipeline.")
 		for i := range snaps {
 			p.Histogram("sssj_ingest_latency_seconds", label(snaps[i].name), &snaps[i].s.hist)

@@ -177,6 +177,7 @@ func (s *Server) cmdAdopt(r *bufio.Reader, w *bufio.Writer, rest string) {
 			Workers:  opts.Workers,
 			Foreign:  opts.Foreign,
 			Shard:    opts.Shard,
+			Adapt:    opts.adaptFor(),
 		})
 		if err != nil {
 			return fmt.Errorf("restore session %q: %w", name, err)

@@ -12,6 +12,7 @@ import (
 
 	"sssj/internal/apss"
 	"sssj/internal/core"
+	"sssj/internal/dimorder"
 	"sssj/internal/index/streaming"
 	"sssj/internal/metrics"
 	"sssj/internal/stream"
@@ -27,8 +28,9 @@ import (
 type SessionOptions struct {
 	// Theta and Lambda are the join parameters (keys "theta", "lambda").
 	Theta, Lambda float64
-	// Index is the streaming scheme: "L2" (default), "INV", or "L2AP"
-	// (key "index").
+	// Index is the streaming scheme: "L2" (default), "INV", "L2AP",
+	// "AP", or "AUTO" — the online engine selector, which starts on INV
+	// and promotes itself as the stream warrants (key "index").
 	Index string
 	// Workers is the in-process dimension-shard count of the parallel
 	// STR engine; ≤ 1 runs the sequential engine (key "workers").
@@ -50,6 +52,14 @@ type SessionOptions struct {
 	// "shard", value "i/N") — the session-scoped form of sssjd -shard,
 	// which lets one daemon host worker shards of several clusters.
 	Shard streaming.Shard
+	// Rerank enables the online dimension re-ranker (key "rerank",
+	// values "docfreq" or "maxval"; empty disables). Together with
+	// index=auto this is the session-scoped form of the library's
+	// Adaptive options; the reported pair set is unchanged.
+	Rerank string
+	// Cadence is the adaptation review cadence in items (key "cadence";
+	// 0 uses the library default). Only valid with rerank or index=auto.
+	Cadence int
 }
 
 // DefaultQueue is the ingest-queue bound of sessions that do not set
@@ -92,9 +102,20 @@ func (o SessionOptions) validate() error {
 		return fmt.Errorf("lateness must be finite and >= 0, got %v", o.Lateness)
 	}
 	switch o.Index {
-	case "L2", "INV", "L2AP", "AP":
+	case "L2", "INV", "L2AP", "AP", "AUTO":
 	default:
-		return fmt.Errorf("unknown index %q (want L2, INV, L2AP, or AP)", o.Index)
+		return fmt.Errorf("unknown index %q (want L2, INV, L2AP, AP, or auto)", o.Index)
+	}
+	switch o.Rerank {
+	case "", "docfreq", "maxval":
+	default:
+		return fmt.Errorf("unknown rerank %q (want docfreq or maxval)", o.Rerank)
+	}
+	if o.Cadence < 0 {
+		return fmt.Errorf("cadence must be >= 0, got %d", o.Cadence)
+	}
+	if o.Cadence > 0 && !o.adaptive() {
+		return fmt.Errorf("cadence is set but neither rerank nor index=auto is enabled")
 	}
 	if o.Shard.N > 0 {
 		if o.Workers > 1 {
@@ -103,8 +124,29 @@ func (o SessionOptions) validate() error {
 		if o.Lateness > 0 {
 			return fmt.Errorf("shard sessions keep strict ordering (the coordinator owns reordering); lateness must be 0")
 		}
+		if o.adaptive() {
+			return fmt.Errorf("shard sessions cannot self-tune (coordinator routing is keyed by natural dimensions)")
+		}
 	}
 	return nil
+}
+
+// adaptive reports whether the options enable the self-tuning layer.
+func (o SessionOptions) adaptive() bool { return o.Index == "AUTO" || o.Rerank != "" }
+
+// adaptFor maps the protocol options onto the streaming Adapt config.
+func (o SessionOptions) adaptFor() streaming.Adapt {
+	if !o.adaptive() {
+		return streaming.Adapt{}
+	}
+	ad := streaming.Adapt{Cadence: o.Cadence, Auto: o.Index == "AUTO"}
+	switch o.Rerank {
+	case "docfreq":
+		ad.Rerank = dimorder.DocFreqAsc
+	case "maxval":
+		ad.Rerank = dimorder.MaxValueDesc
+	}
+	return ad
 }
 
 // String renders the options in the protocol's k=v form — the exact
@@ -124,6 +166,12 @@ func (o SessionOptions) String() string {
 		o.Workers, o.Queue)
 	if o.Shard.N > 0 {
 		s += fmt.Sprintf(" shard=%d/%d", o.Shard.ID, o.Shard.N)
+	}
+	if o.Rerank != "" {
+		s += " rerank=" + o.Rerank
+	}
+	if o.Cadence > 0 {
+		s += fmt.Sprintf(" cadence=%d", o.Cadence)
 	}
 	return s
 }
@@ -154,6 +202,14 @@ func parseSessionOptions(base SessionOptions, toks []string) (SessionOptions, er
 			}
 		case "index":
 			o.Index = strings.ToUpper(val)
+		case "rerank":
+			o.Rerank = strings.ToLower(val)
+		case "cadence":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return SessionOptions{}, fmt.Errorf("bad cadence %q", val)
+			}
+			o.Cadence = n
 		case "join":
 			switch strings.ToLower(val) {
 			case "self":
@@ -197,7 +253,7 @@ func parseSessionOptions(base SessionOptions, toks []string) (SessionOptions, er
 // kindFor maps the option's index name (already validated).
 func kindFor(index string) streaming.Kind {
 	switch index {
-	case "INV":
+	case "INV", "AUTO": // the auto ladder starts on the INV floor
 		return streaming.INV
 	case "L2AP":
 		return streaming.L2AP
@@ -220,6 +276,8 @@ type sessionSnapshot struct {
 	size     streaming.SizeInfo
 	arena    streaming.BlockInfo
 	hasArena bool
+	adapt    streaming.AdaptState
+	hasAdapt bool
 }
 
 // session is one tenant: a joiner with its own options, ID space,
@@ -278,7 +336,8 @@ func (s *session) snapshot() sessionSnapshot {
 func (s *session) publish(sampleSize bool) {
 	var size streaming.SizeInfo
 	var arena streaming.BlockInfo
-	hasArena := false
+	var adapt streaming.AdaptState
+	hasArena, hasAdapt := false, false
 	if sampleSize && s.joiner != nil {
 		if sizer, ok := s.joiner.(interface{ IndexSize() streaming.SizeInfo }); ok {
 			size = sizer.IndexSize()
@@ -287,6 +346,11 @@ func (s *session) publish(sampleSize bool) {
 			ArenaInfo() (streaming.BlockInfo, bool)
 		}); ok {
 			arena, hasArena = ai.ArenaInfo()
+		}
+		if ad, ok := s.joiner.(interface {
+			AdaptInfo() (streaming.AdaptState, bool)
+		}); ok {
+			adapt, hasAdapt = ad.AdaptInfo()
 		}
 		s.liveEntries.Store(int64(size.PostingEntries))
 	}
@@ -297,6 +361,8 @@ func (s *session) publish(sampleSize bool) {
 		s.snap.size = size
 		s.snap.arena = arena
 		s.snap.hasArena = hasArena
+		s.snap.adapt = adapt
+		s.snap.hasAdapt = hasAdapt
 	}
 	s.snapMu.Unlock()
 }
@@ -551,6 +617,7 @@ func (srv *Server) newSession(name string, opts SessionOptions, mk func(*session
 					Workers:  opts.Workers,
 					Foreign:  opts.Foreign,
 					Shard:    opts.Shard,
+					Adapt:    opts.adaptFor(),
 				})
 			}
 			if err != nil {

@@ -1,0 +1,83 @@
+// Command adaptsmoke is the self-tuning convergence check behind
+// `make adapt-smoke`: it runs the auto-selector (with online dimension
+// re-ranking) over the RCV1 and Tweets stream shapes and fails unless
+// the layer behaved like a tuner rather than a thrasher — the match set
+// equals the static reference's, the engine ladder moved at most its
+// structural maximum of two promotions (INV → L2 → L2AP; the selector
+// never demotes, so a converged run cannot flap), and the re-ranker
+// actually engaged. The in-process tests pin the same contracts on
+// small fuzz streams; this smoke runs them on the paper-shaped
+// workloads CI benches with.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sssj"
+	"sssj/internal/apss"
+	"sssj/internal/datagen"
+)
+
+func run(name string, prof datagen.Profile, seed int64) error {
+	items := prof.Scaled(0.1).Generate(seed)
+	static := sssj.Options{Theta: 0.6, Lambda: 0.05, Index: sssj.IndexINV}
+	want, err := sssj.SelfJoin(static, items)
+	if err != nil {
+		return fmt.Errorf("%s: static reference: %w", name, err)
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("%s: vacuous smoke: static reference found no matches", name)
+	}
+
+	j, err := sssj.New(sssj.Options{Theta: 0.6, Lambda: 0.05, Index: sssj.IndexAuto,
+		Adaptive: sssj.Adaptive{Rerank: sssj.OrderDocFreqAsc, Cadence: 128}})
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	var got []sssj.Match
+	for _, it := range items {
+		ms, err := j.Process(it)
+		if err != nil {
+			return fmt.Errorf("%s: process: %w", name, err)
+		}
+		got = append(got, ms...)
+	}
+	if !apss.EqualMatchSets(got, want, 1e-9) {
+		return fmt.Errorf("%s: self-tuning changed the output: %d matches vs %d static", name, len(got), len(want))
+	}
+
+	st, ok := j.AdaptState()
+	if !ok {
+		return fmt.Errorf("%s: adaptive joiner reports no AdaptState", name)
+	}
+	if st.Switches > 2 {
+		return fmt.Errorf("%s: %d engine switches — the monotone ladder allows at most 2", name, st.Switches)
+	}
+	if st.Reranks < 1 {
+		return fmt.Errorf("%s: the re-ranker never engaged (%d reranks over %d items)", name, st.Reranks, len(items))
+	}
+	fmt.Printf("adapt-smoke %-7s ok: %d items, %d matches, engine=%v switches=%d reranks=%d dims=%d\n",
+		name, len(items), len(got), st.Kind, st.Switches, st.Reranks, st.OrderedDims)
+	return nil
+}
+
+func main() {
+	fail := false
+	for _, tc := range []struct {
+		name string
+		prof datagen.Profile
+		seed int64
+	}{
+		{"RCV1", datagen.RCV1Profile(), 101},
+		{"Tweets", datagen.TweetsProfile(), 102},
+	} {
+		if err := run(tc.name, tc.prof, tc.seed); err != nil {
+			fmt.Fprintln(os.Stderr, "adapt-smoke:", err)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

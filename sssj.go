@@ -131,6 +131,15 @@ const (
 	// IndexAP is Bayardo et al.'s scheme; supported only under MiniBatch
 	// (§5.2: its streaming version is not efficient in practice).
 	IndexAP
+	// IndexAuto lets the joiner pick the scheme online: it starts on the
+	// cheap INV index and promotes toward L2 and L2AP when windowed work
+	// counters say the filtering machinery would pay for itself. The
+	// promotion ladder is monotone (it never demotes, so it cannot
+	// thrash) and the reported pair set is identical to any fixed
+	// scheme's. Streaming framework with the decay window only; see
+	// Options.Adaptive for the companion re-ranker and the review
+	// cadence.
+	IndexAuto
 )
 
 // String implements fmt.Stringer.
@@ -144,6 +153,8 @@ func (k IndexKind) String() string {
 		return "L2AP"
 	case IndexAP:
 		return "AP"
+	case IndexAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("IndexKind(%d)", int(k))
 	}
@@ -293,6 +304,13 @@ type Options struct {
 	// exponential-decay model). See Window and WindowKind for the
 	// tumbling and sliding modes and their support matrix.
 	Window Window
+	// Adaptive enables the statistics-free self-tuning extension: an
+	// online dimension re-ranker and/or the engine auto-selector (also
+	// reachable as Index: IndexAuto). Streaming framework with the decay
+	// window and the default kernel only; Workers, the foreign join,
+	// Lateness, and Resume all compose. The zero value disables it. See
+	// the Adaptive type.
+	Adaptive Adaptive
 }
 
 // WindowKind selects the event-time window semantics of the streaming
@@ -347,6 +365,32 @@ type Window struct {
 	// sliding kinds, required 0 for WindowDecay.
 	Size float64
 }
+
+// Adaptive configures the statistics-free self-tuning extension. Unlike
+// DimOrder — which buffers a warmup, delays its matches, and then fixes
+// the permutation forever — the adaptive layer never buffers and never
+// delays: it maintains per-dimension frequency and max-value counters
+// online, periodically recomputes the ranking, and rebuilds the live
+// window (bounded by the horizon) under the new permutation. Engine
+// selection works the same way, promoting INV → L2 → L2AP from cheap
+// work counters with hysteresis. Both adaptations are output-invisible:
+// the reported pair set is always exactly the static configuration's.
+type Adaptive struct {
+	// Rerank selects the dimension ordering maintained online; OrderNone
+	// (the default) leaves natural order.
+	Rerank DimStrategy
+	// Cadence is how many processed items pass between adaptation
+	// reviews. Values < 1 use the package default (2048); setting it
+	// without enabling Rerank or Auto (or IndexAuto) is rejected.
+	Cadence int
+	// Auto enables the engine selector, starting from Options.Index.
+	// Index: IndexAuto is shorthand for Auto from the INV floor.
+	Auto bool
+}
+
+// enabled reports whether the struct itself switches any adaptation on
+// (Index: IndexAuto also enables the layer; callers check both).
+func (a Adaptive) enabled() bool { return a.Auto || a.Rerank != OrderNone }
 
 // DimOrder configures the dimension-ordering extension.
 type DimOrder struct {
@@ -404,6 +448,9 @@ const (
 //	Window         tumbling: any index, workers 1, no DimOrder, no kernel
 //	               sliding:  INV/L2 under STR; workers, DimOrder, foreign OK
 //	               stream op only (top-k, batch, and resume reject both kinds)
+//	Adaptive /     STR + decay window + default kernel only; workers,
+//	IndexAuto      foreign, Lateness, resume OK; excludes DimOrder (it
+//	               subsumes it); top-k and batch reject it
 //
 // Batch ignores Framework, Theta, and Lambda (the threshold is an
 // explicit argument and there is no time); Resume ignores Index, Theta,
@@ -469,6 +516,30 @@ func (o Options) validate(mode opMode) error {
 	default:
 		return fmt.Errorf("%w: unknown window kind %v", ErrUnsupported, o.Window.Kind)
 	}
+	adaptive := o.Adaptive.enabled() || o.Index == IndexAuto
+	if o.Adaptive.Cadence < 0 {
+		return fmt.Errorf("%w: Adaptive.Cadence must be >= 0, got %d", ErrUnsupported, o.Adaptive.Cadence)
+	}
+	if !adaptive && o.Adaptive.Cadence != 0 {
+		return fmt.Errorf("%w: Adaptive.Cadence is set but neither Adaptive.Rerank, Adaptive.Auto, nor IndexAuto is enabled", ErrUnsupported)
+	}
+	if adaptive {
+		if mode == opBatch || mode == opTopK {
+			return fmt.Errorf("%w: the adaptive layer applies to the streaming threshold join only", ErrUnsupported)
+		}
+		if o.Framework != Streaming {
+			return fmt.Errorf("%w: the adaptive layer requires the Streaming framework", ErrUnsupported)
+		}
+		if o.Window.Kind != WindowDecay {
+			return fmt.Errorf("%w: the adaptive layer runs under the decay window only", ErrUnsupported)
+		}
+		if o.Kernel != nil {
+			return fmt.Errorf("%w: the adaptive layer requires the default exponential kernel (engine promotion to L2AP depends on it)", ErrUnsupported)
+		}
+		if o.DimOrder.Strategy != OrderNone {
+			return fmt.Errorf("%w: Adaptive replaces the DimOrder warmup; configure one or the other", ErrUnsupported)
+		}
+	}
 	switch mode {
 	case opBatch:
 		switch o.Index {
@@ -497,6 +568,7 @@ func (o Options) validate(mode opMode) error {
 	case Streaming:
 		switch o.Index {
 		case IndexINV, IndexL2AP, IndexL2:
+		case IndexAuto: // vetted by the adaptive block above
 		case IndexAP:
 			// The tumbling window is a per-window batch join, where AP is
 			// fine (as under MiniBatch); only the true streaming index
@@ -638,7 +710,7 @@ func buildJoiner(opts Options, params Params) (core.SinkJoiner, error) {
 	case Streaming:
 		var kind streaming.Kind
 		switch opts.Index {
-		case IndexINV:
+		case IndexINV, IndexAuto: // IndexAuto starts at the INV floor
 			kind = streaming.INV
 		case IndexL2AP:
 			kind = streaming.L2AP
@@ -655,6 +727,13 @@ func buildJoiner(opts Options, params Params) (core.SinkJoiner, error) {
 			sopts.Order = streaming.WarmupOrder{
 				Strategy: opts.DimOrder.Strategy,
 				Items:    opts.DimOrder.WarmupItems,
+			}
+		}
+		if opts.Adaptive.enabled() || opts.Index == IndexAuto {
+			sopts.Adapt = streaming.Adapt{
+				Rerank:  opts.Adaptive.Rerank,
+				Cadence: opts.Adaptive.Cadence,
+				Auto:    opts.Adaptive.Auto || opts.Index == IndexAuto,
 			}
 		}
 		return core.NewSTRFull(kind, params, sopts)
@@ -724,6 +803,22 @@ func (j *Joiner) IndexSize() (IndexSize, bool) {
 		return IndexSize{}, false
 	}
 	return s.IndexSize(), true
+}
+
+// AdaptState is the self-tuner's introspection surface: the engine kind
+// currently in force and the adaptation counts. See Joiner.AdaptState.
+type AdaptState = streaming.AdaptState
+
+// AdaptState reports the self-tuning layer's current state — which
+// engine is running, how many dimension re-ranks and engine promotions
+// have happened. ok is false when the joiner is not adaptive (no
+// Options.Adaptive features and not IndexAuto).
+func (j *Joiner) AdaptState() (AdaptState, bool) {
+	s, ok := j.inner.(*core.STR)
+	if !ok {
+		return AdaptState{}, false
+	}
+	return s.AdaptInfo()
 }
 
 // Horizon returns the time horizon τ = ln(1/θ)/λ.
